@@ -1,0 +1,108 @@
+//===- bench/bench_ablations.cpp - Design-choice ablations ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations of the design choices DESIGN.md calls out:
+///
+///  1. Inertia's weight table (Appendix A.1) versus uniform weights and
+///     reversed weights — measured as the Figure 12a distance metric on
+///     the 17-program suite. This isolates how much of inertia's win
+///     comes from the weights themselves rather than the MCS machinery.
+///  2. The rustc diagnostic's chain elision: how many chain entries the
+///     full (unelided) text would show, per program — the paper's
+///     "100-line diagnostic" counterfactual from Section 2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CompilerDistance.h"
+#include "analysis/Inertia.h"
+#include "corpus/Corpus.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+#include "support/Statistics.h"
+
+#include <cstdio>
+
+using namespace argus;
+
+namespace {
+
+size_t rankOfTruth(const Program &Prog, const InferenceTree &Tree,
+                   const std::vector<IGoalId> &Order) {
+  for (size_t I = 0; I != Order.size(); ++I)
+    for (const Predicate &Truth : Prog.rootCauses())
+      if (Tree.goal(Order[I]).Pred == Truth)
+        return I;
+  return Order.size();
+}
+
+} // namespace
+
+int main() {
+  printf("=== Ablation 1: inertia weight table vs alternatives "
+         "(Figure 12a metric) ===\n\n");
+  printf("%-30s %10s %9s %10s\n", "program", "appendixA1", "uniform",
+         "reversed");
+
+  std::vector<double> AppendixRanks, UniformRanks, ReversedRanks;
+  std::vector<size_t> ChainLengths;
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    LoadedProgram Loaded = loadEntry(Entry);
+    const Program &Prog = *Loaded.Prog;
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    const InferenceTree &Tree = Ex.Trees.at(0);
+
+    size_t Appendix =
+        rankOfTruth(Prog, Tree, rankByInertia(Prog, Tree).Order);
+    size_t Uniform = rankOfTruth(
+        Prog, Tree,
+        rankByInertiaWith(Prog, Tree, [](const GoalKind &) {
+          return size_t(1);
+        }).Order);
+    // Reversed: heavy categories first (an adversarial weighting).
+    size_t Reversed = rankOfTruth(
+        Prog, Tree, rankByInertiaWith(Prog, Tree, [](const GoalKind &K) {
+                      return size_t(50) - std::min<size_t>(50, K.weight());
+                    }).Order);
+    printf("%-30s %10zu %9zu %10zu\n", Entry.Id.c_str(), Appendix,
+           Uniform, Reversed);
+    AppendixRanks.push_back(static_cast<double>(Appendix));
+    UniformRanks.push_back(static_cast<double>(Uniform));
+    ReversedRanks.push_back(static_cast<double>(Reversed));
+
+    // For ablation 2 below.
+    DiagnosticRenderer Renderer(Prog);
+    RenderedDiagnostic Diag = Renderer.render(Tree);
+    ChainLengths.push_back(Tree.pathToRoot(Diag.ReportedNode).size());
+  }
+  printf("\n%-30s %10.1f %9.1f %10.1f\n", "median",
+         stats::median(AppendixRanks), stats::median(UniformRanks),
+         stats::median(ReversedRanks));
+
+  printf("\n=== Ablation 2: diagnostic chain elision ===\n\n");
+  printf("%-30s %12s %12s %7s\n", "program", "chain-length",
+         "shown(elided)", "hidden");
+  size_t Index = 0;
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    LoadedProgram Loaded = loadEntry(Entry);
+    Solver Solve(*Loaded.Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex =
+        extractTrees(*Loaded.Prog, Out, Solve.inferContext());
+    DiagnosticRenderer Elided(*Loaded.Prog);
+    RenderedDiagnostic Diag = Elided.render(Ex.Trees.at(0));
+    printf("%-30s %12zu %12zu %7zu\n", Entry.Id.c_str(),
+           ChainLengths[Index], Diag.MentionedGoals.size(),
+           Diag.HiddenRequirements);
+    ++Index;
+  }
+  printf("\n(The hidden column is the \"N redundant requirements "
+         "hidden\" of Figure 2b; Argus instead keeps every step "
+         "reachable via CollapseSeq.)\n");
+  return 0;
+}

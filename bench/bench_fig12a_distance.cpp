@@ -1,0 +1,116 @@
+//===- bench/bench_fig12a_distance.cpp - Figure 12a -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 12a: the distance to the ground-truth root cause
+/// for the inertia heuristic, the two baseline rankings (predicate depth,
+/// number of uninstantiated inference variables), and the Rust compiler
+/// diagnostic, over the 17-program evaluation suite. For rankings the
+/// metric is the index of the root cause in the sorted bottom-up list;
+/// for the compiler it is the number of inference steps between its
+/// blamed node and the root cause. Optimal is 0 everywhere.
+///
+/// Paper medians: inertia 0, depth 1, #inference-vars 1, rustc 2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CompilerDistance.h"
+#include "analysis/Inertia.h"
+#include "corpus/Corpus.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+#include "support/Statistics.h"
+
+#include <cstdio>
+
+using namespace argus;
+
+namespace {
+
+struct ProgramDistances {
+  std::string Id;
+  size_t Inertia;
+  size_t Depth;
+  size_t InferVars;
+  size_t Compiler;
+};
+
+/// Index of the ground truth in \p Order, matching by predicate;
+/// Order.size() when the truth is not a ranked leaf.
+size_t rankOfTruth(const Program &Prog, const InferenceTree &Tree,
+                   const std::vector<IGoalId> &Order) {
+  for (size_t I = 0; I != Order.size(); ++I)
+    for (const Predicate &Truth : Prog.rootCauses())
+      if (Tree.goal(Order[I]).Pred == Truth)
+        return I;
+  return Order.size();
+}
+
+ProgramDistances measure(const CorpusEntry &Entry) {
+  LoadedProgram Loaded = loadEntry(Entry);
+  const Program &Prog = *Loaded.Prog;
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  const InferenceTree &Tree = Ex.Trees.at(0);
+
+  ProgramDistances Distances;
+  Distances.Id = Entry.Id;
+  Distances.Inertia =
+      rankOfTruth(Prog, Tree, rankByInertia(Prog, Tree).Order);
+  Distances.Depth = rankOfTruth(Prog, Tree, rankByDepth(Tree));
+  Distances.InferVars = rankOfTruth(Prog, Tree, rankByInferVars(Tree));
+
+  // The compiler comparison: nodes between the blamed node and the truth
+  // (preferring the leaf occurrence of the truth, falling back to any).
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  IGoalId TruthNode;
+  for (const Predicate &Truth : Prog.rootCauses()) {
+    for (IGoalId Leaf : Tree.failedLeaves())
+      if (Tree.goal(Leaf).Pred == Truth && !TruthNode.isValid())
+        TruthNode = Leaf;
+    if (!TruthNode.isValid())
+      TruthNode = findGoalByPredicate(Tree, Truth);
+  }
+  Distances.Compiler = nodeDistance(Tree, Diag.ReportedNode, TruthNode);
+  return Distances;
+}
+
+double medianOf(const std::vector<ProgramDistances> &All,
+                size_t ProgramDistances::*Member) {
+  std::vector<double> Values;
+  for (const ProgramDistances &D : All)
+    Values.push_back(static_cast<double>(D.*Member));
+  return stats::median(Values);
+}
+
+} // namespace
+
+int main() {
+  printf("=== Figure 12a: distance to the root cause, 17-program suite "
+         "===\n\n");
+  printf("%-30s %8s %6s %10s %9s\n", "program", "inertia", "depth",
+         "infer-vars", "compiler");
+
+  std::vector<ProgramDistances> All;
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    ProgramDistances D = measure(Entry);
+    printf("%-30s %8zu %6zu %10zu %9zu\n", D.Id.c_str(), D.Inertia,
+           D.Depth, D.InferVars, D.Compiler);
+    All.push_back(D);
+  }
+
+  printf("\n%-30s %8s %6s %10s %9s\n", "median (measured)", "", "", "", "");
+  printf("%-30s %8.1f %6.1f %10.1f %9.1f\n", "",
+         medianOf(All, &ProgramDistances::Inertia),
+         medianOf(All, &ProgramDistances::Depth),
+         medianOf(All, &ProgramDistances::InferVars),
+         medianOf(All, &ProgramDistances::Compiler));
+  printf("%-30s %8s %6s %10s %9s\n", "median (paper)", "0", "1", "1",
+         "2");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/bench_solver.cpp - Solver throughput + ablations -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trait-solver throughput over the corpus, with two ablations the design
+/// document calls out: result memoization (rustc's evaluation cache) and
+/// the emission of internal WellFormed obligations (the noise the
+/// extraction layer exists to hide). Not a paper figure; supports the
+/// implementation discussion of Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "extract/Extract.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace argus;
+
+namespace {
+
+void solveEntry(benchmark::State &State, SolverOptions Opts) {
+  const CorpusEntry &Entry =
+      evaluationSuite()[static_cast<size_t>(State.range(0))];
+  uint64_t Evaluations = 0;
+  for (auto _ : State) {
+    // Parsing is inside the loop on purpose: interner/arena state is
+    // per-session, and reusing a solved program would skew candidates.
+    State.PauseTiming();
+    LoadedProgram Loaded = loadEntry(Entry);
+    State.ResumeTiming();
+    Solver Solve(*Loaded.Prog, Opts);
+    SolveOutcome Out = Solve.solve();
+    benchmark::DoNotOptimize(Out.FinalResults.data());
+    Evaluations = Out.NumEvaluations;
+  }
+  State.SetLabel(Entry.Id);
+  State.counters["evaluations"] = static_cast<double>(Evaluations);
+}
+
+void BM_Solve(benchmark::State &State) {
+  solveEntry(State, SolverOptions());
+}
+
+void BM_SolveMemoized(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.EnableMemoization = true;
+  solveEntry(State, Opts);
+}
+
+void BM_SolveNoWellFormed(benchmark::State &State) {
+  SolverOptions Opts;
+  Opts.EmitWellFormedGoals = false;
+  solveEntry(State, Opts);
+}
+
+/// Extraction cost on top of solving.
+void BM_Extract(benchmark::State &State) {
+  const CorpusEntry &Entry =
+      evaluationSuite()[static_cast<size_t>(State.range(0))];
+  LoadedProgram Loaded = loadEntry(Entry);
+  Solver Solve(*Loaded.Prog);
+  SolveOutcome Out = Solve.solve();
+  for (auto _ : State) {
+    Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
+    benchmark::DoNotOptimize(Ex.Trees.data());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+} // namespace
+
+BENCHMARK(BM_Solve)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SolveMemoized)->DenseRange(0, 16)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_SolveNoWellFormed)->DenseRange(0, 16)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_Extract)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+//===- bench/bench_views.cpp - Interface responsiveness -------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interface-model operation latency on large inference trees. Not a
+/// paper figure: the paper's usability argument presumes the interactive
+/// views stay responsive on the biggest trees in its dataset (~37k
+/// nodes), and this bench verifies that rows()/expand/hover are
+/// interactive-speed there.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+#include "interface/View.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace argus;
+
+namespace {
+
+GeneratedWorkload makeWorkload(size_t Nodes) {
+  GeneratorOptions Opts;
+  Opts.TargetNodes = Nodes;
+  Opts.Seed = 77;
+  Opts.BranchProbability = 0.2;
+  return generateTree(Opts);
+}
+
+void BM_ViewRowsCollapsed(benchmark::State &State) {
+  GeneratedWorkload Workload =
+      makeWorkload(static_cast<size_t>(State.range(0)));
+  ArgusInterface UI(*Workload.Prog, Workload.Tree);
+  for (auto _ : State) {
+    std::vector<ViewRow> Rows = UI.rows();
+    benchmark::DoNotOptimize(Rows.data());
+  }
+  State.counters["tree_nodes"] = static_cast<double>(Workload.Tree.size());
+}
+
+void BM_ViewRowsFullyExpanded(benchmark::State &State) {
+  GeneratedWorkload Workload =
+      makeWorkload(static_cast<size_t>(State.range(0)));
+  ArgusInterface UI(*Workload.Prog, Workload.Tree);
+  UI.setActiveView(ViewKind::TopDown);
+  UI.expandAll();
+  for (auto _ : State) {
+    std::vector<ViewRow> Rows = UI.rows();
+    benchmark::DoNotOptimize(Rows.data());
+  }
+  State.counters["rows"] = static_cast<double>(UI.rows().size());
+}
+
+void BM_ViewToggleExpand(benchmark::State &State) {
+  GeneratedWorkload Workload =
+      makeWorkload(static_cast<size_t>(State.range(0)));
+  ArgusInterface UI(*Workload.Prog, Workload.Tree);
+  for (auto _ : State) {
+    UI.toggleExpand(1);
+    benchmark::DoNotOptimize(&UI);
+  }
+}
+
+void BM_ViewHover(benchmark::State &State) {
+  GeneratedWorkload Workload =
+      makeWorkload(static_cast<size_t>(State.range(0)));
+  ArgusInterface UI(*Workload.Prog, Workload.Tree);
+  for (auto _ : State) {
+    std::string Hover = UI.hoverMinibuffer(1);
+    benchmark::DoNotOptimize(Hover.data());
+  }
+}
+
+void BM_InertiaRanking(benchmark::State &State) {
+  GeneratedWorkload Workload =
+      makeWorkload(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    InertiaResult Result =
+        rankByInertia(*Workload.Prog, Workload.Tree);
+    benchmark::DoNotOptimize(Result.Order.data());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ViewRowsCollapsed)->Arg(2554)->Arg(36794)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_ViewRowsFullyExpanded)->Arg(2554)->Arg(36794)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_ViewToggleExpand)->Arg(36794)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewHover)->Arg(36794)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InertiaRanking)->Arg(2554)->Arg(36794)->Unit(
+    benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,269 @@
+//===- examples/argus_tui.cpp - Interactive trait debugger ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A terminal front end for the Argus interface model: load a .tl program
+/// (or the built-in Bevy example), solve it, and explore the inference
+/// tree interactively. Every gesture from Section 3.2 has a command:
+///
+///   view bu | view td     switch projections (TreeData)
+///   x <row>               expand/collapse a row (CollapseSeq)
+///   t <row>               toggle type-argument ellipsis (ShortTys)
+///   h <row>               hover: full paths in the minibuffer (ShortTys)
+///   i <row>               implementors popup (CtxtLinks)
+///   d <row>               jump-to-definition targets (CtxtLinks)
+///   f <row>               verified fix suggestions (Section 7.1)
+///   html <file>           export the tree as a standalone HTML page
+///   / <text>              search goals; reveals the first match
+///   diag                  the rustc-style diagnostic, for contrast
+///   mcs                   minimum correction subsets with scores
+///   all / none            expand / collapse everything
+///   tree <n>              switch to the n-th failing goal's tree
+///   q                     quit
+///
+/// Usage: argus_tui [program.tl]
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inertia.h"
+#include "analysis/Suggestions.h"
+#include "diagnostics/Diagnostics.h"
+#include "interface/HTMLExport.h"
+#include "extract/Extract.h"
+#include "interface/View.h"
+#include "tlang/Parser.h"
+#include "tlang/Printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+using namespace argus;
+
+namespace {
+
+const char *DefaultProgram = R"(
+// The paper's Bevy example: run_timer takes Timer instead of
+// ResMut<Timer>.
+#[external] struct ResMut<T>;
+struct Timer;
+#[external] trait Resource;
+#[external] trait SystemParam;
+#[external] impl<T> SystemParam for ResMut<T> where T: Resource;
+#[external] trait System;
+#[external, fn_trait] trait SystemParamFunction<Sig>;
+#[external] struct IsFunctionSystem;
+#[external] struct IsSystem;
+#[external] trait IntoSystem<Marker>;
+#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: System;
+#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for Func
+  where Func: SystemParamFunction<fn(P)>, P: SystemParam;
+impl Resource for Timer;
+fn run_timer(Timer);
+goal run_timer: IntoSystem<?M>;
+)";
+
+void printRows(const ArgusInterface &UI) {
+  std::vector<ViewRow> Rows = UI.rows();
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    std::string Fold = "  ";
+    if (Rows[I].RowKind == ViewRow::Kind::Goal && Rows[I].Expandable)
+      Fold = Rows[I].Expanded ? "v " : "> ";
+    printf("%3zu %s%*s%s\n", I, Fold.c_str(),
+           static_cast<int>(2 * Rows[I].Indent), "",
+           Rows[I].Text.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Source = DefaultProgram;
+  std::string Name = "bevy-example.tl";
+  if (Argc > 1) {
+    std::ifstream File(Argv[1]);
+    if (!File) {
+      fprintf(stderr, "cannot open %s\n", Argv[1]);
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    Source = Buffer.str();
+    Name = Argv[1];
+  }
+
+  Session S;
+  Program Prog(S);
+  ParseResult Parsed = parseSource(Prog, Name, Source);
+  if (!Parsed.Success) {
+    fprintf(stderr, "%s", Parsed.describe(S.sources()).c_str());
+    return 1;
+  }
+
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  if (Ex.Trees.empty()) {
+    printf("all goals hold; nothing to debug.\n");
+    return 0;
+  }
+  printf("%zu failing goal(s); showing tree 0. Type '?' for help.\n\n",
+         Ex.Trees.size());
+
+  size_t TreeIndex = 0;
+  auto UI = std::make_unique<ArgusInterface>(Prog, Ex.Trees[TreeIndex]);
+  printRows(*UI);
+
+  std::string Line;
+  while (printf("argus> "), fflush(stdout), std::getline(std::cin, Line)) {
+    std::istringstream In(Line);
+    std::string Command;
+    In >> Command;
+    if (Command.empty())
+      continue;
+    if (Command == "q" || Command == "quit")
+      break;
+
+    if (Command == "?" || Command == "help") {
+      printf("view bu|td, x <row>, t <row>, h <row>, i <row>, d <row>, "
+             "f <row>, html <file>, diag, mcs, all, none, tree <n>, "
+             "show, q\n");
+      continue;
+    }
+    if (Command == "show") {
+      printRows(*UI);
+      continue;
+    }
+    if (Command == "view") {
+      std::string Which;
+      In >> Which;
+      UI->setActiveView(Which == "td" ? ViewKind::TopDown
+                                      : ViewKind::BottomUp);
+      printRows(*UI);
+      continue;
+    }
+    if (Command == "all") {
+      UI->expandAll();
+      printRows(*UI);
+      continue;
+    }
+    if (Command == "none") {
+      UI->collapseAll();
+      printRows(*UI);
+      continue;
+    }
+    if (Command == "diag") {
+      DiagnosticRenderer Renderer(Prog);
+      printf("%s", Renderer.render(Ex.Trees[TreeIndex]).Text.c_str());
+      continue;
+    }
+    if (Command == "mcs") {
+      const InferenceTree &Tree = Ex.Trees[TreeIndex];
+      InertiaResult Inertia = rankByInertia(Prog, Tree);
+      TypePrinter Printer(Prog);
+      for (size_t I = 0; I != Inertia.MCS.size(); ++I) {
+        printf("score %zu: {", Inertia.ConjunctScores[I]);
+        for (size_t J = 0; J != Inertia.MCS[I].size(); ++J)
+          printf("%s%s", J ? ", " : " ",
+                 Printer.print(Tree.goal(Inertia.MCS[I][J]).Pred).c_str());
+        printf(" }\n");
+      }
+      continue;
+    }
+    if (Command == "/") {
+      std::string Needle;
+      std::getline(In, Needle);
+      while (!Needle.empty() && Needle.front() == ' ')
+        Needle.erase(Needle.begin());
+      std::vector<IGoalId> Matches = UI->searchGoals(Needle);
+      printf("%zu match(es)\n", Matches.size());
+      if (!Matches.empty() && UI->revealGoal(Matches[0]))
+        printRows(*UI);
+      continue;
+    }
+    if (Command == "html") {
+      std::string Path;
+      In >> Path;
+      if (Path.empty()) {
+        printf("usage: html <file>\n");
+        continue;
+      }
+      std::ofstream File(Path);
+      if (!File) {
+        printf("cannot write %s\n", Path.c_str());
+        continue;
+      }
+      HTMLExportOptions HOpts;
+      HOpts.Title = "Argus: " + Name;
+      File << treeToHTML(Prog, Ex.Trees[TreeIndex], HOpts);
+      printf("wrote %s\n", Path.c_str());
+      continue;
+    }
+    if (Command == "tree") {
+      size_t N = 0;
+      In >> N;
+      if (N < Ex.Trees.size()) {
+        TreeIndex = N;
+        UI = std::make_unique<ArgusInterface>(Prog, Ex.Trees[TreeIndex]);
+        printRows(*UI);
+      } else {
+        printf("no tree %zu (have %zu)\n", N, Ex.Trees.size());
+      }
+      continue;
+    }
+
+    // Row commands.
+    size_t Row = 0;
+    if (!(In >> Row)) {
+      printf("unknown command '%s' (try '?')\n", Command.c_str());
+      continue;
+    }
+    if (Command == "x") {
+      if (UI->toggleExpand(Row))
+        printRows(*UI);
+      else
+        printf("row %zu is not expandable\n", Row);
+    } else if (Command == "t") {
+      if (UI->toggleTypeEllipsis(Row))
+        printRows(*UI);
+      else
+        printf("row %zu has no type to toggle\n", Row);
+    } else if (Command == "h") {
+      std::string Hover = UI->hoverMinibuffer(Row);
+      printf("%s\n", Hover.empty() ? "(nothing to hover)" : Hover.c_str());
+    } else if (Command == "i") {
+      std::vector<std::string> Impls = UI->implsPopup(Row);
+      if (Impls.empty())
+        printf("(no implementors to list)\n");
+      for (const std::string &Impl : Impls)
+        printf("  %s\n", Impl.c_str());
+    } else if (Command == "d") {
+      for (const DefinitionLink &Link : UI->definitionLinks(Row))
+        printf("  %s -> %s\n", Link.Name.c_str(),
+               S.sources().describe(Link.Target).c_str());
+    } else if (Command == "f") {
+      std::vector<ViewRow> Rows = UI->rows();
+      if (Row < Rows.size() &&
+          Rows[Row].RowKind == ViewRow::Kind::Goal) {
+        const InferenceTree &Tree = Ex.Trees[TreeIndex];
+        std::vector<FixSuggestion> Fixes =
+            suggestFixes(Prog, Tree.goal(Rows[Row].Goal).Pred);
+        if (Fixes.empty())
+          printf("(no verified suggestions)\n");
+        for (const FixSuggestion &Fix : Fixes)
+          printf("  - %s\n", Fix.Rendered.c_str());
+      } else {
+        printf("row %zu is not a goal\n", Row);
+      }
+    } else {
+      printf("unknown command '%s' (try '?')\n", Command.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- analysis/CompilerDistance.cpp --------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CompilerDistance.h"
+
+#include <algorithm>
+
+using namespace argus;
+
+IGoalId argus::compilerReportedNode(const InferenceTree &Tree) {
+  IGoalId Current = Tree.rootId();
+  if (!Current.isValid())
+    return Current;
+  for (;;) {
+    const IdealGoal &Goal = Tree.goal(Current);
+
+    // Gather failing subgoals across candidates.
+    std::vector<IGoalId> FailingSubgoals;
+    size_t CandidatesWithFailures = 0;
+    for (ICandId CandId : Goal.Candidates) {
+      const IdealCandidate &Cand = Tree.candidate(CandId);
+      bool Any = false;
+      for (IGoalId Sub : Cand.SubGoals)
+        if (idealFailed(Tree.goal(Sub).Result)) {
+          FailingSubgoals.push_back(Sub);
+          Any = true;
+        }
+      CandidatesWithFailures += Any;
+    }
+
+    // A branch point (more than one failing alternative) stops the
+    // textual diagnostic; so does a leaf.
+    if (CandidatesWithFailures != 1 || FailingSubgoals.size() != 1)
+      return Current;
+    Current = FailingSubgoals[0];
+  }
+}
+
+size_t argus::nodeDistance(const InferenceTree &Tree, IGoalId A, IGoalId B) {
+  if (A == B)
+    return 0;
+  std::vector<IGoalId> PathA = Tree.pathToRoot(A);
+  std::vector<IGoalId> PathB = Tree.pathToRoot(B);
+  // Walk back from the root until the paths diverge.
+  size_t Common = 0;
+  while (Common < PathA.size() && Common < PathB.size() &&
+         PathA[PathA.size() - 1 - Common] == PathB[PathB.size() - 1 - Common])
+    ++Common;
+  return (PathA.size() - Common) + (PathB.size() - Common);
+}
+
+IGoalId argus::findGoalByPredicate(const InferenceTree &Tree,
+                                   const Predicate &Pred) {
+  IGoalId AnyMatch;
+  for (size_t I = 0; I != Tree.numGoals(); ++I) {
+    IGoalId Id(static_cast<uint32_t>(I));
+    const IdealGoal &Goal = Tree.goal(Id);
+    if (!(Goal.Pred == Pred))
+      continue;
+    if (idealFailed(Goal.Result))
+      return Id;
+    if (!AnyMatch.isValid())
+      AnyMatch = Id;
+  }
+  return AnyMatch;
+}

@@ -1,0 +1,42 @@
+//===- analysis/CompilerDistance.h - The rustc report model ---*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models which node of the inference tree the Rust compiler's textual
+/// diagnostic reports, and measures how far that is from the true root
+/// cause — the Figure 12a comparison against rustc. Per Section 2.3,
+/// rustc's diagnostics follow a single failing chain and stop at branch
+/// points, so the reported node can sit strictly above the root cause.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ANALYSIS_COMPILERDISTANCE_H
+#define ARGUS_ANALYSIS_COMPILERDISTANCE_H
+
+#include "extract/InferenceTree.h"
+#include "tlang/Program.h"
+
+namespace argus {
+
+/// The goal node a rustc-style diagnostic blames: starting at the root,
+/// descend while exactly one candidate carries failing subgoals and that
+/// candidate has exactly one failing subgoal; stop at the first branch
+/// point (several failing alternatives) or at a leaf.
+IGoalId compilerReportedNode(const InferenceTree &Tree);
+
+/// Number of goal-to-goal edges between \p A and \p B (through their
+/// lowest common ancestor). The "inference steps a developer would have
+/// to manually trace" of Section 5.2.1; optimal value 0.
+size_t nodeDistance(const InferenceTree &Tree, IGoalId A, IGoalId B);
+
+/// Finds the goal whose (resolved) predicate equals \p Pred, preferring
+/// failed nodes; invalid if absent. Used to locate the annotated
+/// ground-truth root cause inside an extracted tree.
+IGoalId findGoalByPredicate(const InferenceTree &Tree, const Predicate &Pred);
+
+} // namespace argus
+
+#endif // ARGUS_ANALYSIS_COMPILERDISTANCE_H

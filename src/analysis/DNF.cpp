@@ -1,0 +1,141 @@
+//===- analysis/DNF.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DNF.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace argus;
+
+DNFFormula DNFFormula::atom(IGoalId Id) {
+  DNFFormula F;
+  F.Conjuncts.push_back({Id});
+  return F;
+}
+
+/// True if \p Sub is a subset of \p Super (both sorted).
+static bool isSubset(const std::vector<IGoalId> &Sub,
+                     const std::vector<IGoalId> &Super) {
+  return std::includes(Super.begin(), Super.end(), Sub.begin(), Sub.end());
+}
+
+void argus::absorb(std::vector<std::vector<IGoalId>> &Conjuncts) {
+  // Sort by size so potential absorbers precede the conjuncts they
+  // absorb; then keep a conjunct only if no kept conjunct is its subset.
+  std::sort(Conjuncts.begin(), Conjuncts.end(),
+            [](const std::vector<IGoalId> &A, const std::vector<IGoalId> &B) {
+              if (A.size() != B.size())
+                return A.size() < B.size();
+              return A < B;
+            });
+  Conjuncts.erase(std::unique(Conjuncts.begin(), Conjuncts.end()),
+                  Conjuncts.end());
+
+  std::vector<std::vector<IGoalId>> Kept;
+  for (std::vector<IGoalId> &Conjunct : Conjuncts) {
+    bool Absorbed = false;
+    for (const std::vector<IGoalId> &Smaller : Kept)
+      if (isSubset(Smaller, Conjunct)) {
+        Absorbed = true;
+        break;
+      }
+    if (!Absorbed)
+      Kept.push_back(std::move(Conjunct));
+  }
+  Conjuncts = std::move(Kept);
+}
+
+DNFFormula argus::disjoinDNF(DNFFormula A, DNFFormula B) {
+  if (A.IsTrue || B.IsTrue)
+    return DNFFormula::trueFormula();
+  DNFFormula Out;
+  Out.Conjuncts = std::move(A.Conjuncts);
+  Out.Conjuncts.insert(Out.Conjuncts.end(),
+                       std::make_move_iterator(B.Conjuncts.begin()),
+                       std::make_move_iterator(B.Conjuncts.end()));
+  absorb(Out.Conjuncts);
+  return Out;
+}
+
+DNFFormula argus::conjoinDNF(const DNFFormula &A, const DNFFormula &B) {
+  if (A.IsTrue)
+    return B;
+  if (B.IsTrue)
+    return A;
+  if (A.isFalse() || B.isFalse())
+    return DNFFormula::falseFormula();
+  DNFFormula Out;
+  Out.Conjuncts.reserve(A.Conjuncts.size() * B.Conjuncts.size());
+  for (const std::vector<IGoalId> &CA : A.Conjuncts)
+    for (const std::vector<IGoalId> &CB : B.Conjuncts) {
+      std::vector<IGoalId> Merged;
+      Merged.reserve(CA.size() + CB.size());
+      std::merge(CA.begin(), CA.end(), CB.begin(), CB.end(),
+                 std::back_inserter(Merged));
+      Merged.erase(std::unique(Merged.begin(), Merged.end()), Merged.end());
+      Out.Conjuncts.push_back(std::move(Merged));
+    }
+  absorb(Out.Conjuncts);
+  return Out;
+}
+
+namespace {
+
+/// Atoms are *predicates*, not tree positions: the same failing predicate
+/// reached through two branches is one atom, represented by its first
+/// leaf occurrence.
+using AtomMap = std::unordered_map<Predicate, IGoalId, PredicateHasher>;
+
+} // namespace
+
+static DNFFormula formulaFor(const InferenceTree &Tree, IGoalId Id,
+                             AtomMap &Atoms) {
+  const IdealGoal &Goal = Tree.goal(Id);
+  if (!idealFailed(Goal.Result))
+    return DNFFormula::trueFormula();
+
+  // Leaf atom: nothing failed beneath this goal, so the fix is to make
+  // this very predicate hold.
+  if (!Tree.hasFailedDescendant(Id)) {
+    auto [It, Inserted] = Atoms.emplace(Goal.Pred, Id);
+    (void)Inserted;
+    return DNFFormula::atom(It->second);
+  }
+
+  // Interior: the goal holds if some candidate's failing subgoals all get
+  // fixed.
+  DNFFormula Out = DNFFormula::falseFormula();
+  for (ICandId CandId : Goal.Candidates) {
+    const IdealCandidate &Cand = Tree.candidate(CandId);
+    bool AnyFailingSubgoal = false;
+    DNFFormula CandFormula = DNFFormula::trueFormula();
+    for (IGoalId Sub : Cand.SubGoals) {
+      if (!idealFailed(Tree.goal(Sub).Result))
+        continue;
+      AnyFailingSubgoal = true;
+      CandFormula = conjoinDNF(CandFormula, formulaFor(Tree, Sub, Atoms));
+    }
+    // A failing candidate with no failing subgoals (e.g. a builtin
+    // signature mismatch) offers no atom-level fix along this branch.
+    if (!AnyFailingSubgoal)
+      continue;
+    Out = disjoinDNF(std::move(Out), std::move(CandFormula));
+  }
+  return Out;
+}
+
+DNFFormula argus::computeMCS(const InferenceTree &Tree) {
+  if (!Tree.rootId().isValid())
+    return DNFFormula::trueFormula();
+  AtomMap Atoms;
+  return formulaFor(Tree, Tree.rootId(), Atoms);
+}
+
+size_t argus::formulaTreeSize(const InferenceTree &Tree) {
+  return Tree.size();
+}

@@ -1,0 +1,72 @@
+//===- analysis/DNF.h - Tree -> DNF -> correction subsets -----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inertia heuristic's first stage (Section 3.3): treat the AND/OR
+/// inference tree as a propositional formula over its failed leaf
+/// predicates and normalize it into disjunctive normal form. Each DNF
+/// conjunct is a *correction set*: a set of failing predicates that, made
+/// true, would let the root proof succeed. Absorption pruning keeps only
+/// the minimal ones (the minimum correction subsets, MCS).
+///
+/// Normalization is worst-case exponential; Figure 12b measures that in
+/// practice it stays in single-digit milliseconds at paper-scale trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ANALYSIS_DNF_H
+#define ARGUS_ANALYSIS_DNF_H
+
+#include "extract/InferenceTree.h"
+
+#include <vector>
+
+namespace argus {
+
+/// A DNF formula over failed-leaf goal ids. Each conjunct is a sorted,
+/// deduplicated vector of goal ids; the formula is the disjunction of its
+/// conjuncts. An empty conjunct list with IsTrue unset means "cannot be
+/// fixed by atom assignments" (does not occur for trees produced by the
+/// extractor).
+struct DNFFormula {
+  bool IsTrue = false;
+  std::vector<std::vector<IGoalId>> Conjuncts;
+
+  static DNFFormula trueFormula() {
+    DNFFormula F;
+    F.IsTrue = true;
+    return F;
+  }
+  static DNFFormula falseFormula() { return DNFFormula(); }
+  static DNFFormula atom(IGoalId Id);
+
+  bool isFalse() const { return !IsTrue && Conjuncts.empty(); }
+};
+
+/// Disjunction / conjunction with absorption pruning.
+DNFFormula disjoinDNF(DNFFormula A, DNFFormula B);
+DNFFormula conjoinDNF(const DNFFormula &A, const DNFFormula &B);
+
+/// Removes duplicate conjuncts and any conjunct that is a strict superset
+/// of another (absorption: X + XY = X).
+void absorb(std::vector<std::vector<IGoalId>> &Conjuncts);
+
+/// Computes the correction-set formula of \p Tree:
+///  - a successful goal is TRUE;
+///  - a failed goal with no failing descendants is an atom (it must
+///    itself be made to hold);
+///  - an interior failed goal is the OR over its candidates' AND of
+///    failing subgoal formulas.
+/// The result's conjuncts are the minimum correction subsets.
+DNFFormula computeMCS(const InferenceTree &Tree);
+
+/// Counts the number of (goal, candidate) nodes visited by computeMCS —
+/// the tree size reported on Figure 12b's x axis.
+size_t formulaTreeSize(const InferenceTree &Tree);
+
+} // namespace argus
+
+#endif // ARGUS_ANALYSIS_DNF_H

@@ -1,0 +1,146 @@
+//===- analysis/GoalKind.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GoalKind.h"
+
+using namespace argus;
+
+size_t GoalKind::weight() const {
+  switch (Kind) {
+  case Tag::Trait:
+    if (SelfLoc == Locality::Local && TraitLoc == Locality::Local)
+      return 0;
+    if (SelfLoc == Locality::External && TraitLoc == Locality::External)
+      return 2;
+    return 1; // Mixed locality.
+  case Tag::FnToTrait:
+    if (TraitLoc == Locality::Local)
+      return 1;
+    return 4 + 5 * Arity;
+  case Tag::TyAsCallable:
+    return 4 + 5 * Arity;
+  case Tag::TyChange:
+    return 4;
+  case Tag::IncorrectParams:
+    return 5 * Arity;
+  case Tag::AddFnParams:
+  case Tag::DeleteFnParams:
+    return 5 * Delta;
+  case Tag::Misc:
+    return 50;
+  }
+  return 50;
+}
+
+const char *GoalKind::tagName() const {
+  switch (Kind) {
+  case Tag::Trait:
+    return "Trait";
+  case Tag::TyChange:
+    return "TyChange";
+  case Tag::FnToTrait:
+    return "FnToTrait";
+  case Tag::TyAsCallable:
+    return "TyAsCallable";
+  case Tag::DeleteFnParams:
+    return "DeleteFnParams";
+  case Tag::AddFnParams:
+    return "AddFnParams";
+  case Tag::IncorrectParams:
+    return "IncorrectParams";
+  case Tag::Misc:
+    return "Misc";
+  }
+  return "?";
+}
+
+/// Parameter count of a FnDef/FnPtr type (Args minus the return type).
+static size_t fnArity(const TypeArena &Arena, TypeId Ty) {
+  const Type &Node = Arena.get(Ty);
+  if (Node.Kind != TypeKind::FnDef && Node.Kind != TypeKind::FnPtr)
+    return 0;
+  return Node.Args.size() - 1;
+}
+
+GoalKind argus::classifyGoal(const Program &Prog, const Predicate &Pred) {
+  const TypeArena &Arena = Prog.session().types();
+  GoalKind Result;
+
+  switch (Pred.Kind) {
+  case PredicateKind::Projection:
+  case PredicateKind::NormalizesTo:
+    // Fixing `pi == tau` means changing a type or an associated-type
+    // binding.
+    Result.Kind = GoalKind::Tag::TyChange;
+    return Result;
+
+  case PredicateKind::Outlives:
+  case PredicateKind::RegionOutlives:
+  case PredicateKind::WellFormed:
+  case PredicateKind::Sized:
+    Result.Kind = GoalKind::Tag::Misc;
+    return Result;
+
+  case PredicateKind::Trait:
+    break;
+  }
+
+  const Type &Subject = Arena.get(Pred.Subject);
+  const TraitDecl *Trait = Prog.findTrait(Pred.Trait);
+  Locality TraitLoc = Prog.localityOf(Pred.Trait);
+  bool SubjectIsFn =
+      Subject.Kind == TypeKind::FnDef || Subject.Kind == TypeKind::FnPtr;
+  bool TraitIsFnLike = Trait && Trait->IsFnTrait;
+
+  if (SubjectIsFn && TraitIsFnLike) {
+    // A function failed a function-trait bound: the signatures disagree.
+    // Compare arities against the expected signature when it is visible
+    // in the trait arguments.
+    size_t Actual = fnArity(Arena, Pred.Subject);
+    size_t Expected = Actual;
+    if (Pred.Args.size() == 1) {
+      const Type &Sig = Arena.get(Pred.Args[0]);
+      if (Sig.Kind == TypeKind::FnPtr)
+        Expected = Sig.Args.size() - 1;
+    }
+    if (Actual > Expected) {
+      Result.Kind = GoalKind::Tag::DeleteFnParams;
+      Result.Delta = Actual - Expected;
+    } else if (Actual < Expected) {
+      Result.Kind = GoalKind::Tag::AddFnParams;
+      Result.Delta = Expected - Actual;
+    } else {
+      Result.Kind = GoalKind::Tag::IncorrectParams;
+      Result.Arity = Actual;
+    }
+    return Result;
+  }
+
+  if (SubjectIsFn) {
+    // A function needs to implement an ordinary trait: only possible via
+    // blanket impls, or by newtype-wrapping the function.
+    Result.Kind = GoalKind::Tag::FnToTrait;
+    Result.TraitLoc = TraitLoc;
+    Result.Arity = fnArity(Arena, Pred.Subject);
+    return Result;
+  }
+
+  if (TraitIsFnLike) {
+    // A non-function value is being used as a callable.
+    Result.Kind = GoalKind::Tag::TyAsCallable;
+    if (Pred.Args.size() == 1) {
+      const Type &Sig = Arena.get(Pred.Args[0]);
+      if (Sig.Kind == TypeKind::FnPtr)
+        Result.Arity = Sig.Args.size() - 1;
+    }
+    return Result;
+  }
+
+  Result.Kind = GoalKind::Tag::Trait;
+  Result.SelfLoc = Prog.typeLocality(Pred.Subject);
+  Result.TraitLoc = TraitLoc;
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- analysis/GoalKind.h - Appendix A.1 fix categories ------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight categories of failed predicates and their weights, ported
+/// verbatim from the Rust code in the paper's Appendix A.1. A category
+/// models the *kind of patch* needed to make the predicate hold, and the
+/// weight models that patch's expected complexity (the "inertia" of the
+/// failure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ANALYSIS_GOALKIND_H
+#define ARGUS_ANALYSIS_GOALKIND_H
+
+#include "extract/InferenceTree.h"
+#include "tlang/Program.h"
+
+namespace argus {
+
+/// Mirrors `enum GoalKind` from Appendix A.1.
+struct GoalKind {
+  enum class Tag : uint8_t {
+    Trait,          ///< A plain trait bound; locality decides the weight.
+    TyChange,       ///< An equality constraint needing a type to change.
+    FnToTrait,      ///< A fn item needs to implement a non-fn trait.
+    TyAsCallable,   ///< A non-fn type is used where a callable is needed.
+    DeleteFnParams, ///< A function takes `delta` too many parameters.
+    AddFnParams,    ///< A function takes `delta` too few parameters.
+    IncorrectParams,///< Right arity, wrong parameter types.
+    Misc,           ///< Anything else (region errors, internal kinds).
+  };
+
+  Tag Kind = Tag::Misc;
+  Locality SelfLoc = Locality::Local;  ///< Trait.
+  Locality TraitLoc = Locality::Local; ///< Trait, FnToTrait.
+  size_t Arity = 0;                    ///< FnToTrait, TyAsCallable,
+                                       ///< IncorrectParams.
+  size_t Delta = 0;                    ///< Add/DeleteFnParams.
+
+  /// The Appendix A.1 weight table, verbatim:
+  ///   Trait{L,L} -> 0
+  ///   Trait{L,E} | Trait{E,L} | FnToTrait{trait: L} -> 1
+  ///   Trait{E,E} -> 2
+  ///   TyChange -> 4
+  ///   IncorrectParams{arity} | AddFnParams{delta}
+  ///     | DeleteFnParams{delta} -> 5 * delta
+  ///   FnToTrait{trait: E, arity} | TyAsCallable{arity} -> 4 + 5 * arity
+  ///   Misc -> 50
+  size_t weight() const;
+
+  /// Short name for debugging and benchmark tables.
+  const char *tagName() const;
+};
+
+/// Classifies a failed predicate by structure, following Section 3.3: the
+/// subject/trait localities feed the orphan-rule categories; fn-item
+/// subjects feed the function-trait categories; projection mismatches are
+/// type changes.
+GoalKind classifyGoal(const Program &Prog, const Predicate &Pred);
+
+} // namespace argus
+
+#endif // ARGUS_ANALYSIS_GOALKIND_H

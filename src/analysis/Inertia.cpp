@@ -1,0 +1,112 @@
+//===- analysis/Inertia.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inertia.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+using namespace argus;
+
+InertiaResult argus::rankByInertiaWith(const Program &Prog,
+                                       const InferenceTree &Tree,
+                                       const WeightFn &Weight) {
+  InertiaResult Result;
+  std::vector<IGoalId> Leaves = Tree.failedLeaves();
+
+  // Classify and weigh every leaf.
+  std::unordered_map<uint32_t, size_t> LeafWeight;
+  std::unordered_map<uint32_t, GoalKind> LeafKind;
+  for (IGoalId Leaf : Leaves) {
+    GoalKind Kind = classifyGoal(Prog, Tree.goal(Leaf).Pred);
+    LeafWeight[Leaf.value()] = Weight(Kind);
+    LeafKind[Leaf.value()] = Kind;
+  }
+
+  // Enumerate the minimum correction subsets and score each conjunct.
+  DNFFormula Formula = computeMCS(Tree);
+  Result.MCS = Formula.Conjuncts;
+  Result.ConjunctScores.reserve(Result.MCS.size());
+  for (const std::vector<IGoalId> &Conjunct : Result.MCS) {
+    size_t Score = 0;
+    for (IGoalId Member : Conjunct) {
+      auto It = LeafWeight.find(Member.value());
+      Score += It != LeafWeight.end()
+                   ? It->second
+                   : Weight(classifyGoal(Prog, Tree.goal(Member).Pred));
+    }
+    Result.ConjunctScores.push_back(Score);
+  }
+
+  // Each leaf's score: the best conjunct containing its predicate (MCS
+  // atoms are canonicalized by predicate, so duplicate leaves share a
+  // score); predicates absent from every minimal conjunct sort after all
+  // present ones.
+  const size_t Absent = std::numeric_limits<size_t>::max();
+  std::unordered_map<Predicate, size_t, PredicateHasher> BestScore;
+  for (size_t I = 0; I != Result.MCS.size(); ++I)
+    for (IGoalId Member : Result.MCS[I]) {
+      const Predicate &Pred = Tree.goal(Member).Pred;
+      auto [It, Inserted] = BestScore.emplace(Pred, Result.ConjunctScores[I]);
+      if (!Inserted)
+        It->second = std::min(It->second, Result.ConjunctScores[I]);
+    }
+
+  // Stable sort keeps tree order among ties.
+  Result.Order = Leaves;
+  auto ScoreOf = [&](IGoalId Leaf) {
+    auto It = BestScore.find(Tree.goal(Leaf).Pred);
+    return It == BestScore.end() ? Absent : It->second;
+  };
+  std::stable_sort(Result.Order.begin(), Result.Order.end(),
+                   [&](IGoalId A, IGoalId B) {
+                     size_t SA = ScoreOf(A);
+                     size_t SB = ScoreOf(B);
+                     if (SA != SB)
+                       return SA < SB;
+                     // Among equally-scored leaves (or leaves outside
+                     // every MCS), lighter individual weight first.
+                     return LeafWeight[A.value()] < LeafWeight[B.value()];
+                   });
+
+  for (IGoalId Leaf : Result.Order) {
+    Result.Kinds.push_back(LeafKind[Leaf.value()]);
+    Result.Weights.push_back(LeafWeight[Leaf.value()]);
+    size_t Score = ScoreOf(Leaf);
+    Result.BestScores.push_back(Score);
+  }
+  return Result;
+}
+
+InertiaResult argus::rankByInertia(const Program &Prog,
+                                   const InferenceTree &Tree) {
+  return rankByInertiaWith(Prog, Tree,
+                           [](const GoalKind &Kind) { return Kind.weight(); });
+}
+
+std::vector<IGoalId> argus::rankByDepth(const InferenceTree &Tree) {
+  std::vector<IGoalId> Order = Tree.failedLeaves();
+  std::stable_sort(Order.begin(), Order.end(), [&](IGoalId A, IGoalId B) {
+    return Tree.goal(A).Depth > Tree.goal(B).Depth;
+  });
+  return Order;
+}
+
+std::vector<IGoalId> argus::rankByInferVars(const InferenceTree &Tree) {
+  std::vector<IGoalId> Order = Tree.failedLeaves();
+  std::stable_sort(Order.begin(), Order.end(), [&](IGoalId A, IGoalId B) {
+    return Tree.goal(A).UnresolvedVars < Tree.goal(B).UnresolvedVars;
+  });
+  return Order;
+}
+
+size_t argus::rankOf(const std::vector<IGoalId> &Order, IGoalId Target) {
+  for (size_t I = 0; I != Order.size(); ++I)
+    if (Order[I] == Target)
+      return I;
+  return Order.size();
+}

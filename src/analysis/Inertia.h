@@ -1,0 +1,73 @@
+//===- analysis/Inertia.h - Ranking failed predicates ---------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inertia heuristic (Section 3.3) and the baseline rankings it is
+/// compared against in Figure 12a. All rankings order the failed leaves
+/// of an idealized inference tree; the bottom-up view presents them in
+/// that order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ANALYSIS_INERTIA_H
+#define ARGUS_ANALYSIS_INERTIA_H
+
+#include "analysis/DNF.h"
+#include "analysis/GoalKind.h"
+
+#include <functional>
+#include <vector>
+
+namespace argus {
+
+/// Everything inertia computes for one tree, kept for display and tests.
+struct InertiaResult {
+  /// Failed leaves, best (lowest inertia) first; ties keep tree order.
+  std::vector<IGoalId> Order;
+
+  /// The minimum correction subsets (DNF conjuncts).
+  std::vector<std::vector<IGoalId>> MCS;
+
+  /// Score of each MCS conjunct (sum of member predicate weights),
+  /// parallel to MCS.
+  std::vector<size_t> ConjunctScores;
+
+  /// Per-leaf: the categorized kind, its weight, and the best (lowest)
+  /// score among conjuncts containing it, parallel to Order.
+  std::vector<GoalKind> Kinds;
+  std::vector<size_t> Weights;
+  std::vector<size_t> BestScores;
+};
+
+/// Weight override hook for ablations; the default is
+/// GoalKind::weight().
+using WeightFn = std::function<size_t(const GoalKind &)>;
+
+/// Ranks the failed leaves of \p Tree by inertia: enumerate MCS via DNF,
+/// score each conjunct by summing its members' category weights, and
+/// order each leaf by the best-scoring conjunct containing it. Leaves in
+/// no minimal conjunct sort last (by their own weight).
+InertiaResult rankByInertia(const Program &Prog, const InferenceTree &Tree);
+InertiaResult rankByInertiaWith(const Program &Prog,
+                                const InferenceTree &Tree,
+                                const WeightFn &Weight);
+
+/// Baseline: order by depth in the inference tree, deepest first (the
+/// most specific failure is assumed most actionable).
+std::vector<IGoalId> rankByDepth(const InferenceTree &Tree);
+
+/// Baseline: order by the number of uninstantiated inference variables in
+/// the predicate, fewest first (a fully concrete predicate is assumed
+/// most actionable).
+std::vector<IGoalId> rankByInferVars(const InferenceTree &Tree);
+
+/// The index of \p Target in \p Order; Order.size() if absent. The
+/// Figure 12a metric for ranking-based approaches (optimal value 0).
+size_t rankOf(const std::vector<IGoalId> &Order, IGoalId Target);
+
+} // namespace argus
+
+#endif // ARGUS_ANALYSIS_INERTIA_H

@@ -1,0 +1,101 @@
+//===- analysis/Suggestions.cpp -------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Suggestions.h"
+
+#include "solver/Solver.h"
+#include "tlang/Printer.h"
+
+#include <unordered_set>
+
+using namespace argus;
+
+std::vector<FixSuggestion> argus::suggestFixes(const Program &Prog,
+                                               const Predicate &FailedLeaf) {
+  std::vector<FixSuggestion> Out;
+  Session &S = Prog.session();
+  PrintOptions Opts;
+  Opts.DisambiguateShortNames = true;
+  TypePrinter Printer(Prog, Opts);
+
+  if (FailedLeaf.Kind == PredicateKind::Projection) {
+    FixSuggestion Suggestion;
+    Suggestion.SuggestionKind = FixSuggestion::Kind::ChangeType;
+    Suggestion.Rendered =
+        "make `" + Printer.print(FailedLeaf.Subject) + "` equal `" +
+        Printer.print(FailedLeaf.Rhs) +
+        "`: change the projected type or the associated-type binding of "
+        "the impl that provides it";
+    Out.push_back(std::move(Suggestion));
+    return Out;
+  }
+
+  if (FailedLeaf.Kind != PredicateKind::Trait)
+    return Out;
+
+  // Wrapper hypotheses: for every impl of the trait whose self type is a
+  // constructor application, plug the failing subject into each generic
+  // slot and let the solver verify the result.
+  std::unordered_set<uint32_t> Seen;
+  for (ImplId ImplIdx : Prog.implsOf(FailedLeaf.Trait)) {
+    const ImplDecl &Decl = Prog.impl(ImplIdx);
+    if (S.types().get(Decl.SelfTy).Kind != TypeKind::Adt)
+      continue; // Blanket and function impls do not wrap.
+    for (Symbol Generic : Decl.Generics) {
+      ParamSubst Subst;
+      Subst.emplace(Generic, FailedLeaf.Subject);
+      TypeId Hypothesis = S.types().substitute(Decl.SelfTy, Subst);
+      if (Hypothesis == Decl.SelfTy)
+        continue; // The generic does not occur in the self type.
+      if (S.types().hasParams(Hypothesis))
+        continue; // Other unknown slots remain; cannot verify.
+      if (!Seen.insert(Hypothesis.value()).second)
+        continue;
+
+      // Verify the hypothesis with a fresh solve.
+      Predicate Goal = Predicate::traitBound(Hypothesis, FailedLeaf.Trait,
+                                             FailedLeaf.Args);
+      Solver Solve(Prog);
+      SolveOutcome Scratch;
+      GoalNodeId Root = Solve.solveOne(Scratch, Goal, {});
+      if (Scratch.Forest.goal(Root).Result != EvalResult::Yes)
+        continue;
+
+      FixSuggestion Suggestion;
+      Suggestion.SuggestionKind = FixSuggestion::Kind::WrapInType;
+      Suggestion.SuggestedType = Hypothesis;
+      Suggestion.ViaImpl = ImplIdx;
+      Suggestion.Rendered = "replace `" +
+                            Printer.print(FailedLeaf.Subject) +
+                            "` with `" + Printer.print(Hypothesis) +
+                            "` (verified: `" + Printer.print(Hypothesis) +
+                            ": " +
+                            Printer.printTraitRef(FailedLeaf.Trait,
+                                                  FailedLeaf.Args) +
+                            "` holds via " +
+                            Printer.printImplHeader(Decl) + ")";
+      Out.push_back(std::move(Suggestion));
+    }
+  }
+
+  // Writing a new impl is possible whenever the orphan rule allows it.
+  bool SubjectLocal =
+      Prog.typeLocality(FailedLeaf.Subject) == Locality::Local;
+  bool TraitLocal = Prog.localityOf(FailedLeaf.Trait) == Locality::Local;
+  if (SubjectLocal || TraitLocal) {
+    FixSuggestion Suggestion;
+    Suggestion.SuggestionKind = FixSuggestion::Kind::ImplementTrait;
+    Suggestion.Rendered =
+        "write `impl " +
+        Printer.printTraitRef(FailedLeaf.Trait, FailedLeaf.Args) +
+        " for " + Printer.print(FailedLeaf.Subject) +
+        "` (the orphan rule allows it: " +
+        (SubjectLocal ? "the type is local" : "the trait is local") + ")";
+    Out.push_back(std::move(Suggestion));
+  }
+
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- analysis/Suggestions.h - Fix suggestions ---------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fix suggestions for failed leaf predicates — the "trait debugging
+/// beyond localization" direction of the paper's Section 7.1. Given a
+/// failed bound like `Timer: SystemParam`, the engine queries the trait's
+/// implementors (the same data behind the CtxtLinks popup) and *solves*
+/// each wrapper hypothesis: does `ResMut<Timer>: SystemParam` hold? Only
+/// hypotheses the solver proves are suggested, which is exactly the
+/// manual workflow the paper describes (inspect the implementors of
+/// SystemParam, find ResMut<T>, check T: Resource).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ANALYSIS_SUGGESTIONS_H
+#define ARGUS_ANALYSIS_SUGGESTIONS_H
+
+#include "tlang/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace argus {
+
+struct FixSuggestion {
+  enum class Kind : uint8_t {
+    WrapInType,     ///< Replace `T` by `W<T>`; the solver verified
+                    ///< `W<T>: Trait`.
+    ImplementTrait, ///< Write `impl Trait for T` (allowed by the orphan
+                    ///< rule).
+    ChangeType,     ///< A projection mismatch: change the type or the
+                    ///< associated binding so the equality holds.
+  };
+
+  Kind SuggestionKind;
+  /// Human-readable suggestion, e.g. "replace `Timer` with
+  /// `ResMut<Timer>` (then `Timer: Resource` must hold — it does)".
+  std::string Rendered;
+  /// WrapInType: the verified replacement type.
+  TypeId SuggestedType;
+  /// WrapInType: the impl that makes the replacement work.
+  ImplId ViaImpl;
+};
+
+/// Computes fix suggestions for one failed leaf predicate. The
+/// suggestions are verified: every WrapInType candidate was re-solved
+/// against \p Prog and only provable ones survive. Ordered cheapest
+/// first (wrapping before implementing).
+std::vector<FixSuggestion> suggestFixes(const Program &Prog,
+                                        const Predicate &FailedLeaf);
+
+} // namespace argus
+
+#endif // ARGUS_ANALYSIS_SUGGESTIONS_H

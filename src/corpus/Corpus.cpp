@@ -1,0 +1,52 @@
+//===- corpus/Corpus.cpp - Suite aggregation and loading ------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace argus;
+
+const std::vector<CorpusEntry> &argus::evaluationSuite() {
+  static const std::vector<CorpusEntry> Suite = [] {
+    std::vector<CorpusEntry> All;
+    auto Append = [&All](std::vector<CorpusEntry> Entries) {
+      for (CorpusEntry &Entry : Entries)
+        All.push_back(std::move(Entry));
+    };
+    Append(dieselEntries());
+    Append(bevyEntries());
+    Append(axumEntries());
+    Append(astEntries());
+    Append(brewEntries());
+    Append(spaceEntries());
+    assert(All.size() == 17 && "the evaluation suite has 17 programs");
+    return All;
+  }();
+  return Suite;
+}
+
+LoadedProgram argus::loadEntry(const CorpusEntry &Entry) {
+  LoadedProgram Loaded;
+  Loaded.S = std::make_unique<Session>();
+  Loaded.Prog = std::make_unique<Program>(*Loaded.S);
+  ParseResult Result =
+      parseSource(*Loaded.Prog, Entry.Id + ".tl", Entry.Source);
+  if (!Result.Success) {
+    // Corpus programs are fixtures: failing to parse is a bug in this
+    // repository, not user input.
+    fprintf(stderr, "corpus entry '%s' failed to parse:\n%s",
+            Entry.Id.c_str(),
+            Result.describe(Loaded.S->sources()).c_str());
+    abort();
+  }
+  assert(!Loaded.Prog->goals().empty() && "corpus entry without goals");
+  assert(!Loaded.Prog->rootCauses().empty() &&
+         "corpus entry without ground truth");
+  return Loaded;
+}

@@ -1,0 +1,70 @@
+//===- corpus/Corpus.h - The evaluation program suite ---------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 17-program evaluation suite used by the Figure 12a experiment,
+/// standing in for the paper's curation of Semmler's corpus of complex
+/// trait errors. Each entry is an L_TRAIT program with a single injected
+/// fault and a `root_cause` annotation naming the ground-truth failing
+/// predicate.
+///
+/// Families mirror the paper's materials:
+///  - diesel: miniature model of the Diesel query builder (Section 2.1);
+///  - bevy: miniature model of Bevy's ECS system registration
+///    (Section 2.3);
+///  - axum: miniature model of Axum's handler traits;
+///  - ast: the associated-type recursion of Section 2.2, plus another
+///    overflow shape;
+///  - brew and space: the paper's synthetic libraries (potion recipes and
+///    flight plans), structurally mirroring the real ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_CORPUS_CORPUS_H
+#define ARGUS_CORPUS_CORPUS_H
+
+#include "tlang/Parser.h"
+#include "tlang/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace argus {
+
+struct CorpusEntry {
+  std::string Id;          ///< e.g. "diesel-missing-join".
+  std::string Family;      ///< "diesel", "bevy", "axum", "ast", "brew",
+                           ///< "space".
+  std::string Description; ///< The injected fault, in one sentence.
+  std::string Source;      ///< The DSL program text.
+};
+
+/// The full 17-program suite, in stable order.
+const std::vector<CorpusEntry> &evaluationSuite();
+
+/// Entries contributed by each family (concatenated by
+/// evaluationSuite()).
+std::vector<CorpusEntry> dieselEntries();
+std::vector<CorpusEntry> bevyEntries();
+std::vector<CorpusEntry> axumEntries();
+std::vector<CorpusEntry> astEntries();
+std::vector<CorpusEntry> brewEntries();
+std::vector<CorpusEntry> spaceEntries();
+
+/// A parsed corpus program with its owning session.
+struct LoadedProgram {
+  std::unique_ptr<Session> S;
+  std::unique_ptr<Program> Prog;
+};
+
+/// Parses \p Entry; aborts (assert) on parse errors — corpus programs are
+/// fixtures and must always parse.
+LoadedProgram loadEntry(const CorpusEntry &Entry);
+
+} // namespace argus
+
+#endif // ARGUS_CORPUS_CORPUS_H

@@ -1,0 +1,95 @@
+//===- corpus/CorpusAxum.cpp - Axum-family programs -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miniature model of the Axum web framework's handler machinery: a
+/// Handler trait with a marker parameter (the same coherence trick as
+/// Bevy), FromRequest extractors, and IntoResponse return types.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace argus;
+
+namespace {
+
+const char *AxumPrelude = R"(
+// --- axum library (external) ---
+#[external] struct axum::Json<T>;
+#[external] struct axum::extract::State<T>;
+#[external] struct axum::response::Html;
+#[external] struct axum::IsFunctionHandler;
+#[external] struct axum::IsService;
+
+#[external] trait axum::Handler<Marker>;
+#[external] trait axum::FromRequest;
+#[external] trait axum::IntoResponse;
+#[external] trait axum::Service;
+#[external] trait serde::Deserialize;
+#[external] trait core::Clone;
+#[external, fn_trait] trait axum::HandlerFn<Sig>;
+
+// Tower plumbing behind the Service alternative.
+#[external] trait tower::TowerService;
+#[external] impl<Svc> Service for Svc where Svc: TowerService;
+
+// The Service alternative is assembled first (impl declaration order).
+#[external] impl<Svc> Handler<IsService> for Svc where Svc: Service;
+#[external] impl<P, R, F> Handler<(IsFunctionHandler, fn(P) -> R)> for F
+  where F: HandlerFn<fn(P) -> R>, P: FromRequest, R: IntoResponse;
+
+#[external] impl<T> FromRequest for Json<T> where T: Deserialize;
+#[external] impl<T> FromRequest for State<T> where T: Clone;
+#[external] impl IntoResponse for Html;
+)";
+
+} // namespace
+
+std::vector<CorpusEntry> argus::axumEntries() {
+  std::vector<CorpusEntry> Entries;
+
+  // 7. The classic Axum pitfall: a Json<T> extractor whose payload type
+  // is missing #[derive(Deserialize)].
+  Entries.push_back(CorpusEntry{
+      "axum-handler-deserialize", "axum",
+      "Json extractor payload lacks a Deserialize implementation",
+      std::string(AxumPrelude) + R"(
+struct UserPayload; // forgot #[derive(Deserialize)]
+fn create_user(Json<UserPayload>) -> Html;
+// app.route("/users", post(create_user))
+goal create_user: Handler<?M>;
+root_cause UserPayload: Deserialize;
+)"});
+
+  // 8. A handler returning an application type that does not implement
+  // IntoResponse.
+  Entries.push_back(CorpusEntry{
+      "axum-missing-intoresponse", "axum",
+      "Handler return type lacks IntoResponse",
+      std::string(AxumPrelude) + R"(
+struct ApiResult; // no IntoResponse impl
+struct LoginPayload;
+impl Deserialize for LoginPayload;
+fn login(Json<LoginPayload>) -> ApiResult;
+goal login: Handler<?M>;
+root_cause ApiResult: IntoResponse;
+)"});
+
+  // 9. Shared state that is not Clone: State<AppState> requires
+  // AppState: Clone.
+  Entries.push_back(CorpusEntry{
+      "axum-state-clone", "axum",
+      "State extractor's AppState lacks Clone",
+      std::string(AxumPrelude) + R"(
+struct AppState; // forgot #[derive(Clone)]
+fn dashboard(State<AppState>) -> Html;
+goal dashboard: Handler<?M>;
+root_cause AppState: Clone;
+)"});
+
+  return Entries;
+}

@@ -1,0 +1,126 @@
+//===- corpus/CorpusBevy.cpp - Bevy-family programs -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miniature model of Bevy's ECS system registration: IntoSystem with the
+/// marker-type trick (two blanket impls kept coherent by distinct marker
+/// arguments, Section 2.3 footnote 1), SystemParam for the injectable
+/// parameter types, and the fn-trait plumbing connecting function items
+/// to systems.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace argus;
+
+namespace {
+
+const char *BevyPrelude = R"(
+// --- bevy library (external) ---
+#[external] struct bevy::ResMut<T>;
+#[external] struct bevy::Res<T>;
+#[external] struct bevy::Query<D, F>;
+#[external] struct bevy::Assets<T>;
+#[external] struct bevy::With<T>;
+#[external] struct bevy::IsFunctionSystem;
+#[external] struct bevy::IsSystem;
+
+#[external] trait bevy::Resource;
+#[external] trait bevy::Asset;
+#[external] trait bevy::SystemParam;
+#[external] trait bevy::QueryData;
+#[external] trait bevy::QueryFilter;
+#[external] trait bevy::System;
+#[external, fn_trait] trait bevy::SystemParamFunction<Sig>;
+#[external, on_unimplemented = "{Self} does not describe a valid system configuration"]
+trait bevy::IntoSystem<Marker>;
+
+#[external] impl<T> SystemParam for ResMut<T> where T: Resource;
+#[external] impl<T> SystemParam for Res<T> where T: Resource;
+#[external] impl<D, F> SystemParam for Query<D, F>
+  where D: QueryData, F: QueryFilter;
+#[external] impl<T> QueryFilter for With<T> where T: QueryData;
+
+// Internal machinery behind hand-written systems: everything that is a
+// System got there through the exclusive-system plumbing.
+#[external] trait bevy::ExclusiveSystemParam;
+#[external] impl<Sys> System for Sys where Sys: ExclusiveSystemParam;
+
+// The marker-type trick: both impls are blanket impls over all types,
+// kept coherent only by the distinct Marker argument. Rust must infer
+// the marker, which creates the branch point in the inference tree.
+// (The IsSystem alternative is assembled first, as candidate order
+// follows impl declaration order.)
+#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: System;
+#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for Func
+  where Func: SystemParamFunction<fn(P)>, P: SystemParam;
+)";
+
+} // namespace
+
+std::vector<CorpusEntry> argus::bevyEntries() {
+  std::vector<CorpusEntry> Entries;
+
+  // 4. The Figure 4 program: a system takes Timer by value instead of
+  // ResMut<Timer>.
+  Entries.push_back(CorpusEntry{
+      "bevy-resmut-missing", "bevy",
+      "System parameter written as Timer instead of ResMut<Timer> "
+      "(Figure 4 of the paper)",
+      std::string(BevyPrelude) + R"(
+struct Timer;
+impl Resource for Timer;
+// fn run_timer(mut timer: Timer) { .. }   -- forgot ResMut.
+fn run_timer(Timer);
+// App::new().add_systems(Update, run_timer)
+goal run_timer: IntoSystem<?M>;
+root_cause Timer: SystemParam;
+)"});
+
+  // 5. The Unofficial Bevy Cheat Book's "Assets<Mesh> without ResMut"
+  // pitfall, which the paper used as a study task (Section 5.1.1).
+  Entries.push_back(CorpusEntry{
+      "bevy-assets-mesh", "bevy",
+      "System takes Assets<Mesh> directly instead of ResMut<Assets<Mesh>>",
+      std::string(BevyPrelude) + R"(
+#[external] struct bevy::Mesh;
+#[external] impl Asset for Mesh;
+#[external] impl<T> Resource for Assets<T> where T: Asset;
+struct Position;
+impl QueryData for Position;
+struct Marker;
+impl QueryData for Marker;
+// fn setup(meshes: Assets<Mesh>, q: Query<Position, With<Marker>>)
+fn setup(Assets<Mesh>, Query<Position, With<Marker>>);
+#[external, fn_trait] trait bevy::SystemParamFunction2<Sig>;
+#[external] impl<P0, P1, Func> IntoSystem<(IsFunctionSystem, fn(P0, P1))>
+  for Func
+  where Func: SystemParamFunction2<fn(P0, P1)>,
+        P0: SystemParam, P1: SystemParam;
+goal setup: IntoSystem<?M>;
+root_cause Assets<Mesh>: SystemParam;
+)"});
+
+  // 6. A query whose filter slot holds a component (data) type: Position
+  // is QueryData, Enemy is not a QueryFilter.
+  Entries.push_back(CorpusEntry{
+      "bevy-query-filter", "bevy",
+      "Query filter slot holds a component type instead of a filter "
+      "(With<Enemy>)",
+      std::string(BevyPrelude) + R"(
+struct Position;
+struct Enemy;
+impl QueryData for Position;
+impl QueryData for Enemy;
+// fn ai(q: Query<Position, Enemy>)  -- should be With<Enemy>.
+fn ai(Query<Position, Enemy>);
+goal ai: IntoSystem<?M>;
+root_cause Enemy: QueryFilter;
+)"});
+
+  return Entries;
+}

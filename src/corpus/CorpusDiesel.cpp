@@ -1,0 +1,148 @@
+//===- corpus/CorpusDiesel.cpp - Diesel-family programs -------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miniature model of the Diesel query builder: enough trait machinery to
+/// reproduce the Section 2.1 failure shapes (the "missing join" chain
+/// through LoadQuery -> Query -> ValidWhereClause -> AppearsOnTable ->
+/// AppearsInFromClause::Count == Once), plus two more faults from the
+/// same family.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace argus;
+
+namespace {
+
+/// Shared library prelude: the Diesel trait machinery (external) and two
+/// application tables, users and posts (local, as the table! macro
+/// generates them in the user's crate).
+const char *DieselPrelude = R"(
+// --- diesel library (external) ---
+#[external] struct diesel::pg::PgConnection;
+#[external] struct diesel::Once;
+#[external] struct diesel::Never;
+#[external] struct diesel::sql_types::Integer;
+#[external] struct diesel::sql_types::Text;
+#[external] struct diesel::query_builder::SelectStatement<From, Sel, Wh>;
+#[external] struct diesel::query_builder::FromClause<T>;
+#[external] struct diesel::query_builder::SelectClause<T>;
+#[external] struct diesel::query_builder::WhereClause<T>;
+#[external] struct diesel::expression::Grouped<T>;
+#[external] struct diesel::expression::operators::Eq<L, R>;
+#[external] struct diesel::Row;
+
+#[external] trait diesel::Expression { type SqlType; }
+#[external] trait diesel::AppearsInFromClause<QS> { type Count; }
+#[external] trait diesel::AppearsOnTable<QS>;
+#[external] trait diesel::query_builder::ValidWhereClause<QS>;
+#[external] trait diesel::Query;
+#[external] trait diesel::LoadQuery<Conn, U>;
+
+#[external] impl<L, R, QS> AppearsOnTable<QS> for Eq<L, R>
+  where L: AppearsOnTable<QS>, R: AppearsOnTable<QS>;
+#[external] impl<T, QS> AppearsOnTable<QS> for Grouped<T>
+  where T: AppearsOnTable<QS>;
+#[external] impl<W, QS> ValidWhereClause<QS> for WhereClause<W>
+  where W: AppearsOnTable<QS>;
+#[external] impl<F, S, W> Query
+  for SelectStatement<FromClause<F>, SelectClause<S>, W>
+  where W: ValidWhereClause<F>, S: AppearsOnTable<F>;
+#[external] impl<T, Conn, U> LoadQuery<Conn, U> for T where T: Query;
+
+// --- application schema (generated locally by the table! macro) ---
+struct users::table;
+struct users::columns::id;
+struct users::columns::name;
+struct posts::table;
+struct posts::columns::id;
+
+impl AppearsInFromClause<users::table> for users::table {
+  type Count = Once;
+}
+impl AppearsInFromClause<posts::table> for users::table {
+  type Count = Never;
+}
+impl AppearsInFromClause<posts::table> for posts::table {
+  type Count = Once;
+}
+impl AppearsInFromClause<users::table> for posts::table {
+  type Count = Never;
+}
+
+impl Expression for users::columns::id { type SqlType = Integer; }
+impl Expression for users::columns::name { type SqlType = Text; }
+impl Expression for posts::columns::id { type SqlType = Integer; }
+
+impl<QS> AppearsOnTable<QS> for users::columns::id
+  where <QS as AppearsInFromClause<users::table>>::Count == Once;
+impl<QS> AppearsOnTable<QS> for users::columns::name
+  where <QS as AppearsInFromClause<users::table>>::Count == Once;
+impl<QS> AppearsOnTable<QS> for posts::columns::id
+  where <QS as AppearsInFromClause<posts::table>>::Count == Once;
+)";
+
+} // namespace
+
+std::vector<CorpusEntry> argus::dieselEntries() {
+  std::vector<CorpusEntry> Entries;
+
+  // 1. The Figure 2 program: filter on posts::id without joining posts.
+  // The query source is users::table alone, so the projection
+  // <users::table as AppearsInFromClause<posts::table>>::Count
+  // normalizes to Never instead of Once.
+  Entries.push_back(CorpusEntry{
+      "diesel-missing-join", "diesel",
+      "Query filters on posts::id but never joins the posts table "
+      "(Figure 2 of the paper)",
+      std::string(DieselPrelude) + R"(
+// users::table.filter(users::id.eq(posts::id)).select(users::name)
+//   .load(conn)  -- posts was never joined.
+goal SelectStatement<FromClause<users::table>,
+                     SelectClause<users::columns::name>,
+                     WhereClause<Grouped<Eq<users::columns::id,
+                                            posts::columns::id>>>>
+  : LoadQuery<PgConnection, Row>;
+root_cause <users::table as AppearsInFromClause<posts::table>>::Count
+  == Once;
+)"});
+
+  // 2. Selecting a column from a table that is not in the FROM clause at
+  // all (select posts::id from users): the select-clause bound fails.
+  Entries.push_back(CorpusEntry{
+      "diesel-select-foreign-column", "diesel",
+      "SELECT references posts::id while querying only users",
+      std::string(DieselPrelude) + R"(
+// users::table.select(posts::id).load(conn)
+goal SelectStatement<FromClause<users::table>,
+                     SelectClause<posts::columns::id>,
+                     WhereClause<Grouped<Eq<users::columns::id,
+                                            users::columns::id>>>>
+  : LoadQuery<PgConnection, Row>;
+root_cause <users::table as AppearsInFromClause<posts::table>>::Count
+  == Once;
+)"});
+
+  // 3. Comparing columns of different SQL types: the expression layer
+  // rejects Eq<id, name> because the where-clause requires both sides'
+  // SqlType to agree.
+  Entries.push_back(CorpusEntry{
+      "diesel-type-mismatched-eq", "diesel",
+      "WHERE compares an Integer column against a Text column",
+      std::string(DieselPrelude) + R"(
+#[external] trait diesel::SameSqlType<Other>;
+#[external] impl<L, R, T> SameSqlType<R> for L
+  where <L as Expression>::SqlType == T,
+        <R as Expression>::SqlType == T;
+// users::id.eq(users::name): Integer vs Text.
+goal users::columns::id: SameSqlType<users::columns::name>;
+root_cause <users::columns::name as Expression>::SqlType == Integer;
+)"});
+
+  return Entries;
+}

@@ -1,0 +1,222 @@
+//===- corpus/CorpusSynthetic.cpp - ast / brew / space --------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The remaining corpus families: the associated-type recursion of
+/// Section 2.2 (ast), and the paper's two synthetic libraries, brew
+/// (potion recipes) and space (intergalactic flight plans), whose trait
+/// architectures deliberately mirror Diesel/Bevy/Axum so study tasks are
+/// comparable without prior-library-knowledge confounds (Section 5.1.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace argus;
+
+std::vector<CorpusEntry> argus::astEntries() {
+  std::vector<CorpusEntry> Entries;
+
+  // 10. The Figure 3 program: a blanket AstAssocs impl whose bound loops
+  // through AssocData back into AstAssocs.
+  Entries.push_back(CorpusEntry{
+      "ast-assoc-recursion", "ast",
+      "Blanket impl and associated-type bound form an inference cycle "
+      "(Figure 3 of the paper)",
+      R"(
+trait AstAssocs: Sized { type Data: AssocData<Self>; }
+trait AssocData<A> where A: AstAssocs;
+struct EmptyNode;
+struct Statement<A>;
+impl<Data> AstAssocs for Data where Data: AssocData<Self> {
+  type Data = Data;
+}
+impl<A> AssocData<A> for EmptyNode where A: AstAssocs;
+// let s: Statement<EmptyNode> = Statement(..);
+goal EmptyNode: AstAssocs;
+root_cause EmptyNode: AstAssocs;
+)"});
+
+  // 11. A growing-type overflow: each step wraps the subject in Box, so
+  // the goal never repeats exactly and the depth limit fires instead of
+  // the cycle detector.
+  Entries.push_back(CorpusEntry{
+      "ast-box-growth", "ast",
+      "Blanket impl recurses through an ever-growing Box type",
+      R"(
+#[external] struct alloc::Box<T>;
+struct Leaf;
+trait DeepSerialize;
+impl<T> DeepSerialize for T where Box<T>: DeepSerialize;
+goal Leaf: DeepSerialize;
+root_cause Leaf: DeepSerialize;
+)"});
+
+  return Entries;
+}
+
+namespace {
+
+const char *BrewPrelude = R"(
+// --- brew library (synthetic, treated as external) ---
+#[external] struct brew::Recipe<I1, I2>;
+#[external] struct brew::Cauldron;
+#[external] struct brew::Potent;
+#[external] struct brew::Mild;
+#[external] struct brew::IsStirStep;
+#[external] struct brew::IsNamedStep;
+
+#[external] trait brew::Ingredient { type Potency; }
+#[external] trait brew::Compatible<Other>;
+#[external] trait brew::Brewable;
+#[external] trait brew::NamedStep;
+#[external, fn_trait] trait brew::StirFn<Sig>;
+#[external] trait brew::BrewStep<Marker>;
+
+#[external] impl<I1, I2> Brewable for Recipe<I1, I2>
+  where I1: Ingredient, I2: Ingredient, I1: Compatible<I2>;
+
+// Registry plumbing behind named steps.
+#[external] trait brew::RegisteredStep;
+#[external] impl<S> NamedStep for S where S: RegisteredStep;
+
+// Mirror of Bevy's marker trick: a brewing step is either a stirring
+// function over a cauldron or a named step. The named alternative is
+// assembled first (impl declaration order).
+#[external] impl<S> BrewStep<IsNamedStep> for S where S: NamedStep;
+#[external] impl<F> BrewStep<(IsStirStep, fn(Cauldron))> for F
+  where F: StirFn<fn(Cauldron)>;
+)";
+
+const char *SpacePrelude = R"(
+// --- space library (synthetic, treated as external) ---
+#[external] struct space::FlightPlan<From, To>;
+#[external] struct space::Relay<N>;
+#[external] struct space::Succ<N>;
+#[external] struct space::Zero;
+#[external] struct space::Sufficient;
+#[external] struct space::Insufficient;
+
+#[external] trait space::Body;
+#[external] trait space::ReachableFrom<Origin>;
+#[external] trait space::Plottable;
+#[external] trait space::HasFuel { type Level; }
+#[external] trait space::Linked;
+
+#[external] impl<From, To> Plottable for FlightPlan<From, To>
+  where From: Body, To: Body, To: ReachableFrom<From>,
+        <FlightPlan<From, To> as HasFuel>::Level == Sufficient;
+)";
+
+} // namespace
+
+std::vector<CorpusEntry> argus::brewEntries() {
+  std::vector<CorpusEntry> Entries;
+
+  // 12. Two ingredients that were never declared compatible.
+  Entries.push_back(CorpusEntry{
+      "brew-incompatible-ingredients", "brew",
+      "Recipe combines two ingredients with no Compatible impl",
+      std::string(BrewPrelude) + R"(
+struct Toadstool;
+struct Nightshade;
+impl Ingredient for Toadstool { type Potency = Potent; }
+impl Ingredient for Nightshade { type Potency = Potent; }
+// brew(Recipe::of(toadstool, nightshade))
+goal Recipe<Toadstool, Nightshade>: Brewable;
+root_cause Toadstool: Compatible<Nightshade>;
+)"});
+
+  // 13. The Bevy-style branch point: a stirring function with the wrong
+  // parameter type fails StirFn, and the named-step branch fails too.
+  Entries.push_back(CorpusEntry{
+      "brew-stir-step-signature", "brew",
+      "Stir step takes a Potion argument instead of a Cauldron",
+      std::string(BrewPrelude) + R"(
+struct Potion;
+// fn stir(p: Potion) { .. }  -- must take the Cauldron.
+fn stir(Potion);
+goal stir: BrewStep<?M>;
+root_cause stir: StirFn<fn(Cauldron)>;
+)"});
+
+  // 14. A recipe whose potency projection disagrees with the required
+  // one (mirrors the Diesel Count == Once mismatch).
+  Entries.push_back(CorpusEntry{
+      "brew-potency-mismatch", "brew",
+      "Recipe requires a Potent primary ingredient but got a Mild one",
+      std::string(BrewPrelude) + R"(
+#[external] trait brew::StrongBrew;
+#[external] impl<I1, I2> StrongBrew for Recipe<I1, I2>
+  where I1: Ingredient, I2: Ingredient,
+        <I1 as Ingredient>::Potency == Potent;
+struct Chamomile;
+struct Lavender;
+impl Ingredient for Chamomile { type Potency = Mild; }
+impl Ingredient for Lavender { type Potency = Mild; }
+impl Compatible<Lavender> for Chamomile;
+goal Recipe<Chamomile, Lavender>: StrongBrew;
+root_cause <Chamomile as Ingredient>::Potency == Potent;
+)"});
+
+  return Entries;
+}
+
+std::vector<CorpusEntry> argus::spaceEntries() {
+  std::vector<CorpusEntry> Entries;
+
+  // 15. A flight plan between bodies with no reachability impl.
+  Entries.push_back(CorpusEntry{
+      "space-unreachable-route", "space",
+      "Flight plan requires Mars: ReachableFrom<Earth>, which is not "
+      "declared",
+      std::string(SpacePrelude) + R"(
+struct Earth;
+struct Mars;
+struct Luna;
+impl Body for Earth;
+impl Body for Mars;
+impl Body for Luna;
+impl ReachableFrom<Earth> for Luna;
+#[external] impl<From, To> HasFuel for FlightPlan<From, To> {
+  type Level = Sufficient;
+}
+// plot(FlightPlan::new(earth, mars))
+goal FlightPlan<Earth, Mars>: Plottable;
+root_cause Mars: ReachableFrom<Earth>;
+)"});
+
+  // 16. Reachable route, but the fuel projection comes out Insufficient
+  // (mirrors the Diesel/brew projection mismatches).
+  Entries.push_back(CorpusEntry{
+      "space-fuel-projection", "space",
+      "Route is reachable but the fuel level projects to Insufficient",
+      std::string(SpacePrelude) + R"(
+struct Earth;
+struct Neptune;
+impl Body for Earth;
+impl Body for Neptune;
+impl ReachableFrom<Earth> for Neptune;
+#[external] impl<From, To> HasFuel for FlightPlan<From, To> {
+  type Level = Insufficient;
+}
+goal FlightPlan<Earth, Neptune>: Plottable;
+root_cause <FlightPlan<Earth, Neptune> as HasFuel>::Level == Sufficient;
+)"});
+
+  // 17. Relay chains that recurse without a base case: Linked for
+  // Relay<N> requires Linked for Relay<Succ<N>>.
+  Entries.push_back(CorpusEntry{
+      "space-relay-overflow", "space",
+      "Relay chain recursion has no base case and overflows",
+      std::string(SpacePrelude) + R"(
+#[external] impl<N> Linked for Relay<N> where Relay<Succ<N>>: Linked;
+goal Relay<Zero>: Linked;
+root_cause Relay<Zero>: Linked;
+)"});
+
+  return Entries;
+}

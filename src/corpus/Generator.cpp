@@ -1,0 +1,161 @@
+//===- corpus/Generator.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+
+#include <algorithm>
+
+using namespace argus;
+
+namespace {
+
+class TreeBuilder {
+public:
+  TreeBuilder(const GeneratorOptions &Opts, Session &S, Program &Prog,
+              InferenceTree &Tree)
+      : Opts(Opts), S(S), Prog(Prog), Tree(Tree), Gen(Opts.Seed),
+        Remaining(Opts.TargetNodes) {
+    declarePool();
+  }
+
+  void run() {
+    IGoalId Root = buildFailingGoal(ICandId::invalid(), 0);
+    Tree.setRoot(Root);
+    // Spend any leftover budget on successful context below the root so
+    // the size target is met even for shallow failing skeletons.
+    while (Remaining > 2 && !Tree.goal(Root).Candidates.empty()) {
+      ICandId Cand = Tree.goal(Root).Candidates[0];
+      attachSuccessGoal(Cand, 1);
+    }
+  }
+
+private:
+  /// A small pool of declared types and traits so generated predicates
+  /// look like (and classify like) real ones.
+  void declarePool() {
+    for (int I = 0; I != 12; ++I) {
+      TypeCtorDecl Ctor;
+      Ctor.Name = S.name("gen::T" + std::to_string(I));
+      if (I % 3 == 0)
+        Ctor.Params.push_back(S.name("A"));
+      Ctor.Loc = I % 2 ? Locality::External : Locality::Local;
+      Prog.addTypeCtor(std::move(Ctor));
+      Ctors.push_back(S.name("gen::T" + std::to_string(I)));
+    }
+    for (int I = 0; I != 8; ++I) {
+      TraitDecl Trait;
+      Trait.Name = S.name("gen::Tr" + std::to_string(I));
+      Trait.Loc = I % 2 ? Locality::External : Locality::Local;
+      Prog.addTrait(std::move(Trait));
+      Traits.push_back(S.name("gen::Tr" + std::to_string(I)));
+    }
+  }
+
+  /// A fresh-ish predicate; the counter varies the subject so distinct
+  /// leaves stay distinct atoms.
+  Predicate nextPredicate() {
+    ++Counter;
+    Symbol Ctor = Ctors[Counter % Ctors.size()];
+    const TypeCtorDecl *Decl = Prog.findTypeCtor(Ctor);
+    TypeId Subject;
+    if (!Decl->Params.empty()) {
+      TypeId Inner =
+          S.types().adt(Ctors[(Counter / Ctors.size() + 1) % Ctors.size()]);
+      // Nullary inner only; recursion depth 1 keeps types small.
+      if (const TypeCtorDecl *InnerDecl = Prog.findTypeCtor(
+              S.types().get(Inner).Name);
+          !InnerDecl->Params.empty())
+        Inner = S.types().unit();
+      Subject = S.types().adt(Ctor, {Inner});
+    } else {
+      Subject = S.types().adt(Ctor);
+    }
+    return Predicate::traitBound(Subject, Traits[Counter % Traits.size()]);
+  }
+
+  IGoalId makeGoal(ICandId Parent, uint32_t Depth, EvalResult Result) {
+    IGoalId Id = Tree.makeGoal();
+    IdealGoal &Goal = Tree.goal(Id);
+    Goal.Pred = nextPredicate();
+    Goal.Result = Result;
+    Goal.Parent = Parent;
+    Goal.Depth = Depth;
+    if (Remaining)
+      --Remaining;
+    return Id;
+  }
+
+  ICandId makeCandidate(IGoalId Parent, EvalResult Result) {
+    ICandId Id = Tree.makeCandidate();
+    IdealCandidate &Cand = Tree.candidate(Id);
+    Cand.Kind = CandidateKind::Builtin;
+    Cand.BuiltinName = S.name("generated");
+    Cand.Result = Result;
+    Cand.Parent = Parent;
+    Tree.goal(Parent).Candidates.push_back(Id);
+    if (Remaining)
+      --Remaining;
+    return Id;
+  }
+
+  /// A successful subtree of a few nodes hanging off \p Parent.
+  void attachSuccessGoal(ICandId Parent, uint32_t Depth) {
+    IGoalId Goal = makeGoal(Parent, Depth, EvalResult::Yes);
+    Tree.candidate(Parent).SubGoals.push_back(Goal);
+    if (Remaining < 2 || Depth > Opts.MaxFailDepth)
+      return;
+    ICandId Cand = makeCandidate(Goal, EvalResult::Yes);
+    size_t Children = Gen.below(Opts.MaxFanout + 1);
+    for (size_t I = 0; I != Children && Remaining > 2; ++I)
+      attachSuccessGoal(Cand, Depth + 1);
+  }
+
+  IGoalId buildFailingGoal(ICandId Parent, uint32_t Depth) {
+    // Leaf when the budget or depth runs out.
+    bool MustLeaf = Remaining < 8 || Depth >= Opts.MaxFailDepth;
+    if (MustLeaf) {
+      EvalResult Result = Gen.chance(Opts.OverflowProbability)
+                              ? EvalResult::Overflow
+                              : EvalResult::No;
+      return makeGoal(Parent, Depth, Result);
+    }
+
+    IGoalId Goal = makeGoal(Parent, Depth, EvalResult::No);
+    size_t FailingCandidates = Gen.chance(Opts.BranchProbability) ? 2 : 1;
+    for (size_t C = 0; C != FailingCandidates; ++C) {
+      ICandId Cand = makeCandidate(Goal, EvalResult::No);
+      // One failing subgoal continues the skeleton...
+      IGoalId Failing = buildFailingGoal(Cand, Depth + 1);
+      Tree.candidate(Cand).SubGoals.push_back(Failing);
+      // ...plus successful siblings carrying most of the mass.
+      size_t Successes = Gen.below(Opts.MaxFanout + 1);
+      for (size_t I = 0; I != Successes && Remaining > 2; ++I)
+        attachSuccessGoal(Cand, Depth + 1);
+    }
+    return Goal;
+  }
+
+  const GeneratorOptions &Opts;
+  Session &S;
+  Program &Prog;
+  InferenceTree &Tree;
+  Rng Gen;
+  size_t Remaining;
+  size_t Counter = 0;
+  std::vector<Symbol> Ctors;
+  std::vector<Symbol> Traits;
+};
+
+} // namespace
+
+GeneratedWorkload argus::generateTree(const GeneratorOptions &Opts) {
+  GeneratedWorkload Out;
+  Out.S = std::make_unique<Session>();
+  Out.Prog = std::make_unique<Program>(*Out.S);
+  TreeBuilder Builder(Opts, *Out.S, *Out.Prog, Out.Tree);
+  Builder.run();
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- corpus/Generator.h - Synthetic inference-tree workloads -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates synthetic idealized inference trees with controllable size
+/// and branching, for the Figure 12b experiment (DNF normalization time
+/// versus tree size, swept from 1 node to the paper's maximum of ~37k)
+/// and for property tests. Generated trees mirror the statistics of real
+/// ones: most nodes sit in *successful* subtrees that the solver explored
+/// and proved, while the failing skeleton — which is what DNF
+/// normalization actually traverses — is comparatively small, with
+/// occasional branch points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_CORPUS_GENERATOR_H
+#define ARGUS_CORPUS_GENERATOR_H
+
+#include "extract/InferenceTree.h"
+#include "support/Random.h"
+#include "tlang/Program.h"
+
+#include <memory>
+
+namespace argus {
+
+struct GeneratorOptions {
+  /// Approximate total node count (goals + candidates); the generator
+  /// lands within a few percent.
+  size_t TargetNodes = 1000;
+
+  uint64_t Seed = 0;
+
+  /// Probability that a failing goal is a branch point with two failing
+  /// candidates (the Bevy shape) instead of one.
+  double BranchProbability = 0.10;
+
+  /// Maximum successful sibling subgoals attached next to each failing
+  /// one (the proved obligations rustc also explored).
+  size_t MaxFanout = 4;
+
+  /// Probability that a failing chain terminates in an Overflow leaf
+  /// rather than a plain No leaf.
+  double OverflowProbability = 0.05;
+
+  /// Maximum depth of the failing skeleton.
+  uint32_t MaxFailDepth = 48;
+};
+
+/// A generated workload: the tree plus the Session/Program that own its
+/// interned types (analysis needs the Program for localities).
+struct GeneratedWorkload {
+  std::unique_ptr<Session> S;
+  std::unique_ptr<Program> Prog;
+  InferenceTree Tree;
+};
+
+GeneratedWorkload generateTree(const GeneratorOptions &Opts);
+
+} // namespace argus
+
+#endif // ARGUS_CORPUS_GENERATOR_H

@@ -1,0 +1,153 @@
+//===- diagnostics/Diagnostics.cpp ----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diagnostics/Diagnostics.h"
+
+#include "analysis/CompilerDistance.h"
+
+#include <algorithm>
+
+using namespace argus;
+
+bool RenderedDiagnostic::mentions(IGoalId Goal) const {
+  return std::find(MentionedGoals.begin(), MentionedGoals.end(), Goal) !=
+         MentionedGoals.end();
+}
+
+DiagnosticRenderer::DiagnosticRenderer(const Program &Prog,
+                                       DiagnosticOptions Opts)
+    : Prog(&Prog), Opts(Opts), Printer(Prog) {}
+
+/// Renders "`SelfTy` to implement `Trait<Args>`" for a trait goal, or the
+/// predicate text otherwise.
+static std::string requirementText(const TypePrinter &Printer,
+                                   const Predicate &Pred) {
+  if (Pred.Kind == PredicateKind::Trait)
+    return "`" + Printer.print(Pred.Subject) + "` to implement `" +
+           Printer.printTraitRef(Pred.Trait, Pred.Args) + "`";
+  return "`" + Printer.print(Pred) + "` to hold";
+}
+
+RenderedDiagnostic DiagnosticRenderer::render(const InferenceTree &Tree) const {
+  RenderedDiagnostic Out;
+  const SourceManager &Sources = Prog->session().sources();
+
+  IGoalId Reported = compilerReportedNode(Tree);
+  Out.ReportedNode = Reported;
+  const IdealGoal &Lead = Tree.goal(Reported);
+  const IdealGoal &Root = Tree.root();
+
+  // Pick the error code the way rustc does.
+  std::string Headline;
+  if (Lead.Result == EvalResult::Overflow) {
+    Out.ErrorCode = "E0275";
+    Headline = "overflow evaluating the requirement `" +
+               Printer.print(Lead.Pred) + "`";
+  } else if (Lead.Pred.Kind == PredicateKind::Projection) {
+    Out.ErrorCode = "E0271";
+    Headline = "type mismatch resolving `" + Printer.print(Lead.Pred) + "`";
+  } else if (Lead.Result == EvalResult::Maybe) {
+    Out.ErrorCode = "E0283";
+    Headline = "type annotations needed: cannot satisfy `" +
+               Printer.print(Lead.Pred) + "`";
+  } else if (Lead.Pred.Kind == PredicateKind::Trait) {
+    Out.ErrorCode = "E0277";
+    // Library-provided #[on_unimplemented] messages replace the generic
+    // headline (rustc's diagnostic attribute namespace; Section 6).
+    const TraitDecl *Trait = Prog->findTrait(Lead.Pred.Trait);
+    if (Trait && !Trait->OnUnimplemented.empty()) {
+      Headline = Trait->OnUnimplemented;
+      const std::string Placeholder = "{Self}";
+      for (size_t Pos; (Pos = Headline.find(Placeholder)) !=
+                       std::string::npos;)
+        Headline.replace(Pos, Placeholder.size(),
+                         "`" + Printer.print(Lead.Pred.Subject) + "`");
+    } else {
+      Headline = "the trait bound `" + Printer.print(Lead.Pred) +
+                 "` is not satisfied";
+    }
+  } else {
+    Out.ErrorCode = "E0277";
+    Headline = "the requirement `" + Printer.print(Lead.Pred) +
+               "` is not satisfied";
+  }
+
+  std::string Text = "error[" + Out.ErrorCode + "]: " + Headline + "\n";
+  Out.MentionedGoals.push_back(Reported);
+
+  // Primary span: where the root obligation came from.
+  if (Root.Origin.isValid()) {
+    LineColumn LC = Sources.lineColumn(Root.Origin.File, Root.Origin.Begin);
+    Text += "  --> " + Sources.describe(Root.Origin) + "\n";
+    Text += "   |\n";
+    std::string Line(Sources.lineText(Root.Origin.File, LC.Line));
+    Text += "   | " + Line + "\n";
+    Text += "   | " + std::string(LC.Column - 1, ' ') +
+            std::string(std::max<size_t>(1, Root.Origin.length()), '^') +
+            " required by a bound introduced by this call\n";
+  }
+
+  // Provenance chain from the reported node up to (excluding) the root:
+  // "required for X to implement Y" notes, with the middle elided.
+  std::vector<IGoalId> Chain = Tree.pathToRoot(Reported);
+  // Chain[0] == Reported, Chain.back() == root. The notes cover
+  // Chain[1..]; rustc shows the first few and the last, hiding the rest.
+  std::vector<IGoalId> Notes(Chain.begin() + 1, Chain.end());
+
+  size_t Head = Opts.ShowFullChains ? Notes.size() : Opts.MaxChainHead;
+  size_t Tail = Opts.ShowFullChains ? 0 : Opts.MaxChainTail;
+  if (Head + Tail >= Notes.size()) {
+    for (IGoalId Goal : Notes) {
+      Text += "  = note: required for " +
+              requirementText(Printer, Tree.goal(Goal).Pred) + "\n";
+      Out.MentionedGoals.push_back(Goal);
+    }
+  } else {
+    for (size_t I = 0; I != Head; ++I) {
+      Text += "  = note: required for " +
+              requirementText(Printer, Tree.goal(Notes[I]).Pred) + "\n";
+      Out.MentionedGoals.push_back(Notes[I]);
+    }
+    Out.HiddenRequirements = Notes.size() - Head - Tail;
+    Text += "  = note: " + std::to_string(Out.HiddenRequirements) +
+            " redundant requirement" +
+            (Out.HiddenRequirements == 1 ? "" : "s") + " hidden\n";
+    for (size_t I = Notes.size() - Tail; I != Notes.size(); ++I) {
+      Text += "  = note: required for " +
+              requirementText(Printer, Tree.goal(Notes[I]).Pred) + "\n";
+      Out.MentionedGoals.push_back(Notes[I]);
+    }
+  }
+
+  // The bound's declaration site, when the reported node has one.
+  if (Lead.Origin.isValid() && !(Lead.Origin == Root.Origin)) {
+    Text += "note: required by a bound at " +
+            Sources.describe(Lead.Origin) + "\n";
+  }
+
+  // E0283 gets rustc's trailing hints: the competing candidates and the
+  // annotation suggestion.
+  if (Out.ErrorCode == "E0283") {
+    if (Lead.Pred.Kind == PredicateKind::Trait) {
+      const std::vector<ImplId> &Impls = Prog->implsOf(Lead.Pred.Trait);
+      if (!Impls.empty()) {
+        Text += "  = note: multiple `impl`s satisfying the bound were "
+                "found:\n";
+        const size_t MaxShown = 4;
+        for (size_t I = 0; I != Impls.size() && I != MaxShown; ++I)
+          Text += "          - " +
+                  Printer.printImplHeader(Prog->impl(Impls[I])) + "\n";
+        if (Impls.size() > MaxShown)
+          Text += "          - and " +
+                  std::to_string(Impls.size() - MaxShown) + " others\n";
+      }
+    }
+    Text += "  = help: consider giving this type an explicit annotation\n";
+  }
+
+  Out.Text = std::move(Text);
+  return Out;
+}

@@ -1,0 +1,208 @@
+//===- extract/Extract.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+
+#include <cassert>
+
+using namespace argus;
+
+namespace {
+
+/// One-way structural match: \p General (possibly containing inference
+/// holes) matches \p Specific if the two agree everywhere General is
+/// concrete.
+bool typeMatches(const TypeArena &Arena, TypeId General, TypeId Specific) {
+  if (General == Specific)
+    return true;
+  const Type &G = Arena.get(General);
+  if (G.Kind == TypeKind::Infer)
+    return true; // A hole matches anything, including another hole.
+  const Type &S = Arena.get(Specific);
+  if (G.Kind != S.Kind || G.Name != S.Name || G.TraitName != S.TraitName ||
+      G.Mutable != S.Mutable || G.Args.size() != S.Args.size())
+    return false;
+  for (size_t I = 0; I != G.Args.size(); ++I)
+    if (!typeMatches(Arena, G.Args[I], S.Args[I]))
+      return false;
+  return true;
+}
+
+class Extractor {
+public:
+  Extractor(const Program &Prog, const SolveOutcome &Out,
+            const InferContext &Infcx, const ExtractOptions &Opts,
+            Extraction &Result)
+      : Prog(Prog), Out(Out), Infcx(Infcx), Opts(Opts), Result(Result) {}
+
+  void run();
+
+private:
+  IGoalId buildGoal(InferenceTree &Tree, GoalNodeId RawId, ICandId Parent,
+                    uint32_t Depth);
+  void addChild(InferenceTree &Tree, ICandId Parent, GoalNodeId RawSub,
+                uint32_t Depth);
+
+  const Program &Prog;
+  const SolveOutcome &Out;
+  const InferContext &Infcx;
+  const ExtractOptions &Opts;
+  Extraction &Result;
+};
+
+} // namespace
+
+void Extractor::run() {
+  Result.Stats.RawGoals = Out.Forest.numGoals();
+
+  // Which speculation groups contain a successful member?
+  std::unordered_map<uint32_t, bool> GroupSucceeded;
+  for (size_t I = 0; I != Out.FinalResults.size(); ++I) {
+    uint32_t Group = Out.SpeculationGroups[I];
+    if (Group == UINT32_MAX)
+      continue;
+    GroupSucceeded[Group] =
+        GroupSucceeded[Group] || Out.FinalResults[I] == EvalResult::Yes;
+  }
+
+  for (size_t I = 0; I != Out.FinalRoots.size(); ++I) {
+    // Step 1: drop superseded snapshots (the implication heuristic; the
+    // last snapshot is the most instantiated, which the assertion below
+    // documents).
+    const std::vector<GoalNodeId> &Snapshots = Out.Snapshots[I];
+    if (Snapshots.empty())
+      continue;
+    Result.Stats.SnapshotsDropped += Snapshots.size() - 1;
+#ifndef NDEBUG
+    for (size_t J = 0; J + 1 < Snapshots.size(); ++J)
+      assert(snapshotSupersedes(Prog, Infcx,
+                                Out.Forest.goal(Snapshots.back()).Pred,
+                                Out.Forest.goal(Snapshots[J]).Pred) &&
+             "later snapshot must supersede earlier ones");
+#endif
+    GoalNodeId Root = Snapshots.back();
+    EvalResult Final = Out.FinalResults[I];
+
+    // Step 2: hide failed members of successful probe groups.
+    uint32_t Group = Out.SpeculationGroups[I];
+    if (Opts.FilterSpeculative && Group != UINT32_MAX &&
+        GroupSucceeded[Group] && Final != EvalResult::Yes) {
+      ++Result.Stats.SpeculativeRootsDropped;
+      continue;
+    }
+
+    // Step 3: the debugger only visualizes failures by default.
+    if (Opts.FailingRootsOnly && Final == EvalResult::Yes)
+      continue;
+
+    InferenceTree Tree;
+    IGoalId RootId = buildGoal(Tree, Root, ICandId::invalid(), 0);
+    Tree.setRoot(RootId);
+    Result.Trees.push_back(std::move(Tree));
+    Result.GoalIndices.push_back(static_cast<uint32_t>(I));
+  }
+}
+
+IGoalId Extractor::buildGoal(InferenceTree &Tree, GoalNodeId RawId,
+                             ICandId Parent, uint32_t Depth) {
+  const GoalNode &Raw = Out.Forest.goal(RawId);
+  IGoalId Id = Tree.makeGoal();
+  {
+    IdealGoal &Goal = Tree.goal(Id);
+    Goal.Pred = Infcx.resolve(Raw.Pred);
+    // Stateful nodes display the value captured after their subtree ran
+    // (Section 4); the output variable itself may have been rolled back
+    // with its candidate attempt.
+    if (Goal.Pred.Kind == PredicateKind::NormalizesTo &&
+        Raw.NormalizedValue.isValid())
+      Goal.Pred.Rhs = Infcx.resolve(Raw.NormalizedValue);
+    Goal.Result = Raw.Result;
+    Goal.Origin = Raw.Origin;
+    Goal.Parent = Parent;
+    Goal.Depth = Depth;
+    Goal.UnresolvedVars =
+        static_cast<uint32_t>(Infcx.countUnresolved(Goal.Pred));
+    Goal.RawId = RawId;
+  }
+
+  for (CandNodeId RawCand : Raw.Candidates) {
+    const CandidateNode &RawC = Out.Forest.candidate(RawCand);
+    ICandId CandId = Tree.makeCandidate();
+    {
+      IdealCandidate &Cand = Tree.candidate(CandId);
+      Cand.Kind = RawC.Kind;
+      Cand.Impl = RawC.Impl;
+      Cand.BuiltinName = RawC.BuiltinName;
+      Cand.Assumption = Infcx.resolve(RawC.Assumption);
+      Cand.Result = RawC.Result;
+      Cand.Parent = Id;
+    }
+    Tree.goal(Id).Candidates.push_back(CandId);
+    for (GoalNodeId RawSub : RawC.SubGoals)
+      addChild(Tree, CandId, RawSub, Depth);
+  }
+  return Id;
+}
+
+void Extractor::addChild(InferenceTree &Tree, ICandId Parent,
+                         GoalNodeId RawSub, uint32_t Depth) {
+  const GoalNode &Sub = Out.Forest.goal(RawSub);
+
+  // Step 4: stateful normalization nodes. A successful one has served its
+  // purpose (the value was captured); a failing one is spliced so the
+  // trait failure beneath it stays visible.
+  if (Opts.ElideStatefulNodes &&
+      Sub.Pred.Kind == PredicateKind::NormalizesTo) {
+    ++Result.Stats.StatefulGoalsElided;
+    if (Sub.Result == EvalResult::Yes)
+      return;
+    for (CandNodeId RawCand : Sub.Candidates)
+      for (GoalNodeId Nested : Out.Forest.candidate(RawCand).SubGoals)
+        addChild(Tree, Parent, Nested, Depth);
+    return;
+  }
+
+  // Internal predicate kinds are hidden unless they failed or the user
+  // toggled "show all".
+  if (!Opts.ShowInternal && !isUserFacing(Sub.Pred.Kind) &&
+      Sub.Result == EvalResult::Yes) {
+    ++Result.Stats.InternalGoalsHidden;
+    return;
+  }
+
+  IGoalId Child = buildGoal(Tree, RawSub, Parent, Depth + 1);
+  Tree.candidate(Parent).SubGoals.push_back(Child);
+}
+
+Extraction argus::extractTrees(const Program &Prog, const SolveOutcome &Out,
+                               const InferContext &Infcx,
+                               ExtractOptions Opts) {
+  Extraction Result;
+  Extractor E(Prog, Out, Infcx, Opts, Result);
+  E.run();
+  return Result;
+}
+
+bool argus::snapshotSupersedes(const Program &Prog, const InferContext &Infcx,
+                               const Predicate &Later,
+                               const Predicate &Earlier) {
+  if (Later.Kind != Earlier.Kind || Later.Trait != Earlier.Trait ||
+      Later.Args.size() != Earlier.Args.size())
+    return false;
+  const TypeArena &Arena = Prog.session().types();
+  Predicate L = Infcx.resolve(Later);
+  Predicate E = Infcx.resolve(Earlier);
+  if (E.Subject.isValid() &&
+      !typeMatches(Arena, E.Subject, L.Subject))
+    return false;
+  for (size_t I = 0; I != E.Args.size(); ++I)
+    if (!typeMatches(Arena, E.Args[I], L.Args[I]))
+      return false;
+  if (E.Rhs.isValid() && L.Rhs.isValid() &&
+      !typeMatches(Arena, E.Rhs, L.Rhs))
+    return false;
+  return true;
+}

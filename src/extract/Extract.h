@@ -1,0 +1,91 @@
+//===- extract/Extract.h - Raw forest -> idealized trees ------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extraction layer of Section 4: bridges the gap between the solver's
+/// raw proof forest ("the trait solver does not actually produce the
+/// beautiful AND/OR tree shown in Figure 5") and the idealized tree Argus
+/// visualizes. Four responsibilities:
+///
+///  1. Snapshot deduplication: each fixpoint round re-evaluates ambiguous
+///     goals as new root nodes; an implication heuristic keeps only the
+///     final, most-instantiated snapshot of each goal.
+///  2. Speculation filtering: soft predicates emitted while the type
+///     checker probes alternatives (method resolution) are hidden when a
+///     sibling probe succeeded.
+///  3. Internal-predicate filtering: kinds outside the L_TRAIT grammar
+///     (WellFormed, Sized, RegionOutlives) are hidden unless they failed
+///     or the "show all" toggle is set.
+///  4. Stateful-node capture: successful NormalizesTo subtrees are
+///     elided (their value has been captured); failing ones are spliced
+///     so the underlying trait failure surfaces in the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_EXTRACT_EXTRACT_H
+#define ARGUS_EXTRACT_EXTRACT_H
+
+#include "extract/InferenceTree.h"
+#include "solver/Solver.h"
+
+namespace argus {
+
+struct ExtractOptions {
+  /// Show internal predicate kinds even when they succeeded (the Argus
+  /// settings toggle described in Section 4).
+  bool ShowInternal = false;
+
+  /// Hide failed speculative goals whose probe group has a successful
+  /// member.
+  bool FilterSpeculative = true;
+
+  /// Keep only failing roots (the debugger's default). When false, every
+  /// final snapshot becomes a tree — useful for pedagogic visualization
+  /// of successful inference.
+  bool FailingRootsOnly = true;
+
+  /// Elide successful NormalizesTo subtrees and splice failing ones.
+  /// When false, stateful nodes appear verbatim (with their captured
+  /// values), as rustc plugins see them.
+  bool ElideStatefulNodes = true;
+};
+
+/// Statistics about what extraction removed; used by tests and by the
+/// filtering ablation bench.
+struct ExtractStats {
+  size_t RawGoals = 0;
+  size_t SnapshotsDropped = 0;
+  size_t SpeculativeRootsDropped = 0;
+  size_t InternalGoalsHidden = 0;
+  size_t StatefulGoalsElided = 0;
+};
+
+struct Extraction {
+  /// One idealized tree per surviving root, in program-goal order.
+  std::vector<InferenceTree> Trees;
+  /// The program-goal index behind each tree.
+  std::vector<uint32_t> GoalIndices;
+  ExtractStats Stats;
+};
+
+/// Extracts idealized inference trees from a solve.
+///
+/// \p Infcx must be the solver's inference context (bindings are needed to
+/// resolve displayed predicates to their final forms).
+Extraction extractTrees(const Program &Prog, const SolveOutcome &Out,
+                        const InferContext &Infcx,
+                        ExtractOptions Opts = ExtractOptions());
+
+/// The implication heuristic on snapshots: true if \p Later (a re-
+/// evaluation of the same program goal) supersedes \p Earlier, i.e. the
+/// later resolved predicate is at least as instantiated. Exposed for
+/// testing.
+bool snapshotSupersedes(const Program &Prog, const InferContext &Infcx,
+                        const Predicate &Later, const Predicate &Earlier);
+
+} // namespace argus
+
+#endif // ARGUS_EXTRACT_EXTRACT_H

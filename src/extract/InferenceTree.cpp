@@ -1,0 +1,89 @@
+//===- extract/InferenceTree.cpp ------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/InferenceTree.h"
+
+#include <cassert>
+
+using namespace argus;
+
+IdealGoal &InferenceTree::goal(IGoalId Id) {
+  assert(Id.isValid() && Id.value() < Goals.size() && "bad IGoalId");
+  return Goals[Id.value()];
+}
+
+const IdealGoal &InferenceTree::goal(IGoalId Id) const {
+  assert(Id.isValid() && Id.value() < Goals.size() && "bad IGoalId");
+  return Goals[Id.value()];
+}
+
+IdealCandidate &InferenceTree::candidate(ICandId Id) {
+  assert(Id.isValid() && Id.value() < Candidates.size() && "bad ICandId");
+  return Candidates[Id.value()];
+}
+
+const IdealCandidate &InferenceTree::candidate(ICandId Id) const {
+  assert(Id.isValid() && Id.value() < Candidates.size() && "bad ICandId");
+  return Candidates[Id.value()];
+}
+
+IGoalId InferenceTree::makeGoal() {
+  IGoalId Id(static_cast<uint32_t>(Goals.size()));
+  Goals.emplace_back();
+  Goals.back().Id = Id;
+  return Id;
+}
+
+ICandId InferenceTree::makeCandidate() {
+  ICandId Id(static_cast<uint32_t>(Candidates.size()));
+  Candidates.emplace_back();
+  Candidates.back().Id = Id;
+  return Id;
+}
+
+bool InferenceTree::hasFailedDescendant(IGoalId Id) const {
+  const IdealGoal &Node = goal(Id);
+  for (ICandId CandId : Node.Candidates)
+    for (IGoalId Sub : candidate(CandId).SubGoals) {
+      if (idealFailed(goal(Sub).Result))
+        return true;
+      if (hasFailedDescendant(Sub))
+        return true;
+    }
+  return false;
+}
+
+static void collectFailedLeaves(const InferenceTree &Tree, IGoalId Id,
+                                std::vector<IGoalId> &Out) {
+  const IdealGoal &Node = Tree.goal(Id);
+  if (idealFailed(Node.Result) && !Tree.hasFailedDescendant(Id)) {
+    Out.push_back(Id);
+    return;
+  }
+  for (ICandId CandId : Node.Candidates)
+    for (IGoalId Sub : Tree.candidate(CandId).SubGoals)
+      collectFailedLeaves(Tree, Sub, Out);
+}
+
+std::vector<IGoalId> InferenceTree::failedLeaves() const {
+  std::vector<IGoalId> Out;
+  if (Root.isValid())
+    collectFailedLeaves(*this, Root, Out);
+  return Out;
+}
+
+std::vector<IGoalId> InferenceTree::pathToRoot(IGoalId Id) const {
+  std::vector<IGoalId> Path;
+  IGoalId Current = Id;
+  for (;;) {
+    Path.push_back(Current);
+    const IdealGoal &Node = goal(Current);
+    if (!Node.Parent.isValid())
+      break;
+    Current = candidate(Node.Parent).Parent;
+  }
+  return Path;
+}

@@ -1,0 +1,110 @@
+//===- extract/InferenceTree.h - The idealized And/Or tree ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *idealized* trait inference tree: what the paper's Figure 5 calls a
+/// Predicate Evaluation, after the extraction layer has removed solver
+/// artifacts (snapshots, internal predicate kinds, stateful normalization
+/// plumbing). This is the data structure everything user-facing consumes:
+/// the interface views, the inertia analysis, and the diagnostics
+/// comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_EXTRACT_INFERENCETREE_H
+#define ARGUS_EXTRACT_INFERENCETREE_H
+
+#include "solver/ProofTree.h"
+
+#include <deque>
+#include <vector>
+
+namespace argus {
+
+struct IGoalTag {};
+using IGoalId = Id<IGoalTag>;
+struct ICandTag {};
+using ICandId = Id<ICandTag>;
+
+/// A goal (predicate evaluation) in the idealized tree. All types inside
+/// Pred are resolved against the final inference state.
+struct IdealGoal {
+  IGoalId Id;
+  Predicate Pred;
+  EvalResult Result = EvalResult::Maybe;
+  Span Origin;
+  ICandId Parent; ///< Invalid for the root.
+  std::vector<ICandId> Candidates;
+
+  /// Depth within the idealized tree (root = 0).
+  uint32_t Depth = 0;
+
+  /// Unbound inference variables remaining in Pred at the end of
+  /// inference (one of the Figure 12a baseline rankings).
+  uint32_t UnresolvedVars = 0;
+
+  /// Provenance: the raw proof-forest node this goal came from.
+  GoalNodeId RawId;
+};
+
+/// A candidate (OR-branch) in the idealized tree.
+struct IdealCandidate {
+  ICandId Id;
+  CandidateKind Kind = CandidateKind::Impl;
+  ImplId Impl;
+  Symbol BuiltinName;
+  Predicate Assumption;
+  EvalResult Result = EvalResult::Maybe;
+  IGoalId Parent;
+  std::vector<IGoalId> SubGoals;
+};
+
+/// In the idealized tree, residual ambiguity counts as failure: inference
+/// has finished, so a Maybe can never become Yes (Section 4).
+inline bool idealFailed(EvalResult Result) { return Result != EvalResult::Yes; }
+
+/// One idealized inference tree, rooted at a single evaluated predicate.
+class InferenceTree {
+public:
+  IGoalId rootId() const { return Root; }
+  const IdealGoal &root() const { return goal(Root); }
+
+  IdealGoal &goal(IGoalId Id);
+  const IdealGoal &goal(IGoalId Id) const;
+  IdealCandidate &candidate(ICandId Id);
+  const IdealCandidate &candidate(ICandId Id) const;
+
+  IGoalId makeGoal();
+  ICandId makeCandidate();
+  void setRoot(IGoalId Id) { Root = Id; }
+
+  size_t numGoals() const { return Goals.size(); }
+  size_t numCandidates() const { return Candidates.size(); }
+
+  /// Total node count (goals + candidates).
+  size_t size() const { return Goals.size() + Candidates.size(); }
+
+  /// The innermost failing predicates: failed goals with no failed
+  /// descendant goal. These seed the bottom-up view.
+  std::vector<IGoalId> failedLeaves() const;
+
+  /// True if any goal below \p Id (exclusive) failed.
+  bool hasFailedDescendant(IGoalId Id) const;
+
+  /// Walks from \p Id to the root, returning goal ids (inclusive of both
+  /// ends). Used by the bottom-up view and by the compiler-distance
+  /// metric.
+  std::vector<IGoalId> pathToRoot(IGoalId Id) const;
+
+private:
+  IGoalId Root;
+  std::deque<IdealGoal> Goals;
+  std::deque<IdealCandidate> Candidates;
+};
+
+} // namespace argus
+
+#endif // ARGUS_EXTRACT_INFERENCETREE_H

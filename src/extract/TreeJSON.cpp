@@ -1,0 +1,91 @@
+//===- extract/TreeJSON.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/TreeJSON.h"
+
+using namespace argus;
+
+static const char *candidateKindName(CandidateKind Kind) {
+  switch (Kind) {
+  case CandidateKind::Impl:
+    return "impl";
+  case CandidateKind::ParamEnv:
+    return "param-env";
+  case CandidateKind::Builtin:
+    return "builtin";
+  }
+  return "?";
+}
+
+void argus::writeTreeJSON(JSONWriter &Writer, const Program &Prog,
+                          const InferenceTree &Tree,
+                          const TypePrinter &Printer) {
+  Writer.beginObject();
+  Writer.keyValue("root", static_cast<uint64_t>(Tree.rootId().value()));
+
+  Writer.key("goals");
+  Writer.beginArray();
+  for (size_t I = 0; I != Tree.numGoals(); ++I) {
+    const IdealGoal &Goal = Tree.goal(IGoalId(static_cast<uint32_t>(I)));
+    Writer.beginObject();
+    Writer.keyValue("id", static_cast<uint64_t>(I));
+    Writer.keyValue("predicate", Printer.print(Goal.Pred));
+    Writer.keyValue("result", evalResultName(Goal.Result));
+    Writer.keyValue("depth", static_cast<uint64_t>(Goal.Depth));
+    Writer.keyValue("unresolvedVars",
+                    static_cast<uint64_t>(Goal.UnresolvedVars));
+    if (Goal.Origin.isValid())
+      Writer.keyValue("origin",
+                      Prog.session().sources().describe(Goal.Origin));
+    Writer.key("candidates");
+    Writer.beginArray();
+    for (ICandId Cand : Goal.Candidates)
+      Writer.value(static_cast<uint64_t>(Cand.value()));
+    Writer.endArray();
+    Writer.endObject();
+  }
+  Writer.endArray();
+
+  Writer.key("candidates");
+  Writer.beginArray();
+  for (size_t I = 0; I != Tree.numCandidates(); ++I) {
+    const IdealCandidate &Cand =
+        Tree.candidate(ICandId(static_cast<uint32_t>(I)));
+    Writer.beginObject();
+    Writer.keyValue("id", static_cast<uint64_t>(I));
+    Writer.keyValue("kind", candidateKindName(Cand.Kind));
+    switch (Cand.Kind) {
+    case CandidateKind::Impl:
+      Writer.keyValue("impl",
+                      Printer.printImplFull(Prog.impl(Cand.Impl)));
+      break;
+    case CandidateKind::Builtin:
+      Writer.keyValue("builtin", Prog.session().text(Cand.BuiltinName));
+      break;
+    case CandidateKind::ParamEnv:
+      Writer.keyValue("assumption", Printer.print(Cand.Assumption));
+      break;
+    }
+    Writer.keyValue("result", evalResultName(Cand.Result));
+    Writer.key("subgoals");
+    Writer.beginArray();
+    for (IGoalId Sub : Cand.SubGoals)
+      Writer.value(static_cast<uint64_t>(Sub.value()));
+    Writer.endArray();
+    Writer.endObject();
+  }
+  Writer.endArray();
+
+  Writer.endObject();
+}
+
+std::string argus::treeToJSON(const Program &Prog, const InferenceTree &Tree,
+                              bool Pretty) {
+  JSONWriter Writer(Pretty);
+  TypePrinter Printer(Prog);
+  writeTreeJSON(Writer, Prog, Tree, Printer);
+  return Writer.str();
+}

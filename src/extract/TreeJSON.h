@@ -1,0 +1,38 @@
+//===- extract/TreeJSON.h - Inference tree serialization ------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes idealized inference trees to JSON, the interchange format
+/// between the real Argus compiler plugin and its web UI (serialization
+/// is 40% of that plugin's code; ours is smaller because L_TRAIT is the
+/// idealized model rather than rustc's full type system).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_EXTRACT_TREEJSON_H
+#define ARGUS_EXTRACT_TREEJSON_H
+
+#include "extract/InferenceTree.h"
+#include "support/JSON.h"
+#include "tlang/Printer.h"
+
+namespace argus {
+
+/// Writes \p Tree into \p Writer as one JSON object:
+/// {"root": ..., "goals": [...], "candidates": [...]}. Goals and
+/// candidates are stored flat and reference each other by index, matching
+/// how a UI would hold them.
+void writeTreeJSON(JSONWriter &Writer, const Program &Prog,
+                   const InferenceTree &Tree,
+                   const TypePrinter &Printer);
+
+/// Convenience: serializes \p Tree to a standalone JSON string.
+std::string treeToJSON(const Program &Prog, const InferenceTree &Tree,
+                       bool Pretty = false);
+
+} // namespace argus
+
+#endif // ARGUS_EXTRACT_TREEJSON_H

@@ -1,0 +1,216 @@
+//===- interface/HTMLExport.cpp -------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interface/HTMLExport.h"
+
+#include "analysis/Inertia.h"
+#include "diagnostics/Diagnostics.h"
+#include "tlang/Printer.h"
+
+#include <memory>
+
+using namespace argus;
+
+std::string argus::escapeHTML(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+const char *Stylesheet = R"(
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #1e1e2e; color: #cdd6f4; margin: 2em; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; color: #89b4fa; }
+details { margin-left: 1.2em; border-left: 1px solid #45475a;
+          padding-left: .5em; }
+summary { cursor: pointer; padding: 2px 4px; border-radius: 4px; }
+summary:hover { background: #313244; }
+.ok { color: #a6e3a1; } .no { color: #f38ba8; }
+.maybe { color: #f9e2af; } .loop { color: #fab387; }
+.impl { color: #94a3b8; font-style: italic; margin-left: 1.6em; }
+.leaf { margin-left: 1.2em; padding: 2px 4px; }
+abbr { text-decoration: underline dotted #89b4fa; cursor: help; }
+pre.diag { background: #11111b; padding: 1em; border-radius: 6px;
+           overflow-x: auto; }
+.weight { color: #9399b2; font-size: .85em; }
+ol li { margin: .25em 0; }
+)";
+
+class HTMLBuilder {
+public:
+  HTMLBuilder(const Program &Prog, const InferenceTree &Tree,
+              const HTMLExportOptions &Opts)
+      : Prog(Prog), Tree(Tree), Opts(Opts) {
+    PrintOptions Short;
+    Short.DisambiguateShortNames = true;
+    ShortPrinter = std::make_unique<TypePrinter>(Prog, Short);
+    PrintOptions Full;
+    Full.FullPaths = true;
+    FullPrinter = std::make_unique<TypePrinter>(Prog, Full);
+  }
+
+  std::string build();
+
+private:
+  const char *resultClass(EvalResult Result) const {
+    switch (Result) {
+    case EvalResult::Yes:
+      return "ok";
+    case EvalResult::No:
+      return "no";
+    case EvalResult::Maybe:
+      return "maybe";
+    case EvalResult::Overflow:
+      return "loop";
+    }
+    return "maybe";
+  }
+
+  const char *resultMark(EvalResult Result) const {
+    switch (Result) {
+    case EvalResult::Yes:
+      return "&#10003;"; // Check mark.
+    case EvalResult::No:
+      return "&#10007;"; // Ballot X.
+    case EvalResult::Maybe:
+      return "?";
+    case EvalResult::Overflow:
+      return "&#8734;"; // Infinity.
+    }
+    return "?";
+  }
+
+  /// A predicate with hover-able full paths: short text wrapped in an
+  /// <abbr> whose title is the fully qualified rendering.
+  std::string predicate(const Predicate &Pred) const {
+    return "<abbr title=\"" + escapeHTML(FullPrinter->print(Pred)) +
+           "\">" + escapeHTML(ShortPrinter->print(Pred)) + "</abbr>";
+  }
+
+  void goalNode(std::string &Out, IGoalId Id, uint32_t Depth);
+
+  const Program &Prog;
+  const InferenceTree &Tree;
+  const HTMLExportOptions &Opts;
+  std::unique_ptr<TypePrinter> ShortPrinter;
+  std::unique_ptr<TypePrinter> FullPrinter;
+};
+
+void HTMLBuilder::goalNode(std::string &Out, IGoalId Id, uint32_t Depth) {
+  const IdealGoal &Goal = Tree.goal(Id);
+  std::string Label = "<span class=\"" +
+                      std::string(resultClass(Goal.Result)) + "\">" +
+                      resultMark(Goal.Result) + "</span> " +
+                      predicate(Goal.Pred);
+  if (Goal.Candidates.empty()) {
+    Out += "<div class=\"leaf\">" + Label + "</div>\n";
+    return;
+  }
+  Out += "<details";
+  if (Depth < Opts.OpenDepth)
+    Out += " open";
+  Out += "><summary>" + Label + "</summary>\n";
+  for (ICandId CandId : Goal.Candidates) {
+    const IdealCandidate &Cand = Tree.candidate(CandId);
+    std::string Via;
+    switch (Cand.Kind) {
+    case CandidateKind::Impl:
+      Via = escapeHTML(ShortPrinter->printImplFull(Prog.impl(Cand.Impl)));
+      break;
+    case CandidateKind::ParamEnv:
+      Via = "assumption " +
+            escapeHTML(ShortPrinter->print(Cand.Assumption));
+      break;
+    case CandidateKind::Builtin:
+      Via = "builtin (" +
+            escapeHTML(Prog.session().text(Cand.BuiltinName)) + ")";
+      break;
+    }
+    Out += "<div class=\"impl\">via " + Via + "</div>\n";
+    for (IGoalId Sub : Cand.SubGoals)
+      goalNode(Out, Sub, Depth + 1);
+  }
+  Out += "</details>\n";
+}
+
+std::string HTMLBuilder::build() {
+  std::string Out;
+  Out += "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n";
+  Out += "<title>" + escapeHTML(Opts.Title) + "</title>\n";
+  Out += "<style>" + std::string(Stylesheet) + "</style></head><body>\n";
+  Out += "<h1>" + escapeHTML(Opts.Title) + "</h1>\n";
+
+  // Bottom-up: the ranked failure list with categories and weights.
+  InertiaResult Inertia = rankByInertia(Prog, Tree);
+  Out += "<h2>Bottom up &mdash; failed obligations, ranked by "
+         "inertia</h2>\n<ol>\n";
+  for (size_t I = 0; I != Inertia.Order.size(); ++I) {
+    const IdealGoal &Goal = Tree.goal(Inertia.Order[I]);
+    Out += "<li><span class=\"" + std::string(resultClass(Goal.Result)) +
+           "\">" + resultMark(Goal.Result) + "</span> " +
+           predicate(Goal.Pred) + " <span class=\"weight\">(" +
+           Inertia.Kinds[I].tagName() + ", weight " +
+           std::to_string(Inertia.Weights[I]) + ")</span></li>\n";
+  }
+  Out += "</ol>\n";
+
+  // Minimum correction subsets.
+  Out += "<h2>Minimum correction subsets</h2>\n<ol>\n";
+  for (size_t I = 0; I != Inertia.MCS.size(); ++I) {
+    Out += "<li>score " + std::to_string(Inertia.ConjunctScores[I]) +
+           ": { ";
+    for (size_t J = 0; J != Inertia.MCS[I].size(); ++J) {
+      if (J)
+        Out += ", ";
+      Out += predicate(Tree.goal(Inertia.MCS[I][J]).Pred);
+    }
+    Out += " }</li>\n";
+  }
+  Out += "</ol>\n";
+
+  // Top-down: the full tree as nested <details>.
+  Out += "<h2>Top down &mdash; the inference tree</h2>\n";
+  if (Tree.rootId().isValid())
+    goalNode(Out, Tree.rootId(), 0);
+
+  if (Opts.IncludeDiagnostic) {
+    DiagnosticRenderer Renderer(Prog);
+    Out += "<h2>For contrast: the static diagnostic</h2>\n";
+    Out += "<pre class=\"diag\">" +
+           escapeHTML(Renderer.render(Tree).Text) + "</pre>\n";
+  }
+
+  Out += "</body></html>\n";
+  return Out;
+}
+
+} // namespace
+
+std::string argus::treeToHTML(const Program &Prog, const InferenceTree &Tree,
+                              HTMLExportOptions Opts) {
+  HTMLBuilder Builder(Prog, Tree, Opts);
+  return Builder.build();
+}

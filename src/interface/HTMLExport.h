@@ -1,0 +1,45 @@
+//===- interface/HTMLExport.h - Standalone web export ---------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an inference tree as a self-contained interactive HTML page —
+/// the paper's actual medium ("a web-based interface for visualizing
+/// extracted trait inferences"). Native <details>/<summary> elements give
+/// CollapseSeq folding with zero scripting; title attributes carry the
+/// fully-qualified paths ShortTys reveals on hover; the page contains
+/// both views, the ranked failure list with inertia categories, the
+/// minimum correction subsets, and the rustc diagnostic for contrast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_INTERFACE_HTMLEXPORT_H
+#define ARGUS_INTERFACE_HTMLEXPORT_H
+
+#include "extract/InferenceTree.h"
+#include "tlang/Program.h"
+
+#include <string>
+
+namespace argus {
+
+struct HTMLExportOptions {
+  std::string Title = "Argus trait debugger";
+  /// Include the rustc-style diagnostic section for comparison.
+  bool IncludeDiagnostic = true;
+  /// Pre-open the first levels of the top-down tree.
+  uint32_t OpenDepth = 1;
+};
+
+/// Renders \p Tree as a complete HTML document.
+std::string treeToHTML(const Program &Prog, const InferenceTree &Tree,
+                       HTMLExportOptions Opts = HTMLExportOptions());
+
+/// Escapes &, <, >, and quotes for safe embedding.
+std::string escapeHTML(std::string_view Text);
+
+} // namespace argus
+
+#endif // ARGUS_INTERFACE_HTMLEXPORT_H

@@ -1,0 +1,386 @@
+//===- interface/View.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interface/View.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+using namespace argus;
+
+ArgusInterface::ArgusInterface(const Program &Prog, const InferenceTree &Tree,
+                               std::vector<IGoalId> Ranking)
+    : Prog(&Prog), Tree(&Tree), Ranking(std::move(Ranking)) {}
+
+ArgusInterface::ArgusInterface(const Program &Prog, const InferenceTree &Tree)
+    : ArgusInterface(Prog, Tree, rankByInertia(Prog, Tree).Order) {}
+
+ArgusInterface::FoldKey ArgusInterface::keyFor(size_t LeafIndex,
+                                               IGoalId Goal) const {
+  return (static_cast<uint64_t>(LeafIndex) << 32) | Goal.value();
+}
+
+TypePrinter ArgusInterface::printerFor(IGoalId Goal) const {
+  PrintOptions Opts;
+  Opts.FullPaths = false;
+  Opts.DisambiguateShortNames = true; // Argus never prints misleadingly
+                                      // identical short names.
+  Opts.ElideArgs = TypeExpanded.count(Goal.value()) == 0;
+  return TypePrinter(*Prog, Opts);
+}
+
+static const char *resultMarker(EvalResult Result) {
+  switch (Result) {
+  case EvalResult::Yes:
+    return "[ok]";
+  case EvalResult::No:
+    return "[x]";
+  case EvalResult::Maybe:
+    return "[?]";
+  case EvalResult::Overflow:
+    return "[loop]";
+  }
+  return "[?]";
+}
+
+std::string ArgusInterface::renderGoal(IGoalId Goal) const {
+  const IdealGoal &Node = Tree->goal(Goal);
+  TypePrinter Printer = printerFor(Goal);
+  return std::string(resultMarker(Node.Result)) + " " +
+         Printer.print(Node.Pred);
+}
+
+std::string ArgusInterface::renderCandidate(ICandId Cand) const {
+  const IdealCandidate &Node = Tree->candidate(Cand);
+  TypePrinter Printer(*Prog);
+  switch (Node.Kind) {
+  case CandidateKind::Impl:
+    return "via " + Printer.printImplFull(Prog->impl(Node.Impl));
+  case CandidateKind::ParamEnv:
+    return "via assumption " + Printer.print(Node.Assumption);
+  case CandidateKind::Builtin:
+    return "via builtin (" + Prog->session().text(Node.BuiltinName) + ")";
+  }
+  return "via ?";
+}
+
+void ArgusInterface::buildBottomUpRows(std::vector<ViewRow> &Rows) const {
+  for (size_t Leaf = 0; Leaf != Ranking.size(); ++Leaf) {
+    IGoalId Goal = Ranking[Leaf];
+    uint32_t Indent = 0;
+    for (;;) {
+      const IdealGoal &Node = Tree->goal(Goal);
+      ViewRow Row;
+      Row.RowKind = ViewRow::Kind::Goal;
+      Row.Goal = Goal;
+      Row.Indent = Indent;
+      Row.Text = renderGoal(Goal);
+      Row.Result = Node.Result;
+      Row.Expandable = Node.Parent.isValid();
+      Row.Expanded =
+          Row.Expandable && ExpandedBottomUp.count(keyFor(Leaf, Goal)) != 0;
+      Rows.push_back(Row);
+      RowKeys.push_back(keyFor(Leaf, Goal));
+      RowGoals.push_back(Goal);
+
+      if (!Row.Expanded || !Node.Parent.isValid())
+        break;
+
+      // Unfold one step towards the root: the candidate (impl) this goal
+      // served, then the parent goal.
+      ICandId Parent = Node.Parent;
+      ViewRow CandRow;
+      CandRow.RowKind = ViewRow::Kind::Candidate;
+      CandRow.Cand = Parent;
+      CandRow.Indent = Indent + 1;
+      CandRow.Text = renderCandidate(Parent);
+      CandRow.Result = Tree->candidate(Parent).Result;
+      Rows.push_back(CandRow);
+      RowKeys.push_back(0);
+      RowGoals.push_back(IGoalId::invalid());
+
+      Goal = Tree->candidate(Parent).Parent;
+      Indent += 1;
+    }
+  }
+}
+
+void ArgusInterface::appendGoalTopDown(std::vector<ViewRow> &Rows,
+                                       IGoalId Goal,
+                                       uint32_t Indent) const {
+  const IdealGoal &Node = Tree->goal(Goal);
+  ViewRow Row;
+  Row.RowKind = ViewRow::Kind::Goal;
+  Row.Goal = Goal;
+  Row.Indent = Indent;
+  Row.Text = renderGoal(Goal);
+  Row.Result = Node.Result;
+  Row.Expandable = !Node.Candidates.empty();
+  Row.Expanded =
+      Row.Expandable && ExpandedTopDown.count(Goal.value()) != 0;
+  Rows.push_back(Row);
+  RowKeys.push_back(Goal.value());
+  RowGoals.push_back(Goal);
+
+  if (!Row.Expanded)
+    return;
+  for (ICandId Cand : Node.Candidates) {
+    ViewRow CandRow;
+    CandRow.RowKind = ViewRow::Kind::Candidate;
+    CandRow.Cand = Cand;
+    CandRow.Indent = Indent + 1;
+    CandRow.Text = renderCandidate(Cand);
+    CandRow.Result = Tree->candidate(Cand).Result;
+    Rows.push_back(CandRow);
+    RowKeys.push_back(0);
+    RowGoals.push_back(IGoalId::invalid());
+    for (IGoalId Sub : Tree->candidate(Cand).SubGoals)
+      appendGoalTopDown(Rows, Sub, Indent + 2);
+  }
+}
+
+void ArgusInterface::buildTopDownRows(std::vector<ViewRow> &Rows) const {
+  if (Tree->rootId().isValid())
+    appendGoalTopDown(Rows, Tree->rootId(), 0);
+}
+
+std::vector<ViewRow> ArgusInterface::rows() const {
+  std::vector<ViewRow> Rows;
+  RowKeys.clear();
+  RowGoals.clear();
+
+  ViewRow Header;
+  Header.RowKind = ViewRow::Kind::Header;
+  Header.Text = Active == ViewKind::BottomUp ? "Bottom Up" : "Top Down";
+  Rows.push_back(Header);
+  RowKeys.push_back(0);
+  RowGoals.push_back(IGoalId::invalid());
+
+  if (Active == ViewKind::BottomUp)
+    buildBottomUpRows(Rows);
+  else
+    buildTopDownRows(Rows);
+  return Rows;
+}
+
+bool ArgusInterface::toggleExpand(size_t RowIndex) {
+  std::vector<ViewRow> Current = rows();
+  if (RowIndex >= Current.size())
+    return false;
+  const ViewRow &Row = Current[RowIndex];
+  if (Row.RowKind != ViewRow::Kind::Goal || !Row.Expandable)
+    return false;
+  if (Active == ViewKind::BottomUp) {
+    FoldKey Key = RowKeys[RowIndex];
+    if (!ExpandedBottomUp.erase(Key))
+      ExpandedBottomUp.insert(Key);
+  } else {
+    uint32_t Key = Row.Goal.value();
+    if (!ExpandedTopDown.erase(Key))
+      ExpandedTopDown.insert(Key);
+  }
+  return true;
+}
+
+void ArgusInterface::expandAll() {
+  // Top-down: every goal with candidates.
+  for (size_t I = 0; I != Tree->numGoals(); ++I) {
+    IGoalId Id(static_cast<uint32_t>(I));
+    if (!Tree->goal(Id).Candidates.empty())
+      ExpandedTopDown.insert(Id.value());
+  }
+  // Bottom-up: every step of every leaf chain.
+  for (size_t Leaf = 0; Leaf != Ranking.size(); ++Leaf)
+    for (IGoalId Goal : Tree->pathToRoot(Ranking[Leaf]))
+      if (Tree->goal(Goal).Parent.isValid())
+        ExpandedBottomUp.insert(keyFor(Leaf, Goal));
+}
+
+void ArgusInterface::collapseAll() {
+  ExpandedBottomUp.clear();
+  ExpandedTopDown.clear();
+}
+
+bool ArgusInterface::toggleTypeEllipsis(size_t RowIndex) {
+  std::vector<ViewRow> Current = rows();
+  if (RowIndex >= Current.size() ||
+      Current[RowIndex].RowKind != ViewRow::Kind::Goal)
+    return false;
+  uint32_t Key = Current[RowIndex].Goal.value();
+  if (!TypeExpanded.erase(Key))
+    TypeExpanded.insert(Key);
+  return true;
+}
+
+void ArgusInterface::collectNames(TypeId Ty, std::vector<Symbol> &Out) const {
+  const Type &Node = Prog->session().types().get(Ty);
+  switch (Node.Kind) {
+  case TypeKind::Adt:
+  case TypeKind::FnDef:
+    Out.push_back(Node.Name);
+    break;
+  case TypeKind::Projection:
+    Out.push_back(Node.TraitName);
+    break;
+  default:
+    break;
+  }
+  for (TypeId Arg : Node.Args)
+    collectNames(Arg, Out);
+}
+
+std::vector<Symbol> ArgusInterface::namesInGoal(IGoalId Goal) const {
+  const Predicate &Pred = Tree->goal(Goal).Pred;
+  std::vector<Symbol> Names;
+  if (Pred.Subject.isValid())
+    collectNames(Pred.Subject, Names);
+  if (Pred.Kind == PredicateKind::Trait && Pred.Trait.isValid())
+    Names.push_back(Pred.Trait);
+  for (TypeId Arg : Pred.Args)
+    collectNames(Arg, Names);
+  if (Pred.Rhs.isValid())
+    collectNames(Pred.Rhs, Names);
+  // Stable dedup.
+  std::vector<Symbol> Unique;
+  for (Symbol Name : Names)
+    if (std::find(Unique.begin(), Unique.end(), Name) == Unique.end())
+      Unique.push_back(Name);
+  return Unique;
+}
+
+std::string ArgusInterface::hoverMinibuffer(size_t RowIndex) const {
+  std::vector<ViewRow> Current = rows();
+  if (RowIndex >= Current.size() ||
+      Current[RowIndex].RowKind != ViewRow::Kind::Goal)
+    return std::string();
+  std::string Out;
+  for (Symbol Name : namesInGoal(Current[RowIndex].Goal)) {
+    if (!Out.empty())
+      Out.push_back('\n');
+    Out += Prog->session().text(Name);
+  }
+  return Out;
+}
+
+std::vector<std::string> ArgusInterface::implsPopup(size_t RowIndex) const {
+  std::vector<ViewRow> Current = rows();
+  std::vector<std::string> Out;
+  if (RowIndex >= Current.size() ||
+      Current[RowIndex].RowKind != ViewRow::Kind::Goal)
+    return Out;
+  const Predicate &Pred = Tree->goal(Current[RowIndex].Goal).Pred;
+  if (Pred.Kind != PredicateKind::Trait)
+    return Out;
+  TypePrinter Printer(*Prog);
+  for (ImplId Impl : Prog->implsOf(Pred.Trait))
+    Out.push_back(Printer.printImplFull(Prog->impl(Impl)));
+  return Out;
+}
+
+std::vector<DefinitionLink>
+ArgusInterface::definitionLinks(size_t RowIndex) const {
+  std::vector<ViewRow> Current = rows();
+  std::vector<DefinitionLink> Out;
+  if (RowIndex >= Current.size() ||
+      Current[RowIndex].RowKind != ViewRow::Kind::Goal)
+    return Out;
+  for (Symbol Name : namesInGoal(Current[RowIndex].Goal)) {
+    Span Target;
+    if (const TypeCtorDecl *Ctor = Prog->findTypeCtor(Name))
+      Target = Ctor->Sp;
+    else if (const TraitDecl *Trait = Prog->findTrait(Name))
+      Target = Trait->Sp;
+    else if (const FnDecl *Fn = Prog->findFn(Name))
+      Target = Fn->Sp;
+    if (Target.isValid())
+      Out.push_back(DefinitionLink{Prog->session().text(Name), Target});
+  }
+  return Out;
+}
+
+static bool containsInsensitive(std::string_view Haystack,
+                                std::string_view Needle) {
+  if (Needle.empty())
+    return true;
+  auto Lower = [](char C) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  };
+  for (size_t I = 0; I + Needle.size() <= Haystack.size(); ++I) {
+    bool Match = true;
+    for (size_t J = 0; J != Needle.size() && Match; ++J)
+      Match = Lower(Haystack[I + J]) == Lower(Needle[J]);
+    if (Match)
+      return true;
+  }
+  return false;
+}
+
+std::vector<IGoalId> ArgusInterface::searchGoals(
+    std::string_view Needle) const {
+  std::vector<IGoalId> Matches;
+  TypePrinter Printer(*Prog, [] {
+    PrintOptions Opts;
+    Opts.DisambiguateShortNames = true;
+    return Opts;
+  }());
+  for (size_t I = 0; I != Tree->numGoals(); ++I) {
+    IGoalId Id(static_cast<uint32_t>(I));
+    if (containsInsensitive(Printer.print(Tree->goal(Id).Pred), Needle))
+      Matches.push_back(Id);
+  }
+  return Matches;
+}
+
+bool ArgusInterface::revealGoal(IGoalId Goal) {
+  if (Active == ViewKind::TopDown) {
+    // Unfold every ancestor (and the node itself, so its children show
+    // context).
+    for (IGoalId Ancestor : Tree->pathToRoot(Goal))
+      if (!Tree->goal(Ancestor).Candidates.empty())
+        ExpandedTopDown.insert(Ancestor.value());
+    return true;
+  }
+  // Bottom-up: find a ranked leaf whose chain passes through the goal,
+  // then unfold that chain up to (and including) the step revealing it.
+  for (size_t Leaf = 0; Leaf != Ranking.size(); ++Leaf) {
+    std::vector<IGoalId> Chain = Tree->pathToRoot(Ranking[Leaf]);
+    auto It = std::find(Chain.begin(), Chain.end(), Goal);
+    if (It == Chain.end())
+      continue;
+    for (auto Step = Chain.begin(); Step != It; ++Step)
+      if (Tree->goal(*Step).Parent.isValid())
+        ExpandedBottomUp.insert(keyFor(Leaf, *Step));
+    return true;
+  }
+  return false;
+}
+
+size_t ArgusInterface::rowOf(IGoalId Goal) const {
+  std::vector<ViewRow> Rows = rows();
+  for (size_t I = 0; I != Rows.size(); ++I)
+    if (Rows[I].RowKind == ViewRow::Kind::Goal && Rows[I].Goal == Goal)
+      return I;
+  return Rows.size();
+}
+
+std::string ArgusInterface::renderText() const {
+  std::string Out;
+  for (const ViewRow &Row : rows()) {
+    if (Row.RowKind == ViewRow::Kind::Header) {
+      Out += "== " + Row.Text + " ==\n";
+      continue;
+    }
+    Out.append(2 * Row.Indent, ' ');
+    if (Row.RowKind == ViewRow::Kind::Goal && Row.Expandable)
+      Out += Row.Expanded ? "v " : "> ";
+    else
+      Out += "  ";
+    Out += Row.Text;
+    Out.push_back('\n');
+  }
+  return Out;
+}

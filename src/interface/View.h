@@ -1,0 +1,163 @@
+//===- interface/View.h - The Argus interface model -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Argus interface as a UI-toolkit-independent model (Section 3.2).
+/// Each design principle appears as an operation:
+///
+///  - CollapseSeq: rows expand/collapse to progressively unfold the
+///    inference tree; nothing is ever omitted outright.
+///  - ShortTys: types render shortened by default; hovering surfaces the
+///    fully-qualified paths in a minibuffer, and a per-row toggle expands
+///    elided arguments in place.
+///  - CtxtLinks: rows expose jump-to-definition targets and an
+///    implementors popup instead of interleaving that context as text.
+///  - TreeData: both a bottom-up view (ranked failed leaves first,
+///    unfolding towards the root) and a top-down view (root first,
+///    unfolding towards the leaves).
+///
+/// A real front end (the VS Code extension in the paper; the TUI example
+/// here) renders rows() and maps gestures onto these operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_INTERFACE_VIEW_H
+#define ARGUS_INTERFACE_VIEW_H
+
+#include "analysis/Inertia.h"
+#include "extract/InferenceTree.h"
+#include "tlang/Printer.h"
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace argus {
+
+enum class ViewKind : uint8_t { BottomUp, TopDown };
+
+/// One visible line of the interface.
+struct ViewRow {
+  enum class Kind : uint8_t { Goal, Candidate, Header };
+  Kind RowKind = Kind::Goal;
+
+  IGoalId Goal;     ///< RowKind == Goal.
+  ICandId Cand;     ///< RowKind == Candidate.
+  uint32_t Indent = 0;
+  std::string Text; ///< Rendered with the current type options.
+  EvalResult Result = EvalResult::Maybe; ///< Goal/Candidate rows.
+  bool Expandable = false;
+  bool Expanded = false;
+};
+
+/// A jump-to-definition target (CtxtLinks).
+struct DefinitionLink {
+  std::string Name; ///< Fully qualified.
+  Span Target;
+};
+
+class ArgusInterface {
+public:
+  /// \p Ranking supplies the bottom-up ordering (normally inertia's).
+  ArgusInterface(const Program &Prog, const InferenceTree &Tree,
+                 std::vector<IGoalId> Ranking);
+
+  /// Convenience: ranks with inertia.
+  ArgusInterface(const Program &Prog, const InferenceTree &Tree);
+
+  ViewKind activeView() const { return Active; }
+  void setActiveView(ViewKind Kind) { Active = Kind; }
+
+  /// The currently visible rows of the active view.
+  std::vector<ViewRow> rows() const;
+
+  // --- CollapseSeq.
+
+  /// Toggles expansion of the goal row at \p RowIndex (no-op for rows
+  /// that are not expandable). Returns true if the row state changed.
+  bool toggleExpand(size_t RowIndex);
+  void expandAll();
+  void collapseAll();
+
+  // --- ShortTys.
+
+  /// Toggles in-place expansion of elided type arguments on a row.
+  bool toggleTypeEllipsis(size_t RowIndex);
+
+  /// The minibuffer contents when hovering \p RowIndex: the fully
+  /// qualified path of every declared name in the row's predicate.
+  std::string hoverMinibuffer(size_t RowIndex) const;
+
+  // --- CtxtLinks.
+
+  /// The "list all impls of this trait" popup (Figure 8b), for goal rows
+  /// whose predicate is a trait bound.
+  std::vector<std::string> implsPopup(size_t RowIndex) const;
+
+  /// Jump targets for each declared name mentioned in the row.
+  std::vector<DefinitionLink> definitionLinks(size_t RowIndex) const;
+
+  // --- Search (TreeData: "a developer most often cares about finding
+  // --- specific nodes in the tree", Section 3.2.4).
+
+  /// Case-insensitive substring search over rendered goal predicates,
+  /// in tree order.
+  std::vector<IGoalId> searchGoals(std::string_view Needle) const;
+
+  /// Expands the active view so \p Goal becomes visible: in top-down,
+  /// unfolds every ancestor; in bottom-up, unfolds the chain of the
+  /// first ranked leaf that passes through it. Returns false if the goal
+  /// cannot be revealed (not on any ranked leaf's chain).
+  bool revealGoal(IGoalId Goal);
+
+  /// The current row index of \p Goal, or rows().size() if not visible.
+  size_t rowOf(IGoalId Goal) const;
+
+  // --- Rendering.
+
+  /// Renders the active view as text (the shape of Figures 6 and 9).
+  std::string renderText() const;
+
+  const InferenceTree &tree() const { return *Tree; }
+
+private:
+  /// Stable key for fold state: bottom-up rows are per (leaf, goal) so
+  /// two chains sharing an ancestor fold independently.
+  using FoldKey = uint64_t;
+  FoldKey keyFor(size_t LeafIndex, IGoalId Goal) const;
+
+  void buildBottomUpRows(std::vector<ViewRow> &Rows) const;
+  void buildTopDownRows(std::vector<ViewRow> &Rows) const;
+  void appendGoalTopDown(std::vector<ViewRow> &Rows, IGoalId Goal,
+                         uint32_t Indent) const;
+
+  std::string renderGoal(IGoalId Goal) const;
+  std::string renderCandidate(ICandId Cand) const;
+  TypePrinter printerFor(IGoalId Goal) const;
+
+  /// Declared names (types, traits, fns) mentioned by a goal's predicate.
+  std::vector<Symbol> namesInGoal(IGoalId Goal) const;
+  void collectNames(TypeId Ty, std::vector<Symbol> &Out) const;
+
+  const Program *Prog;
+  const InferenceTree *Tree;
+  std::vector<IGoalId> Ranking;
+  ViewKind Active = ViewKind::BottomUp;
+
+  std::unordered_set<FoldKey> ExpandedBottomUp;
+  std::unordered_set<uint32_t> ExpandedTopDown; ///< Goal ids.
+  std::unordered_set<uint32_t> TypeExpanded;    ///< Goal ids.
+
+  /// Parallel bookkeeping rebuilt by rows(): which fold key / leaf index
+  /// each visible row maps to (mutable cache, rebuilt on demand).
+  mutable std::vector<FoldKey> RowKeys;
+  mutable std::vector<IGoalId> RowGoals;
+};
+
+} // namespace argus
+
+#endif // ARGUS_INTERFACE_VIEW_H

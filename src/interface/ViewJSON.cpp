@@ -1,0 +1,67 @@
+//===- interface/ViewJSON.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interface/ViewJSON.h"
+
+using namespace argus;
+
+static const char *rowKindName(ViewRow::Kind Kind) {
+  switch (Kind) {
+  case ViewRow::Kind::Goal:
+    return "goal";
+  case ViewRow::Kind::Candidate:
+    return "candidate";
+  case ViewRow::Kind::Header:
+    return "header";
+  }
+  return "?";
+}
+
+void argus::writeViewJSON(JSONWriter &Writer, const ArgusInterface &UI,
+                          const Program &Prog) {
+  Writer.beginObject();
+  Writer.keyValue("view", UI.activeView() == ViewKind::BottomUp
+                              ? "bottom-up"
+                              : "top-down");
+  Writer.key("rows");
+  Writer.beginArray();
+  std::vector<ViewRow> Rows = UI.rows();
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const ViewRow &Row = Rows[I];
+    Writer.beginObject();
+    Writer.keyValue("kind", rowKindName(Row.RowKind));
+    Writer.keyValue("indent", static_cast<uint64_t>(Row.Indent));
+    Writer.keyValue("text", Row.Text);
+    if (Row.RowKind != ViewRow::Kind::Header) {
+      Writer.keyValue("result", evalResultName(Row.Result));
+      Writer.keyValue("expandable", Row.Expandable);
+      Writer.keyValue("expanded", Row.Expanded);
+    }
+    if (Row.RowKind == ViewRow::Kind::Goal) {
+      Writer.keyValue("hover", UI.hoverMinibuffer(I));
+      Writer.key("definitions");
+      Writer.beginArray();
+      for (const DefinitionLink &Link : UI.definitionLinks(I)) {
+        Writer.beginObject();
+        Writer.keyValue("name", Link.Name);
+        Writer.keyValue("target",
+                        Prog.session().sources().describe(Link.Target));
+        Writer.endObject();
+      }
+      Writer.endArray();
+    }
+    Writer.endObject();
+  }
+  Writer.endArray();
+  Writer.endObject();
+}
+
+std::string argus::viewToJSON(const ArgusInterface &UI, const Program &Prog,
+                              bool Pretty) {
+  JSONWriter Writer(Pretty);
+  writeViewJSON(Writer, UI, Prog);
+  return Writer.str();
+}

@@ -1,0 +1,34 @@
+//===- interface/ViewJSON.h - View-state serialization --------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes the current state of an ArgusInterface — active view,
+/// visible rows with fold state, and per-row contextual data — to JSON.
+/// This is the payload a GUI front end (the VS Code webview in the real
+/// Argus) would render; the TUI renders the same rows() directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_INTERFACE_VIEWJSON_H
+#define ARGUS_INTERFACE_VIEWJSON_H
+
+#include "interface/View.h"
+#include "support/JSON.h"
+
+namespace argus {
+
+/// Writes {"view": "...", "rows": [...]}; each row carries its indent,
+/// kind, rendered text, result, fold state, and (for goal rows) the
+/// hover paths and definition links.
+void writeViewJSON(JSONWriter &Writer, const ArgusInterface &UI,
+                   const Program &Prog);
+
+std::string viewToJSON(const ArgusInterface &UI, const Program &Prog,
+                       bool Pretty = false);
+
+} // namespace argus
+
+#endif // ARGUS_INTERFACE_VIEWJSON_H

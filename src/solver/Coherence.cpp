@@ -1,0 +1,81 @@
+//===- solver/Coherence.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Coherence.h"
+
+#include "solver/InferContext.h"
+#include "tlang/Printer.h"
+
+using namespace argus;
+
+bool argus::implsOverlap(const Program &Prog, const ImplDecl &A,
+                         const ImplDecl &B) {
+  if (A.Trait != B.Trait || A.TraitArgs.size() != B.TraitArgs.size())
+    return false;
+
+  Session &S = Prog.session();
+  InferContext Infcx(S.types(), 0);
+
+  auto Instantiate = [&](const ImplDecl &Decl, TypeId &SelfOut,
+                         std::vector<TypeId> &ArgsOut) {
+    ParamSubst Subst;
+    for (Symbol Generic : Decl.Generics)
+      Subst.emplace(Generic, Infcx.freshVar());
+    SelfOut = S.types().substitute(Decl.SelfTy, Subst);
+    for (TypeId Arg : Decl.TraitArgs)
+      ArgsOut.push_back(S.types().substitute(Arg, Subst));
+  };
+
+  TypeId SelfA, SelfB;
+  std::vector<TypeId> ArgsA, ArgsB;
+  Instantiate(A, SelfA, ArgsA);
+  Instantiate(B, SelfB, ArgsB);
+
+  if (!Infcx.unify(SelfA, SelfB))
+    return false;
+  for (size_t I = 0; I != ArgsA.size(); ++I)
+    if (!Infcx.unify(ArgsA[I], ArgsB[I]))
+      return false;
+  return true;
+}
+
+bool argus::violatesOrphanRule(const Program &Prog, const ImplDecl &Decl) {
+  if (Prog.localityOf(Decl.Trait) == Locality::Local)
+    return false;
+  // Local impls of external traits are fine when the self type's head is
+  // local; external-library impls are by definition coherent in their own
+  // crate.
+  if (Decl.Loc == Locality::External)
+    return false;
+  return Prog.typeLocality(Decl.SelfTy) == Locality::External;
+}
+
+std::vector<CoherenceError> argus::checkCoherence(const Program &Prog) {
+  std::vector<CoherenceError> Errors;
+  TypePrinter Printer(Prog);
+
+  const std::vector<ImplDecl> &Impls = Prog.impls();
+  for (size_t I = 0; I != Impls.size(); ++I) {
+    const ImplDecl &A = Impls[I];
+    if (violatesOrphanRule(Prog, A)) {
+      Errors.push_back(CoherenceError{
+          CoherenceError::Kind::Orphan, A.Id, ImplId::invalid(),
+          "impl violates the orphan rule: " + Printer.printImplHeader(A)});
+    }
+    for (size_t J = I + 1; J != Impls.size(); ++J) {
+      const ImplDecl &B = Impls[J];
+      if (A.Trait != B.Trait)
+        continue;
+      if (implsOverlap(Prog, A, B)) {
+        Errors.push_back(CoherenceError{
+            CoherenceError::Kind::Overlap, A.Id, B.Id,
+            "conflicting implementations: " + Printer.printImplHeader(A) +
+                " overlaps " + Printer.printImplHeader(B)});
+      }
+    }
+  }
+  return Errors;
+}

@@ -1,0 +1,49 @@
+//===- solver/Coherence.h - Overlap and orphan checking -------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coherence checks for a Program's impls: pairwise overlap detection
+/// (two impls of one trait whose headers unify — the reason Bevy needs
+/// marker type parameters, Section 2.3) and the orphan rule (no impl of
+/// an external trait for an external type — the rule behind the inertia
+/// heuristic's locality categories, Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_COHERENCE_H
+#define ARGUS_SOLVER_COHERENCE_H
+
+#include "tlang/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace argus {
+
+struct CoherenceError {
+  enum class Kind : uint8_t { Overlap, Orphan };
+  Kind ErrorKind;
+  ImplId First;
+  ImplId Second; ///< Overlap only.
+  std::string Message;
+};
+
+/// Returns true if the headers of \p A and \p B can unify, i.e. some type
+/// could be covered by both impls. Where-clauses are deliberately ignored
+/// (as in Rust without specialization).
+bool implsOverlap(const Program &Prog, const ImplDecl &A, const ImplDecl &B);
+
+/// Returns true if \p Decl breaks the (simplified) orphan rule: an
+/// external trait implemented for a type whose head constructor is
+/// external.
+bool violatesOrphanRule(const Program &Prog, const ImplDecl &Decl);
+
+/// Runs both checks over every impl in \p Prog.
+std::vector<CoherenceError> checkCoherence(const Program &Prog);
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_COHERENCE_H

@@ -1,0 +1,149 @@
+//===- solver/InferContext.cpp --------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/InferContext.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace argus;
+
+TypeId InferContext::freshVar() {
+  uint32_t Index = static_cast<uint32_t>(Bindings.size());
+  Bindings.push_back(TypeId::invalid());
+  return Arena->infer(Index);
+}
+
+void InferContext::bind(uint32_t Index, TypeId T) {
+  assert(Index < Bindings.size() && "binding an unknown variable");
+  assert(!Bindings[Index].isValid() && "rebinding a bound variable");
+  Bindings[Index] = T;
+  Trail.push_back(Index);
+}
+
+void InferContext::rollbackTo(Snapshot Snap) {
+  assert(Snap <= Trail.size() && "rollback into the future");
+  while (Trail.size() > Snap) {
+    Bindings[Trail.back()] = TypeId::invalid();
+    Trail.pop_back();
+  }
+}
+
+TypeId InferContext::resolve(TypeId T) const {
+  return Arena->substituteInfer(
+      T, [this](uint32_t Index) { return binding(Index); });
+}
+
+TypeId InferContext::shallowResolve(TypeId T) const {
+  const Type *Node = &Arena->get(T);
+  while (Node->Kind == TypeKind::Infer && isBound(Node->InferIndex)) {
+    T = Bindings[Node->InferIndex];
+    Node = &Arena->get(T);
+  }
+  return T;
+}
+
+Predicate InferContext::resolve(const Predicate &P) const {
+  Predicate Out = P;
+  if (Out.Subject.isValid())
+    Out.Subject = resolve(Out.Subject);
+  for (TypeId &Arg : Out.Args)
+    Arg = resolve(Arg);
+  if (Out.Rhs.isValid())
+    Out.Rhs = resolve(Out.Rhs);
+  return Out;
+}
+
+bool InferContext::unify(TypeId A, TypeId B) {
+  A = shallowResolve(A);
+  B = shallowResolve(B);
+  if (A == B)
+    return true;
+
+  const Type &NodeA = Arena->get(A);
+  const Type &NodeB = Arena->get(B);
+
+  if (NodeA.Kind == TypeKind::Infer) {
+    if (Arena->occurs(resolve(B), NodeA.InferIndex))
+      return false; // Occurs check: would build an infinite type.
+    bind(NodeA.InferIndex, B);
+    return true;
+  }
+  if (NodeB.Kind == TypeKind::Infer) {
+    if (Arena->occurs(resolve(A), NodeB.InferIndex))
+      return false;
+    bind(NodeB.InferIndex, A);
+    return true;
+  }
+
+  if (NodeA.Kind != NodeB.Kind)
+    return false;
+
+  switch (NodeA.Kind) {
+  case TypeKind::Unit:
+    return true;
+  case TypeKind::Error:
+    // Error types unify with nothing (including themselves, handled by
+    // the A == B early-out above): failures should not cascade into
+    // spurious successes.
+    return true;
+  case TypeKind::Param:
+    return NodeA.Name == NodeB.Name;
+  case TypeKind::Ref:
+    // Regions are erased during trait solving.
+    if (NodeA.Mutable != NodeB.Mutable)
+      return false;
+    return unify(NodeA.Args[0], NodeB.Args[0]);
+  case TypeKind::Adt:
+  case TypeKind::FnDef:
+    if (NodeA.Name != NodeB.Name)
+      return false;
+    break;
+  case TypeKind::Projection:
+    // Rigid (unnormalized) projections unify only structurally; the
+    // solver normalizes before unification where semantics demand it.
+    if (NodeA.Name != NodeB.Name || NodeA.TraitName != NodeB.TraitName)
+      return false;
+    break;
+  case TypeKind::Tuple:
+  case TypeKind::FnPtr:
+    break;
+  case TypeKind::Infer:
+    return false; // Unreachable: handled above.
+  }
+
+  if (NodeA.Args.size() != NodeB.Args.size())
+    return false;
+  for (size_t I = 0; I != NodeA.Args.size(); ++I)
+    if (!unify(NodeA.Args[I], NodeB.Args[I]))
+      return false;
+  return true;
+}
+
+size_t InferContext::countUnresolved(TypeId T) const {
+  std::vector<uint32_t> Vars;
+  Arena->collectInferVars(resolve(T), Vars);
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars.size();
+}
+
+size_t InferContext::countUnresolved(const Predicate &P) const {
+  std::vector<uint32_t> Vars;
+  if (P.Subject.isValid())
+    Arena->collectInferVars(resolve(P.Subject), Vars);
+  for (TypeId Arg : P.Args)
+    Arena->collectInferVars(resolve(Arg), Vars);
+  if (P.Rhs.isValid())
+    Arena->collectInferVars(resolve(P.Rhs), Vars);
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars.size();
+}
+
+bool InferContext::isFullyResolved(const Predicate &P) const {
+  return countUnresolved(P) == 0;
+}

@@ -1,0 +1,90 @@
+//===- solver/InferContext.h - Unification machinery ----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inference variables and first-order unification with occurs check. The
+/// trail-based snapshot/rollback mechanism lets the solver try a candidate
+/// impl, observe the outcome, and back out its bindings — the same shape
+/// rustc's `InferCtxt::probe` has.
+///
+/// Regions unify permissively: Rust's trait solving is region-erased, and
+/// so is ours.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_INFERCONTEXT_H
+#define ARGUS_SOLVER_INFERCONTEXT_H
+
+#include "tlang/Predicate.h"
+#include "tlang/TypeArena.h"
+
+#include <vector>
+
+namespace argus {
+
+class InferContext {
+public:
+  /// \p FirstFresh must be above every inference-variable index already
+  /// present in the program's goals.
+  InferContext(TypeArena &Arena, uint32_t FirstFresh)
+      : Arena(&Arena), Bindings(FirstFresh, TypeId::invalid()) {}
+
+  /// Creates a fresh, unbound inference variable.
+  TypeId freshVar();
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Bindings.size()); }
+
+  bool isBound(uint32_t Index) const {
+    return Index < Bindings.size() && Bindings[Index].isValid();
+  }
+
+  /// The current binding of \p Index (invalid if unbound).
+  TypeId binding(uint32_t Index) const {
+    return Index < Bindings.size() ? Bindings[Index] : TypeId::invalid();
+  }
+
+  /// Fully substitutes bound inference variables in \p T.
+  TypeId resolve(TypeId T) const;
+
+  /// Substitutes only at the root, following binding chains.
+  TypeId shallowResolve(TypeId T) const;
+
+  /// Resolves all types inside \p P.
+  Predicate resolve(const Predicate &P) const;
+
+  /// Structural unification; binds inference variables on success. On
+  /// failure, bindings made during the attempt remain on the trail, so
+  /// callers should snapshot/rollback around speculative unification.
+  bool unify(TypeId A, TypeId B);
+
+  /// Number of unbound inference variables occurring in \p T (after
+  /// resolution), counting duplicates once.
+  size_t countUnresolved(TypeId T) const;
+  size_t countUnresolved(const Predicate &P) const;
+
+  /// True if \p P contains no unbound inference variables.
+  bool isFullyResolved(const Predicate &P) const;
+
+  // --- Snapshots.
+  using Snapshot = size_t;
+  Snapshot snapshot() const { return Trail.size(); }
+  void rollbackTo(Snapshot Snap);
+
+  /// Number of bindings committed since construction (monotone except
+  /// across rollbacks); used by the fixpoint loop to detect progress.
+  size_t trailLength() const { return Trail.size(); }
+
+private:
+  void bind(uint32_t Index, TypeId T);
+
+  TypeArena *Arena;
+  std::vector<TypeId> Bindings;
+  std::vector<uint32_t> Trail;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_INFERCONTEXT_H

@@ -1,0 +1,125 @@
+//===- solver/ProofTree.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/ProofTree.h"
+
+#include <cassert>
+
+using namespace argus;
+
+EvalResult argus::conjoin(EvalResult A, EvalResult B) {
+  // Overflow > No > Maybe > Yes.
+  if (A == EvalResult::Overflow || B == EvalResult::Overflow)
+    return EvalResult::Overflow;
+  if (A == EvalResult::No || B == EvalResult::No)
+    return EvalResult::No;
+  if (A == EvalResult::Maybe || B == EvalResult::Maybe)
+    return EvalResult::Maybe;
+  return EvalResult::Yes;
+}
+
+EvalResult argus::disjoin(EvalResult A, EvalResult B) {
+  // Yes > Maybe > Overflow > No.
+  if (A == EvalResult::Yes || B == EvalResult::Yes)
+    return EvalResult::Yes;
+  if (A == EvalResult::Maybe || B == EvalResult::Maybe)
+    return EvalResult::Maybe;
+  if (A == EvalResult::Overflow || B == EvalResult::Overflow)
+    return EvalResult::Overflow;
+  return EvalResult::No;
+}
+
+const char *argus::evalResultName(EvalResult Result) {
+  switch (Result) {
+  case EvalResult::Yes:
+    return "yes";
+  case EvalResult::Maybe:
+    return "maybe";
+  case EvalResult::No:
+    return "no";
+  case EvalResult::Overflow:
+    return "overflow";
+  }
+  return "?";
+}
+
+GoalNode &ProofForest::goal(GoalNodeId Id) {
+  assert(Id.isValid() && Id.value() < Goals.size() && "bad GoalNodeId");
+  return Goals[Id.value()];
+}
+
+const GoalNode &ProofForest::goal(GoalNodeId Id) const {
+  assert(Id.isValid() && Id.value() < Goals.size() && "bad GoalNodeId");
+  return Goals[Id.value()];
+}
+
+CandidateNode &ProofForest::candidate(CandNodeId Id) {
+  assert(Id.isValid() && Id.value() < Candidates.size() && "bad CandNodeId");
+  return Candidates[Id.value()];
+}
+
+const CandidateNode &ProofForest::candidate(CandNodeId Id) const {
+  assert(Id.isValid() && Id.value() < Candidates.size() && "bad CandNodeId");
+  return Candidates[Id.value()];
+}
+
+GoalNodeId ProofForest::makeGoal() {
+  GoalNodeId Id(static_cast<uint32_t>(Goals.size()));
+  Goals.emplace_back();
+  Goals.back().Id = Id;
+  return Id;
+}
+
+CandNodeId ProofForest::makeCandidate() {
+  CandNodeId Id(static_cast<uint32_t>(Candidates.size()));
+  Candidates.emplace_back();
+  Candidates.back().Id = Id;
+  return Id;
+}
+
+size_t ProofForest::subtreeSize(GoalNodeId Root) const {
+  const GoalNode &Node = goal(Root);
+  size_t Size = 1;
+  for (CandNodeId CandId : Node.Candidates) {
+    ++Size;
+    for (GoalNodeId Sub : candidate(CandId).SubGoals)
+      Size += subtreeSize(Sub);
+  }
+  return Size;
+}
+
+/// Returns true if any goal in the subtree below (excluding) \p Node
+/// failed.
+static bool hasFailedDescendant(const ProofForest &Forest,
+                                const GoalNode &Node) {
+  for (CandNodeId CandId : Node.Candidates)
+    for (GoalNodeId Sub : Forest.candidate(CandId).SubGoals) {
+      const GoalNode &SubNode = Forest.goal(Sub);
+      if (failed(SubNode.Result))
+        return true;
+      if (hasFailedDescendant(Forest, SubNode))
+        return true;
+    }
+  return false;
+}
+
+static void collectFailedLeaves(const ProofForest &Forest, GoalNodeId Id,
+                                std::vector<GoalNodeId> &Out) {
+  const GoalNode &Node = Forest.goal(Id);
+  if (failed(Node.Result) && !hasFailedDescendant(Forest, Node)) {
+    Out.push_back(Id);
+    return;
+  }
+  for (CandNodeId CandId : Node.Candidates)
+    for (GoalNodeId Sub : Forest.candidate(CandId).SubGoals)
+      collectFailedLeaves(Forest, Sub, Out);
+}
+
+std::vector<GoalNodeId> ProofForest::failedLeaves(GoalNodeId Root) const {
+  std::vector<GoalNodeId> Out;
+  collectFailedLeaves(*this, Root, Out);
+  return Out;
+}

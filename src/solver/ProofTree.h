@@ -1,0 +1,140 @@
+//===- solver/ProofTree.h - Raw trait inference trees ---------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The raw AND/OR proof forest produced by the trait solver: the "Trait
+/// Inference Tree" of Figure 5. An evaluated predicate (GoalNode) holds a
+/// set of evaluated candidates; a candidate (CandidateNode) holds the
+/// nested predicates its where-clauses require. A predicate succeeds if
+/// one candidate succeeds; a candidate succeeds if all its subgoals do.
+///
+/// This is the *raw* structure: it still contains internal predicate
+/// kinds, stateful normalization nodes, and one snapshot per fixpoint
+/// round. The extract library turns it into the idealized tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_PROOFTREE_H
+#define ARGUS_SOLVER_PROOFTREE_H
+
+#include "tlang/Decl.h"
+#include "tlang/Predicate.h"
+
+#include <deque>
+#include <vector>
+
+namespace argus {
+
+/// The evaluation result lattice (Figure 5): yes | no | maybe, plus
+/// Overflow, which the Rust compiler surfaces as its own error (E0275)
+/// and which Argus renders distinctly on cycle nodes.
+enum class EvalResult : uint8_t { Yes, Maybe, No, Overflow };
+
+/// Result of conjoining two subgoal results (a candidate needs all of its
+/// subgoals): any failure dominates, Overflow dominates No.
+EvalResult conjoin(EvalResult A, EvalResult B);
+
+/// Result of disjoining two candidate results (a goal needs one
+/// candidate): any success dominates; Maybe beats failure; Overflow beats
+/// plain No so cycles are reported rather than swallowed.
+EvalResult disjoin(EvalResult A, EvalResult B);
+
+const char *evalResultName(EvalResult Result);
+
+inline bool succeeded(EvalResult Result) { return Result == EvalResult::Yes; }
+inline bool failed(EvalResult Result) {
+  return Result == EvalResult::No || Result == EvalResult::Overflow;
+}
+
+struct GoalNodeTag {};
+using GoalNodeId = Id<GoalNodeTag>;
+struct CandNodeTag {};
+using CandNodeId = Id<CandNodeTag>;
+
+/// How a candidate was assembled for a goal.
+enum class CandidateKind : uint8_t {
+  Impl,     ///< A user impl block whose header unified with the goal.
+  ParamEnv, ///< A where-clause assumption in the goal's environment.
+  Builtin,  ///< Compiler-provided: fn-trait implementations for fn items
+            ///< and fn pointers, Sized, region rules.
+};
+
+/// An evaluated predicate: one node of the AND/OR tree.
+struct GoalNode {
+  GoalNodeId Id;
+  Predicate Pred; ///< As evaluated (inference-resolved at evaluation time).
+  EvalResult Result = EvalResult::Maybe;
+  std::vector<CandNodeId> Candidates;
+
+  CandNodeId ParentCandidate; ///< Invalid for roots.
+  uint32_t Depth = 0;
+
+  /// Provenance: the span of the impl/goal/trait declaration whose
+  /// where-clause introduced this obligation.
+  Span Origin;
+
+  /// Which program goal this evaluation ultimately serves, and which
+  /// fixpoint round produced it (roots only; see SolveOutcome).
+  uint32_t GoalIndex = 0;
+  uint32_t SnapshotRound = 0;
+
+  /// NormalizesTo goals are stateful (Section 4): the value written into
+  /// the output variable, captured after the subtree executed.
+  TypeId NormalizedValue = TypeId::invalid();
+
+  /// For successful goals: the candidate that was selected (and whose
+  /// bindings were committed).
+  CandNodeId SelectedCandidate;
+
+  /// True if this node's result came from the evaluation cache (the
+  /// memoization ablation); such nodes have no candidates.
+  bool FromCache = false;
+};
+
+/// An evaluated candidate: the OR-branches of a goal.
+struct CandidateNode {
+  CandNodeId Id;
+  CandidateKind Kind = CandidateKind::Impl;
+  ImplId Impl;        ///< Kind == Impl.
+  Symbol BuiltinName; ///< Kind == Builtin: "fn-item", "sized", ...
+  Predicate Assumption; ///< Kind == ParamEnv: the matching assumption.
+  EvalResult Result = EvalResult::Maybe;
+  std::vector<GoalNodeId> SubGoals;
+  GoalNodeId Parent;
+};
+
+/// Owns every node produced while solving one program.
+class ProofForest {
+public:
+  GoalNode &goal(GoalNodeId Id);
+  const GoalNode &goal(GoalNodeId Id) const;
+  CandidateNode &candidate(CandNodeId Id);
+  const CandidateNode &candidate(CandNodeId Id) const;
+
+  GoalNodeId makeGoal();
+  CandNodeId makeCandidate();
+
+  size_t numGoals() const { return Goals.size(); }
+  size_t numCandidates() const { return Candidates.size(); }
+
+  /// Total nodes (goals + candidates) reachable from \p Root.
+  size_t subtreeSize(GoalNodeId Root) const;
+
+  /// All failed goal leaves under \p Root: failed goals none of whose
+  /// candidates contain a deeper failed goal. These are the "innermost
+  /// failing predicates" of the bottom-up view.
+  std::vector<GoalNodeId> failedLeaves(GoalNodeId Root) const;
+
+private:
+  // Deques keep node addresses stable while child nodes are created, so
+  // the solver may hold references across makeGoal()/makeCandidate().
+  std::deque<GoalNode> Goals;
+  std::deque<CandidateNode> Candidates;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_PROOFTREE_H

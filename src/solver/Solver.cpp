@@ -1,0 +1,926 @@
+//===- solver/Solver.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace argus;
+
+namespace {
+
+/// Outcome of evaluating a trait goal, beyond the result itself: which
+/// candidate won and with what instantiation. Projection normalization
+/// uses this to read associated-type bindings out of the winning impl.
+struct TraitEvalInfo {
+  CandidateKind WinnerKind = CandidateKind::Builtin;
+  ImplId WinnerImpl;
+  ParamSubst WinnerSubst;
+  bool HasWinner = false;
+};
+
+} // namespace
+
+struct Solver::Impl {
+  const Program &Prog;
+  Session &S;
+  SolverOptions Opts;
+  InferContext Infcx;
+
+  /// Nodes are recorded into OutForest normally; the quiet commit phase
+  /// (replaying a winning candidate to re-establish its bindings) records
+  /// into Scratch instead so the displayed tree has no duplicates.
+  ProofForest *OutForest = nullptr;
+  ProofForest Scratch;
+  bool Quiet = false;
+
+  std::vector<Predicate> GoalStack;
+  std::unordered_map<Predicate, EvalResult, PredicateHasher> Memo;
+  uint64_t NumEvaluations = 0;
+  uint64_t NumMemoHits = 0;
+
+  Impl(const Program &Prog, SolverOptions Opts)
+      : Prog(Prog), S(Prog.session()), Opts(Opts),
+        Infcx(S.types(), firstFreshVar(Prog)) {}
+
+  static uint32_t firstFreshVar(const Program &Prog);
+
+  ProofForest &forest() { return Quiet ? Scratch : *OutForest; }
+  TypeArena &arena() { return S.types(); }
+
+  /// The current environment, closed under supertrait elaboration: an
+  /// assumption `sigma: Ord` with `trait Ord: Eq` also justifies
+  /// `sigma: Eq`, as in rustc's elaborated predicates.
+  std::vector<Predicate> ElaboratedEnv;
+  void setEnv(const std::vector<Predicate> &NewEnv);
+
+  // --- Helpers.
+  Predicate substPredicate(const Predicate &P, const ParamSubst &Subst);
+  ParamSubst freshSubst(const std::vector<Symbol> &Generics);
+  bool onStack(const Predicate &P) const;
+  bool unifyTraitHead(const Predicate &Goal, TypeId SelfTy,
+                      const std::vector<TypeId> &Args);
+
+  // --- Evaluation.
+  GoalNodeId evalGoal(const Predicate &P, uint32_t Depth, Span Origin,
+                      TraitEvalInfo *Info);
+  EvalResult evalTraitGoal(GoalNodeId NodeId, Predicate Pred, uint32_t Depth,
+                           TraitEvalInfo *Info);
+  EvalResult evalImplSubgoals(CandNodeId CandId, const ImplDecl &Decl,
+                              const ParamSubst &Subst, TypeId SelfInst,
+                              const std::vector<TypeId> &ArgsInst,
+                              uint32_t Depth);
+  EvalResult evalProjectionGoal(GoalNodeId NodeId, const Predicate &Pred,
+                                uint32_t Depth);
+  EvalResult evalNormalizesTo(GoalNodeId NodeId, const Predicate &Pred,
+                              uint32_t Depth);
+  EvalResult evalOutlivesGoal(GoalNodeId NodeId, const Predicate &Pred);
+  EvalResult evalRegionOutlives(GoalNodeId NodeId, const Predicate &Pred);
+  EvalResult evalSizedGoal(GoalNodeId NodeId, const Predicate &Pred);
+  EvalResult evalWellFormedGoal(GoalNodeId NodeId, const Predicate &Pred);
+
+  /// Re-establishes the bindings of the winning candidate (quietly) and
+  /// reports its instantiation through \p Info.
+  void applyWinner(const Predicate &Pred, const CandidateNode &Winner,
+                   uint32_t Depth, TraitEvalInfo *Info);
+
+  /// Normalizes projections nested inside \p T, attaching NormalizesTo
+  /// subgoals to \p CandId. Returns the normalized type, or invalid if a
+  /// nested normalization failed (with \p Blame set to that result).
+  TypeId deepNormalize(TypeId T, CandNodeId CandId, uint32_t Depth,
+                       Span Origin, EvalResult &Blame);
+
+  /// True if every region inside \p Ty outlives \p Bound.
+  bool regionsOutlive(TypeId Ty, Region Bound);
+  static bool regionOutlives(Region Sub, Region Sup);
+};
+
+uint32_t Solver::Impl::firstFreshVar(const Program &Prog) {
+  std::vector<uint32_t> Vars;
+  const TypeArena &Arena = Prog.session().types();
+  auto Scan = [&](const Predicate &P) {
+    if (P.Subject.isValid())
+      Arena.collectInferVars(P.Subject, Vars);
+    for (TypeId Arg : P.Args)
+      Arena.collectInferVars(Arg, Vars);
+    if (P.Rhs.isValid())
+      Arena.collectInferVars(P.Rhs, Vars);
+  };
+  for (const GoalDecl &Goal : Prog.goals()) {
+    Scan(Goal.Pred);
+    for (const Predicate &A : Goal.Env)
+      Scan(A);
+  }
+  uint32_t First = 0;
+  for (uint32_t Index : Vars)
+    First = std::max(First, Index + 1);
+  return First;
+}
+
+void Solver::Impl::setEnv(const std::vector<Predicate> &NewEnv) {
+  ElaboratedEnv = NewEnv;
+  std::unordered_set<Predicate, PredicateHasher> Seen(NewEnv.begin(),
+                                                      NewEnv.end());
+  // Fixpoint over supertrait bounds; the cap guards against
+  // ever-growing supertrait argument types (trait A<X>: A<Vec<X>>).
+  const size_t MaxElaborated = 256;
+  for (size_t I = 0;
+       I < ElaboratedEnv.size() && ElaboratedEnv.size() < MaxElaborated;
+       ++I) {
+    Predicate Assumption = ElaboratedEnv[I];
+    if (Assumption.Kind != PredicateKind::Trait)
+      continue;
+    const TraitDecl *Trait = Prog.findTrait(Assumption.Trait);
+    if (!Trait)
+      continue;
+    ParamSubst Subst;
+    Subst.emplace(S.name("Self"), Assumption.Subject);
+    for (size_t J = 0;
+         J < Trait->Params.size() && J < Assumption.Args.size(); ++J)
+      Subst.emplace(Trait->Params[J], Assumption.Args[J]);
+    for (const Predicate &Where : Trait->WhereClauses) {
+      if (Where.Kind != PredicateKind::Trait)
+        continue;
+      Predicate Elaborated = substPredicate(Where, Subst);
+      if (Seen.insert(Elaborated).second)
+        ElaboratedEnv.push_back(std::move(Elaborated));
+    }
+  }
+}
+
+Predicate Solver::Impl::substPredicate(const Predicate &P,
+                                       const ParamSubst &Subst) {
+  Predicate Out = P;
+  if (Out.Subject.isValid())
+    Out.Subject = arena().substitute(Out.Subject, Subst);
+  for (TypeId &Arg : Out.Args)
+    Arg = arena().substitute(Arg, Subst);
+  if (Out.Rhs.isValid())
+    Out.Rhs = arena().substitute(Out.Rhs, Subst);
+  return Out;
+}
+
+ParamSubst Solver::Impl::freshSubst(const std::vector<Symbol> &Generics) {
+  ParamSubst Subst;
+  for (Symbol Generic : Generics)
+    Subst.emplace(Generic, Infcx.freshVar());
+  return Subst;
+}
+
+bool Solver::Impl::onStack(const Predicate &P) const {
+  for (const Predicate &Ancestor : GoalStack) {
+    if (Ancestor.Kind != P.Kind)
+      continue;
+    // NormalizesTo goals get a fresh output variable each time, so cycle
+    // detection compares them modulo the output (Rhs).
+    if (P.Kind == PredicateKind::NormalizesTo) {
+      if (Ancestor.Subject == P.Subject)
+        return true;
+      continue;
+    }
+    if (Ancestor == P)
+      return true;
+  }
+  return false;
+}
+
+bool Solver::Impl::unifyTraitHead(const Predicate &Goal, TypeId SelfTy,
+                                  const std::vector<TypeId> &Args) {
+  if (Goal.Args.size() != Args.size())
+    return false;
+  if (!Infcx.unify(Goal.Subject, SelfTy))
+    return false;
+  for (size_t I = 0; I != Args.size(); ++I)
+    if (!Infcx.unify(Goal.Args[I], Args[I]))
+      return false;
+  return true;
+}
+
+GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
+                                  Span Origin, TraitEvalInfo *Info) {
+  ++NumEvaluations;
+#ifdef ARGUS_TRACE_EVAL
+  fprintf(stderr, "eval #%llu depth=%u kind=%d quiet=%d stack=%zu vars=%u\n",
+          (unsigned long long)NumEvaluations, Depth, (int)P.Kind, (int)Quiet,
+          GoalStack.size(), Infcx.numVars());
+#endif
+  Predicate Resolved = Infcx.resolve(P);
+
+  GoalNodeId NodeId = forest().makeGoal();
+  {
+    GoalNode &Node = forest().goal(NodeId);
+    Node.Pred = Resolved;
+    Node.Depth = Depth;
+    Node.Origin = Origin;
+  }
+
+  if (Depth > Opts.MaxDepth || onStack(Resolved) ||
+      NumEvaluations > Opts.MaxGoalEvaluations) {
+    forest().goal(NodeId).Result = EvalResult::Overflow;
+    return NodeId;
+  }
+
+  bool FullyResolved = Infcx.isFullyResolved(Resolved);
+  if (Opts.EnableMemoization && FullyResolved) {
+    auto It = Memo.find(Resolved);
+    if (It != Memo.end()) {
+      ++NumMemoHits;
+      GoalNode &Node = forest().goal(NodeId);
+      Node.Result = It->second;
+      Node.FromCache = true;
+      return NodeId;
+    }
+  }
+
+  GoalStack.push_back(Resolved);
+  EvalResult Result;
+  switch (Resolved.Kind) {
+  case PredicateKind::Trait:
+    Result = evalTraitGoal(NodeId, Resolved, Depth, Info);
+    break;
+  case PredicateKind::Projection:
+    Result = evalProjectionGoal(NodeId, Resolved, Depth);
+    break;
+  case PredicateKind::NormalizesTo:
+    Result = evalNormalizesTo(NodeId, Resolved, Depth);
+    break;
+  case PredicateKind::Outlives:
+    Result = evalOutlivesGoal(NodeId, Resolved);
+    break;
+  case PredicateKind::RegionOutlives:
+    Result = evalRegionOutlives(NodeId, Resolved);
+    break;
+  case PredicateKind::Sized:
+    Result = evalSizedGoal(NodeId, Resolved);
+    break;
+  case PredicateKind::WellFormed:
+    Result = evalWellFormedGoal(NodeId, Resolved);
+    break;
+  }
+  GoalStack.pop_back();
+
+  forest().goal(NodeId).Result = Result;
+  if (Opts.EnableMemoization && FullyResolved &&
+      (Result == EvalResult::Yes || Result == EvalResult::No))
+    Memo.emplace(Resolved, Result);
+  return NodeId;
+}
+
+EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
+                                       uint32_t Depth, TraitEvalInfo *Info) {
+  // A projection subject is normalized before candidate assembly, as in
+  // rustc: `<N as Node>::Info: Meta` first resolves Info, then proves the
+  // bound on the result. The normalization is a stateful subtree that
+  // extraction elides on success.
+  TypeId ShallowSubject = Infcx.shallowResolve(Pred.Subject);
+  bool SubjectNormalizes = false;
+  if (arena().get(ShallowSubject).Kind == TypeKind::Projection) {
+    // Quiet probe: does the projection actually resolve to something
+    // new? A rigid projection (proved via an assumption) must fall
+    // through to structural assembly or it would re-normalize forever.
+    Span ProbeOrigin = forest().goal(NodeId).Origin;
+    bool SavedQuiet = Quiet;
+    Quiet = true;
+    InferContext::Snapshot Snap = Infcx.snapshot();
+    TypeId Probe = Infcx.freshVar();
+    GoalNodeId ProbeGoal =
+        evalGoal(Predicate::normalizesTo(ShallowSubject, Probe),
+                 Depth + 1, ProbeOrigin, nullptr);
+    EvalResult ProbeResult = forest().goal(ProbeGoal).Result;
+    TypeId ProbeValue = Infcx.resolve(Probe);
+    Infcx.rollbackTo(Snap);
+    Quiet = SavedQuiet;
+    SubjectNormalizes =
+        ProbeResult != EvalResult::Yes || ProbeValue != ShallowSubject;
+  }
+  if (SubjectNormalizes) {
+    Span Origin = forest().goal(NodeId).Origin;
+    CandNodeId CandId = forest().makeCandidate();
+    {
+      CandidateNode &Cand = forest().candidate(CandId);
+      Cand.Kind = CandidateKind::Builtin;
+      Cand.BuiltinName = S.name("normalize-subject");
+      Cand.Parent = NodeId;
+    }
+    forest().goal(NodeId).Candidates.push_back(CandId);
+
+    TypeId OutVar = Infcx.freshVar();
+    GoalNodeId NormGoal = evalGoal(
+        Predicate::normalizesTo(Pred.Subject, OutVar), Depth + 1, Origin,
+        nullptr);
+    forest().candidate(CandId).SubGoals.push_back(NormGoal);
+    forest().goal(NormGoal).ParentCandidate = CandId;
+    EvalResult Result = forest().goal(NormGoal).Result;
+    if (Result == EvalResult::Yes) {
+      Predicate Retry = Pred;
+      Retry.Subject = Infcx.resolve(OutVar);
+      GoalNodeId Inner = evalGoal(Retry, Depth + 1, Origin, Info);
+      forest().candidate(CandId).SubGoals.push_back(Inner);
+      forest().goal(Inner).ParentCandidate = CandId;
+      Result = forest().goal(Inner).Result;
+    }
+    forest().candidate(CandId).Result = Result;
+    if (Result == EvalResult::Yes)
+      forest().goal(NodeId).SelectedCandidate = CandId;
+    return Result;
+  }
+
+  struct Attempt {
+    CandNodeId Cand;
+    EvalResult Result;
+  };
+  std::vector<Attempt> Attempts;
+
+  // Impl enumeration needs a known self type: for `?X: Trait` every impl
+  // would apply, so that part of assembly is immediately ambiguous,
+  // exactly as in rustc (later fixpoint rounds retry once other goals
+  // constrain the variable; this also keeps the uncached search finite).
+  // Where-clause assumptions are still matched below — they do not
+  // enumerate.
+  bool SelfIsUnknown = arena()
+                           .get(Infcx.shallowResolve(Pred.Subject))
+                           .Kind == TypeKind::Infer;
+
+  // Parameter-environment candidates: where-clause assumptions in scope
+  // (closed under supertrait elaboration).
+  {
+    for (const Predicate &Assumption : ElaboratedEnv) {
+      if (Assumption.Kind != PredicateKind::Trait ||
+          Assumption.Trait != Pred.Trait)
+        continue;
+      InferContext::Snapshot Snap = Infcx.snapshot();
+      bool Matches =
+          unifyTraitHead(Pred, Assumption.Subject, Assumption.Args);
+      Infcx.rollbackTo(Snap);
+      if (!Matches)
+        continue;
+      CandNodeId CandId = forest().makeCandidate();
+      CandidateNode &Cand = forest().candidate(CandId);
+      Cand.Kind = CandidateKind::ParamEnv;
+      Cand.Assumption = Assumption;
+      Cand.Result = EvalResult::Yes;
+      Cand.Parent = NodeId;
+      forest().goal(NodeId).Candidates.push_back(CandId);
+      Attempts.push_back({CandId, EvalResult::Yes});
+    }
+  }
+
+  if (SelfIsUnknown) {
+    CandNodeId CandId = forest().makeCandidate();
+    CandidateNode &Cand = forest().candidate(CandId);
+    Cand.Kind = CandidateKind::Builtin;
+    Cand.BuiltinName = S.name("ambiguous-self");
+    Cand.Result = EvalResult::Maybe;
+    Cand.Parent = NodeId;
+    forest().goal(NodeId).Candidates.push_back(CandId);
+    Attempts.push_back({CandId, EvalResult::Maybe});
+  }
+
+  // Impl candidates: every impl of this trait whose header unifies.
+  for (ImplId ImplIdx : SelfIsUnknown ? std::vector<ImplId>()
+                                      : Prog.implsOf(Pred.Trait)) {
+    const ImplDecl &Decl = Prog.impl(ImplIdx);
+#ifdef ARGUS_TRACE_EVAL
+    fprintf(stderr, "  try impl %u depth=%u\n", ImplIdx.value(), Depth);
+#endif
+    InferContext::Snapshot Snap = Infcx.snapshot();
+    ParamSubst Subst = freshSubst(Decl.Generics);
+    TypeId SelfInst = arena().substitute(Decl.SelfTy, Subst);
+    std::vector<TypeId> ArgsInst;
+    ArgsInst.reserve(Decl.TraitArgs.size());
+    for (TypeId Arg : Decl.TraitArgs)
+      ArgsInst.push_back(arena().substitute(Arg, Subst));
+
+    if (!unifyTraitHead(Pred, SelfInst, ArgsInst)) {
+      // Head mismatch: like rustc, the candidate simply does not
+      // assemble and leaves no trace in the tree.
+      Infcx.rollbackTo(Snap);
+      continue;
+    }
+
+    CandNodeId CandId = forest().makeCandidate();
+    {
+      CandidateNode &Cand = forest().candidate(CandId);
+      Cand.Kind = CandidateKind::Impl;
+      Cand.Impl = ImplIdx;
+      Cand.Parent = NodeId;
+    }
+    forest().goal(NodeId).Candidates.push_back(CandId);
+
+    EvalResult CandResult =
+        evalImplSubgoals(CandId, Decl, Subst, SelfInst, ArgsInst, Depth);
+    forest().candidate(CandId).Result = CandResult;
+    Infcx.rollbackTo(Snap);
+    Attempts.push_back({CandId, CandResult});
+  }
+
+  // Builtin candidate: fn items and fn pointers implement #[fn_trait]
+  // traits whose single argument mirrors their signature.
+  const TraitDecl *Trait = Prog.findTrait(Pred.Trait);
+  if (Trait && Trait->IsFnTrait) {
+    TypeId Subject = Infcx.shallowResolve(Pred.Subject);
+    const Type &SubjectNode = arena().get(Subject);
+    if (SubjectNode.Kind == TypeKind::FnDef ||
+        SubjectNode.Kind == TypeKind::FnPtr) {
+      InferContext::Snapshot Snap = Infcx.snapshot();
+      std::vector<TypeId> Params(SubjectNode.Args.begin(),
+                                 SubjectNode.Args.end() - 1);
+      TypeId Signature = arena().fnPtr(Params, SubjectNode.Args.back());
+      bool Ok =
+          Pred.Args.size() == 1 && Infcx.unify(Pred.Args[0], Signature);
+      Infcx.rollbackTo(Snap);
+
+      CandNodeId CandId = forest().makeCandidate();
+      CandidateNode &Cand = forest().candidate(CandId);
+      Cand.Kind = CandidateKind::Builtin;
+      Cand.BuiltinName = S.name("fn-item");
+      Cand.Result = Ok ? EvalResult::Yes : EvalResult::No;
+      Cand.Parent = NodeId;
+      forest().goal(NodeId).Candidates.push_back(CandId);
+      Attempts.push_back({CandId, Cand.Result});
+    }
+  }
+
+  // Selection: exactly one success commits; several is ambiguity (only
+  // reachable when inference variables are present, since coherence rules
+  // out overlapping impls for concrete goals).
+  std::vector<const Attempt *> Successes;
+  EvalResult Folded = EvalResult::No;
+  for (const Attempt &A : Attempts) {
+    Folded = disjoin(Folded, A.Result);
+    if (A.Result == EvalResult::Yes)
+      Successes.push_back(&A);
+  }
+  if (Successes.size() == 1) {
+    const CandidateNode &Winner = forest().candidate(Successes[0]->Cand);
+    applyWinner(Pred, Winner, Depth, Info);
+    forest().goal(NodeId).SelectedCandidate = Successes[0]->Cand;
+    return EvalResult::Yes;
+  }
+  if (Successes.size() > 1)
+    return EvalResult::Maybe;
+  return Folded;
+}
+
+EvalResult Solver::Impl::evalImplSubgoals(CandNodeId CandId,
+                                          const ImplDecl &Decl,
+                                          const ParamSubst &Subst,
+                                          TypeId SelfInst,
+                                          const std::vector<TypeId> &ArgsInst,
+                                          uint32_t Depth) {
+  EvalResult Result = EvalResult::Yes;
+  // Duplicate obligations (e.g. an impl where-clause repeating an
+  // associated-type bound) are registered once, as in rustc's fulfillment
+  // context.
+  std::unordered_map<Predicate, bool, PredicateHasher> Registered;
+  auto AddSubgoal = [&](const Predicate &P, Span Origin) {
+    if (!Registered.emplace(Infcx.resolve(P), true).second)
+      return;
+    GoalNodeId Sub = evalGoal(P, Depth + 1, Origin, nullptr);
+    forest().candidate(CandId).SubGoals.push_back(Sub);
+    forest().goal(Sub).ParentCandidate = CandId;
+    Result = conjoin(Result, forest().goal(Sub).Result);
+  };
+
+  // Internal noise the extractor must hide: the instantiated self type
+  // must be well-formed.
+  if (Opts.EmitWellFormedGoals)
+    AddSubgoal(Predicate::wellFormed(SelfInst), Decl.Sp);
+
+  // Supertrait / trait where-clauses, instantiated at this impl. (rustc
+  // checks these at the impl definition; surfacing them as candidate
+  // subgoals keeps the whole proof in one tree.)
+  const TraitDecl *Trait = Prog.findTrait(Decl.Trait);
+  if (Trait) {
+    ParamSubst TraitSubst;
+    TraitSubst.emplace(S.name("Self"), SelfInst);
+    for (size_t I = 0;
+         I != Trait->Params.size() && I != ArgsInst.size(); ++I)
+      TraitSubst.emplace(Trait->Params[I], ArgsInst[I]);
+    for (const Predicate &Where : Trait->WhereClauses)
+      AddSubgoal(substPredicate(Where, TraitSubst), Trait->Sp);
+
+    // Bounds on associated types, applied to this impl's bindings:
+    // `type Data: AssocData<Self>` requires the bound of every impl that
+    // binds Data.
+    for (const auto &[AssocName, BoundTy] : Decl.Bindings) {
+      const AssocTypeDecl *Assoc = Trait->findAssoc(AssocName);
+      if (!Assoc)
+        continue;
+      TypeId Instantiated = arena().substitute(BoundTy, Subst);
+      for (const Predicate &Bound : Assoc->Bounds) {
+        Predicate Obligation = substPredicate(Bound, TraitSubst);
+        // The bound's subject is the projection through Self; the impl
+        // provides the concrete binding.
+        Obligation.Subject = Instantiated;
+        AddSubgoal(Obligation, Assoc->Sp);
+      }
+    }
+  }
+
+  // The impl's own where-clauses; `Self` denotes the instantiated self
+  // type.
+  ParamSubst ImplSubst = Subst;
+  ImplSubst.emplace(S.name("Self"), SelfInst);
+  for (const Predicate &Where : Decl.WhereClauses)
+    AddSubgoal(substPredicate(Where, ImplSubst), Decl.Sp);
+
+  return Result;
+}
+
+void Solver::Impl::applyWinner(const Predicate &Pred,
+                               const CandidateNode &Winner, uint32_t Depth,
+                               TraitEvalInfo *Info) {
+  TraitEvalInfo Local;
+  TraitEvalInfo &Out = Info ? *Info : Local;
+  Out.HasWinner = true;
+  Out.WinnerKind = Winner.Kind;
+
+  switch (Winner.Kind) {
+  case CandidateKind::ParamEnv: {
+    bool Ok = unifyTraitHead(Pred, Winner.Assumption.Subject,
+                             Winner.Assumption.Args);
+    assert(Ok && "winner stopped matching during commit");
+    (void)Ok;
+    return;
+  }
+  case CandidateKind::Builtin: {
+    TypeId Subject = Infcx.shallowResolve(Pred.Subject);
+    const Type &SubjectNode = arena().get(Subject);
+    assert((SubjectNode.Kind == TypeKind::FnDef ||
+            SubjectNode.Kind == TypeKind::FnPtr) &&
+           "builtin winner must be a function type");
+    std::vector<TypeId> Params(SubjectNode.Args.begin(),
+                               SubjectNode.Args.end() - 1);
+    TypeId Signature = arena().fnPtr(Params, SubjectNode.Args.back());
+    bool Ok = Infcx.unify(Pred.Args[0], Signature);
+    assert(Ok && "builtin winner stopped matching during commit");
+    (void)Ok;
+    return;
+  }
+  case CandidateKind::Impl: {
+    const ImplDecl &Decl = Prog.impl(Winner.Impl);
+    ParamSubst Subst = freshSubst(Decl.Generics);
+    TypeId SelfInst = arena().substitute(Decl.SelfTy, Subst);
+    std::vector<TypeId> ArgsInst;
+    for (TypeId Arg : Decl.TraitArgs)
+      ArgsInst.push_back(arena().substitute(Arg, Subst));
+    bool Ok = unifyTraitHead(Pred, SelfInst, ArgsInst);
+    assert(Ok && "impl winner stopped matching during commit");
+    (void)Ok;
+
+    // Replay the subgoals quietly so their bindings commit too; the
+    // recorded tree already shows this work.
+    bool SavedQuiet = Quiet;
+    Quiet = true;
+    CandNodeId ScratchCand = Scratch.makeCandidate();
+    evalImplSubgoals(ScratchCand, Decl, Subst, SelfInst, ArgsInst, Depth);
+    Quiet = SavedQuiet;
+
+    Out.WinnerImpl = Winner.Impl;
+    Out.WinnerSubst = std::move(Subst);
+    return;
+  }
+  }
+}
+
+EvalResult Solver::Impl::evalProjectionGoal(GoalNodeId NodeId,
+                                            const Predicate &Pred,
+                                            uint32_t Depth) {
+  CandNodeId CandId = forest().makeCandidate();
+  {
+    CandidateNode &Cand = forest().candidate(CandId);
+    Cand.Kind = CandidateKind::Builtin;
+    Cand.BuiltinName = S.name("project");
+    Cand.Parent = NodeId;
+  }
+  forest().goal(NodeId).Candidates.push_back(CandId);
+  Span Origin = forest().goal(NodeId).Origin;
+
+  TypeId OutVar = Infcx.freshVar();
+  GoalNodeId NormGoal = evalGoal(Predicate::normalizesTo(Pred.Subject, OutVar),
+                                 Depth + 1, Origin, nullptr);
+  forest().candidate(CandId).SubGoals.push_back(NormGoal);
+  forest().goal(NormGoal).ParentCandidate = CandId;
+
+  EvalResult NormResult = forest().goal(NormGoal).Result;
+  EvalResult Result;
+  if (NormResult == EvalResult::Yes) {
+    InferContext::Snapshot Snap = Infcx.snapshot();
+    if (Infcx.unify(OutVar, Pred.Rhs)) {
+      Result = EvalResult::Yes; // Keep the bindings.
+    } else {
+      Infcx.rollbackTo(Snap);
+      Result = EvalResult::No;
+    }
+  } else {
+    Result = NormResult;
+  }
+  forest().candidate(CandId).Result = Result;
+  return Result;
+}
+
+EvalResult Solver::Impl::evalNormalizesTo(GoalNodeId NodeId,
+                                          const Predicate &Pred,
+                                          uint32_t Depth) {
+  Span Origin = forest().goal(NodeId).Origin;
+  TypeId Subject = Infcx.shallowResolve(Pred.Subject);
+  const Type &SubjectNode = arena().get(Subject);
+
+  CandNodeId CandId = forest().makeCandidate();
+  {
+    CandidateNode &Cand = forest().candidate(CandId);
+    Cand.Kind = CandidateKind::Builtin;
+    Cand.BuiltinName = S.name("normalize");
+    Cand.Parent = NodeId;
+  }
+  forest().goal(NodeId).Candidates.push_back(CandId);
+
+  auto Finish = [&](EvalResult Result, TypeId Value) {
+    if (Result == EvalResult::Yes) {
+      bool Ok = Infcx.unify(Pred.Rhs, Value);
+      assert(Ok && "normalization output variable must be fresh");
+      (void)Ok;
+      forest().goal(NodeId).NormalizedValue = Infcx.resolve(Value);
+    }
+    forest().candidate(CandId).Result = Result;
+    return Result;
+  };
+
+  if (SubjectNode.Kind != TypeKind::Projection) {
+    // Already concrete (an earlier round may have resolved it).
+    return Finish(EvalResult::Yes, Subject);
+  }
+
+  // Resolve the trait goal behind the projection.
+  TypeId SelfTy = SubjectNode.Args[0];
+  std::vector<TypeId> TraitArgs(SubjectNode.Args.begin() + 1,
+                                SubjectNode.Args.end());
+  TraitEvalInfo Info;
+  GoalNodeId TraitGoal =
+      evalGoal(Predicate::traitBound(SelfTy, SubjectNode.TraitName, TraitArgs),
+               Depth + 1, Origin, &Info);
+  forest().candidate(CandId).SubGoals.push_back(TraitGoal);
+  forest().goal(TraitGoal).ParentCandidate = CandId;
+
+  EvalResult TraitResult = forest().goal(TraitGoal).Result;
+  if (TraitResult != EvalResult::Yes)
+    return Finish(TraitResult, TypeId::invalid());
+
+  assert(Info.HasWinner && "successful trait goal must select a candidate");
+  switch (Info.WinnerKind) {
+  case CandidateKind::Impl: {
+    const ImplDecl &Decl = Prog.impl(Info.WinnerImpl);
+    std::optional<TypeId> Binding = Decl.findBinding(SubjectNode.Name);
+    if (!Binding) {
+      // The selected impl does not bind this associated type: in real
+      // Rust this is rejected at the impl; here it surfaces as a failed
+      // normalization.
+      return Finish(EvalResult::No, TypeId::invalid());
+    }
+    TypeId Value =
+        Infcx.resolve(arena().substitute(*Binding, Info.WinnerSubst));
+    EvalResult Blame = EvalResult::Yes;
+    Value = deepNormalize(Value, CandId, Depth, Origin, Blame);
+    if (Blame != EvalResult::Yes)
+      return Finish(Blame, TypeId::invalid());
+    return Finish(EvalResult::Yes, Value);
+  }
+  case CandidateKind::Builtin: {
+    // fn-trait: `Output` normalizes to the function's return type.
+    if (S.text(SubjectNode.Name) == "Output") {
+      TypeId FnTy = Infcx.shallowResolve(SelfTy);
+      const Type &FnNode = arena().get(FnTy);
+      if (FnNode.Kind == TypeKind::FnDef || FnNode.Kind == TypeKind::FnPtr)
+        return Finish(EvalResult::Yes, FnNode.Args.back());
+    }
+    return Finish(EvalResult::No, TypeId::invalid());
+  }
+  case CandidateKind::ParamEnv:
+    // An assumption proves the trait bound but provides no binding: the
+    // projection stays rigid.
+    return Finish(EvalResult::Yes, Subject);
+  }
+  return Finish(EvalResult::No, TypeId::invalid());
+}
+
+TypeId Solver::Impl::deepNormalize(TypeId T, CandNodeId CandId,
+                                   uint32_t Depth, Span Origin,
+                                   EvalResult &Blame) {
+  T = Infcx.resolve(T);
+  const Type &Node = arena().get(T);
+  if (Node.Kind == TypeKind::Projection) {
+    TypeId OutVar = Infcx.freshVar();
+    GoalNodeId NormGoal =
+        evalGoal(Predicate::normalizesTo(T, OutVar), Depth + 1, Origin,
+                 nullptr);
+    forest().candidate(CandId).SubGoals.push_back(NormGoal);
+    forest().goal(NormGoal).ParentCandidate = CandId;
+    EvalResult Result = forest().goal(NormGoal).Result;
+    if (Result != EvalResult::Yes) {
+      Blame = conjoin(Blame, Result);
+      return T;
+    }
+    // The nested evaluation already normalized its own output; do not
+    // recurse into it again (a rigid result would loop forever).
+    return Infcx.resolve(OutVar);
+  }
+  if (Node.Args.empty())
+    return T;
+  bool Changed = false;
+  std::vector<TypeId> NewArgs;
+  NewArgs.reserve(Node.Args.size());
+  for (TypeId Arg : Node.Args) {
+    TypeId NewArg = deepNormalize(Arg, CandId, Depth, Origin, Blame);
+    Changed |= NewArg != Arg;
+    NewArgs.push_back(NewArg);
+  }
+  if (!Changed)
+    return T;
+  Type Copy = Node;
+  Copy.Args = std::move(NewArgs);
+  return arena().intern(std::move(Copy));
+}
+
+bool Solver::Impl::regionOutlives(Region Sub, Region Sup) {
+  if (Sub.Kind == RegionKind::Static)
+    return true;
+  if (Sup.Kind == RegionKind::Erased)
+    return true;
+  return Sub == Sup;
+}
+
+bool Solver::Impl::regionsOutlive(TypeId Ty, Region Bound) {
+  std::vector<Region> Regions;
+  arena().collectRegions(Ty, Regions);
+  for (Region R : Regions)
+    if (!regionOutlives(R, Bound))
+      return false;
+  return true;
+}
+
+EvalResult Solver::Impl::evalOutlivesGoal(GoalNodeId NodeId,
+                                          const Predicate &Pred) {
+  CandNodeId CandId = forest().makeCandidate();
+  CandidateNode &Cand = forest().candidate(CandId);
+  Cand.Kind = CandidateKind::Builtin;
+  Cand.BuiltinName = S.name("outlives");
+  Cand.Parent = NodeId;
+  forest().goal(NodeId).Candidates.push_back(CandId);
+
+  if (Infcx.countUnresolved(Pred.Subject) != 0) {
+    Cand.Result = EvalResult::Maybe;
+    return EvalResult::Maybe;
+  }
+  Cand.Result = regionsOutlive(Pred.Subject, Pred.Rgn) ? EvalResult::Yes
+                                                       : EvalResult::No;
+  return Cand.Result;
+}
+
+EvalResult Solver::Impl::evalRegionOutlives(GoalNodeId NodeId,
+                                            const Predicate &Pred) {
+  CandNodeId CandId = forest().makeCandidate();
+  CandidateNode &Cand = forest().candidate(CandId);
+  Cand.Kind = CandidateKind::Builtin;
+  Cand.BuiltinName = S.name("region-outlives");
+  Cand.Parent = NodeId;
+  forest().goal(NodeId).Candidates.push_back(CandId);
+  Cand.Result = regionOutlives(Pred.SubRegion, Pred.Rgn) ? EvalResult::Yes
+                                                         : EvalResult::No;
+  return Cand.Result;
+}
+
+EvalResult Solver::Impl::evalSizedGoal(GoalNodeId NodeId,
+                                       const Predicate &Pred) {
+  CandNodeId CandId = forest().makeCandidate();
+  CandidateNode &Cand = forest().candidate(CandId);
+  Cand.Kind = CandidateKind::Builtin;
+  Cand.BuiltinName = S.name("sized");
+  Cand.Parent = NodeId;
+  forest().goal(NodeId).Candidates.push_back(CandId);
+
+  TypeId Subject = Infcx.shallowResolve(Pred.Subject);
+  const Type &Node = arena().get(Subject);
+  // Every type in our model is Sized except an unconstrained inference
+  // variable, which is not yet known to be.
+  Cand.Result =
+      Node.Kind == TypeKind::Infer ? EvalResult::Maybe : EvalResult::Yes;
+  return Cand.Result;
+}
+
+EvalResult Solver::Impl::evalWellFormedGoal(GoalNodeId NodeId,
+                                            const Predicate &Pred) {
+  CandNodeId CandId = forest().makeCandidate();
+  CandidateNode &Cand = forest().candidate(CandId);
+  Cand.Kind = CandidateKind::Builtin;
+  Cand.BuiltinName = S.name("well-formed");
+  Cand.Parent = NodeId;
+  forest().goal(NodeId).Candidates.push_back(CandId);
+  // Structural well-formedness holds for every type the parser can build;
+  // the obligation exists to exercise internal-predicate filtering.
+  (void)Pred;
+  Cand.Result = EvalResult::Yes;
+  return EvalResult::Yes;
+}
+
+// --- Public interface -----------------------------------------------------
+
+Solver::Solver(const Program &Prog, SolverOptions Opts)
+    : P(std::make_unique<Impl>(Prog, Opts)) {}
+
+Solver::~Solver() = default;
+
+InferContext &Solver::inferContext() { return P->Infcx; }
+
+GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
+                            const std::vector<Predicate> &Env) {
+  P->OutForest = &Out.Forest;
+  P->setEnv(Env);
+  GoalNodeId Root = P->evalGoal(Pred, 0, Span(), nullptr);
+  Out.FinalRoots.push_back(Root);
+  Out.FinalResults.push_back(Out.Forest.goal(Root).Result);
+  Out.Snapshots.push_back({Root});
+  Out.SpeculationGroups.push_back(UINT32_MAX);
+  Out.NumEvaluations = P->NumEvaluations;
+  Out.NumMemoHits = P->NumMemoHits;
+  return Root;
+}
+
+SolveOutcome Solver::solve() {
+  SolveOutcome Out;
+  P->OutForest = &Out.Forest;
+
+  const std::vector<GoalDecl> &Goals = P->Prog.goals();
+  size_t NumGoals = Goals.size();
+  Out.Snapshots.resize(NumGoals);
+  Out.FinalRoots.resize(NumGoals);
+  Out.FinalResults.assign(NumGoals, EvalResult::Maybe);
+
+  // Assign speculation groups: maximal runs of consecutive #[speculative]
+  // goals model one method-probe site.
+  Out.SpeculationGroups.assign(NumGoals, UINT32_MAX);
+  uint32_t NextGroup = 0;
+  for (size_t I = 0; I != NumGoals;) {
+    if (!Goals[I].Speculative) {
+      ++I;
+      continue;
+    }
+    size_t J = I;
+    while (J != NumGoals && Goals[J].Speculative)
+      ++J;
+    for (size_t K = I; K != J; ++K)
+      Out.SpeculationGroups[K] = NextGroup;
+    ++NextGroup;
+    I = J;
+  }
+
+  // The obligation fixpoint: evaluate every goal; goals that come back
+  // Maybe are retried in later rounds, by which time other goals may have
+  // constrained shared inference variables. Each retry produces a fresh
+  // snapshot root, mirroring rustc's requeued predicates (Section 4).
+  for (uint32_t Round = 0; Round != P->Opts.MaxFixpointRounds; ++Round) {
+    Out.RoundsUsed = Round + 1;
+    bool AnyAmbiguous = false;
+    bool Progress = false;
+    for (size_t I = 0; I != NumGoals; ++I) {
+      if (Round > 0 && Out.FinalResults[I] != EvalResult::Maybe)
+        continue;
+      size_t TrailBefore = P->Infcx.trailLength();
+      P->setEnv(Goals[I].Env);
+      GoalNodeId Root =
+          P->evalGoal(Goals[I].Pred, 0, Goals[I].Sp, nullptr);
+      {
+        GoalNode &Node = Out.Forest.goal(Root);
+        Node.GoalIndex = static_cast<uint32_t>(I);
+        Node.SnapshotRound = Round;
+      }
+      EvalResult Result = Out.Forest.goal(Root).Result;
+      if (Result != Out.FinalResults[I])
+        Progress = true;
+      if (P->Infcx.trailLength() != TrailBefore)
+        Progress = true;
+      Out.Snapshots[I].push_back(Root);
+      Out.FinalRoots[I] = Root;
+      Out.FinalResults[I] = Result;
+      if (Result == EvalResult::Maybe)
+        AnyAmbiguous = true;
+    }
+    if (!AnyAmbiguous || !Progress)
+      break;
+  }
+
+  Out.NumEvaluations = P->NumEvaluations;
+  Out.NumMemoHits = P->NumMemoHits;
+  return Out;
+}
+
+bool SolveOutcome::hasErrors() const {
+  for (EvalResult Result : FinalResults)
+    if (Result != EvalResult::Yes)
+      return true;
+  return false;
+}

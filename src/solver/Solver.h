@@ -1,0 +1,123 @@
+//===- solver/Solver.h - The trait solver ---------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates L_TRAIT predicates against a Program, producing the AND/OR
+/// proof forest of Figure 5. Mirrors the shape of rustc's trait solver in
+/// the respects the paper's pipeline depends on:
+///
+///  - candidate assembly from impls, parameter environments, and builtins
+///    (fn items / fn pointers against `#[fn_trait]` traits);
+///  - yes/maybe/no results, with `maybe` for goals blocked on unresolved
+///    inference variables;
+///  - a fixpoint obligation loop that re-evaluates ambiguous goals as
+///    other goals constrain shared inference variables, producing one
+///    snapshot per round (the extraction layer deduplicates them);
+///  - recursion overflow via both a depth limit and ancestor-cycle
+///    detection (rustc's E0275);
+///  - stateful projection normalization (NormalizesTo nodes whose output
+///    value is captured after their subtree executes);
+///  - internal obligations (WellFormed, Sized) that are real work for the
+///    solver but hidden from developers by the extraction layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_SOLVER_H
+#define ARGUS_SOLVER_SOLVER_H
+
+#include "solver/InferContext.h"
+#include "solver/ProofTree.h"
+#include "tlang/Program.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace argus {
+
+struct SolverOptions {
+  /// Maximum goal nesting before declaring overflow (rustc's default
+  /// recursion_limit is 128; ours is lower because corpus trees are
+  /// shallower).
+  uint32_t MaxDepth = 64;
+
+  /// Maximum obligation fixpoint rounds before remaining ambiguities are
+  /// treated as failures.
+  uint32_t MaxFixpointRounds = 8;
+
+  /// Global budget on goal evaluations per solve; exceeding it makes the
+  /// remaining goals overflow. Guards against exponential candidate
+  /// search in adversarial programs (rustc has analogous limits).
+  uint64_t MaxGoalEvaluations = 2'000'000;
+
+  /// Cache fully-resolved goal results. Off by default so recorded trees
+  /// are complete; the solver throughput ablation turns it on.
+  bool EnableMemoization = false;
+
+  /// Emit WellFormed obligations for instantiated impl headers. These are
+  /// the "internal predicates" noise that the extraction layer filters;
+  /// the filtering ablation turns them off at the source.
+  bool EmitWellFormedGoals = true;
+};
+
+/// Everything produced by solving one program.
+struct SolveOutcome {
+  ProofForest Forest;
+
+  /// One root node per (program goal, fixpoint round) evaluation, in
+  /// round order. Later snapshots supersede earlier ones.
+  std::vector<std::vector<GoalNodeId>> Snapshots;
+
+  /// The last snapshot of each program goal.
+  std::vector<GoalNodeId> FinalRoots;
+
+  /// Final result per program goal. A residual Maybe means inference
+  /// finished without resolving the goal; Rust reports those as errors
+  /// too (ambiguity), and the extractor treats them as failures.
+  std::vector<EvalResult> FinalResults;
+
+  /// Speculation group per goal (see GoalDecl::Speculative); goals not in
+  /// any probe group hold UINT32_MAX.
+  std::vector<uint32_t> SpeculationGroups;
+
+  // Statistics.
+  uint64_t NumEvaluations = 0;
+  uint64_t NumMemoHits = 0;
+  uint32_t RoundsUsed = 0;
+
+  /// True if any goal ultimately failed (No/Overflow or residual Maybe).
+  bool hasErrors() const;
+};
+
+class Solver {
+public:
+  explicit Solver(const Program &Prog, SolverOptions Opts = SolverOptions());
+  ~Solver();
+
+  Solver(const Solver &) = delete;
+  Solver &operator=(const Solver &) = delete;
+
+  /// Runs every goal of the program through the fixpoint obligation loop.
+  SolveOutcome solve();
+
+  /// Evaluates one predicate under \p Env into the given outcome's forest
+  /// (exposed for tests and for embedding). Returns the root node.
+  GoalNodeId solveOne(SolveOutcome &Out, const Predicate &Pred,
+                      const std::vector<Predicate> &Env);
+
+  /// The inference context used by the last/current solve (bindings
+  /// persist so callers can resolve displayed types).
+  InferContext &inferContext();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_SOLVER_H

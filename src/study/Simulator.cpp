@@ -1,0 +1,389 @@
+//===- study/Simulator.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace argus;
+
+namespace {
+
+/// One simulated developer.
+struct Participant {
+  unsigned Id;
+  double Skill; ///< Multiplies every duration; ~1.0 median.
+};
+
+/// Duration draw: log-normal around \p Mean (seconds) scaled by skill.
+double drawSeconds(Rng &Gen, double Mean, double Sigma, double Skill) {
+  // Parameterize so the median of the draw is Mean.
+  return Gen.logNormal(std::log(Mean), Sigma) * Skill;
+}
+
+struct Attempt {
+  bool Succeeded = false;
+  double Seconds = 0.0; ///< Censored at the cap by the caller.
+  unsigned Rounds = 0;  ///< Investigation rounds beyond the first look.
+};
+
+/// The with-Argus localization process: scan the ranked bottom-up list to
+/// the truth, recognize it with high probability, otherwise unfold
+/// context and retry.
+Attempt localizeWithArgus(const StudyConfig &Config, const StudyTask &Task,
+                          const Participant &P, Rng &Gen) {
+  Attempt Result;
+  double T =
+      drawSeconds(Gen, Config.SetupMeanSeconds, Config.LogNormalSigma,
+                  P.Skill);
+
+  // First pass: inspect entries 0..TruthRank of the bottom-up view.
+  size_t EntriesToInspect = std::min(Task.TruthRank + 1, Task.NumLeaves);
+  for (size_t I = 0; I != EntriesToInspect; ++I)
+    T += drawSeconds(Gen, Config.ArgusScanSeconds, Config.LogNormalSigma,
+                     P.Skill);
+
+  // Some participants latch onto a non-issue and explore the wrong part
+  // of the tree for the rest of the task (Section 5.1.2).
+  double RecognizeProb = Gen.chance(Config.ArgusLostProb)
+                             ? Config.ArgusLostRecognizeProb
+                             : Config.ArgusRecognizeProb;
+
+  for (;;) {
+    if (T >= Config.CapSeconds)
+      break;
+    if (Task.TruthRank < Task.NumLeaves && Gen.chance(RecognizeProb)) {
+      Result.Succeeded = true;
+      break;
+    }
+    // Miss: unfold the inference chain for more context, then retry.
+    ++Result.Rounds;
+    T += drawSeconds(Gen, Config.ArgusUnfoldSeconds, Config.LogNormalSigma,
+                     P.Skill);
+  }
+  Result.Seconds = std::min(T, Config.CapSeconds);
+  return Result;
+}
+
+/// The without-Argus localization process: read the diagnostic, then
+/// either recognize a mentioned truth or investigate blind.
+Attempt localizeWithoutArgus(const StudyConfig &Config,
+                             const StudyTask &Task, const Participant &P,
+                             Rng &Gen) {
+  Attempt Result;
+  double T = drawSeconds(Gen, Config.RustcReadSeconds,
+                         Config.LogNormalSigma, P.Skill);
+
+  double SuccessProb;
+  double RoundMean;
+  if (Task.DiagnosticMentionsTruth) {
+    SuccessProb = Config.RustcMentionedProb;
+    RoundMean = Config.RustcMentionedRoundFactor * Config.RustcRoundSeconds;
+  } else {
+    SuccessProb = Config.RustcBlindProb;
+    RoundMean =
+        Config.RustcRoundSeconds *
+        (1.0 + Config.RustcDistanceFactor *
+                   static_cast<double>(Task.CompilerDistance));
+  }
+
+  for (;;) {
+    ++Result.Rounds;
+    T += drawSeconds(Gen, RoundMean, Config.LogNormalSigma, P.Skill);
+    if (T >= Config.CapSeconds)
+      break;
+    if (Gen.chance(SuccessProb)) {
+      Result.Succeeded = true;
+      break;
+    }
+  }
+  Result.Seconds = std::min(T, Config.CapSeconds);
+  return Result;
+}
+
+/// The fix process after localization; identical mechanics in both
+/// conditions (Argus helps localize; fixing still needs domain work —
+/// Section 7.1).
+Attempt fixAfterLocalization(const StudyConfig &Config,
+                             const StudyTask &Task, const Participant &P,
+                             Rng &Gen, double LocalizeSeconds) {
+  Attempt Result;
+  double T = LocalizeSeconds;
+  double RoundMean =
+      Config.FixBaseSeconds *
+      (1.0 + Config.FixWeightFactor * static_cast<double>(Task.FixWeight));
+  double SuccessProb = Task.DiagnosticMentionsTruth
+                           ? Config.FixSuccessProb
+                           : Config.FixIntricateProb;
+  for (;;) {
+    T += drawSeconds(Gen, RoundMean, Config.LogNormalSigma, P.Skill);
+    if (T >= Config.CapSeconds)
+      break;
+    if (Gen.chance(SuccessProb)) {
+      Result.Succeeded = true;
+      break;
+    }
+  }
+  Result.Seconds = std::min(T, Config.CapSeconds);
+  return Result;
+}
+
+ConditionSummary summarize(const std::vector<TaskOutcome> &Outcomes,
+                           bool WithArgus, Rng &Gen) {
+  ConditionSummary Summary;
+  std::vector<double> LocalizeTimes;
+  std::vector<double> FixTimes;
+  for (const TaskOutcome &Outcome : Outcomes) {
+    if (Outcome.WithArgus != WithArgus)
+      continue;
+    ++Summary.Trials;
+    Summary.LocalizedCount += Outcome.Localized;
+    Summary.FixedCount += Outcome.Fixed;
+    LocalizeTimes.push_back(Outcome.LocalizeSeconds);
+    FixTimes.push_back(Outcome.FixSeconds);
+  }
+  assert(Summary.Trials > 0 && "empty condition");
+  Summary.LocalizeRate = static_cast<double>(Summary.LocalizedCount) /
+                         static_cast<double>(Summary.Trials);
+  Summary.FixRate = static_cast<double>(Summary.FixedCount) /
+                    static_cast<double>(Summary.Trials);
+  Summary.LocalizeRateCI =
+      stats::wilsonInterval(Summary.LocalizedCount, Summary.Trials);
+  Summary.FixRateCI =
+      stats::wilsonInterval(Summary.FixedCount, Summary.Trials);
+  Summary.LocalizeMedianSeconds = stats::median(LocalizeTimes);
+  Summary.FixMedianSeconds = stats::median(FixTimes);
+  Summary.LocalizeMedianCI =
+      stats::bootstrapMedianInterval(LocalizeTimes, Gen);
+  Summary.FixMedianCI = stats::bootstrapMedianInterval(FixTimes, Gen);
+  return Summary;
+}
+
+std::vector<double> timesOf(const std::vector<TaskOutcome> &Outcomes,
+                            bool WithArgus, bool Fix) {
+  std::vector<double> Times;
+  for (const TaskOutcome &Outcome : Outcomes)
+    if (Outcome.WithArgus == WithArgus)
+      Times.push_back(Fix ? Outcome.FixSeconds : Outcome.LocalizeSeconds);
+  return Times;
+}
+
+} // namespace
+
+StudyResults argus::runStudy(const StudyConfig &Config,
+                             const std::vector<StudyTask> &Tasks) {
+  assert(Tasks.size() >= 2 * Config.TasksPerCondition &&
+         "not enough tasks for the within-subjects design");
+  StudyResults Results;
+  Rng Gen(Config.Seed);
+
+  for (unsigned Id = 0; Id != Config.NumParticipants; ++Id) {
+    Rng PGen = Gen.fork();
+    Participant P{Id, PGen.logNormal(0.0, Config.SkillSigma)};
+
+    // Draw 2*TasksPerCondition distinct tasks (Fisher-Yates prefix).
+    std::vector<size_t> Order(Tasks.size());
+    for (size_t I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    for (size_t I = 0; I + 1 < Order.size(); ++I)
+      std::swap(Order[I],
+                Order[I + PGen.below(Order.size() - I)]);
+
+    // Conditions are blocked; which condition comes first is random
+    // (Section 5.1.1).
+    bool ArgusFirst = PGen.chance(0.5);
+    unsigned PerCondition = Config.TasksPerCondition;
+    for (unsigned Slot = 0; Slot != 2 * PerCondition; ++Slot) {
+      bool WithArgus = (Slot < PerCondition) == ArgusFirst;
+      const StudyTask &Task = Tasks[Order[Slot]];
+
+      TaskOutcome Outcome;
+      Outcome.Participant = Id;
+      Outcome.TaskIndex = Order[Slot];
+      Outcome.WithArgus = WithArgus;
+
+      Attempt Localize =
+          WithArgus ? localizeWithArgus(Config, Task, P, PGen)
+                    : localizeWithoutArgus(Config, Task, P, PGen);
+      Outcome.Localized = Localize.Succeeded;
+      Outcome.LocalizeSeconds = Localize.Seconds;
+      Outcome.InvestigationRounds = Localize.Rounds;
+
+      if (Localize.Succeeded) {
+        Attempt Fix = fixAfterLocalization(Config, Task, P, PGen,
+                                           Localize.Seconds);
+        Outcome.Fixed = Fix.Succeeded;
+        Outcome.FixSeconds = Fix.Seconds;
+        // Fixing a trait bound means looking at who implements it
+        // (Section 7.1): the popup is the Argus affordance for that.
+        Outcome.OpenedImplPopup = WithArgus;
+      } else {
+        Outcome.Fixed = false;
+        Outcome.FixSeconds = Config.CapSeconds;
+      }
+
+      // Behavioral traces, derived from the process:
+      //  - top-down is where Argus users go when the ranked list alone
+      //    did not convince them (two or more misses);
+      //  - source is searched whenever any investigation happened at
+      //    all (rustc users always investigate; Argus users who
+      //    recognized the first entry immediately did not need to);
+      //  - docs are the fallback once source reading has failed twice.
+      if (WithArgus) {
+        Outcome.UsedTopDown = Localize.Rounds >= 2;
+        // Recognizing the first ranked entry needs no source dive; the
+        // definition links get used once any deeper investigation
+        // starts.
+        Outcome.SearchedSource = Localize.Rounds >= 1;
+        Outcome.OpenedDocs = Localize.Rounds >= 3;
+      } else {
+        Outcome.SearchedSource = Localize.Rounds >= 1;
+        Outcome.OpenedDocs = Localize.Rounds >= 3;
+      }
+      Results.Outcomes.push_back(Outcome);
+    }
+  }
+
+  Rng SummaryGen(Config.Seed ^ 0x5deece66dULL);
+  Results.Argus = summarize(Results.Outcomes, true, SummaryGen);
+  Results.Rustc = summarize(Results.Outcomes, false, SummaryGen);
+
+  // Behavioral shares.
+  size_t ArgusTasks = 0, AllTasks = Results.Outcomes.size();
+  size_t TopDown = 0, Source = 0, Docs = 0, Popup = 0;
+  for (const TaskOutcome &Outcome : Results.Outcomes) {
+    if (Outcome.WithArgus) {
+      ++ArgusTasks;
+      TopDown += Outcome.UsedTopDown;
+      Popup += Outcome.OpenedImplPopup;
+    }
+    Source += Outcome.SearchedSource;
+    Docs += Outcome.OpenedDocs;
+  }
+  if (ArgusTasks) {
+    Results.Behavior.TopDownShare =
+        static_cast<double>(TopDown) / static_cast<double>(ArgusTasks);
+    Results.Behavior.ImplPopupShare =
+        static_cast<double>(Popup) / static_cast<double>(ArgusTasks);
+  }
+  if (AllTasks) {
+    Results.Behavior.SourceSearchShare =
+        static_cast<double>(Source) / static_cast<double>(AllTasks);
+    Results.Behavior.DocsShare =
+        static_cast<double>(Docs) / static_cast<double>(AllTasks);
+  }
+
+  Results.LocalizeRateTest = stats::chiSquare2x2(
+      Results.Argus.LocalizedCount,
+      Results.Argus.Trials - Results.Argus.LocalizedCount,
+      Results.Rustc.LocalizedCount,
+      Results.Rustc.Trials - Results.Rustc.LocalizedCount);
+  Results.FixRateTest = stats::chiSquare2x2(
+      Results.Argus.FixedCount,
+      Results.Argus.Trials - Results.Argus.FixedCount,
+      Results.Rustc.FixedCount,
+      Results.Rustc.Trials - Results.Rustc.FixedCount);
+  Results.LocalizeTimeTest = stats::kruskalWallis(
+      {timesOf(Results.Outcomes, true, false),
+       timesOf(Results.Outcomes, false, false)});
+  Results.FixTimeTest =
+      stats::kruskalWallis({timesOf(Results.Outcomes, true, true),
+                            timesOf(Results.Outcomes, false, true)});
+  return Results;
+}
+
+static std::string formatMinutes(double Seconds) {
+  int Whole = static_cast<int>(Seconds);
+  char Buffer[32];
+  snprintf(Buffer, sizeof(Buffer), "%dm%02ds", Whole / 60, Whole % 60);
+  return Buffer;
+}
+
+std::string argus::formatStudyReport(const StudyResults &Results) {
+  auto Pct = [](double Value) {
+    char Buffer[16];
+    snprintf(Buffer, sizeof(Buffer), "%.0f%%", 100.0 * Value);
+    return std::string(Buffer);
+  };
+  auto Condition = [&](const char *Name, const ConditionSummary &S) {
+    std::string Out;
+    Out += std::string(Name) + ":\n";
+    Out += "  localized " + Pct(S.LocalizeRate) + " of " +
+           std::to_string(S.Trials) + " tasks (95% CI [" +
+           Pct(S.LocalizeRateCI.Lo) + ", " + Pct(S.LocalizeRateCI.Hi) +
+           "])\n";
+    Out += "  median time-to-localize " +
+           formatMinutes(S.LocalizeMedianSeconds) + " (CI [" +
+           formatMinutes(S.LocalizeMedianCI.Lo) + ", " +
+           formatMinutes(S.LocalizeMedianCI.Hi) + "])\n";
+    Out += "  fixed " + Pct(S.FixRate) + " (95% CI [" +
+           Pct(S.FixRateCI.Lo) + ", " + Pct(S.FixRateCI.Hi) + "])\n";
+    Out += "  median time-to-fix " + formatMinutes(S.FixMedianSeconds) +
+           " (CI [" + formatMinutes(S.FixMedianCI.Lo) + ", " +
+           formatMinutes(S.FixMedianCI.Hi) + "])\n";
+    return Out;
+  };
+
+  std::string Out;
+  Out += Condition("with Argus", Results.Argus);
+  Out += Condition("without Argus (rustc diagnostics)", Results.Rustc);
+
+  char Buffer[256];
+  double RateRatio = Results.Argus.LocalizeRate /
+                     std::max(1e-9, Results.Rustc.LocalizeRate);
+  double TimeRatio = Results.Rustc.LocalizeMedianSeconds /
+                     std::max(1e-9, Results.Argus.LocalizeMedianSeconds);
+  snprintf(Buffer, sizeof(Buffer),
+           "effects: %.1fx localization rate, %.1fx faster localization "
+           "(paper: 2.2x, 3.3x)\n",
+           RateRatio, TimeRatio);
+  Out += Buffer;
+  snprintf(Buffer, sizeof(Buffer),
+           "tests: loc rate chi2(1)=%.2f p=%.2g; loc time KW "
+           "chi2(1)=%.2f p=%.2g; fix rate chi2(1)=%.2f p=%.2g; fix time "
+           "KW chi2(1)=%.2f p=%.2g\n",
+           Results.LocalizeRateTest.Statistic,
+           Results.LocalizeRateTest.PValue,
+           Results.LocalizeTimeTest.Statistic,
+           Results.LocalizeTimeTest.PValue,
+           Results.FixRateTest.Statistic, Results.FixRateTest.PValue,
+           Results.FixTimeTest.Statistic, Results.FixTimeTest.PValue);
+  Out += Buffer;
+  snprintf(Buffer, sizeof(Buffer),
+           "behavior: top-down used in %.0f%% of Argus tasks (paper "
+           "24%%); source searched in %.0f%% of tasks (paper 73%%); "
+           "docs opened in %.0f%% (paper 31%%)\n",
+           100 * Results.Behavior.TopDownShare,
+           100 * Results.Behavior.SourceSearchShare,
+           100 * Results.Behavior.DocsShare);
+  Out += Buffer;
+  return Out;
+}
+
+std::string argus::outcomesToCSV(const StudyResults &Results,
+                                 const std::vector<StudyTask> &Tasks) {
+  std::string Out = "participant,task,condition,localized,"
+                    "localize_seconds,fixed,fix_seconds,rounds,"
+                    "used_top_down,searched_source,opened_docs,"
+                    "opened_impl_popup\n";
+  char Buffer[256];
+  for (const TaskOutcome &Outcome : Results.Outcomes) {
+    snprintf(Buffer, sizeof(Buffer),
+             "%u,%s,%s,%d,%.1f,%d,%.1f,%u,%d,%d,%d,%d\n",
+             Outcome.Participant,
+             Tasks[Outcome.TaskIndex].Id.c_str(),
+             Outcome.WithArgus ? "argus" : "rustc", Outcome.Localized,
+             Outcome.LocalizeSeconds, Outcome.Fixed, Outcome.FixSeconds,
+             Outcome.InvestigationRounds, Outcome.UsedTopDown,
+             Outcome.SearchedSource, Outcome.OpenedDocs,
+             Outcome.OpenedImplPopup);
+    Out += Buffer;
+  }
+  return Out;
+}

@@ -1,0 +1,172 @@
+//===- study/Simulator.h - The simulated user study -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Monte-Carlo substitute for the paper's N=25 user study (Figure 11).
+/// Humans are not available in this environment, so each participant is a
+/// stochastic process whose *mechanics* mirror the qualitative findings
+/// of Section 5.1.2:
+///
+///  - With Argus, a participant scans the inertia-ranked bottom-up list;
+///    each entry costs inspection time, the ground-truth entry is
+///    recognized with high probability, and misses trigger deeper
+///    unfolding excursions (CollapseSeq) before a retry.
+///  - Without Argus, a participant reads the rustc diagnostic. If the
+///    text mentions the root cause they may recognize it; if the text
+///    stops above it (branch-point tasks), they must investigate
+///    blind — searching source and docs — with low per-round success and
+///    cost growing with the diagnostic's distance from the truth.
+///  - Fixing, after localization, costs time that grows with the
+///    Appendix A.1 weight of the ground-truth category.
+///
+/// All constants live in StudyConfig with documented defaults, calibrated
+/// once and globally (never per task) so that the *shape* of Figure 11 —
+/// who wins, by roughly what factor — emerges from the mechanism, not
+/// from per-task tuning. Absolute seconds are calibration artifacts;
+/// EXPERIMENTS.md labels them as such.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_STUDY_SIMULATOR_H
+#define ARGUS_STUDY_SIMULATOR_H
+
+#include "study/StudyTasks.h"
+#include "support/Statistics.h"
+
+#include <vector>
+
+namespace argus {
+
+struct StudyConfig {
+  unsigned NumParticipants = 25;
+  unsigned TasksPerCondition = 2;
+  double CapSeconds = 600.0; ///< The 10-minute task limit.
+  uint64_t Seed = 2024;
+
+  // --- Participant variation (Section 5.1.1: medians of 11 years
+  // --- programming / 3 years Rust, wide spread). Skill multiplies every
+  // --- duration; sigma 0.35 spans roughly 2x between fast and slow.
+  double SkillSigma = 0.35;
+
+  // --- Shared costs.
+  double SetupMeanSeconds = 90.0;  ///< Reading the program and error.
+  double LogNormalSigma = 0.45;    ///< Spread of every duration draw.
+
+  // --- With-Argus condition.
+  double ArgusScanSeconds = 55.0;   ///< Inspecting one bottom-up entry.
+  double ArgusRecognizeProb = 0.72; ///< Seeing the truth for what it is.
+  double ArgusUnfoldSeconds = 130.0; ///< A CollapseSeq excursion after a
+                                     ///< miss, before retrying the list.
+  double ArgusLostProb = 0.18;  ///< Section 5.1.2: some participants got
+                                ///< lost in the data and "ended up
+                                ///< debugging non-issues".
+  double ArgusLostRecognizeProb = 0.10; ///< Recognition while lost.
+
+  // --- Without-Argus condition.
+  double RustcReadSeconds = 70.0;    ///< Digesting the diagnostic text.
+  double RustcMentionedProb = 0.22;  ///< Recognizing a truth the text
+                                     ///< actually contains (the text is
+                                     ///< still cryptic; Section 2.1).
+  double RustcMentionedRoundFactor = 0.45; ///< Re-reading is cheaper than
+                                          ///< blind investigation.
+  double RustcBlindProb = 0.10;      ///< Per-round success when the text
+                                     ///< stops above the truth.
+  double RustcRoundSeconds = 230.0;  ///< One docs/source investigation.
+  double RustcDistanceFactor = 0.30; ///< Round cost grows by this per
+                                     ///< inference step of distance.
+
+  // --- Fix phase (both conditions). Localization does not hand over a
+  // --- patch (Section 7.1): picking the right fix still needs library
+  // --- understanding, especially for the marker-type tasks whose
+  // --- machinery also hides the root cause from the diagnostic.
+  double FixBaseSeconds = 110.0;
+  double FixWeightFactor = 0.25; ///< Cost grows by this per unit of the
+                                 ///< ground truth's inertia weight.
+  double FixSuccessProb = 0.75;  ///< Per-round probability the patch is
+                                 ///< right, for straightforward tasks.
+  double FixIntricateProb = 0.25; ///< Same, for tasks whose root cause
+                                  ///< hides behind marker-type machinery
+                                  ///< (DiagnosticMentionsTruth == false).
+};
+
+/// One (participant, task, condition) cell.
+struct TaskOutcome {
+  unsigned Participant = 0;
+  size_t TaskIndex = 0;
+  bool WithArgus = false;
+  bool Localized = false;
+  bool Fixed = false;
+  /// Censored at CapSeconds, as in the paper's analysis.
+  double LocalizeSeconds = 0.0;
+  double FixSeconds = 0.0;
+
+  // Behavioral traces, emerging from the mechanics (not sampled from
+  // target percentages): the RQ2 observations of Section 5.1.2.
+  unsigned InvestigationRounds = 0; ///< Unfold excursions (Argus) or
+                                    ///< docs/source rounds (rustc).
+  bool UsedTopDown = false;    ///< Argus: switched views after repeated
+                               ///< misses in the bottom-up list.
+  bool SearchedSource = false; ///< Jumped into library source.
+  bool OpenedDocs = false;     ///< Fell back to documentation.
+  bool OpenedImplPopup = false; ///< Argus: queried trait implementors
+                                ///< while fixing (Section 7.1).
+};
+
+/// Aggregates for one condition (one bar group of Figure 11).
+struct ConditionSummary {
+  uint64_t Trials = 0;
+  uint64_t LocalizedCount = 0;
+  uint64_t FixedCount = 0;
+  double LocalizeRate = 0.0;
+  double FixRate = 0.0;
+  double LocalizeMedianSeconds = 0.0;
+  double FixMedianSeconds = 0.0;
+  stats::Interval LocalizeRateCI;
+  stats::Interval FixRateCI;
+  stats::Interval LocalizeMedianCI;
+  stats::Interval FixMedianCI;
+};
+
+/// Behavioral percentages across tasks (the RQ2 observations).
+struct BehaviorSummary {
+  double TopDownShare = 0.0;      ///< Argus tasks using top-down
+                                  ///< (paper: 24%).
+  double SourceSearchShare = 0.0; ///< All tasks searching source
+                                  ///< (paper: 73%).
+  double DocsShare = 0.0;         ///< All tasks opening docs
+                                  ///< (paper: 31%).
+  double ImplPopupShare = 0.0;    ///< Argus tasks using the popup.
+};
+
+struct StudyResults {
+  std::vector<TaskOutcome> Outcomes;
+  ConditionSummary Argus;
+  ConditionSummary Rustc;
+  BehaviorSummary Behavior;
+
+  // Figure 11's significance tests.
+  stats::TestResult LocalizeRateTest; ///< Chi-square, 2x2.
+  stats::TestResult FixRateTest;      ///< Chi-square, 2x2.
+  stats::TestResult LocalizeTimeTest; ///< Kruskal-Wallis.
+  stats::TestResult FixTimeTest;      ///< Kruskal-Wallis.
+};
+
+/// Runs the simulated study over \p Tasks (normally buildStudyTasks()).
+StudyResults runStudy(const StudyConfig &Config,
+                      const std::vector<StudyTask> &Tasks);
+
+/// Formats results as the rows of Figure 11 (rates with Wilson CIs,
+/// median times with bootstrap CIs, and the test statistics).
+std::string formatStudyReport(const StudyResults &Results);
+
+/// Serializes the raw per-task outcomes as CSV (one row per participant
+/// x task cell), mirroring the raw data the paper's artifact ships.
+std::string outcomesToCSV(const StudyResults &Results,
+                          const std::vector<StudyTask> &Tasks);
+
+} // namespace argus
+
+#endif // ARGUS_STUDY_SIMULATOR_H

@@ -1,0 +1,91 @@
+//===- study/StudyTasks.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/StudyTasks.h"
+
+#include "analysis/CompilerDistance.h"
+#include "analysis/Inertia.h"
+#include "corpus/Corpus.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+
+#include <cassert>
+
+using namespace argus;
+
+namespace {
+
+/// The corpus entries used as study tasks: one per real-library family
+/// plus one extra Bevy task (as in the paper's materials), the recursion
+/// task, and the two synthetic libraries.
+const char *StudyTaskIds[] = {
+    "diesel-missing-join",   "bevy-resmut-missing",
+    "bevy-assets-mesh",      "axum-handler-deserialize",
+    "ast-assoc-recursion",   "brew-incompatible-ingredients",
+    "space-unreachable-route",
+};
+
+StudyTask buildTask(const CorpusEntry &Entry) {
+  LoadedProgram Loaded = loadEntry(Entry);
+  const Program &Prog = *Loaded.Prog;
+
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  assert(Ex.Trees.size() == 1 && "study task must fail with one tree");
+  const InferenceTree &Tree = Ex.Trees[0];
+
+  StudyTask Task;
+  Task.Id = Entry.Id;
+  Task.Family = Entry.Family;
+  Task.TreeSize = Tree.size();
+
+  InertiaResult Inertia = rankByInertia(Prog, Tree);
+  Task.NumLeaves = Inertia.Order.size();
+
+  // Locate the ground truth among the ranked leaves (by predicate).
+  Task.TruthRank = Task.NumLeaves;
+  IGoalId TruthNode;
+  for (const Predicate &Truth : Prog.rootCauses()) {
+    for (size_t I = 0; I != Inertia.Order.size(); ++I)
+      if (Tree.goal(Inertia.Order[I]).Pred == Truth) {
+        Task.TruthRank = std::min(Task.TruthRank, I);
+        if (!TruthNode.isValid())
+          TruthNode = Inertia.Order[I];
+      }
+    if (!TruthNode.isValid())
+      TruthNode = findGoalByPredicate(Tree, Truth);
+  }
+  assert(TruthNode.isValid() && "ground truth must exist in the tree");
+
+  Task.FixWeight =
+      classifyGoal(Prog, Tree.goal(TruthNode).Pred).weight();
+
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  Task.CompilerDistance = nodeDistance(Tree, Diag.ReportedNode, TruthNode);
+  Task.DiagnosticMentionsTruth = false;
+  for (IGoalId Goal : Diag.MentionedGoals)
+    if (Tree.goal(Goal).Pred == Tree.goal(TruthNode).Pred)
+      Task.DiagnosticMentionsTruth = true;
+
+  return Task;
+}
+
+} // namespace
+
+std::vector<StudyTask> argus::buildStudyTasks() {
+  std::vector<StudyTask> Tasks;
+  for (const char *Id : StudyTaskIds) {
+    const CorpusEntry *Found = nullptr;
+    for (const CorpusEntry &Entry : evaluationSuite())
+      if (Entry.Id == Id)
+        Found = &Entry;
+    assert(Found && "study task id missing from the corpus");
+    Tasks.push_back(buildTask(*Found));
+  }
+  return Tasks;
+}

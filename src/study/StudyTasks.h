@@ -1,0 +1,63 @@
+//===- study/StudyTasks.h - Task models for the simulated study *- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the seven debugging tasks of the user study (Section 5.1.1)
+/// from corpus programs, and precomputes the *mechanical* facts that
+/// drive the simulated developer: where inertia ranks the ground truth in
+/// the bottom-up view, whether the rustc diagnostic text mentions the
+/// root cause at all (it does not for branch-point tasks — the Bevy
+/// observation), how many inference steps separate the diagnostic's
+/// blamed node from the truth, and how heavy the eventual fix is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_STUDY_STUDYTASKS_H
+#define ARGUS_STUDY_STUDYTASKS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace argus {
+
+/// The mechanical profile of one debugging task, precomputed by running
+/// the full pipeline (solve, extract, rank, render) on its program.
+struct StudyTask {
+  std::string Id;
+  std::string Family;
+
+  /// 0-based index of the ground truth in the inertia-ranked bottom-up
+  /// view; equals NumLeaves when the truth is not a leaf (overflow
+  /// tasks).
+  size_t TruthRank = 0;
+  size_t NumLeaves = 0;
+
+  /// True if the rustc-style diagnostic text contains the ground-truth
+  /// predicate. False exactly for the branch-point tasks, where the text
+  /// stops above the root cause.
+  bool DiagnosticMentionsTruth = false;
+
+  /// Goal-edges between the diagnostic's blamed node and the truth.
+  size_t CompilerDistance = 0;
+
+  /// Appendix A.1 weight of the ground truth's category: the model of
+  /// fix complexity.
+  size_t FixWeight = 0;
+
+  /// Idealized tree size (information volume to navigate).
+  size_t TreeSize = 0;
+};
+
+/// The seven study tasks (Section 5.1.1: three real-library families plus
+/// the synthetic brew/space libraries and the recursion task), built from
+/// the evaluation corpus.
+std::vector<StudyTask> buildStudyTasks();
+
+} // namespace argus
+
+#endif // ARGUS_STUDY_STUDYTASKS_H

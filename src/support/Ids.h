@@ -1,0 +1,63 @@
+//===- support/Ids.h - Strongly typed index wrappers ----------*- C++ -*-===//
+//
+// Part of argus-cpp, a reproduction of "An Interactive Debugger for Rust
+// Trait Errors" (PLDI 2025). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed integer identifiers. The compiler pipeline manipulates
+/// many parallel index spaces (types, declarations, proof-tree nodes,
+/// predicates); wrapping each in its own type prevents accidentally using
+/// an index from one space inside another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_IDS_H
+#define ARGUS_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace argus {
+
+/// A strongly typed index. \p Tag is an arbitrary marker type that makes
+/// two instantiations incompatible with one another.
+template <typename Tag> class Id {
+public:
+  using ValueType = uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(ValueType Value) : Value(Value) {}
+
+  /// The sentinel "no value" id.
+  static constexpr Id invalid() {
+    return Id(std::numeric_limits<ValueType>::max());
+  }
+
+  constexpr bool isValid() const {
+    return Value != std::numeric_limits<ValueType>::max();
+  }
+
+  constexpr ValueType value() const { return Value; }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+
+private:
+  ValueType Value = std::numeric_limits<ValueType>::max();
+};
+
+} // namespace argus
+
+namespace std {
+template <typename Tag> struct hash<argus::Id<Tag>> {
+  size_t operator()(argus::Id<Tag> Value) const {
+    return std::hash<uint32_t>()(Value.value());
+  }
+};
+} // namespace std
+
+#endif // ARGUS_SUPPORT_IDS_H

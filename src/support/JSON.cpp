@@ -1,0 +1,160 @@
+//===- support/JSON.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace argus;
+
+void JSONWriter::writeIndent() {
+  if (!Pretty)
+    return;
+  Out.push_back('\n');
+  Out.append(2 * (Stack.size() - 1), ' ');
+}
+
+void JSONWriter::prepareValue() {
+  Context &Ctx = Stack.back();
+  switch (Ctx.Kind) {
+  case ContextKind::Root:
+    assert(!Ctx.HasElements && "multiple top-level JSON values");
+    break;
+  case ContextKind::Object:
+    assert(Ctx.AwaitingValue && "object value emitted without a key");
+    Ctx.AwaitingValue = false;
+    return; // The comma/indent was handled by key().
+  case ContextKind::Array:
+    if (Ctx.HasElements)
+      Out.push_back(',');
+    writeIndent();
+    break;
+  }
+  Ctx.HasElements = true;
+}
+
+void JSONWriter::key(std::string_view Key) {
+  Context &Ctx = Stack.back();
+  assert(Ctx.Kind == ContextKind::Object && "key() outside of an object");
+  assert(!Ctx.AwaitingValue && "two keys in a row");
+  if (Ctx.HasElements)
+    Out.push_back(',');
+  writeIndent();
+  Out.push_back('"');
+  writeEscaped(Key);
+  Out.append(Pretty ? "\": " : "\":");
+  Ctx.HasElements = true;
+  Ctx.AwaitingValue = true;
+}
+
+void JSONWriter::beginObject() {
+  prepareValue();
+  Out.push_back('{');
+  Stack.push_back({ContextKind::Object});
+}
+
+void JSONWriter::endObject() {
+  assert(Stack.back().Kind == ContextKind::Object && "mismatched endObject");
+  assert(!Stack.back().AwaitingValue && "dangling key at endObject");
+  bool HadElements = Stack.back().HasElements;
+  Stack.pop_back();
+  if (HadElements)
+    writeIndent();
+  Out.push_back('}');
+}
+
+void JSONWriter::beginArray() {
+  prepareValue();
+  Out.push_back('[');
+  Stack.push_back({ContextKind::Array});
+}
+
+void JSONWriter::endArray() {
+  assert(Stack.back().Kind == ContextKind::Array && "mismatched endArray");
+  bool HadElements = Stack.back().HasElements;
+  Stack.pop_back();
+  if (HadElements)
+    writeIndent();
+  Out.push_back(']');
+}
+
+void JSONWriter::value(std::string_view Str) {
+  prepareValue();
+  Out.push_back('"');
+  writeEscaped(Str);
+  Out.push_back('"');
+}
+
+void JSONWriter::value(int64_t Int) {
+  prepareValue();
+  Out += std::to_string(Int);
+}
+
+void JSONWriter::value(uint64_t Int) {
+  prepareValue();
+  Out += std::to_string(Int);
+}
+
+void JSONWriter::value(double Num) {
+  prepareValue();
+  if (std::isnan(Num) || std::isinf(Num)) {
+    // JSON has no NaN/Inf literals; null is the conventional stand-in.
+    Out += "null";
+    return;
+  }
+  char Buffer[64];
+  snprintf(Buffer, sizeof(Buffer), "%.17g", Num);
+  Out += Buffer;
+}
+
+void JSONWriter::value(bool Flag) {
+  prepareValue();
+  Out += Flag ? "true" : "false";
+}
+
+void JSONWriter::nullValue() {
+  prepareValue();
+  Out += "null";
+}
+
+void JSONWriter::writeEscaped(std::string_view Str) {
+  Out += escape(Str);
+}
+
+std::string JSONWriter::escape(std::string_view Str) {
+  std::string Result;
+  Result.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    case '\r':
+      Result += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Result += Buffer;
+      } else {
+        Result.push_back(C);
+      }
+    }
+  }
+  return Result;
+}

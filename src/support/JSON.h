@@ -1,0 +1,84 @@
+//===- support/JSON.h - Streaming JSON writer -----------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer. The Argus plugin spends 40% of its code
+/// serializing the Rust type system to JSON for the web UI; here the
+/// analogous surface is the export of idealized inference trees and view
+/// states for external consumers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_JSON_H
+#define ARGUS_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace argus {
+
+/// Writes syntactically valid JSON into an owned buffer.
+///
+/// The writer is a push-style API with explicit begin/end calls. In debug
+/// builds it asserts on malformed usage (e.g. a value emitted inside an
+/// object without a preceding key).
+class JSONWriter {
+public:
+  explicit JSONWriter(bool Pretty = false) : Pretty(Pretty) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  void key(std::string_view Key);
+
+  void value(std::string_view Str);
+  void value(const char *Str) { value(std::string_view(Str)); }
+  void value(int64_t Int);
+  void value(uint64_t Int);
+  void value(int Int) { value(static_cast<int64_t>(Int)); }
+  void value(unsigned Int) { value(static_cast<uint64_t>(Int)); }
+  void value(double Num);
+  void value(bool Flag);
+  void nullValue();
+
+  /// Convenience: key followed by a scalar value.
+  template <typename T> void keyValue(std::string_view Key, T &&Val) {
+    key(Key);
+    value(std::forward<T>(Val));
+  }
+
+  /// Returns the accumulated JSON text. Valid once all containers are
+  /// closed.
+  const std::string &str() const { return Out; }
+
+  /// Escapes \p Str per RFC 8259 (without surrounding quotes).
+  static std::string escape(std::string_view Str);
+
+private:
+  enum class ContextKind { Root, Object, Array };
+  struct Context {
+    ContextKind Kind;
+    bool HasElements = false;
+    bool AwaitingValue = false; // Object context only: key() was just called.
+  };
+
+  void prepareValue();
+  void writeIndent();
+  void writeEscaped(std::string_view Str);
+
+  std::string Out;
+  std::vector<Context> Stack{{ContextKind::Root}};
+  bool Pretty;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_JSON_H

@@ -1,0 +1,109 @@
+//===- support/Random.h - Deterministic PRNG ------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256**) used by the workload
+/// generator and the user-study simulator. Every stochastic experiment in
+/// this repository takes an explicit seed so results are reproducible
+/// across machines and standard-library versions (std::mt19937
+/// distributions are not portable across implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_RANDOM_H
+#define ARGUS_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace argus {
+
+/// xoshiro256** seeded via splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // splitmix64 expansion of the seed into the full state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic).
+  double normal() {
+    double U1 = uniform();
+    double U2 = uniform();
+    // Guard against log(0).
+    if (U1 <= 0.0)
+      U1 = 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  }
+
+  /// Log-normal draw with the given parameters of the underlying normal.
+  double logNormal(double Mu, double Sigma) {
+    return std::exp(Mu + Sigma * normal());
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// simulated participant or workload item its own stream.
+  Rng fork() { return Rng(next() ^ 0xa0761d6478bd642fULL); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_RANDOM_H

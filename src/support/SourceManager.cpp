@@ -1,0 +1,73 @@
+//===- support/SourceManager.cpp ------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace argus;
+
+FileId SourceManager::addFile(std::string Name, std::string Contents) {
+  FileEntry Entry;
+  Entry.Name = std::move(Name);
+  Entry.Contents = std::move(Contents);
+  Entry.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Entry.Contents.size());
+       I != E; ++I)
+    if (Entry.Contents[I] == '\n')
+      Entry.LineStarts.push_back(I + 1);
+  Files.push_back(std::move(Entry));
+  return FileId(static_cast<uint32_t>(Files.size() - 1));
+}
+
+const SourceManager::FileEntry &SourceManager::entry(FileId File) const {
+  assert(File.isValid() && File.value() < Files.size() && "unknown file");
+  return Files[File.value()];
+}
+
+const std::string &SourceManager::fileName(FileId File) const {
+  return entry(File).Name;
+}
+
+std::string_view SourceManager::fileContents(FileId File) const {
+  return entry(File).Contents;
+}
+
+LineColumn SourceManager::lineColumn(FileId File, uint32_t Offset) const {
+  const FileEntry &Entry = entry(File);
+  assert(Offset <= Entry.Contents.size() && "offset out of range");
+  auto It = std::upper_bound(Entry.LineStarts.begin(), Entry.LineStarts.end(),
+                             Offset);
+  uint32_t Line = static_cast<uint32_t>(It - Entry.LineStarts.begin());
+  uint32_t LineStart = Entry.LineStarts[Line - 1];
+  return LineColumn{Line, Offset - LineStart + 1};
+}
+
+std::string_view SourceManager::spanText(Span S) const {
+  const FileEntry &Entry = entry(S.File);
+  assert(S.End <= Entry.Contents.size() && S.Begin <= S.End &&
+         "span out of range");
+  return std::string_view(Entry.Contents).substr(S.Begin, S.length());
+}
+
+std::string_view SourceManager::lineText(FileId File, uint32_t Line) const {
+  const FileEntry &Entry = entry(File);
+  assert(Line >= 1 && Line <= Entry.LineStarts.size() && "line out of range");
+  uint32_t Start = Entry.LineStarts[Line - 1];
+  uint32_t End = Line < Entry.LineStarts.size()
+                     ? Entry.LineStarts[Line] - 1
+                     : static_cast<uint32_t>(Entry.Contents.size());
+  return std::string_view(Entry.Contents).substr(Start, End - Start);
+}
+
+std::string SourceManager::describe(Span S) const {
+  if (!S.isValid())
+    return "<unknown>";
+  LineColumn LC = lineColumn(S.File, S.Begin);
+  return fileName(S.File) + ":" + std::to_string(LC.Line) + ":" +
+         std::to_string(LC.Column);
+}

@@ -1,0 +1,91 @@
+//===- support/SourceManager.h - Files, spans, locations ------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks source files and byte spans so that diagnostics and contextual
+/// links (the paper's CtxtLinks principle) can point back at the program
+/// text that introduced each trait bound or impl block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_SOURCEMANAGER_H
+#define ARGUS_SUPPORT_SOURCEMANAGER_H
+
+#include "support/Ids.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace argus {
+
+struct FileTag {};
+using FileId = Id<FileTag>;
+
+/// A half-open byte range [Begin, End) within one file.
+struct Span {
+  FileId File;
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+
+  bool isValid() const { return File.isValid(); }
+  uint32_t length() const { return End - Begin; }
+
+  friend bool operator==(const Span &A, const Span &B) {
+    return A.File == B.File && A.Begin == B.Begin && A.End == B.End;
+  }
+};
+
+/// A resolved 1-based line/column position.
+struct LineColumn {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  friend bool operator==(LineColumn A, LineColumn B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+/// Owns the text of every source file in a session and resolves spans to
+/// human-readable locations.
+class SourceManager {
+public:
+  /// Registers a file and returns its id. \p Name need not be unique.
+  FileId addFile(std::string Name, std::string Contents);
+
+  const std::string &fileName(FileId File) const;
+  std::string_view fileContents(FileId File) const;
+  size_t numFiles() const { return Files.size(); }
+
+  /// Resolves a byte offset to a 1-based line/column pair.
+  LineColumn lineColumn(FileId File, uint32_t Offset) const;
+
+  /// Returns the text covered by \p S.
+  std::string_view spanText(Span S) const;
+
+  /// Returns the full line (without trailing newline) containing \p Offset,
+  /// for diagnostic snippets.
+  std::string_view lineText(FileId File, uint32_t Line) const;
+
+  /// Formats a span as "name:line:col" for diagnostics.
+  std::string describe(Span S) const;
+
+private:
+  struct FileEntry {
+    std::string Name;
+    std::string Contents;
+    /// Byte offsets at which each line starts; LineStarts[0] == 0.
+    std::vector<uint32_t> LineStarts;
+  };
+
+  const FileEntry &entry(FileId File) const;
+
+  std::vector<FileEntry> Files;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,262 @@
+//===- support/Statistics.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace argus;
+using namespace argus::stats;
+
+double stats::median(std::vector<double> Values) {
+  assert(!Values.empty() && "median of empty sample");
+  std::sort(Values.begin(), Values.end());
+  size_t N = Values.size();
+  if (N % 2 == 1)
+    return Values[N / 2];
+  return 0.5 * (Values[N / 2 - 1] + Values[N / 2]);
+}
+
+double stats::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  std::sort(Values.begin(), Values.end());
+  double Position = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Position);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Position - static_cast<double>(Lo);
+  return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
+}
+
+double stats::mean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of empty sample");
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+// Series expansion for P(A, X), valid for X < A + 1 (Numerical Recipes
+// "gser").
+static double gammaPSeries(double A, double X) {
+  double Ap = A;
+  double Sum = 1.0 / A;
+  double Del = Sum;
+  for (int I = 0; I < 500; ++I) {
+    Ap += 1.0;
+    Del *= X / Ap;
+    Sum += Del;
+    if (std::fabs(Del) < std::fabs(Sum) * 1e-15)
+      break;
+  }
+  return Sum * std::exp(-X + A * std::log(X) - std::lgamma(A));
+}
+
+// Continued fraction for Q(A, X), valid for X >= A + 1 ("gcf").
+static double gammaQContinuedFraction(double A, double X) {
+  const double Tiny = 1e-300;
+  double B = X + 1.0 - A;
+  double C = 1.0 / Tiny;
+  double D = 1.0 / B;
+  double H = D;
+  for (int I = 1; I <= 500; ++I) {
+    double An = -static_cast<double>(I) * (static_cast<double>(I) - A);
+    B += 2.0;
+    D = An * D + B;
+    if (std::fabs(D) < Tiny)
+      D = Tiny;
+    C = B + An / C;
+    if (std::fabs(C) < Tiny)
+      C = Tiny;
+    D = 1.0 / D;
+    double Del = D * C;
+    H *= Del;
+    if (std::fabs(Del - 1.0) < 1e-15)
+      break;
+  }
+  return std::exp(-X + A * std::log(X) - std::lgamma(A)) * H;
+}
+
+double stats::regularizedGammaP(double A, double X) {
+  assert(A > 0.0 && X >= 0.0 && "invalid incomplete gamma arguments");
+  if (X == 0.0)
+    return 0.0;
+  if (X < A + 1.0)
+    return gammaPSeries(A, X);
+  return 1.0 - gammaQContinuedFraction(A, X);
+}
+
+double stats::chiSquareSurvival(double Statistic, double Dof) {
+  if (Statistic <= 0.0)
+    return 1.0;
+  return 1.0 - regularizedGammaP(Dof / 2.0, Statistic / 2.0);
+}
+
+TestResult stats::chiSquare2x2(uint64_t A, uint64_t B, uint64_t C,
+                               uint64_t D) {
+  double Row1 = static_cast<double>(A + B);
+  double Row2 = static_cast<double>(C + D);
+  double Col1 = static_cast<double>(A + C);
+  double Col2 = static_cast<double>(B + D);
+  double Total = Row1 + Row2;
+  TestResult Result;
+  Result.Dof = 1.0;
+  if (Total == 0.0 || Row1 == 0.0 || Row2 == 0.0 || Col1 == 0.0 ||
+      Col2 == 0.0)
+    return Result; // Degenerate table: no evidence against independence.
+
+  double Observed[2][2] = {{static_cast<double>(A), static_cast<double>(B)},
+                           {static_cast<double>(C), static_cast<double>(D)}};
+  double Rows[2] = {Row1, Row2};
+  double Cols[2] = {Col1, Col2};
+  double Statistic = 0.0;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J) {
+      double Expected = Rows[I] * Cols[J] / Total;
+      double Diff = Observed[I][J] - Expected;
+      Statistic += Diff * Diff / Expected;
+    }
+  Result.Statistic = Statistic;
+  Result.PValue = chiSquareSurvival(Statistic, 1.0);
+  return Result;
+}
+
+TestResult stats::kruskalWallis(
+    const std::vector<std::vector<double>> &Groups) {
+  size_t NumGroups = Groups.size();
+  assert(NumGroups >= 2 && "Kruskal-Wallis needs at least two groups");
+
+  // Pool all observations, remembering group membership.
+  struct Observation {
+    double Value;
+    size_t Group;
+  };
+  std::vector<Observation> Pooled;
+  for (size_t G = 0; G != NumGroups; ++G)
+    for (double V : Groups[G])
+      Pooled.push_back({V, G});
+  size_t N = Pooled.size();
+  assert(N >= 2 && "too few observations");
+
+  std::sort(Pooled.begin(), Pooled.end(),
+            [](const Observation &X, const Observation &Y) {
+              return X.Value < Y.Value;
+            });
+
+  // Midranks for ties, and the tie-correction accumulator.
+  std::vector<double> Ranks(N);
+  double TieSum = 0.0;
+  for (size_t I = 0; I != N;) {
+    size_t J = I;
+    while (J != N && Pooled[J].Value == Pooled[I].Value)
+      ++J;
+    double MidRank = 0.5 * (static_cast<double>(I + 1) +
+                            static_cast<double>(J));
+    for (size_t K = I; K != J; ++K)
+      Ranks[K] = MidRank;
+    double TieLen = static_cast<double>(J - I);
+    TieSum += TieLen * TieLen * TieLen - TieLen;
+    I = J;
+  }
+
+  std::vector<double> RankSums(NumGroups, 0.0);
+  std::vector<size_t> Sizes(NumGroups, 0);
+  for (size_t I = 0; I != N; ++I) {
+    RankSums[Pooled[I].Group] += Ranks[I];
+    ++Sizes[Pooled[I].Group];
+  }
+
+  double Nd = static_cast<double>(N);
+  double H = 0.0;
+  for (size_t G = 0; G != NumGroups; ++G) {
+    assert(Sizes[G] > 0 && "empty group");
+    H += RankSums[G] * RankSums[G] / static_cast<double>(Sizes[G]);
+  }
+  H = 12.0 / (Nd * (Nd + 1.0)) * H - 3.0 * (Nd + 1.0);
+
+  double TieCorrection = 1.0 - TieSum / (Nd * Nd * Nd - Nd);
+  if (TieCorrection > 0.0)
+    H /= TieCorrection;
+
+  TestResult Result;
+  Result.Statistic = H;
+  Result.Dof = static_cast<double>(NumGroups - 1);
+  Result.PValue = chiSquareSurvival(H, Result.Dof);
+  return Result;
+}
+
+double stats::normalQuantile(double P) {
+  assert(P > 0.0 && P < 1.0 && "quantile argument must be in (0,1)");
+  // Acklam's rational approximation, relative error < 1.15e-9.
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double PLow = 0.02425;
+
+  if (P < PLow) {
+    double Q = std::sqrt(-2.0 * std::log(P));
+    return (((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+            C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+  }
+  if (P <= 1.0 - PLow) {
+    double Q = P - 0.5;
+    double R = Q * Q;
+    return (((((A[0] * R + A[1]) * R + A[2]) * R + A[3]) * R + A[4]) * R +
+            A[5]) *
+           Q /
+           (((((B[0] * R + B[1]) * R + B[2]) * R + B[3]) * R + B[4]) * R +
+            1.0);
+  }
+  double Q = std::sqrt(-2.0 * std::log(1.0 - P));
+  return -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+           C[5]) /
+         ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+}
+
+Interval stats::wilsonInterval(uint64_t Successes, uint64_t Trials,
+                               double Confidence) {
+  assert(Trials > 0 && "Wilson interval of zero trials");
+  assert(Successes <= Trials && "more successes than trials");
+  double Z = normalQuantile(0.5 + Confidence / 2.0);
+  double N = static_cast<double>(Trials);
+  double PHat = static_cast<double>(Successes) / N;
+  double Z2 = Z * Z;
+  double Denominator = 1.0 + Z2 / N;
+  double Center = (PHat + Z2 / (2.0 * N)) / Denominator;
+  double Margin =
+      Z * std::sqrt(PHat * (1.0 - PHat) / N + Z2 / (4.0 * N * N)) /
+      Denominator;
+  return Interval{std::max(0.0, Center - Margin),
+                  std::min(1.0, Center + Margin)};
+}
+
+Interval stats::bootstrapMedianInterval(const std::vector<double> &Values,
+                                        Rng &Generator, unsigned Resamples,
+                                        double Confidence) {
+  assert(!Values.empty() && "bootstrap of empty sample");
+  std::vector<double> Medians;
+  Medians.reserve(Resamples);
+  std::vector<double> Sample(Values.size());
+  for (unsigned R = 0; R != Resamples; ++R) {
+    for (double &Slot : Sample)
+      Slot = Values[Generator.below(Values.size())];
+    Medians.push_back(median(Sample));
+  }
+  double Alpha = 1.0 - Confidence;
+  return Interval{quantile(Medians, Alpha / 2.0),
+                  quantile(Medians, 1.0 - Alpha / 2.0)};
+}

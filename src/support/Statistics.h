@@ -1,0 +1,83 @@
+//===- support/Statistics.h - Tests used by the evaluation ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistical machinery used in the paper's Section 5: chi-square
+/// tests on 2x2 contingency tables (localization/fix rates), the
+/// Kruskal-Wallis rank test (localization/fix times), Wilson binomial
+/// proportion confidence intervals (error bars in Figure 11a/11c), and
+/// bootstrap confidence intervals for medians (Figure 11b/11d).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_STATISTICS_H
+#define ARGUS_SUPPORT_STATISTICS_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace argus {
+namespace stats {
+
+/// Median of \p Values (averaging the two middle elements for even sizes).
+/// Asserts on empty input.
+double median(std::vector<double> Values);
+
+/// Linear-interpolation quantile, \p Q in [0, 1].
+double quantile(std::vector<double> Values, double Q);
+
+double mean(const std::vector<double> &Values);
+
+/// Regularized lower incomplete gamma P(A, X).
+double regularizedGammaP(double A, double X);
+
+/// Upper tail of the chi-square distribution with \p Dof degrees of
+/// freedom: P(X^2 >= Statistic).
+double chiSquareSurvival(double Statistic, double Dof);
+
+/// Result of a hypothesis test.
+struct TestResult {
+  double Statistic = 0.0;
+  double Dof = 0.0;
+  double PValue = 1.0;
+};
+
+/// Pearson chi-square test of independence on a 2x2 contingency table
+/// laid out as {{A, B}, {C, D}} (rows = condition, columns = outcome).
+TestResult chiSquare2x2(uint64_t A, uint64_t B, uint64_t C, uint64_t D);
+
+/// Kruskal-Wallis H test across \p Groups, with tie correction; the
+/// p-value uses the chi-square approximation with k-1 dof (as in the
+/// paper, which reports chi(1, 100) for its two-group comparisons).
+TestResult kruskalWallis(const std::vector<std::vector<double>> &Groups);
+
+/// A two-sided confidence interval.
+struct Interval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+};
+
+/// Wilson score interval for \p Successes out of \p Trials at the given
+/// confidence level (default 95%).
+Interval wilsonInterval(uint64_t Successes, uint64_t Trials,
+                        double Confidence = 0.95);
+
+/// Percentile-bootstrap confidence interval for the median, using
+/// \p Resamples draws from the deterministic \p Generator.
+Interval bootstrapMedianInterval(const std::vector<double> &Values,
+                                 Rng &Generator, unsigned Resamples = 2000,
+                                 double Confidence = 0.95);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation);
+/// exposed for testing.
+double normalQuantile(double P);
+
+} // namespace stats
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_STATISTICS_H

@@ -1,0 +1,33 @@
+//===- support/StringInterner.cpp -----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace argus;
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Map.find(Text);
+  if (It != Map.end())
+    return It->second;
+
+  Strings.push_back(std::string(Text));
+  Symbol Sym(static_cast<uint32_t>(Strings.size() - 1));
+  Map.emplace(std::string_view(Strings.back()), Sym);
+  return Sym;
+}
+
+const std::string &StringInterner::text(Symbol Sym) const {
+  assert(Sym.isValid() && Sym.value() < Strings.size() &&
+         "invalid symbol for this interner");
+  return Strings[Sym.value()];
+}
+
+Symbol StringInterner::lookup(std::string_view Text) const {
+  auto It = Map.find(Text);
+  return It == Map.end() ? Symbol::invalid() : It->second;
+}

@@ -1,0 +1,57 @@
+//===- support/StringInterner.h - Symbol interning ------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into small integer \c Symbol handles so that names can
+/// be compared and hashed in O(1) throughout the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_STRINGINTERNER_H
+#define ARGUS_SUPPORT_STRINGINTERNER_H
+
+#include "support/Ids.h"
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace argus {
+
+struct SymbolTag {};
+/// An interned string handle. Cheap to copy, compare, and hash.
+using Symbol = Id<SymbolTag>;
+
+/// Owns the storage for all interned strings.
+///
+/// Interners are per-\c Session (not global) so that tests and parallel
+/// benchmarks never share mutable state.
+class StringInterner {
+public:
+  /// Interns \p Text, returning the existing symbol if already present.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the text for \p Sym. The reference is stable for the lifetime
+  /// of the interner.
+  const std::string &text(Symbol Sym) const;
+
+  /// Returns the symbol for \p Text if it was interned, Symbol::invalid()
+  /// otherwise. Does not intern.
+  Symbol lookup(std::string_view Text) const;
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  // A deque keeps element addresses stable on growth, so the string_view
+  // keys in Map (which point into these strings) never dangle.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, Symbol> Map;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,128 @@
+//===- tlang/Decl.h - L_TRAIT declarations --------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations of L_TRAIT: type constructors (tydecl), traits (trdecl),
+/// impl blocks, fn items, and top-level goals. Every declaration carries a
+/// Locality (local crate vs. external library); the distinction drives the
+/// orphan-rule component of the inertia heuristic, exactly as in the
+/// paper's Section 3.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_DECL_H
+#define ARGUS_TLANG_DECL_H
+
+#include "support/SourceManager.h"
+#include "tlang/Predicate.h"
+
+#include <optional>
+#include <vector>
+
+namespace argus {
+
+/// Whether a declaration lives in the developer's crate or in an external
+/// library (declared `#[external]` in the DSL).
+enum class Locality : uint8_t { Local, External };
+
+/// A nominal type constructor (`struct`/`newtype` in the DSL).
+struct TypeCtorDecl {
+  Symbol Name;                ///< Fully qualified path, e.g. "diesel::SelectStatement".
+  std::vector<Symbol> Params; ///< Declared type parameters.
+  Locality Loc = Locality::Local;
+  Span Sp;
+};
+
+/// An associated type declared inside a trait, with optional bounds
+/// (`type Data: AssocData<Self>;`). Bounds are stored with `Self` and the
+/// trait's parameters in scope.
+struct AssocTypeDecl {
+  Symbol Name;
+  std::vector<Predicate> Bounds;
+  Span Sp;
+};
+
+/// A trait declaration. The Self parameter is implicit; Params are the
+/// remaining parameters (multi-parameter type classes, Section 3.1).
+struct TraitDecl {
+  Symbol Name;
+  std::vector<Symbol> Params;
+  /// Where-clauses / supertrait bounds (e.g. `Self: Sized`).
+  std::vector<Predicate> WhereClauses;
+  std::vector<AssocTypeDecl> AssocTypes;
+  Locality Loc = Locality::Local;
+  Span Sp;
+  /// Marked `#[fn_trait]`: the trait is Fn-like, so fn items and fn
+  /// pointers of matching arity get a builtin implementation.
+  bool IsFnTrait = false;
+
+  /// `#[on_unimplemented = "..."]`: a library-provided diagnostic
+  /// headline (rustc's #[diagnostic::on_unimplemented], Section 6 of the
+  /// paper). "{Self}" expands to the failing self type. Empty when
+  /// unset.
+  std::string OnUnimplemented;
+
+  const AssocTypeDecl *findAssoc(Symbol AssocName) const {
+    for (const AssocTypeDecl &Assoc : AssocTypes)
+      if (Assoc.Name == AssocName)
+        return &Assoc;
+    return nullptr;
+  }
+};
+
+struct ImplTag {};
+using ImplId = Id<ImplTag>;
+
+/// An impl block: `impl<Generics> Trait<Args> for SelfTy where ... { type
+/// D = tau; }`.
+struct ImplDecl {
+  ImplId Id;
+  std::vector<Symbol> Generics;
+  Symbol Trait;
+  std::vector<TypeId> TraitArgs; ///< Excluding the self type.
+  TypeId SelfTy;
+  std::vector<Predicate> WhereClauses;
+  /// Associated type bindings, in trait declaration order where present.
+  std::vector<std::pair<Symbol, TypeId>> Bindings;
+  Locality Loc = Locality::Local;
+  Span Sp;
+
+  std::optional<TypeId> findBinding(Symbol Assoc) const {
+    for (const auto &[Name, Ty] : Bindings)
+      if (Name == Assoc)
+        return Ty;
+    return std::nullopt;
+  }
+};
+
+/// A named function item. Referencing its name in type position yields the
+/// unique FnDef type `fn(Params) -> Ret {Name}`.
+struct FnDecl {
+  Symbol Name;
+  std::vector<TypeId> Params;
+  TypeId Ret;
+  Locality Loc = Locality::Local;
+  Span Sp;
+};
+
+/// A root obligation (`goal` statement): the predicate the "program" needs
+/// to hold, such as the bound introduced by a method call. The optional
+/// environment models the where-clauses in scope at the obligation site.
+struct GoalDecl {
+  Predicate Pred;
+  std::vector<Predicate> Env;
+  Span Sp;
+  /// Marked `#[speculative]`: models a soft constraint emitted while the
+  /// type checker probes alternatives (e.g. method resolution trying
+  /// several traits; Section 4 of the paper). Consecutive speculative
+  /// goals form one probe group; the extractor hides failed members of a
+  /// group in which some member succeeded.
+  bool Speculative = false;
+};
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_DECL_H

@@ -1,0 +1,212 @@
+//===- tlang/Lexer.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Lexer.h"
+
+#include <cctype>
+
+using namespace argus;
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentContinue(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+std::vector<Token> argus::tokenize(const SourceManager &Sources,
+                                   FileId File) {
+  std::string_view Text = Sources.fileContents(File);
+  std::vector<Token> Tokens;
+  uint32_t I = 0;
+  uint32_t N = static_cast<uint32_t>(Text.size());
+
+  auto MakeSpan = [&](uint32_t Begin, uint32_t End) {
+    return Span{File, Begin, End};
+  };
+  auto Push = [&](TokenKind Kind, uint32_t Begin, uint32_t End,
+                  std::string TokenText = std::string()) {
+    Tokens.push_back(Token{Kind, std::move(TokenText), MakeSpan(Begin, End)});
+  };
+
+  while (I < N) {
+    char C = Text[I];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Line comments.
+    if (C == '/' && I + 1 < N && Text[I + 1] == '/') {
+      while (I < N && Text[I] != '\n')
+        ++I;
+      continue;
+    }
+    uint32_t Begin = I;
+    if (isIdentStart(C)) {
+      while (I < N && isIdentContinue(Text[I]))
+        ++I;
+      Push(TokenKind::Ident, Begin, I,
+           std::string(Text.substr(Begin, I - Begin)));
+      continue;
+    }
+    if (C == '"') {
+      ++I;
+      uint32_t TextBegin = I;
+      while (I < N && Text[I] != '"' && Text[I] != '\n')
+        ++I;
+      std::string Value(Text.substr(TextBegin, I - TextBegin));
+      if (I < N && Text[I] == '"')
+        ++I; // Unterminated strings surface as parse errors later.
+      else
+        Push(TokenKind::Error, Begin, I, "unterminated string");
+      Push(TokenKind::String, Begin, I, std::move(Value));
+      continue;
+    }
+    if (C == '\'') {
+      ++I;
+      uint32_t NameBegin = I;
+      while (I < N && isIdentContinue(Text[I]))
+        ++I;
+      Push(TokenKind::Lifetime, Begin, I,
+           std::string(Text.substr(NameBegin, I - NameBegin)));
+      continue;
+    }
+    if (C == '?') {
+      ++I;
+      uint32_t NameBegin = I;
+      while (I < N && isIdentContinue(Text[I]))
+        ++I;
+      Push(TokenKind::InferName, Begin, I,
+           std::string(Text.substr(NameBegin, I - NameBegin)));
+      continue;
+    }
+    // Multi-character punctuation first.
+    if (C == ':' && I + 1 < N && Text[I + 1] == ':') {
+      I += 2;
+      Push(TokenKind::PathSep, Begin, I);
+      continue;
+    }
+    if (C == '-' && I + 1 < N && Text[I + 1] == '>') {
+      I += 2;
+      Push(TokenKind::Arrow, Begin, I);
+      continue;
+    }
+    if (C == '=' && I + 1 < N && Text[I + 1] == '=') {
+      I += 2;
+      Push(TokenKind::EqEq, Begin, I);
+      continue;
+    }
+    ++I;
+    switch (C) {
+    case '(':
+      Push(TokenKind::LParen, Begin, I);
+      break;
+    case ')':
+      Push(TokenKind::RParen, Begin, I);
+      break;
+    case '{':
+      Push(TokenKind::LBrace, Begin, I);
+      break;
+    case '}':
+      Push(TokenKind::RBrace, Begin, I);
+      break;
+    case '[':
+      Push(TokenKind::LBracket, Begin, I);
+      break;
+    case ']':
+      Push(TokenKind::RBracket, Begin, I);
+      break;
+    case '<':
+      Push(TokenKind::Lt, Begin, I);
+      break;
+    case '>':
+      Push(TokenKind::Gt, Begin, I);
+      break;
+    case ',':
+      Push(TokenKind::Comma, Begin, I);
+      break;
+    case ';':
+      Push(TokenKind::Semi, Begin, I);
+      break;
+    case ':':
+      Push(TokenKind::Colon, Begin, I);
+      break;
+    case '=':
+      Push(TokenKind::Eq, Begin, I);
+      break;
+    case '&':
+      Push(TokenKind::Amp, Begin, I);
+      break;
+    case '+':
+      Push(TokenKind::Plus, Begin, I);
+      break;
+    case '#':
+      Push(TokenKind::Hash, Begin, I);
+      break;
+    default:
+      Push(TokenKind::Error, Begin, I, std::string(1, C));
+      break;
+    }
+  }
+  Push(TokenKind::Eof, N, N);
+  return Tokens;
+}
+
+const char *argus::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::String:
+    return "string literal";
+  case TokenKind::Lifetime:
+    return "lifetime";
+  case TokenKind::InferName:
+    return "inference placeholder";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::PathSep:
+    return "'::'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Hash:
+    return "'#'";
+  case TokenKind::Error:
+    return "invalid character";
+  }
+  return "<token>";
+}

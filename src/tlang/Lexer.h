@@ -1,0 +1,67 @@
+//===- tlang/Lexer.h - Tokenizer for the L_TRAIT DSL ----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual form of L_TRAIT in which the evaluation
+/// corpus is written. The surface syntax deliberately mirrors Rust
+/// (struct/trait/impl/where/fn) so the corpus programs read like the
+/// programs in the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_LEXER_H
+#define ARGUS_TLANG_LEXER_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+#include <vector>
+
+namespace argus {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Ident,      ///< foo, Bar (single path segment)
+  String,     ///< "..." (attribute values)
+  Lifetime,   ///< 'a, 'static
+  InferName,  ///< ?M : a named inference-variable placeholder
+  LParen,     ///< (
+  RParen,     ///< )
+  LBrace,     ///< {
+  RBrace,     ///< }
+  LBracket,   ///< [
+  RBracket,   ///< ]
+  Lt,         ///< <
+  Gt,         ///< >
+  Comma,      ///< ,
+  Semi,       ///< ;
+  Colon,      ///< :
+  PathSep,    ///< ::
+  Arrow,      ///< ->
+  EqEq,       ///< ==
+  Eq,         ///< =
+  Amp,        ///< &
+  Plus,       ///< +
+  Hash,       ///< #
+  Error,      ///< Unrecognized character.
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text; ///< Ident/Lifetime/InferName spelling (no sigils).
+  Span Sp;
+};
+
+/// Tokenizes \p File (already registered with \p Sources). Line comments
+/// (`//`) are skipped. The token list always ends with an Eof token.
+std::vector<Token> tokenize(const SourceManager &Sources, FileId File);
+
+/// Human-readable token-kind name for error messages.
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_LEXER_H

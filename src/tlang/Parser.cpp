@@ -1,0 +1,934 @@
+//===- tlang/Parser.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Parser.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace argus;
+
+namespace {
+
+/// Attributes recognized on items.
+struct Attrs {
+  bool External = false;
+  bool FnTrait = false;
+  bool Speculative = false;
+  std::string OnUnimplemented;
+};
+
+class Parser {
+public:
+  Parser(Program &Prog, FileId File)
+      : Prog(Prog), S(Prog.session()), File(File),
+        Tokens(tokenize(S.sources(), File)) {}
+
+  ParseResult run();
+
+private:
+  // --- Token cursor.
+  const Token &peek(size_t Ahead = 0) const {
+    size_t Index = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[Index];
+  }
+  const Token &advance() {
+    const Token &Tok = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return Tok;
+  }
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+  bool atIdent(std::string_view Text) const {
+    return at(TokenKind::Ident) && peek().Text == Text;
+  }
+  bool consume(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokenKind Kind, const char *Context);
+
+  void error(Span Sp, std::string Message) {
+    Errors.push_back(ParseError{Sp, std::move(Message)});
+  }
+
+  /// Skips forward to the next ';' or '}' to resynchronize after an error.
+  void synchronize();
+
+  // --- Grammar productions.
+  void parseItem();
+  Attrs parseAttrs();
+  void parseStruct(const Attrs &A);
+  void parseTrait(const Attrs &A);
+  void parseImpl(const Attrs &A);
+  void parseFn(const Attrs &A);
+  void parseGoal(const Attrs &A);
+  void parseRootCause();
+
+  /// Parses `<A, B, 'a>`; type parameter names go to \p Params.
+  bool parseGenerics(std::vector<Symbol> &Params);
+
+  /// path := ident ('::' ident)*; returns the interned full path.
+  bool parsePath(Symbol &Out, Span &Sp);
+
+  /// traitRef := path ('<' types '>')?; resolves the trait name.
+  bool parseTraitRef(Symbol &Trait, std::vector<TypeId> &Args, Span &Sp);
+
+  bool parseType(TypeId &Out);
+  bool parseTypeList(std::vector<TypeId> &Out, TokenKind Terminator);
+
+  /// Parses one predicate; `A: T1 + T2` appends multiple entries.
+  bool parsePredicates(std::vector<Predicate> &Out);
+  bool parseWhereClause(std::vector<Predicate> &Out);
+
+  /// Resolves a named type application. \p Args already parsed.
+  TypeId resolveNamedType(Symbol Path, Span Sp, std::vector<TypeId> Args,
+                          bool SingleSegment);
+
+  /// Resolves a trait name, allowing unique short-name matches.
+  Symbol resolveTraitName(Symbol Path, Span Sp);
+
+  /// Fresh (or reused) inference variable for a `?Name` placeholder.
+  TypeId inferPlaceholder(const std::string &Name);
+
+  Program &Prog;
+  Session &S;
+  FileId File;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::vector<ParseError> Errors;
+
+  /// Generic parameters currently in scope (includes "Self" inside trait
+  /// bodies).
+  std::unordered_set<Symbol> Scope;
+  std::unordered_map<std::string, uint32_t> InferNames;
+  uint32_t NextInfer = 0;
+
+  /// Forward declarations gathered by preScan(), so mutually recursive
+  /// traits/types parse in one pass. Maps type names to their arity.
+  std::unordered_map<Symbol, size_t> PendingCtors;
+  std::unordered_set<Symbol> PendingTraits;
+
+  /// Registers every struct/trait name (with struct arity) before the
+  /// main parse.
+  void preScan();
+};
+
+} // namespace
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (consume(Kind))
+    return true;
+  error(peek().Sp, std::string("expected ") + tokenKindName(Kind) +
+                       " in " + Context + ", found " +
+                       tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::synchronize() {
+  while (!at(TokenKind::Eof)) {
+    if (consume(TokenKind::Semi))
+      return;
+    if (consume(TokenKind::RBrace))
+      return;
+    advance();
+  }
+}
+
+ParseResult Parser::run() {
+  // Pre-scan existing goals so placeholder numbering does not collide when
+  // multiple files are parsed into one program.
+  std::vector<uint32_t> Existing;
+  for (const GoalDecl &Goal : Prog.goals()) {
+    S.types().collectInferVars(Goal.Pred.Subject, Existing);
+    for (TypeId Arg : Goal.Pred.Args)
+      S.types().collectInferVars(Arg, Existing);
+    if (Goal.Pred.Rhs.isValid())
+      S.types().collectInferVars(Goal.Pred.Rhs, Existing);
+  }
+  for (uint32_t Index : Existing)
+    NextInfer = std::max(NextInfer, Index + 1);
+
+  preScan();
+  while (!at(TokenKind::Eof))
+    parseItem();
+
+  // Every forward reference must have been declared by now.
+  for (const auto &[Name, Arity] : PendingCtors) {
+    (void)Arity;
+    if (!Prog.findTypeCtor(Name))
+      error(Tokens.back().Sp,
+            "type '" + S.text(Name) + "' was referenced but never declared");
+  }
+  for (Symbol Name : PendingTraits)
+    if (!Prog.findTrait(Name))
+      error(Tokens.back().Sp, "trait '" + S.text(Name) +
+                                  "' was referenced but never declared");
+
+  ParseResult Result;
+  Result.Errors = std::move(Errors);
+  Result.Success = Result.Errors.empty();
+  return Result;
+}
+
+void Parser::preScan() {
+  for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+    const Token &Tok = Tokens[I];
+    if (Tok.Kind != TokenKind::Ident)
+      continue;
+    bool IsStruct = Tok.Text == "struct" || Tok.Text == "newtype";
+    bool IsTrait = Tok.Text == "trait";
+    if (!IsStruct && !IsTrait)
+      continue;
+    // Read the path.
+    size_t J = I + 1;
+    if (Tokens[J].Kind != TokenKind::Ident)
+      continue;
+    std::string Full = Tokens[J].Text;
+    ++J;
+    while (J + 1 < Tokens.size() && Tokens[J].Kind == TokenKind::PathSep &&
+           Tokens[J + 1].Kind == TokenKind::Ident) {
+      Full += "::";
+      Full += Tokens[J + 1].Text;
+      J += 2;
+    }
+    Symbol Name = S.name(Full);
+    if (IsTrait) {
+      PendingTraits.insert(Name);
+      continue;
+    }
+    // Count type-parameter arity: Ident tokens at bracket depth 1.
+    size_t Arity = 0;
+    if (J < Tokens.size() && Tokens[J].Kind == TokenKind::Lt) {
+      int Depth = 1;
+      for (++J; J < Tokens.size() && Depth > 0; ++J) {
+        if (Tokens[J].Kind == TokenKind::Lt)
+          ++Depth;
+        else if (Tokens[J].Kind == TokenKind::Gt)
+          --Depth;
+        else if (Depth == 1 && Tokens[J].Kind == TokenKind::Ident)
+          ++Arity;
+      }
+    }
+    PendingCtors.emplace(Name, Arity);
+  }
+}
+
+Attrs Parser::parseAttrs() {
+  Attrs Result;
+  while (at(TokenKind::Hash)) {
+    advance();
+    if (!expect(TokenKind::LBracket, "attribute"))
+      return Result;
+    do {
+      if (!at(TokenKind::Ident)) {
+        error(peek().Sp, "expected attribute name");
+        break;
+      }
+      const Token &Name = advance();
+      if (Name.Text == "external") {
+        Result.External = true;
+      } else if (Name.Text == "fn_trait") {
+        Result.FnTrait = true;
+      } else if (Name.Text == "speculative") {
+        Result.Speculative = true;
+      } else if (Name.Text == "on_unimplemented") {
+        if (!expect(TokenKind::Eq, "attribute"))
+          break;
+        if (!at(TokenKind::String)) {
+          error(peek().Sp, "expected a string after on_unimplemented =");
+          break;
+        }
+        Result.OnUnimplemented = advance().Text;
+      } else {
+        error(Name.Sp, "unknown attribute '" + Name.Text + "'");
+      }
+    } while (consume(TokenKind::Comma));
+    expect(TokenKind::RBracket, "attribute");
+  }
+  return Result;
+}
+
+void Parser::parseItem() {
+  Attrs A = parseAttrs();
+  if (atIdent("struct") || atIdent("newtype")) {
+    parseStruct(A);
+  } else if (atIdent("trait")) {
+    parseTrait(A);
+  } else if (atIdent("impl")) {
+    parseImpl(A);
+  } else if (atIdent("fn")) {
+    parseFn(A);
+  } else if (atIdent("goal")) {
+    parseGoal(A);
+  } else if (atIdent("root_cause")) {
+    parseRootCause();
+  } else {
+    error(peek().Sp, std::string("expected an item, found ") +
+                         tokenKindName(peek().Kind) +
+                         (at(TokenKind::Ident) ? " '" + peek().Text + "'"
+                                               : std::string()));
+    synchronize();
+  }
+}
+
+bool Parser::parsePath(Symbol &Out, Span &Sp) {
+  if (!at(TokenKind::Ident)) {
+    error(peek().Sp, "expected a path");
+    return false;
+  }
+  const Token &First = advance();
+  std::string Full = First.Text;
+  Sp = First.Sp;
+  while (at(TokenKind::PathSep)) {
+    advance();
+    if (!at(TokenKind::Ident)) {
+      error(peek().Sp, "expected a path segment after '::'");
+      return false;
+    }
+    const Token &Seg = advance();
+    Full += "::";
+    Full += Seg.Text;
+    Sp.End = Seg.Sp.End;
+  }
+  Out = S.name(Full);
+  return true;
+}
+
+bool Parser::parseGenerics(std::vector<Symbol> &Params) {
+  if (!consume(TokenKind::Lt))
+    return true; // No generics is fine.
+  if (consume(TokenKind::Gt))
+    return true;
+  do {
+    if (at(TokenKind::Lifetime)) {
+      // Region parameters are accepted but need no scope entry: regions
+      // are resolved by name.
+      advance();
+      continue;
+    }
+    if (!at(TokenKind::Ident)) {
+      error(peek().Sp, "expected a type parameter");
+      return false;
+    }
+    const Token &Name = advance();
+    Symbol Sym = S.name(Name.Text);
+    Params.push_back(Sym);
+    Scope.insert(Sym);
+  } while (consume(TokenKind::Comma));
+  return expect(TokenKind::Gt, "generic parameter list");
+}
+
+TypeId Parser::inferPlaceholder(const std::string &Name) {
+  auto [It, Inserted] = InferNames.emplace(Name, NextInfer);
+  if (Inserted)
+    ++NextInfer;
+  return S.types().infer(It->second);
+}
+
+TypeId Parser::resolveNamedType(Symbol Path, Span Sp,
+                                std::vector<TypeId> Args,
+                                bool SingleSegment) {
+  // Generic parameters shadow declarations, but only for bare names.
+  if (SingleSegment && Scope.count(Path)) {
+    if (!Args.empty())
+      error(Sp, "type parameter '" + S.text(Path) +
+                    "' does not take arguments");
+    return S.types().param(Path);
+  }
+
+  auto Resolve = [&](Symbol Name) -> TypeId {
+    if (const TypeCtorDecl *Ctor = Prog.findTypeCtor(Name)) {
+      if (Ctor->Params.size() != Args.size())
+        error(Sp, "wrong number of type arguments for '" + S.text(Name) +
+                      "': expected " + std::to_string(Ctor->Params.size()) +
+                      ", found " + std::to_string(Args.size()));
+      return S.types().adt(Name, std::move(Args));
+    }
+    if (const FnDecl *Fn = Prog.findFn(Name)) {
+      if (!Args.empty())
+        error(Sp, "fn item '" + S.text(Name) + "' does not take arguments");
+      return S.types().fnDef(Name, Fn->Params, Fn->Ret);
+    }
+    return TypeId::invalid();
+  };
+
+  if (TypeId Direct = Resolve(Path); Direct.isValid())
+    return Direct;
+
+  // Forward reference registered by preScan().
+  if (auto It = PendingCtors.find(Path); It != PendingCtors.end()) {
+    if (It->second != Args.size())
+      error(Sp, "wrong number of type arguments for '" + S.text(Path) +
+                    "': expected " + std::to_string(It->second) +
+                    ", found " + std::to_string(Args.size()));
+    return S.types().adt(Path, std::move(Args));
+  }
+
+  // Short-name fallback: unique last-segment match.
+  std::vector<Symbol> Candidates = Prog.resolveShortName(S.text(Path));
+  std::vector<Symbol> Usable;
+  for (Symbol Candidate : Candidates)
+    if (Prog.findTypeCtor(Candidate) || Prog.findFn(Candidate))
+      Usable.push_back(Candidate);
+  if (Usable.size() == 1)
+    return Resolve(Usable[0]);
+  if (Usable.size() > 1) {
+    error(Sp, "ambiguous type name '" + S.text(Path) + "'");
+    return S.types().error();
+  }
+  error(Sp, "unknown type '" + S.text(Path) + "'");
+  return S.types().error();
+}
+
+Symbol Parser::resolveTraitName(Symbol Path, Span Sp) {
+  if (Prog.findTrait(Path) || PendingTraits.count(Path))
+    return Path;
+  std::vector<Symbol> Candidates = Prog.resolveShortName(S.text(Path));
+  std::vector<Symbol> Usable;
+  for (Symbol Candidate : Candidates)
+    if (Prog.findTrait(Candidate))
+      Usable.push_back(Candidate);
+  if (Usable.size() == 1)
+    return Usable[0];
+  error(Sp, (Usable.empty() ? "unknown trait '" : "ambiguous trait '") +
+                S.text(Path) + "'");
+  return Path; // Keep the name so downstream lookups fail gracefully.
+}
+
+bool Parser::parseTraitRef(Symbol &Trait, std::vector<TypeId> &Args,
+                           Span &Sp) {
+  Symbol Path;
+  if (!parsePath(Path, Sp))
+    return false;
+  if (consume(TokenKind::Lt)) {
+    if (!parseTypeList(Args, TokenKind::Gt))
+      return false;
+    expect(TokenKind::Gt, "trait argument list");
+  }
+  // "Sized" is builtin and needs no declaration.
+  if (S.text(Path) != "Sized")
+    Trait = resolveTraitName(Path, Sp);
+  else
+    Trait = Path;
+  return true;
+}
+
+bool Parser::parseTypeList(std::vector<TypeId> &Out, TokenKind Terminator) {
+  if (peek().Kind == Terminator)
+    return true;
+  do {
+    TypeId Ty;
+    if (!parseType(Ty))
+      return false;
+    Out.push_back(Ty);
+  } while (consume(TokenKind::Comma));
+  return true;
+}
+
+bool Parser::parseType(TypeId &Out) {
+  Out = S.types().error();
+
+  // Unit and tuples.
+  if (consume(TokenKind::LParen)) {
+    if (consume(TokenKind::RParen)) {
+      Out = S.types().unit();
+      return true;
+    }
+    std::vector<TypeId> Elements;
+    if (!parseTypeList(Elements, TokenKind::RParen))
+      return false;
+    if (!expect(TokenKind::RParen, "tuple type"))
+      return false;
+    Out = Elements.size() == 1 ? Elements[0]
+                               : S.types().tuple(std::move(Elements));
+    return true;
+  }
+
+  // References.
+  if (consume(TokenKind::Amp)) {
+    Region Rgn = Region::erased();
+    if (at(TokenKind::Lifetime)) {
+      const Token &Life = advance();
+      Rgn = Life.Text == "static" ? Region::makeStatic()
+                                  : Region::named(S.name(Life.Text));
+    }
+    bool Mutable = false;
+    if (atIdent("mut")) {
+      advance();
+      Mutable = true;
+    }
+    TypeId Pointee;
+    if (!parseType(Pointee))
+      return false;
+    Out = S.types().reference(Rgn, Mutable, Pointee);
+    return true;
+  }
+
+  // Projections: <T as Trait<..>>::Assoc
+  if (consume(TokenKind::Lt)) {
+    TypeId SelfTy;
+    if (!parseType(SelfTy))
+      return false;
+    if (!atIdent("as")) {
+      error(peek().Sp, "expected 'as' in qualified path");
+      return false;
+    }
+    advance();
+    Symbol Trait;
+    std::vector<TypeId> TraitArgs;
+    Span TraitSp;
+    if (!parseTraitRef(Trait, TraitArgs, TraitSp))
+      return false;
+    if (!expect(TokenKind::Gt, "qualified path") ||
+        !expect(TokenKind::PathSep, "qualified path"))
+      return false;
+    if (!at(TokenKind::Ident)) {
+      error(peek().Sp, "expected an associated type name");
+      return false;
+    }
+    const Token &Assoc = advance();
+    Out = S.types().projection(SelfTy, Trait, std::move(TraitArgs),
+                               S.name(Assoc.Text));
+    return true;
+  }
+
+  // Inference placeholders.
+  if (at(TokenKind::InferName)) {
+    const Token &Name = advance();
+    Out = Name.Text.empty() ? inferPlaceholder("_" + std::to_string(Pos))
+                            : inferPlaceholder(Name.Text);
+    return true;
+  }
+
+  // fn pointer types.
+  if (atIdent("fn") && peek(1).Kind == TokenKind::LParen) {
+    advance();
+    advance(); // '('
+    std::vector<TypeId> Params;
+    if (!parseTypeList(Params, TokenKind::RParen))
+      return false;
+    if (!expect(TokenKind::RParen, "fn pointer type"))
+      return false;
+    TypeId Ret = S.types().unit();
+    if (consume(TokenKind::Arrow)) {
+      if (!parseType(Ret))
+        return false;
+    }
+    Out = S.types().fnPtr(std::move(Params), Ret);
+    return true;
+  }
+
+  // Named types: params, constructors, fn items.
+  if (at(TokenKind::Ident)) {
+    Symbol Path;
+    Span Sp;
+    bool SingleSegment = peek(1).Kind != TokenKind::PathSep;
+    if (!parsePath(Path, Sp))
+      return false;
+    std::vector<TypeId> Args;
+    if (consume(TokenKind::Lt)) {
+      if (!parseTypeList(Args, TokenKind::Gt))
+        return false;
+      if (!expect(TokenKind::Gt, "type argument list"))
+        return false;
+    }
+    Out = resolveNamedType(Path, Sp, std::move(Args), SingleSegment);
+    return true;
+  }
+
+  error(peek().Sp, std::string("expected a type, found ") +
+                       tokenKindName(peek().Kind));
+  return false;
+}
+
+bool Parser::parsePredicates(std::vector<Predicate> &Out) {
+  // Region outlives: 'a: 'b.
+  if (at(TokenKind::Lifetime)) {
+    const Token &Sub = advance();
+    Region SubRgn = Sub.Text == "static" ? Region::makeStatic()
+                                         : Region::named(S.name(Sub.Text));
+    if (!expect(TokenKind::Colon, "outlives predicate"))
+      return false;
+    if (!at(TokenKind::Lifetime)) {
+      error(peek().Sp, "expected a lifetime");
+      return false;
+    }
+    const Token &Sup = advance();
+    Region SupRgn = Sup.Text == "static" ? Region::makeStatic()
+                                         : Region::named(S.name(Sup.Text));
+    Out.push_back(Predicate::regionOutlives(SubRgn, SupRgn));
+    return true;
+  }
+
+  TypeId Subject;
+  if (!parseType(Subject))
+    return false;
+
+  if (consume(TokenKind::EqEq)) {
+    TypeId Rhs;
+    if (!parseType(Rhs))
+      return false;
+    Out.push_back(Predicate::projectionEq(Subject, Rhs));
+    return true;
+  }
+
+  if (!expect(TokenKind::Colon, "predicate"))
+    return false;
+
+  // Type-outlives: T: 'a.
+  if (at(TokenKind::Lifetime)) {
+    const Token &Life = advance();
+    Region Rgn = Life.Text == "static" ? Region::makeStatic()
+                                       : Region::named(S.name(Life.Text));
+    Out.push_back(Predicate::outlives(Subject, Rgn));
+    return true;
+  }
+
+  // Trait bounds, possibly a '+'-separated list.
+  do {
+    Symbol Trait;
+    std::vector<TypeId> Args;
+    Span Sp;
+    if (!parseTraitRef(Trait, Args, Sp))
+      return false;
+    if (S.text(Trait) == "Sized")
+      Out.push_back(Predicate::sized(Subject));
+    else
+      Out.push_back(Predicate::traitBound(Subject, Trait, std::move(Args)));
+  } while (consume(TokenKind::Plus));
+  return true;
+}
+
+bool Parser::parseWhereClause(std::vector<Predicate> &Out) {
+  if (!atIdent("where"))
+    return true;
+  advance();
+  do {
+    if (!parsePredicates(Out))
+      return false;
+  } while (consume(TokenKind::Comma));
+  return true;
+}
+
+void Parser::parseStruct(const Attrs &A) {
+  Span KwSp = advance().Sp; // 'struct' / 'newtype'
+  Scope.clear();
+
+  TypeCtorDecl Decl;
+  Decl.Loc = A.External ? Locality::External : Locality::Local;
+  Span NameSp;
+  if (!parsePath(Decl.Name, NameSp)) {
+    synchronize();
+    return;
+  }
+  Decl.Sp = Span{File, KwSp.Begin, NameSp.End};
+  if (!parseGenerics(Decl.Params)) {
+    synchronize();
+    return;
+  }
+  if (Prog.findTypeCtor(Decl.Name)) {
+    error(NameSp, "duplicate type '" + S.text(Decl.Name) + "'");
+    synchronize();
+    return;
+  }
+  expect(TokenKind::Semi, "struct declaration");
+  Prog.addTypeCtor(std::move(Decl));
+}
+
+void Parser::parseTrait(const Attrs &A) {
+  Span KwSp = advance().Sp; // 'trait'
+  Scope.clear();
+  Scope.insert(S.name("Self"));
+
+  TraitDecl Decl;
+  Decl.Loc = A.External ? Locality::External : Locality::Local;
+  Decl.IsFnTrait = A.FnTrait;
+  Decl.OnUnimplemented = A.OnUnimplemented;
+  Span NameSp;
+  if (!parsePath(Decl.Name, NameSp)) {
+    synchronize();
+    return;
+  }
+  Decl.Sp = Span{File, KwSp.Begin, NameSp.End};
+  if (!parseGenerics(Decl.Params)) {
+    synchronize();
+    return;
+  }
+  if (Prog.findTrait(Decl.Name)) {
+    error(NameSp, "duplicate trait '" + S.text(Decl.Name) + "'");
+    synchronize();
+    return;
+  }
+  // The trait must be visible to its own supertrait bounds and assoc
+  // bounds (e.g. `type Data: AssocData<Self>` inside AstAssocs refers to
+  // projections through AstAssocs itself), so register a provisional copy
+  // now and fill in the details below. We therefore parse the remainder
+  // first into the local Decl and re-register at the end. Self-references
+  // only need the name, which addTrait indexes immediately.
+  TypeId SelfTy = S.types().param(S.name("Self"));
+
+  // Supertraits: `trait Foo: Sized + Bar<A>` become where-clauses on Self.
+  if (consume(TokenKind::Colon)) {
+    do {
+      Symbol Trait;
+      std::vector<TypeId> Args;
+      Span Sp;
+      // Allow the trait itself to appear (rare but legal).
+      if (!at(TokenKind::Ident)) {
+        error(peek().Sp, "expected a supertrait");
+        break;
+      }
+      if (peek().Text == "Sized" && peek(1).Kind != TokenKind::PathSep) {
+        advance();
+        Decl.WhereClauses.push_back(Predicate::sized(SelfTy));
+        continue;
+      }
+      if (!parseTraitRef(Trait, Args, Sp))
+        break;
+      Decl.WhereClauses.push_back(
+          Predicate::traitBound(SelfTy, Trait, std::move(Args)));
+    } while (consume(TokenKind::Plus));
+  }
+
+  if (!parseWhereClause(Decl.WhereClauses)) {
+    synchronize();
+    return;
+  }
+
+  // Register before parsing the body so assoc bounds can project through
+  // this trait.
+  Prog.addTrait(Decl);
+
+  if (consume(TokenKind::Semi))
+    return;
+  if (!expect(TokenKind::LBrace, "trait body"))
+    return;
+
+  std::vector<TypeId> ParamArgs;
+  for (Symbol Param : Decl.Params)
+    ParamArgs.push_back(S.types().param(Param));
+
+  std::vector<AssocTypeDecl> AssocTypes;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+    if (!atIdent("type")) {
+      error(peek().Sp, "expected 'type' in trait body");
+      synchronize();
+      return;
+    }
+    Span TypeKw = advance().Sp;
+    if (!at(TokenKind::Ident)) {
+      error(peek().Sp, "expected an associated type name");
+      synchronize();
+      return;
+    }
+    const Token &Name = advance();
+    AssocTypeDecl Assoc;
+    Assoc.Name = S.name(Name.Text);
+    Assoc.Sp = Span{File, TypeKw.Begin, Name.Sp.End};
+    if (consume(TokenKind::Colon)) {
+      // Bounds on the associated type: subject is the projection
+      // <Self as ThisTrait<Params>>::Name.
+      TypeId Projection = S.types().projection(SelfTy, Decl.Name, ParamArgs,
+                                               Assoc.Name);
+      do {
+        Symbol Trait;
+        std::vector<TypeId> Args;
+        Span Sp;
+        if (peek().Text == "Sized" && peek(1).Kind != TokenKind::PathSep) {
+          advance();
+          Assoc.Bounds.push_back(Predicate::sized(Projection));
+          continue;
+        }
+        if (!parseTraitRef(Trait, Args, Sp))
+          break;
+        Assoc.Bounds.push_back(
+            Predicate::traitBound(Projection, Trait, std::move(Args)));
+      } while (consume(TokenKind::Plus));
+    }
+    expect(TokenKind::Semi, "associated type declaration");
+    AssocTypes.push_back(std::move(Assoc));
+  }
+  expect(TokenKind::RBrace, "trait body");
+
+  // Attach the body to the registered trait.
+  // (Safe: addTrait stored a copy; we look it up and patch.)
+  const TraitDecl *Registered = Prog.findTrait(Decl.Name);
+  assert(Registered && "trait vanished after registration");
+  const_cast<TraitDecl *>(Registered)->AssocTypes = std::move(AssocTypes);
+}
+
+void Parser::parseImpl(const Attrs &A) {
+  Span KwSp = advance().Sp; // 'impl'
+  Scope.clear();
+  // `Self` in impl where-clauses denotes the impl's self type; it parses
+  // as a parameter here and the solver substitutes the instantiated self
+  // type alongside the impl generics.
+  Scope.insert(S.name("Self"));
+
+  ImplDecl Decl;
+  Decl.Loc = A.External ? Locality::External : Locality::Local;
+  if (!parseGenerics(Decl.Generics)) {
+    synchronize();
+    return;
+  }
+  Span TraitSp;
+  if (!parseTraitRef(Decl.Trait, Decl.TraitArgs, TraitSp)) {
+    synchronize();
+    return;
+  }
+  if (!atIdent("for")) {
+    error(peek().Sp, "expected 'for' in impl");
+    synchronize();
+    return;
+  }
+  advance();
+  if (!parseType(Decl.SelfTy)) {
+    synchronize();
+    return;
+  }
+  Decl.Sp = Span{File, KwSp.Begin, peek().Sp.Begin};
+  if (!parseWhereClause(Decl.WhereClauses)) {
+    synchronize();
+    return;
+  }
+
+  if (consume(TokenKind::Semi)) {
+    Prog.addImpl(std::move(Decl));
+    return;
+  }
+  if (!expect(TokenKind::LBrace, "impl body")) {
+    synchronize();
+    return;
+  }
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+    if (!atIdent("type")) {
+      error(peek().Sp, "expected 'type' in impl body");
+      synchronize();
+      return;
+    }
+    advance();
+    if (!at(TokenKind::Ident)) {
+      error(peek().Sp, "expected an associated type name");
+      synchronize();
+      return;
+    }
+    const Token &Name = advance();
+    if (!expect(TokenKind::Eq, "associated type binding")) {
+      synchronize();
+      return;
+    }
+    TypeId Bound;
+    if (!parseType(Bound)) {
+      synchronize();
+      return;
+    }
+    expect(TokenKind::Semi, "associated type binding");
+    Decl.Bindings.emplace_back(S.name(Name.Text), Bound);
+  }
+  expect(TokenKind::RBrace, "impl body");
+  Prog.addImpl(std::move(Decl));
+}
+
+void Parser::parseFn(const Attrs &A) {
+  Span KwSp = advance().Sp; // 'fn'
+  Scope.clear();
+
+  FnDecl Decl;
+  Decl.Loc = A.External ? Locality::External : Locality::Local;
+  Span NameSp;
+  if (!parsePath(Decl.Name, NameSp)) {
+    synchronize();
+    return;
+  }
+  Decl.Sp = Span{File, KwSp.Begin, NameSp.End};
+  if (!expect(TokenKind::LParen, "fn declaration")) {
+    synchronize();
+    return;
+  }
+  if (!parseTypeList(Decl.Params, TokenKind::RParen)) {
+    synchronize();
+    return;
+  }
+  if (!expect(TokenKind::RParen, "fn declaration")) {
+    synchronize();
+    return;
+  }
+  Decl.Ret = S.types().unit();
+  if (consume(TokenKind::Arrow)) {
+    if (!parseType(Decl.Ret)) {
+      synchronize();
+      return;
+    }
+  }
+  if (Prog.findFn(Decl.Name)) {
+    error(NameSp, "duplicate fn '" + S.text(Decl.Name) + "'");
+    synchronize();
+    return;
+  }
+  expect(TokenKind::Semi, "fn declaration");
+  Prog.addFn(std::move(Decl));
+}
+
+void Parser::parseGoal(const Attrs &A) {
+  Span KwSp = advance().Sp; // 'goal'
+  Scope.clear();
+
+  std::vector<Predicate> Preds;
+  if (!parsePredicates(Preds)) {
+    synchronize();
+    return;
+  }
+  std::vector<Predicate> Env;
+  if (!parseWhereClause(Env)) {
+    synchronize();
+    return;
+  }
+  Span Sp{File, KwSp.Begin, peek().Sp.Begin};
+  expect(TokenKind::Semi, "goal");
+  for (Predicate &Pred : Preds)
+    Prog.addGoal(GoalDecl{std::move(Pred), Env, Sp, A.Speculative});
+}
+
+void Parser::parseRootCause() {
+  advance(); // 'root_cause'
+  Scope.clear();
+
+  std::vector<Predicate> Preds;
+  if (!parsePredicates(Preds)) {
+    synchronize();
+    return;
+  }
+  expect(TokenKind::Semi, "root_cause");
+  for (Predicate &Pred : Preds)
+    Prog.addRootCause(std::move(Pred));
+}
+
+std::string ParseResult::describe(const SourceManager &Sources) const {
+  std::string Out;
+  for (const ParseError &Error : Errors) {
+    Out += Sources.describe(Error.Sp);
+    Out += ": ";
+    Out += Error.Message;
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+ParseResult argus::parseFile(Program &Prog, FileId File) {
+  Parser P(Prog, File);
+  return P.run();
+}
+
+ParseResult argus::parseSource(Program &Prog, std::string Name,
+                               std::string Source) {
+  FileId File =
+      Prog.session().sources().addFile(std::move(Name), std::move(Source));
+  return parseFile(Prog, File);
+}

@@ -1,0 +1,75 @@
+//===- tlang/Parser.h - Parser for the L_TRAIT DSL ------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual L_TRAIT DSL. Grammar sketch
+/// (see tests/tlang for worked examples):
+///
+///   program    := item*
+///   item       := attrs? (struct | trait | impl | fn | goal | root_cause)
+///   attrs      := '#' '[' ident (',' ident)* ']'     // external, fn_trait
+///   struct     := 'struct' path generics? ';'
+///   trait      := 'trait' path generics? (':' bounds)? where?
+///                 ('{' ('type' ident (':' bounds)? ';')* '}' | ';')
+///   impl       := 'impl' generics? traitRef 'for' type where?
+///                 ('{' ('type' ident '=' type ';')* '}' | ';')
+///   fn         := 'fn' path '(' types? ')' ('->' type)? ';'
+///   goal       := 'goal' predicate where? ';'
+///   root_cause := 'root_cause' predicate ';'
+///   where      := 'where' predicate (',' predicate)*
+///   predicate  := lifetime ':' lifetime
+///              |  type '==' type
+///              |  type ':' (lifetime | traitRef ('+' traitRef)*)
+///   type       := '(' ')' | '(' type (',' type)+ ')'
+///              |  '&' lifetime? 'mut'? type
+///              |  'fn' '(' types? ')' ('->' type)?
+///              |  '<' type 'as' traitRef '>' '::' ident
+///              |  path ('<' types '>')?        // param / ctor / fn item
+///              |  '?' ident                    // inference placeholder
+///
+/// Names must be declared before use (one pass). Identifier resolution in
+/// type position: generic parameters in scope win; then fully qualified
+/// declarations; then unique short-name matches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_PARSER_H
+#define ARGUS_TLANG_PARSER_H
+
+#include "tlang/Lexer.h"
+#include "tlang/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace argus {
+
+struct ParseError {
+  Span Sp;
+  std::string Message;
+};
+
+/// Result of parsing one DSL file into \p Prog (declarations are appended;
+/// a Program may aggregate several files).
+struct ParseResult {
+  bool Success = false;
+  std::vector<ParseError> Errors;
+
+  /// Renders all errors as "file:line:col: message" lines.
+  std::string describe(const SourceManager &Sources) const;
+};
+
+/// Parses \p File into \p Prog. Returns the accumulated errors; on any
+/// error, declarations parsed before the error are retained but Success is
+/// false.
+ParseResult parseFile(Program &Prog, FileId File);
+
+/// Convenience: registers \p Source as a file named \p Name and parses it.
+ParseResult parseSource(Program &Prog, std::string Name, std::string Source);
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_PARSER_H

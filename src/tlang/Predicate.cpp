@@ -1,0 +1,32 @@
+//===- tlang/Predicate.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Predicate.h"
+
+using namespace argus;
+
+static size_t hashCombine(size_t Seed, size_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+static size_t hashRegion(Region R) {
+  size_t H = static_cast<size_t>(R.Kind);
+  if (R.Kind == RegionKind::Named)
+    H = hashCombine(H, R.Name.value());
+  return H;
+}
+
+size_t PredicateHasher::operator()(const Predicate &P) const {
+  size_t H = static_cast<size_t>(P.Kind);
+  H = hashCombine(H, P.Subject.value());
+  H = hashCombine(H, P.Trait.value());
+  for (TypeId Arg : P.Args)
+    H = hashCombine(H, Arg.value());
+  H = hashCombine(H, P.Rhs.value());
+  H = hashCombine(H, hashRegion(P.Rgn));
+  H = hashCombine(H, hashRegion(P.SubRegion));
+  return H;
+}

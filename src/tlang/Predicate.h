@@ -1,0 +1,142 @@
+//===- tlang/Predicate.h - L_TRAIT predicates -----------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predicates of L_TRAIT. The paper's grammar has three user-facing
+/// predicates (trait bounds, projection equalities, outlives), but notes
+/// (Section 4) that the real compiler evaluates fourteen kinds, several of
+/// which are internal bookkeeping that Argus hides by default. We model
+/// that gap with additional internal kinds (WellFormed, Sized,
+/// RegionOutlives, NormalizesTo) which our solver genuinely emits and the
+/// extraction layer filters unless "show all" is toggled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_PREDICATE_H
+#define ARGUS_TLANG_PREDICATE_H
+
+#include "tlang/Type.h"
+
+#include <vector>
+
+namespace argus {
+
+enum class PredicateKind : uint8_t {
+  // User-facing kinds (the L_TRAIT grammar).
+  Trait,          ///< tau: T<tau..., rho...>
+  Projection,     ///< pi == tau
+  Outlives,       ///< tau: 'rho
+
+  // Internal kinds, hidden by the extractor by default.
+  WellFormed,     ///< WF(tau): structural well-formedness obligation.
+  Sized,          ///< tau: Sized, auto-emitted for by-value positions.
+  RegionOutlives, ///< 'a: 'b between two regions.
+  NormalizesTo,   ///< Stateful normalization of a projection into a fresh
+                  ///< inference variable (Section 4 of the paper).
+};
+
+/// True for kinds that appear in the paper's L_TRAIT grammar and are shown
+/// to developers by default.
+inline bool isUserFacing(PredicateKind Kind) {
+  return Kind == PredicateKind::Trait || Kind == PredicateKind::Projection ||
+         Kind == PredicateKind::Outlives;
+}
+
+/// A single L_TRAIT predicate. Plain value type: cheap to copy (the types
+/// inside are interned ids), structurally comparable and hashable.
+struct Predicate {
+  PredicateKind Kind = PredicateKind::Trait;
+
+  /// Trait/Sized/WellFormed/Outlives: the subject type.
+  /// Projection/NormalizesTo: the projection type (TypeKind::Projection).
+  TypeId Subject;
+
+  /// Trait: the trait name.
+  Symbol Trait;
+
+  /// Trait: the trait's non-self type arguments.
+  std::vector<TypeId> Args;
+
+  /// Projection: the expected type. NormalizesTo: the output inference
+  /// variable.
+  TypeId Rhs;
+
+  /// Outlives/RegionOutlives: the bound region. RegionOutlives: Subject is
+  /// unused and SubRegion is the left-hand region.
+  Region Rgn;
+  Region SubRegion;
+
+  static Predicate traitBound(TypeId SelfTy, Symbol Trait,
+                              std::vector<TypeId> Args = {}) {
+    Predicate P;
+    P.Kind = PredicateKind::Trait;
+    P.Subject = SelfTy;
+    P.Trait = Trait;
+    P.Args = std::move(Args);
+    return P;
+  }
+
+  static Predicate projectionEq(TypeId ProjectionTy, TypeId Expected) {
+    Predicate P;
+    P.Kind = PredicateKind::Projection;
+    P.Subject = ProjectionTy;
+    P.Rhs = Expected;
+    return P;
+  }
+
+  static Predicate outlives(TypeId Ty, Region Rgn) {
+    Predicate P;
+    P.Kind = PredicateKind::Outlives;
+    P.Subject = Ty;
+    P.Rgn = Rgn;
+    return P;
+  }
+
+  static Predicate wellFormed(TypeId Ty) {
+    Predicate P;
+    P.Kind = PredicateKind::WellFormed;
+    P.Subject = Ty;
+    return P;
+  }
+
+  static Predicate sized(TypeId Ty) {
+    Predicate P;
+    P.Kind = PredicateKind::Sized;
+    P.Subject = Ty;
+    return P;
+  }
+
+  static Predicate regionOutlives(Region Sub, Region Sup) {
+    Predicate P;
+    P.Kind = PredicateKind::RegionOutlives;
+    P.SubRegion = Sub;
+    P.Rgn = Sup;
+    return P;
+  }
+
+  static Predicate normalizesTo(TypeId ProjectionTy, TypeId OutVar) {
+    Predicate P;
+    P.Kind = PredicateKind::NormalizesTo;
+    P.Subject = ProjectionTy;
+    P.Rhs = OutVar;
+    return P;
+  }
+
+  friend bool operator==(const Predicate &A, const Predicate &B) {
+    return A.Kind == B.Kind && A.Subject == B.Subject && A.Trait == B.Trait &&
+           A.Args == B.Args && A.Rhs == B.Rhs && A.Rgn == B.Rgn &&
+           A.SubRegion == B.SubRegion;
+  }
+};
+
+/// Hash functor so predicates can key unordered containers.
+struct PredicateHasher {
+  size_t operator()(const Predicate &P) const;
+};
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_PREDICATE_H

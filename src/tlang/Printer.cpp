@@ -1,0 +1,230 @@
+//===- tlang/Printer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Printer.h"
+
+#include <cassert>
+
+using namespace argus;
+
+TypeId TypePrinter::resolved(TypeId T) const {
+  if (!Opts.Resolve)
+    return T;
+  return Opts.Resolve(T);
+}
+
+/// The suffix of \p Path consisting of its last \p Segments segments.
+static std::string_view pathSuffix(std::string_view Path, size_t Segments) {
+  size_t Pos = Path.size();
+  while (Segments-- > 0) {
+    size_t Sep = Path.rfind("::", Pos == Path.size() ? Pos : Pos - 2);
+    if (Sep == std::string_view::npos)
+      return Path;
+    Pos = Sep;
+  }
+  return Path.substr(Pos + 2);
+}
+
+std::string TypePrinter::displayName(Symbol Name) const {
+  const std::string &Full = Prog->session().text(Name);
+  if (Opts.FullPaths)
+    return Full;
+  std::string_view Short = Program::lastSegment(Full);
+  if (Opts.DisambiguateShortNames && Prog->isShortNameAmbiguous(Name)) {
+    // Extend the suffix until it is unique among the colliding
+    // declarations: users::columns::id vs posts::columns::id need two
+    // extra segments, users::table vs posts::table need one.
+    std::vector<Symbol> Collisions = Prog->resolveShortName(Short);
+    for (size_t Segments = 2;; ++Segments) {
+      std::string_view Suffix = pathSuffix(Full, Segments);
+      bool Unique = true;
+      for (Symbol Other : Collisions) {
+        if (Other == Name)
+          continue;
+        if (pathSuffix(Prog->session().text(Other), Segments) == Suffix) {
+          Unique = false;
+          break;
+        }
+      }
+      if (Unique || Suffix == std::string_view(Full))
+        return std::string(Suffix);
+    }
+  }
+  return std::string(Short);
+}
+
+std::string TypePrinter::printRegion(Region R) const {
+  switch (R.Kind) {
+  case RegionKind::Static:
+    return "'static";
+  case RegionKind::Named:
+    return "'" + Prog->session().text(R.Name);
+  case RegionKind::Erased:
+    return "'_";
+  }
+  return "'_";
+}
+
+void TypePrinter::printArgsInto(const std::vector<TypeId> &Args,
+                                std::string &Out, size_t Depth) const {
+  if (Args.empty())
+    return;
+  if (Opts.ElideArgs) {
+    size_t Total = 0;
+    for (TypeId Arg : Args)
+      Total += Prog->session().types().typeSize(resolved(Arg));
+    if (Total > Opts.ElisionThreshold || Depth >= 2) {
+      Out += "<...>";
+      return;
+    }
+  }
+  Out.push_back('<');
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    printInto(Args[I], Out, Depth + 1);
+  }
+  Out.push_back('>');
+}
+
+void TypePrinter::printInto(TypeId T, std::string &Out, size_t Depth) const {
+  T = resolved(T);
+  const Type &Node = Prog->session().types().get(T);
+  switch (Node.Kind) {
+  case TypeKind::Unit:
+    Out += "()";
+    return;
+  case TypeKind::Error:
+    Out += "{error}";
+    return;
+  case TypeKind::Param:
+    Out += Prog->session().text(Node.Name);
+    return;
+  case TypeKind::Infer:
+    Out += "_";
+    return;
+  case TypeKind::Ref:
+    Out.push_back('&');
+    if (Node.Rgn.Kind != RegionKind::Erased) {
+      Out += printRegion(Node.Rgn);
+      Out.push_back(' ');
+    }
+    if (Node.Mutable)
+      Out += "mut ";
+    printInto(Node.Args[0], Out, Depth);
+    return;
+  case TypeKind::Adt:
+    Out += displayName(Node.Name);
+    printArgsInto(Node.Args, Out, Depth);
+    return;
+  case TypeKind::Tuple: {
+    Out.push_back('(');
+    for (size_t I = 0; I != Node.Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      printInto(Node.Args[I], Out, Depth + 1);
+    }
+    Out.push_back(')');
+    return;
+  }
+  case TypeKind::FnPtr:
+  case TypeKind::FnDef: {
+    Out += "fn(";
+    for (size_t I = 0; I + 1 < Node.Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      printInto(Node.Args[I], Out, Depth + 1);
+    }
+    Out.push_back(')');
+    TypeId Ret = Node.Args.back();
+    if (Prog->session().types().get(resolved(Ret)).Kind != TypeKind::Unit) {
+      Out += " -> ";
+      printInto(Ret, Out, Depth + 1);
+    }
+    if (Node.Kind == TypeKind::FnDef) {
+      Out += " {";
+      Out += displayName(Node.Name);
+      Out.push_back('}');
+    }
+    return;
+  }
+  case TypeKind::Projection: {
+    Out.push_back('<');
+    printInto(Node.Args[0], Out, Depth + 1);
+    Out += " as ";
+    Out += displayName(Node.TraitName);
+    std::vector<TypeId> TraitArgs(Node.Args.begin() + 1, Node.Args.end());
+    printArgsInto(TraitArgs, Out, Depth + 1);
+    Out += ">::";
+    Out += Prog->session().text(Node.Name);
+    return;
+  }
+  }
+}
+
+std::string TypePrinter::print(TypeId T) const {
+  std::string Out;
+  printInto(T, Out, 0);
+  return Out;
+}
+
+std::string TypePrinter::printTraitRef(Symbol Trait,
+                                       const std::vector<TypeId> &Args) const {
+  std::string Out = displayName(Trait);
+  printArgsInto(Args, Out, 0);
+  return Out;
+}
+
+std::string TypePrinter::print(const Predicate &P) const {
+  switch (P.Kind) {
+  case PredicateKind::Trait:
+    return print(P.Subject) + ": " + printTraitRef(P.Trait, P.Args);
+  case PredicateKind::Projection:
+    return print(P.Subject) + " == " + print(P.Rhs);
+  case PredicateKind::Outlives:
+    return print(P.Subject) + ": " + printRegion(P.Rgn);
+  case PredicateKind::WellFormed:
+    return "WF(" + print(P.Subject) + ")";
+  case PredicateKind::Sized:
+    return print(P.Subject) + ": Sized";
+  case PredicateKind::RegionOutlives:
+    return printRegion(P.SubRegion) + ": " + printRegion(P.Rgn);
+  case PredicateKind::NormalizesTo:
+    return "NormalizesTo(" + print(P.Subject) + ", " + print(P.Rhs) + ")";
+  }
+  return "<unknown predicate>";
+}
+
+std::string TypePrinter::printImplHeader(const ImplDecl &Impl) const {
+  std::string Out = "impl";
+  if (!Impl.Generics.empty()) {
+    Out.push_back('<');
+    for (size_t I = 0; I != Impl.Generics.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Prog->session().text(Impl.Generics[I]);
+    }
+    Out.push_back('>');
+  }
+  Out.push_back(' ');
+  Out += printTraitRef(Impl.Trait, Impl.TraitArgs);
+  Out += " for ";
+  Out += print(Impl.SelfTy);
+  return Out;
+}
+
+std::string TypePrinter::printImplFull(const ImplDecl &Impl) const {
+  std::string Out = printImplHeader(Impl);
+  if (!Impl.WhereClauses.empty()) {
+    Out += " where ";
+    for (size_t I = 0; I != Impl.WhereClauses.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += print(Impl.WhereClauses[I]);
+    }
+  }
+  return Out;
+}

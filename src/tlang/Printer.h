@@ -1,0 +1,87 @@
+//===- tlang/Printer.h - Type and predicate pretty printing ---*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders types, predicates, and impl headers as text. The printer is the
+/// foundation of both the rustc-style diagnostics (which heuristically
+/// shorten paths, sometimes wrongly — Section 2.1) and the Argus interface
+/// (ShortTys: short paths by default, full paths and elided argument
+/// expansion on demand — Section 3.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_PRINTER_H
+#define ARGUS_TLANG_PRINTER_H
+
+#include "tlang/Program.h"
+
+#include <functional>
+#include <string>
+
+namespace argus {
+
+struct PrintOptions {
+  /// Print fully qualified paths (diesel::SelectStatement) instead of
+  /// last segments (SelectStatement).
+  bool FullPaths = false;
+
+  /// Replace the arguments of large constructor applications with "...".
+  bool ElideArgs = false;
+
+  /// When ElideArgs is set, a constructor application whose printed
+  /// argument forest contains more than this many type nodes elides.
+  size_t ElisionThreshold = 4;
+
+  /// When printing short paths, add the parent segment for names whose
+  /// last segment is ambiguous in this program (users::table vs
+  /// posts::table). The Argus interface enables this; the rustc-style
+  /// renderer deliberately does not (reproducing the "identical-looking
+  /// table types" problem).
+  bool DisambiguateShortNames = false;
+
+  /// Optional hook resolving inference variables to their current
+  /// binding before printing (unbound variables print as "_").
+  std::function<TypeId(TypeId)> Resolve;
+};
+
+class TypePrinter {
+public:
+  explicit TypePrinter(const Program &P, PrintOptions Opts = PrintOptions())
+      : Prog(&P), Opts(std::move(Opts)) {}
+
+  std::string print(TypeId T) const;
+  std::string print(const Predicate &P) const;
+  std::string printRegion(Region R) const;
+
+  /// "Trait" or "Trait<A, B>".
+  std::string printTraitRef(Symbol Trait,
+                            const std::vector<TypeId> &Args) const;
+
+  /// "impl<T, U> Trait<A> for SelfTy" (no where clauses).
+  std::string printImplHeader(const ImplDecl &Impl) const;
+
+  /// "impl<T, U> Trait<A> for SelfTy where P1, P2".
+  std::string printImplFull(const ImplDecl &Impl) const;
+
+  /// The displayed name for a declaration path, honoring the FullPaths and
+  /// DisambiguateShortNames options.
+  std::string displayName(Symbol Name) const;
+
+  const PrintOptions &options() const { return Opts; }
+
+private:
+  void printInto(TypeId T, std::string &Out, size_t Depth) const;
+  void printArgsInto(const std::vector<TypeId> &Args, std::string &Out,
+                     size_t Depth) const;
+  TypeId resolved(TypeId T) const;
+
+  const Program *Prog;
+  PrintOptions Opts;
+};
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_PRINTER_H

@@ -1,0 +1,124 @@
+//===- tlang/Program.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Program.h"
+
+#include <cassert>
+
+using namespace argus;
+
+void Program::indexName(Symbol Name) {
+  std::string Short(lastSegment(S->text(Name)));
+  std::vector<Symbol> &Entries = ShortNames[Short];
+  for (Symbol Existing : Entries)
+    if (Existing == Name)
+      return;
+  Entries.push_back(Name);
+}
+
+void Program::addTypeCtor(TypeCtorDecl Decl) {
+  assert(!TypeCtorIndex.count(Decl.Name) && "duplicate type constructor");
+  TypeCtorIndex.emplace(Decl.Name,
+                        static_cast<uint32_t>(TypeCtors.size()));
+  indexName(Decl.Name);
+  TypeCtors.push_back(std::move(Decl));
+}
+
+void Program::addTrait(TraitDecl Decl) {
+  assert(!TraitIndex.count(Decl.Name) && "duplicate trait");
+  TraitIndex.emplace(Decl.Name, static_cast<uint32_t>(Traits.size()));
+  indexName(Decl.Name);
+  Traits.push_back(std::move(Decl));
+}
+
+ImplId Program::addImpl(ImplDecl Decl) {
+  ImplId Id(static_cast<uint32_t>(Impls.size()));
+  Decl.Id = Id;
+  ImplsByTrait[Decl.Trait].push_back(Id);
+  Impls.push_back(std::move(Decl));
+  return Id;
+}
+
+void Program::addFn(FnDecl Decl) {
+  assert(!FnIndex.count(Decl.Name) && "duplicate fn");
+  FnIndex.emplace(Decl.Name, static_cast<uint32_t>(Fns.size()));
+  indexName(Decl.Name);
+  Fns.push_back(std::move(Decl));
+}
+
+void Program::addGoal(GoalDecl Goal) { Goals.push_back(std::move(Goal)); }
+
+void Program::addRootCause(Predicate Pred) {
+  RootCauses.push_back(std::move(Pred));
+}
+
+const TypeCtorDecl *Program::findTypeCtor(Symbol Name) const {
+  auto It = TypeCtorIndex.find(Name);
+  return It == TypeCtorIndex.end() ? nullptr : &TypeCtors[It->second];
+}
+
+const TraitDecl *Program::findTrait(Symbol Name) const {
+  auto It = TraitIndex.find(Name);
+  return It == TraitIndex.end() ? nullptr : &Traits[It->second];
+}
+
+const FnDecl *Program::findFn(Symbol Name) const {
+  auto It = FnIndex.find(Name);
+  return It == FnIndex.end() ? nullptr : &Fns[It->second];
+}
+
+const ImplDecl &Program::impl(ImplId Id) const {
+  assert(Id.isValid() && Id.value() < Impls.size() && "bad ImplId");
+  return Impls[Id.value()];
+}
+
+const std::vector<ImplId> &Program::implsOf(Symbol Trait) const {
+  static const std::vector<ImplId> Empty;
+  auto It = ImplsByTrait.find(Trait);
+  return It == ImplsByTrait.end() ? Empty : It->second;
+}
+
+Locality Program::localityOf(Symbol Name) const {
+  if (const TypeCtorDecl *Ctor = findTypeCtor(Name))
+    return Ctor->Loc;
+  if (const TraitDecl *Trait = findTrait(Name))
+    return Trait->Loc;
+  if (const FnDecl *Fn = findFn(Name))
+    return Fn->Loc;
+  return Locality::Local;
+}
+
+Locality Program::typeLocality(TypeId Ty) const {
+  const Type &Node = S->types().get(Ty);
+  switch (Node.Kind) {
+  case TypeKind::Adt:
+  case TypeKind::FnDef:
+    return localityOf(Node.Name);
+  case TypeKind::Ref:
+    return typeLocality(Node.Args[0]);
+  case TypeKind::Projection:
+    // A projection is as movable as its self type.
+    return typeLocality(Node.Args[0]);
+  default:
+    return Locality::Local;
+  }
+}
+
+std::vector<Symbol> Program::resolveShortName(std::string_view Short) const {
+  auto It = ShortNames.find(std::string(Short));
+  return It == ShortNames.end() ? std::vector<Symbol>() : It->second;
+}
+
+bool Program::isShortNameAmbiguous(Symbol Name) const {
+  std::string Short(lastSegment(S->text(Name)));
+  auto It = ShortNames.find(Short);
+  return It != ShortNames.end() && It->second.size() > 1;
+}
+
+std::string_view Program::lastSegment(std::string_view Path) {
+  size_t Pos = Path.rfind("::");
+  return Pos == std::string_view::npos ? Path : Path.substr(Pos + 2);
+}

@@ -1,0 +1,131 @@
+//===- tlang/Program.h - A complete L_TRAIT context -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Session (shared interner/arena/source manager) and Program (the ctxt of
+/// Figure 5: declarations plus root goals). Programs also carry the
+/// evaluation suite's ground-truth annotations (`root_cause` directives),
+/// which Figure 12a's experiment consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_PROGRAM_H
+#define ARGUS_TLANG_PROGRAM_H
+
+#include "support/SourceManager.h"
+#include "support/StringInterner.h"
+#include "tlang/Decl.h"
+#include "tlang/TypeArena.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace argus {
+
+/// Shared mutable state for one analysis session. Not thread-safe; create
+/// one Session per thread in parallel benchmarks.
+class Session {
+public:
+  StringInterner &interner() { return Interner; }
+  const StringInterner &interner() const { return Interner; }
+  SourceManager &sources() { return Sources; }
+  const SourceManager &sources() const { return Sources; }
+  TypeArena &types() { return Arena; }
+  const TypeArena &types() const { return Arena; }
+
+  /// Shorthand for interning a name.
+  Symbol name(std::string_view Text) { return Interner.intern(Text); }
+
+  /// Returns the text of \p Sym.
+  const std::string &text(Symbol Sym) const { return Interner.text(Sym); }
+
+private:
+  StringInterner Interner;
+  SourceManager Sources;
+  TypeArena Arena;
+};
+
+/// The declaration context of Figure 5 plus the root goals to solve.
+class Program {
+public:
+  explicit Program(Session &S) : S(&S) {}
+
+  Session &session() const { return *S; }
+
+  // --- Declaration registration (used by the parser and by programmatic
+  // --- corpus builders). Each returns a stable index.
+
+  void addTypeCtor(TypeCtorDecl Decl);
+  void addTrait(TraitDecl Decl);
+  ImplId addImpl(ImplDecl Decl);
+  void addFn(FnDecl Decl);
+  void addGoal(GoalDecl Goal);
+  void addRootCause(Predicate Pred);
+
+  // --- Lookup.
+
+  const TypeCtorDecl *findTypeCtor(Symbol Name) const;
+  const TraitDecl *findTrait(Symbol Name) const;
+  const FnDecl *findFn(Symbol Name) const;
+  const ImplDecl &impl(ImplId Id) const;
+
+  /// All impls whose trait is \p Trait, in declaration order.
+  const std::vector<ImplId> &implsOf(Symbol Trait) const;
+
+  const std::vector<TypeCtorDecl> &typeCtors() const { return TypeCtors; }
+  const std::vector<TraitDecl> &traits() const { return Traits; }
+  const std::vector<ImplDecl> &impls() const { return Impls; }
+  const std::vector<FnDecl> &fns() const { return Fns; }
+  const std::vector<GoalDecl> &goals() const { return Goals; }
+
+  /// Ground-truth root-cause predicates annotated on this program (for the
+  /// Figure 12a experiment). Parallel to nothing: a program-level set.
+  const std::vector<Predicate> &rootCauses() const { return RootCauses; }
+
+  /// Locality of the declaration that owns \p Name, looked up across type
+  /// constructors, traits, and fns; defaults to Local for unknown names.
+  Locality localityOf(Symbol Name) const;
+
+  /// Locality of a type: External only if its head constructor (or fn
+  /// item) is external. Params/inference variables count as Local since
+  /// the developer controls them.
+  Locality typeLocality(TypeId Ty) const;
+
+  // --- Short-name resolution (ShortTys support). Full paths like
+  // --- "users::table" resolve by last segment when unambiguous.
+
+  /// All declared full-path names whose last segment is \p Short.
+  std::vector<Symbol> resolveShortName(std::string_view Short) const;
+
+  /// True if printing the last segment of \p Name would collide with a
+  /// different declaration (e.g. users::table vs posts::table).
+  bool isShortNameAmbiguous(Symbol Name) const;
+
+  /// Last path segment of \p Name ("diesel::SelectStatement" ->
+  /// "SelectStatement").
+  static std::string_view lastSegment(std::string_view Path);
+
+private:
+  void indexName(Symbol Name);
+
+  Session *S;
+  std::vector<TypeCtorDecl> TypeCtors;
+  std::vector<TraitDecl> Traits;
+  std::vector<ImplDecl> Impls;
+  std::vector<FnDecl> Fns;
+  std::vector<GoalDecl> Goals;
+  std::vector<Predicate> RootCauses;
+
+  std::unordered_map<Symbol, uint32_t> TypeCtorIndex;
+  std::unordered_map<Symbol, uint32_t> TraitIndex;
+  std::unordered_map<Symbol, uint32_t> FnIndex;
+  std::unordered_map<Symbol, std::vector<ImplId>> ImplsByTrait;
+  std::unordered_map<std::string, std::vector<Symbol>> ShortNames;
+};
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_PROGRAM_H

@@ -1,0 +1,108 @@
+//===- tlang/Type.h - L_TRAIT types ---------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type grammar of L_TRAIT (Figure 5 of the paper):
+///
+///   tau ::= unit | alpha | &rho tau | &rho mut tau | pi
+///         | S<tau...> | (tau_1, ..., tau_n) | fn(tau...) -> tau
+///
+/// plus function *item* types `fn(A) -> B {name}` (distinct nominal types
+/// per function, as in Rust), which the inertia heuristic's FnToTrait /
+/// TyAsCallable categories depend on, and inference variables created
+/// during solving. Types are interned: structurally equal types share a
+/// TypeId, so equality is O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_TYPE_H
+#define ARGUS_TLANG_TYPE_H
+
+#include "support/Ids.h"
+#include "support/StringInterner.h"
+
+#include <vector>
+
+namespace argus {
+
+struct TypeTag {};
+using TypeId = Id<TypeTag>;
+
+/// Region (lifetime) annotations on references and outlives predicates.
+enum class RegionKind : uint8_t {
+  Static, ///< 'static
+  Named,  ///< 'a, 'b, ... declared regions
+  Erased, ///< unannotated; outlives only itself and is outlived by 'static
+};
+
+struct Region {
+  RegionKind Kind = RegionKind::Erased;
+  Symbol Name; ///< Only meaningful for Named.
+
+  static Region makeStatic() { return Region{RegionKind::Static, Symbol()}; }
+  static Region named(Symbol Name) {
+    return Region{RegionKind::Named, Name};
+  }
+  static Region erased() { return Region{RegionKind::Erased, Symbol()}; }
+
+  friend bool operator==(Region A, Region B) {
+    if (A.Kind != B.Kind)
+      return false;
+    return A.Kind != RegionKind::Named || A.Name == B.Name;
+  }
+};
+
+enum class TypeKind : uint8_t {
+  Unit,       ///< unit
+  Param,      ///< A universally quantified type parameter (alpha).
+  Infer,      ///< An inference variable created by the solver.
+  Ref,        ///< &'r T and &'r mut T
+  Adt,        ///< S<tau...>: a nominal type constructor application.
+  Tuple,      ///< (tau_1, ..., tau_n), n >= 2
+  FnPtr,      ///< fn(tau...) -> tau
+  FnDef,      ///< The unique type of a named fn item: fn(...) -> ... {name}
+  Projection, ///< <tau as T<tau...>>::D
+  Error,      ///< Recovery placeholder after a parse/resolution error.
+};
+
+/// The interned representation of a type. Users manipulate TypeIds; the
+/// arena owns the nodes.
+struct Type {
+  TypeKind Kind = TypeKind::Error;
+
+  /// Param: parameter name. Adt: constructor path. FnDef: function name.
+  /// Projection: associated type name (D).
+  Symbol Name;
+
+  /// Projection: the trait (T) through which the associated type is
+  /// projected.
+  Symbol TraitName;
+
+  /// Infer: the variable's index in its InferContext.
+  uint32_t InferIndex = 0;
+
+  /// Ref: mutability.
+  bool Mutable = false;
+
+  /// Ref: the region annotation.
+  Region Rgn;
+
+  /// Adt: constructor arguments. Tuple: elements. FnPtr/FnDef: parameter
+  /// types followed by the return type (always non-empty; last element is
+  /// the return type). Projection: the self type followed by the trait's
+  /// non-self arguments.
+  std::vector<TypeId> Args;
+
+  friend bool operator==(const Type &A, const Type &B) {
+    return A.Kind == B.Kind && A.Name == B.Name &&
+           A.TraitName == B.TraitName && A.InferIndex == B.InferIndex &&
+           A.Mutable == B.Mutable && A.Rgn == B.Rgn && A.Args == B.Args;
+  }
+};
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_TYPE_H

@@ -1,0 +1,223 @@
+//===- tlang/TypeArena.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/TypeArena.h"
+
+#include <cassert>
+
+using namespace argus;
+
+static size_t hashCombine(size_t Seed, size_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t TypeArena::TypeHasher::operator()(const Type &T) const {
+  size_t H = static_cast<size_t>(T.Kind);
+  H = hashCombine(H, T.Name.value());
+  H = hashCombine(H, T.TraitName.value());
+  H = hashCombine(H, T.InferIndex);
+  H = hashCombine(H, T.Mutable ? 1 : 0);
+  H = hashCombine(H, static_cast<size_t>(T.Rgn.Kind));
+  if (T.Rgn.Kind == RegionKind::Named)
+    H = hashCombine(H, T.Rgn.Name.value());
+  for (TypeId Arg : T.Args)
+    H = hashCombine(H, Arg.value());
+  return H;
+}
+
+TypeId TypeArena::intern(Type T) {
+  auto It = Interned.find(T);
+  if (It != Interned.end())
+    return It->second;
+  TypeId Id(static_cast<uint32_t>(Types.size()));
+  Interned.emplace(T, Id);
+  Types.push_back(std::move(T));
+  return Id;
+}
+
+const Type &TypeArena::get(TypeId Id) const {
+  assert(Id.isValid() && Id.value() < Types.size() && "bad TypeId");
+  return Types[Id.value()];
+}
+
+TypeId TypeArena::unit() {
+  Type T;
+  T.Kind = TypeKind::Unit;
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::error() {
+  Type T;
+  T.Kind = TypeKind::Error;
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::param(Symbol Name) {
+  Type T;
+  T.Kind = TypeKind::Param;
+  T.Name = Name;
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::infer(uint32_t Index) {
+  Type T;
+  T.Kind = TypeKind::Infer;
+  T.InferIndex = Index;
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::reference(Region Rgn, bool Mutable, TypeId Pointee) {
+  Type T;
+  T.Kind = TypeKind::Ref;
+  T.Rgn = Rgn;
+  T.Mutable = Mutable;
+  T.Args = {Pointee};
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::adt(Symbol Ctor, std::vector<TypeId> Args) {
+  Type T;
+  T.Kind = TypeKind::Adt;
+  T.Name = Ctor;
+  T.Args = std::move(Args);
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::tuple(std::vector<TypeId> Elements) {
+  assert(Elements.size() >= 2 && "tuples have at least two elements");
+  Type T;
+  T.Kind = TypeKind::Tuple;
+  T.Args = std::move(Elements);
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::fnPtr(std::vector<TypeId> Params, TypeId Ret) {
+  Type T;
+  T.Kind = TypeKind::FnPtr;
+  T.Args = std::move(Params);
+  T.Args.push_back(Ret);
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::fnDef(Symbol Name, std::vector<TypeId> Params, TypeId Ret) {
+  Type T;
+  T.Kind = TypeKind::FnDef;
+  T.Name = Name;
+  T.Args = std::move(Params);
+  T.Args.push_back(Ret);
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::projection(TypeId SelfTy, Symbol Trait,
+                             std::vector<TypeId> TraitArgs, Symbol Assoc) {
+  Type T;
+  T.Kind = TypeKind::Projection;
+  T.Name = Assoc;
+  T.TraitName = Trait;
+  T.Args = {SelfTy};
+  T.Args.insert(T.Args.end(), TraitArgs.begin(), TraitArgs.end());
+  return intern(std::move(T));
+}
+
+TypeId TypeArena::substitute(TypeId T, const ParamSubst &Subst) {
+  const Type &Node = get(T);
+  if (Node.Kind == TypeKind::Param) {
+    auto It = Subst.find(Node.Name);
+    return It == Subst.end() ? T : It->second;
+  }
+  if (Node.Args.empty())
+    return T;
+
+  bool Changed = false;
+  std::vector<TypeId> NewArgs;
+  NewArgs.reserve(Node.Args.size());
+  for (TypeId Arg : Node.Args) {
+    TypeId NewArg = substitute(Arg, Subst);
+    Changed |= NewArg != Arg;
+    NewArgs.push_back(NewArg);
+  }
+  if (!Changed)
+    return T;
+
+  Type Copy = Node;
+  Copy.Args = std::move(NewArgs);
+  return intern(std::move(Copy));
+}
+
+TypeId TypeArena::substituteInfer(
+    TypeId T, const std::function<TypeId(uint32_t)> &Lookup) {
+  const Type &Node = get(T);
+  if (Node.Kind == TypeKind::Infer) {
+    TypeId Bound = Lookup(Node.InferIndex);
+    if (!Bound.isValid())
+      return T;
+    // The binding itself may contain further inference variables.
+    return substituteInfer(Bound, Lookup);
+  }
+  if (Node.Args.empty())
+    return T;
+
+  bool Changed = false;
+  std::vector<TypeId> NewArgs;
+  NewArgs.reserve(Node.Args.size());
+  for (TypeId Arg : Node.Args) {
+    TypeId NewArg = substituteInfer(Arg, Lookup);
+    Changed |= NewArg != Arg;
+    NewArgs.push_back(NewArg);
+  }
+  if (!Changed)
+    return T;
+
+  Type Copy = Node;
+  Copy.Args = std::move(NewArgs);
+  return intern(std::move(Copy));
+}
+
+void TypeArena::collectInferVars(TypeId T, std::vector<uint32_t> &Out) const {
+  const Type &Node = get(T);
+  if (Node.Kind == TypeKind::Infer) {
+    Out.push_back(Node.InferIndex);
+    return;
+  }
+  for (TypeId Arg : Node.Args)
+    collectInferVars(Arg, Out);
+}
+
+bool TypeArena::occurs(TypeId T, uint32_t Index) const {
+  const Type &Node = get(T);
+  if (Node.Kind == TypeKind::Infer)
+    return Node.InferIndex == Index;
+  for (TypeId Arg : Node.Args)
+    if (occurs(Arg, Index))
+      return true;
+  return false;
+}
+
+bool TypeArena::hasParams(TypeId T) const {
+  const Type &Node = get(T);
+  if (Node.Kind == TypeKind::Param)
+    return true;
+  for (TypeId Arg : Node.Args)
+    if (hasParams(Arg))
+      return true;
+  return false;
+}
+
+void TypeArena::collectRegions(TypeId T, std::vector<Region> &Out) const {
+  const Type &Node = get(T);
+  if (Node.Kind == TypeKind::Ref)
+    Out.push_back(Node.Rgn);
+  for (TypeId Arg : Node.Args)
+    collectRegions(Arg, Out);
+}
+
+size_t TypeArena::typeSize(TypeId T) const {
+  const Type &Node = get(T);
+  size_t Size = 1;
+  for (TypeId Arg : Node.Args)
+    Size += typeSize(Arg);
+  return Size;
+}

@@ -1,0 +1,92 @@
+//===- tlang/TypeArena.h - Type interning and substitution ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns and interns all Type nodes of a session, and provides the
+/// structural operations the solver needs: parameter substitution,
+/// inference-variable collection, and occurs checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TLANG_TYPEARENA_H
+#define ARGUS_TLANG_TYPEARENA_H
+
+#include "tlang/Type.h"
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace argus {
+
+/// A substitution from type parameters (by name) to types.
+using ParamSubst = std::unordered_map<Symbol, TypeId>;
+
+class TypeArena {
+public:
+  /// Interns \p T, returning the id of the canonical copy.
+  TypeId intern(Type T);
+
+  const Type &get(TypeId Id) const;
+
+  size_t size() const { return Types.size(); }
+
+  // Convenience constructors.
+  TypeId unit();
+  TypeId error();
+  TypeId param(Symbol Name);
+  TypeId infer(uint32_t Index);
+  TypeId reference(Region Rgn, bool Mutable, TypeId Pointee);
+  TypeId adt(Symbol Ctor, std::vector<TypeId> Args = {});
+  TypeId tuple(std::vector<TypeId> Elements);
+  TypeId fnPtr(std::vector<TypeId> Params, TypeId Ret);
+  TypeId fnDef(Symbol Name, std::vector<TypeId> Params, TypeId Ret);
+  TypeId projection(TypeId SelfTy, Symbol Trait, std::vector<TypeId> TraitArgs,
+                    Symbol Assoc);
+
+  /// Replaces Param types by their mapping in \p Subst (parameters not in
+  /// the map are left untouched).
+  TypeId substitute(TypeId T, const ParamSubst &Subst);
+
+  /// Replaces Infer variables through \p Lookup; variables for which
+  /// \p Lookup returns an invalid id are left in place. Used by the
+  /// unifier's resolve step.
+  TypeId substituteInfer(TypeId T,
+                         const std::function<TypeId(uint32_t)> &Lookup);
+
+  /// Appends the indices of all inference variables in \p T (with
+  /// duplicates) to \p Out.
+  void collectInferVars(TypeId T, std::vector<uint32_t> &Out) const;
+
+  /// True if inference variable \p Index occurs in \p T.
+  bool occurs(TypeId T, uint32_t Index) const;
+
+  /// True if \p T contains any Param type (i.e. is not fully concrete).
+  bool hasParams(TypeId T) const;
+
+  /// Appends every region mentioned in \p T (on references) to \p Out.
+  void collectRegions(TypeId T, std::vector<Region> &Out) const;
+
+  /// Number of nodes in the type tree for \p T (used by complexity
+  /// heuristics and the pretty printer's ellipsis decisions).
+  size_t typeSize(TypeId T) const;
+
+private:
+  struct TypeHasher {
+    size_t operator()(const Type &T) const;
+  };
+
+  // A deque keeps node addresses stable while intern() grows the arena:
+  // several operations hold a `const Type &` across recursive calls that
+  // may intern new types.
+  std::deque<Type> Types;
+  std::unordered_map<Type, TypeId, TypeHasher> Interned;
+};
+
+} // namespace argus
+
+#endif // ARGUS_TLANG_TYPEARENA_H

@@ -1,0 +1,241 @@
+//===- tests/analysis/DNFTests.cpp ----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DNF.h"
+#include "extract/Extract.h"
+#include "tlang/Parser.h"
+#include "tlang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+IGoalId g(uint32_t Id) { return IGoalId(Id); }
+
+std::vector<std::vector<IGoalId>> conj(
+    std::initializer_list<std::initializer_list<uint32_t>> Sets) {
+  std::vector<std::vector<IGoalId>> Out;
+  for (auto &Set : Sets) {
+    std::vector<IGoalId> Conjunct;
+    for (uint32_t Id : Set)
+      Conjunct.push_back(g(Id));
+    Out.push_back(std::move(Conjunct));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(DNF, AbsorptionRemovesSupersetsAndDuplicates) {
+  auto Conjuncts = conj({{1, 2}, {1}, {1, 2, 3}, {1}, {2, 3}});
+  absorb(Conjuncts);
+  EXPECT_EQ(Conjuncts, conj({{1}, {2, 3}}));
+}
+
+TEST(DNF, ConjoinDistributes) {
+  DNFFormula A;
+  A.Conjuncts = conj({{1}, {2}});
+  DNFFormula B;
+  B.Conjuncts = conj({{3}, {4}});
+  DNFFormula Out = conjoinDNF(A, B);
+  EXPECT_EQ(Out.Conjuncts, conj({{1, 3}, {1, 4}, {2, 3}, {2, 4}}));
+}
+
+TEST(DNF, ConjoinWithSharedAtomAbsorbs) {
+  DNFFormula A;
+  A.Conjuncts = conj({{1}, {2}});
+  DNFFormula B;
+  B.Conjuncts = conj({{1}});
+  // (1 + 2) * 1 = 1 + 12 -> absorbs to 1... wait: {1,1}={1} and {2,1}:
+  // {1} absorbs {1,2}.
+  DNFFormula Out = conjoinDNF(A, B);
+  EXPECT_EQ(Out.Conjuncts, conj({{1}}));
+}
+
+TEST(DNF, TrueAndFalseIdentities) {
+  DNFFormula A;
+  A.Conjuncts = conj({{1}});
+  EXPECT_EQ(conjoinDNF(DNFFormula::trueFormula(), A).Conjuncts,
+            A.Conjuncts);
+  EXPECT_TRUE(conjoinDNF(DNFFormula::falseFormula(), A).isFalse());
+  EXPECT_TRUE(disjoinDNF(DNFFormula::trueFormula(), A).IsTrue);
+  EXPECT_EQ(disjoinDNF(DNFFormula::falseFormula(), A).Conjuncts,
+            A.Conjuncts);
+}
+
+namespace {
+
+class MCSTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  InferenceTree failingTree(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    EXPECT_TRUE(Result.Success) << Result.describe(S.sources());
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    EXPECT_EQ(Ex.Trees.size(), 1u);
+    return std::move(Ex.Trees[0]);
+  }
+
+  std::vector<std::vector<std::string>> mcsStrings(
+      const InferenceTree &Tree) {
+    TypePrinter Printer(Prog);
+    std::vector<std::vector<std::string>> Out;
+    for (const auto &Conjunct : computeMCS(Tree).Conjuncts) {
+      std::vector<std::string> Set;
+      for (IGoalId Member : Conjunct)
+        Set.push_back(Printer.print(Tree.goal(Member).Pred));
+      std::sort(Set.begin(), Set.end());
+      Out.push_back(std::move(Set));
+    }
+    std::sort(Out.begin(), Out.end());
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST_F(MCSTest, SingleFailureSingleSingletonMCS) {
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "trait Resource;\n"
+                                   "goal Timer: Resource;");
+  auto MCS = mcsStrings(Tree);
+  ASSERT_EQ(MCS.size(), 1u);
+  EXPECT_EQ(MCS[0], std::vector<std::string>{"Timer: Resource"});
+}
+
+TEST_F(MCSTest, BranchPointYieldsOneMCSPerAlternative) {
+  // The Figure 10 example: either Timer: SystemParam or run_timer:
+  // System would satisfy the root.
+  InferenceTree Tree = failingTree(
+      "#[external] struct ResMut<T>;\n"
+      "struct Timer;\n"
+      "#[external] trait Resource;\n"
+      "#[external] trait SystemParam;\n"
+      "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+      "#[external] trait System;\n"
+      "#[external, fn_trait] trait SystemParamFunction<Sig>;\n"
+      "#[external] struct IsFunctionSystem;\n"
+      "#[external] struct IsSystem;\n"
+      "#[external] trait IntoSystem<Marker>;\n"
+      "#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for "
+      "Func\n"
+      "  where Func: SystemParamFunction<fn(P)>, P: SystemParam;\n"
+      "#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: "
+      "System;\n"
+      "impl Resource for Timer;\n"
+      "fn run_timer(Timer);\n"
+      "goal run_timer: IntoSystem<?M>;");
+  auto MCS = mcsStrings(Tree);
+  ASSERT_EQ(MCS.size(), 2u);
+  EXPECT_EQ(MCS[0], std::vector<std::string>{"Timer: SystemParam"});
+  EXPECT_EQ(MCS[1],
+            std::vector<std::string>{"fn(Timer) {run_timer}: System"});
+}
+
+TEST_F(MCSTest, ConjunctionCollectsAllRequiredFixes) {
+  // One impl requires two bounds, both missing: the only MCS has both.
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "trait A;\n"
+                                   "trait B;\n"
+                                   "trait Both;\n"
+                                   "impl<T> Both for T where T: A, T: B;\n"
+                                   "goal Timer: Both;");
+  auto MCS = mcsStrings(Tree);
+  ASSERT_EQ(MCS.size(), 1u);
+  EXPECT_EQ(MCS[0], (std::vector<std::string>{"Timer: A", "Timer: B"}));
+}
+
+TEST_F(MCSTest, MixedAndOrStructure) {
+  // Two impls: one requires {A, B}, the other requires {C}. MCS = {{C},
+  // {A, B}}.
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "struct M1;\n"
+                                   "struct M2;\n"
+                                   "trait A;\n"
+                                   "trait B;\n"
+                                   "trait C;\n"
+                                   "trait Goal<M>;\n"
+                                   "impl<T> Goal<M1> for T where T: A, T: "
+                                   "B;\n"
+                                   "impl<T> Goal<M2> for T where T: C;\n"
+                                   "goal Timer: Goal<?M>;");
+  auto MCS = mcsStrings(Tree);
+  ASSERT_EQ(MCS.size(), 2u);
+  EXPECT_EQ(MCS[0], (std::vector<std::string>{"Timer: A", "Timer: B"}));
+  EXPECT_EQ(MCS[1], std::vector<std::string>{"Timer: C"});
+}
+
+TEST_F(MCSTest, SharedSubgoalAbsorbs) {
+  // Impl via M1 needs {A}; impl via M2 needs {A, B}: the smaller set
+  // absorbs the larger.
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "struct M1;\n"
+                                   "struct M2;\n"
+                                   "trait A;\n"
+                                   "trait B;\n"
+                                   "trait Goal<M>;\n"
+                                   "impl<T> Goal<M1> for T where T: A;\n"
+                                   "impl<T> Goal<M2> for T where T: A, T: "
+                                   "B;\n"
+                                   "goal Timer: Goal<?M>;");
+  auto MCS = mcsStrings(Tree);
+  ASSERT_EQ(MCS.size(), 1u);
+  EXPECT_EQ(MCS[0], std::vector<std::string>{"Timer: A"});
+}
+
+TEST_F(MCSTest, DeepChainPropagatesLeafAtom) {
+  InferenceTree Tree = failingTree(
+      "struct Vec<T>;\n"
+      "struct Timer;\n"
+      "trait Display;\n"
+      "impl<T> Display for Vec<T> where T: Display;\n"
+      "goal Vec<Vec<Timer>>: Display;");
+  auto MCS = mcsStrings(Tree);
+  ASSERT_EQ(MCS.size(), 1u);
+  EXPECT_EQ(MCS[0], std::vector<std::string>{"Timer: Display"});
+}
+
+TEST(DNFProperty, AbsorbIsIdempotent) {
+  // Property check over a family of random-ish conjunct sets.
+  for (uint32_t Seed = 0; Seed != 50; ++Seed) {
+    std::vector<std::vector<IGoalId>> Conjuncts;
+    uint32_t State = Seed * 2654435761u + 1;
+    auto Next = [&State]() {
+      State = State * 1664525u + 1013904223u;
+      return State >> 24;
+    };
+    size_t NumConjuncts = 1 + Next() % 8;
+    for (size_t I = 0; I != NumConjuncts; ++I) {
+      std::vector<IGoalId> Set;
+      size_t Size = 1 + Next() % 5;
+      for (size_t J = 0; J != Size; ++J)
+        Set.push_back(g(Next() % 6));
+      std::sort(Set.begin(), Set.end());
+      Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+      Conjuncts.push_back(std::move(Set));
+    }
+    auto Once = Conjuncts;
+    absorb(Once);
+    auto Twice = Once;
+    absorb(Twice);
+    EXPECT_EQ(Once, Twice) << "seed " << Seed;
+    // No conjunct is a superset of another.
+    for (size_t I = 0; I != Once.size(); ++I)
+      for (size_t J = 0; J != Once.size(); ++J) {
+        if (I == J)
+          continue;
+        EXPECT_FALSE(std::includes(Once[I].begin(), Once[I].end(),
+                                   Once[J].begin(), Once[J].end()))
+            << "seed " << Seed;
+      }
+  }
+}

@@ -1,0 +1,201 @@
+//===- tests/analysis/GoalKindTests.cpp -----------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GoalKind.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+/// One row of the Appendix A.1 weight table.
+struct WeightCase {
+  const char *Name;
+  GoalKind Kind;
+  size_t Expected;
+};
+
+GoalKind make(GoalKind::Tag Tag, Locality SelfLoc = Locality::Local,
+              Locality TraitLoc = Locality::Local, size_t Arity = 0,
+              size_t Delta = 0) {
+  GoalKind K;
+  K.Kind = Tag;
+  K.SelfLoc = SelfLoc;
+  K.TraitLoc = TraitLoc;
+  K.Arity = Arity;
+  K.Delta = Delta;
+  return K;
+}
+
+class WeightTableTest : public ::testing::TestWithParam<WeightCase> {};
+
+} // namespace
+
+TEST_P(WeightTableTest, MatchesAppendixA1) {
+  const WeightCase &Case = GetParam();
+  EXPECT_EQ(Case.Kind.weight(), Case.Expected) << Case.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppendixA1, WeightTableTest,
+    ::testing::Values(
+        WeightCase{"trait_local_local",
+                   make(GoalKind::Tag::Trait, Locality::Local,
+                        Locality::Local),
+                   0},
+        WeightCase{"trait_local_external",
+                   make(GoalKind::Tag::Trait, Locality::Local,
+                        Locality::External),
+                   1},
+        WeightCase{"trait_external_local",
+                   make(GoalKind::Tag::Trait, Locality::External,
+                        Locality::Local),
+                   1},
+        WeightCase{"fn_to_trait_local",
+                   make(GoalKind::Tag::FnToTrait, Locality::Local,
+                        Locality::Local, /*Arity=*/3),
+                   1},
+        WeightCase{"trait_external_external",
+                   make(GoalKind::Tag::Trait, Locality::External,
+                        Locality::External),
+                   2},
+        WeightCase{"ty_change", make(GoalKind::Tag::TyChange), 4},
+        WeightCase{"incorrect_params_2",
+                   make(GoalKind::Tag::IncorrectParams, Locality::Local,
+                        Locality::Local, /*Arity=*/2),
+                   10},
+        WeightCase{"add_fn_params_1",
+                   make(GoalKind::Tag::AddFnParams, Locality::Local,
+                        Locality::Local, 0, /*Delta=*/1),
+                   5},
+        WeightCase{"delete_fn_params_3",
+                   make(GoalKind::Tag::DeleteFnParams, Locality::Local,
+                        Locality::Local, 0, /*Delta=*/3),
+                   15},
+        WeightCase{"fn_to_trait_external_arity2",
+                   make(GoalKind::Tag::FnToTrait, Locality::Local,
+                        Locality::External, /*Arity=*/2),
+                   14},
+        WeightCase{"ty_as_callable_arity1",
+                   make(GoalKind::Tag::TyAsCallable, Locality::Local,
+                        Locality::Local, /*Arity=*/1),
+                   9},
+        WeightCase{"misc", make(GoalKind::Tag::Misc), 50}),
+    [](const ::testing::TestParamInfo<WeightCase> &Info) {
+      return Info.param.Name;
+    });
+
+namespace {
+
+class ClassifyTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+
+  const Predicate &goalPred(size_t Index) {
+    return Prog.goals()[Index].Pred;
+  }
+};
+
+} // namespace
+
+TEST_F(ClassifyTest, TraitLocalities) {
+  load("struct Timer;\n"
+       "#[external] struct Query;\n"
+       "trait LocalTrait;\n"
+       "#[external] trait SystemParam;\n"
+       "goal Timer: LocalTrait;\n"
+       "goal Timer: SystemParam;\n"
+       "goal Query: LocalTrait;\n"
+       "goal Query: SystemParam;");
+  GoalKind K0 = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(K0.Kind, GoalKind::Tag::Trait);
+  EXPECT_EQ(K0.weight(), 0u);
+  EXPECT_EQ(classifyGoal(Prog, goalPred(1)).weight(), 1u);
+  EXPECT_EQ(classifyGoal(Prog, goalPred(2)).weight(), 1u);
+  EXPECT_EQ(classifyGoal(Prog, goalPred(3)).weight(), 2u);
+}
+
+TEST_F(ClassifyTest, FnToTrait) {
+  load("struct Timer;\n"
+       "trait LocalSystem;\n"
+       "#[external] trait System;\n"
+       "fn run_timer(Timer);\n"
+       "goal run_timer: LocalSystem;\n"
+       "goal run_timer: System;");
+  GoalKind Local = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(Local.Kind, GoalKind::Tag::FnToTrait);
+  EXPECT_EQ(Local.weight(), 1u);
+  GoalKind External = classifyGoal(Prog, goalPred(1));
+  EXPECT_EQ(External.Kind, GoalKind::Tag::FnToTrait);
+  EXPECT_EQ(External.Arity, 1u);
+  EXPECT_EQ(External.weight(), 9u); // 4 + 5 * 1.
+}
+
+TEST_F(ClassifyTest, TyAsCallable) {
+  load("struct Timer;\n"
+       "#[external, fn_trait] trait Handler<Sig>;\n"
+       "goal Timer: Handler<fn(Timer, Timer)>;");
+  GoalKind K = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(K.Kind, GoalKind::Tag::TyAsCallable);
+  EXPECT_EQ(K.Arity, 2u);
+  EXPECT_EQ(K.weight(), 14u);
+}
+
+TEST_F(ClassifyTest, FnSignatureDeltas) {
+  load("struct Timer;\n"
+       "#[fn_trait] trait Callable<Sig>;\n"
+       "fn two_params(Timer, Timer);\n"
+       "goal two_params: Callable<fn(Timer)>;\n"        // Delete 1.
+       "goal two_params: Callable<fn(Timer, Timer, Timer)>;\n" // Add 1.
+       "goal two_params: Callable<fn((), ())>;");       // Same arity.
+  GoalKind Del = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(Del.Kind, GoalKind::Tag::DeleteFnParams);
+  EXPECT_EQ(Del.Delta, 1u);
+  EXPECT_EQ(Del.weight(), 5u);
+  GoalKind Add = classifyGoal(Prog, goalPred(1));
+  EXPECT_EQ(Add.Kind, GoalKind::Tag::AddFnParams);
+  EXPECT_EQ(Add.Delta, 1u);
+  GoalKind Wrong = classifyGoal(Prog, goalPred(2));
+  EXPECT_EQ(Wrong.Kind, GoalKind::Tag::IncorrectParams);
+  EXPECT_EQ(Wrong.Arity, 2u);
+  EXPECT_EQ(Wrong.weight(), 10u);
+}
+
+TEST_F(ClassifyTest, ProjectionIsTyChange) {
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "goal <users::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  GoalKind K = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(K.Kind, GoalKind::Tag::TyChange);
+  EXPECT_EQ(K.weight(), 4u);
+}
+
+TEST_F(ClassifyTest, RegionPredicatesAreMisc) {
+  load("struct Timer;\n"
+       "goal &'a Timer: 'static;");
+  GoalKind K = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(K.Kind, GoalKind::Tag::Misc);
+  EXPECT_EQ(K.weight(), 50u);
+}
+
+TEST_F(ClassifyTest, ReferenceSubjectInheritsPointeeLocality) {
+  load("#[external] struct Query;\n"
+       "trait LocalTrait;\n"
+       "goal &Query: LocalTrait;");
+  GoalKind K = classifyGoal(Prog, goalPred(0));
+  EXPECT_EQ(K.Kind, GoalKind::Tag::Trait);
+  EXPECT_EQ(K.SelfLoc, Locality::External);
+}

@@ -1,0 +1,138 @@
+//===- tests/analysis/SuggestionsTests.cpp --------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Suggestions.h"
+#include "extract/Extract.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class SuggestionsTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+};
+
+} // namespace
+
+TEST_F(SuggestionsTest, BevyWrapperSuggestionIsVerified) {
+  // The Section 7.1 workflow: Timer: SystemParam fails; the verified fix
+  // is ResMut<Timer> (Timer: Resource holds). Res<Timer> works too;
+  // Query<..> does not wrap a resource.
+  load("#[external] struct ResMut<T>;\n"
+       "#[external] struct Res<T>;\n"
+       "#[external] struct NotAParam<T>;\n"
+       "struct Timer;\n"
+       "#[external] trait Resource;\n"
+       "#[external] trait SystemParam;\n"
+       "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+       "#[external] impl<T> SystemParam for Res<T> where T: Resource;\n"
+       "impl Resource for Timer;");
+  Predicate Leaf = Predicate::traitBound(S.types().adt(S.name("Timer")),
+                                         S.name("SystemParam"));
+  std::vector<FixSuggestion> Fixes = suggestFixes(Prog, Leaf);
+  // Two verified wrappers + the orphan-rule impl suggestion (Timer is
+  // local).
+  ASSERT_EQ(Fixes.size(), 3u);
+  EXPECT_EQ(Fixes[0].SuggestionKind, FixSuggestion::Kind::WrapInType);
+  EXPECT_EQ(Fixes[0].SuggestedType,
+            S.types().adt(S.name("ResMut"),
+                          {S.types().adt(S.name("Timer"))}));
+  EXPECT_NE(Fixes[0].Rendered.find("ResMut<Timer>"), std::string::npos);
+  EXPECT_EQ(Fixes[1].SuggestionKind, FixSuggestion::Kind::WrapInType);
+  EXPECT_EQ(Fixes[2].SuggestionKind, FixSuggestion::Kind::ImplementTrait);
+}
+
+TEST_F(SuggestionsTest, UnverifiableWrappersAreRejected) {
+  // Timer is not a Resource here, so ResMut<Timer> would *not* fix the
+  // bound; no wrapper may be suggested.
+  load("#[external] struct ResMut<T>;\n"
+       "struct Timer;\n"
+       "#[external] trait Resource;\n"
+       "#[external] trait SystemParam;\n"
+       "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;");
+  Predicate Leaf = Predicate::traitBound(S.types().adt(S.name("Timer")),
+                                         S.name("SystemParam"));
+  std::vector<FixSuggestion> Fixes = suggestFixes(Prog, Leaf);
+  for (const FixSuggestion &Fix : Fixes)
+    EXPECT_NE(Fix.SuggestionKind, FixSuggestion::Kind::WrapInType);
+}
+
+TEST_F(SuggestionsTest, OrphanRuleGatesImplSuggestion) {
+  load("#[external] struct Query;\n"
+       "#[external] trait Display;\n"
+       "struct Local;\n"
+       "trait LocalTrait;");
+  // External type + external trait: no impl suggestion.
+  Predicate ExternalBoth = Predicate::traitBound(
+      S.types().adt(S.name("Query")), S.name("Display"));
+  EXPECT_TRUE(suggestFixes(Prog, ExternalBoth).empty());
+  // Local type: the impl suggestion appears.
+  Predicate LocalSelf = Predicate::traitBound(
+      S.types().adt(S.name("Local")), S.name("Display"));
+  std::vector<FixSuggestion> Fixes = suggestFixes(Prog, LocalSelf);
+  ASSERT_EQ(Fixes.size(), 1u);
+  EXPECT_EQ(Fixes[0].SuggestionKind, FixSuggestion::Kind::ImplementTrait);
+  EXPECT_NE(Fixes[0].Rendered.find("the type is local"),
+            std::string::npos);
+  // Local trait: also allowed.
+  Predicate LocalTrait = Predicate::traitBound(
+      S.types().adt(S.name("Query")), S.name("LocalTrait"));
+  ASSERT_EQ(suggestFixes(Prog, LocalTrait).size(), 1u);
+}
+
+TEST_F(SuggestionsTest, ProjectionMismatchSuggestsTypeChange) {
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }");
+  TypeId Table = S.types().adt(S.name("users::table"));
+  TypeId Projection = S.types().projection(
+      Table, S.name("AppearsInFromClause"), {Table}, S.name("Count"));
+  Predicate Leaf =
+      Predicate::projectionEq(Projection, S.types().adt(S.name("Once")));
+  std::vector<FixSuggestion> Fixes = suggestFixes(Prog, Leaf);
+  ASSERT_EQ(Fixes.size(), 1u);
+  EXPECT_EQ(Fixes[0].SuggestionKind, FixSuggestion::Kind::ChangeType);
+}
+
+TEST_F(SuggestionsTest, BlanketImplsDoNotWrap) {
+  load("struct Timer;\n"
+       "trait Marker;\n"
+       "trait Goal;\n"
+       "impl<T> Goal for T where T: Marker;");
+  Predicate Leaf = Predicate::traitBound(S.types().adt(S.name("Timer")),
+                                         S.name("Goal"));
+  std::vector<FixSuggestion> Fixes = suggestFixes(Prog, Leaf);
+  for (const FixSuggestion &Fix : Fixes)
+    EXPECT_NE(Fix.SuggestionKind, FixSuggestion::Kind::WrapInType);
+}
+
+TEST_F(SuggestionsTest, MultiSlotWrappersNeedAllSlotsKnown) {
+  // Query<D, F> has two generic slots; plugging Timer into one leaves
+  // the other unknown, so no wrapper is offered.
+  load("#[external] struct Query<D, F>;\n"
+       "struct Timer;\n"
+       "#[external] trait QueryData;\n"
+       "#[external] trait QueryFilter;\n"
+       "#[external] trait SystemParam;\n"
+       "#[external] impl<D, F> SystemParam for Query<D, F>\n"
+       "  where D: QueryData, F: QueryFilter;\n"
+       "impl QueryData for Timer;");
+  Predicate Leaf = Predicate::traitBound(S.types().adt(S.name("Timer")),
+                                         S.name("SystemParam"));
+  std::vector<FixSuggestion> Fixes = suggestFixes(Prog, Leaf);
+  for (const FixSuggestion &Fix : Fixes)
+    EXPECT_NE(Fix.SuggestionKind, FixSuggestion::Kind::WrapInType);
+}

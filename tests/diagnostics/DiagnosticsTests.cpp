@@ -1,0 +1,195 @@
+//===- tests/diagnostics/DiagnosticsTests.cpp -----------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class DiagnosticsTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  InferenceTree failingTree(std::string Source) {
+    ParseResult Result = parseSource(Prog, "app.tl", std::move(Source));
+    EXPECT_TRUE(Result.Success) << Result.describe(S.sources());
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    EXPECT_GE(Ex.Trees.size(), 1u);
+    return std::move(Ex.Trees[0]);
+  }
+};
+
+const char *BevyProgram =
+    "#[external] struct ResMut<T>;\n"
+    "struct Timer;\n"
+    "#[external] trait Resource;\n"
+    "#[external] trait SystemParam;\n"
+    "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+    "#[external] trait System;\n"
+    "#[external, fn_trait] trait SystemParamFunction<Sig>;\n"
+    "#[external] struct IsFunctionSystem;\n"
+    "#[external] struct IsSystem;\n"
+    "#[external] trait IntoSystem<Marker>;\n"
+    "#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for "
+    "Func\n"
+    "  where Func: SystemParamFunction<fn(P)>, P: SystemParam;\n"
+    "#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: System;\n"
+    "impl Resource for Timer;\n"
+    "fn run_timer(Timer);\n"
+    "goal run_timer: IntoSystem<?M>;";
+
+} // namespace
+
+TEST_F(DiagnosticsTest, MissingImplIsE0277) {
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "trait Resource;\n"
+                                   "goal Timer: Resource;");
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, "E0277");
+  EXPECT_NE(Diag.Text.find(
+                "the trait bound `Timer: Resource` is not satisfied"),
+            std::string::npos);
+  EXPECT_NE(Diag.Text.find("--> app.tl:3"), std::string::npos);
+  EXPECT_NE(Diag.Text.find("required by a bound introduced by this call"),
+            std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, DeepChainLeadsWithDeepestFailure) {
+  InferenceTree Tree = failingTree(
+      "struct V1<T>; struct V2<T>; struct V3<T>; struct V4<T>;\n"
+      "struct V5<T>; struct V6<T>;\n"
+      "struct Timer;\n"
+      "trait Display;\n"
+      "impl<T> Display for V1<T> where T: Display;\n"
+      "impl<T> Display for V2<T> where V1<T>: Display;\n"
+      "impl<T> Display for V3<T> where V2<T>: Display;\n"
+      "impl<T> Display for V4<T> where V3<T>: Display;\n"
+      "impl<T> Display for V5<T> where V4<T>: Display;\n"
+      "impl<T> Display for V6<T> where V5<T>: Display;\n"
+      "goal V6<Timer>: Display;");
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  // Leads with the deepest failure, like Figure 2b.
+  EXPECT_NE(Diag.Text.find(
+                "the trait bound `Timer: Display` is not satisfied"),
+            std::string::npos);
+  // The middle of the provenance chain is elided.
+  EXPECT_GT(Diag.HiddenRequirements, 0u);
+  EXPECT_NE(Diag.Text.find("redundant requirement"), std::string::npos);
+  // The elided goals are genuinely not mentioned.
+  size_t Mentioned = Diag.MentionedGoals.size();
+  size_t ChainLength = Tree.pathToRoot(Diag.ReportedNode).size();
+  EXPECT_EQ(Mentioned + Diag.HiddenRequirements, ChainLength);
+}
+
+TEST_F(DiagnosticsTest, ShowFullChainsDisablesElision) {
+  InferenceTree Tree = failingTree(
+      "struct V1<T>; struct V2<T>; struct V3<T>; struct V4<T>;\n"
+      "struct V5<T>; struct V6<T>;\n"
+      "struct Timer;\n"
+      "trait Display;\n"
+      "impl<T> Display for V1<T> where T: Display;\n"
+      "impl<T> Display for V2<T> where V1<T>: Display;\n"
+      "impl<T> Display for V3<T> where V2<T>: Display;\n"
+      "impl<T> Display for V4<T> where V3<T>: Display;\n"
+      "impl<T> Display for V5<T> where V4<T>: Display;\n"
+      "impl<T> Display for V6<T> where V5<T>: Display;\n"
+      "goal V6<Timer>: Display;");
+  DiagnosticOptions Opts;
+  Opts.ShowFullChains = true;
+  DiagnosticRenderer Renderer(Prog, Opts);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.HiddenRequirements, 0u);
+  EXPECT_EQ(Diag.Text.find("redundant"), std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, BevyDiagnosticOmitsSystemParam) {
+  // The central Section 2.3 observation: the rustc text never mentions
+  // the SystemParam bound, because the branch point stops the chain.
+  InferenceTree Tree = failingTree(BevyProgram);
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, "E0277");
+  EXPECT_NE(Diag.Text.find("IntoSystem"), std::string::npos);
+  EXPECT_EQ(Diag.Text.find("SystemParam"), std::string::npos);
+  EXPECT_EQ(Diag.ReportedNode, Tree.rootId());
+}
+
+TEST_F(DiagnosticsTest, OverflowIsE0275) {
+  InferenceTree Tree = failingTree(
+      "trait AstAssocs: Sized { type Data: AssocData<Self>; }\n"
+      "trait AssocData<A>;\n"
+      "struct EmptyNode;\n"
+      "impl<Data> AstAssocs for Data where Data: AssocData<Data> {\n"
+      "  type Data = Data;\n"
+      "}\n"
+      "impl<A> AssocData<A> for EmptyNode where A: AstAssocs;\n"
+      "goal EmptyNode: AstAssocs;");
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, "E0275");
+  EXPECT_NE(Diag.Text.find("overflow evaluating the requirement "
+                           "`EmptyNode: AstAssocs`"),
+            std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, ProjectionMismatchIsE0271) {
+  InferenceTree Tree = failingTree(
+      "struct Once;\n"
+      "struct Never;\n"
+      "struct users::table;\n"
+      "struct posts::table;\n"
+      "trait AppearsInFromClause<QS> { type Count; }\n"
+      "impl AppearsInFromClause<users::table> for posts::table {\n"
+      "  type Count = Never;\n"
+      "}\n"
+      "goal <posts::table as AppearsInFromClause<users::table>>::Count "
+      "== Once;");
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, "E0271");
+  EXPECT_NE(Diag.Text.find("type mismatch resolving"), std::string::npos);
+  // The rustc-style printer shortens both tables to `table` — the
+  // Section 2.1 confusion, reproduced.
+  EXPECT_NE(Diag.Text.find("<table as AppearsInFromClause<table>>"),
+            std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, ResidualAmbiguityIsE0283) {
+  InferenceTree Tree = failingTree("struct A;\n"
+                                   "struct B;\n"
+                                   "trait Display;\n"
+                                   "impl Display for A;\n"
+                                   "impl Display for B;\n"
+                                   "goal ?T: Display;");
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, "E0283");
+  EXPECT_NE(Diag.Text.find("type annotations needed"), std::string::npos);
+  // The competing impls are listed, as rustc does.
+  EXPECT_NE(Diag.Text.find("multiple `impl`s satisfying"),
+            std::string::npos);
+  EXPECT_NE(Diag.Text.find("impl Display for A"), std::string::npos);
+  EXPECT_NE(Diag.Text.find("impl Display for B"), std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, MentionsIsAccurate) {
+  InferenceTree Tree = failingTree(BevyProgram);
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_TRUE(Diag.mentions(Tree.rootId()));
+  for (IGoalId Leaf : Tree.failedLeaves())
+    EXPECT_FALSE(Diag.mentions(Leaf));
+}

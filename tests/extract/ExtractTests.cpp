@@ -1,0 +1,323 @@
+//===- tests/extract/ExtractTests.cpp -------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "tlang/Parser.h"
+#include "tlang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class ExtractTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+
+  std::vector<std::string> leafStrings(const InferenceTree &Tree) {
+    TypePrinter Printer(Prog);
+    std::vector<std::string> Out;
+    for (IGoalId Leaf : Tree.failedLeaves())
+      Out.push_back(Printer.print(Tree.goal(Leaf).Pred));
+    return Out;
+  }
+
+  /// Counts goals of a given predicate kind in the ideal tree.
+  size_t countKind(const InferenceTree &Tree, PredicateKind Kind) {
+    size_t Count = 0;
+    for (size_t I = 0; I != Tree.numGoals(); ++I)
+      Count += Tree.goal(IGoalId(static_cast<uint32_t>(I))).Pred.Kind == Kind;
+    return Count;
+  }
+};
+
+} // namespace
+
+TEST_F(ExtractTest, SuccessfulGoalsProduceNoTreesByDefault) {
+  load("struct Timer;\n"
+       "trait Resource;\n"
+       "impl Resource for Timer;\n"
+       "goal Timer: Resource;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  EXPECT_TRUE(Ex.Trees.empty());
+
+  ExtractOptions KeepAll;
+  KeepAll.FailingRootsOnly = false;
+  Extraction All = extractTrees(Prog, Out, Solve.inferContext(), KeepAll);
+  EXPECT_EQ(All.Trees.size(), 1u);
+}
+
+TEST_F(ExtractTest, InternalPredicatesHiddenByDefault) {
+  load("struct Vec<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal Vec<Timer>: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  EXPECT_EQ(countKind(Ex.Trees[0], PredicateKind::WellFormed), 0u);
+  EXPECT_GT(Ex.Stats.InternalGoalsHidden, 0u);
+
+  ExtractOptions ShowAll;
+  ShowAll.ShowInternal = true;
+  Extraction Full = extractTrees(Prog, Out, Solve.inferContext(), ShowAll);
+  EXPECT_GT(countKind(Full.Trees[0], PredicateKind::WellFormed), 0u);
+  // The toggle strictly grows the tree.
+  EXPECT_GT(Full.Trees[0].size(), Ex.Trees[0].size());
+}
+
+TEST_F(ExtractTest, FailedLeavesSurviveFiltering) {
+  load("struct Vec<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal Vec<Timer>: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  auto Leaves = leafStrings(Ex.Trees[0]);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], "Timer: Display");
+}
+
+TEST_F(ExtractTest, SnapshotDeduplicationKeepsFinalOnly) {
+  load("struct A;\n"
+       "struct B;\n"
+       "struct Holder<T>;\n"
+       "trait Display;\n"
+       "impl Display for A;\n"
+       "impl Display for B;\n"
+       "trait Picker { type Choice; }\n"
+       "impl Picker for Holder<B> { type Choice = B; }\n"
+       "trait Wanted;\n"
+       "goal ?T: Display;\n"
+       "goal <Holder<B> as Picker>::Choice == ?T;\n"
+       "goal B: Wanted;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  // Goal 0 took two snapshots (ambiguous then resolved).
+  ASSERT_EQ(Out.Snapshots[0].size(), 2u);
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  EXPECT_GE(Ex.Stats.SnapshotsDropped, 1u);
+  // Only the genuinely failing goal (B: Wanted) yields a tree.
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  TypePrinter Printer(Prog);
+  EXPECT_EQ(Printer.print(Ex.Trees[0].root().Pred), "B: Wanted");
+}
+
+TEST_F(ExtractTest, SnapshotImplicationHeuristic) {
+  load("struct A;\n"
+       "struct Vec<T>;\n"
+       "trait Display;");
+  Symbol Display = S.name("Display");
+  TypeId VA = S.types().infer(0);
+  InferContext Infcx(S.types(), 1);
+  Predicate Earlier = Predicate::traitBound(
+      S.types().adt(S.name("Vec"), {VA}), Display);
+  Predicate Later = Predicate::traitBound(
+      S.types().adt(S.name("Vec"), {S.types().adt(S.name("A"))}), Display);
+  EXPECT_TRUE(snapshotSupersedes(Prog, Infcx, Later, Earlier));
+  EXPECT_FALSE(snapshotSupersedes(
+      Prog, Infcx,
+      Predicate::traitBound(S.types().adt(S.name("A")), Display), Earlier));
+}
+
+TEST_F(ExtractTest, SpeculativeProbesHiddenWhenSiblingSucceeds) {
+  load("struct Vec<T>;\n"
+       "trait ToString;\n"
+       "trait CustomToString;\n"
+       "impl<T> CustomToString for Vec<T>;\n"
+       "#[speculative] goal Vec<()>: ToString;\n"
+       "#[speculative] goal Vec<()>: CustomToString;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  // The failing ToString probe is hidden: the method call resolved via
+  // CustomToString.
+  EXPECT_TRUE(Ex.Trees.empty());
+  EXPECT_EQ(Ex.Stats.SpeculativeRootsDropped, 1u);
+
+  ExtractOptions NoFilter;
+  NoFilter.FilterSpeculative = false;
+  Extraction All = extractTrees(Prog, Out, Solve.inferContext(), NoFilter);
+  EXPECT_EQ(All.Trees.size(), 1u);
+}
+
+TEST_F(ExtractTest, SpeculativeProbesKeptWhenAllFail) {
+  load("struct Vec<T>;\n"
+       "trait ToString;\n"
+       "trait CustomToString;\n"
+       "#[speculative] goal Vec<()>: ToString;\n"
+       "#[speculative] goal Vec<()>: CustomToString;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  EXPECT_EQ(Ex.Trees.size(), 2u);
+}
+
+TEST_F(ExtractTest, StatefulNodesElidedOnSuccessSplicedOnFailure) {
+  // Success path: the projection goal's NormalizesTo machinery vanishes.
+  load("struct Once;\n"
+       "struct Never;\n"
+       "struct users::table;\n"
+       "struct posts::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "impl AppearsInFromClause<users::table> for posts::table {\n"
+       "  type Count = Never;\n"
+       "}\n"
+       "goal <posts::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  const InferenceTree &Tree = Ex.Trees[0];
+  EXPECT_EQ(countKind(Tree, PredicateKind::NormalizesTo), 0u);
+  EXPECT_GT(Ex.Stats.StatefulGoalsElided, 0u);
+  // The root projection goal failed because Count == Never != Once; its
+  // normalization *succeeded*, so the root is the failed leaf.
+  auto Leaves = leafStrings(Tree);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_NE(Leaves[0].find("Count == Once"), std::string::npos);
+}
+
+TEST_F(ExtractTest, FailingNormalizationSplicesTraitGoal) {
+  // posts::table has no AppearsInFromClause impl at all: normalization
+  // fails, and the underlying trait goal must surface in the ideal tree.
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "struct posts::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "goal <posts::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  auto Leaves = leafStrings(Ex.Trees[0]);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], "table: AppearsInFromClause<table>");
+  EXPECT_EQ(countKind(Ex.Trees[0], PredicateKind::NormalizesTo), 0u);
+}
+
+TEST_F(ExtractTest, ShowInternalKeepsStatefulNodes) {
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "goal <users::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  ExtractOptions Opts;
+  Opts.ShowInternal = true;
+  Opts.ElideStatefulNodes = false;
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext(), Opts);
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  EXPECT_GT(countKind(Ex.Trees[0], PredicateKind::NormalizesTo), 0u);
+}
+
+TEST_F(ExtractTest, ResidualAmbiguityIsAFailedRoot) {
+  load("struct A;\n"
+       "struct B;\n"
+       "trait Display;\n"
+       "impl Display for A;\n"
+       "impl Display for B;\n"
+       "goal ?T: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  EXPECT_EQ(Ex.Trees[0].root().Result, EvalResult::Maybe);
+  EXPECT_TRUE(idealFailed(Ex.Trees[0].root().Result));
+  EXPECT_GT(Ex.Trees[0].root().UnresolvedVars, 0u);
+}
+
+TEST_F(ExtractTest, PathToRootWalksParents) {
+  load("struct Vec<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal Vec<Vec<Timer>>: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  const InferenceTree &Tree = Ex.Trees[0];
+  auto Leaves = Tree.failedLeaves();
+  ASSERT_EQ(Leaves.size(), 1u);
+  auto Path = Tree.pathToRoot(Leaves[0]);
+  ASSERT_EQ(Path.size(), 3u); // Timer -> Vec<Timer> -> Vec<Vec<Timer>>.
+  EXPECT_EQ(Path.back(), Tree.rootId());
+  EXPECT_EQ(Tree.goal(Path[0]).Depth, 2u);
+  EXPECT_EQ(Tree.goal(Path[2]).Depth, 0u);
+}
+
+TEST_F(ExtractTest, BevyTreeShowsBranchPoint) {
+  load("#[external] struct ResMut<T>;\n"
+       "struct Timer;\n"
+       "#[external] trait Resource;\n"
+       "#[external] trait SystemParam;\n"
+       "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+       "#[external] trait System;\n"
+       "#[external, fn_trait] trait SystemParamFunction<Sig>;\n"
+       "#[external] struct IsFunctionSystem;\n"
+       "#[external] struct IsSystem;\n"
+       "#[external] trait IntoSystem<Marker>;\n"
+       "#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for "
+       "Func\n"
+       "  where Func: SystemParamFunction<fn(P)>, P: SystemParam;\n"
+       "#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: "
+       "System;\n"
+       "impl Resource for Timer;\n"
+       "fn run_timer(Timer);\n"
+       "goal run_timer: IntoSystem<?M>;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  const InferenceTree &Tree = Ex.Trees[0];
+  // The root has two impl candidates: the branch point of Figure 4c.
+  EXPECT_EQ(Tree.root().Candidates.size(), 2u);
+  auto Leaves = leafStrings(Tree);
+  ASSERT_EQ(Leaves.size(), 2u);
+  EXPECT_TRUE((Leaves[0] == "Timer: SystemParam") ||
+              (Leaves[1] == "Timer: SystemParam"));
+}
+
+TEST_F(ExtractTest, OverflowLeafInAstRecursion) {
+  load("trait AstAssocs: Sized { type Data: AssocData<Self>; }\n"
+       "trait AssocData<A>;\n"
+       "struct EmptyNode;\n"
+       "impl<Data> AstAssocs for Data where Data: AssocData<Data> {\n"
+       "  type Data = Data;\n"
+       "}\n"
+       "impl<A> AssocData<A> for EmptyNode where A: AstAssocs;\n"
+       "goal EmptyNode: AstAssocs;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  auto Leaves = Ex.Trees[0].failedLeaves();
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Ex.Trees[0].goal(Leaves[0]).Result, EvalResult::Overflow);
+  // The cycle: the overflow leaf repeats the root predicate.
+  TypePrinter Printer(Prog);
+  EXPECT_EQ(Printer.print(Ex.Trees[0].goal(Leaves[0]).Pred),
+            Printer.print(Ex.Trees[0].root().Pred));
+}

@@ -1,0 +1,130 @@
+//===- tests/extract/InferenceTreeTests.cpp -------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the idealized-tree data structure itself, on hand-built
+/// trees (independent of the solver and extractor).
+///
+//===----------------------------------------------------------------------===//
+
+#include "extract/InferenceTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+/// Builds a small AND/OR tree:
+///
+///   root (No)
+///    +- cand0 (No)
+///    |   +- a (Yes, leaf)
+///    |   +- b (No)
+///    |       +- cand1 (No)
+///    |           +- c (No, leaf)
+///    +- cand2 (No)
+///        +- d (Overflow, leaf)
+class TreeFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = addGoal(ICandId::invalid(), EvalResult::No, 0);
+    Tree.setRoot(Root);
+    ICandId Cand0 = addCand(Root, EvalResult::No);
+    A = addGoal(Cand0, EvalResult::Yes, 1);
+    B = addGoal(Cand0, EvalResult::No, 1);
+    ICandId Cand1 = addCand(B, EvalResult::No);
+    C = addGoal(Cand1, EvalResult::No, 2);
+    ICandId Cand2 = addCand(Root, EvalResult::No);
+    D = addGoal(Cand2, EvalResult::Overflow, 1);
+  }
+
+  IGoalId addGoal(ICandId Parent, EvalResult Result, uint32_t Depth) {
+    IGoalId Id = Tree.makeGoal();
+    IdealGoal &Goal = Tree.goal(Id);
+    Goal.Result = Result;
+    Goal.Parent = Parent;
+    Goal.Depth = Depth;
+    if (Parent.isValid())
+      Tree.candidate(Parent).SubGoals.push_back(Id);
+    return Id;
+  }
+
+  ICandId addCand(IGoalId Parent, EvalResult Result) {
+    ICandId Id = Tree.makeCandidate();
+    IdealCandidate &Cand = Tree.candidate(Id);
+    Cand.Result = Result;
+    Cand.Parent = Parent;
+    Tree.goal(Parent).Candidates.push_back(Id);
+    return Id;
+  }
+
+  InferenceTree Tree;
+  IGoalId Root, A, B, C, D;
+};
+
+} // namespace
+
+TEST_F(TreeFixture, SizeCountsGoalsAndCandidates) {
+  EXPECT_EQ(Tree.numGoals(), 5u);
+  EXPECT_EQ(Tree.numCandidates(), 3u);
+  EXPECT_EQ(Tree.size(), 8u);
+}
+
+TEST_F(TreeFixture, FailedLeavesAreTheInnermostFailures) {
+  std::vector<IGoalId> Leaves = Tree.failedLeaves();
+  ASSERT_EQ(Leaves.size(), 2u);
+  EXPECT_EQ(Leaves[0], C);
+  EXPECT_EQ(Leaves[1], D);
+}
+
+TEST_F(TreeFixture, HasFailedDescendant) {
+  EXPECT_TRUE(Tree.hasFailedDescendant(Root));
+  EXPECT_TRUE(Tree.hasFailedDescendant(B));
+  EXPECT_FALSE(Tree.hasFailedDescendant(A));
+  EXPECT_FALSE(Tree.hasFailedDescendant(C));
+  EXPECT_FALSE(Tree.hasFailedDescendant(D));
+}
+
+TEST_F(TreeFixture, PathToRoot) {
+  std::vector<IGoalId> Path = Tree.pathToRoot(C);
+  ASSERT_EQ(Path.size(), 3u);
+  EXPECT_EQ(Path[0], C);
+  EXPECT_EQ(Path[1], B);
+  EXPECT_EQ(Path[2], Root);
+  EXPECT_EQ(Tree.pathToRoot(Root).size(), 1u);
+}
+
+TEST_F(TreeFixture, IdealFailedTreatsMaybeAsFailure) {
+  EXPECT_TRUE(idealFailed(EvalResult::No));
+  EXPECT_TRUE(idealFailed(EvalResult::Overflow));
+  EXPECT_TRUE(idealFailed(EvalResult::Maybe));
+  EXPECT_FALSE(idealFailed(EvalResult::Yes));
+}
+
+TEST(InferenceTreeEdge, EmptyTreeHasNoLeaves) {
+  InferenceTree Tree;
+  EXPECT_TRUE(Tree.failedLeaves().empty());
+  EXPECT_EQ(Tree.size(), 0u);
+}
+
+TEST(InferenceTreeEdge, SingleFailedGoalIsItsOwnLeaf) {
+  InferenceTree Tree;
+  IGoalId Root = Tree.makeGoal();
+  Tree.goal(Root).Result = EvalResult::No;
+  Tree.setRoot(Root);
+  std::vector<IGoalId> Leaves = Tree.failedLeaves();
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], Root);
+}
+
+TEST(InferenceTreeEdge, SuccessfulRootHasNoFailedLeaves) {
+  InferenceTree Tree;
+  IGoalId Root = Tree.makeGoal();
+  Tree.goal(Root).Result = EvalResult::Yes;
+  Tree.setRoot(Root);
+  EXPECT_TRUE(Tree.failedLeaves().empty());
+}

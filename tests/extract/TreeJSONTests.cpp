@@ -1,0 +1,75 @@
+//===- tests/extract/TreeJSONTests.cpp ------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class TreeJSONTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  InferenceTree failingTree(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    EXPECT_TRUE(Result.Success) << Result.describe(S.sources());
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    EXPECT_EQ(Ex.Trees.size(), 1u);
+    return std::move(Ex.Trees[0]);
+  }
+};
+
+} // namespace
+
+TEST_F(TreeJSONTest, ContainsPredicatesAndStructure) {
+  InferenceTree Tree = failingTree("struct Vec<T>;\n"
+                                   "struct Timer;\n"
+                                   "trait Display;\n"
+                                   "impl<T> Display for Vec<T> where T: "
+                                   "Display;\n"
+                                   "goal Vec<Timer>: Display;");
+  std::string JSON = treeToJSON(Prog, Tree);
+  EXPECT_NE(JSON.find("\"root\":0"), std::string::npos);
+  EXPECT_NE(JSON.find("Vec<Timer>: Display"), std::string::npos);
+  EXPECT_NE(JSON.find("Timer: Display"), std::string::npos);
+  EXPECT_NE(JSON.find("\"result\":\"no\""), std::string::npos);
+  EXPECT_NE(JSON.find("impl<T> Display for Vec<T> where T: Display"),
+            std::string::npos);
+}
+
+TEST_F(TreeJSONTest, GoalAndCandidateCountsMatch) {
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "trait Resource;\n"
+                                   "goal Timer: Resource;");
+  std::string JSON = treeToJSON(Prog, Tree);
+  // One goal, no candidates.
+  EXPECT_NE(JSON.find("\"goals\":[{"), std::string::npos);
+  EXPECT_NE(JSON.find("\"candidates\":[]"), std::string::npos);
+}
+
+TEST_F(TreeJSONTest, PrettyOutputIsIndentated) {
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "trait Resource;\n"
+                                   "goal Timer: Resource;");
+  std::string Pretty = treeToJSON(Prog, Tree, /*Pretty=*/true);
+  EXPECT_NE(Pretty.find("\n  "), std::string::npos);
+}
+
+TEST_F(TreeJSONTest, OriginLocationsIncluded) {
+  InferenceTree Tree = failingTree("struct Timer;\n"
+                                   "trait Resource;\n"
+                                   "goal Timer: Resource;");
+  std::string JSON = treeToJSON(Prog, Tree);
+  EXPECT_NE(JSON.find("test.tl:3"), std::string::npos);
+}

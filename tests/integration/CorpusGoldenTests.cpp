@@ -1,0 +1,112 @@
+//===- tests/integration/CorpusGoldenTests.cpp ----------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden expectations per evaluation-suite program: the diagnostic error
+/// code, whether the static text contains the root cause, the number of
+/// failed leaves, and the inertia category of the ground truth. These
+/// pin down the per-program behaviour behind the Figure 12a aggregates,
+/// so a regression in any one program is caught by name.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inertia.h"
+#include "corpus/Corpus.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+struct Golden {
+  const char *Id;
+  const char *ErrorCode;
+  bool DiagnosticMentionsTruth;
+  size_t FailedLeaves;
+  GoalKind::Tag TruthCategory;
+};
+
+const Golden Expectations[] = {
+    {"diesel-missing-join", "E0271", true, 1, GoalKind::Tag::TyChange},
+    {"diesel-select-foreign-column", "E0271", true, 1,
+     GoalKind::Tag::TyChange},
+    {"diesel-type-mismatched-eq", "E0271", true, 1,
+     GoalKind::Tag::TyChange},
+    {"bevy-resmut-missing", "E0277", false, 2, GoalKind::Tag::Trait},
+    {"bevy-assets-mesh", "E0277", false, 4, GoalKind::Tag::Trait},
+    {"bevy-query-filter", "E0277", false, 2, GoalKind::Tag::Trait},
+    {"axum-handler-deserialize", "E0277", false, 2,
+     GoalKind::Tag::Trait},
+    {"axum-missing-intoresponse", "E0277", false, 2,
+     GoalKind::Tag::Trait},
+    {"axum-state-clone", "E0277", false, 2, GoalKind::Tag::Trait},
+    {"ast-assoc-recursion", "E0275", true, 1, GoalKind::Tag::Trait},
+    {"ast-box-growth", "E0275", true, 2, GoalKind::Tag::Trait},
+    {"brew-incompatible-ingredients", "E0277", true, 1,
+     GoalKind::Tag::Trait},
+    {"brew-stir-step-signature", "E0277", false, 2,
+     GoalKind::Tag::IncorrectParams},
+    {"brew-potency-mismatch", "E0271", true, 1, GoalKind::Tag::TyChange},
+    {"space-unreachable-route", "E0277", true, 1, GoalKind::Tag::Trait},
+    {"space-fuel-projection", "E0271", true, 1, GoalKind::Tag::TyChange},
+    {"space-relay-overflow", "E0275", true, 2, GoalKind::Tag::Trait},
+};
+
+class GoldenTest : public ::testing::TestWithParam<Golden> {};
+
+} // namespace
+
+TEST_P(GoldenTest, MatchesExpectations) {
+  const Golden &Expected = GetParam();
+  const CorpusEntry *Entry = nullptr;
+  for (const CorpusEntry &Candidate : evaluationSuite())
+    if (Candidate.Id == Expected.Id)
+      Entry = &Candidate;
+  ASSERT_NE(Entry, nullptr) << Expected.Id;
+
+  LoadedProgram Loaded = loadEntry(*Entry);
+  const Program &Prog = *Loaded.Prog;
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  ASSERT_EQ(Ex.Trees.size(), 1u);
+  const InferenceTree &Tree = Ex.Trees[0];
+
+  DiagnosticRenderer Renderer(Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, Expected.ErrorCode);
+
+  // Does the text mention the root cause anywhere?
+  bool Mentions = false;
+  for (IGoalId Goal : Diag.MentionedGoals)
+    for (const Predicate &Truth : Prog.rootCauses())
+      Mentions |= Tree.goal(Goal).Pred == Truth;
+  EXPECT_EQ(Mentions, Expected.DiagnosticMentionsTruth);
+
+  EXPECT_EQ(Tree.failedLeaves().size(), Expected.FailedLeaves);
+
+  // The ground truth's inertia category.
+  IGoalId TruthNode;
+  for (const Predicate &Truth : Prog.rootCauses())
+    for (IGoalId Leaf : Tree.failedLeaves())
+      if (Tree.goal(Leaf).Pred == Truth && !TruthNode.isValid())
+        TruthNode = Leaf;
+  if (!TruthNode.isValid())
+    TruthNode = Tree.rootId(); // Overflow programs annotate the root.
+  EXPECT_EQ(classifyGoal(Prog, Tree.goal(TruthNode).Pred).Kind,
+            Expected.TruthCategory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GoldenTest, ::testing::ValuesIn(Expectations),
+    [](const ::testing::TestParamInfo<Golden> &Info) {
+      std::string Name = Info.param.Id;
+      std::replace(Name.begin(), Name.end(), '-', '_');
+      return Name;
+    });

@@ -1,0 +1,179 @@
+//===- tests/integration/FigureTests.cpp ----------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end assertions that the paper's figures reproduce: each test
+/// drives the whole pipeline (parse -> solve -> extract -> rank ->
+/// render) on the corresponding corpus program and checks the observable
+/// claims the figure makes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inertia.h"
+#include "analysis/Suggestions.h"
+#include "corpus/Corpus.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+#include "interface/View.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class FigureTest : public ::testing::Test {
+protected:
+  LoadedProgram Loaded;
+  std::unique_ptr<Solver> Solve;
+  SolveOutcome Out;
+  Extraction Ex;
+
+  const InferenceTree &pipeline(const char *Id) {
+    const CorpusEntry *Entry = nullptr;
+    for (const CorpusEntry &Candidate : evaluationSuite())
+      if (Candidate.Id == Id)
+        Entry = &Candidate;
+    EXPECT_NE(Entry, nullptr) << Id;
+    Loaded = loadEntry(*Entry);
+    Solve = std::make_unique<Solver>(*Loaded.Prog);
+    Out = Solve->solve();
+    Ex = extractTrees(*Loaded.Prog, Out, Solve->inferContext());
+    EXPECT_EQ(Ex.Trees.size(), 1u);
+    return Ex.Trees[0];
+  }
+};
+
+} // namespace
+
+TEST_F(FigureTest, Figure2DieselDiagnostic) {
+  const InferenceTree &Tree = pipeline("diesel-missing-join");
+  DiagnosticRenderer Renderer(*Loaded.Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+
+  // Figure 2b: E0271, leading with the Count == Once mismatch, with the
+  // two tables printed identically and the middle of the chain hidden.
+  EXPECT_EQ(Diag.ErrorCode, "E0271");
+  EXPECT_NE(Diag.Text.find("type mismatch resolving `<table as "
+                           "AppearsInFromClause<table>>::Count == Once`"),
+            std::string::npos);
+  EXPECT_NE(Diag.Text.find("redundant requirements hidden"),
+            std::string::npos);
+  EXPECT_GT(Diag.HiddenRequirements, 0u);
+
+  // The Argus view disambiguates the tables and can unfold to the elided
+  // Eq<...> step.
+  ArgusInterface UI(*Loaded.Prog, Tree);
+  UI.expandAll();
+  std::string Text = UI.renderText();
+  EXPECT_NE(Text.find("users::table"), std::string::npos);
+  EXPECT_NE(Text.find("posts::table"), std::string::npos);
+  EXPECT_NE(Text.find("Eq<"), std::string::npos);
+}
+
+TEST_F(FigureTest, Figure3AstCycle) {
+  const InferenceTree &Tree = pipeline("ast-assoc-recursion");
+  DiagnosticRenderer Renderer(*Loaded.Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+  EXPECT_EQ(Diag.ErrorCode, "E0275");
+  EXPECT_NE(
+      Diag.Text.find(
+          "overflow evaluating the requirement `EmptyNode: AstAssocs`"),
+      std::string::npos);
+
+  // Figure 3c: the cycle is two logical steps: AstAssocs ->
+  // AssocData<EmptyNode> -> AstAssocs.
+  ArgusInterface UI(*Loaded.Prog, Tree);
+  UI.setActiveView(ViewKind::TopDown);
+  UI.expandAll();
+  std::vector<ViewRow> Rows = UI.rows();
+  std::vector<std::string> GoalTexts;
+  for (const ViewRow &Row : Rows)
+    if (Row.RowKind == ViewRow::Kind::Goal)
+      GoalTexts.push_back(Row.Text);
+  ASSERT_EQ(GoalTexts.size(), 3u);
+  EXPECT_NE(GoalTexts[0].find("EmptyNode: AstAssocs"), std::string::npos);
+  EXPECT_NE(GoalTexts[1].find("EmptyNode: AssocData<EmptyNode>"),
+            std::string::npos);
+  EXPECT_NE(GoalTexts[2].find("EmptyNode: AstAssocs"), std::string::npos);
+}
+
+TEST_F(FigureTest, Figure4BevyDiagnosticOmitsTheKeyTrait) {
+  const InferenceTree &Tree = pipeline("bevy-resmut-missing");
+  DiagnosticRenderer Renderer(*Loaded.Prog);
+  RenderedDiagnostic Diag = Renderer.render(Tree);
+
+  // Figure 4b: the #[on_unimplemented] headline, and no mention of
+  // SystemParam anywhere in the static text.
+  EXPECT_NE(Diag.Text.find("does not describe a valid system "
+                           "configuration"),
+            std::string::npos);
+  EXPECT_NE(Diag.Text.find("{run_timer}"), std::string::npos);
+  EXPECT_EQ(Diag.Text.find("SystemParam"), std::string::npos);
+}
+
+TEST_F(FigureTest, Figure9BottomUpLeadsWithSystemParam) {
+  const InferenceTree &Tree = pipeline("bevy-resmut-missing");
+  ArgusInterface UI(*Loaded.Prog, Tree);
+  std::vector<ViewRow> Rows = UI.rows();
+  // Figure 9a: the bottom-up view's first entry is Timer: SystemParam —
+  // the bound the compiler elided.
+  ASSERT_GE(Rows.size(), 3u);
+  EXPECT_NE(Rows[1].Text.find("Timer: SystemParam"), std::string::npos);
+  // Figure 9b: the top-down view exposes the branch point (two impl
+  // alternatives for IntoSystem).
+  UI.setActiveView(ViewKind::TopDown);
+  UI.toggleExpand(1);
+  size_t Candidates = 0;
+  for (const ViewRow &Row : UI.rows())
+    Candidates += Row.RowKind == ViewRow::Kind::Candidate;
+  EXPECT_EQ(Candidates, 2u);
+}
+
+TEST_F(FigureTest, Figure10InertiaPipeline) {
+  const InferenceTree &Tree = pipeline("bevy-resmut-missing");
+  InertiaResult Inertia = rankByInertia(*Loaded.Prog, Tree);
+  // Figure 10: two minimum correction subsets; Timer: SystemParam is in
+  // the lighter one and therefore sorts first.
+  ASSERT_EQ(Inertia.MCS.size(), 2u);
+  std::vector<size_t> Scores = Inertia.ConjunctScores;
+  std::sort(Scores.begin(), Scores.end());
+  EXPECT_LT(Scores[0], Scores[1]);
+  TypePrinter Printer(*Loaded.Prog);
+  EXPECT_EQ(Printer.print(Tree.goal(Inertia.Order[0]).Pred),
+            "Timer: SystemParam");
+}
+
+TEST_F(FigureTest, Section71SuggestionsFindResMut) {
+  const InferenceTree &Tree = pipeline("bevy-resmut-missing");
+  InertiaResult Inertia = rankByInertia(*Loaded.Prog, Tree);
+  std::vector<FixSuggestion> Fixes =
+      suggestFixes(*Loaded.Prog, Tree.goal(Inertia.Order[0]).Pred);
+  ASSERT_FALSE(Fixes.empty());
+  EXPECT_EQ(Fixes[0].SuggestionKind, FixSuggestion::Kind::WrapInType);
+  EXPECT_NE(Fixes[0].Rendered.find("ResMut<Timer>"), std::string::npos);
+}
+
+TEST_F(FigureTest, Section4PredicateCountsMatchTheGap) {
+  // Section 4: the model has 3 user-facing predicates; the solver
+  // internally evaluates more kinds, which extraction hides unless the
+  // toggle is set.
+  const InferenceTree &Tree = pipeline("diesel-missing-join");
+  for (size_t I = 0; I != Tree.numGoals(); ++I)
+    EXPECT_TRUE(isUserFacing(
+        Tree.goal(IGoalId(static_cast<uint32_t>(I))).Pred.Kind));
+
+  ExtractOptions ShowAll;
+  ShowAll.ShowInternal = true;
+  ShowAll.ElideStatefulNodes = false;
+  Extraction Full =
+      extractTrees(*Loaded.Prog, Out, Solve->inferContext(), ShowAll);
+  size_t Internal = 0;
+  for (size_t I = 0; I != Full.Trees[0].numGoals(); ++I)
+    Internal += !isUserFacing(
+        Full.Trees[0].goal(IGoalId(static_cast<uint32_t>(I))).Pred.Kind);
+  EXPECT_GT(Internal, 0u);
+}

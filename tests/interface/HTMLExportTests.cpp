@@ -1,0 +1,96 @@
+//===- tests/interface/HTMLExportTests.cpp --------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "interface/HTMLExport.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class HTMLExportTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+  std::vector<InferenceTree> Trees;
+
+  InferenceTree &loadTree(std::string Source) {
+    ParseResult Result = parseSource(Prog, "app.tl", std::move(Source));
+    EXPECT_TRUE(Result.Success) << Result.describe(S.sources());
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    EXPECT_EQ(Ex.Trees.size(), 1u);
+    Trees.push_back(std::move(Ex.Trees[0]));
+    return Trees.back();
+  }
+};
+
+} // namespace
+
+TEST(EscapeHTML, EscapesMetacharacters) {
+  EXPECT_EQ(escapeHTML("Vec<T> & \"x\""),
+            "Vec&lt;T&gt; &amp; &quot;x&quot;");
+  EXPECT_EQ(escapeHTML("plain"), "plain");
+}
+
+TEST_F(HTMLExportTest, DocumentStructure) {
+  InferenceTree &Tree = loadTree("struct Vec<T>;\n"
+                                 "struct Timer;\n"
+                                 "trait Display;\n"
+                                 "impl<T> Display for Vec<T> where T: "
+                                 "Display;\n"
+                                 "goal Vec<Timer>: Display;");
+  std::string HTML = treeToHTML(Prog, Tree);
+  EXPECT_NE(HTML.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(HTML.find("Bottom up"), std::string::npos);
+  EXPECT_NE(HTML.find("Minimum correction subsets"), std::string::npos);
+  EXPECT_NE(HTML.find("<details"), std::string::npos);
+  EXPECT_NE(HTML.find("Timer: Display"), std::string::npos);
+  // Types are escaped, never raw.
+  EXPECT_EQ(HTML.find("Vec<Timer>: Display<"), std::string::npos);
+  EXPECT_NE(HTML.find("Vec&lt;Timer&gt;: Display"), std::string::npos);
+  // The diagnostic section is included by default.
+  EXPECT_NE(HTML.find("static diagnostic"), std::string::npos);
+  EXPECT_NE(HTML.find("E0277"), std::string::npos);
+}
+
+TEST_F(HTMLExportTest, HoverTitlesCarryFullPaths) {
+  InferenceTree &Tree =
+      loadTree("#[external] struct diesel::SelectStatement<F>;\n"
+               "struct users::table;\n"
+               "trait Query;\n"
+               "goal diesel::SelectStatement<users::table>: Query;");
+  std::string HTML = treeToHTML(Prog, Tree);
+  // Short text in the body, full path in the title attribute.
+  EXPECT_NE(HTML.find("title=\"diesel::SelectStatement&lt;users::table"
+                      "&gt;: Query\""),
+            std::string::npos);
+}
+
+TEST_F(HTMLExportTest, OptionsAreHonored) {
+  InferenceTree &Tree = loadTree("struct Timer;\n"
+                                 "trait Resource;\n"
+                                 "goal Timer: Resource;");
+  HTMLExportOptions Opts;
+  Opts.Title = "my <debug> session";
+  Opts.IncludeDiagnostic = false;
+  std::string HTML = treeToHTML(Prog, Tree, Opts);
+  EXPECT_NE(HTML.find("<title>my &lt;debug&gt; session</title>"),
+            std::string::npos);
+  EXPECT_EQ(HTML.find("static diagnostic"), std::string::npos);
+}
+
+TEST_F(HTMLExportTest, WeightsAndCategoriesShown) {
+  InferenceTree &Tree = loadTree("struct Timer;\n"
+                                 "#[external] trait SystemParam;\n"
+                                 "goal Timer: SystemParam;");
+  std::string HTML = treeToHTML(Prog, Tree);
+  EXPECT_NE(HTML.find("(Trait, weight 1)"), std::string::npos);
+}

@@ -1,0 +1,79 @@
+//===- tests/interface/ViewJSONTests.cpp ----------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "interface/ViewJSON.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class ViewJSONTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+  std::vector<InferenceTree> Trees;
+
+  InferenceTree &loadTree(std::string Source) {
+    ParseResult Result = parseSource(Prog, "app.tl", std::move(Source));
+    EXPECT_TRUE(Result.Success) << Result.describe(S.sources());
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    EXPECT_EQ(Ex.Trees.size(), 1u);
+    Trees.push_back(std::move(Ex.Trees[0]));
+    return Trees.back();
+  }
+};
+
+} // namespace
+
+TEST_F(ViewJSONTest, BottomUpStateSerializes) {
+  loadTree("struct Timer;\n"
+           "trait Resource;\n"
+           "goal Timer: Resource;");
+  ArgusInterface UI(Prog, Trees.back());
+  std::string JSON = viewToJSON(UI, Prog);
+  EXPECT_NE(JSON.find("\"view\":\"bottom-up\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"text\":\"[x] Timer: Resource\""),
+            std::string::npos);
+  EXPECT_NE(JSON.find("\"result\":\"no\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"kind\":\"header\""), std::string::npos);
+}
+
+TEST_F(ViewJSONTest, FoldStateAndViewSwitchAreReflected) {
+  loadTree("struct Vec<T>;\n"
+           "struct Timer;\n"
+           "trait Display;\n"
+           "impl<T> Display for Vec<T> where T: Display;\n"
+           "goal Vec<Timer>: Display;");
+  ArgusInterface UI(Prog, Trees.back());
+  EXPECT_NE(viewToJSON(UI, Prog).find("\"expanded\":false"),
+            std::string::npos);
+  UI.toggleExpand(1);
+  std::string JSON = viewToJSON(UI, Prog);
+  EXPECT_NE(JSON.find("\"expanded\":true"), std::string::npos);
+  EXPECT_NE(JSON.find("\"kind\":\"candidate\""), std::string::npos);
+
+  UI.setActiveView(ViewKind::TopDown);
+  EXPECT_NE(viewToJSON(UI, Prog).find("\"view\":\"top-down\""),
+            std::string::npos);
+}
+
+TEST_F(ViewJSONTest, GoalRowsCarryHoverAndDefinitions) {
+  loadTree("struct users::table;\n"
+           "trait Query;\n"
+           "goal users::table: Query;");
+  ArgusInterface UI(Prog, Trees.back());
+  std::string JSON = viewToJSON(UI, Prog, /*Pretty=*/true);
+  EXPECT_NE(JSON.find("\"hover\": \"users::table\\nQuery\""),
+            std::string::npos);
+  EXPECT_NE(JSON.find("\"name\": \"users::table\""), std::string::npos);
+  EXPECT_NE(JSON.find("app.tl:1:1"), std::string::npos);
+}

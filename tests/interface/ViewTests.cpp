@@ -1,0 +1,261 @@
+//===- tests/interface/ViewTests.cpp --------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "interface/View.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+const char *BevyProgram =
+    "#[external] struct ResMut<T>;\n"
+    "struct Timer;\n"
+    "#[external] trait Resource;\n"
+    "#[external] trait SystemParam;\n"
+    "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+    "#[external] trait System;\n"
+    "#[external, fn_trait] trait SystemParamFunction<Sig>;\n"
+    "#[external] struct IsFunctionSystem;\n"
+    "#[external] struct IsSystem;\n"
+    "#[external] trait IntoSystem<Marker>;\n"
+    "#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for "
+    "Func\n"
+    "  where Func: SystemParamFunction<fn(P)>, P: SystemParam;\n"
+    "#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: System;\n"
+    "impl Resource for Timer;\n"
+    "fn run_timer(Timer);\n"
+    "goal run_timer: IntoSystem<?M>;";
+
+class ViewTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+  std::vector<InferenceTree> Trees;
+
+  InferenceTree &loadBevy() { return loadTree(BevyProgram); }
+
+  InferenceTree &loadTree(std::string Source) {
+    ParseResult Result = parseSource(Prog, "app.tl", std::move(Source));
+    EXPECT_TRUE(Result.Success) << Result.describe(S.sources());
+    Solver Solve(Prog);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    EXPECT_EQ(Ex.Trees.size(), 1u);
+    Trees.push_back(std::move(Ex.Trees[0]));
+    return Trees.back();
+  }
+
+  static size_t findRow(const std::vector<ViewRow> &Rows,
+                        std::string_view Needle) {
+    for (size_t I = 0; I != Rows.size(); ++I)
+      if (Rows[I].Text.find(Needle) != std::string::npos)
+        return I;
+    return Rows.size();
+  }
+};
+
+} // namespace
+
+TEST_F(ViewTest, BottomUpShowsRankedLeavesCollapsed) {
+  ArgusInterface UI(Prog, loadBevy());
+  std::vector<ViewRow> Rows = UI.rows();
+  // Header + two leaves, nothing unfolded yet.
+  ASSERT_EQ(Rows.size(), 3u);
+  EXPECT_EQ(Rows[0].RowKind, ViewRow::Kind::Header);
+  // Inertia puts Timer: SystemParam first (the paper's Figure 9a).
+  EXPECT_NE(Rows[1].Text.find("Timer: SystemParam"), std::string::npos);
+  EXPECT_NE(Rows[2].Text.find("run_timer"), std::string::npos);
+  EXPECT_TRUE(Rows[1].Expandable);
+  EXPECT_FALSE(Rows[1].Expanded);
+}
+
+TEST_F(ViewTest, CollapseSeqUnfoldsTowardsRoot) {
+  ArgusInterface UI(Prog, loadBevy());
+  ASSERT_TRUE(UI.toggleExpand(1));
+  std::vector<ViewRow> Rows = UI.rows();
+  // Row 1 expanded: now shows the impl candidate and the parent goal.
+  ASSERT_GT(Rows.size(), 3u);
+  EXPECT_TRUE(Rows[1].Expanded);
+  EXPECT_EQ(Rows[2].RowKind, ViewRow::Kind::Candidate);
+  EXPECT_NE(Rows[2].Text.find("impl"), std::string::npos);
+  EXPECT_EQ(Rows[3].RowKind, ViewRow::Kind::Goal);
+  EXPECT_NE(Rows[3].Text.find("IntoSystem"), std::string::npos);
+  // Collapsing restores the original shape.
+  ASSERT_TRUE(UI.toggleExpand(1));
+  EXPECT_EQ(UI.rows().size(), 3u);
+}
+
+TEST_F(ViewTest, ExpandAllReachesTheRootFromEveryLeaf) {
+  ArgusInterface UI(Prog, loadBevy());
+  UI.expandAll();
+  std::vector<ViewRow> Rows = UI.rows();
+  // Both chains fully unfolded mention the root predicate.
+  size_t RootMentions = 0;
+  for (const ViewRow &Row : Rows)
+    if (Row.Text.find("IntoSystem<") != std::string::npos &&
+        Row.RowKind == ViewRow::Kind::Goal)
+      ++RootMentions;
+  EXPECT_GE(RootMentions, 2u);
+}
+
+TEST_F(ViewTest, TopDownStartsAtRootAndUnfoldsDownwards) {
+  ArgusInterface UI(Prog, loadBevy());
+  UI.setActiveView(ViewKind::TopDown);
+  std::vector<ViewRow> Rows = UI.rows();
+  ASSERT_EQ(Rows.size(), 2u); // Header + root.
+  EXPECT_NE(Rows[1].Text.find("IntoSystem"), std::string::npos);
+  ASSERT_TRUE(UI.toggleExpand(1));
+  Rows = UI.rows();
+  // Root expanded: both impl candidates visible — the branch point the
+  // static diagnostic hides.
+  size_t Impls = 0;
+  for (const ViewRow &Row : Rows)
+    Impls += Row.RowKind == ViewRow::Kind::Candidate;
+  EXPECT_EQ(Impls, 2u);
+}
+
+TEST_F(ViewTest, ShortTysHoverShowsFullPaths) {
+  loadTree("#[external] struct diesel::query_builder::SelectStatement<F>;\n"
+           "struct users::table;\n"
+           "trait Query;\n"
+           "goal diesel::query_builder::SelectStatement<users::table>: "
+           "Query;");
+  ArgusInterface UI(Prog, Trees.back());
+  std::vector<ViewRow> Rows = UI.rows();
+  size_t Row = findRow(Rows, "SelectStatement");
+  ASSERT_LT(Row, Rows.size());
+  // Rendered short...
+  EXPECT_EQ(Rows[Row].Text.find("diesel::query_builder"),
+            std::string::npos);
+  // ...full paths on hover (Figure 7a).
+  std::string Hover = UI.hoverMinibuffer(Row);
+  EXPECT_NE(Hover.find("diesel::query_builder::SelectStatement"),
+            std::string::npos);
+  EXPECT_NE(Hover.find("users::table"), std::string::npos);
+  EXPECT_NE(Hover.find("Query"), std::string::npos);
+}
+
+TEST_F(ViewTest, EllipsisToggleExpandsArgumentsInPlace) {
+  loadTree("struct Wide<A, B, C, D, E>;\n"
+           "struct P1; struct P2; struct P3; struct P4; struct P5;\n"
+           "trait Query;\n"
+           "goal Wide<P1, P2, P3, P4, P5>: Query;");
+  ArgusInterface UI(Prog, Trees.back());
+  std::vector<ViewRow> Rows = UI.rows();
+  size_t Row = findRow(Rows, "Wide");
+  ASSERT_LT(Row, Rows.size());
+  EXPECT_NE(Rows[Row].Text.find("Wide<...>"), std::string::npos);
+  ASSERT_TRUE(UI.toggleTypeEllipsis(Row));
+  Rows = UI.rows();
+  EXPECT_NE(Rows[Row].Text.find("Wide<P1, P2, P3, P4, P5>"),
+            std::string::npos);
+  // Toggling back restores the ellipsis.
+  ASSERT_TRUE(UI.toggleTypeEllipsis(Row));
+  Rows = UI.rows();
+  EXPECT_NE(Rows[Row].Text.find("Wide<...>"), std::string::npos);
+}
+
+TEST_F(ViewTest, AmbiguousShortNamesAreDisambiguated) {
+  loadTree("struct users::table;\n"
+           "struct posts::table;\n"
+           "trait AppearsOnTable<QS>;\n"
+           "goal posts::table: AppearsOnTable<users::table>;");
+  ArgusInterface UI(Prog, Trees.back());
+  std::vector<ViewRow> Rows = UI.rows();
+  size_t Row = findRow(Rows, "AppearsOnTable");
+  ASSERT_LT(Row, Rows.size());
+  // Unlike the rustc renderer, Argus shows the distinguishing parent
+  // segment.
+  EXPECT_NE(Rows[Row].Text.find("posts::table"), std::string::npos);
+  EXPECT_NE(Rows[Row].Text.find("users::table"), std::string::npos);
+}
+
+TEST_F(ViewTest, ImplsPopupListsAllImplementors) {
+  ArgusInterface UI(Prog, loadBevy());
+  std::vector<ViewRow> Rows = UI.rows();
+  size_t Row = findRow(Rows, "Timer: SystemParam");
+  ASSERT_LT(Row, Rows.size());
+  std::vector<std::string> Popup = UI.implsPopup(Row);
+  ASSERT_EQ(Popup.size(), 1u);
+  EXPECT_EQ(Popup[0],
+            "impl<T> SystemParam for ResMut<T> where T: Resource");
+}
+
+TEST_F(ViewTest, DefinitionLinksTargetDeclarations) {
+  ArgusInterface UI(Prog, loadBevy());
+  std::vector<ViewRow> Rows = UI.rows();
+  size_t Row = findRow(Rows, "Timer: SystemParam");
+  ASSERT_LT(Row, Rows.size());
+  std::vector<DefinitionLink> Links = UI.definitionLinks(Row);
+  ASSERT_EQ(Links.size(), 2u);
+  EXPECT_EQ(Links[0].Name, "Timer");
+  EXPECT_EQ(Links[1].Name, "SystemParam");
+  // Timer is declared on line 2 of the source.
+  LineColumn LC = S.sources().lineColumn(Links[0].Target.File,
+                                         Links[0].Target.Begin);
+  EXPECT_EQ(LC.Line, 2u);
+}
+
+TEST_F(ViewTest, RenderTextShowsMarkersAndFolds) {
+  ArgusInterface UI(Prog, loadBevy());
+  std::string Text = UI.renderText();
+  EXPECT_NE(Text.find("== Bottom Up =="), std::string::npos);
+  EXPECT_NE(Text.find("> [x] Timer: SystemParam"), std::string::npos);
+  UI.setActiveView(ViewKind::TopDown);
+  Text = UI.renderText();
+  EXPECT_NE(Text.find("== Top Down =="), std::string::npos);
+}
+
+TEST_F(ViewTest, SearchFindsGoalsCaseInsensitively) {
+  ArgusInterface UI(Prog, loadBevy());
+  std::vector<IGoalId> Matches = UI.searchGoals("systemparam");
+  ASSERT_FALSE(Matches.empty());
+  TypePrinter Printer(Prog);
+  bool SawTimer = false;
+  for (IGoalId Id : Matches)
+    SawTimer |= Printer.print(UI.tree().goal(Id).Pred) ==
+                "Timer: SystemParam";
+  EXPECT_TRUE(SawTimer);
+  EXPECT_TRUE(UI.searchGoals("no-such-trait-here").empty());
+  // An empty needle matches everything.
+  EXPECT_EQ(UI.searchGoals("").size(), UI.tree().numGoals());
+}
+
+TEST_F(ViewTest, RevealGoalInTopDown) {
+  ArgusInterface UI(Prog, loadBevy());
+  UI.setActiveView(ViewKind::TopDown);
+  std::vector<IGoalId> Matches = UI.searchGoals("Timer: SystemParam");
+  ASSERT_FALSE(Matches.empty());
+  // Not visible while the tree is collapsed.
+  EXPECT_EQ(UI.rowOf(Matches[0]), UI.rows().size());
+  ASSERT_TRUE(UI.revealGoal(Matches[0]));
+  size_t Row = UI.rowOf(Matches[0]);
+  ASSERT_LT(Row, UI.rows().size());
+  EXPECT_NE(UI.rows()[Row].Text.find("Timer: SystemParam"),
+            std::string::npos);
+}
+
+TEST_F(ViewTest, RevealGoalInBottomUp) {
+  ArgusInterface UI(Prog, loadBevy());
+  // The root predicate is hidden until a leaf chain unfolds to it.
+  std::vector<IGoalId> Matches = UI.searchGoals("IntoSystem");
+  ASSERT_FALSE(Matches.empty());
+  IGoalId Root = UI.tree().rootId();
+  EXPECT_EQ(UI.rowOf(Root), UI.rows().size());
+  ASSERT_TRUE(UI.revealGoal(Root));
+  EXPECT_LT(UI.rowOf(Root), UI.rows().size());
+}
+
+TEST_F(ViewTest, HeaderAndCandidateRowsAreNotExpandable) {
+  ArgusInterface UI(Prog, loadBevy());
+  EXPECT_FALSE(UI.toggleExpand(0)); // Header.
+  ASSERT_TRUE(UI.toggleExpand(1));
+  EXPECT_FALSE(UI.toggleExpand(2)); // Candidate row.
+}

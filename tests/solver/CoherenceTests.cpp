@@ -1,0 +1,104 @@
+//===- tests/solver/CoherenceTests.cpp ------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Coherence.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class CoherenceTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+};
+
+} // namespace
+
+TEST_F(CoherenceTest, DisjointImplsDoNotOverlap) {
+  load("struct A;\n"
+       "struct B;\n"
+       "trait Foo;\n"
+       "impl Foo for A;\n"
+       "impl Foo for B;");
+  EXPECT_TRUE(checkCoherence(Prog).empty());
+}
+
+TEST_F(CoherenceTest, BlanketImplOverlapsConcrete) {
+  load("struct A;\n"
+       "trait Foo;\n"
+       "impl Foo for A;\n"
+       "impl<T> Foo for T;");
+  std::vector<CoherenceError> Errors = checkCoherence(Prog);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].ErrorKind, CoherenceError::Kind::Overlap);
+}
+
+TEST_F(CoherenceTest, MarkerTypeParameterAvoidsOverlap) {
+  // Bevy's trick (Section 2.3, footnote 1): distinct marker arguments
+  // make otherwise-overlapping blanket impls coherent.
+  load("struct IsFunctionSystem;\n"
+       "struct IsSystem;\n"
+       "trait IntoSystem<Marker>;\n"
+       "impl<T> IntoSystem<IsFunctionSystem> for T;\n"
+       "impl<T> IntoSystem<IsSystem> for T;");
+  EXPECT_TRUE(checkCoherence(Prog).empty());
+}
+
+TEST_F(CoherenceTest, SameMarkerStillOverlaps) {
+  load("struct M;\n"
+       "trait IntoSystem<Marker>;\n"
+       "impl<T> IntoSystem<M> for T;\n"
+       "impl<U> IntoSystem<M> for U;");
+  std::vector<CoherenceError> Errors = checkCoherence(Prog);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].ErrorKind, CoherenceError::Kind::Overlap);
+}
+
+TEST_F(CoherenceTest, OrphanRuleViolationDetected) {
+  load("#[external] struct Vec<T>;\n"
+       "#[external] trait Display;\n"
+       "impl<T> Display for Vec<T>;");
+  std::vector<CoherenceError> Errors = checkCoherence(Prog);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_EQ(Errors[0].ErrorKind, CoherenceError::Kind::Orphan);
+}
+
+TEST_F(CoherenceTest, LocalTypeOrLocalTraitSatisfiesOrphanRule) {
+  load("#[external] struct Vec<T>;\n"
+       "#[external] trait Display;\n"
+       "struct Wrapper;\n"
+       "trait LocalTrait;\n"
+       "impl Display for Wrapper;\n"       // Local type: fine.
+       "impl<T> LocalTrait for Vec<T>;"); // Local trait: fine.
+  EXPECT_TRUE(checkCoherence(Prog).empty());
+}
+
+TEST_F(CoherenceTest, ExternalCrateImplsAreExemptFromOurOrphanCheck) {
+  // An #[external] impl of an external trait for an external type models
+  // the defining crate's own impl.
+  load("#[external] struct Vec<T>;\n"
+       "#[external] trait Display;\n"
+       "#[external] impl<T> Display for Vec<T>;");
+  EXPECT_TRUE(checkCoherence(Prog).empty());
+}
+
+TEST_F(CoherenceTest, OverlapIsCheckedPerTrait) {
+  load("struct A;\n"
+       "trait Foo;\n"
+       "trait Bar;\n"
+       "impl Foo for A;\n"
+       "impl Bar for A;");
+  EXPECT_TRUE(checkCoherence(Prog).empty());
+}

@@ -1,0 +1,137 @@
+//===- tests/solver/InferContextTests.cpp ---------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/InferContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class InferContextTest : public ::testing::Test {
+protected:
+  StringInterner Interner;
+  TypeArena Arena;
+  InferContext Infcx{Arena, 0};
+
+  Symbol name(std::string_view Text) { return Interner.intern(Text); }
+};
+
+} // namespace
+
+TEST_F(InferContextTest, UnifyBindsVariables) {
+  TypeId V = Infcx.freshVar();
+  TypeId Timer = Arena.adt(name("Timer"));
+  EXPECT_TRUE(Infcx.unify(V, Timer));
+  EXPECT_EQ(Infcx.resolve(V), Timer);
+}
+
+TEST_F(InferContextTest, UnifyIsSymmetric) {
+  TypeId V = Infcx.freshVar();
+  TypeId Timer = Arena.adt(name("Timer"));
+  EXPECT_TRUE(Infcx.unify(Timer, V));
+  EXPECT_EQ(Infcx.resolve(V), Timer);
+}
+
+TEST_F(InferContextTest, StructuralUnification) {
+  TypeId V = Infcx.freshVar();
+  TypeId VecV = Arena.adt(name("Vec"), {V});
+  TypeId VecTimer = Arena.adt(name("Vec"), {Arena.adt(name("Timer"))});
+  EXPECT_TRUE(Infcx.unify(VecV, VecTimer));
+  EXPECT_EQ(Infcx.resolve(V), Arena.adt(name("Timer")));
+}
+
+TEST_F(InferContextTest, MismatchedConstructorsFail) {
+  TypeId VecUnit = Arena.adt(name("Vec"), {Arena.unit()});
+  TypeId SetUnit = Arena.adt(name("Set"), {Arena.unit()});
+  EXPECT_FALSE(Infcx.unify(VecUnit, SetUnit));
+}
+
+TEST_F(InferContextTest, OccursCheckRejectsInfiniteTypes) {
+  TypeId V = Infcx.freshVar();
+  TypeId VecV = Arena.adt(name("Vec"), {V});
+  EXPECT_FALSE(Infcx.unify(V, VecV));
+}
+
+TEST_F(InferContextTest, OccursCheckThroughBindings) {
+  TypeId A = Infcx.freshVar();
+  TypeId B = Infcx.freshVar();
+  ASSERT_TRUE(Infcx.unify(A, Arena.adt(name("Vec"), {B})));
+  // B := Vec<A> would create A := Vec<Vec<A>> indirectly.
+  EXPECT_FALSE(Infcx.unify(B, Arena.adt(name("Vec"), {A})));
+}
+
+TEST_F(InferContextTest, VarVarUnification) {
+  TypeId A = Infcx.freshVar();
+  TypeId B = Infcx.freshVar();
+  EXPECT_TRUE(Infcx.unify(A, B));
+  TypeId Timer = Arena.adt(name("Timer"));
+  EXPECT_TRUE(Infcx.unify(A, Timer));
+  EXPECT_EQ(Infcx.resolve(B), Timer);
+}
+
+TEST_F(InferContextTest, SnapshotRollback) {
+  TypeId V = Infcx.freshVar();
+  InferContext::Snapshot Snap = Infcx.snapshot();
+  ASSERT_TRUE(Infcx.unify(V, Arena.unit()));
+  EXPECT_TRUE(Infcx.isBound(Arena.get(V).InferIndex));
+  Infcx.rollbackTo(Snap);
+  EXPECT_FALSE(Infcx.isBound(Arena.get(V).InferIndex));
+  // Can rebind after rollback.
+  EXPECT_TRUE(Infcx.unify(V, Arena.adt(name("Timer"))));
+}
+
+TEST_F(InferContextTest, RegionsAreErasedDuringUnification) {
+  TypeId RefA = Arena.reference(Region::named(name("a")), false,
+                                Arena.unit());
+  TypeId RefStatic =
+      Arena.reference(Region::makeStatic(), false, Arena.unit());
+  EXPECT_TRUE(Infcx.unify(RefA, RefStatic));
+  // But mutability is structural.
+  TypeId RefMut = Arena.reference(Region::makeStatic(), true, Arena.unit());
+  EXPECT_FALSE(Infcx.unify(RefA, RefMut));
+}
+
+TEST_F(InferContextTest, ParamsUnifyOnlyWithThemselves) {
+  TypeId T = Arena.param(name("T"));
+  TypeId U = Arena.param(name("U"));
+  EXPECT_TRUE(Infcx.unify(T, T));
+  EXPECT_FALSE(Infcx.unify(T, U));
+}
+
+TEST_F(InferContextTest, RigidProjectionsUnifyStructurally) {
+  TypeId SelfTy = Arena.adt(name("Table"));
+  TypeId P1 = Arena.projection(SelfTy, name("Tr"), {}, name("Count"));
+  TypeId P2 = Arena.projection(SelfTy, name("Tr"), {}, name("Count"));
+  TypeId P3 = Arena.projection(SelfTy, name("Tr"), {}, name("Other"));
+  EXPECT_TRUE(Infcx.unify(P1, P2));
+  EXPECT_FALSE(Infcx.unify(P1, P3));
+}
+
+TEST_F(InferContextTest, CountUnresolvedDeduplicates) {
+  TypeId A = Infcx.freshVar();
+  TypeId Pair = Arena.tuple({A, A});
+  EXPECT_EQ(Infcx.countUnresolved(Pair), 1u);
+  ASSERT_TRUE(Infcx.unify(A, Arena.unit()));
+  EXPECT_EQ(Infcx.countUnresolved(Pair), 0u);
+}
+
+TEST_F(InferContextTest, ResolvePredicate) {
+  TypeId A = Infcx.freshVar();
+  Predicate P = Predicate::traitBound(A, name("Display"), {A});
+  ASSERT_TRUE(Infcx.unify(A, Arena.unit()));
+  Predicate Resolved = Infcx.resolve(P);
+  EXPECT_EQ(Resolved.Subject, Arena.unit());
+  EXPECT_EQ(Resolved.Args[0], Arena.unit());
+  EXPECT_TRUE(Infcx.isFullyResolved(Resolved));
+}
+
+TEST_F(InferContextTest, FirstFreshRespectsSourceVariables) {
+  InferContext Scoped(Arena, 5);
+  TypeId V = Scoped.freshVar();
+  EXPECT_EQ(Arena.get(V).InferIndex, 5u);
+}

@@ -1,0 +1,245 @@
+//===- tests/solver/SolverPropertyTests.cpp -------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over randomly generated trait programs: the solver's
+/// AND/OR result invariants, determinism, memoization transparency, and
+/// extraction consistency must hold for every program the generator can
+/// produce, not just the corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "solver/Solver.h"
+#include "support/Random.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+/// Generates a random (syntactically valid, declare-before-use) trait
+/// program: a pool of nullary and unary structs, traits, impls with
+/// random where-clauses, and concrete/inference goals. Recursion is
+/// possible (the depth limit handles it); ambiguity is possible (the
+/// fixpoint handles it).
+std::string randomProgram(uint64_t Seed) {
+  Rng Gen(Seed);
+  std::string Out;
+
+  const size_t NumStructs = 3 + Gen.below(4); // S0.. nullary
+  const size_t NumGenerics = 1 + Gen.below(3); // G0<T>..
+  const size_t NumTraits = 2 + Gen.below(3);
+  for (size_t I = 0; I != NumStructs; ++I)
+    Out += (Gen.chance(0.4) ? "#[external] struct S" : "struct S") +
+           std::to_string(I) + ";\n";
+  for (size_t I = 0; I != NumGenerics; ++I)
+    Out += (Gen.chance(0.4) ? "#[external] struct G" : "struct G") +
+           std::to_string(I) + "<T>;\n";
+  for (size_t I = 0; I != NumTraits; ++I)
+    Out += (Gen.chance(0.5) ? "#[external] trait Tr" : "trait Tr") +
+           std::to_string(I) + ";\n";
+
+  auto RandomConcrete = [&]() {
+    if (Gen.chance(0.3))
+      return "G" + std::to_string(Gen.below(NumGenerics)) + "<S" +
+             std::to_string(Gen.below(NumStructs)) + ">";
+    return "S" + std::to_string(Gen.below(NumStructs));
+  };
+  auto RandomTrait = [&]() {
+    return "Tr" + std::to_string(Gen.below(NumTraits));
+  };
+
+  const size_t NumImpls = 2 + Gen.below(6);
+  for (size_t I = 0; I != NumImpls; ++I) {
+    switch (Gen.below(3)) {
+    case 0: // Concrete impl.
+      Out += "impl " + RandomTrait() + " for " + RandomConcrete() + ";\n";
+      break;
+    case 1: { // Conditional impl on a generic container.
+      std::string Trait = RandomTrait();
+      Out += "impl<T> " + Trait + " for G" +
+             std::to_string(Gen.below(NumGenerics)) + "<T> where T: " +
+             RandomTrait() + ";\n";
+      break;
+    }
+    case 2: { // Blanket impl. The bound trait index strictly decreases
+              // so blanket chains form a DAG: without a cache, mutually
+              // recursive blanket impls make the candidate search
+              // exponential (the budget would catch it, but these tests
+              // exercise the semantics, not the limiter).
+      size_t Target = Gen.below(NumTraits);
+      if (Target == 0)
+        break;
+      Out += "impl<T> Tr" + std::to_string(Target) + " for T where T: Tr" +
+             std::to_string(Gen.below(Target)) + ";\n";
+      break;
+    }
+    }
+  }
+
+  const size_t NumGoals = 1 + Gen.below(3);
+  for (size_t I = 0; I != NumGoals; ++I) {
+    if (Gen.chance(0.25))
+      Out += "goal ?X" + std::to_string(I) + ": " + RandomTrait() + ";\n";
+    else
+      Out += "goal " + RandomConcrete() + ": " + RandomTrait() + ";\n";
+  }
+  return Out;
+}
+
+/// Recomputes a goal's result from its recorded candidates and checks
+/// the selection semantics; recurses over the whole forest.
+void checkGoalInvariants(const ProofForest &Forest, GoalNodeId Id) {
+  const GoalNode &Goal = Forest.goal(Id);
+  if (Goal.FromCache || Goal.Result == EvalResult::Overflow)
+    return; // Cached nodes carry no candidates; overflow short-circuits.
+
+  size_t Successes = 0;
+  EvalResult Folded = EvalResult::No;
+  for (CandNodeId CandId : Goal.Candidates) {
+    const CandidateNode &Cand = Forest.candidate(CandId);
+    Successes += Cand.Result == EvalResult::Yes;
+    Folded = disjoin(Folded, Cand.Result);
+
+    // A candidate's result conjoins its subgoals (builtin candidates may
+    // have none and carry their own verdict).
+    if (!Cand.SubGoals.empty()) {
+      EvalResult Conj = EvalResult::Yes;
+      for (GoalNodeId Sub : Cand.SubGoals) {
+        EXPECT_EQ(Forest.goal(Sub).ParentCandidate, CandId);
+        Conj = conjoin(Conj, Forest.goal(Sub).Result);
+        checkGoalInvariants(Forest, Sub);
+      }
+      if (Cand.Kind == CandidateKind::Impl)
+        EXPECT_EQ(Cand.Result, Conj) << "candidate result must conjoin "
+                                        "its subgoals";
+    }
+  }
+
+  switch (Goal.Result) {
+  case EvalResult::Yes:
+    EXPECT_EQ(Successes, 1u) << "a yes goal selects exactly one candidate";
+    EXPECT_TRUE(Goal.SelectedCandidate.isValid() ||
+                Goal.Pred.Kind != PredicateKind::Trait);
+    break;
+  case EvalResult::Maybe:
+    // Ambiguity: several successes, or residual maybes.
+    EXPECT_TRUE(Successes > 1 || Folded == EvalResult::Maybe);
+    break;
+  case EvalResult::No:
+    EXPECT_EQ(Successes, 0u);
+    break;
+  case EvalResult::Overflow:
+    break;
+  }
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(SolverPropertyTest, ResultLatticeInvariantsHold) {
+  Session S;
+  Program Prog(S);
+  std::string Source = randomProgram(GetParam());
+  ParseResult Parsed = parseSource(Prog, "fuzz.tl", Source);
+  ASSERT_TRUE(Parsed.Success) << Source;
+
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  for (GoalNodeId Root : Out.FinalRoots)
+    checkGoalInvariants(Out.Forest, Root);
+}
+
+TEST_P(SolverPropertyTest, SolvingIsDeterministic) {
+  std::string Source = randomProgram(GetParam());
+  auto Run = [&]() {
+    Session S;
+    Program Prog(S);
+    EXPECT_TRUE(parseSource(Prog, "fuzz.tl", Source).Success);
+    Solver Solve(Prog);
+    return Solve.solve().FinalResults;
+  };
+  EXPECT_EQ(Run(), Run());
+}
+
+TEST_P(SolverPropertyTest, MemoizationIsTransparent) {
+  std::string Source = randomProgram(GetParam());
+  Session S1, S2;
+  Program P1(S1), P2(S2);
+  ASSERT_TRUE(parseSource(P1, "fuzz.tl", Source).Success);
+  ASSERT_TRUE(parseSource(P2, "fuzz.tl", Source).Success);
+
+  Solver Plain(P1);
+  SolverOptions Memo;
+  Memo.EnableMemoization = true;
+  Solver Cached(P2, Memo);
+  EXPECT_EQ(Plain.solve().FinalResults, Cached.solve().FinalResults)
+      << Source;
+}
+
+TEST_P(SolverPropertyTest, ExtractionPreservesFailureStructure) {
+  Session S;
+  Program Prog(S);
+  ASSERT_TRUE(parseSource(Prog, "fuzz.tl", randomProgram(GetParam()))
+                  .Success);
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+
+  // One tree per failing goal, and it is rooted at a failure with at
+  // least one failed leaf.
+  size_t Failing = 0;
+  for (EvalResult Result : Out.FinalResults)
+    Failing += Result != EvalResult::Yes;
+  EXPECT_EQ(Ex.Trees.size(), Failing);
+  for (const InferenceTree &Tree : Ex.Trees) {
+    EXPECT_TRUE(idealFailed(Tree.root().Result));
+    EXPECT_FALSE(Tree.failedLeaves().empty());
+    // No internal-kind successes survive default extraction, and every
+    // surviving node's parent links are consistent.
+    for (size_t I = 0; I != Tree.numGoals(); ++I) {
+      const IdealGoal &Goal = Tree.goal(IGoalId(uint32_t(I)));
+      if (!isUserFacing(Goal.Pred.Kind))
+        EXPECT_TRUE(idealFailed(Goal.Result));
+      if (Goal.Parent.isValid()) {
+        const IdealCandidate &Parent = Tree.candidate(Goal.Parent);
+        bool Found = false;
+        for (IGoalId Sub : Parent.SubGoals)
+          Found |= Sub == Goal.Id;
+        EXPECT_TRUE(Found);
+      }
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, FailedLeavesAreFullyResolvedOrAmbiguous) {
+  Session S;
+  Program Prog(S);
+  ASSERT_TRUE(parseSource(Prog, "fuzz.tl", randomProgram(GetParam()))
+                  .Success);
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  for (const InferenceTree &Tree : Ex.Trees)
+    for (IGoalId Leaf : Tree.failedLeaves()) {
+      const IdealGoal &Goal = Tree.goal(Leaf);
+      // A No/Overflow verdict on a leaf is definite; only Maybe leaves
+      // may carry unresolved inference variables... and residual Maybe
+      // goals must carry at least one (otherwise they would have
+      // resolved).
+      if (Goal.Result == EvalResult::Maybe &&
+          Goal.Pred.Kind == PredicateKind::Trait &&
+          Tree.goal(Tree.rootId()).Result == EvalResult::Maybe)
+        EXPECT_GE(Goal.UnresolvedVars + Tree.root().UnresolvedVars, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));

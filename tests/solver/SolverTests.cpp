@@ -1,0 +1,580 @@
+//===- tests/solver/SolverTests.cpp ---------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+#include "tlang/Parser.h"
+#include "tlang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+
+  /// Renders the failed leaves of the first goal for easy assertions.
+  std::vector<std::string> failedLeafStrings(const SolveOutcome &Out,
+                                             Solver &Solve,
+                                             size_t GoalIndex = 0) {
+    PrintOptions Opts;
+    Opts.Resolve = [&](TypeId T) {
+      return Solve.inferContext().resolve(T);
+    };
+    TypePrinter Printer(Prog, Opts);
+    std::vector<std::string> Result;
+    for (GoalNodeId Leaf :
+         Out.Forest.failedLeaves(Out.FinalRoots[GoalIndex]))
+      Result.push_back(Printer.print(Out.Forest.goal(Leaf).Pred));
+    return Result;
+  }
+};
+
+} // namespace
+
+TEST_F(SolverTest, DirectImplSucceeds) {
+  load("struct Timer;\n"
+       "trait Resource;\n"
+       "impl Resource for Timer;\n"
+       "goal Timer: Resource;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  ASSERT_EQ(Out.FinalResults.size(), 1u);
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  EXPECT_FALSE(Out.hasErrors());
+}
+
+TEST_F(SolverTest, MissingImplFails) {
+  load("struct Timer;\n"
+       "trait Resource;\n"
+       "goal Timer: Resource;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::No);
+  EXPECT_TRUE(Out.hasErrors());
+  // The failing goal is its own failed leaf: no candidates at all.
+  auto Leaves = Out.Forest.failedLeaves(Out.FinalRoots[0]);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], Out.FinalRoots[0]);
+}
+
+TEST_F(SolverTest, WhereClauseChainSucceeds) {
+  load("struct Vec<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl Display for Timer;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal Vec<Vec<Timer>>: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, WhereClauseChainFailsAtTheLeaf) {
+  load("struct Vec<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal Vec<Vec<Timer>>: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::No);
+  auto Leaves = failedLeafStrings(Out, Solve);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], "Timer: Display");
+}
+
+TEST_F(SolverTest, ParamEnvAssumptionProvesGoal) {
+  load("struct Vec<T>;\n"
+       "trait Display;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal Vec<?T>: Display where ?T: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, BevyStyleBranchPointBlamesSystemParam) {
+  // The Figure 4 structure: run_timer fails IntoSystem because Timer (a
+  // bare parameter) is not a SystemParam; the other branch (System) also
+  // fails. The failed leaves must mention Timer: SystemParam — the key
+  // bound the rustc diagnostic elides.
+  load("#[external] struct ResMut<T>;\n"
+       "struct Timer;\n"
+       "#[external] trait Resource;\n"
+       "#[external] trait SystemParam;\n"
+       "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+       "#[external] trait System;\n"
+       "#[external, fn_trait] trait SystemParamFunction<Sig>;\n"
+       "#[external] struct IsFunctionSystem;\n"
+       "#[external] struct IsSystem;\n"
+       "#[external] trait IntoSystem<Marker>;\n"
+       "#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for "
+       "Func\n"
+       "  where Func: SystemParamFunction<fn(P)>, P: SystemParam;\n"
+       "#[external] impl<Sys> IntoSystem<IsSystem> for Sys where Sys: "
+       "System;\n"
+       "impl Resource for Timer;\n"
+       "fn run_timer(Timer);\n"
+       "goal run_timer: IntoSystem<?M>;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::No);
+  auto Leaves = failedLeafStrings(Out, Solve);
+  ASSERT_EQ(Leaves.size(), 2u);
+  // Both branches of the inference tree fail; Timer: SystemParam is among
+  // the leaves (order is tree order here, ranking comes later).
+  EXPECT_TRUE(Leaves[0] == "Timer: SystemParam" ||
+              Leaves[1] == "Timer: SystemParam")
+      << Leaves[0] << " / " << Leaves[1];
+  EXPECT_TRUE(Leaves[0] == "fn(Timer) {run_timer}: System" ||
+              Leaves[1] == "fn(Timer) {run_timer}: System");
+}
+
+TEST_F(SolverTest, FixedBevyProgramSucceeds) {
+  load("#[external] struct ResMut<T>;\n"
+       "struct Timer;\n"
+       "#[external] trait Resource;\n"
+       "#[external] trait SystemParam;\n"
+       "#[external] impl<T> SystemParam for ResMut<T> where T: Resource;\n"
+       "#[external, fn_trait] trait SystemParamFunction<Sig>;\n"
+       "#[external] struct IsFunctionSystem;\n"
+       "#[external] trait IntoSystem<Marker>;\n"
+       "#[external] impl<P, Func> IntoSystem<(IsFunctionSystem, fn(P))> for "
+       "Func\n"
+       "  where Func: SystemParamFunction<fn(P)>, P: SystemParam;\n"
+       "impl Resource for Timer;\n"
+       "fn run_timer(ResMut<Timer>);\n"
+       "goal run_timer: IntoSystem<?M>;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  // The marker was inferred along the way.
+  EXPECT_EQ(Solve.inferContext().countUnresolved(
+                Prog.goals()[0].Pred.Args[0]),
+            0u);
+}
+
+TEST_F(SolverTest, AstRecursionOverflows) {
+  // Figure 3: the impls form a cycle; the solver must report overflow
+  // (E0275), not hang.
+  load("trait AstAssocs: Sized { type Data: AssocData<Self>; }\n"
+       "trait AssocData<A>;\n"
+       "struct EmptyNode;\n"
+       "impl<Data> AstAssocs for Data where Data: AssocData<Data> {\n"
+       "  type Data = Data;\n"
+       "}\n"
+       "impl<A> AssocData<A> for EmptyNode where A: AstAssocs;\n"
+       "goal EmptyNode: AstAssocs;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Overflow);
+  // The overflow leaf repeats the root predicate.
+  auto Leaves = failedLeafStrings(Out, Solve);
+  ASSERT_FALSE(Leaves.empty());
+  EXPECT_EQ(Leaves[0], "EmptyNode: AstAssocs");
+}
+
+TEST_F(SolverTest, DepthLimitCatchesGrowingRecursion) {
+  load("struct Vec<T>;\n"
+       "struct Seed;\n"
+       "trait Grow;\n"
+       "impl<T> Grow for T where Vec<T>: Grow;\n"
+       "goal Seed: Grow;");
+  SolverOptions Opts;
+  Opts.MaxDepth = 16;
+  Solver Solve(Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Overflow);
+}
+
+TEST_F(SolverTest, ProjectionNormalizationSucceeds) {
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "impl AppearsInFromClause<users::table> for users::table {\n"
+       "  type Count = Once;\n"
+       "}\n"
+       "goal <users::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, ProjectionMismatchFails) {
+  // The Diesel Figure 2 shape: Count normalizes to Never, expected Once.
+  load("struct Once;\n"
+       "struct Never;\n"
+       "struct users::table;\n"
+       "struct posts::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "impl AppearsInFromClause<users::table> for users::table {\n"
+       "  type Count = Once;\n"
+       "}\n"
+       "impl AppearsInFromClause<users::table> for posts::table {\n"
+       "  type Count = Never;\n"
+       "}\n"
+       "goal <posts::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::No);
+}
+
+TEST_F(SolverTest, NormalizesToNodeCapturesValue) {
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "impl AppearsInFromClause<users::table> for users::table {\n"
+       "  type Count = Once;\n"
+       "}\n"
+       "goal <users::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  // Find the NormalizesTo node and check its captured value.
+  bool Found = false;
+  for (size_t I = 0; I != Out.Forest.numGoals(); ++I) {
+    const GoalNode &Node = Out.Forest.goal(GoalNodeId(uint32_t(I)));
+    if (Node.Pred.Kind == PredicateKind::NormalizesTo &&
+        Node.NormalizedValue.isValid()) {
+      EXPECT_EQ(Node.NormalizedValue, S.types().adt(S.name("Once")));
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(SolverTest, AmbiguityResolvedAcrossFixpointRounds) {
+  // Goal 1 is ambiguous in round 0 (two impls could apply to ?T); goal 2
+  // pins ?T via projection; round 1 resolves goal 1. This is the
+  // interleaving of Section 4.
+  load("struct A;\n"
+       "struct B;\n"
+       "struct Holder<T>;\n"
+       "trait Display;\n"
+       "impl Display for A;\n"
+       "impl Display for B;\n"
+       "trait Picker { type Choice; }\n"
+       "impl Picker for Holder<A> { type Choice = A; }\n"
+       "goal ?T: Display;\n"
+       "goal <Holder<A> as Picker>::Choice == ?T;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::Yes);
+  EXPECT_GE(Out.RoundsUsed, 2u);
+  // The first goal has two snapshots: an ambiguous one and a resolved
+  // one.
+  ASSERT_EQ(Out.Snapshots[0].size(), 2u);
+  EXPECT_EQ(Out.Forest.goal(Out.Snapshots[0][0]).Result,
+            EvalResult::Maybe);
+  EXPECT_EQ(Out.Forest.goal(Out.Snapshots[0][1]).Result, EvalResult::Yes);
+}
+
+TEST_F(SolverTest, ResidualAmbiguityIsAnError) {
+  load("struct A;\n"
+       "struct B;\n"
+       "trait Display;\n"
+       "impl Display for A;\n"
+       "impl Display for B;\n"
+       "goal ?T: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Maybe);
+  EXPECT_TRUE(Out.hasErrors());
+}
+
+TEST_F(SolverTest, SpeculationGroupsAreAssigned) {
+  load("struct Vec<T>;\n"
+       "trait ToString;\n"
+       "trait CustomToString;\n"
+       "impl<T> CustomToString for Vec<T>;\n"
+       "#[speculative] goal Vec<()>: ToString;\n"
+       "#[speculative] goal Vec<()>: CustomToString;\n"
+       "goal Vec<()>: CustomToString;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.SpeculationGroups[0], 0u);
+  EXPECT_EQ(Out.SpeculationGroups[1], 0u);
+  EXPECT_EQ(Out.SpeculationGroups[2], UINT32_MAX);
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::No);
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, FnTraitBuiltinMatchesSignature) {
+  load("struct Timer;\n"
+       "#[fn_trait] trait Callable<Sig>;\n"
+       "fn tick(Timer) -> Timer;\n"
+       "goal tick: Callable<fn(Timer) -> Timer>;\n"
+       "goal tick: Callable<fn(Timer)>;\n"
+       "goal fn(Timer) -> Timer: Callable<fn(Timer) -> Timer>;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::No); // Return type differs.
+  EXPECT_EQ(Out.FinalResults[2], EvalResult::Yes); // fn pointers too.
+}
+
+TEST_F(SolverTest, FnTraitOutputNormalizes) {
+  load("struct Timer;\n"
+       "#[fn_trait] trait Callable<Sig> { type Output; }\n"
+       "fn tick(Timer) -> Timer;\n"
+       "goal <tick as Callable<fn(Timer) -> Timer>>::Output == Timer;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, AssocTypeBoundsAreEnforced) {
+  // An impl whose binding violates the trait's associated-type bound
+  // fails through that bound.
+  load("trait Meta;\n"
+       "struct Good;\n"
+       "struct Bad;\n"
+       "impl Meta for Good;\n"
+       "trait Node { type Info: Meta; }\n"
+       "struct N1;\n"
+       "struct N2;\n"
+       "impl Node for N1 { type Info = Good; }\n"
+       "impl Node for N2 { type Info = Bad; }\n"
+       "goal N1: Node;\n"
+       "goal N2: Node;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::No);
+  auto Leaves = failedLeafStrings(Out, Solve, 1);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], "Bad: Meta");
+}
+
+TEST_F(SolverTest, EvaluationBudgetForcesOverflow) {
+  // A deep (but finite) search that exceeds the global evaluation budget
+  // must come back as overflow rather than running arbitrarily long.
+  load("struct V1<T>; struct V2<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl Display for Timer;\n"
+       "impl<T> Display for V1<T> where T: Display;\n"
+       "impl<T> Display for V2<T> where V1<T>: Display;\n"
+       "goal V2<V2<V2<V2<Timer>>>>: Display;");
+  SolverOptions Tight;
+  Tight.MaxGoalEvaluations = 10;
+  Solver Limited(Prog, Tight);
+  SolveOutcome Out = Limited.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Overflow);
+
+  Solver Unlimited(Prog);
+  EXPECT_EQ(Unlimited.solve().FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, AmbiguousSelfRecordsAMarkerCandidate) {
+  load("struct A;\n"
+       "trait Display;\n"
+       "impl Display for A;\n"
+       "goal ?T: Display;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Maybe);
+  const GoalNode &Root = Out.Forest.goal(Out.FinalRoots[0]);
+  ASSERT_EQ(Root.Candidates.size(), 1u);
+  const CandidateNode &Cand = Out.Forest.candidate(Root.Candidates[0]);
+  EXPECT_EQ(Cand.Kind, CandidateKind::Builtin);
+  EXPECT_EQ(S.text(Cand.BuiltinName), "ambiguous-self");
+  EXPECT_EQ(Cand.Result, EvalResult::Maybe);
+}
+
+TEST_F(SolverTest, SelfInImplWhereClauses) {
+  // `Self` inside an impl's where-clause denotes the impl's self type,
+  // exactly as the paper's Figure 3a writes `where Data: AssocData<Self>`.
+  load("struct Inner;\n"
+       "struct Wrapper<T>;\n"
+       "trait Marker<W>;\n"
+       "trait Tagged;\n"
+       "impl<T> Marker<Wrapper<T>> for T;\n"
+       "impl<T> Tagged for Wrapper<T> where Wrapper<T>: Marker<Self>;\n"
+       "goal Wrapper<Inner>: Tagged;");
+  // Wrapper<Inner>: Marker<Self=Wrapper<Inner>>? The Marker impl gives
+  // `T: Marker<Wrapper<T>>`, i.e. Wrapper<Inner>: Marker<Wrapper<
+  // Wrapper<Inner>>> — which does NOT match Marker<Wrapper<Inner>>, so
+  // the goal fails; but with the where clause `T: Marker<Self>` below it
+  // succeeds.
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::No);
+
+  Session S2;
+  Program P2(S2);
+  ASSERT_TRUE(parseSource(P2, "t.tl",
+                          "struct Inner;\n"
+                          "struct Wrapper<T>;\n"
+                          "trait Marker<W>;\n"
+                          "trait Tagged;\n"
+                          "impl<T> Marker<Wrapper<T>> for T;\n"
+                          "impl<T> Tagged for Wrapper<T> where T: "
+                          "Marker<Self>;\n"
+                          "goal Wrapper<Inner>: Tagged;")
+                  .Success);
+  Solver Solve2(P2);
+  EXPECT_EQ(Solve2.solve().FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, SupertraitElaborationOfAssumptions) {
+  // An `?T: Ord` assumption justifies `?T: Eq` through the supertrait
+  // bound (rustc's elaborated predicates); transitively through
+  // PartialEq too.
+  load("trait PartialEq;\n"
+       "trait Eq: PartialEq;\n"
+       "trait Ord: Eq;\n"
+       "goal ?T: PartialEq where ?T: Ord;\n"
+       "goal ?U: Ord where ?U: PartialEq;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  // Elaboration only goes up the hierarchy, never down.
+  EXPECT_NE(Out.FinalResults[1], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, ElaborationSubstitutesTraitArguments) {
+  load("struct Meters;\n"
+       "trait From<T>;\n"
+       "trait Into<T>: From<T>;\n"
+       "goal ?X: From<Meters> where ?X: Into<Meters>;\n"
+       "goal ?Y: From<Meters> where ?Y: Into<?Z>;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  // The second goal resolves too: matching the elaborated assumption
+  // unifies ?Z with Meters.
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, ProjectionSubjectsNormalizeBeforeAssembly) {
+  // `<N1 as Node>::Info: Meta` must resolve Info to Good first and then
+  // prove Good: Meta (rustc normalizes goal types before candidate
+  // assembly).
+  load("trait Meta;\n"
+       "trait Marked;\n"
+       "struct Good;\n"
+       "struct Bad;\n"
+       "impl Meta for Good;\n"
+       "trait Node { type Info; }\n"
+       "struct N1;\n"
+       "struct N2;\n"
+       "impl Node for N1 { type Info = Good; }\n"
+       "impl Node for N2 { type Info = Bad; }\n"
+       "goal <N1 as Node>::Info: Meta;\n"
+       "goal <N2 as Node>::Info: Meta;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::No);
+  // The failing case blames Bad: Meta, not the raw projection.
+  auto Leaves = failedLeafStrings(Out, Solve, 1);
+  ASSERT_EQ(Leaves.size(), 1u);
+  EXPECT_EQ(Leaves[0], "Bad: Meta");
+}
+
+TEST_F(SolverTest, RigidProjectionSubjectsMatchAssumptions) {
+  // With only an assumption proving T: Node, <T as Node>::Info stays
+  // rigid; a structurally identical assumption proves the bound and the
+  // solver must not loop.
+  load("trait Meta;\n"
+       "trait Node { type Info; }\n"
+       "goal <?T as Node>::Info: Meta\n"
+       "  where ?T: Node, <?T as Node>::Info: Meta;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes);
+}
+
+TEST_F(SolverTest, OutlivesGoals) {
+  load("struct Timer;\n"
+       "goal &'static Timer: 'a;\n"
+       "goal &'a Timer: 'static;\n"
+       "goal Timer: 'static;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.FinalResults[0], EvalResult::Yes); // 'static: 'a.
+  EXPECT_EQ(Out.FinalResults[1], EvalResult::No);  // 'a does not outlive.
+  EXPECT_EQ(Out.FinalResults[2], EvalResult::Yes); // No regions inside.
+}
+
+TEST_F(SolverTest, InternalGoalsAppearInRawTree) {
+  load("struct Timer;\n"
+       "trait Resource;\n"
+       "impl Resource for Timer;\n"
+       "goal Timer: Resource;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  bool SawWellFormed = false;
+  for (size_t I = 0; I != Out.Forest.numGoals(); ++I)
+    SawWellFormed |= Out.Forest.goal(GoalNodeId(uint32_t(I))).Pred.Kind ==
+                     PredicateKind::WellFormed;
+  EXPECT_TRUE(SawWellFormed);
+
+  SolverOptions Quieter;
+  Quieter.EmitWellFormedGoals = false;
+  Program Fresh(S);
+  // Re-parse into a fresh program to re-solve without WF noise.
+  ASSERT_TRUE(parseSource(Fresh, "t.tl",
+                          "struct Timer2;\n"
+                          "trait Resource2;\n"
+                          "impl Resource2 for Timer2;\n"
+                          "goal Timer2: Resource2;")
+                  .Success);
+  Solver Solve2(Fresh, Quieter);
+  SolveOutcome Out2 = Solve2.solve();
+  for (size_t I = 0; I != Out2.Forest.numGoals(); ++I)
+    EXPECT_NE(Out2.Forest.goal(GoalNodeId(uint32_t(I))).Pred.Kind,
+              PredicateKind::WellFormed);
+}
+
+TEST_F(SolverTest, MemoizationPreservesResults) {
+  load("struct Vec<T>;\n"
+       "struct Timer;\n"
+       "trait Display;\n"
+       "impl Display for Timer;\n"
+       "impl<T> Display for Vec<T> where T: Display;\n"
+       "goal (Vec<Timer>, Vec<Timer>): Display;\n"
+       "goal Vec<Timer>: Display;\n"
+       "goal Vec<Timer>: Display;");
+  Solver Plain(Prog);
+  SolveOutcome PlainOut = Plain.solve();
+
+  SolverOptions Memo;
+  Memo.EnableMemoization = true;
+  Solver Cached(Prog, Memo);
+  SolveOutcome CachedOut = Cached.solve();
+
+  ASSERT_EQ(PlainOut.FinalResults.size(), CachedOut.FinalResults.size());
+  for (size_t I = 0; I != PlainOut.FinalResults.size(); ++I)
+    EXPECT_EQ(PlainOut.FinalResults[I], CachedOut.FinalResults[I]);
+  EXPECT_GT(CachedOut.NumMemoHits, 0u);
+  EXPECT_LT(CachedOut.NumEvaluations, PlainOut.NumEvaluations);
+}
+
+TEST_F(SolverTest, SubtreeSizeCountsGoalAndCandidateNodes) {
+  load("struct Timer;\n"
+       "trait Resource;\n"
+       "impl Resource for Timer;\n"
+       "goal Timer: Resource;");
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  // Root goal + impl candidate + WF subgoal + its builtin candidate,
+  // plus the trait has no where clauses: at least 4 nodes.
+  EXPECT_GE(Out.Forest.subtreeSize(Out.FinalRoots[0]), 4u);
+}

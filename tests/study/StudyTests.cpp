@@ -1,0 +1,221 @@
+//===- tests/study/StudyTests.cpp -----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace argus;
+
+namespace {
+
+class StudyTest : public ::testing::Test {
+protected:
+  static const std::vector<StudyTask> &tasks() {
+    static const std::vector<StudyTask> Tasks = buildStudyTasks();
+    return Tasks;
+  }
+};
+
+} // namespace
+
+TEST_F(StudyTest, SevenTasksWithExpectedProfiles) {
+  const std::vector<StudyTask> &Tasks = tasks();
+  ASSERT_EQ(Tasks.size(), 7u);
+  // Every study task ranks its ground truth at the top of the bottom-up
+  // view (inertia's job).
+  for (const StudyTask &Task : Tasks) {
+    EXPECT_EQ(Task.TruthRank, 0u) << Task.Id;
+    EXPECT_GE(Task.NumLeaves, 1u) << Task.Id;
+  }
+  // The branch-point tasks (Bevy, Axum) hide the truth from the
+  // diagnostic; the chain tasks mention it.
+  std::set<std::string> Blind;
+  for (const StudyTask &Task : Tasks)
+    if (!Task.DiagnosticMentionsTruth)
+      Blind.insert(Task.Id);
+  EXPECT_EQ(Blind, (std::set<std::string>{"bevy-resmut-missing",
+                                          "bevy-assets-mesh",
+                                          "axum-handler-deserialize"}));
+  // Hidden truths imply positive compiler distance.
+  for (const StudyTask &Task : Tasks)
+    if (!Task.DiagnosticMentionsTruth)
+      EXPECT_GT(Task.CompilerDistance, 0u) << Task.Id;
+}
+
+TEST_F(StudyTest, DesignMatchesProtocol) {
+  StudyConfig Config;
+  StudyResults Results = runStudy(Config, tasks());
+  // 25 participants x 4 tasks.
+  EXPECT_EQ(Results.Outcomes.size(), 100u);
+  EXPECT_EQ(Results.Argus.Trials, 50u);
+  EXPECT_EQ(Results.Rustc.Trials, 50u);
+
+  // Within-subjects: every participant did 2 tasks per condition, all
+  // distinct.
+  for (unsigned P = 0; P != Config.NumParticipants; ++P) {
+    unsigned ArgusCount = 0;
+    std::set<size_t> Distinct;
+    for (const TaskOutcome &Outcome : Results.Outcomes)
+      if (Outcome.Participant == P) {
+        ArgusCount += Outcome.WithArgus;
+        Distinct.insert(Outcome.TaskIndex);
+      }
+    EXPECT_EQ(ArgusCount, 2u);
+    EXPECT_EQ(Distinct.size(), 4u);
+  }
+}
+
+TEST_F(StudyTest, TimesAreCensoredAtTheCap) {
+  StudyConfig Config;
+  StudyResults Results = runStudy(Config, tasks());
+  for (const TaskOutcome &Outcome : Results.Outcomes) {
+    EXPECT_LE(Outcome.LocalizeSeconds, Config.CapSeconds);
+    EXPECT_LE(Outcome.FixSeconds, Config.CapSeconds);
+    EXPECT_GT(Outcome.LocalizeSeconds, 0.0);
+    // Fixing never precedes localization.
+    if (Outcome.Fixed) {
+      EXPECT_TRUE(Outcome.Localized);
+      EXPECT_GE(Outcome.FixSeconds, Outcome.LocalizeSeconds);
+    }
+    if (!Outcome.Localized)
+      EXPECT_FALSE(Outcome.Fixed);
+  }
+}
+
+TEST_F(StudyTest, DeterministicForAGivenSeed) {
+  StudyConfig Config;
+  StudyResults A = runStudy(Config, tasks());
+  StudyResults B = runStudy(Config, tasks());
+  ASSERT_EQ(A.Outcomes.size(), B.Outcomes.size());
+  for (size_t I = 0; I != A.Outcomes.size(); ++I) {
+    EXPECT_EQ(A.Outcomes[I].Localized, B.Outcomes[I].Localized);
+    EXPECT_DOUBLE_EQ(A.Outcomes[I].LocalizeSeconds,
+                     B.Outcomes[I].LocalizeSeconds);
+  }
+}
+
+TEST_F(StudyTest, Figure11ShapeHolds) {
+  // The headline result, averaged over several seeds to control
+  // Monte-Carlo noise: Argus localizes at roughly twice the rate,
+  // several times faster, and fixes more — the paper's 2.2x / 3.3x /
+  // 1.6x effects.
+  double ArgusLoc = 0, RustcLoc = 0, ArgusFix = 0, RustcFix = 0;
+  double ArgusTime = 0, RustcTime = 0;
+  const int Seeds = 10;
+  for (int I = 0; I != Seeds; ++I) {
+    StudyConfig Config;
+    Config.Seed = 90 + I;
+    StudyResults R = runStudy(Config, tasks());
+    ArgusLoc += R.Argus.LocalizeRate;
+    RustcLoc += R.Rustc.LocalizeRate;
+    ArgusFix += R.Argus.FixRate;
+    RustcFix += R.Rustc.FixRate;
+    ArgusTime += R.Argus.LocalizeMedianSeconds;
+    RustcTime += R.Rustc.LocalizeMedianSeconds;
+  }
+  ArgusLoc /= Seeds;
+  RustcLoc /= Seeds;
+  ArgusFix /= Seeds;
+  RustcFix /= Seeds;
+  ArgusTime /= Seeds;
+  RustcTime /= Seeds;
+
+  EXPECT_GT(ArgusLoc, 0.70);          // Paper: 0.84.
+  EXPECT_LT(RustcLoc, 0.55);          // Paper: 0.38.
+  EXPECT_GT(ArgusLoc / RustcLoc, 1.5); // Paper: 2.2x.
+  EXPECT_GT(RustcTime / ArgusTime, 2.0); // Paper: 3.3x.
+  EXPECT_GT(ArgusFix, RustcFix);      // Paper: 0.50 vs 0.32.
+  EXPECT_GT(RustcTime, 500.0);        // Paper: 9m58s, near the cap.
+  EXPECT_LT(ArgusTime, 330.0);        // Paper: 3m03s.
+}
+
+TEST_F(StudyTest, EffectsAreStatisticallySignificant) {
+  StudyConfig Config;
+  StudyResults Results = runStudy(Config, tasks());
+  // The paper reports p < 0.001 for localization rate and time; with the
+  // same N our simulated effects are comparably strong.
+  EXPECT_LT(Results.LocalizeRateTest.PValue, 0.01);
+  EXPECT_LT(Results.LocalizeTimeTest.PValue, 0.01);
+  EXPECT_LT(Results.FixRateTest.PValue, 0.05);
+}
+
+TEST_F(StudyTest, BehavioralTracesEmergeFromMechanics) {
+  // RQ2 observations (Section 5.1.2), averaged over seeds: top-down in
+  // roughly a quarter of Argus tasks, source searched in most tasks but
+  // not all (instant recognitions skip it), docs as a deeper fallback.
+  double TopDown = 0, Source = 0, Docs = 0, Popup = 0;
+  const int Seeds = 10;
+  for (int I = 0; I != Seeds; ++I) {
+    StudyConfig Config;
+    Config.Seed = 300 + I;
+    StudyResults R = runStudy(Config, tasks());
+    TopDown += R.Behavior.TopDownShare;
+    Source += R.Behavior.SourceSearchShare;
+    Docs += R.Behavior.DocsShare;
+    Popup += R.Behavior.ImplPopupShare;
+  }
+  TopDown /= Seeds;
+  Source /= Seeds;
+  Docs /= Seeds;
+  Popup /= Seeds;
+  EXPECT_GT(TopDown, 0.08); // Paper: 24%.
+  EXPECT_LT(TopDown, 0.45);
+  EXPECT_GT(Source, 0.5); // Paper: 73%.
+  EXPECT_LT(Source, 0.95);
+  EXPECT_GT(Docs, 0.1); // Paper: 31%.
+  EXPECT_LT(Docs, 0.55);
+  EXPECT_LT(Docs, Source); // Docs are the deeper fallback.
+  EXPECT_GT(Popup, 0.3);   // Fixers consult the implementors.
+}
+
+TEST_F(StudyTest, CSVExportIsWellFormed) {
+  StudyConfig Config;
+  StudyResults Results = runStudy(Config, tasks());
+  std::string CSV = outcomesToCSV(Results, tasks());
+  // Header + one line per outcome.
+  size_t Lines = std::count(CSV.begin(), CSV.end(), '\n');
+  EXPECT_EQ(Lines, Results.Outcomes.size() + 1);
+  EXPECT_EQ(CSV.rfind("participant,task,condition", 0), 0u);
+  EXPECT_NE(CSV.find(",argus,"), std::string::npos);
+  EXPECT_NE(CSV.find(",rustc,"), std::string::npos);
+  EXPECT_NE(CSV.find("bevy-resmut-missing"), std::string::npos);
+  // Every row has the full column count.
+  size_t FirstRow = CSV.find('\n') + 1;
+  size_t RowEnd = CSV.find('\n', FirstRow);
+  std::string Row = CSV.substr(FirstRow, RowEnd - FirstRow);
+  EXPECT_EQ(std::count(Row.begin(), Row.end(), ','), 11);
+}
+
+TEST_F(StudyTest, ReportMentionsAllFigureRows) {
+  StudyConfig Config;
+  StudyResults Results = runStudy(Config, tasks());
+  std::string Report = formatStudyReport(Results);
+  EXPECT_NE(Report.find("with Argus"), std::string::npos);
+  EXPECT_NE(Report.find("without Argus"), std::string::npos);
+  EXPECT_NE(Report.find("localized"), std::string::npos);
+  EXPECT_NE(Report.find("time-to-localize"), std::string::npos);
+  EXPECT_NE(Report.find("time-to-fix"), std::string::npos);
+  EXPECT_NE(Report.find("chi2"), std::string::npos);
+}
+
+TEST_F(StudyTest, NoArgusConditionCollapsesWithoutRanking) {
+  // Sanity ablation: if the bottom-up view ranked the truth last instead
+  // of first, the Argus advantage shrinks (scanning cost grows with
+  // rank).
+  std::vector<StudyTask> Degraded = tasks();
+  for (StudyTask &Task : Degraded) {
+    Task.NumLeaves = 12;
+    Task.TruthRank = 11;
+  }
+  StudyConfig Config;
+  StudyResults Good = runStudy(Config, tasks());
+  StudyResults Bad = runStudy(Config, Degraded);
+  EXPECT_GT(Bad.Argus.LocalizeMedianSeconds,
+            Good.Argus.LocalizeMedianSeconds);
+}

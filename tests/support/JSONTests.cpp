@@ -1,0 +1,82 @@
+//===- tests/support/JSONTests.cpp ----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+TEST(JSONWriter, EmptyObjectAndArray) {
+  JSONWriter W;
+  W.beginObject();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{}");
+
+  JSONWriter A;
+  A.beginArray();
+  A.endArray();
+  EXPECT_EQ(A.str(), "[]");
+}
+
+TEST(JSONWriter, FlatObject) {
+  JSONWriter W;
+  W.beginObject();
+  W.keyValue("name", "Timer");
+  W.keyValue("count", 3);
+  W.keyValue("ok", true);
+  W.key("missing");
+  W.nullValue();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"name\":\"Timer\",\"count\":3,\"ok\":true,\"missing\":null}");
+}
+
+TEST(JSONWriter, NestedContainers) {
+  JSONWriter W;
+  W.beginObject();
+  W.key("goals");
+  W.beginArray();
+  W.value(1);
+  W.beginObject();
+  W.keyValue("kind", "trait");
+  W.endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"goals\":[1,{\"kind\":\"trait\"}]}");
+}
+
+TEST(JSONWriter, EscapesControlAndQuote) {
+  EXPECT_EQ(JSONWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JSONWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JSONWriter, NonFiniteDoublesBecomeNull) {
+  JSONWriter W;
+  W.beginArray();
+  W.value(1.5);
+  W.value(std::numeric_limits<double>::quiet_NaN());
+  W.value(std::numeric_limits<double>::infinity());
+  W.endArray();
+  EXPECT_EQ(W.str(), "[1.5,null,null]");
+}
+
+TEST(JSONWriter, PrettyPrinting) {
+  JSONWriter W(/*Pretty=*/true);
+  W.beginObject();
+  W.keyValue("a", 1);
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JSONWriter, NegativeAndLargeIntegers) {
+  JSONWriter W;
+  W.beginArray();
+  W.value(static_cast<int64_t>(-42));
+  W.value(static_cast<uint64_t>(18446744073709551615ULL));
+  W.endArray();
+  EXPECT_EQ(W.str(), "[-42,18446744073709551615]");
+}

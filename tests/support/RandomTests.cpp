@@ -1,0 +1,85 @@
+//===- tests/support/RandomTests.cpp --------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Different = 0;
+  for (int I = 0; I != 20; ++I)
+    Different += A.next() != B.next();
+  EXPECT_GT(Different, 15);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(11);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    double U = R.uniform();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+    Sum += U;
+  }
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng R(13);
+  const int N = 20000;
+  double Sum = 0.0, SumSq = 0.0;
+  for (int I = 0; I != N; ++I) {
+    double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng A(21);
+  Rng Child = A.fork();
+  // The child should not replay the parent's sequence.
+  Rng B(21);
+  B.fork();
+  int Same = 0;
+  for (int I = 0; I != 20; ++I)
+    Same += Child.next() == B.next();
+  EXPECT_LT(Same, 5);
+}

@@ -1,0 +1,66 @@
+//===- tests/support/SourceManagerTests.cpp -------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class SourceManagerTest : public ::testing::Test {
+protected:
+  SourceManager Sources;
+};
+
+} // namespace
+
+TEST_F(SourceManagerTest, LineColumnResolution) {
+  FileId File = Sources.addFile("main.tl", "abc\ndef\n\nxyz");
+  EXPECT_EQ(Sources.lineColumn(File, 0), (LineColumn{1, 1}));
+  EXPECT_EQ(Sources.lineColumn(File, 2), (LineColumn{1, 3}));
+  EXPECT_EQ(Sources.lineColumn(File, 4), (LineColumn{2, 1}));
+  EXPECT_EQ(Sources.lineColumn(File, 8), (LineColumn{3, 1}));
+  EXPECT_EQ(Sources.lineColumn(File, 9), (LineColumn{4, 1}));
+  EXPECT_EQ(Sources.lineColumn(File, 12), (LineColumn{4, 4}));
+}
+
+TEST_F(SourceManagerTest, SpanText) {
+  FileId File = Sources.addFile("main.tl", "struct Timer;");
+  Span S{File, 7, 12};
+  EXPECT_EQ(Sources.spanText(S), "Timer");
+  EXPECT_EQ(S.length(), 5u);
+}
+
+TEST_F(SourceManagerTest, LineText) {
+  FileId File = Sources.addFile("main.tl", "first\nsecond\nthird");
+  EXPECT_EQ(Sources.lineText(File, 1), "first");
+  EXPECT_EQ(Sources.lineText(File, 2), "second");
+  EXPECT_EQ(Sources.lineText(File, 3), "third");
+}
+
+TEST_F(SourceManagerTest, DescribeFormatsNameLineColumn) {
+  FileId File = Sources.addFile("bevy.tl", "line one\nline two");
+  Span S{File, 9, 13};
+  EXPECT_EQ(Sources.describe(S), "bevy.tl:2:1");
+  EXPECT_EQ(Sources.describe(Span()), "<unknown>");
+}
+
+TEST_F(SourceManagerTest, MultipleFilesAreIndependent) {
+  FileId A = Sources.addFile("a.tl", "aaaa");
+  FileId B = Sources.addFile("b.tl", "bb\nbb");
+  EXPECT_EQ(Sources.numFiles(), 2u);
+  EXPECT_EQ(Sources.fileName(A), "a.tl");
+  EXPECT_EQ(Sources.fileName(B), "b.tl");
+  EXPECT_EQ(Sources.lineColumn(B, 3), (LineColumn{2, 1}));
+}
+
+TEST_F(SourceManagerTest, EmptyFile) {
+  FileId File = Sources.addFile("empty.tl", "");
+  EXPECT_EQ(Sources.lineColumn(File, 0), (LineColumn{1, 1}));
+  EXPECT_EQ(Sources.lineText(File, 1), "");
+}

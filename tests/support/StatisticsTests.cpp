@@ -1,0 +1,131 @@
+//===- tests/support/StatisticsTests.cpp ----------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+using namespace argus::stats;
+
+TEST(Statistics, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Statistics, QuantileInterpolates) {
+  std::vector<double> Values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(Values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(Values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(Values, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+}
+
+TEST(Statistics, RegularizedGammaKnownValues) {
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(regularizedGammaP(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_NEAR(regularizedGammaP(0.5, 4.0), std::erf(2.0), 1e-10);
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(regularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+  EXPECT_DOUBLE_EQ(regularizedGammaP(3.0, 0.0), 0.0);
+}
+
+TEST(Statistics, ChiSquareSurvivalMatchesTables) {
+  // Critical values of the chi-square distribution, 1 dof.
+  EXPECT_NEAR(chiSquareSurvival(3.841, 1.0), 0.05, 1e-3);
+  EXPECT_NEAR(chiSquareSurvival(6.635, 1.0), 0.01, 1e-3);
+  // 2 dof: survival(x) = exp(-x/2).
+  EXPECT_NEAR(chiSquareSurvival(4.0, 2.0), std::exp(-2.0), 1e-10);
+  EXPECT_DOUBLE_EQ(chiSquareSurvival(0.0, 1.0), 1.0);
+}
+
+TEST(Statistics, ChiSquare2x2MatchesHandComputation) {
+  // Table: [[42, 8], [19, 31]] (close to the paper's localization rates:
+  // 84% vs 38% of 50 trials each).
+  TestResult R = chiSquare2x2(42, 8, 19, 31);
+  // Expected cells are 30.5/19.5 per row; statistic = sum (o-e)^2/e.
+  double E = 42 - 30.5;
+  double Expected = E * E * (1.0 / 30.5 + 1.0 / 19.5 + 1.0 / 30.5 +
+                             1.0 / 19.5) / 2.0 * 2.0;
+  // Direct formula for 2x2: N(ad-bc)^2 / (row1 row2 col1 col2).
+  double N = 100.0;
+  double Direct = N * (42.0 * 31 - 8.0 * 19) * (42.0 * 31 - 8.0 * 19) /
+                  (50.0 * 50.0 * 61.0 * 39.0);
+  (void)Expected;
+  EXPECT_NEAR(R.Statistic, Direct, 1e-9);
+  EXPECT_LT(R.PValue, 0.001);
+}
+
+TEST(Statistics, ChiSquareDegenerateTableIsNull) {
+  TestResult R = chiSquare2x2(0, 0, 5, 5);
+  EXPECT_DOUBLE_EQ(R.Statistic, 0.0);
+  EXPECT_DOUBLE_EQ(R.PValue, 1.0);
+}
+
+TEST(Statistics, KruskalWallisSeparatedGroups) {
+  // Clearly separated groups: H should be large, p small.
+  std::vector<std::vector<double>> Groups = {
+      {1.0, 2.0, 3.0, 4.0, 5.0}, {10.0, 11.0, 12.0, 13.0, 14.0}};
+  TestResult R = kruskalWallis(Groups);
+  EXPECT_GT(R.Statistic, 6.0);
+  EXPECT_LT(R.PValue, 0.01);
+  EXPECT_DOUBLE_EQ(R.Dof, 1.0);
+}
+
+TEST(Statistics, KruskalWallisIdenticalGroups) {
+  std::vector<std::vector<double>> Groups = {{1.0, 2.0, 3.0},
+                                             {1.0, 2.0, 3.0}};
+  TestResult R = kruskalWallis(Groups);
+  EXPECT_NEAR(R.Statistic, 0.0, 1e-9);
+  EXPECT_GT(R.PValue, 0.9);
+}
+
+TEST(Statistics, KruskalWallisHandlesTies) {
+  // All values tied: statistic must be 0 (and not NaN from the tie
+  // correction).
+  std::vector<std::vector<double>> Groups = {{5.0, 5.0}, {5.0, 5.0}};
+  TestResult R = kruskalWallis(Groups);
+  EXPECT_TRUE(std::isfinite(R.Statistic));
+}
+
+TEST(Statistics, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.9999), 3.719016, 1e-4);
+}
+
+TEST(Statistics, WilsonIntervalMatchesPaperStyleCI) {
+  // The paper reports 84% (42/50) with CI [71%, 93%] — a Wilson interval.
+  Interval CI = wilsonInterval(42, 50);
+  EXPECT_NEAR(CI.Lo, 0.71, 0.015);
+  EXPECT_NEAR(CI.Hi, 0.93, 0.015);
+  // And 38% (19/50) with CI [25%, 53%].
+  Interval CI2 = wilsonInterval(19, 50);
+  EXPECT_NEAR(CI2.Lo, 0.25, 0.015);
+  EXPECT_NEAR(CI2.Hi, 0.53, 0.015);
+}
+
+TEST(Statistics, WilsonIntervalEdges) {
+  Interval Zero = wilsonInterval(0, 10);
+  EXPECT_DOUBLE_EQ(Zero.Lo, 0.0);
+  EXPECT_GT(Zero.Hi, 0.0);
+  Interval Full = wilsonInterval(10, 10);
+  EXPECT_LT(Full.Lo, 1.0);
+  EXPECT_DOUBLE_EQ(Full.Hi, 1.0);
+}
+
+TEST(Statistics, BootstrapMedianCoversTrueMedian) {
+  Rng R(99);
+  std::vector<double> Values;
+  for (int I = 0; I != 101; ++I)
+    Values.push_back(static_cast<double>(I));
+  Interval CI = bootstrapMedianInterval(Values, R, 500);
+  EXPECT_LE(CI.Lo, 50.0);
+  EXPECT_GE(CI.Hi, 50.0);
+  EXPECT_LT(CI.Hi - CI.Lo, 40.0);
+}

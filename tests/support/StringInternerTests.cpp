@@ -1,0 +1,58 @@
+//===- tests/support/StringInternerTests.cpp ------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+TEST(StringInterner, InterningIsIdempotent) {
+  StringInterner Interner;
+  Symbol A = Interner.intern("SelectStatement");
+  Symbol B = Interner.intern("SelectStatement");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Interner.size(), 1u);
+}
+
+TEST(StringInterner, DistinctStringsGetDistinctSymbols) {
+  StringInterner Interner;
+  Symbol A = Interner.intern("users::table");
+  Symbol B = Interner.intern("posts::table");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Interner.text(A), "users::table");
+  EXPECT_EQ(Interner.text(B), "posts::table");
+}
+
+TEST(StringInterner, LookupDoesNotIntern) {
+  StringInterner Interner;
+  EXPECT_FALSE(Interner.lookup("missing").isValid());
+  EXPECT_EQ(Interner.size(), 0u);
+  Symbol A = Interner.intern("present");
+  EXPECT_EQ(Interner.lookup("present"), A);
+}
+
+TEST(StringInterner, TextReferencesStayStableAcrossGrowth) {
+  StringInterner Interner;
+  Symbol First = Interner.intern("zero");
+  const std::string *FirstPtr = &Interner.text(First);
+  // Force rehash/growth; SSO strings are the dangerous case.
+  for (int I = 0; I != 10000; ++I)
+    Interner.intern("sym" + std::to_string(I));
+  EXPECT_EQ(&Interner.text(First), FirstPtr);
+  EXPECT_EQ(Interner.text(First), "zero");
+  // Lookup through the map (whose keys view into storage) still works.
+  EXPECT_EQ(Interner.lookup("zero"), First);
+  EXPECT_EQ(Interner.lookup("sym9999"), Interner.intern("sym9999"));
+}
+
+TEST(StringInterner, EmptyStringIsInternable) {
+  StringInterner Interner;
+  Symbol Empty = Interner.intern("");
+  EXPECT_TRUE(Empty.isValid());
+  EXPECT_EQ(Interner.text(Empty), "");
+  EXPECT_EQ(Interner.intern(""), Empty);
+}

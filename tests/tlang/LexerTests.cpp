@@ -1,0 +1,124 @@
+//===- tests/tlang/LexerTests.cpp -----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class LexerTest : public ::testing::Test {
+protected:
+  SourceManager Sources;
+
+  std::vector<Token> lex(std::string Text) {
+    FileId File = Sources.addFile("lex.tl", std::move(Text));
+    return tokenize(Sources, File);
+  }
+
+  std::vector<TokenKind> kindsOf(std::string Text) {
+    std::vector<TokenKind> Kinds;
+    for (const Token &Tok : lex(std::move(Text)))
+      Kinds.push_back(Tok.Kind);
+    return Kinds;
+  }
+};
+
+} // namespace
+
+TEST_F(LexerTest, EmptyInputYieldsEof) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST_F(LexerTest, IdentifiersAndKeywordsAreIdent) {
+  std::vector<Token> Tokens = lex("struct Timer impl_2 _x");
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Ident);
+  EXPECT_EQ(Tokens[0].Text, "struct");
+  EXPECT_EQ(Tokens[2].Text, "impl_2");
+  EXPECT_EQ(Tokens[3].Text, "_x");
+}
+
+TEST_F(LexerTest, MultiCharPunctuation) {
+  EXPECT_EQ(kindsOf(":: -> == = : <"),
+            (std::vector<TokenKind>{TokenKind::PathSep, TokenKind::Arrow,
+                                    TokenKind::EqEq, TokenKind::Eq,
+                                    TokenKind::Colon, TokenKind::Lt,
+                                    TokenKind::Eof}));
+}
+
+TEST_F(LexerTest, AdjacentGtAreSeparate) {
+  // Nested generics must not lex '>>' as one token.
+  std::vector<Token> Tokens = lex("Vec<Vec<T>>");
+  ASSERT_EQ(Tokens.size(), 8u);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::Gt);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Gt);
+}
+
+TEST_F(LexerTest, LifetimesCarryTheirName) {
+  std::vector<Token> Tokens = lex("&'static &'a");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Lifetime);
+  EXPECT_EQ(Tokens[1].Text, "static");
+  EXPECT_EQ(Tokens[3].Text, "a");
+}
+
+TEST_F(LexerTest, InferPlaceholders) {
+  std::vector<Token> Tokens = lex("?M ?T2");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::InferName);
+  EXPECT_EQ(Tokens[0].Text, "M");
+  EXPECT_EQ(Tokens[1].Text, "T2");
+}
+
+TEST_F(LexerTest, LineCommentsAreSkipped) {
+  std::vector<Token> Tokens = lex("a // comment with :: tokens\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST_F(LexerTest, StringLiterals) {
+  std::vector<Token> Tokens = lex("#[x = \"hello, world\"]");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[4].Text, "hello, world");
+}
+
+TEST_F(LexerTest, UnterminatedStringIsAnError) {
+  std::vector<Token> Tokens = lex("\"oops\nnext");
+  bool SawError = false;
+  for (const Token &Tok : Tokens)
+    SawError |= Tok.Kind == TokenKind::Error;
+  EXPECT_TRUE(SawError);
+}
+
+TEST_F(LexerTest, SpansCoverTheLexeme) {
+  std::vector<Token> Tokens = lex("goal Timer");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Sources.spanText(Tokens[0].Sp), "goal");
+  EXPECT_EQ(Sources.spanText(Tokens[1].Sp), "Timer");
+  EXPECT_EQ(Tokens[1].Sp.Begin, 5u);
+  EXPECT_EQ(Tokens[1].Sp.End, 10u);
+}
+
+TEST_F(LexerTest, UnknownCharacterIsErrorToken) {
+  std::vector<Token> Tokens = lex("a $ b");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+  EXPECT_EQ(Tokens[1].Text, "$");
+}
+
+TEST_F(LexerTest, EveryKindHasAName) {
+  for (int Kind = 0; Kind <= static_cast<int>(TokenKind::Error); ++Kind)
+    EXPECT_NE(tokenKindName(static_cast<TokenKind>(Kind)),
+              std::string("<token>"));
+}

@@ -1,0 +1,243 @@
+//===- tests/tlang/ParserTests.cpp ----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Parser.h"
+#include "tlang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  ParseResult parse(std::string Source) {
+    return parseSource(Prog, "test.tl", std::move(Source));
+  }
+
+  void parseOk(std::string Source) {
+    ParseResult Result = parse(std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+};
+
+} // namespace
+
+TEST_F(ParserTest, StructDeclaration) {
+  parseOk("struct Timer;\n"
+          "#[external] struct diesel::SelectStatement<F, S>;");
+  const TypeCtorDecl *Timer = Prog.findTypeCtor(S.name("Timer"));
+  ASSERT_NE(Timer, nullptr);
+  EXPECT_EQ(Timer->Loc, Locality::Local);
+  EXPECT_TRUE(Timer->Params.empty());
+
+  const TypeCtorDecl *Select =
+      Prog.findTypeCtor(S.name("diesel::SelectStatement"));
+  ASSERT_NE(Select, nullptr);
+  EXPECT_EQ(Select->Loc, Locality::External);
+  EXPECT_EQ(Select->Params.size(), 2u);
+}
+
+TEST_F(ParserTest, TraitWithAssocTypeAndSupertrait) {
+  parseOk("trait AssocData<A>;\n"
+          "trait AstAssocs: Sized { type Data: AssocData<Self>; }");
+  const TraitDecl *Trait = Prog.findTrait(S.name("AstAssocs"));
+  ASSERT_NE(Trait, nullptr);
+  ASSERT_EQ(Trait->WhereClauses.size(), 1u);
+  EXPECT_EQ(Trait->WhereClauses[0].Kind, PredicateKind::Sized);
+  ASSERT_EQ(Trait->AssocTypes.size(), 1u);
+  EXPECT_EQ(S.text(Trait->AssocTypes[0].Name), "Data");
+  ASSERT_EQ(Trait->AssocTypes[0].Bounds.size(), 1u);
+  const Predicate &Bound = Trait->AssocTypes[0].Bounds[0];
+  EXPECT_EQ(Bound.Kind, PredicateKind::Trait);
+  EXPECT_EQ(S.types().get(Bound.Subject).Kind, TypeKind::Projection);
+}
+
+TEST_F(ParserTest, ForwardReferencesBetweenTraits) {
+  // AstAssocs's assoc bound mentions AssocData, whose own use-sites
+  // mention AstAssocs: mutual reference must parse (Figure 3 of the
+  // paper).
+  parseOk("trait AstAssocs: Sized { type Data: AssocData<Self>; }\n"
+          "trait AssocData<A> where A: AstAssocs;\n"
+          "struct EmptyNode;\n"
+          "impl<Data> AstAssocs for Data where Data: AssocData<Data> {\n"
+          "  type Data = Data;\n"
+          "}\n"
+          "impl<A> AssocData<A> for EmptyNode where A: AstAssocs;\n"
+          "goal EmptyNode: AstAssocs;");
+  EXPECT_EQ(Prog.impls().size(), 2u);
+  EXPECT_EQ(Prog.goals().size(), 1u);
+}
+
+TEST_F(ParserTest, ImplWithWhereAndBindings) {
+  parseOk("struct ResMut<T>;\n"
+          "trait Resource;\n"
+          "trait SystemParam { type State; }\n"
+          "struct Unit;\n"
+          "impl<T> SystemParam for ResMut<T> where T: Resource {\n"
+          "  type State = Unit;\n"
+          "}");
+  ASSERT_EQ(Prog.impls().size(), 1u);
+  const ImplDecl &Impl = Prog.impls()[0];
+  EXPECT_EQ(Impl.Generics.size(), 1u);
+  EXPECT_EQ(Impl.WhereClauses.size(), 1u);
+  ASSERT_EQ(Impl.Bindings.size(), 1u);
+  EXPECT_EQ(S.text(Impl.Bindings[0].first), "State");
+}
+
+TEST_F(ParserTest, FnItemAndFnDefTypes) {
+  parseOk("struct Timer;\n"
+          "fn run_timer(Timer);\n"
+          "trait IntoSystem<M>;\n"
+          "goal run_timer: IntoSystem<?M>;");
+  ASSERT_EQ(Prog.goals().size(), 1u);
+  const GoalDecl &Goal = Prog.goals()[0];
+  const Type &Subject = S.types().get(Goal.Pred.Subject);
+  EXPECT_EQ(Subject.Kind, TypeKind::FnDef);
+  EXPECT_EQ(S.text(Subject.Name), "run_timer");
+  ASSERT_EQ(Goal.Pred.Args.size(), 1u);
+  EXPECT_EQ(S.types().get(Goal.Pred.Args[0]).Kind, TypeKind::Infer);
+}
+
+TEST_F(ParserTest, SharedInferPlaceholdersUnify) {
+  parseOk("struct Vec<T>;\n"
+          "trait Foo<A, B>;\n"
+          "goal Vec<?X>: Foo<?X, ?Y>;");
+  const GoalDecl &Goal = Prog.goals()[0];
+  const Type &Subject = S.types().get(Goal.Pred.Subject);
+  // ?X inside the subject and as first trait arg must be the same
+  // variable.
+  EXPECT_EQ(Subject.Args[0], Goal.Pred.Args[0]);
+  EXPECT_NE(Goal.Pred.Args[0], Goal.Pred.Args[1]);
+}
+
+TEST_F(ParserTest, ProjectionPredicates) {
+  parseOk("struct Once;\n"
+          "struct users::table;\n"
+          "trait AppearsInFromClause<QS> { type Count; }\n"
+          "goal <users::table as AppearsInFromClause<users::table>>::Count "
+          "== Once;");
+  const GoalDecl &Goal = Prog.goals()[0];
+  EXPECT_EQ(Goal.Pred.Kind, PredicateKind::Projection);
+  EXPECT_EQ(S.types().get(Goal.Pred.Subject).Kind, TypeKind::Projection);
+}
+
+TEST_F(ParserTest, ShortNameResolutionWhenUnique) {
+  parseOk("struct diesel::query_builder::SelectStatement<F>;\n"
+          "trait Query;\n"
+          "impl<F> Query for SelectStatement<F>;");
+  const ImplDecl &Impl = Prog.impls()[0];
+  const Type &SelfTy = S.types().get(Impl.SelfTy);
+  EXPECT_EQ(S.text(SelfTy.Name), "diesel::query_builder::SelectStatement");
+}
+
+TEST_F(ParserTest, AmbiguousShortNameIsAnError) {
+  ParseResult Result = parse("struct users::table;\n"
+                             "struct posts::table;\n"
+                             "trait Query;\n"
+                             "impl Query for table;");
+  EXPECT_FALSE(Result.Success);
+  ASSERT_FALSE(Result.Errors.empty());
+  EXPECT_NE(Result.Errors[0].Message.find("ambiguous"), std::string::npos);
+}
+
+TEST_F(ParserTest, GoalEnvironmentWhereClause) {
+  parseOk("trait Display;\n"
+          "struct Vec<T>;\n"
+          "goal Vec<?T>: Display where ?T: Display;");
+  const GoalDecl &Goal = Prog.goals()[0];
+  ASSERT_EQ(Goal.Env.size(), 1u);
+  EXPECT_EQ(Goal.Env[0].Kind, PredicateKind::Trait);
+}
+
+TEST_F(ParserTest, SpeculativeGoals) {
+  parseOk("struct Vec<T>;\n"
+          "trait ToString;\n"
+          "trait CustomToString;\n"
+          "#[speculative] goal Vec<()>: ToString;\n"
+          "#[speculative] goal Vec<()>: CustomToString;");
+  ASSERT_EQ(Prog.goals().size(), 2u);
+  EXPECT_TRUE(Prog.goals()[0].Speculative);
+  EXPECT_TRUE(Prog.goals()[1].Speculative);
+}
+
+TEST_F(ParserTest, RootCauseDirective) {
+  parseOk("struct Timer;\n"
+          "trait SystemParam;\n"
+          "root_cause Timer: SystemParam;");
+  ASSERT_EQ(Prog.rootCauses().size(), 1u);
+  EXPECT_EQ(Prog.rootCauses()[0].Kind, PredicateKind::Trait);
+}
+
+TEST_F(ParserTest, PlusExpandsToMultipleGoals) {
+  parseOk("struct Timer;\n"
+          "trait A;\n"
+          "trait B;\n"
+          "goal Timer: A + B;");
+  EXPECT_EQ(Prog.goals().size(), 2u);
+}
+
+TEST_F(ParserTest, ReferencesAndTuples) {
+  parseOk("struct Timer;\n"
+          "trait Foo;\n"
+          "goal &'static mut Timer: Foo;\n"
+          "goal (Timer, ()): Foo;");
+  const Type &RefTy = S.types().get(Prog.goals()[0].Pred.Subject);
+  EXPECT_EQ(RefTy.Kind, TypeKind::Ref);
+  EXPECT_TRUE(RefTy.Mutable);
+  EXPECT_EQ(RefTy.Rgn.Kind, RegionKind::Static);
+  const Type &TupleTy = S.types().get(Prog.goals()[1].Pred.Subject);
+  EXPECT_EQ(TupleTy.Kind, TypeKind::Tuple);
+  EXPECT_EQ(TupleTy.Args.size(), 2u);
+}
+
+TEST_F(ParserTest, OutlivesPredicates) {
+  parseOk("struct Timer;\n"
+          "goal &'a Timer: 'a;\n"
+          "goal 'a: 'static;");
+  EXPECT_EQ(Prog.goals()[0].Pred.Kind, PredicateKind::Outlives);
+  EXPECT_EQ(Prog.goals()[1].Pred.Kind, PredicateKind::RegionOutlives);
+}
+
+TEST_F(ParserTest, UnknownTypeIsAnError) {
+  ParseResult Result = parse("trait Foo;\n"
+                             "goal Missing: Foo;");
+  EXPECT_FALSE(Result.Success);
+}
+
+TEST_F(ParserTest, DuplicateStructIsAnError) {
+  ParseResult Result = parse("struct Timer;\nstruct Timer;");
+  EXPECT_FALSE(Result.Success);
+}
+
+TEST_F(ParserTest, WrongArityIsAnError) {
+  ParseResult Result = parse("struct Vec<T>;\n"
+                             "trait Foo;\n"
+                             "goal Vec<(), ()>: Foo;");
+  EXPECT_FALSE(Result.Success);
+}
+
+TEST_F(ParserTest, UndeclaredForwardReferenceIsAnError) {
+  ParseResult Result = parse("trait Foo where Self: Bar;");
+  EXPECT_FALSE(Result.Success);
+}
+
+TEST_F(ParserTest, LineCommentsAreSkipped) {
+  parseOk("// The timer resource.\n"
+          "struct Timer; // trailing\n");
+  EXPECT_NE(Prog.findTypeCtor(S.name("Timer")), nullptr);
+}
+
+TEST_F(ParserTest, FnTraitAttribute) {
+  parseOk("#[fn_trait] trait SystemParamFunction<Sig>;");
+  const TraitDecl *Trait = Prog.findTrait(S.name("SystemParamFunction"));
+  ASSERT_NE(Trait, nullptr);
+  EXPECT_TRUE(Trait->IsFnTrait);
+}

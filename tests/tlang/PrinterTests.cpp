@@ -1,0 +1,148 @@
+//===- tests/tlang/PrinterTests.cpp ---------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Parser.h"
+#include "tlang/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class PrinterTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+};
+
+} // namespace
+
+TEST_F(PrinterTest, ShortPathsByDefault) {
+  load("#[external] struct diesel::query_builder::SelectStatement<F>;\n"
+       "struct users::table;\n"
+       "trait Query;\n"
+       "goal diesel::query_builder::SelectStatement<users::table>: Query;");
+  TypePrinter Short(Prog);
+  EXPECT_EQ(Short.print(Prog.goals()[0].Pred.Subject),
+            "SelectStatement<table>");
+  PrintOptions Full;
+  Full.FullPaths = true;
+  TypePrinter FullPrinter(Prog, Full);
+  EXPECT_EQ(FullPrinter.print(Prog.goals()[0].Pred.Subject),
+            "diesel::query_builder::SelectStatement<users::table>");
+}
+
+TEST_F(PrinterTest, DisambiguationAddsParentSegment) {
+  load("struct users::table;\n"
+       "struct posts::table;\n"
+       "trait Query;\n"
+       "goal users::table: Query;");
+  // The rustc-style printer shows just "table" (the paper's Section 2.1
+  // confusion); Argus disambiguates.
+  TypePrinter Plain(Prog);
+  EXPECT_EQ(Plain.print(Prog.goals()[0].Pred.Subject), "table");
+  PrintOptions Opts;
+  Opts.DisambiguateShortNames = true;
+  TypePrinter Argus(Prog, Opts);
+  EXPECT_EQ(Argus.print(Prog.goals()[0].Pred.Subject), "users::table");
+}
+
+TEST_F(PrinterTest, ElisionReplacesLargeArgLists) {
+  load("struct FromClause<T>;\n"
+       "struct SelectStatement<F, S, D, W>;\n"
+       "struct A; struct B; struct C; struct D;\n"
+       "trait Query;\n"
+       "goal SelectStatement<FromClause<A>, B, C, D>: Query;");
+  PrintOptions Opts;
+  Opts.ElideArgs = true;
+  TypePrinter Printer(Prog, Opts);
+  EXPECT_EQ(Printer.print(Prog.goals()[0].Pred.Subject),
+            "SelectStatement<...>");
+  TypePrinter NoElide(Prog);
+  EXPECT_EQ(NoElide.print(Prog.goals()[0].Pred.Subject),
+            "SelectStatement<FromClause<A>, B, C, D>");
+}
+
+TEST_F(PrinterTest, FnDefPrintsRustStyle) {
+  load("struct Timer;\n"
+       "fn run_timer(Timer);\n"
+       "trait IntoSystem<M>;\n"
+       "goal run_timer: IntoSystem<?M>;");
+  TypePrinter Printer(Prog);
+  EXPECT_EQ(Printer.print(Prog.goals()[0].Pred.Subject),
+            "fn(Timer) {run_timer}");
+  EXPECT_EQ(Printer.print(Prog.goals()[0].Pred),
+            "fn(Timer) {run_timer}: IntoSystem<_>");
+}
+
+TEST_F(PrinterTest, ProjectionAndPredicates) {
+  load("struct Once;\n"
+       "struct users::table;\n"
+       "trait AppearsInFromClause<QS> { type Count; }\n"
+       "goal <users::table as AppearsInFromClause<users::table>>::Count "
+       "== Once;");
+  TypePrinter Printer(Prog);
+  EXPECT_EQ(Printer.print(Prog.goals()[0].Pred),
+            "<table as AppearsInFromClause<table>>::Count == Once");
+}
+
+TEST_F(PrinterTest, ImplHeaders) {
+  load("struct ResMut<T>;\n"
+       "trait Resource;\n"
+       "trait SystemParam;\n"
+       "impl<T> SystemParam for ResMut<T> where T: Resource;");
+  TypePrinter Printer(Prog);
+  const ImplDecl &Impl = Prog.impls()[0];
+  EXPECT_EQ(Printer.printImplHeader(Impl),
+            "impl<T> SystemParam for ResMut<T>");
+  EXPECT_EQ(Printer.printImplFull(Impl),
+            "impl<T> SystemParam for ResMut<T> where T: Resource");
+}
+
+TEST_F(PrinterTest, ReferencesTuplesUnit) {
+  load("struct Timer;\n"
+       "trait Foo;\n"
+       "goal &'a mut Timer: Foo;\n"
+       "goal (Timer, ()): Foo;\n"
+       "goal fn(Timer) -> Timer: Foo;");
+  TypePrinter Printer(Prog);
+  EXPECT_EQ(Printer.print(Prog.goals()[0].Pred.Subject), "&'a mut Timer");
+  EXPECT_EQ(Printer.print(Prog.goals()[1].Pred.Subject), "(Timer, ())");
+  EXPECT_EQ(Printer.print(Prog.goals()[2].Pred.Subject),
+            "fn(Timer) -> Timer");
+}
+
+TEST_F(PrinterTest, ResolveHookSubstitutesBindings) {
+  load("struct Vec<T>;\n"
+       "trait Foo;\n"
+       "goal Vec<?X>: Foo;");
+  TypeId Unit = S.types().unit();
+  PrintOptions Opts;
+  Opts.Resolve = [&](TypeId T) {
+    return S.types().get(T).Kind == TypeKind::Infer ? Unit : T;
+  };
+  TypePrinter Printer(Prog, Opts);
+  EXPECT_EQ(Printer.print(Prog.goals()[0].Pred.Subject), "Vec<()>");
+}
+
+TEST_F(PrinterTest, InternalPredicateForms) {
+  load("struct Timer;");
+  TypeId Timer = S.types().adt(S.name("Timer"));
+  TypePrinter Printer(Prog);
+  EXPECT_EQ(Printer.print(Predicate::wellFormed(Timer)), "WF(Timer)");
+  EXPECT_EQ(Printer.print(Predicate::sized(Timer)), "Timer: Sized");
+  EXPECT_EQ(Printer.print(Predicate::outlives(Timer, Region::makeStatic())),
+            "Timer: 'static");
+  EXPECT_EQ(Printer.print(Predicate::regionOutlives(
+                Region::named(S.name("a")), Region::makeStatic())),
+            "'a: 'static");
+}

@@ -1,0 +1,105 @@
+//===- tests/tlang/ProgramTests.cpp ---------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/Parser.h"
+#include "tlang/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class ProgramTest : public ::testing::Test {
+protected:
+  Session S;
+  Program Prog{S};
+
+  void load(std::string Source) {
+    ParseResult Result = parseSource(Prog, "test.tl", std::move(Source));
+    ASSERT_TRUE(Result.Success) << Result.describe(S.sources());
+  }
+};
+
+} // namespace
+
+TEST_F(ProgramTest, LastSegment) {
+  EXPECT_EQ(Program::lastSegment("diesel::query::SelectStatement"),
+            "SelectStatement");
+  EXPECT_EQ(Program::lastSegment("Timer"), "Timer");
+  EXPECT_EQ(Program::lastSegment("a::b"), "b");
+}
+
+TEST_F(ProgramTest, LocalityLookups) {
+  load("#[external] struct Vec<T>;\n"
+       "struct Timer;\n"
+       "#[external] trait Display;\n"
+       "trait Local;\n"
+       "#[external] fn lib_fn();\n"
+       "fn app_fn();");
+  EXPECT_EQ(Prog.localityOf(S.name("Vec")), Locality::External);
+  EXPECT_EQ(Prog.localityOf(S.name("Timer")), Locality::Local);
+  EXPECT_EQ(Prog.localityOf(S.name("Display")), Locality::External);
+  EXPECT_EQ(Prog.localityOf(S.name("Local")), Locality::Local);
+  EXPECT_EQ(Prog.localityOf(S.name("lib_fn")), Locality::External);
+  EXPECT_EQ(Prog.localityOf(S.name("app_fn")), Locality::Local);
+  // Unknown names default to Local (developer-controlled).
+  EXPECT_EQ(Prog.localityOf(S.name("Unknown")), Locality::Local);
+}
+
+TEST_F(ProgramTest, TypeLocalityFollowsTheHead) {
+  load("#[external] struct Vec<T>;\n"
+       "struct Timer;");
+  TypeId Timer = S.types().adt(S.name("Timer"));
+  TypeId VecTimer = S.types().adt(S.name("Vec"), {Timer});
+  // The head constructor decides: Vec<Timer> is external even though
+  // Timer is local.
+  EXPECT_EQ(Prog.typeLocality(VecTimer), Locality::External);
+  EXPECT_EQ(Prog.typeLocality(Timer), Locality::Local);
+  // References and projections delegate to their subject.
+  TypeId Ref = S.types().reference(Region::erased(), false, VecTimer);
+  EXPECT_EQ(Prog.typeLocality(Ref), Locality::External);
+  // Params and inference variables count as local.
+  EXPECT_EQ(Prog.typeLocality(S.types().param(S.name("T"))),
+            Locality::Local);
+  EXPECT_EQ(Prog.typeLocality(S.types().infer(0)), Locality::Local);
+}
+
+TEST_F(ProgramTest, ShortNameIndex) {
+  load("struct users::table;\n"
+       "struct posts::table;\n"
+       "struct Timer;");
+  EXPECT_EQ(Prog.resolveShortName("table").size(), 2u);
+  EXPECT_EQ(Prog.resolveShortName("Timer").size(), 1u);
+  EXPECT_TRUE(Prog.resolveShortName("missing").empty());
+  EXPECT_TRUE(Prog.isShortNameAmbiguous(S.name("users::table")));
+  EXPECT_FALSE(Prog.isShortNameAmbiguous(S.name("Timer")));
+}
+
+TEST_F(ProgramTest, ImplsIndexedByTrait) {
+  load("struct A;\n"
+       "struct B;\n"
+       "trait Foo;\n"
+       "trait Bar;\n"
+       "impl Foo for A;\n"
+       "impl Foo for B;\n"
+       "impl Bar for A;");
+  EXPECT_EQ(Prog.implsOf(S.name("Foo")).size(), 2u);
+  EXPECT_EQ(Prog.implsOf(S.name("Bar")).size(), 1u);
+  EXPECT_TRUE(Prog.implsOf(S.name("Missing")).empty());
+  // Impl ids are stable handles.
+  ImplId First = Prog.implsOf(S.name("Foo"))[0];
+  EXPECT_EQ(Prog.impl(First).Trait, S.name("Foo"));
+}
+
+TEST_F(ProgramTest, TraitAssocLookup) {
+  load("trait Node { type Info; type Extra; }");
+  const TraitDecl *Trait = Prog.findTrait(S.name("Node"));
+  ASSERT_NE(Trait, nullptr);
+  EXPECT_NE(Trait->findAssoc(S.name("Info")), nullptr);
+  EXPECT_NE(Trait->findAssoc(S.name("Extra")), nullptr);
+  EXPECT_EQ(Trait->findAssoc(S.name("Missing")), nullptr);
+}

@@ -1,0 +1,128 @@
+//===- tests/tlang/TypeArenaTests.cpp -------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tlang/TypeArena.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+class TypeArenaTest : public ::testing::Test {
+protected:
+  StringInterner Interner;
+  TypeArena Arena;
+
+  Symbol name(std::string_view Text) { return Interner.intern(Text); }
+};
+
+} // namespace
+
+TEST_F(TypeArenaTest, StructuralInterning) {
+  TypeId A = Arena.adt(name("Vec"), {Arena.unit()});
+  TypeId B = Arena.adt(name("Vec"), {Arena.unit()});
+  EXPECT_EQ(A, B);
+  TypeId C = Arena.adt(name("Vec"), {Arena.param(name("T"))});
+  EXPECT_NE(A, C);
+}
+
+TEST_F(TypeArenaTest, SubstituteReplacesParams) {
+  Symbol T = name("T");
+  TypeId VecT = Arena.adt(name("Vec"), {Arena.param(T)});
+  ParamSubst Subst;
+  Subst.emplace(T, Arena.unit());
+  TypeId VecUnit = Arena.substitute(VecT, Subst);
+  EXPECT_EQ(VecUnit, Arena.adt(name("Vec"), {Arena.unit()}));
+  // Unrelated params survive.
+  TypeId VecU = Arena.adt(name("Vec"), {Arena.param(name("U"))});
+  EXPECT_EQ(Arena.substitute(VecU, Subst), VecU);
+}
+
+TEST_F(TypeArenaTest, SubstituteIsIdentityWhenNoParams) {
+  TypeId Concrete = Arena.adt(name("Timer"));
+  ParamSubst Subst;
+  Subst.emplace(name("T"), Arena.unit());
+  EXPECT_EQ(Arena.substitute(Concrete, Subst), Concrete);
+}
+
+TEST_F(TypeArenaTest, SubstituteInferFollowsChains) {
+  TypeId V0 = Arena.infer(0);
+  TypeId V1 = Arena.infer(1);
+  TypeId Timer = Arena.adt(name("Timer"));
+  // 0 -> Vec<1>, 1 -> Timer.
+  TypeId Vec1 = Arena.adt(name("Vec"), {V1});
+  auto Lookup = [&](uint32_t Index) {
+    if (Index == 0)
+      return Vec1;
+    if (Index == 1)
+      return Timer;
+    return TypeId::invalid();
+  };
+  TypeId Resolved = Arena.substituteInfer(V0, Lookup);
+  EXPECT_EQ(Resolved, Arena.adt(name("Vec"), {Timer}));
+}
+
+TEST_F(TypeArenaTest, OccursCheck) {
+  TypeId V0 = Arena.infer(0);
+  TypeId VecV0 = Arena.adt(name("Vec"), {V0});
+  EXPECT_TRUE(Arena.occurs(VecV0, 0));
+  EXPECT_FALSE(Arena.occurs(VecV0, 1));
+  EXPECT_TRUE(Arena.occurs(V0, 0));
+}
+
+TEST_F(TypeArenaTest, CollectInferVars) {
+  TypeId Pair = Arena.tuple({Arena.infer(3), Arena.infer(3)});
+  std::vector<uint32_t> Vars;
+  Arena.collectInferVars(Pair, Vars);
+  EXPECT_EQ(Vars.size(), 2u); // Duplicates included.
+  EXPECT_EQ(Vars[0], 3u);
+}
+
+TEST_F(TypeArenaTest, HasParams) {
+  EXPECT_FALSE(Arena.hasParams(Arena.unit()));
+  EXPECT_TRUE(Arena.hasParams(Arena.param(name("T"))));
+  TypeId Nested = Arena.reference(Region::erased(), true,
+                                  Arena.adt(name("Vec"),
+                                            {Arena.param(name("T"))}));
+  EXPECT_TRUE(Arena.hasParams(Nested));
+}
+
+TEST_F(TypeArenaTest, CollectRegions) {
+  TypeId Inner = Arena.reference(Region::named(name("a")), false,
+                                 Arena.unit());
+  TypeId Outer = Arena.reference(Region::makeStatic(), false, Inner);
+  std::vector<Region> Regions;
+  Arena.collectRegions(Outer, Regions);
+  ASSERT_EQ(Regions.size(), 2u);
+  EXPECT_EQ(Regions[0].Kind, RegionKind::Static);
+  EXPECT_EQ(Regions[1].Kind, RegionKind::Named);
+}
+
+TEST_F(TypeArenaTest, TypeSizeCountsNodes) {
+  EXPECT_EQ(Arena.typeSize(Arena.unit()), 1u);
+  TypeId VecVecUnit = Arena.adt(
+      name("Vec"), {Arena.adt(name("Vec"), {Arena.unit()})});
+  EXPECT_EQ(Arena.typeSize(VecVecUnit), 3u);
+}
+
+TEST_F(TypeArenaTest, FnDefIncludesNameInIdentity) {
+  TypeId A = Arena.fnDef(name("run_timer"), {Arena.unit()}, Arena.unit());
+  TypeId B = Arena.fnDef(name("other_fn"), {Arena.unit()}, Arena.unit());
+  EXPECT_NE(A, B);
+  TypeId Ptr = Arena.fnPtr({Arena.unit()}, Arena.unit());
+  EXPECT_NE(A, Ptr);
+}
+
+TEST_F(TypeArenaTest, ProjectionLayout) {
+  TypeId SelfTy = Arena.param(name("Self"));
+  TypeId Proj = Arena.projection(SelfTy, name("AstAssocs"), {},
+                                 name("Data"));
+  const Type &Node = Arena.get(Proj);
+  EXPECT_EQ(Node.Kind, TypeKind::Projection);
+  EXPECT_EQ(Node.Args.size(), 1u);
+  EXPECT_EQ(Node.Args[0], SelfTy);
+}

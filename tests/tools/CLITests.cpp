@@ -1,0 +1,134 @@
+//===- tests/tools/CLITests.cpp - End-to-end CLI tests --------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the installed `argus` binary the way a user or CI would: real
+/// process, real files, checking stdout and exit codes. The binary path
+/// is injected by CMake as ARGUS_CLI_PATH.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int ExitCode;
+  std::string Stdout;
+};
+
+RunResult runCLI(const std::string &Args) {
+  std::string Command = std::string(ARGUS_CLI_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Command.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  RunResult Result;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = fread(Buffer, 1, sizeof(Buffer), Pipe)) > 0)
+    Result.Stdout.append(Buffer, Read);
+  int Status = pclose(Pipe);
+  Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return Result;
+}
+
+std::string writeTemp(const char *Name, const char *Contents) {
+  std::string Path = std::string(::testing::TempDir()) + Name;
+  std::ofstream File(Path);
+  File << Contents;
+  return Path;
+}
+
+const char *FailingProgram = R"(
+#[external] struct ResMut<T>;
+struct Timer;
+#[external] trait Resource;
+#[external] trait SystemParam;
+#[external] impl<T> SystemParam for ResMut<T> where T: Resource;
+impl Resource for Timer;
+goal Timer: SystemParam;
+)";
+
+const char *PassingProgram = R"(
+struct Timer;
+trait Resource;
+impl Resource for Timer;
+goal Timer: Resource;
+)";
+
+} // namespace
+
+TEST(CLI, DefaultOutputShowsDiagnosticAndBottomUp) {
+  std::string Path = writeTemp("cli_fail.tl", FailingProgram);
+  RunResult Result = runCLI(Path);
+  EXPECT_EQ(Result.ExitCode, 1);
+  EXPECT_NE(Result.Stdout.find("error[E0277]"), std::string::npos);
+  EXPECT_NE(Result.Stdout.find("== Bottom Up =="), std::string::npos);
+  EXPECT_NE(Result.Stdout.find("Timer: SystemParam"), std::string::npos);
+}
+
+TEST(CLI, CheckModeExitCodes) {
+  std::string Fail = writeTemp("cli_fail2.tl", FailingProgram);
+  std::string Pass = writeTemp("cli_pass.tl", PassingProgram);
+  EXPECT_EQ(runCLI(Fail + " --check").ExitCode, 1);
+  EXPECT_EQ(runCLI(Pass + " --check").ExitCode, 0);
+}
+
+TEST(CLI, PassingProgramReportsSuccess) {
+  std::string Pass = writeTemp("cli_pass2.tl", PassingProgram);
+  RunResult Result = runCLI(Pass);
+  EXPECT_EQ(Result.ExitCode, 0);
+  EXPECT_NE(Result.Stdout.find("goal(s) hold"), std::string::npos);
+}
+
+TEST(CLI, SuggestAndMCS) {
+  std::string Path = writeTemp("cli_fix.tl", FailingProgram);
+  RunResult Result = runCLI(Path + " --mcs --suggest");
+  EXPECT_NE(Result.Stdout.find("minimum correction subsets"),
+            std::string::npos);
+  EXPECT_NE(Result.Stdout.find("ResMut<Timer>"), std::string::npos);
+}
+
+TEST(CLI, HTMLAndJSONOutputs) {
+  std::string Path = writeTemp("cli_html.tl", FailingProgram);
+  std::string HTMLPath = std::string(::testing::TempDir()) + "cli_out.html";
+  RunResult Result = runCLI(Path + " --json --html " + HTMLPath);
+  EXPECT_NE(Result.Stdout.find("\"predicate\": \"Timer: SystemParam\""),
+            std::string::npos);
+  std::ifstream HTML(HTMLPath);
+  ASSERT_TRUE(HTML.good());
+  std::string Contents((std::istreambuf_iterator<char>(HTML)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(Contents.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(Contents.find("Timer: SystemParam"), std::string::npos);
+}
+
+TEST(CLI, ParseErrorsExitWithTwo) {
+  std::string Path = writeTemp("cli_bad.tl", "struct struct;;");
+  RunResult Result = runCLI(Path);
+  EXPECT_EQ(Result.ExitCode, 2);
+}
+
+TEST(CLI, UnknownOptionShowsUsage) {
+  RunResult Result = runCLI("--frobnicate");
+  EXPECT_EQ(Result.ExitCode, 2);
+  EXPECT_NE(Result.Stdout.find("usage:"), std::string::npos);
+}
+
+TEST(CLI, CoherenceWarningsAreEmitted) {
+  std::string Path = writeTemp("cli_orphan.tl",
+                               "#[external] struct Vec<T>;\n"
+                               "#[external] trait Display;\n"
+                               "impl<T> Display for Vec<T>;\n"
+                               "goal Vec<()>: Display;");
+  RunResult Result = runCLI(Path);
+  EXPECT_NE(Result.Stdout.find("warning:"), std::string::npos);
+  EXPECT_NE(Result.Stdout.find("orphan"), std::string::npos);
+}

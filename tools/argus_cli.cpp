@@ -1,0 +1,209 @@
+//===- tools/argus_cli.cpp - The argus command-line driver ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch front end: run the full Argus pipeline on a .tl program and
+/// emit any combination of renderings. This is what CI or an editor
+/// plugin would shell out to.
+///
+///   argus <program.tl> [options]
+///
+///   --diag           rustc-style static diagnostic (default)
+///   --bottom-up      inertia-ranked bottom-up view (default)
+///   --top-down       fully expanded top-down view
+///   --mcs            minimum correction subsets with scores
+///   --suggest        verified fix suggestions for the top failure
+///   --json           idealized tree as JSON
+///   --html <file>    standalone interactive HTML page
+///   --show-internal  keep internal predicates in the tree
+///   --check          exit status only: 0 if all goals hold, 1 otherwise
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inertia.h"
+#include "analysis/Suggestions.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "interface/HTMLExport.h"
+#include "interface/View.h"
+#include "solver/Coherence.h"
+#include "tlang/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace argus;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  std::string HTMLPath;
+  bool Diag = false;
+  bool BottomUp = false;
+  bool TopDown = false;
+  bool MCS = false;
+  bool Suggest = false;
+  bool JSON = false;
+  bool ShowInternal = false;
+  bool CheckOnly = false;
+};
+
+int usage() {
+  fprintf(stderr,
+          "usage: argus <program.tl> [--diag] [--bottom-up] [--top-down]"
+          " [--mcs]\n"
+          "             [--suggest] [--json] [--html <file>]"
+          " [--show-internal] [--check]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--diag")
+      Opts.Diag = true;
+    else if (Arg == "--bottom-up")
+      Opts.BottomUp = true;
+    else if (Arg == "--top-down")
+      Opts.TopDown = true;
+    else if (Arg == "--mcs")
+      Opts.MCS = true;
+    else if (Arg == "--suggest")
+      Opts.Suggest = true;
+    else if (Arg == "--json")
+      Opts.JSON = true;
+    else if (Arg == "--show-internal")
+      Opts.ShowInternal = true;
+    else if (Arg == "--check")
+      Opts.CheckOnly = true;
+    else if (Arg == "--html") {
+      if (++I == Argc)
+        return usage();
+      Opts.HTMLPath = Argv[I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      return usage();
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (Opts.InputPath.empty())
+    return usage();
+  if (!Opts.Diag && !Opts.BottomUp && !Opts.TopDown && !Opts.MCS &&
+      !Opts.Suggest && !Opts.JSON && Opts.HTMLPath.empty() &&
+      !Opts.CheckOnly) {
+    Opts.Diag = true;
+    Opts.BottomUp = true;
+  }
+
+  std::ifstream File(Opts.InputPath);
+  if (!File) {
+    fprintf(stderr, "argus: cannot open %s\n", Opts.InputPath.c_str());
+    return 2;
+  }
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+
+  Session S;
+  Program Prog(S);
+  ParseResult Parsed = parseSource(Prog, Opts.InputPath, Buffer.str());
+  if (!Parsed.Success) {
+    fprintf(stderr, "%s", Parsed.describe(S.sources()).c_str());
+    return 2;
+  }
+
+  // Coherence problems are program bugs worth flagging before solving.
+  for (const CoherenceError &Error : checkCoherence(Prog))
+    fprintf(stderr, "warning: %s\n", Error.Message.c_str());
+
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  ExtractOptions ExOpts;
+  ExOpts.ShowInternal = Opts.ShowInternal;
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext(), ExOpts);
+
+  if (Opts.CheckOnly)
+    return Out.hasErrors() ? 1 : 0;
+
+  if (Ex.Trees.empty()) {
+    printf("all %zu goal(s) hold.\n", Out.FinalResults.size());
+    return 0;
+  }
+
+  for (size_t T = 0; T != Ex.Trees.size(); ++T) {
+    const InferenceTree &Tree = Ex.Trees[T];
+    if (Ex.Trees.size() > 1)
+      printf("=== failing goal %zu of %zu ===\n", T + 1,
+             Ex.Trees.size());
+
+    if (Opts.Diag) {
+      DiagnosticRenderer Renderer(Prog);
+      printf("%s\n", Renderer.render(Tree).Text.c_str());
+    }
+    if (Opts.BottomUp) {
+      ArgusInterface UI(Prog, Tree);
+      printf("%s\n", UI.renderText().c_str());
+    }
+    if (Opts.TopDown) {
+      ArgusInterface UI(Prog, Tree);
+      UI.setActiveView(ViewKind::TopDown);
+      UI.expandAll();
+      printf("%s\n", UI.renderText().c_str());
+    }
+    if (Opts.MCS || Opts.Suggest) {
+      InertiaResult Inertia = rankByInertia(Prog, Tree);
+      if (Opts.MCS) {
+        TypePrinter Printer(Prog);
+        printf("minimum correction subsets:\n");
+        for (size_t I = 0; I != Inertia.MCS.size(); ++I) {
+          printf("  score %zu: {", Inertia.ConjunctScores[I]);
+          for (size_t J = 0; J != Inertia.MCS[I].size(); ++J)
+            printf("%s%s", J ? ", " : " ",
+                   Printer.print(Tree.goal(Inertia.MCS[I][J]).Pred)
+                       .c_str());
+          printf(" }\n");
+        }
+        printf("\n");
+      }
+      if (Opts.Suggest && !Inertia.Order.empty()) {
+        printf("verified fix suggestions:\n");
+        std::vector<FixSuggestion> Fixes =
+            suggestFixes(Prog, Tree.goal(Inertia.Order[0]).Pred);
+        if (Fixes.empty())
+          printf("  (none found)\n");
+        for (const FixSuggestion &Fix : Fixes)
+          printf("  - %s\n", Fix.Rendered.c_str());
+        printf("\n");
+      }
+    }
+    if (Opts.JSON)
+      printf("%s\n", treeToJSON(Prog, Tree, /*Pretty=*/true).c_str());
+    if (!Opts.HTMLPath.empty()) {
+      std::string Path = Opts.HTMLPath;
+      if (Ex.Trees.size() > 1)
+        Path += "." + std::to_string(T);
+      std::ofstream HTML(Path);
+      if (!HTML) {
+        fprintf(stderr, "argus: cannot write %s\n", Path.c_str());
+        return 2;
+      }
+      HTMLExportOptions HOpts;
+      HOpts.Title = "Argus: " + Opts.InputPath;
+      HTML << treeToHTML(Prog, Tree, HOpts);
+      fprintf(stderr, "wrote %s\n", Path.c_str());
+    }
+  }
+  return 1; // Trait errors found.
+}
