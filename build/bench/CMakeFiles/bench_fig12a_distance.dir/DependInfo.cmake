@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12a_distance.cpp" "bench/CMakeFiles/bench_fig12a_distance.dir/bench_fig12a_distance.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12a_distance.dir/bench_fig12a_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/argus_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/argus_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnostics/CMakeFiles/argus_diagnostics.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/argus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interface/CMakeFiles/argus_interface.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/argus_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_dnf.dir/bench_fig12b_dnf.cpp.o"
+  "CMakeFiles/bench_fig12b_dnf.dir/bench_fig12b_dnf.cpp.o.d"
+  "bench_fig12b_dnf"
+  "bench_fig12b_dnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_dnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_sensitivity.dir/bench_study_sensitivity.cpp.o"
+  "CMakeFiles/bench_study_sensitivity.dir/bench_study_sensitivity.cpp.o.d"
+  "bench_study_sensitivity"
+  "bench_study_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_tui.dir/argus_tui.cpp.o"
+  "CMakeFiles/argus_tui.dir/argus_tui.cpp.o.d"
+  "argus_tui"
+  "argus_tui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_tui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

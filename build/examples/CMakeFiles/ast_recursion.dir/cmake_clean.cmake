@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_recursion.dir/ast_recursion.cpp.o"
+  "CMakeFiles/ast_recursion.dir/ast_recursion.cpp.o.d"
+  "ast_recursion"
+  "ast_recursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bevy_errant_param.dir/bevy_errant_param.cpp.o"
+  "CMakeFiles/bevy_errant_param.dir/bevy_errant_param.cpp.o.d"
+  "bevy_errant_param"
+  "bevy_errant_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bevy_errant_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bevy_errant_param.
+# This may be replaced when dependencies are built.

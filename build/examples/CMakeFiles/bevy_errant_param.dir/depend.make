@@ -1,0 +1,2 @@
+# Empty dependencies file for bevy_errant_param.
+# This may be replaced when dependencies are built.

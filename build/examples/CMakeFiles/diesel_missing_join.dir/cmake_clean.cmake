@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_missing_join.dir/diesel_missing_join.cpp.o"
+  "CMakeFiles/diesel_missing_join.dir/diesel_missing_join.cpp.o.d"
+  "diesel_missing_join"
+  "diesel_missing_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_missing_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

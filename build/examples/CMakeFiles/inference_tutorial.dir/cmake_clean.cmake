@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_tutorial.dir/inference_tutorial.cpp.o"
+  "CMakeFiles/inference_tutorial.dir/inference_tutorial.cpp.o.d"
+  "inference_tutorial"
+  "inference_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tlang")
+subdirs("solver")
+subdirs("extract")
+subdirs("analysis")
+subdirs("diagnostics")
+subdirs("interface")
+subdirs("corpus")
+subdirs("study")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CompilerDistance.cpp" "src/analysis/CMakeFiles/argus_analysis.dir/CompilerDistance.cpp.o" "gcc" "src/analysis/CMakeFiles/argus_analysis.dir/CompilerDistance.cpp.o.d"
+  "/root/repo/src/analysis/DNF.cpp" "src/analysis/CMakeFiles/argus_analysis.dir/DNF.cpp.o" "gcc" "src/analysis/CMakeFiles/argus_analysis.dir/DNF.cpp.o.d"
+  "/root/repo/src/analysis/GoalKind.cpp" "src/analysis/CMakeFiles/argus_analysis.dir/GoalKind.cpp.o" "gcc" "src/analysis/CMakeFiles/argus_analysis.dir/GoalKind.cpp.o.d"
+  "/root/repo/src/analysis/Inertia.cpp" "src/analysis/CMakeFiles/argus_analysis.dir/Inertia.cpp.o" "gcc" "src/analysis/CMakeFiles/argus_analysis.dir/Inertia.cpp.o.d"
+  "/root/repo/src/analysis/Suggestions.cpp" "src/analysis/CMakeFiles/argus_analysis.dir/Suggestions.cpp.o" "gcc" "src/analysis/CMakeFiles/argus_analysis.dir/Suggestions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/argus_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

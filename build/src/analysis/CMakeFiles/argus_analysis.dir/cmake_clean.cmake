@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_analysis.dir/CompilerDistance.cpp.o"
+  "CMakeFiles/argus_analysis.dir/CompilerDistance.cpp.o.d"
+  "CMakeFiles/argus_analysis.dir/DNF.cpp.o"
+  "CMakeFiles/argus_analysis.dir/DNF.cpp.o.d"
+  "CMakeFiles/argus_analysis.dir/GoalKind.cpp.o"
+  "CMakeFiles/argus_analysis.dir/GoalKind.cpp.o.d"
+  "CMakeFiles/argus_analysis.dir/Inertia.cpp.o"
+  "CMakeFiles/argus_analysis.dir/Inertia.cpp.o.d"
+  "CMakeFiles/argus_analysis.dir/Suggestions.cpp.o"
+  "CMakeFiles/argus_analysis.dir/Suggestions.cpp.o.d"
+  "libargus_analysis.a"
+  "libargus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/argus_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/argus_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/CorpusAxum.cpp" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusAxum.cpp.o" "gcc" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusAxum.cpp.o.d"
+  "/root/repo/src/corpus/CorpusBevy.cpp" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusBevy.cpp.o" "gcc" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusBevy.cpp.o.d"
+  "/root/repo/src/corpus/CorpusDiesel.cpp" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusDiesel.cpp.o" "gcc" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusDiesel.cpp.o.d"
+  "/root/repo/src/corpus/CorpusSynthetic.cpp" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusSynthetic.cpp.o" "gcc" "src/corpus/CMakeFiles/argus_corpus.dir/CorpusSynthetic.cpp.o.d"
+  "/root/repo/src/corpus/Generator.cpp" "src/corpus/CMakeFiles/argus_corpus.dir/Generator.cpp.o" "gcc" "src/corpus/CMakeFiles/argus_corpus.dir/Generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/argus_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/argus_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/argus_corpus.dir/CorpusAxum.cpp.o"
+  "CMakeFiles/argus_corpus.dir/CorpusAxum.cpp.o.d"
+  "CMakeFiles/argus_corpus.dir/CorpusBevy.cpp.o"
+  "CMakeFiles/argus_corpus.dir/CorpusBevy.cpp.o.d"
+  "CMakeFiles/argus_corpus.dir/CorpusDiesel.cpp.o"
+  "CMakeFiles/argus_corpus.dir/CorpusDiesel.cpp.o.d"
+  "CMakeFiles/argus_corpus.dir/CorpusSynthetic.cpp.o"
+  "CMakeFiles/argus_corpus.dir/CorpusSynthetic.cpp.o.d"
+  "CMakeFiles/argus_corpus.dir/Generator.cpp.o"
+  "CMakeFiles/argus_corpus.dir/Generator.cpp.o.d"
+  "libargus_corpus.a"
+  "libargus_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_diagnostics.dir/Diagnostics.cpp.o"
+  "CMakeFiles/argus_diagnostics.dir/Diagnostics.cpp.o.d"
+  "libargus_diagnostics.a"
+  "libargus_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

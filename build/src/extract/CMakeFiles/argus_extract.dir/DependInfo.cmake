@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/Extract.cpp" "src/extract/CMakeFiles/argus_extract.dir/Extract.cpp.o" "gcc" "src/extract/CMakeFiles/argus_extract.dir/Extract.cpp.o.d"
+  "/root/repo/src/extract/InferenceTree.cpp" "src/extract/CMakeFiles/argus_extract.dir/InferenceTree.cpp.o" "gcc" "src/extract/CMakeFiles/argus_extract.dir/InferenceTree.cpp.o.d"
+  "/root/repo/src/extract/TreeJSON.cpp" "src/extract/CMakeFiles/argus_extract.dir/TreeJSON.cpp.o" "gcc" "src/extract/CMakeFiles/argus_extract.dir/TreeJSON.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

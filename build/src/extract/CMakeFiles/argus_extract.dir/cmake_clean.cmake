@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_extract.dir/Extract.cpp.o"
+  "CMakeFiles/argus_extract.dir/Extract.cpp.o.d"
+  "CMakeFiles/argus_extract.dir/InferenceTree.cpp.o"
+  "CMakeFiles/argus_extract.dir/InferenceTree.cpp.o.d"
+  "CMakeFiles/argus_extract.dir/TreeJSON.cpp.o"
+  "CMakeFiles/argus_extract.dir/TreeJSON.cpp.o.d"
+  "libargus_extract.a"
+  "libargus_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

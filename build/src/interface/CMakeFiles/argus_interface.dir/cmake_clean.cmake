@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_interface.dir/HTMLExport.cpp.o"
+  "CMakeFiles/argus_interface.dir/HTMLExport.cpp.o.d"
+  "CMakeFiles/argus_interface.dir/View.cpp.o"
+  "CMakeFiles/argus_interface.dir/View.cpp.o.d"
+  "CMakeFiles/argus_interface.dir/ViewJSON.cpp.o"
+  "CMakeFiles/argus_interface.dir/ViewJSON.cpp.o.d"
+  "libargus_interface.a"
+  "libargus_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/Coherence.cpp" "src/solver/CMakeFiles/argus_solver.dir/Coherence.cpp.o" "gcc" "src/solver/CMakeFiles/argus_solver.dir/Coherence.cpp.o.d"
+  "/root/repo/src/solver/InferContext.cpp" "src/solver/CMakeFiles/argus_solver.dir/InferContext.cpp.o" "gcc" "src/solver/CMakeFiles/argus_solver.dir/InferContext.cpp.o.d"
+  "/root/repo/src/solver/ProofTree.cpp" "src/solver/CMakeFiles/argus_solver.dir/ProofTree.cpp.o" "gcc" "src/solver/CMakeFiles/argus_solver.dir/ProofTree.cpp.o.d"
+  "/root/repo/src/solver/Solver.cpp" "src/solver/CMakeFiles/argus_solver.dir/Solver.cpp.o" "gcc" "src/solver/CMakeFiles/argus_solver.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

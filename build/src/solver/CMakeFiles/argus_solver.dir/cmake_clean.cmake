@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_solver.dir/Coherence.cpp.o"
+  "CMakeFiles/argus_solver.dir/Coherence.cpp.o.d"
+  "CMakeFiles/argus_solver.dir/InferContext.cpp.o"
+  "CMakeFiles/argus_solver.dir/InferContext.cpp.o.d"
+  "CMakeFiles/argus_solver.dir/ProofTree.cpp.o"
+  "CMakeFiles/argus_solver.dir/ProofTree.cpp.o.d"
+  "CMakeFiles/argus_solver.dir/Solver.cpp.o"
+  "CMakeFiles/argus_solver.dir/Solver.cpp.o.d"
+  "libargus_solver.a"
+  "libargus_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_study.dir/Simulator.cpp.o"
+  "CMakeFiles/argus_study.dir/Simulator.cpp.o.d"
+  "CMakeFiles/argus_study.dir/StudyTasks.cpp.o"
+  "CMakeFiles/argus_study.dir/StudyTasks.cpp.o.d"
+  "libargus_study.a"
+  "libargus_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

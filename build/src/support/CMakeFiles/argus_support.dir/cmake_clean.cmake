@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_support.dir/JSON.cpp.o"
+  "CMakeFiles/argus_support.dir/JSON.cpp.o.d"
+  "CMakeFiles/argus_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/argus_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/argus_support.dir/Statistics.cpp.o"
+  "CMakeFiles/argus_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/argus_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/argus_support.dir/StringInterner.cpp.o.d"
+  "libargus_support.a"
+  "libargus_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlang/Lexer.cpp" "src/tlang/CMakeFiles/argus_tlang.dir/Lexer.cpp.o" "gcc" "src/tlang/CMakeFiles/argus_tlang.dir/Lexer.cpp.o.d"
+  "/root/repo/src/tlang/Parser.cpp" "src/tlang/CMakeFiles/argus_tlang.dir/Parser.cpp.o" "gcc" "src/tlang/CMakeFiles/argus_tlang.dir/Parser.cpp.o.d"
+  "/root/repo/src/tlang/Predicate.cpp" "src/tlang/CMakeFiles/argus_tlang.dir/Predicate.cpp.o" "gcc" "src/tlang/CMakeFiles/argus_tlang.dir/Predicate.cpp.o.d"
+  "/root/repo/src/tlang/Printer.cpp" "src/tlang/CMakeFiles/argus_tlang.dir/Printer.cpp.o" "gcc" "src/tlang/CMakeFiles/argus_tlang.dir/Printer.cpp.o.d"
+  "/root/repo/src/tlang/Program.cpp" "src/tlang/CMakeFiles/argus_tlang.dir/Program.cpp.o" "gcc" "src/tlang/CMakeFiles/argus_tlang.dir/Program.cpp.o.d"
+  "/root/repo/src/tlang/TypeArena.cpp" "src/tlang/CMakeFiles/argus_tlang.dir/TypeArena.cpp.o" "gcc" "src/tlang/CMakeFiles/argus_tlang.dir/TypeArena.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

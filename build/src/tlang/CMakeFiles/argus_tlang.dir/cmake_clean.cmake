@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus_tlang.dir/Lexer.cpp.o"
+  "CMakeFiles/argus_tlang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/argus_tlang.dir/Parser.cpp.o"
+  "CMakeFiles/argus_tlang.dir/Parser.cpp.o.d"
+  "CMakeFiles/argus_tlang.dir/Predicate.cpp.o"
+  "CMakeFiles/argus_tlang.dir/Predicate.cpp.o.d"
+  "CMakeFiles/argus_tlang.dir/Printer.cpp.o"
+  "CMakeFiles/argus_tlang.dir/Printer.cpp.o.d"
+  "CMakeFiles/argus_tlang.dir/Program.cpp.o"
+  "CMakeFiles/argus_tlang.dir/Program.cpp.o.d"
+  "CMakeFiles/argus_tlang.dir/TypeArena.cpp.o"
+  "CMakeFiles/argus_tlang.dir/TypeArena.cpp.o.d"
+  "libargus_tlang.a"
+  "libargus_tlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus_tlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_tests.dir/diagnostics/DiagnosticsTests.cpp.o"
+  "CMakeFiles/diagnostics_tests.dir/diagnostics/DiagnosticsTests.cpp.o.d"
+  "diagnostics_tests"
+  "diagnostics_tests.pdb"
+  "diagnostics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

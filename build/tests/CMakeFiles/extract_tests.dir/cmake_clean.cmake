@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_tests.dir/extract/ExtractTests.cpp.o"
+  "CMakeFiles/extract_tests.dir/extract/ExtractTests.cpp.o.d"
+  "CMakeFiles/extract_tests.dir/extract/InferenceTreeTests.cpp.o"
+  "CMakeFiles/extract_tests.dir/extract/InferenceTreeTests.cpp.o.d"
+  "CMakeFiles/extract_tests.dir/extract/TreeJSONTests.cpp.o"
+  "CMakeFiles/extract_tests.dir/extract/TreeJSONTests.cpp.o.d"
+  "extract_tests"
+  "extract_tests.pdb"
+  "extract_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_tests.dir/interface/HTMLExportTests.cpp.o"
+  "CMakeFiles/interface_tests.dir/interface/HTMLExportTests.cpp.o.d"
+  "CMakeFiles/interface_tests.dir/interface/ViewJSONTests.cpp.o"
+  "CMakeFiles/interface_tests.dir/interface/ViewJSONTests.cpp.o.d"
+  "CMakeFiles/interface_tests.dir/interface/ViewTests.cpp.o"
+  "CMakeFiles/interface_tests.dir/interface/ViewTests.cpp.o.d"
+  "interface_tests"
+  "interface_tests.pdb"
+  "interface_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solver/CoherenceTests.cpp" "tests/CMakeFiles/solver_tests.dir/solver/CoherenceTests.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/CoherenceTests.cpp.o.d"
+  "/root/repo/tests/solver/InferContextTests.cpp" "tests/CMakeFiles/solver_tests.dir/solver/InferContextTests.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/InferContextTests.cpp.o.d"
+  "/root/repo/tests/solver/SolverPropertyTests.cpp" "tests/CMakeFiles/solver_tests.dir/solver/SolverPropertyTests.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/SolverPropertyTests.cpp.o.d"
+  "/root/repo/tests/solver/SolverTests.cpp" "tests/CMakeFiles/solver_tests.dir/solver/SolverTests.cpp.o" "gcc" "tests/CMakeFiles/solver_tests.dir/solver/SolverTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/argus_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

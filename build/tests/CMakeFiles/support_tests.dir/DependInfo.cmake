@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/JSONTests.cpp" "tests/CMakeFiles/support_tests.dir/support/JSONTests.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/JSONTests.cpp.o.d"
+  "/root/repo/tests/support/RandomTests.cpp" "tests/CMakeFiles/support_tests.dir/support/RandomTests.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/RandomTests.cpp.o.d"
+  "/root/repo/tests/support/SourceManagerTests.cpp" "tests/CMakeFiles/support_tests.dir/support/SourceManagerTests.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/SourceManagerTests.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTests.cpp" "tests/CMakeFiles/support_tests.dir/support/StatisticsTests.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/StatisticsTests.cpp.o.d"
+  "/root/repo/tests/support/StringInternerTests.cpp" "tests/CMakeFiles/support_tests.dir/support/StringInternerTests.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/StringInternerTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/argus_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

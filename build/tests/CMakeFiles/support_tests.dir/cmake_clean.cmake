@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/JSONTests.cpp.o"
+  "CMakeFiles/support_tests.dir/support/JSONTests.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/RandomTests.cpp.o"
+  "CMakeFiles/support_tests.dir/support/RandomTests.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/SourceManagerTests.cpp.o"
+  "CMakeFiles/support_tests.dir/support/SourceManagerTests.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StatisticsTests.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StatisticsTests.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StringInternerTests.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StringInternerTests.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tlang/LexerTests.cpp" "tests/CMakeFiles/tlang_tests.dir/tlang/LexerTests.cpp.o" "gcc" "tests/CMakeFiles/tlang_tests.dir/tlang/LexerTests.cpp.o.d"
+  "/root/repo/tests/tlang/ParserFuzzTests.cpp" "tests/CMakeFiles/tlang_tests.dir/tlang/ParserFuzzTests.cpp.o" "gcc" "tests/CMakeFiles/tlang_tests.dir/tlang/ParserFuzzTests.cpp.o.d"
+  "/root/repo/tests/tlang/ParserTests.cpp" "tests/CMakeFiles/tlang_tests.dir/tlang/ParserTests.cpp.o" "gcc" "tests/CMakeFiles/tlang_tests.dir/tlang/ParserTests.cpp.o.d"
+  "/root/repo/tests/tlang/PrinterTests.cpp" "tests/CMakeFiles/tlang_tests.dir/tlang/PrinterTests.cpp.o" "gcc" "tests/CMakeFiles/tlang_tests.dir/tlang/PrinterTests.cpp.o.d"
+  "/root/repo/tests/tlang/ProgramTests.cpp" "tests/CMakeFiles/tlang_tests.dir/tlang/ProgramTests.cpp.o" "gcc" "tests/CMakeFiles/tlang_tests.dir/tlang/ProgramTests.cpp.o.d"
+  "/root/repo/tests/tlang/TypeArenaTests.cpp" "tests/CMakeFiles/tlang_tests.dir/tlang/TypeArenaTests.cpp.o" "gcc" "tests/CMakeFiles/tlang_tests.dir/tlang/TypeArenaTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extract/CMakeFiles/argus_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/argus_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlang/CMakeFiles/argus_tlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/argus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlang_tests.dir/tlang/LexerTests.cpp.o"
+  "CMakeFiles/tlang_tests.dir/tlang/LexerTests.cpp.o.d"
+  "CMakeFiles/tlang_tests.dir/tlang/ParserFuzzTests.cpp.o"
+  "CMakeFiles/tlang_tests.dir/tlang/ParserFuzzTests.cpp.o.d"
+  "CMakeFiles/tlang_tests.dir/tlang/ParserTests.cpp.o"
+  "CMakeFiles/tlang_tests.dir/tlang/ParserTests.cpp.o.d"
+  "CMakeFiles/tlang_tests.dir/tlang/PrinterTests.cpp.o"
+  "CMakeFiles/tlang_tests.dir/tlang/PrinterTests.cpp.o.d"
+  "CMakeFiles/tlang_tests.dir/tlang/ProgramTests.cpp.o"
+  "CMakeFiles/tlang_tests.dir/tlang/ProgramTests.cpp.o.d"
+  "CMakeFiles/tlang_tests.dir/tlang/TypeArenaTests.cpp.o"
+  "CMakeFiles/tlang_tests.dir/tlang/TypeArenaTests.cpp.o.d"
+  "tlang_tests"
+  "tlang_tests.pdb"
+  "tlang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/tlang_tests[1]_include.cmake")
+include("/root/repo/build/tests/solver_tests[1]_include.cmake")
+include("/root/repo/build/tests/extract_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/diagnostics_tests[1]_include.cmake")
+include("/root/repo/build/tests/interface_tests[1]_include.cmake")
+include("/root/repo/build/tests/corpus_tests[1]_include.cmake")
+include("/root/repo/build/tests/study_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argus.dir/argus_cli.cpp.o"
+  "CMakeFiles/argus.dir/argus_cli.cpp.o.d"
+  "argus"
+  "argus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for argus.
+# This may be replaced when dependencies are built.
