@@ -18,10 +18,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CompilerDistance.h"
-#include "analysis/Inertia.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
+#include "engine/Session.h"
 #include "support/Statistics.h"
 
 #include <cstdio>
@@ -47,38 +45,37 @@ int main() {
   printf("%-30s %10s %9s %10s\n", "program", "appendixA1", "uniform",
          "reversed");
 
+  // One Session per entry, kept alive across both ablations so each
+  // program is parsed and solved exactly once.
+  std::vector<engine::Session> Sessions;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Sessions.emplace_back(Entry.Id, Entry.Source);
+
   std::vector<double> AppendixRanks, UniformRanks, ReversedRanks;
   std::vector<size_t> ChainLengths;
-  for (const CorpusEntry &Entry : evaluationSuite()) {
-    LoadedProgram Loaded = loadEntry(Entry);
-    const Program &Prog = *Loaded.Prog;
-    Solver Solve(Prog);
-    SolveOutcome Out = Solve.solve();
-    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-    const InferenceTree &Tree = Ex.Trees.at(0);
+  for (engine::Session &ES : Sessions) {
+    const Program &Prog = ES.program();
+    const InferenceTree &Tree = ES.tree(0);
 
-    size_t Appendix =
-        rankOfTruth(Prog, Tree, rankByInertia(Prog, Tree).Order);
+    size_t Appendix = rankOfTruth(Prog, Tree, ES.inertia(0).Order);
     size_t Uniform = rankOfTruth(
-        Prog, Tree,
-        rankByInertiaWith(Prog, Tree, [](const GoalKind &) {
-          return size_t(1);
-        }).Order);
+        Prog, Tree, ES.inertiaWith(0, [](const GoalKind &) {
+                      return size_t(1);
+                    }).Order);
     // Reversed: heavy categories first (an adversarial weighting).
     size_t Reversed = rankOfTruth(
-        Prog, Tree, rankByInertiaWith(Prog, Tree, [](const GoalKind &K) {
+        Prog, Tree, ES.inertiaWith(0, [](const GoalKind &K) {
                       return size_t(50) - std::min<size_t>(50, K.weight());
                     }).Order);
-    printf("%-30s %10zu %9zu %10zu\n", Entry.Id.c_str(), Appendix,
+    printf("%-30s %10zu %9zu %10zu\n", ES.name().c_str(), Appendix,
            Uniform, Reversed);
     AppendixRanks.push_back(static_cast<double>(Appendix));
     UniformRanks.push_back(static_cast<double>(Uniform));
     ReversedRanks.push_back(static_cast<double>(Reversed));
 
     // For ablation 2 below.
-    DiagnosticRenderer Renderer(Prog);
-    RenderedDiagnostic Diag = Renderer.render(Tree);
-    ChainLengths.push_back(Tree.pathToRoot(Diag.ReportedNode).size());
+    ChainLengths.push_back(
+        Tree.pathToRoot(ES.diagnostic(0).ReportedNode).size());
   }
   printf("\n%-30s %10.1f %9.1f %10.1f\n", "median",
          stats::median(AppendixRanks), stats::median(UniformRanks),
@@ -88,15 +85,9 @@ int main() {
   printf("%-30s %12s %12s %7s\n", "program", "chain-length",
          "shown(elided)", "hidden");
   size_t Index = 0;
-  for (const CorpusEntry &Entry : evaluationSuite()) {
-    LoadedProgram Loaded = loadEntry(Entry);
-    Solver Solve(*Loaded.Prog);
-    SolveOutcome Out = Solve.solve();
-    Extraction Ex =
-        extractTrees(*Loaded.Prog, Out, Solve.inferContext());
-    DiagnosticRenderer Elided(*Loaded.Prog);
-    RenderedDiagnostic Diag = Elided.render(Ex.Trees.at(0));
-    printf("%-30s %12zu %12zu %7zu\n", Entry.Id.c_str(),
+  for (engine::Session &ES : Sessions) {
+    RenderedDiagnostic Diag = ES.diagnostic(0);
+    printf("%-30s %12zu %12zu %7zu\n", ES.name().c_str(),
            ChainLengths[Index], Diag.MentionedGoals.size(),
            Diag.HiddenRequirements);
     ++Index;

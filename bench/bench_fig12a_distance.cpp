@@ -18,10 +18,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CompilerDistance.h"
-#include "analysis/Inertia.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
+#include "engine/Session.h"
 #include "support/Statistics.h"
 
 #include <cstdio>
@@ -50,24 +48,19 @@ size_t rankOfTruth(const Program &Prog, const InferenceTree &Tree,
 }
 
 ProgramDistances measure(const CorpusEntry &Entry) {
-  LoadedProgram Loaded = loadEntry(Entry);
-  const Program &Prog = *Loaded.Prog;
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  const InferenceTree &Tree = Ex.Trees.at(0);
+  engine::Session ES(Entry.Id, Entry.Source);
+  const Program &Prog = ES.program();
+  const InferenceTree &Tree = ES.tree(0);
 
   ProgramDistances Distances;
   Distances.Id = Entry.Id;
-  Distances.Inertia =
-      rankOfTruth(Prog, Tree, rankByInertia(Prog, Tree).Order);
+  Distances.Inertia = rankOfTruth(Prog, Tree, ES.inertia(0).Order);
   Distances.Depth = rankOfTruth(Prog, Tree, rankByDepth(Tree));
   Distances.InferVars = rankOfTruth(Prog, Tree, rankByInferVars(Tree));
 
   // The compiler comparison: nodes between the blamed node and the truth
   // (preferring the leaf occurrence of the truth, falling back to any).
-  DiagnosticRenderer Renderer(Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES.diagnostic(0);
   IGoalId TruthNode;
   for (const Predicate &Truth : Prog.rootCauses()) {
     for (IGoalId Leaf : Tree.failedLeaves())

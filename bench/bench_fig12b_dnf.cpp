@@ -19,7 +19,7 @@
 #include "analysis/DNF.h"
 #include "corpus/Corpus.h"
 #include "corpus/Generator.h"
-#include "extract/Extract.h"
+#include "engine/Session.h"
 
 #include <benchmark/benchmark.h>
 
@@ -64,11 +64,8 @@ void BM_DNFNormalizationBranchy(benchmark::State &State) {
 void BM_DNFCorpusTrees(benchmark::State &State) {
   const CorpusEntry &Entry =
       evaluationSuite()[static_cast<size_t>(State.range(0))];
-  LoadedProgram Loaded = loadEntry(Entry);
-  Solver Solve(*Loaded.Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
-  const InferenceTree &Tree = Ex.Trees.at(0);
+  engine::Session ES(Entry.Id, Entry.Source);
+  const InferenceTree &Tree = ES.tree(0);
 
   for (auto _ : State) {
     DNFFormula Formula = computeMCS(Tree);

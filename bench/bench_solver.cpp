@@ -9,12 +9,15 @@
 /// document calls out: result memoization (rustc's evaluation cache) and
 /// the emission of internal WellFormed obligations (the noise the
 /// extraction layer exists to hide). Not a paper figure; supports the
-/// implementation discussion of Section 4.
+/// implementation discussion of Section 4. All pipeline wiring goes
+/// through engine::Session; BM_BatchPipeline additionally measures the
+/// engine::BatchDriver's parallel scaling over the whole suite.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
-#include "extract/Extract.h"
+#include "engine/Batch.h"
+#include "engine/Session.h"
 
 #include <benchmark/benchmark.h>
 
@@ -25,15 +28,18 @@ namespace {
 void solveEntry(benchmark::State &State, SolverOptions Opts) {
   const CorpusEntry &Entry =
       evaluationSuite()[static_cast<size_t>(State.range(0))];
+  engine::SessionOptions SessOpts;
+  SessOpts.Solver = Opts;
   uint64_t Evaluations = 0;
   for (auto _ : State) {
     // Parsing is inside the loop on purpose: interner/arena state is
     // per-session, and reusing a solved program would skew candidates.
+    // Only the solve stage is timed.
     State.PauseTiming();
-    LoadedProgram Loaded = loadEntry(Entry);
+    engine::Session S(Entry.Id, Entry.Source, SessOpts);
+    S.parse();
     State.ResumeTiming();
-    Solver Solve(*Loaded.Prog, Opts);
-    SolveOutcome Out = Solve.solve();
+    const SolveOutcome &Out = S.solve();
     benchmark::DoNotOptimize(Out.FinalResults.data());
     Evaluations = Out.NumEvaluations;
   }
@@ -61,14 +67,50 @@ void BM_SolveNoWellFormed(benchmark::State &State) {
 void BM_Extract(benchmark::State &State) {
   const CorpusEntry &Entry =
       evaluationSuite()[static_cast<size_t>(State.range(0))];
-  LoadedProgram Loaded = loadEntry(Entry);
-  Solver Solve(*Loaded.Prog);
-  SolveOutcome Out = Solve.solve();
+  engine::Session S(Entry.Id, Entry.Source);
+  S.solve();
   for (auto _ : State) {
-    Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
+    Extraction Ex = S.extractFresh();
     benchmark::DoNotOptimize(Ex.Trees.data());
   }
   State.SetLabel(Entry.Id);
+}
+
+/// One full pipeline pass (parse -> ... -> inertia) through the engine
+/// layer; the direct-wiring baseline this replaced did the same stages by
+/// hand, so a regression here is engine overhead.
+void BM_SessionPipeline(benchmark::State &State) {
+  const CorpusEntry &Entry =
+      evaluationSuite()[static_cast<size_t>(State.range(0))];
+  for (auto _ : State) {
+    engine::Session S(Entry.Id, Entry.Source);
+    if (S.numTrees() != 0)
+      benchmark::DoNotOptimize(S.inertia(0).Order.data());
+    benchmark::DoNotOptimize(S.solve().FinalResults.data());
+  }
+  State.SetLabel(Entry.Id);
+}
+
+/// The whole 17-program suite through BatchDriver at 1..8 worker
+/// threads. items_per_second counts programs, so the scaling curve reads
+/// directly off the report.
+void BM_BatchPipeline(benchmark::State &State) {
+  std::vector<engine::BatchJob> Jobs;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Jobs.push_back({Entry.Id, Entry.Source});
+  engine::BatchDriver Driver(engine::SessionOptions(),
+                             static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<engine::BatchResult> Results =
+        Driver.run(Jobs, [](engine::Session &S) {
+          if (S.numTrees() != 0)
+            benchmark::DoNotOptimize(S.inertia(0).Order.data());
+          return std::string();
+        });
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Jobs.size()));
 }
 
 } // namespace
@@ -79,5 +121,9 @@ BENCHMARK(BM_SolveMemoized)->DenseRange(0, 16)->Unit(
 BENCHMARK(BM_SolveNoWellFormed)->DenseRange(0, 16)->Unit(
     benchmark::kMicrosecond);
 BENCHMARK(BM_Extract)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SessionPipeline)->DenseRange(0, 16)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_BatchPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -28,13 +28,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Inertia.h"
-#include "analysis/Suggestions.h"
-#include "diagnostics/Diagnostics.h"
-#include "interface/HTMLExport.h"
-#include "extract/Extract.h"
-#include "interface/View.h"
-#include "tlang/Parser.h"
+#include "engine/Session.h"
 #include "tlang/Printer.h"
 
 #include <cstdio>
@@ -98,26 +92,22 @@ int main(int Argc, char **Argv) {
     Name = Argv[1];
   }
 
-  Session S;
-  Program Prog(S);
-  ParseResult Parsed = parseSource(Prog, Name, Source);
-  if (!Parsed.Success) {
-    fprintf(stderr, "%s", Parsed.describe(S.sources()).c_str());
+  engine::Session ES(Name, std::move(Source));
+  if (!ES.parseOk()) {
+    fprintf(stderr, "%s", ES.parseErrorText().c_str());
     return 1;
   }
 
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  if (Ex.Trees.empty()) {
+  if (ES.numTrees() == 0) {
     printf("all goals hold; nothing to debug.\n");
     return 0;
   }
   printf("%zu failing goal(s); showing tree 0. Type '?' for help.\n\n",
-         Ex.Trees.size());
+         ES.numTrees());
 
+  const Program &Prog = ES.program();
   size_t TreeIndex = 0;
-  auto UI = std::make_unique<ArgusInterface>(Prog, Ex.Trees[TreeIndex]);
+  auto UI = std::make_unique<ArgusInterface>(ES.interface(TreeIndex));
   printRows(*UI);
 
   std::string Line;
@@ -159,13 +149,12 @@ int main(int Argc, char **Argv) {
       continue;
     }
     if (Command == "diag") {
-      DiagnosticRenderer Renderer(Prog);
-      printf("%s", Renderer.render(Ex.Trees[TreeIndex]).Text.c_str());
+      printf("%s", ES.diagnosticText(TreeIndex).c_str());
       continue;
     }
     if (Command == "mcs") {
-      const InferenceTree &Tree = Ex.Trees[TreeIndex];
-      InertiaResult Inertia = rankByInertia(Prog, Tree);
+      const InferenceTree &Tree = ES.tree(TreeIndex);
+      const InertiaResult &Inertia = ES.inertia(TreeIndex);
       TypePrinter Printer(Prog);
       for (size_t I = 0; I != Inertia.MCS.size(); ++I) {
         printf("score %zu: {", Inertia.ConjunctScores[I]);
@@ -201,19 +190,19 @@ int main(int Argc, char **Argv) {
       }
       HTMLExportOptions HOpts;
       HOpts.Title = "Argus: " + Name;
-      File << treeToHTML(Prog, Ex.Trees[TreeIndex], HOpts);
+      File << ES.html(TreeIndex, HOpts);
       printf("wrote %s\n", Path.c_str());
       continue;
     }
     if (Command == "tree") {
       size_t N = 0;
       In >> N;
-      if (N < Ex.Trees.size()) {
+      if (N < ES.numTrees()) {
         TreeIndex = N;
-        UI = std::make_unique<ArgusInterface>(Prog, Ex.Trees[TreeIndex]);
+        UI = std::make_unique<ArgusInterface>(ES.interface(TreeIndex));
         printRows(*UI);
       } else {
-        printf("no tree %zu (have %zu)\n", N, Ex.Trees.size());
+        printf("no tree %zu (have %zu)\n", N, ES.numTrees());
       }
       continue;
     }
@@ -246,12 +235,12 @@ int main(int Argc, char **Argv) {
     } else if (Command == "d") {
       for (const DefinitionLink &Link : UI->definitionLinks(Row))
         printf("  %s -> %s\n", Link.Name.c_str(),
-               S.sources().describe(Link.Target).c_str());
+               ES.session().sources().describe(Link.Target).c_str());
     } else if (Command == "f") {
       std::vector<ViewRow> Rows = UI->rows();
       if (Row < Rows.size() &&
           Rows[Row].RowKind == ViewRow::Kind::Goal) {
-        const InferenceTree &Tree = Ex.Trees[TreeIndex];
+        const InferenceTree &Tree = ES.tree(TreeIndex);
         std::vector<FixSuggestion> Fixes =
             suggestFixes(Prog, Tree.goal(Rows[Row].Goal).Pred);
         if (Fixes.empty())

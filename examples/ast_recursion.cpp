@@ -14,9 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
-#include "interface/View.h"
+#include "engine/Session.h"
 
 #include <cstdio>
 
@@ -33,15 +31,10 @@ int main() {
   printf("=== %s ===\n%s\n\n", Entry->Id.c_str(),
          Entry->Description.c_str());
 
-  LoadedProgram Loaded = loadEntry(*Entry);
-  const Program &Prog = *Loaded.Prog;
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  const InferenceTree &Tree = Ex.Trees.at(0);
+  engine::Session ES(Entry->Id, Entry->Source);
+  const Program &Prog = ES.program();
 
-  DiagnosticRenderer Renderer(Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES.diagnostic(0);
   printf("--- rustc-style diagnostic (cf. Figure 3b) ---\n%s\n",
          Diag.Text.c_str());
   printf("error code: %s (rustc's E0275 \"overflow evaluating the "
@@ -51,7 +44,7 @@ int main() {
   // The top-down view makes the two-step cycle visually trackable
   // (Figure 8a): EmptyNode: AstAssocs -> EmptyNode:
   // AssocData<EmptyNode> -> EmptyNode: AstAssocs [loop].
-  ArgusInterface UI(Prog, Tree);
+  ArgusInterface UI = ES.interface(0);
   UI.setActiveView(ViewKind::TopDown);
   UI.expandAll();
   printf("--- Argus top-down view: the logical structure of the cycle "

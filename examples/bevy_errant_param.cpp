@@ -13,12 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Inertia.h"
-#include "analysis/Suggestions.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
-#include "interface/View.h"
+#include "engine/Session.h"
 
 #include <cstdio>
 
@@ -35,17 +31,11 @@ int main() {
   printf("=== %s ===\n%s\n\n", Entry->Id.c_str(),
          Entry->Description.c_str());
 
-  LoadedProgram Loaded = loadEntry(*Entry);
-  const Program &Prog = *Loaded.Prog;
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  const InferenceTree &Tree = Ex.Trees.at(0);
+  engine::Session ES(Entry->Id, Entry->Source);
 
   // The static diagnostic (cf. Figure 4b): "something is wrong with
   // run_timer", no mention of SystemParam.
-  DiagnosticRenderer Renderer(Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES.diagnostic(0);
   printf("--- rustc-style diagnostic (cf. Figure 4b) ---\n%s\n",
          Diag.Text.c_str());
   printf("does the text mention SystemParam? %s\n\n",
@@ -54,7 +44,7 @@ int main() {
 
   // The bottom-up view (cf. Figures 1 and 9a): Timer: SystemParam is
   // ranked first by inertia.
-  ArgusInterface UI(Prog, Tree);
+  ArgusInterface UI = ES.interface(0);
   printf("--- Argus bottom-up view (cf. Figure 9a) ---\n%s\n",
          UI.renderText().c_str());
 
@@ -81,11 +71,9 @@ int main() {
 
   // Verified fix suggestions (Section 7.1): the engine solves each
   // wrapper hypothesis before proposing it.
-  InertiaResult Inertia = rankByInertia(Prog, Tree);
   printf("\n--- verified fix suggestions for the top-ranked failure "
          "---\n");
-  for (const FixSuggestion &Fix :
-       suggestFixes(Prog, Tree.goal(Inertia.Order.at(0)).Pred))
+  for (const FixSuggestion &Fix : ES.suggestTop(0))
     printf("  - %s\n", Fix.Rendered.c_str());
 
   printf("\nfix: change the parameter to ResMut<Timer> (and Timer "

@@ -14,11 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Inertia.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
-#include "interface/View.h"
+#include "engine/Session.h"
 #include "tlang/Printer.h"
 
 #include <cstdio>
@@ -36,24 +33,20 @@ int main() {
   printf("=== %s ===\n%s\n\n", Entry->Id.c_str(),
          Entry->Description.c_str());
 
-  LoadedProgram Loaded = loadEntry(*Entry);
-  const Program &Prog = *Loaded.Prog;
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  const InferenceTree &Tree = Ex.Trees.at(0);
+  engine::Session ES(Entry->Id, Entry->Source);
+  const Program &Prog = ES.program();
+  const InferenceTree &Tree = ES.tree(0);
 
   // (1) The static text. Both users::table and posts::table print as
   // `table` — the ShortTys problem of Section 2.1.
-  DiagnosticRenderer Renderer(Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES.diagnostic(0);
   printf("--- rustc-style diagnostic (cf. Figure 2b) ---\n%s\n",
          Diag.Text.c_str());
   printf("(the diagnostic hid %zu intermediate requirements)\n\n",
          Diag.HiddenRequirements);
 
   // (2) Argus bottom-up view; Argus disambiguates the table types.
-  ArgusInterface UI(Prog, Tree);
+  ArgusInterface UI = ES.interface(0);
   printf("--- Argus bottom-up view ---\n%s\n", UI.renderText().c_str());
 
   // (3) Unfold towards the root until the Eq<...> step is visible: the
@@ -73,7 +66,7 @@ int main() {
          UI.renderText().c_str());
 
   // (4) Minimum correction subsets with their inertia scores.
-  InertiaResult Inertia = rankByInertia(Prog, Tree);
+  const InertiaResult &Inertia = ES.inertia(0);
   TypePrinter Printer(Prog, [] {
     PrintOptions Opts;
     Opts.DisambiguateShortNames = true;

@@ -15,18 +15,21 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "extract/Extract.h"
-#include "interface/View.h"
-#include "tlang/Parser.h"
+#include "engine/Session.h"
 
 #include <cstdio>
 
 using namespace argus;
 
 int main() {
-  Session S;
-  Program Prog(S);
-  ParseResult Parsed = parseSource(Prog, "tutorial.tl", R"(
+  // Pedagogic extraction: keep the successful root, and keep the
+  // internal machinery visible so learners see the whole process.
+  engine::SessionOptions Opts;
+  Opts.Extract.FailingRootsOnly = false;
+  Opts.Extract.ShowInternal = true;
+  Opts.Extract.ElideStatefulNodes = false;
+
+  engine::Session ES("tutorial.tl", R"(
 // A well-typed query: both columns belong to the queried table.
 #[external] struct Once;
 struct users::table;
@@ -39,25 +42,18 @@ impl AppearsInFromClause<users::table> for users::table {
 impl<QS> AppearsOnTable<QS> for users::columns::id
   where <QS as AppearsInFromClause<users::table>>::Count == Once;
 goal users::columns::id: AppearsOnTable<users::table>;
-)");
-  if (!Parsed.Success) {
-    fprintf(stderr, "%s", Parsed.describe(S.sources()).c_str());
+)",
+                     Opts);
+  if (!ES.parseOk()) {
+    fprintf(stderr, "%s", ES.parseErrorText().c_str());
     return 1;
   }
 
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
   printf("the goal %s.\n\n",
-         Out.hasErrors() ? "FAILED (unexpected!)" : "holds");
+         ES.hasTraitErrors() ? "FAILED (unexpected!)" : "holds");
 
-  // Pedagogic extraction: keep the successful root, and keep the
-  // internal machinery visible so learners see the whole process.
-  ExtractOptions Opts;
-  Opts.FailingRootsOnly = false;
-  Opts.ShowInternal = true;
-  Opts.ElideStatefulNodes = false;
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext(), Opts);
-  const InferenceTree &Tree = Ex.Trees.at(0);
+  const Program &Prog = ES.program();
+  const InferenceTree &Tree = ES.tree(0);
 
   ArgusInterface UI(Prog, Tree);
   UI.setActiveView(ViewKind::TopDown);
@@ -74,7 +70,7 @@ goal users::columns::id: AppearsOnTable<users::table>;
          "         the value v after its subtree runs (Section 4)\n\n");
 
   // The same tree with the debugger's defaults: far less noise.
-  Extraction Clean = extractTrees(Prog, Out, Solve.inferContext(), [] {
+  Extraction Clean = ES.extractFresh([] {
     ExtractOptions O;
     O.FailingRootsOnly = false;
     return O;

@@ -6,17 +6,15 @@
 ///
 /// \file
 /// The smallest end-to-end use of the public API: define a trait program
-/// in the DSL, solve it, and — when it fails — render both the rustc-
-/// style static diagnostic and the Argus interactive views for the same
-/// error, side by side.
+/// in the DSL, hand it to an engine::Session, and — when it fails —
+/// render both the rustc-style static diagnostic and the Argus
+/// interactive views for the same error, side by side. The Session runs
+/// parse/solve/extract/rank lazily behind each accessor, so this file
+/// never wires pipeline stages by hand.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
-#include "extract/TreeJSON.h"
-#include "interface/View.h"
-#include "tlang/Parser.h"
+#include "engine/Session.h"
 
 #include <cstdio>
 
@@ -25,45 +23,39 @@ using namespace argus;
 int main() {
   // 1. A trait program: Vec<T> is printable when T is, but Timer never
   // is. The goal models the obligation a method call would introduce.
-  Session S;
-  Program Prog(S);
-  ParseResult Parsed = parseSource(Prog, "quickstart.tl", R"(
+  engine::Session S("quickstart.tl", R"(
 #[external] struct Vec<T>;
 #[external] trait Display;
 #[external] impl<T> Display for Vec<T> where T: Display;
 struct Timer;
 goal Vec<Vec<Timer>>: Display;
 )");
-  if (!Parsed.Success) {
-    fprintf(stderr, "%s", Parsed.describe(S.sources()).c_str());
+  if (!S.parseOk()) {
+    fprintf(stderr, "%s", S.parseErrorText().c_str());
     return 1;
   }
 
-  // 2. Solve. The solver returns the raw proof forest plus per-goal
-  // results.
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  printf("goals solved: %zu, errors: %s\n\n", Out.FinalResults.size(),
-         Out.hasErrors() ? "yes" : "no");
+  // 2. Solve. Asking for the outcome runs the fixpoint obligation loop;
+  // the raw proof forest stays available for inspection.
+  printf("goals solved: %zu, errors: %s\n\n",
+         S.solve().FinalResults.size(),
+         S.hasTraitErrors() ? "yes" : "no");
 
-  // 3. Extract the idealized inference tree (snapshot dedup, internal-
-  // predicate filtering, stateful-node elision).
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  if (Ex.Trees.empty()) {
+  // 3. Extraction (snapshot dedup, internal-predicate filtering,
+  // stateful-node elision) happens on first tree access.
+  if (S.numTrees() == 0) {
     printf("nothing failed; nothing to debug.\n");
     return 0;
   }
-  const InferenceTree &Tree = Ex.Trees[0];
 
   // 4a. What rustc would print.
-  DiagnosticRenderer Renderer(Prog);
   printf("--- rustc-style static diagnostic "
          "--------------------------------\n%s\n",
-         Renderer.render(Tree).Text.c_str());
+         S.diagnosticText(0).c_str());
 
   // 4b. What Argus shows: the bottom-up view, ranked by inertia, with
   // one unfolding step applied.
-  ArgusInterface UI(Prog, Tree);
+  ArgusInterface UI = S.interface(0);
   UI.toggleExpand(1);
   printf("--- Argus bottom-up view (one entry unfolded) "
          "--------------------\n%s\n",
@@ -74,9 +66,13 @@ goal Vec<Vec<Timer>>: Display;
          "-------------------------\n%s\n",
          UI.renderText().c_str());
 
-  // 5. The tree also exports as JSON for external front ends.
+  // 5. The tree also exports as JSON for external front ends, and the
+  // Session kept per-stage wall-clock stats while we worked.
   printf("--- JSON export (truncated) "
-         "--------------------------------------\n%.240s...\n",
-         treeToJSON(Prog, Tree, /*Pretty=*/true).c_str());
+         "--------------------------------------\n%.240s...\n\n",
+         S.treeJSON(0, /*Pretty=*/true).c_str());
+  printf("--- per-stage stats ----------------------------------------"
+         "--\n%s\n",
+         S.stats().toJSON(/*Pretty=*/true).c_str());
   return 0;
 }

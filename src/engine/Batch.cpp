@@ -1,0 +1,116 @@
+//===- engine/Batch.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace argus {
+namespace engine {
+
+BatchDriver::BatchDriver(SessionOptions Opts, unsigned Jobs)
+    : Opts(std::move(Opts)), NumJobs(std::max(1u, Jobs)) {}
+
+std::vector<BatchResult> BatchDriver::run(const std::vector<BatchJob> &Jobs,
+                                          const Worker &Work) const {
+  std::vector<BatchResult> Results(Jobs.size());
+
+  // Work-stealing by atomic index: threads race for the next job, but
+  // each result lands in its input slot, so ordering (and therefore
+  // output) is independent of scheduling.
+  std::atomic<size_t> Next{0};
+  auto RunJobs = [&] {
+    for (;;) {
+      size_t Index = Next.fetch_add(1, std::memory_order_relaxed);
+      if (Index >= Jobs.size())
+        return;
+      Session S(Jobs[Index].Name, Jobs[Index].Source, Opts);
+      BatchResult &Result = Results[Index];
+      Result.Name = Jobs[Index].Name;
+      try {
+        Result.Output = Work(S);
+      } catch (const std::exception &E) {
+        Result.Error = E.what();
+      } catch (...) {
+        Result.Error = "unknown worker error";
+      }
+      Result.ParseOk = S.parseOk();
+      // Only consult solve results the worker already produced; a
+      // parse-only worker should not pay for solving here.
+      Result.HasTraitErrors = S.solved() && S.solve().hasErrors();
+      Result.Stats = S.stats();
+    }
+  };
+
+  unsigned Threads =
+      static_cast<unsigned>(std::min<size_t>(NumJobs, Jobs.size()));
+  if (Threads <= 1) {
+    RunJobs();
+    return Results;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Pool.emplace_back(RunJobs);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
+}
+
+std::vector<BatchJob>
+BatchDriver::jobsFromDirectory(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> Paths;
+  std::error_code EC;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC)) {
+    if (Entry.is_regular_file() && Entry.path().extension() == ".tl")
+      Paths.push_back(Entry.path());
+  }
+  if (EC)
+    fprintf(stderr, "argus: cannot read directory %s: %s\n", Dir.c_str(),
+            EC.message().c_str());
+  // directory_iterator order is unspecified; sort for reproducibility.
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<BatchJob> Jobs;
+  Jobs.reserve(Paths.size());
+  for (const fs::path &Path : Paths) {
+    std::ifstream File(Path);
+    if (!File) {
+      fprintf(stderr, "argus: cannot open %s\n", Path.c_str());
+      continue;
+    }
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    Jobs.push_back({Path.string(), Buffer.str()});
+  }
+  return Jobs;
+}
+
+std::string
+BatchDriver::statsTraceJSON(const std::vector<BatchResult> &Results,
+                            unsigned Jobs, bool Pretty) {
+  JSONWriter Writer(Pretty);
+  Writer.beginObject();
+  Writer.keyValue("jobs", static_cast<uint64_t>(Jobs));
+  Writer.keyValue("programs_total", static_cast<uint64_t>(Results.size()));
+  Writer.key("programs");
+  Writer.beginArray();
+  for (const BatchResult &Result : Results)
+    Result.Stats.writeJSON(Writer);
+  Writer.endArray();
+  Writer.endObject();
+  return Writer.str();
+}
+
+} // namespace engine
+} // namespace argus

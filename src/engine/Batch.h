@@ -1,0 +1,93 @@
+//===- engine/Batch.h - Parallel batch driver -----------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs many engine::Sessions across a thread pool with deterministic
+/// result ordering: results are stored by job index, so the output for
+/// job i is byte-identical whether the batch ran on 1 thread or 16. This
+/// is safe because every Session owns all of its mutable state (see
+/// Session.h's threading contract) — workers never share anything but
+/// the immutable job list.
+///
+/// The worker receives the Session and returns the text to record; the
+/// driver fills in parse/solve status and the Session's stage statistics
+/// afterwards. A worker that throws records the exception text instead
+/// of output (one bad program must not take down a batch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ENGINE_BATCH_H
+#define ARGUS_ENGINE_BATCH_H
+
+#include "engine/Session.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace argus {
+namespace engine {
+
+/// One program to run: a display name (usually the file path) plus its
+/// DSL source text.
+struct BatchJob {
+  std::string Name;
+  std::string Source;
+};
+
+/// The outcome of one job, in input order.
+struct BatchResult {
+  std::string Name;
+  bool ParseOk = false;
+  /// Any failing goal (only meaningful when the worker solved; false for
+  /// parse failures).
+  bool HasTraitErrors = false;
+  /// Whatever the worker returned.
+  std::string Output;
+  /// Worker exception text; empty on success.
+  std::string Error;
+  SessionStats Stats;
+
+  bool failed() const { return !Error.empty(); }
+};
+
+class BatchDriver {
+public:
+  /// \p Jobs is the worker-thread count; 0 and 1 both mean "run serially
+  /// on the calling thread".
+  explicit BatchDriver(SessionOptions Opts = SessionOptions(),
+                       unsigned Jobs = 1);
+
+  unsigned jobs() const { return NumJobs; }
+  const SessionOptions &options() const { return Opts; }
+
+  /// Produces the per-program output; runs on a pool thread.
+  using Worker = std::function<std::string(Session &)>;
+
+  /// Runs \p Work over every job. Results are ordered like \p Jobs
+  /// regardless of the thread count or completion order.
+  std::vector<BatchResult> run(const std::vector<BatchJob> &Jobs,
+                               const Worker &Work) const;
+
+  /// Loads every "*.tl" file directly under \p Dir (not recursive),
+  /// sorted by file name so batches are reproducible across platforms.
+  /// Unreadable files abort with an error on stderr and are skipped.
+  static std::vector<BatchJob> jobsFromDirectory(const std::string &Dir);
+
+  /// Serializes the per-session statistics of a finished batch as the
+  /// --trace JSON document: {"jobs": N, "programs": [SessionStats...]}.
+  static std::string statsTraceJSON(const std::vector<BatchResult> &Results,
+                                    unsigned Jobs, bool Pretty = true);
+
+private:
+  SessionOptions Opts;
+  unsigned NumJobs;
+};
+
+} // namespace engine
+} // namespace argus
+
+#endif // ARGUS_ENGINE_BATCH_H

@@ -1,0 +1,278 @@
+//===- engine/Session.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Session.h"
+
+#include "extract/TreeJSON.h"
+
+#include <cassert>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+namespace argus {
+namespace engine {
+
+const char *stageName(Stage S) {
+  switch (S) {
+  case Stage::Parse:
+    return "parse";
+  case Stage::Coherence:
+    return "coherence";
+  case Stage::Solve:
+    return "solve";
+  case Stage::Extract:
+    return "extract";
+  case Stage::Analyze:
+    return "analyze";
+  case Stage::Render:
+    return "render";
+  }
+  return "unknown";
+}
+
+double SessionStats::totalSeconds() const {
+  double Total = 0.0;
+  for (double Seconds : StageSeconds)
+    Total += Seconds;
+  return Total;
+}
+
+void SessionStats::writeJSON(JSONWriter &Writer) const {
+  Writer.beginObject();
+  Writer.keyValue("name", Name);
+  Writer.key("stages");
+  Writer.beginObject();
+  for (size_t I = 0; I != NumStages; ++I) {
+    Writer.key(stageName(static_cast<Stage>(I)));
+    Writer.beginObject();
+    Writer.keyValue("seconds", StageSeconds[I]);
+    Writer.keyValue("runs", StageRuns[I]);
+    Writer.endObject();
+  }
+  Writer.endObject();
+  Writer.key("counters");
+  Writer.beginObject();
+  Writer.keyValue("parse_errors", static_cast<uint64_t>(ParseErrors));
+  Writer.keyValue("coherence_errors",
+                  static_cast<uint64_t>(CoherenceErrors));
+  Writer.keyValue("goal_evaluations", GoalEvaluations);
+  Writer.keyValue("memo_hits", MemoHits);
+  Writer.keyValue("fixpoint_rounds",
+                  static_cast<uint64_t>(FixpointRounds));
+  Writer.keyValue("trees_extracted", static_cast<uint64_t>(TreesExtracted));
+  Writer.keyValue("tree_goals", static_cast<uint64_t>(TreeGoals));
+  Writer.keyValue("snapshots_dropped",
+                  static_cast<uint64_t>(SnapshotsDropped));
+  Writer.keyValue("internal_goals_hidden",
+                  static_cast<uint64_t>(InternalGoalsHidden));
+  Writer.keyValue("failed_leaves", static_cast<uint64_t>(FailedLeaves));
+  Writer.keyValue("dnf_conjuncts", static_cast<uint64_t>(DNFConjuncts));
+  Writer.endObject();
+  Writer.endObject();
+}
+
+std::string SessionStats::toJSON(bool Pretty) const {
+  JSONWriter Writer(Pretty);
+  writeJSON(Writer);
+  return Writer.str();
+}
+
+/// RAII accumulator: adds the scope's wall-clock to one stage.
+struct Session::StageTimer {
+  StageTimer(SessionStats &Stats, Stage S)
+      : Stats(Stats), Index(static_cast<size_t>(S)),
+        Start(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    std::chrono::duration<double> Elapsed =
+        std::chrono::steady_clock::now() - Start;
+    Stats.StageSeconds[Index] += Elapsed.count();
+    Stats.StageRuns[Index] += 1;
+  }
+  SessionStats &Stats;
+  size_t Index;
+  std::chrono::steady_clock::time_point Start;
+};
+
+Session::Session(std::string Name, std::string Source, SessionOptions Opts)
+    : Name(std::move(Name)), Source(std::move(Source)),
+      Opts(std::move(Opts)) {
+  Stats.Name = this->Name;
+}
+
+std::optional<Session> Session::open(const std::string &Path,
+                                     SessionOptions Opts) {
+  std::ifstream File(Path);
+  if (!File)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  return Session(Path, Buffer.str(), std::move(Opts));
+}
+
+const ParseResult &Session::parse() {
+  if (!Parsed) {
+    StageTimer Timer(Stats, Stage::Parse);
+    Sess = std::make_unique<argus::Session>();
+    Prog = std::make_unique<Program>(*Sess);
+    Parsed = parseSource(*Prog, Name, Source);
+    Stats.ParseErrors = Parsed->Errors.size();
+  }
+  return *Parsed;
+}
+
+std::string Session::parseErrorText() {
+  parse();
+  return Parsed->describe(Sess->sources());
+}
+
+const std::vector<CoherenceError> &Session::coherence() {
+  if (!CoherenceErrors) {
+    parse();
+    StageTimer Timer(Stats, Stage::Coherence);
+    CoherenceErrors = checkCoherence(*Prog);
+    Stats.CoherenceErrors = CoherenceErrors->size();
+  }
+  return *CoherenceErrors;
+}
+
+const SolveOutcome &Session::solve() {
+  if (!Outcome) {
+    parse();
+    StageTimer Timer(Stats, Stage::Solve);
+    TheSolver = std::make_unique<Solver>(*Prog, Opts.Solver);
+    Outcome = TheSolver->solve();
+    Stats.GoalEvaluations = Outcome->NumEvaluations;
+    Stats.MemoHits = Outcome->NumMemoHits;
+    Stats.FixpointRounds = Outcome->RoundsUsed;
+  }
+  return *Outcome;
+}
+
+SolveOutcome Session::solveFresh() {
+  parse();
+  StageTimer Timer(Stats, Stage::Solve);
+  Solver Fresh(*Prog, Opts.Solver);
+  return Fresh.solve();
+}
+
+const Extraction &Session::extraction() {
+  if (!Extracted) {
+    solve();
+    StageTimer Timer(Stats, Stage::Extract);
+    Extracted = extractTrees(*Prog, *Outcome, TheSolver->inferContext(),
+                             Opts.Extract);
+    InertiaCache.assign(Extracted->Trees.size(), std::nullopt);
+    Stats.TreesExtracted = Extracted->Trees.size();
+    Stats.TreeGoals = 0;
+    for (const InferenceTree &Tree : Extracted->Trees)
+      Stats.TreeGoals += Tree.numGoals();
+    Stats.SnapshotsDropped = Extracted->Stats.SnapshotsDropped;
+    Stats.InternalGoalsHidden = Extracted->Stats.InternalGoalsHidden;
+  }
+  return *Extracted;
+}
+
+Extraction Session::extractFresh() { return extractFresh(Opts.Extract); }
+
+Extraction Session::extractFresh(const ExtractOptions &ExOpts) {
+  solve();
+  StageTimer Timer(Stats, Stage::Extract);
+  return extractTrees(*Prog, *Outcome, TheSolver->inferContext(), ExOpts);
+}
+
+const InferenceTree &Session::tree(size_t Index) {
+  return extraction().Trees.at(Index);
+}
+
+const InertiaResult &Session::inertia(size_t Index) {
+  extraction();
+  assert(Index < InertiaCache.size() && "tree index out of range");
+  if (!InertiaCache[Index]) {
+    StageTimer Timer(Stats, Stage::Analyze);
+    InertiaCache[Index] = rankByInertia(*Prog, Extracted->Trees[Index]);
+    Stats.FailedLeaves += InertiaCache[Index]->Order.size();
+    Stats.DNFConjuncts += InertiaCache[Index]->MCS.size();
+  }
+  return *InertiaCache[Index];
+}
+
+InertiaResult Session::inertiaWith(size_t Index, const WeightFn &Weight) {
+  extraction();
+  StageTimer Timer(Stats, Stage::Analyze);
+  return rankByInertiaWith(*Prog, Extracted->Trees.at(Index), Weight);
+}
+
+RenderedDiagnostic Session::diagnostic(size_t Index) {
+  const InferenceTree &T = tree(Index);
+  StageTimer Timer(Stats, Stage::Render);
+  DiagnosticRenderer Renderer(*Prog, Opts.Diagnostic);
+  return Renderer.render(T);
+}
+
+std::string Session::diagnosticText(size_t Index) {
+  return diagnostic(Index).Text;
+}
+
+std::string Session::bottomUpText(size_t Index) {
+  ArgusInterface UI = interface(Index);
+  StageTimer Timer(Stats, Stage::Render);
+  return UI.renderText();
+}
+
+std::string Session::topDownText(size_t Index) {
+  ArgusInterface UI = interface(Index);
+  StageTimer Timer(Stats, Stage::Render);
+  UI.setActiveView(ViewKind::TopDown);
+  UI.expandAll();
+  return UI.renderText();
+}
+
+std::string Session::treeJSON(size_t Index, bool Pretty) {
+  const InferenceTree &T = tree(Index);
+  StageTimer Timer(Stats, Stage::Render);
+  return treeToJSON(*Prog, T, Pretty);
+}
+
+std::string Session::html(size_t Index, HTMLExportOptions HOpts) {
+  const InferenceTree &T = tree(Index);
+  StageTimer Timer(Stats, Stage::Render);
+  return treeToHTML(*Prog, T, std::move(HOpts));
+}
+
+ArgusInterface Session::interface(size_t Index) {
+  const InertiaResult &Ranked = inertia(Index);
+  StageTimer Timer(Stats, Stage::Render);
+  return ArgusInterface(*Prog, Extracted->Trees[Index], Ranked.Order);
+}
+
+std::vector<FixSuggestion> Session::suggestTop(size_t Index) {
+  const InertiaResult &Ranked = inertia(Index);
+  if (Ranked.Order.empty())
+    return {};
+  const Predicate &Top =
+      Extracted->Trees[Index].goal(Ranked.Order[0]).Pred;
+  StageTimer Timer(Stats, Stage::Render);
+  return suggestFixes(*Prog, Top);
+}
+
+const Program &Session::program() {
+  parse();
+  return *Prog;
+}
+
+argus::Session &Session::session() {
+  parse();
+  return *Sess;
+}
+
+InferContext &Session::inferContext() {
+  solve();
+  return TheSolver->inferContext();
+}
+
+} // namespace engine
+} // namespace argus

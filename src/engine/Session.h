@@ -1,0 +1,236 @@
+//===- engine/Session.h - The unified pipeline ----------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One reusable engine layer over the whole Argus pipeline, the way the
+/// paper's compiler plugin packages extraction behind a single entry
+/// point. An engine::Session owns everything needed to debug one program:
+///
+///   source --parse--> Program --coherence--> warnings
+///          --solve--> SolveOutcome (proof forest)
+///          --extract--> Extraction (idealized trees)
+///          --analyze--> InertiaResult per tree
+///          --render--> diagnostics / views / JSON / HTML / suggestions
+///
+/// Stages are lazily computed and cached: asking for a later stage runs
+/// (and caches) every prerequisite exactly once; asking again returns the
+/// cached value. Every stage is wall-clock timed and its work counters
+/// (goal evaluations, fixpoint rounds, tree nodes, DNF conjuncts, ...)
+/// are accumulated into a SessionStats, which serializes to JSON for the
+/// CLI's --trace emitter.
+///
+/// Sessions are single-threaded objects. All mutable pipeline state
+/// (string interner, type arena, source manager, inference context) is
+/// owned per-Session, so any number of Sessions may run concurrently on
+/// different threads — that is the contract engine::BatchDriver builds
+/// on. Nothing below this layer holds shared mutable globals (the corpus
+/// tables are immutable after thread-safe static initialization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ENGINE_SESSION_H
+#define ARGUS_ENGINE_SESSION_H
+
+#include "analysis/Inertia.h"
+#include "analysis/Suggestions.h"
+#include "diagnostics/Diagnostics.h"
+#include "extract/Extract.h"
+#include "interface/HTMLExport.h"
+#include "interface/View.h"
+#include "solver/Coherence.h"
+#include "support/JSON.h"
+#include "tlang/Parser.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace argus {
+namespace engine {
+
+/// The pipeline stages a Session times individually. Render covers every
+/// user-facing serialization (diagnostic text, views, JSON, HTML,
+/// suggestions) and accumulates across calls.
+enum class Stage : uint8_t {
+  Parse,
+  Coherence,
+  Solve,
+  Extract,
+  Analyze,
+  Render,
+};
+
+inline constexpr size_t NumStages = 6;
+
+/// Lower-case stable stage name ("parse", ..., "render"); used as JSON
+/// keys, so renames are format changes.
+const char *stageName(Stage S);
+
+/// Per-stage timings plus the pipeline's work counters for one Session.
+struct SessionStats {
+  std::string Name; ///< The program name the Session was created with.
+
+  /// Wall-clock seconds and invocation count per stage. Cached stages run
+  /// once; Render accumulates one run per render call.
+  double StageSeconds[NumStages] = {};
+  uint64_t StageRuns[NumStages] = {};
+
+  // --- Parse / coherence.
+  size_t ParseErrors = 0;
+  size_t CoherenceErrors = 0;
+
+  // --- Solve (mirrors SolveOutcome's statistics).
+  uint64_t GoalEvaluations = 0;
+  uint64_t MemoHits = 0;
+  uint32_t FixpointRounds = 0;
+
+  // --- Extract.
+  size_t TreesExtracted = 0;
+  size_t TreeGoals = 0; ///< Idealized goals summed over all trees.
+  size_t SnapshotsDropped = 0;
+  size_t InternalGoalsHidden = 0;
+
+  // --- Analyze (summed over analyzed trees).
+  size_t FailedLeaves = 0;
+  size_t DNFConjuncts = 0;
+
+  double secondsFor(Stage S) const {
+    return StageSeconds[static_cast<size_t>(S)];
+  }
+  bool ran(Stage S) const { return StageRuns[static_cast<size_t>(S)] != 0; }
+  double totalSeconds() const;
+
+  /// Writes this record as one JSON object:
+  /// {"name": ..., "stages": {"parse": {"seconds": s, "runs": n}, ...},
+  ///  "counters": {...}}.
+  void writeJSON(JSONWriter &Writer) const;
+  std::string toJSON(bool Pretty = false) const;
+};
+
+/// Options for every stage, bundled so drivers configure a pipeline in
+/// one place (the ablation benches override individual members).
+struct SessionOptions {
+  SolverOptions Solver;
+  ExtractOptions Extract;
+  DiagnosticOptions Diagnostic;
+};
+
+/// The full pipeline for one program. See the file comment for the stage
+/// graph and threading contract.
+class Session {
+public:
+  /// Takes ownership of \p Source, to be parsed under the file name
+  /// \p Name on first use.
+  Session(std::string Name, std::string Source,
+          SessionOptions Opts = SessionOptions());
+
+  /// Reads \p Path and builds a Session named after it; nullopt if the
+  /// file cannot be read.
+  static std::optional<Session> open(const std::string &Path,
+                                     SessionOptions Opts = SessionOptions());
+
+  Session(Session &&) = default;
+  Session &operator=(Session &&) = default;
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  const std::string &name() const { return Name; }
+  const SessionOptions &options() const { return Opts; }
+
+  // --- Stage accessors. Each lazily runs its prerequisites and caches.
+
+  /// Parse stage. Parse errors do not poison the Session: declarations
+  /// parsed before the first error are retained, and callers decide
+  /// whether to continue (the CLI stops; tests may probe).
+  const ParseResult &parse();
+  bool parseOk() { return parse().Success; }
+  /// "file:line:col: message" lines for every parse error.
+  std::string parseErrorText();
+
+  /// Coherence stage: overlap/orphan warnings for the parsed impls.
+  const std::vector<CoherenceError> &coherence();
+
+  /// Solve stage: the fixpoint obligation loop over every program goal.
+  const SolveOutcome &solve();
+  bool solved() const { return Outcome.has_value(); }
+
+  /// True if solving found any failing goal (No/Overflow or residual
+  /// ambiguity).
+  bool hasTraitErrors() { return solve().hasErrors(); }
+
+  /// Extract stage: idealized inference trees for the failing goals.
+  const Extraction &extraction();
+  size_t numTrees() { return extraction().Trees.size(); }
+  const InferenceTree &tree(size_t Index);
+
+  /// Analyze stage: inertia ranking + MCS for one tree, cached per tree.
+  const InertiaResult &inertia(size_t Index);
+
+  /// Uncached inertia with a custom weight function (ablations). Timed
+  /// under Analyze.
+  InertiaResult inertiaWith(size_t Index, const WeightFn &Weight);
+
+  // --- Uncached re-runs, for benchmarks that time one stage in a loop.
+  // --- They do not disturb the cached results or the stage counters
+  // --- (only timings accumulate).
+
+  SolveOutcome solveFresh();
+  Extraction extractFresh();
+  Extraction extractFresh(const ExtractOptions &ExOpts);
+
+  // --- Render stage: user-facing serializations. Not cached (outputs
+  // --- are cheap relative to solving and often parameterized); each
+  // --- call accumulates Render time.
+
+  RenderedDiagnostic diagnostic(size_t Index);
+  std::string diagnosticText(size_t Index);
+  std::string bottomUpText(size_t Index);
+  std::string topDownText(size_t Index);
+  std::string treeJSON(size_t Index, bool Pretty = true);
+  std::string html(size_t Index, HTMLExportOptions HOpts = HTMLExportOptions());
+
+  /// An interface model over \p Index's tree, ranked by the cached
+  /// inertia order.
+  ArgusInterface interface(size_t Index);
+
+  /// Verified fix suggestions for the top-ranked failed leaf of \p Index;
+  /// empty if no leaf is ranked.
+  std::vector<FixSuggestion> suggestTop(size_t Index);
+
+  // --- Component access for consumers that need to go deeper (tests,
+  // --- the TUI). Program access forces the parse stage.
+
+  const Program &program();
+  argus::Session &session();
+  InferContext &inferContext();
+
+  /// Statistics for everything run so far.
+  const SessionStats &stats() const { return Stats; }
+
+private:
+  struct StageTimer;
+
+  std::string Name;
+  std::string Source;
+  SessionOptions Opts;
+
+  std::unique_ptr<argus::Session> Sess;
+  std::unique_ptr<Program> Prog;
+  std::optional<ParseResult> Parsed;
+  std::optional<std::vector<CoherenceError>> CoherenceErrors;
+  std::unique_ptr<Solver> TheSolver;
+  std::optional<SolveOutcome> Outcome;
+  std::optional<Extraction> Extracted;
+  std::vector<std::optional<InertiaResult>> InertiaCache;
+
+  SessionStats Stats;
+};
+
+} // namespace engine
+} // namespace argus
+
+#endif // ARGUS_ENGINE_SESSION_H

@@ -7,10 +7,8 @@
 #include "study/StudyTasks.h"
 
 #include "analysis/CompilerDistance.h"
-#include "analysis/Inertia.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
+#include "engine/Session.h"
 
 #include <cassert>
 
@@ -29,21 +27,19 @@ const char *StudyTaskIds[] = {
 };
 
 StudyTask buildTask(const CorpusEntry &Entry) {
-  LoadedProgram Loaded = loadEntry(Entry);
-  const Program &Prog = *Loaded.Prog;
+  engine::Session ES(Entry.Id + ".tl", Entry.Source);
+  assert(ES.parseOk() && "corpus fixtures must parse");
+  const Program &Prog = ES.program();
 
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  assert(Ex.Trees.size() == 1 && "study task must fail with one tree");
-  const InferenceTree &Tree = Ex.Trees[0];
+  assert(ES.numTrees() == 1 && "study task must fail with one tree");
+  const InferenceTree &Tree = ES.tree(0);
 
   StudyTask Task;
   Task.Id = Entry.Id;
   Task.Family = Entry.Family;
   Task.TreeSize = Tree.size();
 
-  InertiaResult Inertia = rankByInertia(Prog, Tree);
+  const InertiaResult &Inertia = ES.inertia(0);
   Task.NumLeaves = Inertia.Order.size();
 
   // Locate the ground truth among the ranked leaves (by predicate).
@@ -64,8 +60,7 @@ StudyTask buildTask(const CorpusEntry &Entry) {
   Task.FixWeight =
       classifyGoal(Prog, Tree.goal(TruthNode).Pred).weight();
 
-  DiagnosticRenderer Renderer(Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES.diagnostic(0);
   Task.CompilerDistance = nodeDistance(Tree, Diag.ReportedNode, TruthNode);
   Task.DiagnosticMentionsTruth = false;
   for (IGoalId Goal : Diag.MentionedGoals)

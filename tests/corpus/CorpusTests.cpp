@@ -14,10 +14,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/CompilerDistance.h"
-#include "analysis/Inertia.h"
 #include "corpus/Corpus.h"
-#include "extract/Extract.h"
-#include "solver/Coherence.h"
+#include "engine/Session.h"
 #include "tlang/Printer.h"
 
 #include <gtest/gtest.h>
@@ -50,42 +48,33 @@ TEST_P(SuiteTest, ParsesAndHasAnnotations) {
 }
 
 TEST_P(SuiteTest, IsCoherent) {
-  LoadedProgram Loaded = loadEntry(GetParam());
-  std::vector<CoherenceError> Errors = checkCoherence(*Loaded.Prog);
-  for (const CoherenceError &Error : Errors)
+  engine::Session ES(GetParam().Id, GetParam().Source);
+  for (const CoherenceError &Error : ES.coherence())
     ADD_FAILURE() << GetParam().Id << ": " << Error.Message;
 }
 
 TEST_P(SuiteTest, FailsToSolveWithExactlyOneFailingGoal) {
-  LoadedProgram Loaded = loadEntry(GetParam());
-  Solver Solve(*Loaded.Prog);
-  SolveOutcome Out = Solve.solve();
+  engine::Session ES(GetParam().Id, GetParam().Source);
   size_t Failing = 0;
-  for (EvalResult Result : Out.FinalResults)
+  for (EvalResult Result : ES.solve().FinalResults)
     Failing += Result != EvalResult::Yes;
   EXPECT_EQ(Failing, 1u) << GetParam().Id;
 }
 
 TEST_P(SuiteTest, ExtractsOneTreeWithFailedLeaves) {
-  LoadedProgram Loaded = loadEntry(GetParam());
-  Solver Solve(*Loaded.Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
-  ASSERT_EQ(Ex.Trees.size(), 1u) << GetParam().Id;
-  EXPECT_FALSE(Ex.Trees[0].failedLeaves().empty()) << GetParam().Id;
+  engine::Session ES(GetParam().Id, GetParam().Source);
+  ASSERT_EQ(ES.numTrees(), 1u) << GetParam().Id;
+  EXPECT_FALSE(ES.tree(0).failedLeaves().empty()) << GetParam().Id;
 }
 
 TEST_P(SuiteTest, GroundTruthIsLocatableInTheTree) {
-  LoadedProgram Loaded = loadEntry(GetParam());
-  Solver Solve(*Loaded.Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
-  ASSERT_EQ(Ex.Trees.size(), 1u);
-  const InferenceTree &Tree = Ex.Trees[0];
+  engine::Session ES(GetParam().Id, GetParam().Source);
+  ASSERT_EQ(ES.numTrees(), 1u);
+  const InferenceTree &Tree = ES.tree(0);
   bool Found = false;
-  for (const Predicate &Truth : Loaded.Prog->rootCauses())
+  for (const Predicate &Truth : ES.program().rootCauses())
     Found |= findGoalByPredicate(Tree, Truth).isValid();
-  TypePrinter Printer(*Loaded.Prog);
+  TypePrinter Printer(ES.program());
   std::string Leaves;
   for (IGoalId Leaf : Tree.failedLeaves())
     Leaves += "  " + Printer.print(Tree.goal(Leaf).Pred) + "\n";
@@ -93,14 +82,11 @@ TEST_P(SuiteTest, GroundTruthIsLocatableInTheTree) {
 }
 
 TEST_P(SuiteTest, InertiaRanksGroundTruthAtOrNearTheTop) {
-  LoadedProgram Loaded = loadEntry(GetParam());
-  Solver Solve(*Loaded.Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(*Loaded.Prog, Out, Solve.inferContext());
-  ASSERT_EQ(Ex.Trees.size(), 1u);
-  const InferenceTree &Tree = Ex.Trees[0];
-  InertiaResult Inertia = rankByInertia(*Loaded.Prog, Tree);
-  size_t Rank = truthRank(*Loaded.Prog, Tree, Inertia.Order);
+  engine::Session ES(GetParam().Id, GetParam().Source);
+  ASSERT_EQ(ES.numTrees(), 1u);
+  const InferenceTree &Tree = ES.tree(0);
+  const InertiaResult &Inertia = ES.inertia(0);
+  size_t Rank = truthRank(ES.program(), Tree, Inertia.Order);
   // The overflow-family programs annotate the root goal (the developer's
   // fix site) rather than a grown leaf; everything else must rank 0.
   if (GetParam().Id == "ast-box-growth" ||

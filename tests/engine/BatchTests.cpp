@@ -1,0 +1,115 @@
+//===- tests/engine/BatchTests.cpp ----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine::BatchDriver contract: results come back in input order
+/// with byte-identical payloads at any thread count (the determinism
+/// guarantee the CLI's --batch mode and tools/check.sh rely on), worker
+/// failures are contained per job, and the aggregate stats trace
+/// serializes every program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "engine/Batch.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace argus;
+using namespace argus::engine;
+
+namespace {
+
+std::vector<BatchJob> corpusJobs() {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Jobs.push_back({Entry.Id, Entry.Source});
+  return Jobs;
+}
+
+/// The worker the determinism test replays at several thread counts:
+/// full pipeline, concatenating the diagnostic and the tree JSON.
+std::string fullPipeline(engine::Session &S) {
+  if (!S.parseOk())
+    return S.parseErrorText();
+  if (S.numTrees() == 0)
+    return "ok";
+  return S.diagnosticText(0) + "\n" + S.treeJSON(0);
+}
+
+} // namespace
+
+TEST(EngineBatch, ParallelRunsAreByteIdenticalToSerial) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Serial =
+      BatchDriver(SessionOptions(), 1).run(Jobs, fullPipeline);
+  ASSERT_EQ(Serial.size(), Jobs.size());
+
+  for (unsigned Threads : {2u, 8u}) {
+    std::vector<BatchResult> Parallel =
+        BatchDriver(SessionOptions(), Threads).run(Jobs, fullPipeline);
+    ASSERT_EQ(Parallel.size(), Serial.size());
+    for (size_t I = 0; I != Serial.size(); ++I) {
+      // Same order, same bytes, regardless of which thread ran the job.
+      EXPECT_EQ(Parallel[I].Name, Jobs[I].Name);
+      EXPECT_EQ(Parallel[I].Output, Serial[I].Output) << Jobs[I].Name;
+      EXPECT_EQ(Parallel[I].HasTraitErrors, Serial[I].HasTraitErrors);
+    }
+  }
+}
+
+TEST(EngineBatch, ResultsCarryPerSessionStats) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Results =
+      BatchDriver(SessionOptions(), 4).run(Jobs, fullPipeline);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    EXPECT_EQ(Results[I].Stats.Name, Jobs[I].Name);
+    EXPECT_GT(Results[I].Stats.GoalEvaluations, 0u) << Jobs[I].Name;
+    EXPECT_TRUE(Results[I].Stats.ran(Stage::Solve)) << Jobs[I].Name;
+    EXPECT_TRUE(Results[I].HasTraitErrors) << Jobs[I].Name;
+    EXPECT_FALSE(Results[I].failed()) << Results[I].Error;
+  }
+}
+
+TEST(EngineBatch, WorkerFailuresAreContainedPerJob) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  const std::string &Poison = Jobs[3].Name;
+  std::vector<BatchResult> Results =
+      BatchDriver(SessionOptions(), 8).run(Jobs, [&](engine::Session &S) {
+        if (S.name() == Poison)
+          throw std::runtime_error("worker exploded");
+        return fullPipeline(S);
+      });
+  ASSERT_EQ(Results.size(), Jobs.size());
+  for (size_t I = 0; I != Results.size(); ++I) {
+    if (Jobs[I].Name == Poison) {
+      EXPECT_TRUE(Results[I].failed());
+      EXPECT_NE(Results[I].Error.find("worker exploded"),
+                std::string::npos);
+    } else {
+      EXPECT_FALSE(Results[I].failed()) << Jobs[I].Name;
+      EXPECT_FALSE(Results[I].Output.empty()) << Jobs[I].Name;
+    }
+  }
+}
+
+TEST(EngineBatch, EmptyJobListYieldsNoResults) {
+  EXPECT_TRUE(BatchDriver(SessionOptions(), 8)
+                  .run({}, fullPipeline)
+                  .empty());
+}
+
+TEST(EngineBatch, StatsTraceSerializesEveryProgram) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Results =
+      BatchDriver(SessionOptions(), 2).run(Jobs, fullPipeline);
+  std::string Trace = BatchDriver::statsTraceJSON(Results, 2);
+  EXPECT_NE(Trace.find("\"jobs\": 2"), std::string::npos);
+  for (const BatchJob &Job : Jobs)
+    EXPECT_NE(Trace.find("\"" + Job.Name + "\""), std::string::npos);
+}

@@ -1,0 +1,172 @@
+//===- tests/engine/SessionTests.cpp --------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine::Session contract: stages run lazily and cache, the
+/// SessionStats counters agree with the underlying components' own
+/// statistics, timings are populated, and the stats serialize to the
+/// JSON shape the CLI's --trace emitter documents.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "engine/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+using namespace argus::engine;
+
+namespace {
+
+const CorpusEntry &entry(const char *Id) {
+  for (const CorpusEntry &Candidate : evaluationSuite())
+    if (Candidate.Id == Id)
+      return Candidate;
+  ADD_FAILURE() << "missing corpus entry " << Id;
+  return evaluationSuite().front();
+}
+
+engine::Session bevySession() {
+  const CorpusEntry &Entry = entry("bevy-resmut-missing");
+  return engine::Session(Entry.Id, Entry.Source);
+}
+
+} // namespace
+
+TEST(EngineSession, StagesAreLazy) {
+  engine::Session S = bevySession();
+  const SessionStats &Stats = S.stats();
+  EXPECT_FALSE(Stats.ran(Stage::Parse));
+  EXPECT_FALSE(Stats.ran(Stage::Solve));
+
+  S.parse();
+  EXPECT_TRUE(Stats.ran(Stage::Parse));
+  EXPECT_FALSE(Stats.ran(Stage::Solve));
+
+  // Asking for a tree forces every prerequisite.
+  S.tree(0);
+  EXPECT_TRUE(Stats.ran(Stage::Solve));
+  EXPECT_TRUE(Stats.ran(Stage::Extract));
+  EXPECT_FALSE(Stats.ran(Stage::Analyze));
+}
+
+TEST(EngineSession, StagesCacheAndReturnStableReferences) {
+  engine::Session S = bevySession();
+  const SolveOutcome &First = S.solve();
+  const SolveOutcome &Second = S.solve();
+  EXPECT_EQ(&First, &Second);
+  EXPECT_EQ(S.stats().StageRuns[static_cast<size_t>(Stage::Solve)], 1u);
+
+  const InertiaResult &Inertia = S.inertia(0);
+  EXPECT_EQ(&Inertia, &S.inertia(0));
+  EXPECT_EQ(S.stats().StageRuns[static_cast<size_t>(Stage::Analyze)], 1u);
+}
+
+TEST(EngineSession, CountersMatchComponentStatistics) {
+  engine::Session S = bevySession();
+  S.inertia(0);
+  const SessionStats &Stats = S.stats();
+  const SolveOutcome &Out = S.solve();
+
+  EXPECT_EQ(Stats.ParseErrors, 0u);
+  EXPECT_EQ(Stats.GoalEvaluations, Out.NumEvaluations);
+  EXPECT_EQ(Stats.MemoHits, Out.NumMemoHits);
+  EXPECT_EQ(Stats.FixpointRounds, Out.RoundsUsed);
+  EXPECT_GT(Stats.GoalEvaluations, 0u);
+
+  EXPECT_EQ(Stats.TreesExtracted, S.numTrees());
+  size_t Goals = 0;
+  for (size_t I = 0; I != S.numTrees(); ++I)
+    Goals += S.tree(I).numGoals();
+  EXPECT_EQ(Stats.TreeGoals, Goals);
+
+  EXPECT_EQ(Stats.FailedLeaves, S.inertia(0).Order.size());
+  EXPECT_EQ(Stats.DNFConjuncts, S.inertia(0).MCS.size());
+  EXPECT_GT(Stats.FailedLeaves, 0u);
+}
+
+TEST(EngineSession, TimingsArePopulated) {
+  engine::Session S = bevySession();
+  S.inertia(0);
+  S.diagnosticText(0);
+  const SessionStats &Stats = S.stats();
+  for (Stage St : {Stage::Parse, Stage::Solve, Stage::Extract,
+                   Stage::Analyze, Stage::Render}) {
+    EXPECT_TRUE(Stats.ran(St)) << stageName(St);
+    EXPECT_GT(Stats.secondsFor(St), 0.0) << stageName(St);
+  }
+  EXPECT_GE(Stats.totalSeconds(),
+            Stats.secondsFor(Stage::Solve) +
+                Stats.secondsFor(Stage::Extract));
+}
+
+TEST(EngineSession, FreshRunsDoNotDisturbTheCache) {
+  engine::Session S = bevySession();
+  const SolveOutcome &Cached = S.solve();
+  uint64_t EvalsBefore = S.stats().GoalEvaluations;
+
+  SolveOutcome Fresh = S.solveFresh();
+  EXPECT_EQ(Fresh.NumEvaluations, Cached.NumEvaluations);
+  EXPECT_EQ(&S.solve(), &Cached);
+  EXPECT_EQ(S.stats().GoalEvaluations, EvalsBefore);
+
+  size_t CachedSize = S.tree(0).size();
+  size_t TreesBefore = S.stats().TreesExtracted;
+  Extraction Fuller = S.extractFresh([] {
+    ExtractOptions O;
+    O.ShowInternal = true;
+    O.ElideStatefulNodes = false;
+    return O;
+  }());
+  EXPECT_GE(Fuller.Trees.at(0).size(), CachedSize);
+  EXPECT_EQ(S.stats().TreesExtracted, TreesBefore);
+}
+
+TEST(EngineSession, InertiaWithMatchesDefaultWeights) {
+  engine::Session S = bevySession();
+  InertiaResult Custom =
+      S.inertiaWith(0, [&](const GoalKind &K) { return K.weight(); });
+  EXPECT_EQ(Custom.Order, S.inertia(0).Order);
+}
+
+TEST(EngineSession, ParseFailureIsReported) {
+  engine::Session S("broken.tl", "struct ;;; nonsense");
+  EXPECT_FALSE(S.parseOk());
+  EXPECT_GT(S.stats().ParseErrors, 0u);
+  std::string Text = S.parseErrorText();
+  EXPECT_NE(Text.find("broken.tl"), std::string::npos);
+}
+
+TEST(EngineSession, OpenRejectsMissingFiles) {
+  EXPECT_FALSE(engine::Session::open("/nonexistent/missing.tl").has_value());
+}
+
+TEST(EngineSession, StatsSerializeToTraceJSON) {
+  engine::Session S = bevySession();
+  S.inertia(0);
+  std::string JSON = S.stats().toJSON(/*Pretty=*/true);
+  EXPECT_NE(JSON.find("\"name\": \"bevy-resmut-missing\""),
+            std::string::npos);
+  for (const char *Key :
+       {"\"stages\"", "\"parse\"", "\"solve\"", "\"extract\"",
+        "\"analyze\"", "\"seconds\"", "\"runs\"", "\"counters\"",
+        "\"goal_evaluations\"", "\"fixpoint_rounds\"",
+        "\"trees_extracted\"", "\"dnf_conjuncts\""})
+    EXPECT_NE(JSON.find(Key), std::string::npos) << Key;
+}
+
+TEST(EngineSession, RunsEveryCorpusEntry) {
+  // The whole evaluation suite goes through the unified pipeline; every
+  // entry parses, solves with errors, and yields at least one tree.
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    engine::Session S(Entry.Id, Entry.Source);
+    EXPECT_TRUE(S.parseOk()) << Entry.Id;
+    EXPECT_TRUE(S.hasTraitErrors()) << Entry.Id;
+    ASSERT_GE(S.numTrees(), 1u) << Entry.Id;
+    EXPECT_FALSE(S.diagnosticText(0).empty()) << Entry.Id;
+  }
+}

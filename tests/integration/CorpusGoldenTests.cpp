@@ -13,10 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Inertia.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
+#include "engine/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -70,16 +68,12 @@ TEST_P(GoldenTest, MatchesExpectations) {
       Entry = &Candidate;
   ASSERT_NE(Entry, nullptr) << Expected.Id;
 
-  LoadedProgram Loaded = loadEntry(*Entry);
-  const Program &Prog = *Loaded.Prog;
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
-  ASSERT_EQ(Ex.Trees.size(), 1u);
-  const InferenceTree &Tree = Ex.Trees[0];
+  engine::Session ES(Entry->Id, Entry->Source);
+  const Program &Prog = ES.program();
+  ASSERT_EQ(ES.numTrees(), 1u);
+  const InferenceTree &Tree = ES.tree(0);
 
-  DiagnosticRenderer Renderer(Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES.diagnostic(0);
   EXPECT_EQ(Diag.ErrorCode, Expected.ErrorCode);
 
   // Does the text mention the root cause anywhere?

@@ -12,12 +12,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Inertia.h"
-#include "analysis/Suggestions.h"
 #include "corpus/Corpus.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
-#include "interface/View.h"
+#include "engine/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -27,10 +23,7 @@ namespace {
 
 class FigureTest : public ::testing::Test {
 protected:
-  LoadedProgram Loaded;
-  std::unique_ptr<Solver> Solve;
-  SolveOutcome Out;
-  Extraction Ex;
+  std::optional<engine::Session> ES;
 
   const InferenceTree &pipeline(const char *Id) {
     const CorpusEntry *Entry = nullptr;
@@ -38,21 +31,19 @@ protected:
       if (Candidate.Id == Id)
         Entry = &Candidate;
     EXPECT_NE(Entry, nullptr) << Id;
-    Loaded = loadEntry(*Entry);
-    Solve = std::make_unique<Solver>(*Loaded.Prog);
-    Out = Solve->solve();
-    Ex = extractTrees(*Loaded.Prog, Out, Solve->inferContext());
-    EXPECT_EQ(Ex.Trees.size(), 1u);
-    return Ex.Trees[0];
+    ES.emplace(Entry->Id, Entry->Source);
+    EXPECT_EQ(ES->numTrees(), 1u);
+    return ES->tree(0);
   }
+
+  const Program &prog() { return ES->program(); }
 };
 
 } // namespace
 
 TEST_F(FigureTest, Figure2DieselDiagnostic) {
   const InferenceTree &Tree = pipeline("diesel-missing-join");
-  DiagnosticRenderer Renderer(*Loaded.Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES->diagnostic(0);
 
   // Figure 2b: E0271, leading with the Count == Once mismatch, with the
   // two tables printed identically and the middle of the chain hidden.
@@ -66,7 +57,7 @@ TEST_F(FigureTest, Figure2DieselDiagnostic) {
 
   // The Argus view disambiguates the tables and can unfold to the elided
   // Eq<...> step.
-  ArgusInterface UI(*Loaded.Prog, Tree);
+  ArgusInterface UI(prog(), Tree);
   UI.expandAll();
   std::string Text = UI.renderText();
   EXPECT_NE(Text.find("users::table"), std::string::npos);
@@ -76,8 +67,7 @@ TEST_F(FigureTest, Figure2DieselDiagnostic) {
 
 TEST_F(FigureTest, Figure3AstCycle) {
   const InferenceTree &Tree = pipeline("ast-assoc-recursion");
-  DiagnosticRenderer Renderer(*Loaded.Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  RenderedDiagnostic Diag = ES->diagnostic(0);
   EXPECT_EQ(Diag.ErrorCode, "E0275");
   EXPECT_NE(
       Diag.Text.find(
@@ -86,7 +76,7 @@ TEST_F(FigureTest, Figure3AstCycle) {
 
   // Figure 3c: the cycle is two logical steps: AstAssocs ->
   // AssocData<EmptyNode> -> AstAssocs.
-  ArgusInterface UI(*Loaded.Prog, Tree);
+  ArgusInterface UI(prog(), Tree);
   UI.setActiveView(ViewKind::TopDown);
   UI.expandAll();
   std::vector<ViewRow> Rows = UI.rows();
@@ -102,9 +92,8 @@ TEST_F(FigureTest, Figure3AstCycle) {
 }
 
 TEST_F(FigureTest, Figure4BevyDiagnosticOmitsTheKeyTrait) {
-  const InferenceTree &Tree = pipeline("bevy-resmut-missing");
-  DiagnosticRenderer Renderer(*Loaded.Prog);
-  RenderedDiagnostic Diag = Renderer.render(Tree);
+  pipeline("bevy-resmut-missing");
+  RenderedDiagnostic Diag = ES->diagnostic(0);
 
   // Figure 4b: the #[on_unimplemented] headline, and no mention of
   // SystemParam anywhere in the static text.
@@ -117,7 +106,7 @@ TEST_F(FigureTest, Figure4BevyDiagnosticOmitsTheKeyTrait) {
 
 TEST_F(FigureTest, Figure9BottomUpLeadsWithSystemParam) {
   const InferenceTree &Tree = pipeline("bevy-resmut-missing");
-  ArgusInterface UI(*Loaded.Prog, Tree);
+  ArgusInterface UI(prog(), Tree);
   std::vector<ViewRow> Rows = UI.rows();
   // Figure 9a: the bottom-up view's first entry is Timer: SystemParam —
   // the bound the compiler elided.
@@ -135,23 +124,21 @@ TEST_F(FigureTest, Figure9BottomUpLeadsWithSystemParam) {
 
 TEST_F(FigureTest, Figure10InertiaPipeline) {
   const InferenceTree &Tree = pipeline("bevy-resmut-missing");
-  InertiaResult Inertia = rankByInertia(*Loaded.Prog, Tree);
+  const InertiaResult &Inertia = ES->inertia(0);
   // Figure 10: two minimum correction subsets; Timer: SystemParam is in
   // the lighter one and therefore sorts first.
   ASSERT_EQ(Inertia.MCS.size(), 2u);
   std::vector<size_t> Scores = Inertia.ConjunctScores;
   std::sort(Scores.begin(), Scores.end());
   EXPECT_LT(Scores[0], Scores[1]);
-  TypePrinter Printer(*Loaded.Prog);
+  TypePrinter Printer(prog());
   EXPECT_EQ(Printer.print(Tree.goal(Inertia.Order[0]).Pred),
             "Timer: SystemParam");
 }
 
 TEST_F(FigureTest, Section71SuggestionsFindResMut) {
-  const InferenceTree &Tree = pipeline("bevy-resmut-missing");
-  InertiaResult Inertia = rankByInertia(*Loaded.Prog, Tree);
-  std::vector<FixSuggestion> Fixes =
-      suggestFixes(*Loaded.Prog, Tree.goal(Inertia.Order[0]).Pred);
+  pipeline("bevy-resmut-missing");
+  std::vector<FixSuggestion> Fixes = ES->suggestTop(0);
   ASSERT_FALSE(Fixes.empty());
   EXPECT_EQ(Fixes[0].SuggestionKind, FixSuggestion::Kind::WrapInType);
   EXPECT_NE(Fixes[0].Rendered.find("ResMut<Timer>"), std::string::npos);
@@ -169,8 +156,7 @@ TEST_F(FigureTest, Section4PredicateCountsMatchTheGap) {
   ExtractOptions ShowAll;
   ShowAll.ShowInternal = true;
   ShowAll.ElideStatefulNodes = false;
-  Extraction Full =
-      extractTrees(*Loaded.Prog, Out, Solve->inferContext(), ShowAll);
+  Extraction Full = ES->extractFresh(ShowAll);
   size_t Internal = 0;
   for (size_t I = 0; I != Full.Trees[0].numGoals(); ++I)
     Internal += !isUserFacing(

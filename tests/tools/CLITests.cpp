@@ -16,7 +16,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+
+#include <sys/stat.h>
 
 namespace {
 
@@ -131,4 +134,56 @@ TEST(CLI, CoherenceWarningsAreEmitted) {
   RunResult Result = runCLI(Path);
   EXPECT_NE(Result.Stdout.find("warning:"), std::string::npos);
   EXPECT_NE(Result.Stdout.find("orphan"), std::string::npos);
+}
+
+TEST(CLI, UnknownOptionNamesTheFlag) {
+  RunResult Result = runCLI("--frobnicate");
+  EXPECT_EQ(Result.ExitCode, 2);
+  EXPECT_NE(Result.Stdout.find("--frobnicate"), std::string::npos);
+}
+
+TEST(CLI, VersionPrintsAndExitsZero) {
+  RunResult Result = runCLI("--version");
+  EXPECT_EQ(Result.ExitCode, 0);
+  EXPECT_NE(Result.Stdout.find("argus "), std::string::npos);
+}
+
+TEST(CLI, BatchIsDeterministicAcrossJobCounts) {
+  // A three-program directory: two failing, one passing.
+  std::string Dir = std::string(::testing::TempDir()) + "cli_batch_dir";
+  mkdir(Dir.c_str(), 0755);
+  std::ofstream(Dir + "/a_fail.tl") << FailingProgram;
+  std::ofstream(Dir + "/b_pass.tl") << PassingProgram;
+  std::ofstream(Dir + "/c_fail.tl") << FailingProgram;
+
+  RunResult Serial = runCLI("--batch " + Dir + " --json --jobs 1");
+  RunResult Parallel = runCLI("--batch " + Dir + " --json --jobs 8");
+  EXPECT_EQ(Serial.ExitCode, 1); // trait errors present
+  EXPECT_EQ(Serial.Stdout, Parallel.Stdout);
+  // Blocks appear in sorted input order, headed by the file path.
+  size_t A = Serial.Stdout.find("/a_fail.tl ===");
+  size_t B = Serial.Stdout.find("/b_pass.tl ===");
+  size_t C = Serial.Stdout.find("/c_fail.tl ===");
+  EXPECT_NE(A, std::string::npos);
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+}
+
+TEST(CLI, TraceWritesPerStageStats) {
+  std::string Path = writeTemp("cli_trace.tl", FailingProgram);
+  std::string TracePath = std::string(::testing::TempDir()) + "cli_trace.json";
+  RunResult Result = runCLI(Path + " --trace " + TracePath);
+  EXPECT_EQ(Result.ExitCode, 1);
+  std::ifstream In(TracePath);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Trace = Buffer.str();
+  EXPECT_NE(Trace.find("\"stages\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"goal_evaluations\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"solve\""), std::string::npos);
+}
+
+TEST(CLI, BadJobsValueIsRejected) {
+  RunResult Result = runCLI("--batch . --jobs 0");
+  EXPECT_EQ(Result.ExitCode, 2);
 }

@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch front end: run the full Argus pipeline on a .tl program and
-/// emit any combination of renderings. This is what CI or an editor
-/// plugin would shell out to.
+/// The batch front end: run the full Argus pipeline on one .tl program —
+/// or, with --batch, on every .tl program in a directory, across a
+/// thread pool — and emit any combination of renderings. This is what CI
+/// or an editor plugin would shell out to. All pipeline wiring lives in
+/// engine::Session; this file only parses flags and routes output.
 ///
 ///   argus <program.tl> [options]
+///   argus --batch <dir> [options]
 ///
 ///   --diag           rustc-style static diagnostic (default)
 ///   --bottom-up      inertia-ranked bottom-up view (default)
@@ -17,34 +20,39 @@
 ///   --mcs            minimum correction subsets with scores
 ///   --suggest        verified fix suggestions for the top failure
 ///   --json           idealized tree as JSON
-///   --html <file>    standalone interactive HTML page
+///   --html <file>    standalone interactive HTML page (single-file only)
 ///   --show-internal  keep internal predicates in the tree
 ///   --check          exit status only: 0 if all goals hold, 1 otherwise
+///   --batch <dir>    run every *.tl file in <dir> (sorted by name)
+///   --jobs <n>       worker threads for --batch (default 1; output is
+///                    byte-identical at any thread count)
+///   --trace <file>   write per-stage timings and counters as JSON
+///   --version        print the version and exit
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Inertia.h"
-#include "analysis/Suggestions.h"
-#include "diagnostics/Diagnostics.h"
-#include "extract/Extract.h"
-#include "extract/TreeJSON.h"
-#include "interface/HTMLExport.h"
-#include "interface/View.h"
-#include "solver/Coherence.h"
-#include "tlang/Parser.h"
+#include "engine/Batch.h"
+#include "engine/Session.h"
+#include "tlang/Printer.h"
 
+#include <cstdarg>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <string>
 
 using namespace argus;
+
+#define ARGUS_CLI_VERSION "0.2.0"
 
 namespace {
 
 struct Options {
   std::string InputPath;
+  std::string BatchDir;
   std::string HTMLPath;
+  std::string TracePath;
+  unsigned Jobs = 1;
   bool Diag = false;
   bool BottomUp = false;
   bool TopDown = false;
@@ -60,8 +68,206 @@ int usage() {
           "usage: argus <program.tl> [--diag] [--bottom-up] [--top-down]"
           " [--mcs]\n"
           "             [--suggest] [--json] [--html <file>]"
-          " [--show-internal] [--check]\n");
+          " [--show-internal] [--check]\n"
+          "             [--trace <file>] [--version]\n"
+          "       argus --batch <dir> [--jobs <n>] [other options]\n");
   return 2;
+}
+
+/// Everything the pipeline produced for one program, ready to route to
+/// stdout/stderr (single mode) or into an ordered batch block.
+struct Rendered {
+  std::string Warnings; ///< Coherence warnings, one per line.
+  std::string Body;     ///< Requested renderings, or the parse errors.
+  int Exit = 0;         ///< 0 ok, 1 trait errors, 2 parse error.
+};
+
+void appendf(std::string &Out, const char *Format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  char Stack[512];
+  int Needed = vsnprintf(Stack, sizeof(Stack), Format, Args);
+  va_end(Args);
+  if (Needed < static_cast<int>(sizeof(Stack))) {
+    Out.append(Stack, static_cast<size_t>(Needed));
+    return;
+  }
+  std::string Big(static_cast<size_t>(Needed) + 1, '\0');
+  va_start(Args, Format);
+  vsnprintf(Big.data(), Big.size(), Format, Args);
+  va_end(Args);
+  Big.resize(static_cast<size_t>(Needed));
+  Out += Big;
+}
+
+/// Runs every requested rendering for one program. \p HTMLPath is empty
+/// in batch mode (checked during flag parsing).
+Rendered renderProgram(engine::Session &S, const Options &Opts) {
+  Rendered R;
+  if (!S.parseOk()) {
+    R.Body = S.parseErrorText();
+    R.Exit = 2;
+    return R;
+  }
+
+  // Coherence problems are program bugs worth flagging before solving.
+  for (const CoherenceError &Error : S.coherence())
+    appendf(R.Warnings, "warning: %s\n", Error.Message.c_str());
+
+  if (Opts.CheckOnly) {
+    R.Exit = S.hasTraitErrors() ? 1 : 0;
+    return R;
+  }
+
+  if (S.numTrees() == 0) {
+    appendf(R.Body, "all %zu goal(s) hold.\n",
+            S.solve().FinalResults.size());
+    R.Exit = 0;
+    return R;
+  }
+
+  for (size_t T = 0; T != S.numTrees(); ++T) {
+    if (S.numTrees() > 1)
+      appendf(R.Body, "=== failing goal %zu of %zu ===\n", T + 1,
+              S.numTrees());
+
+    if (Opts.Diag)
+      appendf(R.Body, "%s\n", S.diagnosticText(T).c_str());
+    if (Opts.BottomUp)
+      appendf(R.Body, "%s\n", S.bottomUpText(T).c_str());
+    if (Opts.TopDown)
+      appendf(R.Body, "%s\n", S.topDownText(T).c_str());
+    if (Opts.MCS || Opts.Suggest) {
+      const InertiaResult &Inertia = S.inertia(T);
+      if (Opts.MCS) {
+        TypePrinter Printer(S.program());
+        appendf(R.Body, "minimum correction subsets:\n");
+        for (size_t I = 0; I != Inertia.MCS.size(); ++I) {
+          appendf(R.Body, "  score %zu: {", Inertia.ConjunctScores[I]);
+          for (size_t J = 0; J != Inertia.MCS[I].size(); ++J)
+            appendf(R.Body, "%s%s", J ? ", " : " ",
+                    Printer.print(S.tree(T).goal(Inertia.MCS[I][J]).Pred)
+                        .c_str());
+          appendf(R.Body, " }\n");
+        }
+        appendf(R.Body, "\n");
+      }
+      if (Opts.Suggest && !Inertia.Order.empty()) {
+        appendf(R.Body, "verified fix suggestions:\n");
+        std::vector<FixSuggestion> Fixes = S.suggestTop(T);
+        if (Fixes.empty())
+          appendf(R.Body, "  (none found)\n");
+        for (const FixSuggestion &Fix : Fixes)
+          appendf(R.Body, "  - %s\n", Fix.Rendered.c_str());
+        appendf(R.Body, "\n");
+      }
+    }
+    if (Opts.JSON)
+      appendf(R.Body, "%s\n", S.treeJSON(T, /*Pretty=*/true).c_str());
+    if (!Opts.HTMLPath.empty()) {
+      std::string Path = Opts.HTMLPath;
+      if (S.numTrees() > 1)
+        Path += "." + std::to_string(T);
+      std::ofstream HTML(Path);
+      if (!HTML) {
+        fprintf(stderr, "argus: cannot write %s\n", Path.c_str());
+        R.Exit = 2;
+        return R;
+      }
+      HTMLExportOptions HOpts;
+      HOpts.Title = "Argus: " + S.name();
+      HTML << S.html(T, HOpts);
+      fprintf(stderr, "wrote %s\n", Path.c_str());
+    }
+  }
+  R.Exit = 1; // Trait errors found.
+  return R;
+}
+
+bool writeTrace(const std::string &Path, const std::string &JSON) {
+  std::ofstream File(Path);
+  if (!File) {
+    fprintf(stderr, "argus: cannot write trace file %s\n", Path.c_str());
+    return false;
+  }
+  File << JSON << "\n";
+  return true;
+}
+
+int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
+  std::vector<engine::BatchJob> Jobs =
+      engine::BatchDriver::jobsFromDirectory(Opts.BatchDir);
+  if (Jobs.empty()) {
+    fprintf(stderr, "argus: no .tl programs found in %s\n",
+            Opts.BatchDir.c_str());
+    return 2;
+  }
+
+  engine::BatchDriver Driver(SessOpts, Opts.Jobs);
+  std::vector<engine::BatchResult> Results =
+      Driver.run(Jobs, [&Opts](engine::Session &S) {
+        Rendered R = renderProgram(S, Opts);
+        std::string Block;
+        Block += R.Warnings;
+        Block += R.Body;
+        return Block;
+      });
+
+  int Exit = 0;
+  for (const engine::BatchResult &Result : Results) {
+    printf("=== %s ===\n", Result.Name.c_str());
+    if (Result.failed()) {
+      printf("error: %s\n", Result.Error.c_str());
+      Exit = 2;
+      continue;
+    }
+    fputs(Result.Output.c_str(), stdout);
+    if (!Result.ParseOk)
+      Exit = 2;
+    else if (Result.HasTraitErrors && Exit < 2)
+      Exit = 1;
+  }
+
+  if (!Opts.TracePath.empty() &&
+      !writeTrace(Opts.TracePath,
+                  engine::BatchDriver::statsTraceJSON(Results, Opts.Jobs)))
+    return 2;
+  return Exit;
+}
+
+int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
+  std::optional<engine::Session> S =
+      engine::Session::open(Opts.InputPath, SessOpts);
+  if (!S) {
+    fprintf(stderr, "argus: cannot open %s\n", Opts.InputPath.c_str());
+    return 2;
+  }
+
+  Rendered R = renderProgram(*S, Opts);
+  if (!S->parseOk()) {
+    fprintf(stderr, "%s", R.Body.c_str());
+    return R.Exit;
+  }
+  fputs(R.Warnings.c_str(), stderr);
+  fputs(R.Body.c_str(), stdout);
+
+  if (!Opts.TracePath.empty()) {
+    JSONWriter Writer(/*Pretty=*/true);
+    Writer.beginObject();
+    Writer.keyValue("jobs", static_cast<uint64_t>(1));
+    Writer.keyValue("programs_total", static_cast<uint64_t>(1));
+    Writer.key("programs");
+    Writer.beginArray();
+    S->stats().writeJSON(Writer);
+    Writer.endArray();
+    Writer.endObject();
+    if (!writeTrace(Opts.TracePath, Writer.str()))
+      return 2;
+  }
+  return R.Exit;
 }
 
 } // namespace
@@ -70,6 +276,10 @@ int main(int Argc, char **Argv) {
   Options Opts;
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
+    if (Arg == "--version") {
+      printf("argus " ARGUS_CLI_VERSION "\n");
+      return 0;
+    }
     if (Arg == "--diag")
       Opts.Diag = true;
     else if (Arg == "--bottom-up")
@@ -87,20 +297,58 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--check")
       Opts.CheckOnly = true;
     else if (Arg == "--html") {
-      if (++I == Argc)
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --html requires a file argument\n");
         return usage();
+      }
       Opts.HTMLPath = Argv[I];
+    } else if (Arg == "--batch") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --batch requires a directory argument\n");
+        return usage();
+      }
+      Opts.BatchDir = Argv[I];
+    } else if (Arg == "--trace") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --trace requires a file argument\n");
+        return usage();
+      }
+      Opts.TracePath = Argv[I];
+    } else if (Arg == "--jobs") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --jobs requires a count argument\n");
+        return usage();
+      }
+      char *End = nullptr;
+      long Value = strtol(Argv[I], &End, 10);
+      if (!End || *End != '\0' || Value < 1 || Value > 1024) {
+        fprintf(stderr, "argus: invalid --jobs count '%s'\n", Argv[I]);
+        return usage();
+      }
+      Opts.Jobs = static_cast<unsigned>(Value);
     } else if (!Arg.empty() && Arg[0] == '-') {
-      fprintf(stderr, "unknown option %s\n", Arg.c_str());
+      fprintf(stderr, "argus: unknown option %s\n", Arg.c_str());
       return usage();
     } else if (Opts.InputPath.empty()) {
       Opts.InputPath = Arg;
     } else {
+      fprintf(stderr, "argus: unexpected extra argument %s\n", Arg.c_str());
       return usage();
     }
   }
-  if (Opts.InputPath.empty())
+
+  bool Batch = !Opts.BatchDir.empty();
+  if (Batch == !Opts.InputPath.empty()) {
+    fprintf(stderr, Batch
+                        ? "argus: --batch cannot be combined with a "
+                          "program argument\n"
+                        : "argus: no input program\n");
     return usage();
+  }
+  if (Batch && !Opts.HTMLPath.empty()) {
+    fprintf(stderr, "argus: --html is not supported with --batch\n");
+    return usage();
+  }
   if (!Opts.Diag && !Opts.BottomUp && !Opts.TopDown && !Opts.MCS &&
       !Opts.Suggest && !Opts.JSON && Opts.HTMLPath.empty() &&
       !Opts.CheckOnly) {
@@ -108,102 +356,8 @@ int main(int Argc, char **Argv) {
     Opts.BottomUp = true;
   }
 
-  std::ifstream File(Opts.InputPath);
-  if (!File) {
-    fprintf(stderr, "argus: cannot open %s\n", Opts.InputPath.c_str());
-    return 2;
-  }
-  std::ostringstream Buffer;
-  Buffer << File.rdbuf();
+  engine::SessionOptions SessOpts;
+  SessOpts.Extract.ShowInternal = Opts.ShowInternal;
 
-  Session S;
-  Program Prog(S);
-  ParseResult Parsed = parseSource(Prog, Opts.InputPath, Buffer.str());
-  if (!Parsed.Success) {
-    fprintf(stderr, "%s", Parsed.describe(S.sources()).c_str());
-    return 2;
-  }
-
-  // Coherence problems are program bugs worth flagging before solving.
-  for (const CoherenceError &Error : checkCoherence(Prog))
-    fprintf(stderr, "warning: %s\n", Error.Message.c_str());
-
-  Solver Solve(Prog);
-  SolveOutcome Out = Solve.solve();
-  ExtractOptions ExOpts;
-  ExOpts.ShowInternal = Opts.ShowInternal;
-  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext(), ExOpts);
-
-  if (Opts.CheckOnly)
-    return Out.hasErrors() ? 1 : 0;
-
-  if (Ex.Trees.empty()) {
-    printf("all %zu goal(s) hold.\n", Out.FinalResults.size());
-    return 0;
-  }
-
-  for (size_t T = 0; T != Ex.Trees.size(); ++T) {
-    const InferenceTree &Tree = Ex.Trees[T];
-    if (Ex.Trees.size() > 1)
-      printf("=== failing goal %zu of %zu ===\n", T + 1,
-             Ex.Trees.size());
-
-    if (Opts.Diag) {
-      DiagnosticRenderer Renderer(Prog);
-      printf("%s\n", Renderer.render(Tree).Text.c_str());
-    }
-    if (Opts.BottomUp) {
-      ArgusInterface UI(Prog, Tree);
-      printf("%s\n", UI.renderText().c_str());
-    }
-    if (Opts.TopDown) {
-      ArgusInterface UI(Prog, Tree);
-      UI.setActiveView(ViewKind::TopDown);
-      UI.expandAll();
-      printf("%s\n", UI.renderText().c_str());
-    }
-    if (Opts.MCS || Opts.Suggest) {
-      InertiaResult Inertia = rankByInertia(Prog, Tree);
-      if (Opts.MCS) {
-        TypePrinter Printer(Prog);
-        printf("minimum correction subsets:\n");
-        for (size_t I = 0; I != Inertia.MCS.size(); ++I) {
-          printf("  score %zu: {", Inertia.ConjunctScores[I]);
-          for (size_t J = 0; J != Inertia.MCS[I].size(); ++J)
-            printf("%s%s", J ? ", " : " ",
-                   Printer.print(Tree.goal(Inertia.MCS[I][J]).Pred)
-                       .c_str());
-          printf(" }\n");
-        }
-        printf("\n");
-      }
-      if (Opts.Suggest && !Inertia.Order.empty()) {
-        printf("verified fix suggestions:\n");
-        std::vector<FixSuggestion> Fixes =
-            suggestFixes(Prog, Tree.goal(Inertia.Order[0]).Pred);
-        if (Fixes.empty())
-          printf("  (none found)\n");
-        for (const FixSuggestion &Fix : Fixes)
-          printf("  - %s\n", Fix.Rendered.c_str());
-        printf("\n");
-      }
-    }
-    if (Opts.JSON)
-      printf("%s\n", treeToJSON(Prog, Tree, /*Pretty=*/true).c_str());
-    if (!Opts.HTMLPath.empty()) {
-      std::string Path = Opts.HTMLPath;
-      if (Ex.Trees.size() > 1)
-        Path += "." + std::to_string(T);
-      std::ofstream HTML(Path);
-      if (!HTML) {
-        fprintf(stderr, "argus: cannot write %s\n", Path.c_str());
-        return 2;
-      }
-      HTMLExportOptions HOpts;
-      HOpts.Title = "Argus: " + Opts.InputPath;
-      HTML << treeToHTML(Prog, Tree, HOpts);
-      fprintf(stderr, "wrote %s\n", Path.c_str());
-    }
-  }
-  return 1; // Trait errors found.
+  return Batch ? runBatch(Opts, SessOpts) : runSingle(Opts, SessOpts);
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# tools/check.sh — the repo's one-command gate.
+#
+# Default mode configures, builds, and runs the full test suite, then
+# verifies the engine's batch determinism guarantee end to end: the CLI
+# must produce byte-identical JSON over a directory of programs whether
+# it runs serially or on 8 worker threads.
+#
+#   tools/check.sh [build-dir]
+#
+# The determinism check is also wired into CTest (cli_batch_determinism),
+# which invokes only that step to avoid recursing into ctest:
+#
+#   tools/check.sh --determinism-only <argus-binary> <programs-dir>
+set -eu
+
+determinism() {
+  argus_bin="$1"
+  programs_dir="$2"
+  serial_out="${TMPDIR:-/tmp}/argus_batch_serial_$$.json"
+  parallel_out="${TMPDIR:-/tmp}/argus_batch_parallel_$$.json"
+  trap 'rm -f "$serial_out" "$parallel_out"' EXIT
+
+  "$argus_bin" --batch "$programs_dir" --jobs 1 --json >"$serial_out" || true
+  "$argus_bin" --batch "$programs_dir" --jobs 8 --json >"$parallel_out" || true
+
+  if ! cmp -s "$serial_out" "$parallel_out"; then
+    echo "FAIL: --jobs 8 output differs from --jobs 1 over $programs_dir" >&2
+    diff "$serial_out" "$parallel_out" >&2 || true
+    exit 1
+  fi
+  echo "batch determinism: OK (--jobs 1 == --jobs 8 over $programs_dir)"
+}
+
+if [ "${1:-}" = "--determinism-only" ]; then
+  [ $# -eq 3 ] || {
+    echo "usage: $0 --determinism-only <argus-binary> <programs-dir>" >&2
+    exit 2
+  }
+  determinism "$2" "$3"
+  exit 0
+fi
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+(cd "$build_dir" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)")
+
+determinism "$build_dir/tools/argus" "$repo_root/examples"
+echo "all checks passed"
