@@ -1,0 +1,298 @@
+//===- bench/bench_hotpath.cpp - Machine-readable perf baseline -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits BENCH_hotpath.json: the recorded perf trajectory of the
+/// pipeline's hot paths, so future changes can be compared against a
+/// baseline instead of a feeling. Two sections:
+///
+///  1. "corpus": the full engine::Session pipeline per evaluation-suite
+///     program — wall-clock per stage plus the work counters
+///     (goal evaluations, candidates filtered by the impl head index,
+///     DNF conjuncts/words, arena hash lookups).
+///
+///  2. "dnf_kernel": the bitset DNF kernel (computeMCS) measured against
+///     the reference vector kernel (computeMCSReference) on the corpus
+///     trees and on generated trees at paper-scale sizes (median 2,554
+///     nodes, max 36,794). Both kernels must produce identical conjunct
+///     sets; the aggregate speedup is the headline number and is expected
+///     to stay >= 5x.
+///
+/// Usage: bench_hotpath [output.json]   (default: BENCH_hotpath.json)
+///
+/// See DESIGN.md for the JSON schema and EXPERIMENTS.md for how to record
+/// and compare baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DNF.h"
+#include "corpus/Corpus.h"
+#include "corpus/Generator.h"
+#include "engine/Session.h"
+#include "support/JSON.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace argus;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One DNF-kernel workload: a tree (owned elsewhere) under a name.
+struct KernelWorkload {
+  std::string Name;
+  const InferenceTree *Tree = nullptr;
+};
+
+struct KernelMeasurement {
+  std::string Name;
+  size_t TreeNodes = 0;
+  size_t Conjuncts = 0;
+  size_t Atoms = 0;
+  uint64_t Reps = 0;
+  double BitsetSeconds = 0.0;
+  double ReferenceSeconds = 0.0;
+  bool Identical = false;
+
+  double speedup() const {
+    return BitsetSeconds > 0.0 ? ReferenceSeconds / BitsetSeconds : 0.0;
+  }
+};
+
+/// Times \p Fn over \p Reps runs, returning total seconds.
+template <typename Fn> double timeReps(uint64_t Reps, Fn &&Run) {
+  double Start = now();
+  for (uint64_t I = 0; I != Reps; ++I)
+    Run();
+  return now() - Start;
+}
+
+KernelMeasurement measureKernels(const KernelWorkload &Workload) {
+  KernelMeasurement M;
+  M.Name = Workload.Name;
+  M.TreeNodes = Workload.Tree->size();
+
+  const AnalysisOptions Opts; // Defaults: bitset on, standard cap.
+  DNFStats Stats;
+  DNFFormula Bitset = computeMCS(*Workload.Tree, Opts, &Stats);
+  DNFFormula Reference = computeMCSReference(*Workload.Tree, Opts);
+  M.Conjuncts = Bitset.Conjuncts.size();
+  M.Atoms = static_cast<size_t>(Stats.Atoms);
+  M.Identical = Bitset.IsTrue == Reference.IsTrue &&
+                Bitset.Conjuncts == Reference.Conjuncts;
+
+  // Calibrate the repetition count off the slower (reference) kernel so
+  // each workload runs long enough to time stably, without making the
+  // large trees take minutes.
+  double Probe = timeReps(1, [&] {
+    DNFFormula F = computeMCSReference(*Workload.Tree, Opts);
+    (void)F;
+  });
+  const double TargetSeconds = 0.25;
+  uint64_t Reps = Probe > 0.0
+                      ? static_cast<uint64_t>(TargetSeconds / Probe)
+                      : 10000;
+  if (Reps < 2)
+    Reps = 2;
+  if (Reps > 20000)
+    Reps = 20000;
+  M.Reps = Reps;
+
+  M.ReferenceSeconds = timeReps(Reps, [&] {
+    DNFFormula F = computeMCSReference(*Workload.Tree, Opts);
+    (void)F;
+  });
+  M.BitsetSeconds = timeReps(Reps, [&] {
+    DNFFormula F = computeMCS(*Workload.Tree, Opts);
+    (void)F;
+  });
+  return M;
+}
+
+void writeCorpusEntry(JSONWriter &W, const engine::SessionStats &Stats) {
+  W.beginObject();
+  W.keyValue("name", Stats.Name);
+  W.keyValue("goal_evaluations", Stats.GoalEvaluations);
+  W.keyValue("candidates_filtered", Stats.CandidatesFiltered);
+  W.keyValue("trees", static_cast<uint64_t>(Stats.TreesExtracted));
+  W.keyValue("tree_goals", static_cast<uint64_t>(Stats.TreeGoals));
+  W.keyValue("failed_leaves", static_cast<uint64_t>(Stats.FailedLeaves));
+  W.keyValue("dnf_conjuncts", static_cast<uint64_t>(Stats.DNFConjuncts));
+  W.keyValue("dnf_words_touched", Stats.DNFWordsTouched);
+  W.keyValue("dnf_truncations", Stats.DNFTruncations);
+  W.keyValue("arena_hash_lookups", Stats.ArenaHashLookups);
+  W.key("seconds");
+  W.beginObject();
+  for (size_t I = 0; I != engine::NumStages; ++I)
+    W.keyValue(engine::stageName(static_cast<engine::Stage>(I)),
+               Stats.StageSeconds[I]);
+  W.endObject();
+  W.keyValue("total_seconds", Stats.totalSeconds());
+  W.endObject();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_hotpath.json";
+
+  // --- Section 1: full pipeline over the evaluation suite.
+  std::vector<engine::Session> Sessions;
+  Sessions.reserve(evaluationSuite().size());
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    Sessions.emplace_back(Entry.Id, Entry.Source);
+    engine::Session &S = Sessions.back();
+    S.coherence();
+    for (size_t T = 0; T != S.numTrees(); ++T)
+      S.inertia(T);
+  }
+
+  // --- Section 2: kernel comparison workloads. Corpus trees first (the
+  // real, small ones), then generated trees at the paper's size range;
+  // the branchy variants stress the conjunction cross product where the
+  // vector kernel's quadratic absorption dominates.
+  std::vector<KernelWorkload> Workloads;
+  for (engine::Session &S : Sessions)
+    for (size_t T = 0; T != S.numTrees(); ++T)
+      Workloads.push_back({S.name() + (S.numTrees() > 1
+                                           ? "#" + std::to_string(T)
+                                           : std::string()),
+                           &S.tree(T)});
+
+  std::vector<GeneratedWorkload> Generated;
+  Generated.reserve(16); // Workloads hold pointers into this vector.
+  auto AddGenerated = [&](const char *Name, size_t Nodes, uint64_t Seed,
+                          double BranchProbability) {
+    GeneratorOptions GenOpts;
+    GenOpts.TargetNodes = Nodes;
+    GenOpts.Seed = Seed;
+    GenOpts.BranchProbability = BranchProbability;
+    Generated.push_back(generateTree(GenOpts));
+    Workloads.push_back({Name, &Generated.back().Tree});
+  };
+  // Generated, like bench_fig12b: median / large / max paper sizes.
+  AddGenerated("generated-2554", 2554, 1201, 0.10);
+  AddGenerated("generated-8192", 8192, 1201, 0.10);
+  AddGenerated("generated-36794", 36794, 1201, 0.10);
+  AddGenerated("generated-branchy-2554", 2554, 99, 0.35);
+  AddGenerated("generated-branchy-8192", 8192, 99, 0.35);
+  AddGenerated("generated-branchy-36794", 36794, 99, 0.35);
+
+  // Dense workloads: every failing goal branches (OR width) and every
+  // failing candidate carries several failing subgoals (AND width), so
+  // normalization is dominated by the conjunction cross product and
+  // absorption over multi-atom conjuncts — the regime the bitset kernel
+  // exists for. Shape orx<and>-d<depth>; conjunct count grows as
+  // or * prev^and per level, so depth 3 already yields 10^2..10^4
+  // conjuncts. The 2x3 shape exceeds 128 distinct atoms, spilling
+  // ConjunctSet to its heap representation.
+  auto AddDense = [&](const char *Name, size_t OrWidth, size_t AndWidth,
+                      uint32_t Depth, size_t Nodes) {
+    GeneratorOptions GenOpts;
+    GenOpts.TargetNodes = Nodes;
+    GenOpts.Seed = 7;
+    GenOpts.BranchProbability = 1.0;
+    GenOpts.BranchWidth = OrWidth;
+    GenOpts.FailingSubgoalsPerCandidate = AndWidth;
+    GenOpts.MaxFanout = 0;
+    GenOpts.OverflowProbability = 0.0;
+    GenOpts.MaxFailDepth = Depth;
+    Generated.push_back(generateTree(GenOpts));
+    Workloads.push_back({Name, &Generated.back().Tree});
+  };
+  AddDense("dense-or2-and2-d3", 2, 2, 3, 512);
+  AddDense("dense-or3-and2-d3", 3, 2, 3, 1024);
+  AddDense("dense-or2-and3-d3", 2, 3, 3, 1024);
+  AddDense("dense-or2-and2-d4", 2, 2, 4, 2048);
+
+  std::vector<KernelMeasurement> Measurements;
+  Measurements.reserve(Workloads.size());
+  bool AllIdentical = true;
+  double TotalBitset = 0.0, TotalReference = 0.0;
+  for (const KernelWorkload &Workload : Workloads) {
+    Measurements.push_back(measureKernels(Workload));
+    const KernelMeasurement &M = Measurements.back();
+    AllIdentical &= M.Identical;
+    // Totals compare per-normalization averages so every workload counts
+    // once, regardless of its calibrated repetition count.
+    TotalBitset += M.BitsetSeconds / static_cast<double>(M.Reps);
+    TotalReference += M.ReferenceSeconds / static_cast<double>(M.Reps);
+    printf("%-28s nodes=%-6zu conjuncts=%-5zu atoms=%-4zu reps=%-6llu "
+           "ref=%.3fms bitset=%.3fms speedup=%.2fx%s\n",
+           M.Name.c_str(), M.TreeNodes, M.Conjuncts, M.Atoms,
+           static_cast<unsigned long long>(M.Reps),
+           1e3 * M.ReferenceSeconds / static_cast<double>(M.Reps),
+           1e3 * M.BitsetSeconds / static_cast<double>(M.Reps),
+           M.speedup(), M.Identical ? "" : "  MISMATCH");
+  }
+  double AggregateSpeedup =
+      TotalBitset > 0.0 ? TotalReference / TotalBitset : 0.0;
+  printf("aggregate: ref=%.3fms bitset=%.3fms speedup=%.2fx identical=%s\n",
+         1e3 * TotalReference, 1e3 * TotalBitset, AggregateSpeedup,
+         AllIdentical ? "yes" : "NO");
+
+  // --- Emit the baseline.
+  JSONWriter W(/*Pretty=*/true);
+  W.beginObject();
+  W.keyValue("schema", "argus-bench-hotpath-v1");
+  W.key("corpus");
+  W.beginArray();
+  for (const engine::Session &S : Sessions)
+    writeCorpusEntry(W, S.stats());
+  W.endArray();
+  W.key("dnf_kernel");
+  W.beginObject();
+  W.key("workloads");
+  W.beginArray();
+  for (const KernelMeasurement &M : Measurements) {
+    W.beginObject();
+    W.keyValue("name", M.Name);
+    W.keyValue("tree_nodes", static_cast<uint64_t>(M.TreeNodes));
+    W.keyValue("mcs_conjuncts", static_cast<uint64_t>(M.Conjuncts));
+    W.keyValue("atoms", static_cast<uint64_t>(M.Atoms));
+    W.keyValue("reps", M.Reps);
+    W.keyValue("reference_seconds_per_run",
+               M.ReferenceSeconds / static_cast<double>(M.Reps));
+    W.keyValue("bitset_seconds_per_run",
+               M.BitsetSeconds / static_cast<double>(M.Reps));
+    W.keyValue("speedup", M.speedup());
+    W.keyValue("identical", M.Identical);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("totals");
+  W.beginObject();
+  W.keyValue("reference_seconds_per_pass", TotalReference);
+  W.keyValue("bitset_seconds_per_pass", TotalBitset);
+  W.keyValue("speedup", AggregateSpeedup);
+  W.keyValue("identical", AllIdentical);
+  W.endObject();
+  W.endObject();
+  W.endObject();
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    fprintf(stderr, "bench_hotpath: cannot write %s\n", OutPath.c_str());
+    return 2;
+  }
+  Out << W.str() << "\n";
+  printf("wrote %s\n", OutPath.c_str());
+
+  // The baseline is only worth recording if the kernels agree; the
+  // speedup floor is the acceptance bar this bench exists to witness.
+  if (!AllIdentical)
+    return 1;
+  return 0;
+}

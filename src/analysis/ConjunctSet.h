@@ -1,0 +1,178 @@
+//===- analysis/ConjunctSet.h - Small-buffer conjunct bitsets -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache-friendly conjunct representation behind the DNF kernel. A
+/// conjunct is a set of atom indices (densely numbered failed-leaf
+/// predicates of one tree); DNF normalization is dominated by three set
+/// operations — union (conjunction of conjuncts), subset tests
+/// (absorption), and equality (deduplication) — all of which become
+/// word-wise AND/OR/popcount over a fixed-width bitset.
+///
+/// Real trees have few distinct failing predicates: two 64-bit words (128
+/// atoms) cover the whole evaluation corpus, so the words are stored
+/// inline and only pathological trees spill to the heap. All sets taking
+/// part in one normalization share a width, fixed up front by an atom
+/// pre-pass over the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ANALYSIS_CONJUNCTSET_H
+#define ARGUS_ANALYSIS_CONJUNCTSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace argus {
+
+class ConjunctSet {
+public:
+  /// Words stored inline before spilling to the heap (128 atoms).
+  static constexpr size_t NumInlineWords = 2;
+
+  ConjunctSet() = default;
+
+  /// An empty set over a universe of \p NumBits atoms.
+  explicit ConjunctSet(size_t NumBits)
+      : NumWords(static_cast<uint32_t>((NumBits + 63) / 64)) {
+    if (NumWords > NumInlineWords)
+      Heap = new uint64_t[NumWords]();
+  }
+
+  ConjunctSet(const ConjunctSet &O) : NumWords(O.NumWords) {
+    if (NumWords > NumInlineWords) {
+      Heap = new uint64_t[NumWords];
+      for (uint32_t I = 0; I != NumWords; ++I)
+        Heap[I] = O.Heap[I];
+    } else {
+      Inline[0] = O.Inline[0];
+      Inline[1] = O.Inline[1];
+    }
+  }
+
+  ConjunctSet(ConjunctSet &&O) noexcept : NumWords(O.NumWords) {
+    Inline[0] = O.Inline[0];
+    Inline[1] = O.Inline[1];
+    Heap = O.Heap;
+    O.Heap = nullptr;
+    O.NumWords = 0;
+  }
+
+  ConjunctSet &operator=(const ConjunctSet &O) {
+    if (this != &O) {
+      ConjunctSet Copy(O);
+      *this = std::move(Copy);
+    }
+    return *this;
+  }
+
+  ConjunctSet &operator=(ConjunctSet &&O) noexcept {
+    if (this != &O) {
+      delete[] Heap;
+      NumWords = O.NumWords;
+      Inline[0] = O.Inline[0];
+      Inline[1] = O.Inline[1];
+      Heap = O.Heap;
+      O.Heap = nullptr;
+      O.NumWords = 0;
+    }
+    return *this;
+  }
+
+  ~ConjunctSet() { delete[] Heap; }
+
+  /// Number of 64-bit words backing this set (the unit every word-wise
+  /// operation below touches; work counters multiply by this).
+  size_t words() const { return NumWords; }
+
+  bool spilled() const { return Heap != nullptr; }
+
+  void set(size_t Bit) { data()[Bit >> 6] |= uint64_t(1) << (Bit & 63); }
+
+  bool test(size_t Bit) const {
+    return (data()[Bit >> 6] >> (Bit & 63)) & 1;
+  }
+
+  /// In-place union: this |= O. Widths must match.
+  void unionWith(const ConjunctSet &O) {
+    const uint64_t *B = O.data();
+    uint64_t *A = data();
+    for (uint32_t I = 0; I != NumWords; ++I)
+      A[I] |= B[I];
+  }
+
+  /// True if every atom of this set is in \p O: (this & ~O) == 0.
+  bool isSubsetOf(const ConjunctSet &O) const {
+    const uint64_t *A = data();
+    const uint64_t *B = O.data();
+    for (uint32_t I = 0; I != NumWords; ++I)
+      if (A[I] & ~B[I])
+        return false;
+    return true;
+  }
+
+  /// Population count (conjunct size).
+  size_t count() const {
+    size_t Total = 0;
+    const uint64_t *A = data();
+    for (uint32_t I = 0; I != NumWords; ++I)
+      Total += static_cast<size_t>(__builtin_popcountll(A[I]));
+    return Total;
+  }
+
+  friend bool operator==(const ConjunctSet &A, const ConjunctSet &B) {
+    if (A.NumWords != B.NumWords)
+      return false;
+    const uint64_t *WA = A.data();
+    const uint64_t *WB = B.data();
+    for (uint32_t I = 0; I != A.NumWords; ++I)
+      if (WA[I] != WB[I])
+        return false;
+    return true;
+  }
+
+  friend bool operator!=(const ConjunctSet &A, const ConjunctSet &B) {
+    return !(A == B);
+  }
+
+  /// Word-lexicographic order (word 0 first, low atoms in low bits); used
+  /// only for deterministic internal sorting, not for output ordering.
+  static int compare(const ConjunctSet &A, const ConjunctSet &B) {
+    const uint64_t *WA = A.data();
+    const uint64_t *WB = B.data();
+    for (uint32_t I = 0; I != A.NumWords; ++I) {
+      if (WA[I] != WB[I])
+        return WA[I] < WB[I] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  /// Appends the indices of all set bits, ascending.
+  void appendSetBits(std::vector<uint32_t> &Out) const {
+    const uint64_t *A = data();
+    for (uint32_t I = 0; I != NumWords; ++I) {
+      uint64_t Word = A[I];
+      while (Word) {
+        uint32_t Bit = static_cast<uint32_t>(__builtin_ctzll(Word));
+        Out.push_back(I * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  const uint64_t *data() const { return Heap ? Heap : Inline; }
+  uint64_t *data() { return Heap ? Heap : Inline; }
+
+private:
+  uint32_t NumWords = 0;
+  uint64_t Inline[NumInlineWords] = {0, 0};
+  uint64_t *Heap = nullptr;
+};
+
+} // namespace argus
+
+#endif // ARGUS_ANALYSIS_CONJUNCTSET_H

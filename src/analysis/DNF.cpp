@@ -24,15 +24,19 @@ static bool isSubset(const std::vector<IGoalId> &Sub,
   return std::includes(Super.begin(), Super.end(), Sub.begin(), Sub.end());
 }
 
+/// The canonical output order of both kernels: by size, then
+/// lexicographically by goal ids.
+static bool sizeLexLess(const std::vector<IGoalId> &A,
+                        const std::vector<IGoalId> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size();
+  return A < B;
+}
+
 void argus::absorb(std::vector<std::vector<IGoalId>> &Conjuncts) {
   // Sort by size so potential absorbers precede the conjuncts they
   // absorb; then keep a conjunct only if no kept conjunct is its subset.
-  std::sort(Conjuncts.begin(), Conjuncts.end(),
-            [](const std::vector<IGoalId> &A, const std::vector<IGoalId> &B) {
-              if (A.size() != B.size())
-                return A.size() < B.size();
-              return A < B;
-            });
+  std::sort(Conjuncts.begin(), Conjuncts.end(), sizeLexLess);
   Conjuncts.erase(std::unique(Conjuncts.begin(), Conjuncts.end()),
                   Conjuncts.end());
 
@@ -53,6 +57,44 @@ void argus::absorb(std::vector<std::vector<IGoalId>> &Conjuncts) {
 DNFFormula argus::disjoinDNF(DNFFormula A, DNFFormula B) {
   if (A.IsTrue || B.IsTrue)
     return DNFFormula::trueFormula();
+  // One side empty: the other is already an absorbed antichain.
+  if (A.Conjuncts.empty())
+    return B;
+  if (B.Conjuncts.empty())
+    return A;
+
+  // One side is a single conjunct: a linear subsumption sweep replaces
+  // the full (quadratic) re-absorption. This is the common shape inside
+  // computeMCS, where candidate formulas join an accumulator one at a
+  // time.
+  if (A.Conjuncts.size() == 1 || B.Conjuncts.size() == 1) {
+    DNFFormula Out =
+        A.Conjuncts.size() == 1 ? std::move(B) : std::move(A);
+    std::vector<IGoalId> C = A.Conjuncts.size() == 1
+                                 ? std::move(A.Conjuncts.front())
+                                 : std::move(B.Conjuncts.front());
+    // Absorbed by an existing (smaller or equal) conjunct? Equal-size
+    // subset means equality, so duplicates land here too.
+    for (const std::vector<IGoalId> &Kept : Out.Conjuncts) {
+      if (Kept.size() > C.size())
+        break;
+      if (isSubset(Kept, C))
+        return Out;
+    }
+    // C absorbs every strictly larger superset.
+    Out.Conjuncts.erase(
+        std::remove_if(Out.Conjuncts.begin(), Out.Conjuncts.end(),
+                       [&C](const std::vector<IGoalId> &Kept) {
+                         return Kept.size() > C.size() && isSubset(C, Kept);
+                       }),
+        Out.Conjuncts.end());
+    Out.Conjuncts.insert(std::lower_bound(Out.Conjuncts.begin(),
+                                          Out.Conjuncts.end(), C,
+                                          sizeLexLess),
+                         std::move(C));
+    return Out;
+  }
+
   DNFFormula Out;
   Out.Conjuncts = std::move(A.Conjuncts);
   Out.Conjuncts.insert(Out.Conjuncts.end(),
@@ -84,6 +126,62 @@ DNFFormula argus::conjoinDNF(const DNFFormula &A, const DNFFormula &B) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Shared tree-walk helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Memoized hasFailedDescendant: the naive query re-walks the subtree at
+/// every recursion level, turning normalization of deep chains quadratic.
+/// One pass caches the bit per goal.
+class FailedDescendantMap {
+public:
+  explicit FailedDescendantMap(const InferenceTree &Tree)
+      : Tree(Tree), State(Tree.numGoals(), Unknown) {}
+
+  bool query(IGoalId Id) {
+    uint8_t &S = State[Id.value()];
+    if (S == Unknown) {
+      bool Any = false;
+      for (ICandId CandId : Tree.goal(Id).Candidates) {
+        for (IGoalId Sub : Tree.candidate(CandId).SubGoals)
+          if (idealFailed(Tree.goal(Sub).Result) || query(Sub)) {
+            Any = true;
+            break;
+          }
+        if (Any)
+          break;
+      }
+      S = Any ? Yes : No;
+    }
+    return S == Yes;
+  }
+
+private:
+  enum : uint8_t { Unknown, No, Yes };
+  const InferenceTree &Tree;
+  std::vector<uint8_t> State;
+};
+
+/// Truncates a (size-sorted) conjunct list to the configured cap, keeping
+/// the smallest conjuncts, and records the event.
+template <typename ConjunctT>
+void truncateToCap(std::vector<ConjunctT> &Conjuncts, size_t Cap,
+                   DNFStats *Stats) {
+  if (Cap == 0 || Conjuncts.size() <= Cap)
+    return;
+  Conjuncts.resize(Cap);
+  if (Stats)
+    ++Stats->Truncations;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Reference (vector) kernel
+//===----------------------------------------------------------------------===//
+
 namespace {
 
 /// Atoms are *predicates*, not tree positions: the same failing predicate
@@ -91,49 +189,394 @@ namespace {
 /// leaf occurrence.
 using AtomMap = std::unordered_map<Predicate, IGoalId, PredicateHasher>;
 
+struct ReferenceKernel {
+  const InferenceTree &Tree;
+  const AnalysisOptions &Opts;
+  DNFStats *Stats;
+  FailedDescendantMap FailedDesc;
+  AtomMap Atoms;
+
+  ReferenceKernel(const InferenceTree &Tree, const AnalysisOptions &Opts,
+                  DNFStats *Stats)
+      : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(Tree) {}
+
+  DNFFormula formulaFor(IGoalId Id) {
+    const IdealGoal &Goal = Tree.goal(Id);
+    if (!idealFailed(Goal.Result))
+      return DNFFormula::trueFormula();
+
+    // Leaf atom: nothing failed beneath this goal, so the fix is to make
+    // this very predicate hold.
+    if (!FailedDesc.query(Id)) {
+      auto [It, Inserted] = Atoms.emplace(Goal.Pred, Id);
+      (void)Inserted;
+      return DNFFormula::atom(It->second);
+    }
+
+    // Interior: the goal holds if some candidate's failing subgoals all
+    // get fixed.
+    DNFFormula Out = DNFFormula::falseFormula();
+    for (ICandId CandId : Goal.Candidates) {
+      const IdealCandidate &Cand = Tree.candidate(CandId);
+      bool AnyFailingSubgoal = false;
+      DNFFormula CandFormula = DNFFormula::trueFormula();
+      for (IGoalId Sub : Cand.SubGoals) {
+        if (!idealFailed(Tree.goal(Sub).Result))
+          continue;
+        AnyFailingSubgoal = true;
+        CandFormula = conjoinDNF(CandFormula, formulaFor(Sub));
+        truncateToCap(CandFormula.Conjuncts, Opts.MaxConjuncts, Stats);
+      }
+      // A failing candidate with no failing subgoals (e.g. a builtin
+      // signature mismatch) offers no atom-level fix along this branch.
+      if (!AnyFailingSubgoal)
+        continue;
+      Out = disjoinDNF(std::move(Out), std::move(CandFormula));
+      truncateToCap(Out.Conjuncts, Opts.MaxConjuncts, Stats);
+    }
+    return Out;
+  }
+};
+
 } // namespace
 
-static DNFFormula formulaFor(const InferenceTree &Tree, IGoalId Id,
-                             AtomMap &Atoms) {
-  const IdealGoal &Goal = Tree.goal(Id);
-  if (!idealFailed(Goal.Result))
+DNFFormula argus::computeMCSReference(const InferenceTree &Tree,
+                                      const AnalysisOptions &Opts,
+                                      DNFStats *Stats) {
+  if (!Tree.rootId().isValid())
     return DNFFormula::trueFormula();
-
-  // Leaf atom: nothing failed beneath this goal, so the fix is to make
-  // this very predicate hold.
-  if (!Tree.hasFailedDescendant(Id)) {
-    auto [It, Inserted] = Atoms.emplace(Goal.Pred, Id);
-    (void)Inserted;
-    return DNFFormula::atom(It->second);
-  }
-
-  // Interior: the goal holds if some candidate's failing subgoals all get
-  // fixed.
-  DNFFormula Out = DNFFormula::falseFormula();
-  for (ICandId CandId : Goal.Candidates) {
-    const IdealCandidate &Cand = Tree.candidate(CandId);
-    bool AnyFailingSubgoal = false;
-    DNFFormula CandFormula = DNFFormula::trueFormula();
-    for (IGoalId Sub : Cand.SubGoals) {
-      if (!idealFailed(Tree.goal(Sub).Result))
-        continue;
-      AnyFailingSubgoal = true;
-      CandFormula = conjoinDNF(CandFormula, formulaFor(Tree, Sub, Atoms));
-    }
-    // A failing candidate with no failing subgoals (e.g. a builtin
-    // signature mismatch) offers no atom-level fix along this branch.
-    if (!AnyFailingSubgoal)
-      continue;
-    Out = disjoinDNF(std::move(Out), std::move(CandFormula));
-  }
+  ReferenceKernel Kernel(Tree, Opts, Stats);
+  DNFFormula Out = Kernel.formulaFor(Tree.rootId());
+  if (Stats)
+    Stats->Atoms += Kernel.Atoms.size();
   return Out;
 }
 
-DNFFormula argus::computeMCS(const InferenceTree &Tree) {
+//===----------------------------------------------------------------------===//
+// Bitset kernel
+//===----------------------------------------------------------------------===//
+
+void argus::absorbConjunctSets(std::vector<ConjunctSet> &Conjuncts,
+                               DNFStats *Stats) {
+  if (Conjuncts.size() <= 1)
+    return;
+  const uint64_t Words = Conjuncts.front().words();
+
+  // Sort by (popcount, word-lex); precomputing the counts keeps the
+  // comparator to integer compares plus one word sweep.
+  struct Entry {
+    size_t Count;
+    ConjunctSet Set;
+  };
+  std::vector<Entry> Entries;
+  Entries.reserve(Conjuncts.size());
+  for (ConjunctSet &C : Conjuncts)
+    Entries.push_back({C.count(), std::move(C)});
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Count != B.Count)
+                return A.Count < B.Count;
+              return ConjunctSet::compare(A.Set, B.Set) < 0;
+            });
+
+  uint64_t Touched = Words * Entries.size(); // count() sweeps above.
+
+  // Dedupe: equal sets are adjacent after the sort.
+  size_t Unique = 1;
+  for (size_t I = 1; I != Entries.size(); ++I) {
+    Touched += Words;
+    if (Entries[I].Set == Entries[Unique - 1].Set)
+      continue;
+    if (I != Unique)
+      Entries[Unique] = std::move(Entries[I]);
+    ++Unique;
+  }
+  Entries.resize(Unique);
+
+  // Size-bucketed subsumption: kept conjuncts are sorted ascending by
+  // popcount, and only a strictly smaller set can strictly absorb (equal
+  // sizes were deduplicated), so each candidate only scans kept sets
+  // below its own size bucket. Kept words live in one flat buffer so the
+  // scan is linear memory; blocks of 64 keep the inner loop branchless
+  // (vectorizable) while still exiting early once an absorber is found.
+  std::vector<Entry> Kept;
+  Kept.reserve(Entries.size());
+  std::vector<uint64_t> KeptWords;
+  KeptWords.reserve(Entries.size() * Words);
+  size_t BucketStart = 0; // Kept entries before this index are strictly
+                          // smaller than the current candidate.
+  size_t BucketCount = size_t(-1);
+  for (Entry &E : Entries) {
+    if (E.Count != BucketCount) {
+      BucketCount = E.Count;
+      BucketStart = Kept.size();
+    }
+    bool Absorbed = false;
+    size_t J = 0;
+    if (Words == 1) {
+      const uint64_t EW = E.Set.data()[0];
+      while (J != BucketStart) {
+        size_t BlockEnd = std::min(J + 64, BucketStart);
+        uint64_t Any = 0;
+        for (; J != BlockEnd; ++J)
+          Any |= (KeptWords[J] & ~EW) == 0 ? uint64_t(1) : uint64_t(0);
+        if (Any) {
+          Absorbed = true;
+          break;
+        }
+      }
+    } else {
+      const uint64_t *EW = E.Set.data();
+      for (; J != BucketStart; ++J) {
+        const uint64_t *KW = KeptWords.data() + J * Words;
+        bool Subset = true;
+        for (uint64_t W = 0; W != Words; ++W)
+          if (KW[W] & ~EW[W]) {
+            Subset = false;
+            break;
+          }
+        if (Subset) {
+          Absorbed = true;
+          break;
+        }
+      }
+    }
+    Touched += Words * (Absorbed ? J + 1 : J);
+    if (!Absorbed) {
+      const uint64_t *W = E.Set.data();
+      KeptWords.insert(KeptWords.end(), W, W + Words);
+      Kept.push_back(std::move(E));
+    }
+  }
+
+  Conjuncts.clear();
+  for (Entry &K : Kept)
+    Conjuncts.push_back(std::move(K.Set));
+  if (Stats)
+    Stats->WordsTouched += Touched;
+}
+
+namespace {
+
+/// DNF formula whose conjuncts are bitsets over the dense atom numbering.
+/// Invariant: Conjuncts is an antichain sorted by (popcount, word-lex).
+struct BitsetDNF {
+  bool IsTrue = false;
+  std::vector<ConjunctSet> Conjuncts;
+
+  bool isFalse() const { return !IsTrue && Conjuncts.empty(); }
+
+  static BitsetDNF trueFormula() {
+    BitsetDNF F;
+    F.IsTrue = true;
+    return F;
+  }
+  static BitsetDNF falseFormula() { return BitsetDNF(); }
+};
+
+struct BitsetKernel {
+  const InferenceTree &Tree;
+  const AnalysisOptions &Opts;
+  DNFStats *Stats;
+  FailedDescendantMap FailedDesc;
+
+  /// Dense atom numbering; AtomIds[i] is the first leaf occurrence of
+  /// atom i's predicate (the id the reference kernel would use).
+  std::unordered_map<Predicate, uint32_t, PredicateHasher> AtomIndex;
+  std::vector<IGoalId> AtomIds;
+
+  BitsetKernel(const InferenceTree &Tree, const AnalysisOptions &Opts,
+               DNFStats *Stats)
+      : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(Tree) {}
+
+  size_t numAtoms() const { return AtomIds.size(); }
+
+  void touch(uint64_t Words) {
+    if (Stats)
+      Stats->WordsTouched += Words;
+  }
+
+  /// Pass 1: fix the atom universe. Mirrors the formula recursion exactly
+  /// (every failing subgoal of a candidate is visited, whether or not the
+  /// candidate contributes a disjunct), so atom identities match the
+  /// reference kernel's.
+  void collectAtoms(IGoalId Id) {
+    const IdealGoal &Goal = Tree.goal(Id);
+    if (!idealFailed(Goal.Result))
+      return;
+    if (!FailedDesc.query(Id)) {
+      auto [It, Inserted] =
+          AtomIndex.emplace(Goal.Pred, static_cast<uint32_t>(AtomIds.size()));
+      (void)It;
+      if (Inserted)
+        AtomIds.push_back(Id);
+      return;
+    }
+    for (ICandId CandId : Goal.Candidates)
+      for (IGoalId Sub : Tree.candidate(CandId).SubGoals)
+        if (idealFailed(Tree.goal(Sub).Result))
+          collectAtoms(Sub);
+  }
+
+  BitsetDNF atomFormula(const Predicate &Pred) {
+    BitsetDNF F;
+    ConjunctSet C(numAtoms());
+    C.set(AtomIndex.find(Pred)->second);
+    F.Conjuncts.push_back(std::move(C));
+    return F;
+  }
+
+  void capTruncate(std::vector<ConjunctSet> &Conjuncts) {
+    truncateToCap(Conjuncts, Opts.MaxConjuncts, Stats);
+  }
+
+  BitsetDNF disjoin(BitsetDNF A, BitsetDNF B) {
+    if (A.IsTrue || B.IsTrue)
+      return BitsetDNF::trueFormula();
+    if (A.Conjuncts.empty())
+      return B;
+    if (B.Conjuncts.empty())
+      return A;
+
+    if (A.Conjuncts.size() == 1 || B.Conjuncts.size() == 1) {
+      // Linear subsumption insert, the bitset twin of disjoinDNF's fast
+      // path.
+      BitsetDNF Out =
+          A.Conjuncts.size() == 1 ? std::move(B) : std::move(A);
+      ConjunctSet C = A.Conjuncts.size() == 1
+                          ? std::move(A.Conjuncts.front())
+                          : std::move(B.Conjuncts.front());
+      const size_t CCount = C.count();
+      const uint64_t Words = C.words();
+      for (const ConjunctSet &Kept : Out.Conjuncts) {
+        touch(Words);
+        if (Kept.count() > CCount)
+          break;
+        if (Kept.isSubsetOf(C))
+          return Out;
+      }
+      Out.Conjuncts.erase(
+          std::remove_if(Out.Conjuncts.begin(), Out.Conjuncts.end(),
+                         [&](const ConjunctSet &Kept) {
+                           touch(Words);
+                           return Kept.count() > CCount &&
+                                  C.isSubsetOf(Kept);
+                         }),
+          Out.Conjuncts.end());
+      auto Pos = std::lower_bound(
+          Out.Conjuncts.begin(), Out.Conjuncts.end(), C,
+          [CCount](const ConjunctSet &Kept, const ConjunctSet &Value) {
+            size_t KeptCount = Kept.count();
+            if (KeptCount != CCount)
+              return KeptCount < CCount;
+            return ConjunctSet::compare(Kept, Value) < 0;
+          });
+      Out.Conjuncts.insert(Pos, std::move(C));
+      capTruncate(Out.Conjuncts);
+      return Out;
+    }
+
+    BitsetDNF Out;
+    Out.Conjuncts = std::move(A.Conjuncts);
+    Out.Conjuncts.insert(Out.Conjuncts.end(),
+                         std::make_move_iterator(B.Conjuncts.begin()),
+                         std::make_move_iterator(B.Conjuncts.end()));
+    absorbConjunctSets(Out.Conjuncts, Stats);
+    capTruncate(Out.Conjuncts);
+    return Out;
+  }
+
+  BitsetDNF conjoin(const BitsetDNF &A, const BitsetDNF &B) {
+    if (A.IsTrue)
+      return B;
+    if (B.IsTrue)
+      return A;
+    if (A.isFalse() || B.isFalse())
+      return BitsetDNF::falseFormula();
+    BitsetDNF Out;
+    Out.Conjuncts.reserve(A.Conjuncts.size() * B.Conjuncts.size());
+    // The cross product can explode quadratically before absorption gets
+    // a chance to prune; compact mid-flight once it passes twice the cap.
+    const size_t FlushAt =
+        Opts.MaxConjuncts ? 2 * Opts.MaxConjuncts : size_t(-1);
+    for (const ConjunctSet &CA : A.Conjuncts)
+      for (const ConjunctSet &CB : B.Conjuncts) {
+        ConjunctSet Merged = CA;
+        Merged.unionWith(CB);
+        touch(Merged.words());
+        Out.Conjuncts.push_back(std::move(Merged));
+        if (Out.Conjuncts.size() >= FlushAt) {
+          absorbConjunctSets(Out.Conjuncts, Stats);
+          capTruncate(Out.Conjuncts);
+        }
+      }
+    absorbConjunctSets(Out.Conjuncts, Stats);
+    capTruncate(Out.Conjuncts);
+    return Out;
+  }
+
+  /// Pass 2: the same recursion as the reference kernel, over bitsets.
+  BitsetDNF formulaFor(IGoalId Id) {
+    const IdealGoal &Goal = Tree.goal(Id);
+    if (!idealFailed(Goal.Result))
+      return BitsetDNF::trueFormula();
+    if (!FailedDesc.query(Id))
+      return atomFormula(Goal.Pred);
+
+    BitsetDNF Out = BitsetDNF::falseFormula();
+    for (ICandId CandId : Goal.Candidates) {
+      const IdealCandidate &Cand = Tree.candidate(CandId);
+      bool AnyFailingSubgoal = false;
+      BitsetDNF CandFormula = BitsetDNF::trueFormula();
+      for (IGoalId Sub : Cand.SubGoals) {
+        if (!idealFailed(Tree.goal(Sub).Result))
+          continue;
+        AnyFailingSubgoal = true;
+        CandFormula = conjoin(CandFormula, formulaFor(Sub));
+      }
+      if (!AnyFailingSubgoal)
+        continue;
+      Out = disjoin(std::move(Out), std::move(CandFormula));
+    }
+    return Out;
+  }
+
+  /// Converts a bitset formula back to the public id representation, in
+  /// the canonical (size, lexicographic ids) order.
+  DNFFormula toFormula(BitsetDNF F) {
+    DNFFormula Out;
+    Out.IsTrue = F.IsTrue;
+    Out.Conjuncts.reserve(F.Conjuncts.size());
+    std::vector<uint32_t> Bits;
+    for (const ConjunctSet &C : F.Conjuncts) {
+      Bits.clear();
+      C.appendSetBits(Bits);
+      std::vector<IGoalId> Ids;
+      Ids.reserve(Bits.size());
+      for (uint32_t Bit : Bits)
+        Ids.push_back(AtomIds[Bit]);
+      // Atom numbering is discovery order, which need not be id order.
+      std::sort(Ids.begin(), Ids.end());
+      Out.Conjuncts.push_back(std::move(Ids));
+    }
+    std::sort(Out.Conjuncts.begin(), Out.Conjuncts.end(), sizeLexLess);
+    return Out;
+  }
+};
+
+} // namespace
+
+DNFFormula argus::computeMCS(const InferenceTree &Tree,
+                             const AnalysisOptions &Opts, DNFStats *Stats) {
+  if (!Opts.UseBitsetKernel)
+    return computeMCSReference(Tree, Opts, Stats);
   if (!Tree.rootId().isValid())
     return DNFFormula::trueFormula();
-  AtomMap Atoms;
-  return formulaFor(Tree, Tree.rootId(), Atoms);
+  BitsetKernel Kernel(Tree, Opts, Stats);
+  Kernel.collectAtoms(Tree.rootId());
+  if (Stats)
+    Stats->Atoms += Kernel.numAtoms();
+  return Kernel.toFormula(Kernel.formulaFor(Tree.rootId()));
 }
 
 size_t argus::formulaTreeSize(const InferenceTree &Tree) {

@@ -15,11 +15,27 @@
 /// Normalization is worst-case exponential; Figure 12b measures that in
 /// practice it stays in single-digit milliseconds at paper-scale trees.
 ///
+/// Two kernels implement normalization:
+///
+///  - the *bitset kernel* (default): atoms are densely numbered by a
+///    pre-pass, conjuncts are ConjunctSet bitsets, and conjunction /
+///    absorption run on word-wise OR and subset masks with size-bucketed
+///    subsumption. This is the production hot path.
+///  - the *reference kernel*: conjuncts are sorted `std::vector<IGoalId>`
+///    with pairwise `std::includes` absorption — the original, obviously
+///    correct implementation, kept as the differential-testing oracle and
+///    the baseline the hot-path benchmark measures against.
+///
+/// Both produce the same formula: the minimal antichain of correction
+/// sets is unique, and both emit it sorted by (size, lexicographic goal
+/// ids).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARGUS_ANALYSIS_DNF_H
 #define ARGUS_ANALYSIS_DNF_H
 
+#include "analysis/ConjunctSet.h"
 #include "extract/InferenceTree.h"
 
 #include <vector>
@@ -46,13 +62,55 @@ struct DNFFormula {
   bool isFalse() const { return !IsTrue && Conjuncts.empty(); }
 };
 
-/// Disjunction / conjunction with absorption pruning.
+/// Tuning knobs for the analysis stage, configured per engine::Session
+/// the way SolverOptions configures the solve stage.
+struct AnalysisOptions {
+  /// Normalize through the ConjunctSet bitset kernel. Off means the
+  /// reference vector kernel (differential testing / ablations).
+  bool UseBitsetKernel = true;
+
+  /// Cap on the number of conjuncts any intermediate formula may hold.
+  /// Adversarial trees can make normalization exponential; instead of
+  /// silently exploding, the kernel truncates to the cap's best (smallest)
+  /// conjuncts and records the event in DNFStats::Truncations. Truncation
+  /// forfeits the minimality guarantee for the affected tree. 0 means
+  /// unlimited.
+  size_t MaxConjuncts = 65536;
+};
+
+/// Work counters for one normalization, surfaced through SessionStats.
+struct DNFStats {
+  /// 64-bit words read or written by bitset conjunct operations (union,
+  /// subset, equality). The bitset kernel's unit of work.
+  uint64_t WordsTouched = 0;
+
+  /// Distinct atoms (failed-leaf predicates) in the tree.
+  uint64_t Atoms = 0;
+
+  /// Times an intermediate formula was truncated to MaxConjuncts.
+  uint64_t Truncations = 0;
+
+  bool truncated() const { return Truncations != 0; }
+};
+
+/// Disjunction / conjunction with absorption pruning (reference kernel).
+/// Inputs are assumed absorbed — sorted (size, lex) antichains, which is
+/// what every function in this API produces; disjoinDNF exploits that to
+/// skip full re-absorption when one side is empty or a single conjunct.
 DNFFormula disjoinDNF(DNFFormula A, DNFFormula B);
 DNFFormula conjoinDNF(const DNFFormula &A, const DNFFormula &B);
 
 /// Removes duplicate conjuncts and any conjunct that is a strict superset
-/// of another (absorption: X + XY = X).
+/// of another (absorption: X + XY = X). Leaves the conjuncts sorted by
+/// (size, lexicographic ids).
 void absorb(std::vector<std::vector<IGoalId>> &Conjuncts);
+
+/// Bitset-kernel absorption over ConjunctSets: same semantics as absorb()
+/// on the corresponding id sets, leaving the conjuncts sorted by
+/// (popcount, word-lexicographic). Exposed for differential tests and the
+/// hot-path benchmark.
+void absorbConjunctSets(std::vector<ConjunctSet> &Conjuncts,
+                        DNFStats *Stats = nullptr);
 
 /// Computes the correction-set formula of \p Tree:
 ///  - a successful goal is TRUE;
@@ -60,8 +118,19 @@ void absorb(std::vector<std::vector<IGoalId>> &Conjuncts);
 ///    itself be made to hold);
 ///  - an interior failed goal is the OR over its candidates' AND of
 ///    failing subgoal formulas.
-/// The result's conjuncts are the minimum correction subsets.
-DNFFormula computeMCS(const InferenceTree &Tree);
+/// The result's conjuncts are the minimum correction subsets. Routed
+/// through the kernel \p Opts selects; \p Stats (optional) receives the
+/// work counters.
+DNFFormula computeMCS(const InferenceTree &Tree,
+                      const AnalysisOptions &Opts = AnalysisOptions(),
+                      DNFStats *Stats = nullptr);
+
+/// The reference vector-kernel normalization, regardless of
+/// Opts.UseBitsetKernel: the oracle differential tests and the hot-path
+/// benchmark compare against.
+DNFFormula computeMCSReference(const InferenceTree &Tree,
+                               const AnalysisOptions &Opts = AnalysisOptions(),
+                               DNFStats *Stats = nullptr);
 
 /// Counts the number of (goal, candidate) nodes visited by computeMCS —
 /// the tree size reported on Figure 12b's x axis.

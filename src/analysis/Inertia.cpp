@@ -15,6 +15,13 @@ using namespace argus;
 InertiaResult argus::rankByInertiaWith(const Program &Prog,
                                        const InferenceTree &Tree,
                                        const WeightFn &Weight) {
+  return rankByInertiaWith(Prog, Tree, Weight, AnalysisOptions());
+}
+
+InertiaResult argus::rankByInertiaWith(const Program &Prog,
+                                       const InferenceTree &Tree,
+                                       const WeightFn &Weight,
+                                       const AnalysisOptions &Opts) {
   InertiaResult Result;
   std::vector<IGoalId> Leaves = Tree.failedLeaves();
 
@@ -28,7 +35,7 @@ InertiaResult argus::rankByInertiaWith(const Program &Prog,
   }
 
   // Enumerate the minimum correction subsets and score each conjunct.
-  DNFFormula Formula = computeMCS(Tree);
+  DNFFormula Formula = computeMCS(Tree, Opts, &Result.DNF);
   Result.MCS = Formula.Conjuncts;
   Result.ConjunctScores.reserve(Result.MCS.size());
   for (const std::vector<IGoalId> &Conjunct : Result.MCS) {
@@ -84,8 +91,14 @@ InertiaResult argus::rankByInertiaWith(const Program &Prog,
 
 InertiaResult argus::rankByInertia(const Program &Prog,
                                    const InferenceTree &Tree) {
-  return rankByInertiaWith(Prog, Tree,
-                           [](const GoalKind &Kind) { return Kind.weight(); });
+  return rankByInertia(Prog, Tree, AnalysisOptions());
+}
+
+InertiaResult argus::rankByInertia(const Program &Prog,
+                                   const InferenceTree &Tree,
+                                   const AnalysisOptions &Opts) {
+  return rankByInertiaWith(
+      Prog, Tree, [](const GoalKind &Kind) { return Kind.weight(); }, Opts);
 }
 
 std::vector<IGoalId> argus::rankByDepth(const InferenceTree &Tree) {

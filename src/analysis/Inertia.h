@@ -40,6 +40,9 @@ struct InertiaResult {
   std::vector<GoalKind> Kinds;
   std::vector<size_t> Weights;
   std::vector<size_t> BestScores;
+
+  /// Work counters of the DNF normalization behind MCS.
+  DNFStats DNF;
 };
 
 /// Weight override hook for ablations; the default is
@@ -51,9 +54,15 @@ using WeightFn = std::function<size_t(const GoalKind &)>;
 /// order each leaf by the best-scoring conjunct containing it. Leaves in
 /// no minimal conjunct sort last (by their own weight).
 InertiaResult rankByInertia(const Program &Prog, const InferenceTree &Tree);
+InertiaResult rankByInertia(const Program &Prog, const InferenceTree &Tree,
+                            const AnalysisOptions &Opts);
 InertiaResult rankByInertiaWith(const Program &Prog,
                                 const InferenceTree &Tree,
                                 const WeightFn &Weight);
+InertiaResult rankByInertiaWith(const Program &Prog,
+                                const InferenceTree &Tree,
+                                const WeightFn &Weight,
+                                const AnalysisOptions &Opts);
 
 /// Baseline: order by depth in the inference tree, deepest first (the
 /// most specific failure is assumed most actionable).

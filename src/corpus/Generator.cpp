@@ -124,12 +124,16 @@ private:
     }
 
     IGoalId Goal = makeGoal(Parent, Depth, EvalResult::No);
-    size_t FailingCandidates = Gen.chance(Opts.BranchProbability) ? 2 : 1;
+    size_t FailingCandidates =
+        Gen.chance(Opts.BranchProbability) ? Opts.BranchWidth : 1;
     for (size_t C = 0; C != FailingCandidates; ++C) {
       ICandId Cand = makeCandidate(Goal, EvalResult::No);
-      // One failing subgoal continues the skeleton...
-      IGoalId Failing = buildFailingGoal(Cand, Depth + 1);
-      Tree.candidate(Cand).SubGoals.push_back(Failing);
+      // Failing subgoals continue the skeleton (one, for realistic
+      // trees)...
+      for (size_t F = 0; F != Opts.FailingSubgoalsPerCandidate; ++F) {
+        IGoalId Failing = buildFailingGoal(Cand, Depth + 1);
+        Tree.candidate(Cand).SubGoals.push_back(Failing);
+      }
       // ...plus successful siblings carrying most of the mass.
       size_t Successes = Gen.below(Opts.MaxFanout + 1);
       for (size_t I = 0; I != Successes && Remaining > 2; ++I)

@@ -34,9 +34,17 @@ struct GeneratorOptions {
 
   uint64_t Seed = 0;
 
-  /// Probability that a failing goal is a branch point with two failing
-  /// candidates (the Bevy shape) instead of one.
+  /// Probability that a failing goal is a branch point with BranchWidth
+  /// failing candidates (the Bevy shape) instead of one.
   double BranchProbability = 0.10;
+
+  /// Failing candidates at a branch point (the OR width of the DNF).
+  size_t BranchWidth = 2;
+
+  /// Failing subgoals under each failing candidate (the AND width of the
+  /// DNF). Real trees have 1; the DNF-kernel stress workloads raise it so
+  /// conjunction cross products and absorption dominate normalization.
+  size_t FailingSubgoalsPerCandidate = 1;
 
   /// Maximum successful sibling subgoals attached next to each failing
   /// one (the proved obligations rustc also explored).

@@ -61,6 +61,7 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
                   static_cast<uint64_t>(CoherenceErrors));
   Writer.keyValue("goal_evaluations", GoalEvaluations);
   Writer.keyValue("memo_hits", MemoHits);
+  Writer.keyValue("candidates_filtered", CandidatesFiltered);
   Writer.keyValue("fixpoint_rounds",
                   static_cast<uint64_t>(FixpointRounds));
   Writer.keyValue("trees_extracted", static_cast<uint64_t>(TreesExtracted));
@@ -71,6 +72,9 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
                   static_cast<uint64_t>(InternalGoalsHidden));
   Writer.keyValue("failed_leaves", static_cast<uint64_t>(FailedLeaves));
   Writer.keyValue("dnf_conjuncts", static_cast<uint64_t>(DNFConjuncts));
+  Writer.keyValue("dnf_words_touched", DNFWordsTouched);
+  Writer.keyValue("dnf_truncations", DNFTruncations);
+  Writer.keyValue("arena_hash_lookups", ArenaHashLookups);
   Writer.endObject();
   Writer.endObject();
 }
@@ -147,7 +151,9 @@ const SolveOutcome &Session::solve() {
     Outcome = TheSolver->solve();
     Stats.GoalEvaluations = Outcome->NumEvaluations;
     Stats.MemoHits = Outcome->NumMemoHits;
+    Stats.CandidatesFiltered = Outcome->NumCandidatesFiltered;
     Stats.FixpointRounds = Outcome->RoundsUsed;
+    Stats.ArenaHashLookups = Sess->types().hashLookups();
   }
   return *Outcome;
 }
@@ -193,9 +199,13 @@ const InertiaResult &Session::inertia(size_t Index) {
   assert(Index < InertiaCache.size() && "tree index out of range");
   if (!InertiaCache[Index]) {
     StageTimer Timer(Stats, Stage::Analyze);
-    InertiaCache[Index] = rankByInertia(*Prog, Extracted->Trees[Index]);
+    InertiaCache[Index] =
+        rankByInertia(*Prog, Extracted->Trees[Index], Opts.Analysis);
     Stats.FailedLeaves += InertiaCache[Index]->Order.size();
     Stats.DNFConjuncts += InertiaCache[Index]->MCS.size();
+    Stats.DNFWordsTouched += InertiaCache[Index]->DNF.WordsTouched;
+    Stats.DNFTruncations += InertiaCache[Index]->DNF.Truncations;
+    Stats.ArenaHashLookups = Sess->types().hashLookups();
   }
   return *InertiaCache[Index];
 }
@@ -203,7 +213,8 @@ const InertiaResult &Session::inertia(size_t Index) {
 InertiaResult Session::inertiaWith(size_t Index, const WeightFn &Weight) {
   extraction();
   StageTimer Timer(Stats, Stage::Analyze);
-  return rankByInertiaWith(*Prog, Extracted->Trees.at(Index), Weight);
+  return rankByInertiaWith(*Prog, Extracted->Trees.at(Index), Weight,
+                           Opts.Analysis);
 }
 
 RenderedDiagnostic Session::diagnostic(size_t Index) {

@@ -86,6 +86,9 @@ struct SessionStats {
   // --- Solve (mirrors SolveOutcome's statistics).
   uint64_t GoalEvaluations = 0;
   uint64_t MemoHits = 0;
+  /// Impl candidates skipped by the head-constructor index before
+  /// instantiation.
+  uint64_t CandidatesFiltered = 0;
   uint32_t FixpointRounds = 0;
 
   // --- Extract.
@@ -97,6 +100,15 @@ struct SessionStats {
   // --- Analyze (summed over analyzed trees).
   size_t FailedLeaves = 0;
   size_t DNFConjuncts = 0;
+  /// Bitset words touched by DNF kernel set operations.
+  uint64_t DNFWordsTouched = 0;
+  /// Intermediate DNF formulas truncated to AnalysisOptions::MaxConjuncts.
+  uint64_t DNFTruncations = 0;
+
+  // --- Arena (whole-session).
+  /// Cached structural type hashes served by TypeArena::hashOf — deep
+  /// rehashes avoided across interning and predicate hashing.
+  uint64_t ArenaHashLookups = 0;
 
   double secondsFor(Stage S) const {
     return StageSeconds[static_cast<size_t>(S)];
@@ -116,6 +128,7 @@ struct SessionStats {
 struct SessionOptions {
   SolverOptions Solver;
   ExtractOptions Extract;
+  AnalysisOptions Analysis;
   DiagnosticOptions Diagnostic;
 };
 

@@ -42,10 +42,14 @@ struct Solver::Impl {
   std::unordered_map<Predicate, EvalResult, PredicateHasher> Memo;
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
+  uint64_t NumCandidatesFiltered = 0;
 
   Impl(const Program &Prog, SolverOptions Opts)
       : Prog(Prog), S(Prog.session()), Opts(Opts),
-        Infcx(S.types(), firstFreshVar(Prog)) {}
+        Infcx(S.types(), firstFreshVar(Prog)),
+        // Predicate keys hash through the arena's cached structural
+        // hashes (not raw ids) wherever the solver builds a map.
+        Memo(16, PredicateHasher{&S.types()}) {}
 
   static uint32_t firstFreshVar(const Program &Prog);
 
@@ -123,8 +127,8 @@ uint32_t Solver::Impl::firstFreshVar(const Program &Prog) {
 
 void Solver::Impl::setEnv(const std::vector<Predicate> &NewEnv) {
   ElaboratedEnv = NewEnv;
-  std::unordered_set<Predicate, PredicateHasher> Seen(NewEnv.begin(),
-                                                      NewEnv.end());
+  std::unordered_set<Predicate, PredicateHasher> Seen(
+      NewEnv.begin(), NewEnv.end(), 16, PredicateHasher{&arena()});
   // Fixpoint over supertrait bounds; the cap guards against
   // ever-growing supertrait argument types (trait A<X>: A<Vec<X>>).
   const size_t MaxElaborated = 256;
@@ -381,8 +385,7 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
   }
 
   // Impl candidates: every impl of this trait whose header unifies.
-  for (ImplId ImplIdx : SelfIsUnknown ? std::vector<ImplId>()
-                                      : Prog.implsOf(Pred.Trait)) {
+  auto TryImpl = [&](ImplId ImplIdx) {
     const ImplDecl &Decl = Prog.impl(ImplIdx);
 #ifdef ARGUS_TRACE_EVAL
     fprintf(stderr, "  try impl %u depth=%u\n", ImplIdx.value(), Depth);
@@ -399,7 +402,7 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
       // Head mismatch: like rustc, the candidate simply does not
       // assemble and leaves no trace in the tree.
       Infcx.rollbackTo(Snap);
-      continue;
+      return;
     }
 
     CandNodeId CandId = forest().makeCandidate();
@@ -416,6 +419,31 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
     forest().candidate(CandId).Result = CandResult;
     Infcx.rollbackTo(Snap);
     Attempts.push_back({CandId, CandResult});
+  };
+  if (!SelfIsUnknown) {
+    const std::vector<ImplId> &AllImpls = Prog.implsOf(Pred.Trait);
+    if (Opts.EnableCandidateIndex) {
+      // The goal's self-type root is rigid here (SelfIsUnknown handled
+      // above), so impls bucketed under any other head key could only
+      // fail unifyTraitHead: skip them without instantiating. A
+      // two-pointer merge of the bucket and the blanket impls preserves
+      // declaration order, so the assembled tree is identical to the
+      // unindexed walk's.
+      std::optional<ImplHeadKey> Key =
+          Program::headKeyOf(arena(), Infcx.shallowResolve(Pred.Subject));
+      const std::vector<ImplId> &Bucket = Prog.implsOfHead(Pred.Trait, *Key);
+      const std::vector<ImplId> &Wild = Prog.wildcardImplsOf(Pred.Trait);
+      size_t BI = 0, WI = 0;
+      while (BI != Bucket.size() || WI != Wild.size()) {
+        bool TakeBucket = WI == Wild.size() ||
+                          (BI != Bucket.size() && Bucket[BI] < Wild[WI]);
+        TryImpl(TakeBucket ? Bucket[BI++] : Wild[WI++]);
+      }
+      NumCandidatesFiltered += AllImpls.size() - Bucket.size() - Wild.size();
+    } else {
+      for (ImplId ImplIdx : AllImpls)
+        TryImpl(ImplIdx);
+    }
   }
 
   // Builtin candidate: fn items and fn pointers implement #[fn_trait]
@@ -476,7 +504,8 @@ EvalResult Solver::Impl::evalImplSubgoals(CandNodeId CandId,
   // Duplicate obligations (e.g. an impl where-clause repeating an
   // associated-type bound) are registered once, as in rustc's fulfillment
   // context.
-  std::unordered_map<Predicate, bool, PredicateHasher> Registered;
+  std::unordered_map<Predicate, bool, PredicateHasher> Registered(
+      16, PredicateHasher{&arena()});
   auto AddSubgoal = [&](const Predicate &P, Span Origin) {
     if (!Registered.emplace(Infcx.resolve(P), true).second)
       return;
@@ -847,6 +876,7 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.SpeculationGroups.push_back(UINT32_MAX);
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
+  Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
   return Root;
 }
 
@@ -915,6 +945,7 @@ SolveOutcome Solver::solve() {
 
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
+  Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
   return Out;
 }
 

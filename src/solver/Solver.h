@@ -62,6 +62,13 @@ struct SolverOptions {
   /// the "internal predicates" noise that the extraction layer filters;
   /// the filtering ablation turns them off at the source.
   bool EmitWellFormedGoals = true;
+
+  /// Consult the Program's per-trait head-constructor index to skip impls
+  /// that cannot unify with a goal's self type, before paying for
+  /// freshSubst/substitute/unify. Tree-identical by construction (a head
+  /// mismatch leaves no trace in the proof forest); off for ablations and
+  /// the identity tests.
+  bool EnableCandidateIndex = true;
 };
 
 /// Everything produced by solving one program.
@@ -87,6 +94,9 @@ struct SolveOutcome {
   // Statistics.
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
+  /// Impl candidates skipped by the head-constructor index without being
+  /// instantiated.
+  uint64_t NumCandidatesFiltered = 0;
   uint32_t RoundsUsed = 0;
 
   /// True if any goal ultimately failed (No/Overflow or residual Maybe).

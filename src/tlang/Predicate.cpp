@@ -6,6 +6,8 @@
 
 #include "tlang/Predicate.h"
 
+#include "tlang/TypeArena.h"
+
 using namespace argus;
 
 static size_t hashCombine(size_t Seed, size_t Value) {
@@ -20,12 +22,17 @@ static size_t hashRegion(Region R) {
 }
 
 size_t PredicateHasher::operator()(const Predicate &P) const {
+  auto HashType = [this](TypeId Id) -> size_t {
+    if (Arena && Id.isValid())
+      return Arena->hashOf(Id);
+    return Id.value();
+  };
   size_t H = static_cast<size_t>(P.Kind);
-  H = hashCombine(H, P.Subject.value());
+  H = hashCombine(H, HashType(P.Subject));
   H = hashCombine(H, P.Trait.value());
   for (TypeId Arg : P.Args)
-    H = hashCombine(H, Arg.value());
-  H = hashCombine(H, P.Rhs.value());
+    H = hashCombine(H, HashType(Arg));
+  H = hashCombine(H, HashType(P.Rhs));
   H = hashCombine(H, hashRegion(P.Rgn));
   H = hashCombine(H, hashRegion(P.SubRegion));
   return H;

@@ -24,6 +24,8 @@
 
 namespace argus {
 
+class TypeArena;
+
 enum class PredicateKind : uint8_t {
   // User-facing kinds (the L_TRAIT grammar).
   Trait,          ///< tau: T<tau..., rho...>
@@ -132,8 +134,15 @@ struct Predicate {
   }
 };
 
-/// Hash functor so predicates can key unordered containers.
+/// Hash functor so predicates can key unordered containers. When
+/// constructed with an arena, type ids are hashed through the arena's
+/// cached structural hashes (PredicateHasher{&arena()}), which spreads
+/// predicates over deep types far better than raw id values; without one
+/// it falls back to hashing the ids directly. Equality is unaffected
+/// either way, so the two modes only differ in bucket distribution.
 struct PredicateHasher {
+  const TypeArena *Arena = nullptr;
+
   size_t operator()(const Predicate &P) const;
 };
 

@@ -10,6 +10,33 @@
 
 using namespace argus;
 
+size_t ImplHeadKeyHasher::operator()(const ImplHeadKey &K) const {
+  auto Combine = [](size_t Seed, size_t Value) {
+    return Seed ^
+           (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+  };
+  size_t H = static_cast<size_t>(K.Kind);
+  H = Combine(H, K.Name.value());
+  H = Combine(H, K.TraitName.value());
+  H = Combine(H, K.Arity);
+  H = Combine(H, K.Mutable ? 1 : 0);
+  return H;
+}
+
+std::optional<ImplHeadKey> Program::headKeyOf(const TypeArena &Arena,
+                                              TypeId Ty) {
+  const Type &Node = Arena.get(Ty);
+  if (Node.Kind == TypeKind::Infer)
+    return std::nullopt;
+  ImplHeadKey Key;
+  Key.Kind = Node.Kind;
+  Key.Name = Node.Name;
+  Key.TraitName = Node.TraitName;
+  Key.Arity = static_cast<uint32_t>(Node.Args.size());
+  Key.Mutable = Node.Mutable;
+  return Key;
+}
+
 void Program::indexName(Symbol Name) {
   std::string Short(lastSegment(S->text(Name)));
   std::vector<Symbol> &Entries = ShortNames[Short];
@@ -38,6 +65,21 @@ ImplId Program::addImpl(ImplDecl Decl) {
   ImplId Id(static_cast<uint32_t>(Impls.size()));
   Decl.Id = Id;
   ImplsByTrait[Decl.Trait].push_back(Id);
+
+  // Bucket by self-type head. A root generic parameter becomes a fresh
+  // inference variable at instantiation time and can match any head, so
+  // blanket impls go in the wildcard list.
+  TraitImplIndex &Index = ImplIndex[Decl.Trait];
+  const Type &Root = S->types().get(Decl.SelfTy);
+  bool Blanket = Root.Kind == TypeKind::Infer;
+  if (Root.Kind == TypeKind::Param)
+    for (Symbol Generic : Decl.Generics)
+      Blanket |= Generic == Root.Name;
+  if (Blanket)
+    Index.Wildcard.push_back(Id);
+  else
+    Index.ByHead[*headKeyOf(S->types(), Decl.SelfTy)].push_back(Id);
+
   Impls.push_back(std::move(Decl));
   return Id;
 }
@@ -79,6 +121,22 @@ const std::vector<ImplId> &Program::implsOf(Symbol Trait) const {
   static const std::vector<ImplId> Empty;
   auto It = ImplsByTrait.find(Trait);
   return It == ImplsByTrait.end() ? Empty : It->second;
+}
+
+const std::vector<ImplId> &Program::implsOfHead(Symbol Trait,
+                                                const ImplHeadKey &Key) const {
+  static const std::vector<ImplId> Empty;
+  auto It = ImplIndex.find(Trait);
+  if (It == ImplIndex.end())
+    return Empty;
+  auto Bucket = It->second.ByHead.find(Key);
+  return Bucket == It->second.ByHead.end() ? Empty : Bucket->second;
+}
+
+const std::vector<ImplId> &Program::wildcardImplsOf(Symbol Trait) const {
+  static const std::vector<ImplId> Empty;
+  auto It = ImplIndex.find(Trait);
+  return It == ImplIndex.end() ? Empty : It->second.Wildcard;
 }
 
 Locality Program::localityOf(Symbol Name) const {

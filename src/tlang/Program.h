@@ -20,6 +20,7 @@
 #include "tlang/Decl.h"
 #include "tlang/TypeArena.h"
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +49,29 @@ private:
   TypeArena Arena;
 };
 
+/// The shallow shape of a self type that unification can never change:
+/// its root constructor. Two types whose head keys differ cannot unify
+/// (InferContext::unify rejects on kind, name, trait name, mutability, or
+/// arity before ever recursing), so the solver can skip impls whose head
+/// key mismatches a goal's without instantiating them.
+struct ImplHeadKey {
+  TypeKind Kind = TypeKind::Unit;
+  Symbol Name;      ///< Adt/FnDef ctor, Param name, Projection assoc.
+  Symbol TraitName; ///< Projection only.
+  uint32_t Arity = 0;
+  bool Mutable = false; ///< Ref only.
+
+  friend bool operator==(const ImplHeadKey &A, const ImplHeadKey &B) {
+    return A.Kind == B.Kind && A.Name == B.Name &&
+           A.TraitName == B.TraitName && A.Arity == B.Arity &&
+           A.Mutable == B.Mutable;
+  }
+};
+
+struct ImplHeadKeyHasher {
+  size_t operator()(const ImplHeadKey &K) const;
+};
+
 /// The declaration context of Figure 5 plus the root goals to solve.
 class Program {
 public:
@@ -74,6 +98,19 @@ public:
 
   /// All impls whose trait is \p Trait, in declaration order.
   const std::vector<ImplId> &implsOf(Symbol Trait) const;
+
+  /// The head key of \p Ty's root, or nullopt when the root is an
+  /// inference variable (which can unify with any head).
+  static std::optional<ImplHeadKey> headKeyOf(const TypeArena &Arena,
+                                              TypeId Ty);
+
+  /// Impls of \p Trait whose declared self type has head key \p Key, in
+  /// declaration order. An impl whose self-type root is a generic
+  /// parameter (or an inference variable) is a *wildcard* — it can match
+  /// any head and is listed by wildcardImplsOf() instead.
+  const std::vector<ImplId> &implsOfHead(Symbol Trait,
+                                         const ImplHeadKey &Key) const;
+  const std::vector<ImplId> &wildcardImplsOf(Symbol Trait) const;
 
   const std::vector<TypeCtorDecl> &typeCtors() const { return TypeCtors; }
   const std::vector<TraitDecl> &traits() const { return Traits; }
@@ -123,6 +160,16 @@ private:
   std::unordered_map<Symbol, uint32_t> TraitIndex;
   std::unordered_map<Symbol, uint32_t> FnIndex;
   std::unordered_map<Symbol, std::vector<ImplId>> ImplsByTrait;
+
+  /// Per-trait candidate index: impls bucketed by self-type head key,
+  /// with can-match-anything impls kept aside. Built in addImpl.
+  struct TraitImplIndex {
+    std::unordered_map<ImplHeadKey, std::vector<ImplId>, ImplHeadKeyHasher>
+        ByHead;
+    std::vector<ImplId> Wildcard;
+  };
+  std::unordered_map<Symbol, TraitImplIndex> ImplIndex;
+
   std::unordered_map<std::string, std::vector<Symbol>> ShortNames;
 };
 

@@ -14,7 +14,7 @@ static size_t hashCombine(size_t Seed, size_t Value) {
   return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
 }
 
-size_t TypeArena::TypeHasher::operator()(const Type &T) const {
+size_t TypeArena::computeHash(const Type &T) const {
   size_t H = static_cast<size_t>(T.Kind);
   H = hashCombine(H, T.Name.value());
   H = hashCombine(H, T.TraitName.value());
@@ -23,24 +23,35 @@ size_t TypeArena::TypeHasher::operator()(const Type &T) const {
   H = hashCombine(H, static_cast<size_t>(T.Rgn.Kind));
   if (T.Rgn.Kind == RegionKind::Named)
     H = hashCombine(H, T.Rgn.Name.value());
+  // Children are interned before their parent, so their deep hashes are
+  // cached: the whole tree's hash costs O(arity) here.
   for (TypeId Arg : T.Args)
-    H = hashCombine(H, Arg.value());
+    H = hashCombine(H, hashOf(Arg));
   return H;
 }
 
 TypeId TypeArena::intern(Type T) {
-  auto It = Interned.find(T);
-  if (It != Interned.end())
-    return It->second;
+  size_t H = computeHash(T);
+  auto [It, End] = Interned.equal_range(H);
+  for (; It != End; ++It)
+    if (Types[It->second.value()] == T)
+      return It->second;
   TypeId Id(static_cast<uint32_t>(Types.size()));
-  Interned.emplace(T, Id);
+  Interned.emplace(H, Id);
   Types.push_back(std::move(T));
+  Hashes.push_back(H);
   return Id;
 }
 
 const Type &TypeArena::get(TypeId Id) const {
   assert(Id.isValid() && Id.value() < Types.size() && "bad TypeId");
   return Types[Id.value()];
+}
+
+size_t TypeArena::hashOf(TypeId Id) const {
+  assert(Id.isValid() && Id.value() < Hashes.size() && "bad TypeId");
+  ++HashLookups;
+  return Hashes[Id.value()];
 }
 
 TypeId TypeArena::unit() {

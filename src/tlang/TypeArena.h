@@ -9,6 +9,12 @@
 /// structural operations the solver needs: parameter substitution,
 /// inference-variable collection, and occurs checks.
 ///
+/// Every interned type carries a precomputed structural hash, built at
+/// intern time from its children's cached hashes (O(arity), not
+/// O(tree)). intern() itself keys its table on that hash, and
+/// PredicateHasher mixes it in when given an arena, so deep types are
+/// never rehashed node-by-node on the solver's hot paths.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARGUS_TLANG_TYPEARENA_H
@@ -34,6 +40,15 @@ public:
   const Type &get(TypeId Id) const;
 
   size_t size() const { return Types.size(); }
+
+  /// The cached structural hash of \p Id: equal types (across arenas)
+  /// hash equal, and the lookup is O(1) — the hash was computed when the
+  /// type was interned.
+  size_t hashOf(TypeId Id) const;
+
+  /// Number of hashOf() calls answered from the cache, i.e. deep-hash
+  /// computations avoided. Surfaced through SessionStats.
+  uint64_t hashLookups() const { return HashLookups; }
 
   // Convenience constructors.
   TypeId unit();
@@ -76,15 +91,19 @@ public:
   size_t typeSize(TypeId T) const;
 
 private:
-  struct TypeHasher {
-    size_t operator()(const Type &T) const;
-  };
+  /// The structural hash of \p T, mixing the cached hashes of its
+  /// (already interned) children.
+  size_t computeHash(const Type &T) const;
 
   // A deque keeps node addresses stable while intern() grows the arena:
   // several operations hold a `const Type &` across recursive calls that
-  // may intern new types.
+  // may intern new types. Hashes is parallel to Types.
   std::deque<Type> Types;
-  std::unordered_map<Type, TypeId, TypeHasher> Interned;
+  std::deque<size_t> Hashes;
+  // Keyed by the precomputed structural hash; collisions resolved by
+  // structural equality against the stored node.
+  std::unordered_multimap<size_t, TypeId> Interned;
+  mutable uint64_t HashLookups = 0;
 };
 
 } // namespace argus

@@ -1,0 +1,190 @@
+//===- tests/analysis/ConjunctSetTests.cpp --------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the ConjunctSet small-buffer bitset, plus a randomized
+/// differential test pinning absorbConjunctSets to the reference vector
+/// absorb: on the same formula the two must keep exactly the same
+/// minimal conjuncts, for universes both inside and beyond the inline
+/// two-word budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConjunctSet.h"
+#include "analysis/DNF.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace argus;
+
+namespace {
+
+ConjunctSet make(size_t NumBits, std::initializer_list<size_t> Bits) {
+  ConjunctSet S(NumBits);
+  for (size_t Bit : Bits)
+    S.set(Bit);
+  return S;
+}
+
+/// Canonical form for comparing kept-conjunct collections across
+/// representations: sorted id vectors, sorted by (size, lex).
+std::vector<std::vector<IGoalId>>
+canonical(std::vector<std::vector<IGoalId>> Conjuncts) {
+  std::sort(Conjuncts.begin(), Conjuncts.end(),
+            [](const std::vector<IGoalId> &A, const std::vector<IGoalId> &B) {
+              if (A.size() != B.size())
+                return A.size() < B.size();
+              return A < B;
+            });
+  return Conjuncts;
+}
+
+std::vector<std::vector<IGoalId>>
+toIdVectors(const std::vector<ConjunctSet> &Sets) {
+  std::vector<std::vector<IGoalId>> Out;
+  std::vector<uint32_t> Bits;
+  for (const ConjunctSet &S : Sets) {
+    Bits.clear();
+    S.appendSetBits(Bits);
+    std::vector<IGoalId> Ids;
+    for (uint32_t Bit : Bits)
+      Ids.push_back(IGoalId(Bit));
+    Out.push_back(std::move(Ids));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ConjunctSet, InlineUpToTwoWords) {
+  ConjunctSet Small(1);
+  EXPECT_EQ(Small.words(), 1u);
+  EXPECT_FALSE(Small.spilled());
+
+  ConjunctSet Boundary(128);
+  EXPECT_EQ(Boundary.words(), 2u);
+  EXPECT_FALSE(Boundary.spilled());
+
+  ConjunctSet Spill(129);
+  EXPECT_EQ(Spill.words(), 3u);
+  EXPECT_TRUE(Spill.spilled());
+}
+
+TEST(ConjunctSet, SetTestCount) {
+  for (size_t NumBits : {64u, 128u, 300u}) {
+    ConjunctSet S(NumBits);
+    EXPECT_EQ(S.count(), 0u);
+    std::vector<size_t> Bits = {0, 1, 63, NumBits - 1, NumBits / 2};
+    std::sort(Bits.begin(), Bits.end());
+    Bits.erase(std::unique(Bits.begin(), Bits.end()), Bits.end());
+    for (size_t Bit : Bits)
+      S.set(Bit);
+    for (size_t Bit : Bits)
+      EXPECT_TRUE(S.test(Bit)) << NumBits << ":" << Bit;
+    EXPECT_FALSE(S.test(2));
+    EXPECT_EQ(S.count(), Bits.size());
+  }
+}
+
+TEST(ConjunctSet, UnionSubsetEquality) {
+  for (size_t NumBits : {60u, 200u}) {
+    ConjunctSet A = make(NumBits, {1, 5, 40});
+    ConjunctSet B = make(NumBits, {5, NumBits - 1});
+    EXPECT_FALSE(A.isSubsetOf(B));
+    EXPECT_FALSE(B.isSubsetOf(A));
+
+    ConjunctSet U = A;
+    U.unionWith(B);
+    EXPECT_EQ(U.count(), 4u);
+    EXPECT_TRUE(A.isSubsetOf(U));
+    EXPECT_TRUE(B.isSubsetOf(U));
+    EXPECT_FALSE(U.isSubsetOf(A));
+    EXPECT_TRUE(U.isSubsetOf(U)); // Non-strict.
+
+    EXPECT_NE(A, B);
+    ConjunctSet A2 = make(NumBits, {40, 5, 1});
+    EXPECT_EQ(A, A2);
+  }
+}
+
+TEST(ConjunctSet, CopyAndMoveSemantics) {
+  ConjunctSet Spill = make(300, {0, 128, 299});
+
+  ConjunctSet Copy = Spill;
+  EXPECT_EQ(Copy, Spill);
+  Copy.set(7);
+  EXPECT_NE(Copy, Spill); // Deep copy: the original is untouched.
+  EXPECT_FALSE(Spill.test(7));
+
+  ConjunctSet Moved = std::move(Copy);
+  EXPECT_TRUE(Moved.test(7));
+  EXPECT_TRUE(Moved.test(299));
+  EXPECT_EQ(Moved.words(), 5u);
+
+  ConjunctSet Assigned(1);
+  Assigned = Spill;
+  EXPECT_EQ(Assigned, Spill);
+  Assigned = std::move(Moved);
+  EXPECT_TRUE(Assigned.test(7));
+}
+
+TEST(ConjunctSet, AppendSetBitsAscending) {
+  ConjunctSet S = make(300, {299, 0, 64, 63, 130});
+  std::vector<uint32_t> Bits;
+  S.appendSetBits(Bits);
+  EXPECT_EQ(Bits, (std::vector<uint32_t>{0, 63, 64, 130, 299}));
+}
+
+TEST(ConjunctSet, CompareIsWordLexicographic) {
+  ConjunctSet A = make(64, {0, 1}); // Word value 3.
+  ConjunctSet B = make(64, {1, 2}); // Word value 6.
+  EXPECT_LT(ConjunctSet::compare(A, B), 0);
+  EXPECT_GT(ConjunctSet::compare(B, A), 0);
+  EXPECT_EQ(ConjunctSet::compare(A, A), 0);
+}
+
+TEST(ConjunctSet, AbsorbMatchesReferenceOnRandomFormulas) {
+  // Randomized differential: the bitset absorption must keep exactly the
+  // conjuncts the reference vector absorption keeps. Universes straddle
+  // the inline/heap boundary.
+  for (size_t NumAtoms : {17u, 64u, 128u, 130u, 257u}) {
+    for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+      Rng Gen(Seed * 977 + NumAtoms);
+      size_t NumConjuncts = 1 + Gen.below(120);
+      std::vector<std::vector<IGoalId>> Reference;
+      std::vector<ConjunctSet> Bitsets;
+      for (size_t C = 0; C != NumConjuncts; ++C) {
+        size_t Size = 1 + Gen.below(std::min<size_t>(NumAtoms, 24));
+        std::vector<uint32_t> Atoms;
+        for (size_t I = 0; I != Size; ++I)
+          Atoms.push_back(static_cast<uint32_t>(Gen.below(NumAtoms)));
+        std::sort(Atoms.begin(), Atoms.end());
+        Atoms.erase(std::unique(Atoms.begin(), Atoms.end()), Atoms.end());
+
+        ConjunctSet Set(NumAtoms);
+        std::vector<IGoalId> Ids;
+        for (uint32_t Atom : Atoms) {
+          Set.set(Atom);
+          Ids.push_back(IGoalId(Atom));
+        }
+        Bitsets.push_back(std::move(Set));
+        Reference.push_back(std::move(Ids));
+      }
+
+      absorb(Reference);
+      DNFStats Stats;
+      absorbConjunctSets(Bitsets, &Stats);
+
+      EXPECT_EQ(canonical(toIdVectors(Bitsets)), canonical(Reference))
+          << "atoms=" << NumAtoms << " seed=" << Seed;
+      EXPECT_GT(Stats.WordsTouched, 0u);
+    }
+  }
+}

@@ -1,0 +1,182 @@
+//===- tests/integration/HotpathTests.cpp ---------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end guarantees for the perf fast paths:
+///
+///  * The bitset DNF kernel and the reference vector kernel compute the
+///    same minimal conjunct sets on every corpus tree and on randomized
+///    generated trees, including DNF-dense shapes (wide OR/AND fanout)
+///    where conjunction cross products and absorption dominate.
+///
+///  * The solver's impl head-constructor index is invisible in output:
+///    with the index on and off, proof forests, tree JSON, and interface
+///    view JSON are byte-identical on the whole evaluation suite — the
+///    index may only skip work, never change it.
+///
+///  * The DNF conjunct cap truncates and records the truncation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DNF.h"
+#include "corpus/Corpus.h"
+#include "corpus/Generator.h"
+#include "engine/Session.h"
+#include "interface/ViewJSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+void expectKernelsAgree(const InferenceTree &Tree, const char *Label) {
+  AnalysisOptions Opts;
+  DNFStats BitsetStats, ReferenceStats;
+  DNFFormula Bitset = computeMCS(Tree, Opts, &BitsetStats);
+  DNFFormula Reference = computeMCSReference(Tree, Opts, &ReferenceStats);
+  EXPECT_EQ(Bitset.IsTrue, Reference.IsTrue) << Label;
+  EXPECT_EQ(Bitset.Conjuncts, Reference.Conjuncts) << Label;
+  EXPECT_EQ(BitsetStats.Atoms, ReferenceStats.Atoms) << Label;
+  EXPECT_EQ(BitsetStats.Truncations, 0u) << Label;
+}
+
+} // namespace
+
+TEST(Hotpath, KernelsAgreeOnEvaluationSuite) {
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    engine::Session S(Entry.Id, Entry.Source);
+    for (size_t T = 0; T != S.numTrees(); ++T)
+      expectKernelsAgree(S.tree(T), Entry.Id.c_str());
+  }
+}
+
+TEST(Hotpath, KernelsAgreeOnGeneratedTrees) {
+  // Realistic shapes (narrow failing skeletons) across seeds and sizes.
+  for (uint64_t Seed : {1u, 42u, 99u, 1201u}) {
+    for (size_t Nodes : {64u, 700u, 2554u}) {
+      for (double BranchProbability : {0.1, 0.5}) {
+        GeneratorOptions Opts;
+        Opts.Seed = Seed;
+        Opts.TargetNodes = Nodes;
+        Opts.BranchProbability = BranchProbability;
+        GeneratedWorkload W = generateTree(Opts);
+        expectKernelsAgree(W.Tree, "generated");
+      }
+    }
+  }
+}
+
+TEST(Hotpath, KernelsAgreeOnDenseTrees) {
+  // DNF-dense shapes: every failing goal branches and candidates carry
+  // several failing subgoals, so multi-atom conjuncts, conjunction cross
+  // products, and absorption all do real work. The or2/and3 shape also
+  // pushes past 128 atoms' worth of leaves, exercising duplicate-atom
+  // collapsing on the way.
+  struct Shape {
+    size_t OrWidth, AndWidth;
+    uint32_t Depth;
+  };
+  for (Shape S : {Shape{2, 2, 3}, Shape{3, 2, 3}, Shape{2, 3, 3},
+                  Shape{2, 2, 4}}) {
+    for (uint64_t Seed : {7u, 31u}) {
+      GeneratorOptions Opts;
+      Opts.Seed = Seed;
+      Opts.TargetNodes = 2048;
+      Opts.BranchProbability = 1.0;
+      Opts.BranchWidth = S.OrWidth;
+      Opts.FailingSubgoalsPerCandidate = S.AndWidth;
+      Opts.MaxFanout = 0;
+      Opts.OverflowProbability = 0.0;
+      Opts.MaxFailDepth = S.Depth;
+      GeneratedWorkload W = generateTree(Opts);
+      expectKernelsAgree(W.Tree, "dense");
+    }
+  }
+}
+
+TEST(Hotpath, CandidateIndexIsInvisibleInOutput) {
+  engine::SessionOptions WithIndex;
+  ASSERT_TRUE(WithIndex.Solver.EnableCandidateIndex); // The default.
+  engine::SessionOptions WithoutIndex;
+  WithoutIndex.Solver.EnableCandidateIndex = false;
+
+  uint64_t TotalFiltered = 0;
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    engine::Session On(Entry.Id, Entry.Source, WithIndex);
+    engine::Session Off(Entry.Id, Entry.Source, WithoutIndex);
+
+    // Same search: every goal evaluation the filtered run performs, the
+    // unfiltered run performs too.
+    On.solve();
+    Off.solve();
+    EXPECT_EQ(On.stats().GoalEvaluations, Off.stats().GoalEvaluations)
+        << Entry.Id;
+    EXPECT_EQ(Off.stats().CandidatesFiltered, 0u) << Entry.Id;
+    TotalFiltered += On.stats().CandidatesFiltered;
+
+    ASSERT_EQ(On.numTrees(), Off.numTrees()) << Entry.Id;
+    for (size_t T = 0; T != On.numTrees(); ++T) {
+      EXPECT_EQ(On.treeJSON(T), Off.treeJSON(T)) << Entry.Id << "#" << T;
+      ArgusInterface UIOn = On.interface(T);
+      ArgusInterface UIOff = Off.interface(T);
+      EXPECT_EQ(viewToJSON(UIOn, On.program(), /*Pretty=*/true),
+                viewToJSON(UIOff, Off.program(), /*Pretty=*/true))
+          << Entry.Id << "#" << T;
+    }
+  }
+  // The index must actually skip something somewhere on the suite,
+  // otherwise the fast path is dead code.
+  EXPECT_GT(TotalFiltered, 0u);
+}
+
+TEST(Hotpath, ConjunctCapTruncatesAndRecords) {
+  GeneratorOptions GenOpts;
+  GenOpts.Seed = 7;
+  GenOpts.TargetNodes = 512;
+  GenOpts.BranchProbability = 1.0;
+  GenOpts.BranchWidth = 2;
+  GenOpts.FailingSubgoalsPerCandidate = 2;
+  GenOpts.MaxFanout = 0;
+  GenOpts.OverflowProbability = 0.0;
+  GenOpts.MaxFailDepth = 3;
+  GeneratedWorkload W = generateTree(GenOpts);
+
+  // Uncapped, this tree normalizes to far more than four conjuncts.
+  AnalysisOptions Uncapped;
+  ASSERT_GT(computeMCS(W.Tree, Uncapped).Conjuncts.size(), 4u);
+
+  for (bool UseBitset : {true, false}) {
+    AnalysisOptions Capped;
+    Capped.UseBitsetKernel = UseBitset;
+    Capped.MaxConjuncts = 4;
+    DNFStats Stats;
+    DNFFormula F = computeMCS(W.Tree, Capped, &Stats);
+    EXPECT_LE(F.Conjuncts.size(), 4u) << UseBitset;
+    EXPECT_GT(Stats.Truncations, 0u) << UseBitset;
+    EXPECT_TRUE(Stats.truncated()) << UseBitset;
+  }
+}
+
+TEST(Hotpath, SessionSurfacesAnalysisCounters) {
+  // The engine plumbs AnalysisOptions through and accumulates the DNF
+  // work counters; a tiny cap must surface as recorded truncations.
+  const CorpusEntry *Entry = nullptr;
+  for (const CorpusEntry &Candidate : evaluationSuite())
+    if (Candidate.Id == "bevy-assets-mesh")
+      Entry = &Candidate;
+  ASSERT_NE(Entry, nullptr);
+
+  engine::SessionOptions Opts;
+  Opts.Analysis.MaxConjuncts = 1;
+  engine::Session S(Entry->Id, Entry->Source, Opts);
+  ASSERT_GT(S.numTrees(), 0u);
+  for (size_t T = 0; T != S.numTrees(); ++T)
+    S.inertia(T);
+  EXPECT_GT(S.stats().DNFWordsTouched, 0u);
+  EXPECT_GT(S.stats().DNFTruncations, 0u);
+  EXPECT_GT(S.stats().ArenaHashLookups, 0u);
+}

@@ -27,6 +27,7 @@
 ///   --jobs <n>       worker threads for --batch (default 1; output is
 ///                    byte-identical at any thread count)
 ///   --trace <file>   write per-stage timings and counters as JSON
+///   --stats          print one summary line of SessionStats totals
 ///   --version        print the version and exit
 ///
 //===----------------------------------------------------------------------===//
@@ -61,6 +62,7 @@ struct Options {
   bool JSON = false;
   bool ShowInternal = false;
   bool CheckOnly = false;
+  bool Stats = false;
 };
 
 int usage() {
@@ -69,7 +71,7 @@ int usage() {
           " [--mcs]\n"
           "             [--suggest] [--json] [--html <file>]"
           " [--show-internal] [--check]\n"
-          "             [--trace <file>] [--version]\n"
+          "             [--trace <file>] [--stats] [--version]\n"
           "       argus --batch <dir> [--jobs <n>] [other options]\n");
   return 2;
 }
@@ -187,6 +189,41 @@ Rendered renderProgram(engine::Session &S, const Options &Opts) {
   return R;
 }
 
+/// One grep-able totals line, so batch perf is visible without parsing
+/// the JSON trace. tools/check.sh's perf smoke gate parses these
+/// key=value pairs; renaming a key is a format change.
+void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
+  engine::SessionStats Sum;
+  for (const engine::SessionStats *Stats : All) {
+    Sum.GoalEvaluations += Stats->GoalEvaluations;
+    Sum.MemoHits += Stats->MemoHits;
+    Sum.CandidatesFiltered += Stats->CandidatesFiltered;
+    Sum.TreesExtracted += Stats->TreesExtracted;
+    Sum.TreeGoals += Stats->TreeGoals;
+    Sum.FailedLeaves += Stats->FailedLeaves;
+    Sum.DNFConjuncts += Stats->DNFConjuncts;
+    Sum.DNFWordsTouched += Stats->DNFWordsTouched;
+    Sum.DNFTruncations += Stats->DNFTruncations;
+    Sum.ArenaHashLookups += Stats->ArenaHashLookups;
+    for (size_t I = 0; I != engine::NumStages; ++I)
+      Sum.StageSeconds[I] += Stats->StageSeconds[I];
+  }
+  printf("stats: programs=%zu goal_evals=%llu memo_hits=%llu"
+         " candidates_filtered=%llu trees=%zu tree_goals=%zu"
+         " failed_leaves=%zu dnf_conjuncts=%zu dnf_words=%llu"
+         " dnf_truncations=%llu arena_hash_lookups=%llu"
+         " total_seconds=%.6f\n",
+         All.size(), static_cast<unsigned long long>(Sum.GoalEvaluations),
+         static_cast<unsigned long long>(Sum.MemoHits),
+         static_cast<unsigned long long>(Sum.CandidatesFiltered),
+         Sum.TreesExtracted, Sum.TreeGoals, Sum.FailedLeaves,
+         Sum.DNFConjuncts,
+         static_cast<unsigned long long>(Sum.DNFWordsTouched),
+         static_cast<unsigned long long>(Sum.DNFTruncations),
+         static_cast<unsigned long long>(Sum.ArenaHashLookups),
+         Sum.totalSeconds());
+}
+
 bool writeTrace(const std::string &Path, const std::string &JSON) {
   std::ofstream File(Path);
   if (!File) {
@@ -231,6 +268,14 @@ int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
       Exit = 1;
   }
 
+  if (Opts.Stats) {
+    std::vector<const engine::SessionStats *> All;
+    All.reserve(Results.size());
+    for (const engine::BatchResult &Result : Results)
+      All.push_back(&Result.Stats);
+    printStatsLine(All);
+  }
+
   if (!Opts.TracePath.empty() &&
       !writeTrace(Opts.TracePath,
                   engine::BatchDriver::statsTraceJSON(Results, Opts.Jobs)))
@@ -253,6 +298,9 @@ int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
   }
   fputs(R.Warnings.c_str(), stderr);
   fputs(R.Body.c_str(), stdout);
+
+  if (Opts.Stats)
+    printStatsLine({&S->stats()});
 
   if (!Opts.TracePath.empty()) {
     JSONWriter Writer(/*Pretty=*/true);
@@ -296,6 +344,8 @@ int main(int Argc, char **Argv) {
       Opts.ShowInternal = true;
     else if (Arg == "--check")
       Opts.CheckOnly = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
     else if (Arg == "--html") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --html requires a file argument\n");

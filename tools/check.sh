@@ -12,6 +12,15 @@
 # which invokes only that step to avoid recursing into ctest:
 #
 #   tools/check.sh --determinism-only <argus-binary> <programs-dir>
+#
+# The perf smoke gate re-runs the CLI with --stats and asserts ceilings
+# on the *work counters* (goal evaluations, DNF conjuncts) and floors on
+# the fast-path counters (candidates filtered, arena hash lookups).
+# Counters are deterministic, so unlike wall-clock thresholds this can
+# never flake; it catches a silently disabled fast path or an
+# accidentally quadratic search. Also wired into CTest (cli_perf_smoke):
+#
+#   tools/check.sh --perf-smoke-only <argus-binary> <programs-dir>
 set -eu
 
 determinism() {
@@ -32,6 +41,57 @@ determinism() {
   echo "batch determinism: OK (--jobs 1 == --jobs 8 over $programs_dir)"
 }
 
+perf_smoke() {
+  argus_bin="$1"
+  programs_dir="$2"
+
+  # --mcs forces the analyze stage so the DNF counters are live; the CLI
+  # exits nonzero when programs have trait errors, which is the point.
+  stats_line=$("$argus_bin" --batch "$programs_dir" --mcs --stats \
+                 2>/dev/null | grep '^stats: ' | tail -n 1) || true
+  if [ -z "$stats_line" ]; then
+    echo "FAIL: no 'stats:' line from $argus_bin --batch --mcs --stats" >&2
+    exit 1
+  fi
+
+  counter() {
+    printf '%s\n' "$stats_line" | tr ' ' '\n' | sed -n "s/^$1=//p"
+  }
+  assert_le() { # name value ceiling
+    [ "$2" -le "$3" ] || {
+      echo "FAIL: perf smoke: $1=$2 exceeds ceiling $3 ($stats_line)" >&2
+      exit 1
+    }
+  }
+  assert_ge() { # name value floor
+    [ "$2" -ge "$3" ] || {
+      echo "FAIL: perf smoke: $1=$2 below floor $3 ($stats_line)" >&2
+      exit 1
+    }
+  }
+
+  # Ceilings are ~3x the values measured over examples/ at the time the
+  # gate was added (goal_evals=145, dnf_conjuncts=4), so corpus growth
+  # has headroom but a regression to quadratic search cannot hide.
+  assert_le goal_evals "$(counter goal_evals)" 450
+  assert_le dnf_conjuncts "$(counter dnf_conjuncts)" 16
+  assert_le dnf_truncations "$(counter dnf_truncations)" 0
+  # Floors: the solver's candidate head index and the arena hash cache
+  # must actually be doing something.
+  assert_ge candidates_filtered "$(counter candidates_filtered)" 1
+  assert_ge arena_hash_lookups "$(counter arena_hash_lookups)" 1
+  echo "perf smoke: OK ($stats_line)"
+}
+
+if [ "${1:-}" = "--perf-smoke-only" ]; then
+  [ $# -eq 3 ] || {
+    echo "usage: $0 --perf-smoke-only <argus-binary> <programs-dir>" >&2
+    exit 2
+  }
+  perf_smoke "$2" "$3"
+  exit 0
+fi
+
 if [ "${1:-}" = "--determinism-only" ]; then
   [ $# -eq 3 ] || {
     echo "usage: $0 --determinism-only <argus-binary> <programs-dir>" >&2
@@ -49,4 +109,5 @@ cmake --build "$build_dir" -j
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)")
 
 determinism "$build_dir/tools/argus" "$repo_root/examples"
+perf_smoke "$build_dir/tools/argus" "$repo_root/examples"
 echo "all checks passed"
