@@ -21,6 +21,12 @@
 ///     sets; the aggregate speedup is the headline number and is expected
 ///     to stay >= 5x.
 ///
+///  3. "governance": the stress corpus (solver blowup, DNF blowup) under
+///     a 100ms job deadline — the ISSUE acceptance scenario. Records the
+///     structured failure each program degrades with, the governance
+///     counters, and the observed wall clock, witnessing that a
+///     pathological program costs ~deadline, not seconds.
+///
 /// Usage: bench_hotpath [output.json]   (default: BENCH_hotpath.json)
 ///
 /// See DESIGN.md for the JSON schema and EXPERIMENTS.md for how to record
@@ -279,6 +285,46 @@ int main(int Argc, char **Argv) {
   W.keyValue("speedup", AggregateSpeedup);
   W.keyValue("identical", AllIdentical);
   W.endObject();
+  W.endObject();
+
+  // --- Section 3: the stress corpus under a 100ms deadline.
+  const double GovernedDeadline = 0.1;
+  W.key("governance");
+  W.beginObject();
+  W.keyValue("job_deadline_seconds", GovernedDeadline);
+  W.key("programs");
+  W.beginArray();
+  for (const CorpusEntry &Entry : stressSuite()) {
+    engine::SessionOptions GovOpts;
+    GovOpts.Limits.JobDeadlineSeconds = GovernedDeadline;
+    double Start = now();
+    engine::Session S(Entry.Id, Entry.Source, GovOpts);
+    if (S.parseOk() && S.hasTraitErrors() && S.numTrees() != 0)
+      S.inertia(0);
+    double Elapsed = now() - Start;
+    const engine::SessionStats &Stats = S.stats();
+    W.beginObject();
+    W.keyValue("name", Stats.Name);
+    W.keyValue("elapsed_seconds", Elapsed);
+    W.keyValue("goal_evaluations", Stats.GoalEvaluations);
+    W.keyValue("dnf_truncations", Stats.DNFTruncations);
+    W.keyValue("deadline_hits", Stats.DeadlineHits);
+    W.keyValue("cancellations", Stats.Cancellations);
+    W.keyValue("work_ceiling_hits", Stats.WorkCeilingHits);
+    W.keyValue("degraded", Stats.degraded());
+    W.key("failures");
+    W.beginArray();
+    for (const engine::Failure &F : Stats.Failures)
+      F.writeJSON(W);
+    W.endArray();
+    W.endObject();
+    printf("governance: %-26s elapsed=%.3fs evals=%llu degraded=%s"
+           " failures=%zu\n",
+           Stats.Name.c_str(), Elapsed,
+           static_cast<unsigned long long>(Stats.GoalEvaluations),
+           Stats.degraded() ? "yes" : "no", Stats.Failures.size());
+  }
+  W.endArray();
   W.endObject();
   W.endObject();
 

@@ -195,10 +195,23 @@ struct ReferenceKernel {
   DNFStats *Stats;
   FailedDescendantMap FailedDesc;
   AtomMap Atoms;
+  bool Stopped = false;
 
   ReferenceKernel(const InferenceTree &Tree, const AnalysisOptions &Opts,
                   DNFStats *Stats)
       : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(Tree) {}
+
+  /// Charges \p Amount against the budget; latches once stopped.
+  bool tickStop(uint64_t Amount = 1) {
+    if (Stopped)
+      return true;
+    if (Opts.Budget && Opts.Budget->tick(Amount)) {
+      Stopped = true;
+      if (Stats)
+        Stats->Interrupted = true;
+    }
+    return Stopped;
+  }
 
   DNFFormula formulaFor(IGoalId Id) {
     const IdealGoal &Goal = Tree.goal(Id);
@@ -213,10 +226,17 @@ struct ReferenceKernel {
       return DNFFormula::atom(It->second);
     }
 
+    // Budget stop: give up on this subtree; FALSE is the disjoin
+    // identity, so ancestors keep whatever they built before the stop.
+    if (tickStop())
+      return DNFFormula::falseFormula();
+
     // Interior: the goal holds if some candidate's failing subgoals all
     // get fixed.
     DNFFormula Out = DNFFormula::falseFormula();
     for (ICandId CandId : Goal.Candidates) {
+      if (Stopped)
+        break;
       const IdealCandidate &Cand = Tree.candidate(CandId);
       bool AnyFailingSubgoal = false;
       DNFFormula CandFormula = DNFFormula::trueFormula();
@@ -226,6 +246,8 @@ struct ReferenceKernel {
         AnyFailingSubgoal = true;
         CandFormula = conjoinDNF(CandFormula, formulaFor(Sub));
         truncateToCap(CandFormula.Conjuncts, Opts.MaxConjuncts, Stats);
+        if (tickStop(CandFormula.Conjuncts.size()))
+          break;
       }
       // A failing candidate with no failing subgoals (e.g. a builtin
       // signature mismatch) offers no atom-level fix along this branch.
@@ -379,6 +401,7 @@ struct BitsetKernel {
   const AnalysisOptions &Opts;
   DNFStats *Stats;
   FailedDescendantMap FailedDesc;
+  bool Stopped = false;
 
   /// Dense atom numbering; AtomIds[i] is the first leaf occurrence of
   /// atom i's predicate (the id the reference kernel would use).
@@ -390,6 +413,18 @@ struct BitsetKernel {
       : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(Tree) {}
 
   size_t numAtoms() const { return AtomIds.size(); }
+
+  /// Charges \p Amount against the budget; latches once stopped.
+  bool tickStop(uint64_t Amount = 1) {
+    if (Stopped)
+      return true;
+    if (Opts.Budget && Opts.Budget->tick(Amount)) {
+      Stopped = true;
+      if (Stats)
+        Stats->Interrupted = true;
+    }
+    return Stopped;
+  }
 
   void touch(uint64_t Words) {
     if (Stats)
@@ -499,8 +534,12 @@ struct BitsetKernel {
     // a chance to prune; compact mid-flight once it passes twice the cap.
     const size_t FlushAt =
         Opts.MaxConjuncts ? 2 * Opts.MaxConjuncts : size_t(-1);
-    for (const ConjunctSet &CA : A.Conjuncts)
+    for (const ConjunctSet &CA : A.Conjuncts) {
+      if (Stopped)
+        break; // Partial product: absorbed and capped below.
       for (const ConjunctSet &CB : B.Conjuncts) {
+        if (tickStop())
+          break;
         ConjunctSet Merged = CA;
         Merged.unionWith(CB);
         touch(Merged.words());
@@ -510,6 +549,7 @@ struct BitsetKernel {
           capTruncate(Out.Conjuncts);
         }
       }
+    }
     absorbConjunctSets(Out.Conjuncts, Stats);
     capTruncate(Out.Conjuncts);
     return Out;
@@ -522,9 +562,15 @@ struct BitsetKernel {
       return BitsetDNF::trueFormula();
     if (!FailedDesc.query(Id))
       return atomFormula(Goal.Pred);
+    // Budget stop: FALSE is the disjoin identity, so ancestors keep
+    // whatever they accumulated before the stop.
+    if (tickStop())
+      return BitsetDNF::falseFormula();
 
     BitsetDNF Out = BitsetDNF::falseFormula();
     for (ICandId CandId : Goal.Candidates) {
+      if (Stopped)
+        break;
       const IdealCandidate &Cand = Tree.candidate(CandId);
       bool AnyFailingSubgoal = false;
       BitsetDNF CandFormula = BitsetDNF::trueFormula();

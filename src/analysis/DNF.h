@@ -37,6 +37,7 @@
 
 #include "analysis/ConjunctSet.h"
 #include "extract/InferenceTree.h"
+#include "support/Governance.h"
 
 #include <vector>
 
@@ -76,6 +77,12 @@ struct AnalysisOptions {
   /// forfeits the minimality guarantee for the affected tree. 0 means
   /// unlimited.
   size_t MaxConjuncts = 65536;
+
+  /// Cooperative execution budget, charged one unit per conjunct merge.
+  /// When it stops, normalization returns the formula built so far
+  /// (absorbed and capped) and sets DNFStats::Interrupted. Null means
+  /// ungoverned. Not owned; must outlive the call.
+  ExecutionBudget *Budget = nullptr;
 };
 
 /// Work counters for one normalization, surfaced through SessionStats.
@@ -89,6 +96,10 @@ struct DNFStats {
 
   /// Times an intermediate formula was truncated to MaxConjuncts.
   uint64_t Truncations = 0;
+
+  /// True if AnalysisOptions::Budget stopped normalization early; the
+  /// returned formula covers only the part of the tree walked so far.
+  bool Interrupted = false;
 
   bool truncated() const { return Truncations != 0; }
 };

@@ -46,6 +46,12 @@ struct CorpusEntry {
 /// The full 17-program suite, in stable order.
 const std::vector<CorpusEntry> &evaluationSuite();
 
+/// Adversarial programs for the resource-governance tests and benches:
+/// solver blowups and DNF-dense trees engineered to exceed any
+/// interactive deadline. Deliberately NOT part of evaluationSuite() (or
+/// examples/) — they are only ever run under an ExecutionBudget.
+const std::vector<CorpusEntry> &stressSuite();
+
 /// Entries contributed by each family (concatenated by
 /// evaluationSuite()).
 std::vector<CorpusEntry> dieselEntries();

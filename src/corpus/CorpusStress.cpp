@@ -1,0 +1,113 @@
+//===- corpus/CorpusStress.cpp - Adversarial governance corpus -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programs built to blow the paper's own worst cases past any
+/// interactive deadline (Figure 12b's DNF timeouts; rustc's
+/// recursion-limit blowups), used to exercise ResourceGovernor
+/// degradation. Never run these without a budget: the solver blowup
+/// burns the full 2M-goal-evaluation ceiling (seconds of work) and the
+/// DNF program normalizes 2^24 conjuncts through the truncation cap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <sstream>
+
+using namespace argus;
+
+namespace {
+
+// Binary recursion with linearly growing self types: every evaluation of
+// `Node<A, B>: Blow` spawns two distinct subgoals (asymmetric clauses, so
+// they never collapse into one), and the types grow one Node per step, so
+// neither the ancestor-cycle detector nor memoization can cut it off —
+// only the depth limit per path and MaxGoalEvaluations overall. At 2M
+// evaluations this runs for seconds on any machine, guaranteeing a 100ms
+// deadline trips mid-solve.
+const char *SolveBlowupSource = R"(
+struct Leaf;
+struct Node<A, B>;
+trait Blow;
+impl<A, B> Blow for Node<A, B>
+  where Node<A, Node<B, Leaf>>: Blow, Node<Node<A, Leaf>, B>: Blow;
+goal Node<Leaf, Leaf>: Blow;
+root_cause Node<Leaf, Leaf>: Blow;
+)";
+
+/// One Pick obligation per selector, each with two failing candidate
+/// impls (an OR of two atoms). Conjoining K binary disjunctions yields
+/// 2^K conjuncts before truncation — the Figure 12b blowup shape.
+void appendDnfDense(std::ostringstream &Src, int NumSelectors,
+                    const char *Prefix) {
+  Src << "trait " << Prefix << "Blowup;\n";
+  Src << "struct " << Prefix << "App;\n";
+  Src << "trait " << Prefix << "Pick;\n";
+  Src << "trait " << Prefix << "OptA;\n";
+  Src << "trait " << Prefix << "OptB;\n";
+  for (int I = 0; I != NumSelectors; ++I)
+    Src << "struct " << Prefix << "Sel" << I << ";\n";
+  // The two impls per selector overlap on purpose: overlap is what gives
+  // the goal two candidates, i.e. an OR node in the tree.
+  for (int I = 0; I != NumSelectors; ++I) {
+    Src << "impl " << Prefix << "Pick for " << Prefix << "Sel" << I
+        << " where " << Prefix << "Sel" << I << ": " << Prefix << "OptA;\n";
+    Src << "impl " << Prefix << "Pick for " << Prefix << "Sel" << I
+        << " where " << Prefix << "Sel" << I << ": " << Prefix << "OptB;\n";
+  }
+  Src << "impl " << Prefix << "Blowup for " << Prefix << "App where";
+  for (int I = 0; I != NumSelectors; ++I)
+    Src << (I ? "," : "") << " " << Prefix << "Sel" << I << ": " << Prefix
+        << "Pick";
+  Src << ";\n";
+  Src << "goal " << Prefix << "App: " << Prefix << "Blowup;\n";
+  Src << "root_cause " << Prefix << "Sel0: " << Prefix << "OptA;\n";
+}
+
+std::vector<CorpusEntry> buildStressSuite() {
+  std::vector<CorpusEntry> Entries;
+
+  Entries.push_back(CorpusEntry{
+      "stress-solve-blowup", "stress",
+      "Binary impl recursion over growing types; burns the full "
+      "MaxGoalEvaluations budget (seconds) unless a budget stops it",
+      SolveBlowupSource});
+
+  {
+    std::ostringstream Src;
+    Src << "// 2^24 DNF conjuncts before truncation.\n";
+    appendDnfDense(Src, 24, "D");
+    Entries.push_back(CorpusEntry{
+        "stress-dnf-dense", "stress",
+        "24 two-way failing obligations; DNF normalization explodes to "
+        "2^24 conjuncts and churns against the truncation cap",
+        Src.str()});
+  }
+
+  {
+    // The acceptance-criteria program: the solver blowup guarantees a
+    // 100ms deadline trips (machine-independent), and the DNF-dense
+    // goals are behind it for when the solve stage is given more room.
+    std::ostringstream Src;
+    Src << SolveBlowupSource;
+    appendDnfDense(Src, 24, "C");
+    Entries.push_back(CorpusEntry{
+        "stress-deadline-combined", "stress",
+        "Solver blowup followed by a DNF-dense goal; exceeds a 100ms "
+        "deadline in the solve stage on any machine",
+        Src.str()});
+  }
+
+  return Entries;
+}
+
+} // namespace
+
+const std::vector<CorpusEntry> &argus::stressSuite() {
+  static const std::vector<CorpusEntry> Suite = buildStressSuite();
+  return Suite;
+}

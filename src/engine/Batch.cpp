@@ -8,61 +8,163 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 namespace argus {
 namespace engine {
 
-BatchDriver::BatchDriver(SessionOptions Opts, unsigned Jobs)
-    : Opts(std::move(Opts)), NumJobs(std::max(1u, Jobs)) {}
+BatchDriver::BatchDriver(SessionOptions Opts, unsigned Jobs,
+                         BatchOptions BatchOpts)
+    : Opts(std::move(Opts)), NumJobs(std::max(1u, Jobs)),
+      BOpts(BatchOpts) {}
+
+/// One worker thread's registration with the watchdog: which governor is
+/// currently running and since when. The mutex orders registration
+/// against the watchdog's cancel (the governor dies with its Session).
+struct BatchDriver::WatchSlot {
+  std::mutex M;
+  ResourceGovernor *Gov = nullptr;
+  std::chrono::steady_clock::time_point Start;
+};
+
+void BatchDriver::runOne(const BatchJob &Job, const SessionOptions &JobOpts,
+                         const Worker &Work, WatchSlot *Slot,
+                         BatchResult &Result) const {
+  Session S(Job.Name, Job.Source, JobOpts);
+  Result.Name = Job.Name;
+  if (Slot) {
+    std::lock_guard<std::mutex> Lock(Slot->M);
+    Slot->Gov = S.governor();
+    Slot->Start = std::chrono::steady_clock::now();
+  }
+  bool Panicked = false;
+  std::string What;
+  try {
+    if (S.governor() && S.governor()->shouldFail("worker.panic"))
+      throw std::runtime_error("injected worker panic (site worker.panic)");
+    Result.Output = Work(S);
+  } catch (const std::exception &E) {
+    Panicked = true;
+    What = E.what();
+  } catch (...) {
+    Panicked = true;
+    What = "unknown exception";
+  }
+  if (Slot) {
+    std::lock_guard<std::mutex> Lock(Slot->M);
+    Slot->Gov = nullptr;
+  }
+  if (Panicked) {
+    Result.Error = What;
+    S.noteFailure({FailureCode::WorkerPanic, S.lastStage(),
+                   "worker for job '" + Job.Name + "' threw during " +
+                       stageName(S.lastStage()) + ": " + What});
+  }
+  // After a panic the Session may be mid-stage; probe without forcing so
+  // a parse exception cannot rethrow here and kill the pool thread. On
+  // the success path, forcing parse keeps the old contract for workers
+  // that never touched the Session.
+  Result.ParseOk = S.parseCompleted() ? S.parseSucceeded()
+                  : Panicked          ? false
+                                      : S.parseOk();
+  // Only consult solve results the worker already produced; a
+  // parse-only worker should not pay for solving here.
+  Result.HasTraitErrors = S.solved() && S.solve().hasErrors();
+  // Stats from whatever stages completed — populated on panics too.
+  Result.Stats = S.stats();
+}
 
 std::vector<BatchResult> BatchDriver::run(const std::vector<BatchJob> &Jobs,
                                           const Worker &Work) const {
   std::vector<BatchResult> Results(Jobs.size());
 
+  unsigned Threads = std::max(
+      1u, static_cast<unsigned>(std::min<size_t>(NumJobs, Jobs.size())));
+
+  // The watchdog engages only when a job deadline is configured. Workers
+  // normally observe their own deadline through budget ticks; the grace
+  // factor means the watchdog cancel fires only for jobs stuck in code
+  // that does not tick.
+  const double JobDeadline = Opts.Limits.JobDeadlineSeconds;
+  const bool UseWatchdog = JobDeadline > 0.0;
+  std::vector<WatchSlot> Slots(Threads);
+  std::atomic<bool> Done{false};
+  std::thread Watchdog;
+  if (UseWatchdog) {
+    const auto Grace =
+        std::chrono::duration<double>(JobDeadline * 1.5 + 0.05);
+    Watchdog = std::thread([&Slots, &Done, Grace] {
+      while (!Done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        auto Now = std::chrono::steady_clock::now();
+        for (WatchSlot &Slot : Slots) {
+          std::lock_guard<std::mutex> Lock(Slot.M);
+          if (Slot.Gov && Now - Slot.Start >= Grace)
+            Slot.Gov->cancel();
+        }
+      }
+    });
+  }
+
   // Work-stealing by atomic index: threads race for the next job, but
   // each result lands in its input slot, so ordering (and therefore
   // output) is independent of scheduling.
   std::atomic<size_t> Next{0};
-  auto RunJobs = [&] {
+  auto RunJobs = [&](unsigned ThreadIndex) {
+    WatchSlot *Slot = UseWatchdog ? &Slots[ThreadIndex] : nullptr;
     for (;;) {
       size_t Index = Next.fetch_add(1, std::memory_order_relaxed);
       if (Index >= Jobs.size())
         return;
-      Session S(Jobs[Index].Name, Jobs[Index].Source, Opts);
-      BatchResult &Result = Results[Index];
-      Result.Name = Jobs[Index].Name;
-      try {
-        Result.Output = Work(S);
-      } catch (const std::exception &E) {
-        Result.Error = E.what();
-      } catch (...) {
-        Result.Error = "unknown worker error";
-      }
-      Result.ParseOk = S.parseOk();
-      // Only consult solve results the worker already produced; a
-      // parse-only worker should not pay for solving here.
-      Result.HasTraitErrors = S.solved() && S.solve().hasErrors();
-      Result.Stats = S.stats();
+      runOne(Jobs[Index], Opts, Work, Slot, Results[Index]);
     }
   };
 
-  unsigned Threads =
-      static_cast<unsigned>(std::min<size_t>(NumJobs, Jobs.size()));
   if (Threads <= 1) {
-    RunJobs();
-    return Results;
+    RunJobs(0);
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned I = 0; I != Threads; ++I)
+      Pool.emplace_back(RunJobs, I);
+    for (std::thread &T : Pool)
+      T.join();
   }
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned I = 0; I != Threads; ++I)
-    Pool.emplace_back(RunJobs);
-  for (std::thread &T : Pool)
-    T.join();
+
+  if (UseWatchdog) {
+    Done.store(true, std::memory_order_relaxed);
+    Watchdog.join();
+  }
+
+  // Optional second chance: jobs stopped by resource governance (not by
+  // deterministic ceilings a rerun cannot change) run again, one at a
+  // time with the whole machine to themselves and relaxed limits.
+  if (BOpts.RetryOverruns) {
+    SessionOptions Relaxed = Opts;
+    Relaxed.Limits = Opts.Limits.relaxed(BOpts.RetryRelaxFactor);
+    for (size_t I = 0; I != Jobs.size(); ++I) {
+      bool ResourceStopped = false;
+      for (const Failure &F : Results[I].Stats.Failures)
+        if (F.Code == FailureCode::DeadlineExceeded ||
+            F.Code == FailureCode::WorkExceeded ||
+            F.Code == FailureCode::Cancelled)
+          ResourceStopped = true;
+      if (!ResourceStopped)
+        continue;
+      BatchResult Fresh;
+      runOne(Jobs[I], Relaxed, Work, nullptr, Fresh);
+      Fresh.Retried = true;
+      Results[I] = std::move(Fresh);
+    }
+  }
+
   return Results;
 }
 
@@ -110,6 +212,13 @@ BatchDriver::statsTraceJSON(const std::vector<BatchResult> &Results,
   Writer.endArray();
   Writer.endObject();
   return Writer.str();
+}
+
+int BatchDriver::worstExitCode(const std::vector<BatchResult> &Results) {
+  int Code = 0;
+  for (const BatchResult &Result : Results)
+    Code = std::max(Code, Result.Stats.exitCode());
+  return Code;
 }
 
 } // namespace engine

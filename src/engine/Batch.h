@@ -14,8 +14,16 @@
 ///
 /// The worker receives the Session and returns the text to record; the
 /// driver fills in parse/solve status and the Session's stage statistics
-/// afterwards. A worker that throws records the exception text instead
-/// of output (one bad program must not take down a batch).
+/// afterwards. A worker that throws records a Failure::WorkerPanic (and
+/// the exception text) instead of output — one bad program must not take
+/// down a batch, and the stats of the stages that did complete are kept.
+///
+/// When SessionOptions::Limits sets a job deadline, a watchdog thread
+/// polls the running Sessions' governors and *cancels* (never kills) any
+/// job that overruns its deadline by a grace factor — the backstop for a
+/// job stuck somewhere that does not tick its own budget. Overrun jobs
+/// can optionally be retried once, serially, with relaxed limits
+/// (BatchOptions::RetryOverruns).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,9 +57,21 @@ struct BatchResult {
   std::string Output;
   /// Worker exception text; empty on success.
   std::string Error;
+  /// True if this result came from the serial relaxed-budget retry.
+  bool Retried = false;
   SessionStats Stats;
 
   bool failed() const { return !Error.empty(); }
+};
+
+/// Driver-level knobs, distinct from the per-Session options.
+struct BatchOptions {
+  /// Rerun jobs stopped by a deadline, work ceiling, or cancellation
+  /// once, serially, with limits relaxed by RetryRelaxFactor. Failures
+  /// that a rerun cannot change (parse errors, solver overflow against
+  /// SolverOptions ceilings) are not retried.
+  bool RetryOverruns = false;
+  double RetryRelaxFactor = 8.0;
 };
 
 class BatchDriver {
@@ -59,10 +79,11 @@ public:
   /// \p Jobs is the worker-thread count; 0 and 1 both mean "run serially
   /// on the calling thread".
   explicit BatchDriver(SessionOptions Opts = SessionOptions(),
-                       unsigned Jobs = 1);
+                       unsigned Jobs = 1, BatchOptions BatchOpts = {});
 
   unsigned jobs() const { return NumJobs; }
   const SessionOptions &options() const { return Opts; }
+  const BatchOptions &batchOptions() const { return BOpts; }
 
   /// Produces the per-program output; runs on a pool thread.
   using Worker = std::function<std::string(Session &)>;
@@ -82,9 +103,19 @@ public:
   static std::string statsTraceJSON(const std::vector<BatchResult> &Results,
                                     unsigned Jobs, bool Pretty = true);
 
+  /// Max SessionStats::exitCode over all results — the batch's exit code
+  /// contribution from failures (0 when every job is clean).
+  static int worstExitCode(const std::vector<BatchResult> &Results);
+
 private:
+  struct WatchSlot;
+  void runOne(const BatchJob &Job, const SessionOptions &JobOpts,
+              const Worker &Work, WatchSlot *Slot,
+              BatchResult &Result) const;
+
   SessionOptions Opts;
   unsigned NumJobs;
+  BatchOptions BOpts;
 };
 
 } // namespace engine

@@ -1,0 +1,86 @@
+//===- engine/Failure.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Failure.h"
+
+namespace argus {
+namespace engine {
+
+const char *failureCodeName(FailureCode Code) {
+  switch (Code) {
+  case FailureCode::None:
+    return "none";
+  case FailureCode::ParseError:
+    return "parse_error";
+  case FailureCode::SolverOverflow:
+    return "solver_overflow";
+  case FailureCode::DnfTruncated:
+    return "dnf_truncated";
+  case FailureCode::ExtractTruncated:
+    return "extract_truncated";
+  case FailureCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case FailureCode::WorkExceeded:
+    return "work_exceeded";
+  case FailureCode::Cancelled:
+    return "cancelled";
+  case FailureCode::WorkerPanic:
+    return "worker_panic";
+  }
+  return "unknown";
+}
+
+bool isDegradation(FailureCode Code) {
+  switch (Code) {
+  case FailureCode::SolverOverflow:
+  case FailureCode::DnfTruncated:
+  case FailureCode::ExtractTruncated:
+  case FailureCode::DeadlineExceeded:
+  case FailureCode::WorkExceeded:
+  case FailureCode::Cancelled:
+    return true;
+  case FailureCode::None:
+  case FailureCode::ParseError:
+  case FailureCode::WorkerPanic:
+    return false;
+  }
+  return false;
+}
+
+FailureCode failureFromStop(StopReason Reason) {
+  switch (Reason) {
+  case StopReason::None:
+    return FailureCode::None;
+  case StopReason::Cancelled:
+    return FailureCode::Cancelled;
+  case StopReason::DeadlineExceeded:
+    return FailureCode::DeadlineExceeded;
+  case StopReason::WorkExceeded:
+    return FailureCode::WorkExceeded;
+  }
+  return FailureCode::None;
+}
+
+int exitCodeFor(FailureCode Code) {
+  if (Code == FailureCode::None)
+    return 0;
+  if (Code == FailureCode::ParseError)
+    return 2;
+  if (Code == FailureCode::WorkerPanic)
+    return 4;
+  return 3;
+}
+
+void Failure::writeJSON(JSONWriter &Writer) const {
+  Writer.beginObject();
+  Writer.keyValue("code", failureCodeName(Code));
+  Writer.keyValue("stage", stageName(At));
+  Writer.keyValue("detail", Detail);
+  Writer.endObject();
+}
+
+} // namespace engine
+} // namespace argus

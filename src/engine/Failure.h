@@ -1,0 +1,91 @@
+//===- engine/Failure.h - Structured failure taxonomy ---------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's failure taxonomy. Anything that keeps a Session from
+/// producing its full result is recorded as a Failure — a code, the
+/// stage it hit, and a short detail string — instead of a thrown
+/// exception or a silently truncated output. Failures ride in
+/// SessionStats, serialize through --trace, and map onto the CLI's exit
+/// codes:
+///
+///   0  clean, no trait errors
+///   1  trait errors found (the tool's whole point — not a failure)
+///   2  ParseError, bad usage, unreadable input
+///   3  degraded: a governance stop or truncation yielded a partial
+///      result (SolverOverflow, DnfTruncated, ExtractTruncated,
+///      DeadlineExceeded, WorkExceeded, Cancelled)
+///   4  WorkerPanic: a batch worker threw; the batch survived
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ENGINE_FAILURE_H
+#define ARGUS_ENGINE_FAILURE_H
+
+#include "engine/Stage.h"
+#include "support/Governance.h"
+#include "support/JSON.h"
+
+#include <string>
+
+namespace argus {
+namespace engine {
+
+enum class FailureCode : uint8_t {
+  None = 0,
+  /// The source did not parse; later stages never ran.
+  ParseError,
+  /// The solver hit its goal-evaluation ceiling; remaining goals report
+  /// Overflow, like rustc's recursion-limit overflow.
+  SolverOverflow,
+  /// DNF normalization clipped a formula at AnalysisOptions::MaxConjuncts;
+  /// the MCS is computed over the kept conjuncts only.
+  DnfTruncated,
+  /// Tree extraction stopped early (budget or MaxTreeGoals); trees are
+  /// missing goals below the cut.
+  ExtractTruncated,
+  /// A job or stage wall-clock deadline passed mid-stage.
+  DeadlineExceeded,
+  /// A stage work ceiling was reached mid-stage.
+  WorkExceeded,
+  /// cancel() was observed — batch watchdog or front end.
+  Cancelled,
+  /// A batch worker threw; Detail carries what() and the stage reached.
+  WorkerPanic,
+};
+
+inline constexpr size_t NumFailureCodes = 9;
+
+/// Stable snake_case code name ("parse_error", ...); a JSON format
+/// contract.
+const char *failureCodeName(FailureCode Code);
+
+/// True for the codes that mean "partial result produced under
+/// governance" (exit 3): everything except None, ParseError, WorkerPanic.
+bool isDegradation(FailureCode Code);
+
+/// Maps a budget stop onto its failure code (None for StopReason::None).
+FailureCode failureFromStop(StopReason Reason);
+
+/// The CLI exit contribution of one code: 0 for None, else 2/3/4 per the
+/// table above. A batch exits with the max over jobs.
+int exitCodeFor(FailureCode Code);
+
+/// One recorded failure. Detail is free-form human text (not parsed by
+/// tooling; tests match on Code/At).
+struct Failure {
+  FailureCode Code = FailureCode::None;
+  Stage At = Stage::Parse;
+  std::string Detail;
+
+  /// {"code": ..., "stage": ..., "detail": ...}
+  void writeJSON(JSONWriter &Writer) const;
+};
+
+} // namespace engine
+} // namespace argus
+
+#endif // ARGUS_ENGINE_FAILURE_H

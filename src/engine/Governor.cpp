@@ -1,0 +1,83 @@
+//===- engine/Governor.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Governor.h"
+
+#include <cmath>
+
+namespace argus {
+namespace engine {
+
+bool ResourceLimits::any() const {
+  if (JobDeadlineSeconds > 0.0)
+    return true;
+  for (size_t I = 0; I != NumStages; ++I)
+    if (StageDeadlineSeconds[I] > 0.0 || StageWorkCeiling[I] != 0)
+      return true;
+  return false;
+}
+
+ResourceLimits ResourceLimits::relaxed(double Factor) const {
+  ResourceLimits Out = *this;
+  if (Out.JobDeadlineSeconds > 0.0)
+    Out.JobDeadlineSeconds *= Factor;
+  for (size_t I = 0; I != NumStages; ++I) {
+    if (Out.StageDeadlineSeconds[I] > 0.0)
+      Out.StageDeadlineSeconds[I] *= Factor;
+    if (Out.StageWorkCeiling[I] != 0)
+      Out.StageWorkCeiling[I] = static_cast<uint64_t>(
+          std::ceil(static_cast<double>(Out.StageWorkCeiling[I]) * Factor));
+  }
+  return Out;
+}
+
+ResourceGovernor::ResourceGovernor(const ResourceLimits &Limits,
+                                   const FaultPlan &Plan, std::string Scope)
+    : Limits(Limits), Scope(std::move(Scope)),
+      Faults(Plan.Sites, Plan.Seed, Plan.Probability) {
+  Budget.armJob(Limits.JobDeadlineSeconds);
+}
+
+void ResourceGovernor::beginStage(Stage S) {
+  Budget.armStage(Limits.stageDeadline(S), Limits.stageCeiling(S));
+  if (!Faults.enabled())
+    return;
+  std::string Base = stageName(S);
+  if (Faults.shouldFail(Base + ".cancel", Scope))
+    Budget.cancel(StopReason::Cancelled);
+  if (Faults.shouldFail(Base + ".deadline", Scope))
+    Budget.forceStageStop(StopReason::DeadlineExceeded);
+  if (Faults.shouldFail(Base + ".work", Scope))
+    Budget.forceStageStop(StopReason::WorkExceeded);
+}
+
+std::optional<Failure> ResourceGovernor::stageFailure(Stage S) {
+  // stopped() rather than reason(): a cancel or deadline that tripped
+  // between the last tick and the stage boundary is still this stage's
+  // stop.
+  if (!Budget.stopped())
+    return std::nullopt;
+  StopReason Job = Budget.jobReason();
+  if (Job != StopReason::None) {
+    if (HardReported)
+      return std::nullopt; // Attributed to the stage where it tripped.
+    HardReported = true;
+    Failure F{failureFromStop(Job), S, {}};
+    F.Detail = std::string("job stopped during ") + stageName(S) + " after " +
+               std::to_string(Budget.stageWork()) + " work units";
+    return F;
+  }
+  StopReason StageR = Budget.stageReason();
+  if (StageR == StopReason::None)
+    return std::nullopt;
+  Failure F{failureFromStop(StageR), S, {}};
+  F.Detail = std::string("stage ") + stageName(S) + " stopped after " +
+             std::to_string(Budget.stageWork()) + " work units";
+  return F;
+}
+
+} // namespace engine
+} // namespace argus

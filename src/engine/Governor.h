@@ -1,0 +1,124 @@
+//===- engine/Governor.h - Per-session resource governance ----*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// engine::ResourceGovernor ties one Session's worth of governance
+/// together: an ExecutionBudget armed from declarative ResourceLimits at
+/// each stage boundary, and a FaultInjector that can force every
+/// degradation path deterministically. The Session owns the governor
+/// (heap-allocated, so the budget address is stable for the batch
+/// watchdog across Session moves) and consults it at stage begin/end;
+/// the solver, DNF kernels, extractor and view only ever see the plain
+/// ExecutionBudget pointer, keeping lower layers engine-free.
+///
+/// Fault sites, keyed by name (see FaultInjector):
+///   parse.error        synthetic parse failure
+///   solve.overflow     goal-evaluation ceiling forced to zero
+///   dnf.truncate       MaxConjuncts forced to one
+///   extract.truncate   MaxTreeGoals forced to one
+///   <stage>.cancel     sticky cancellation at stage entry
+///   <stage>.deadline   stage-scoped deadline stop at stage entry
+///   <stage>.work       stage-scoped work-ceiling stop at stage entry
+///   worker.panic       BatchDriver worker throws (Batch.cpp)
+/// where <stage> is a stageName(): parse, coherence, solve, extract,
+/// analyze, render.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ENGINE_GOVERNOR_H
+#define ARGUS_ENGINE_GOVERNOR_H
+
+#include "engine/Failure.h"
+#include "support/FaultInjector.h"
+#include "support/Governance.h"
+
+#include <optional>
+#include <string>
+
+namespace argus {
+namespace engine {
+
+/// Declarative limits; all zero (the default) means ungoverned. Value
+/// type on purpose: SessionOptions copies freely between batch jobs.
+struct ResourceLimits {
+  /// Sticky whole-job wall-clock deadline, seconds; 0 = unlimited.
+  double JobDeadlineSeconds = 0.0;
+  /// Per-stage wall-clock deadlines, seconds; 0 = unlimited.
+  double StageDeadlineSeconds[NumStages] = {};
+  /// Per-stage work ceilings in stage-native units (solve: goal
+  /// evaluations; analyze: conjunct merges; extract: goals; render:
+  /// rows); 0 = unlimited.
+  uint64_t StageWorkCeiling[NumStages] = {};
+
+  bool any() const;
+
+  double stageDeadline(Stage S) const {
+    return StageDeadlineSeconds[static_cast<size_t>(S)];
+  }
+  uint64_t stageCeiling(Stage S) const {
+    return StageWorkCeiling[static_cast<size_t>(S)];
+  }
+
+  /// A copy with every deadline and ceiling multiplied by \p Factor —
+  /// the batch retry path's "relaxed budget".
+  ResourceLimits relaxed(double Factor) const;
+};
+
+/// Declarative fault-injection plan; empty Sites (the default) disables
+/// injection entirely. Value type for the same reason as ResourceLimits.
+struct FaultPlan {
+  std::string Sites; ///< Comma-separated site names, or "all".
+  uint64_t Seed = 0;
+  double Probability = 1.0;
+
+  bool enabled() const { return !Sites.empty(); }
+};
+
+/// One Session's governance state. Single owner thread, except that
+/// cancel() (via the budget) may arrive from the batch watchdog.
+class ResourceGovernor {
+public:
+  /// Arms the job deadline immediately; \p Scope (the job name) keys the
+  /// deterministic fault draws.
+  ResourceGovernor(const ResourceLimits &Limits, const FaultPlan &Plan,
+                   std::string Scope);
+
+  ExecutionBudget &budget() { return Budget; }
+  const std::string &scope() const { return Scope; }
+
+  /// Arms the stage budget and applies the generic <stage>.cancel /
+  /// .deadline / .work fault sites.
+  void beginStage(Stage S);
+
+  /// The Failure for a stop observed during \p S, if any. A sticky
+  /// (job-level) stop is attributed only to the first stage that
+  /// observes it; stage-scoped stops are attributed per stage.
+  std::optional<Failure> stageFailure(Stage S);
+
+  /// Deterministic fault check for the named non-budget sites
+  /// (parse.error, solve.overflow, dnf.truncate, extract.truncate).
+  bool shouldFail(std::string_view Site) {
+    return Faults.shouldFail(Site, Scope);
+  }
+
+  /// Thread-safe sticky cancellation (watchdog entry point).
+  void cancel() { Budget.cancel(StopReason::Cancelled); }
+
+  uint64_t faultsFired() const { return Faults.fired(); }
+
+private:
+  ResourceLimits Limits;
+  std::string Scope;
+  ExecutionBudget Budget;
+  FaultInjector Faults;
+  /// Whether the sticky stop has been attributed to a stage already.
+  bool HardReported = false;
+};
+
+} // namespace engine
+} // namespace argus
+
+#endif // ARGUS_ENGINE_GOVERNOR_H

@@ -41,6 +41,26 @@ double SessionStats::totalSeconds() const {
   return Total;
 }
 
+bool SessionStats::degraded() const {
+  for (const Failure &F : Failures)
+    if (isDegradation(F.Code))
+      return true;
+  return false;
+}
+
+const Failure *SessionStats::worst() const {
+  const Failure *Worst = nullptr;
+  for (const Failure &F : Failures)
+    if (!Worst || exitCodeFor(F.Code) > exitCodeFor(Worst->Code))
+      Worst = &F;
+  return Worst;
+}
+
+int SessionStats::exitCode() const {
+  const Failure *Worst = worst();
+  return Worst ? exitCodeFor(Worst->Code) : 0;
+}
+
 void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.beginObject();
   Writer.keyValue("name", Name);
@@ -74,8 +94,20 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("dnf_conjuncts", static_cast<uint64_t>(DNFConjuncts));
   Writer.keyValue("dnf_words_touched", DNFWordsTouched);
   Writer.keyValue("dnf_truncations", DNFTruncations);
+  Writer.keyValue("tree_goals_truncated",
+                  static_cast<uint64_t>(TreeGoalsTruncated));
   Writer.keyValue("arena_hash_lookups", ArenaHashLookups);
+  Writer.keyValue("deadline_hits", DeadlineHits);
+  Writer.keyValue("cancellations", Cancellations);
+  Writer.keyValue("work_ceiling_hits", WorkCeilingHits);
+  Writer.keyValue("faults_injected", FaultsInjected);
   Writer.endObject();
+  Writer.keyValue("degraded", degraded());
+  Writer.key("failures");
+  Writer.beginArray();
+  for (const Failure &F : Failures)
+    F.writeJSON(Writer);
+  Writer.endArray();
   Writer.endObject();
 }
 
@@ -105,6 +137,52 @@ Session::Session(std::string Name, std::string Source, SessionOptions Opts)
     : Name(std::move(Name)), Source(std::move(Source)),
       Opts(std::move(Opts)) {
   Stats.Name = this->Name;
+  // Constructing the governor arms the job deadline, so a batch job's
+  // clock starts when its Session is created, not at first stage use.
+  if (this->Opts.Limits.any() || this->Opts.Faults.enabled())
+    Gov = std::make_unique<ResourceGovernor>(this->Opts.Limits,
+                                             this->Opts.Faults, this->Name);
+}
+
+Stage Session::lastStage() const {
+  Stage Last = Stage::Parse;
+  for (size_t I = 0; I != NumStages; ++I)
+    if (Stats.StageRuns[I] != 0)
+      Last = static_cast<Stage>(I);
+  return Last;
+}
+
+void Session::noteFailure(Failure F) {
+  switch (F.Code) {
+  case FailureCode::DeadlineExceeded:
+    ++Stats.DeadlineHits;
+    break;
+  case FailureCode::Cancelled:
+    ++Stats.Cancellations;
+    break;
+  case FailureCode::WorkExceeded:
+    ++Stats.WorkCeilingHits;
+    break;
+  default:
+    break;
+  }
+  for (const Failure &E : Stats.Failures)
+    if (E.Code == F.Code && E.At == F.At)
+      return;
+  Stats.Failures.push_back(std::move(F));
+}
+
+void Session::beginStage(Stage S) {
+  if (Gov)
+    Gov->beginStage(S);
+}
+
+void Session::endStage(Stage S) {
+  if (!Gov)
+    return;
+  if (std::optional<Failure> F = Gov->stageFailure(S))
+    noteFailure(std::move(*F));
+  Stats.FaultsInjected = Gov->faultsFired();
 }
 
 std::optional<Session> Session::open(const std::string &Path,
@@ -120,10 +198,22 @@ std::optional<Session> Session::open(const std::string &Path,
 const ParseResult &Session::parse() {
   if (!Parsed) {
     StageTimer Timer(Stats, Stage::Parse);
+    beginStage(Stage::Parse);
     Sess = std::make_unique<argus::Session>();
     Prog = std::make_unique<Program>(*Sess);
     Parsed = parseSource(*Prog, Name, Source);
+    if (Gov && Gov->shouldFail("parse.error")) {
+      Parsed->Success = false;
+      argus::ParseError Injected;
+      Injected.Message = "injected parse fault (site parse.error)";
+      Parsed->Errors.push_back(std::move(Injected));
+    }
     Stats.ParseErrors = Parsed->Errors.size();
+    if (!Parsed->Success)
+      noteFailure({FailureCode::ParseError, Stage::Parse,
+                   Parsed->Errors.empty() ? std::string("parse failed")
+                                          : Parsed->Errors.front().Message});
+    endStage(Stage::Parse);
   }
   return *Parsed;
 }
@@ -137,8 +227,10 @@ const std::vector<CoherenceError> &Session::coherence() {
   if (!CoherenceErrors) {
     parse();
     StageTimer Timer(Stats, Stage::Coherence);
+    beginStage(Stage::Coherence);
     CoherenceErrors = checkCoherence(*Prog);
     Stats.CoherenceErrors = CoherenceErrors->size();
+    endStage(Stage::Coherence);
   }
   return *CoherenceErrors;
 }
@@ -147,13 +239,24 @@ const SolveOutcome &Session::solve() {
   if (!Outcome) {
     parse();
     StageTimer Timer(Stats, Stage::Solve);
-    TheSolver = std::make_unique<Solver>(*Prog, Opts.Solver);
+    beginStage(Stage::Solve);
+    SolverOptions SOpts = Opts.Solver;
+    if (Gov) {
+      SOpts.Budget = &Gov->budget();
+      if (Gov->shouldFail("solve.overflow"))
+        SOpts.MaxGoalEvaluations = 0;
+    }
+    TheSolver = std::make_unique<Solver>(*Prog, SOpts);
     Outcome = TheSolver->solve();
     Stats.GoalEvaluations = Outcome->NumEvaluations;
     Stats.MemoHits = Outcome->NumMemoHits;
     Stats.CandidatesFiltered = Outcome->NumCandidatesFiltered;
     Stats.FixpointRounds = Outcome->RoundsUsed;
     Stats.ArenaHashLookups = Sess->types().hashLookups();
+    if (Outcome->EvalBudgetExhausted)
+      noteFailure({FailureCode::SolverOverflow, Stage::Solve,
+                   "goal evaluation ceiling (MaxGoalEvaluations) reached"});
+    endStage(Stage::Solve);
   }
   return *Outcome;
 }
@@ -169,8 +272,15 @@ const Extraction &Session::extraction() {
   if (!Extracted) {
     solve();
     StageTimer Timer(Stats, Stage::Extract);
-    Extracted = extractTrees(*Prog, *Outcome, TheSolver->inferContext(),
-                             Opts.Extract);
+    beginStage(Stage::Extract);
+    ExtractOptions EOpts = Opts.Extract;
+    if (Gov) {
+      EOpts.Budget = &Gov->budget();
+      if (Gov->shouldFail("extract.truncate"))
+        EOpts.MaxTreeGoals = 1;
+    }
+    Extracted =
+        extractTrees(*Prog, *Outcome, TheSolver->inferContext(), EOpts);
     InertiaCache.assign(Extracted->Trees.size(), std::nullopt);
     Stats.TreesExtracted = Extracted->Trees.size();
     Stats.TreeGoals = 0;
@@ -178,6 +288,13 @@ const Extraction &Session::extraction() {
       Stats.TreeGoals += Tree.numGoals();
     Stats.SnapshotsDropped = Extracted->Stats.SnapshotsDropped;
     Stats.InternalGoalsHidden = Extracted->Stats.InternalGoalsHidden;
+    Stats.TreeGoalsTruncated = Extracted->Stats.GoalsTruncated;
+    if (Extracted->Stats.GoalsTruncated > 0)
+      noteFailure({FailureCode::ExtractTruncated, Stage::Extract,
+                   "tree extraction cut " +
+                       std::to_string(Extracted->Stats.GoalsTruncated) +
+                       " goals short"});
+    endStage(Stage::Extract);
   }
   return *Extracted;
 }
@@ -199,13 +316,24 @@ const InertiaResult &Session::inertia(size_t Index) {
   assert(Index < InertiaCache.size() && "tree index out of range");
   if (!InertiaCache[Index]) {
     StageTimer Timer(Stats, Stage::Analyze);
+    beginStage(Stage::Analyze);
+    AnalysisOptions AOpts = Opts.Analysis;
+    if (Gov) {
+      AOpts.Budget = &Gov->budget();
+      if (Gov->shouldFail("dnf.truncate"))
+        AOpts.MaxConjuncts = 1;
+    }
     InertiaCache[Index] =
-        rankByInertia(*Prog, Extracted->Trees[Index], Opts.Analysis);
+        rankByInertia(*Prog, Extracted->Trees[Index], AOpts);
     Stats.FailedLeaves += InertiaCache[Index]->Order.size();
     Stats.DNFConjuncts += InertiaCache[Index]->MCS.size();
     Stats.DNFWordsTouched += InertiaCache[Index]->DNF.WordsTouched;
     Stats.DNFTruncations += InertiaCache[Index]->DNF.Truncations;
     Stats.ArenaHashLookups = Sess->types().hashLookups();
+    if (InertiaCache[Index]->DNF.Truncations > 0)
+      noteFailure({FailureCode::DnfTruncated, Stage::Analyze,
+                   "DNF formula truncated to MaxConjuncts"});
+    endStage(Stage::Analyze);
   }
   return *InertiaCache[Index];
 }
@@ -231,15 +359,21 @@ std::string Session::diagnosticText(size_t Index) {
 std::string Session::bottomUpText(size_t Index) {
   ArgusInterface UI = interface(Index);
   StageTimer Timer(Stats, Stage::Render);
-  return UI.renderText();
+  beginStage(Stage::Render);
+  std::string Text = UI.renderText();
+  endStage(Stage::Render);
+  return Text;
 }
 
 std::string Session::topDownText(size_t Index) {
   ArgusInterface UI = interface(Index);
   StageTimer Timer(Stats, Stage::Render);
+  beginStage(Stage::Render);
   UI.setActiveView(ViewKind::TopDown);
   UI.expandAll();
-  return UI.renderText();
+  std::string Text = UI.renderText();
+  endStage(Stage::Render);
+  return Text;
 }
 
 std::string Session::treeJSON(size_t Index, bool Pretty) {
@@ -257,7 +391,10 @@ std::string Session::html(size_t Index, HTMLExportOptions HOpts) {
 ArgusInterface Session::interface(size_t Index) {
   const InertiaResult &Ranked = inertia(Index);
   StageTimer Timer(Stats, Stage::Render);
-  return ArgusInterface(*Prog, Extracted->Trees[Index], Ranked.Order);
+  ArgusInterface UI(*Prog, Extracted->Trees[Index], Ranked.Order);
+  if (Gov)
+    UI.setBudget(&Gov->budget());
+  return UI;
 }
 
 std::vector<FixSuggestion> Session::suggestTop(size_t Index) {

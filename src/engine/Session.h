@@ -37,6 +37,8 @@
 #include "analysis/Inertia.h"
 #include "analysis/Suggestions.h"
 #include "diagnostics/Diagnostics.h"
+#include "engine/Governor.h"
+#include "engine/Stage.h"
 #include "extract/Extract.h"
 #include "interface/HTMLExport.h"
 #include "interface/View.h"
@@ -51,24 +53,6 @@
 
 namespace argus {
 namespace engine {
-
-/// The pipeline stages a Session times individually. Render covers every
-/// user-facing serialization (diagnostic text, views, JSON, HTML,
-/// suggestions) and accumulates across calls.
-enum class Stage : uint8_t {
-  Parse,
-  Coherence,
-  Solve,
-  Extract,
-  Analyze,
-  Render,
-};
-
-inline constexpr size_t NumStages = 6;
-
-/// Lower-case stable stage name ("parse", ..., "render"); used as JSON
-/// keys, so renames are format changes.
-const char *stageName(Stage S);
 
 /// Per-stage timings plus the pipeline's work counters for one Session.
 struct SessionStats {
@@ -105,10 +89,33 @@ struct SessionStats {
   /// Intermediate DNF formulas truncated to AnalysisOptions::MaxConjuncts.
   uint64_t DNFTruncations = 0;
 
+  // --- Extract governance.
+  /// Goals cut short by a budget stop or ExtractOptions::MaxTreeGoals.
+  size_t TreeGoalsTruncated = 0;
+
   // --- Arena (whole-session).
   /// Cached structural type hashes served by TypeArena::hashOf — deep
   /// rehashes avoided across interning and predicate hashing.
   uint64_t ArenaHashLookups = 0;
+
+  // --- Governance: what kept this Session from its full result.
+  /// Structured failures, deduplicated by (code, stage), in the order
+  /// they were observed.
+  std::vector<Failure> Failures;
+  uint64_t DeadlineHits = 0;
+  uint64_t Cancellations = 0;
+  uint64_t WorkCeilingHits = 0;
+  /// Faults the injector fired (0 unless a FaultPlan is configured).
+  uint64_t FaultsInjected = 0;
+
+  bool failed() const { return !Failures.empty(); }
+  /// True if any failure is a governance degradation (partial result).
+  bool degraded() const;
+  /// The failure with the most severe exit code (see exitCodeFor), or
+  /// null if none.
+  const Failure *worst() const;
+  /// Max exitCodeFor over all failures; 0 when clean.
+  int exitCode() const;
 
   double secondsFor(Stage S) const {
     return StageSeconds[static_cast<size_t>(S)];
@@ -125,11 +132,16 @@ struct SessionStats {
 
 /// Options for every stage, bundled so drivers configure a pipeline in
 /// one place (the ablation benches override individual members).
+/// Limits and Faults are plain values — copying SessionOptions to many
+/// batch jobs keeps every job's governance independent and deterministic
+/// (each Session builds its own governor from them).
 struct SessionOptions {
   SolverOptions Solver;
   ExtractOptions Extract;
   AnalysisOptions Analysis;
   DiagnosticOptions Diagnostic;
+  ResourceLimits Limits;
+  FaultPlan Faults;
 };
 
 /// The full pipeline for one program. See the file comment for the stage
@@ -153,6 +165,33 @@ public:
 
   const std::string &name() const { return Name; }
   const SessionOptions &options() const { return Opts; }
+
+  // --- Governance.
+
+  /// The governor, present iff the options set limits or enable faults.
+  /// Heap-allocated, so its budget address is stable across Session
+  /// moves (the batch watchdog holds it while the job runs).
+  ResourceGovernor *governor() { return Gov.get(); }
+
+  /// Thread-safe cooperative cancellation; no-op when ungoverned.
+  void cancel() {
+    if (Gov)
+      Gov->cancel();
+  }
+
+  /// Non-forcing probes, safe on any thread state — the batch driver
+  /// uses them after a worker panic, where forcing parse() could throw
+  /// again.
+  bool parseCompleted() const { return Parsed.has_value(); }
+  bool parseSucceeded() const { return Parsed && Parsed->Success; }
+
+  /// The latest stage that has run at least once (Parse if none).
+  Stage lastStage() const;
+
+  /// Records \p F into the stats (deduplicated by code and stage) and
+  /// bumps the governance counters. Public so the batch driver can
+  /// attribute worker panics.
+  void noteFailure(Failure F);
 
   // --- Stage accessors. Each lazily runs its prerequisites and caches.
 
@@ -227,9 +266,18 @@ public:
 private:
   struct StageTimer;
 
+  /// Arms the governor's budget for \p S (no-op when ungoverned).
+  void beginStage(Stage S);
+  /// Records any budget stop observed during \p S as a Failure.
+  void endStage(Stage S);
+
   std::string Name;
   std::string Source;
   SessionOptions Opts;
+
+  /// Declared before the pipeline members: stage results hold budget
+  /// pointers into the governor, so it must be destroyed after them.
+  std::unique_ptr<ResourceGovernor> Gov;
 
   std::unique_ptr<argus::Session> Sess;
   std::unique_ptr<Program> Prog;

@@ -1,0 +1,44 @@
+//===- engine/Stage.h - Pipeline stage identifiers ------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline stage enum, split out of Session.h so that Failure.h and
+/// Governor.h (which index per-stage limits by Stage) and Session.h can
+/// all use it without an include cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ENGINE_STAGE_H
+#define ARGUS_ENGINE_STAGE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace argus {
+namespace engine {
+
+/// The pipeline stages a Session times individually. Render covers every
+/// user-facing serialization (diagnostic text, views, JSON, HTML,
+/// suggestions) and accumulates across calls.
+enum class Stage : uint8_t {
+  Parse,
+  Coherence,
+  Solve,
+  Extract,
+  Analyze,
+  Render,
+};
+
+inline constexpr size_t NumStages = 6;
+
+/// Lower-case stable stage name ("parse", ..., "render"); used as JSON
+/// keys, so renames are format changes.
+const char *stageName(Stage S);
+
+} // namespace engine
+} // namespace argus
+
+#endif // ARGUS_ENGINE_STAGE_H

@@ -128,6 +128,14 @@ IGoalId Extractor::buildGoal(InferenceTree &Tree, GoalNodeId RawId,
     Goal.RawId = RawId;
   }
 
+  // Governance cut: keep this goal as a leaf (predicate and result are
+  // set) but do not descend into its candidates.
+  if ((Opts.Budget && Opts.Budget->tick()) ||
+      (Opts.MaxTreeGoals != 0 && Tree.numGoals() >= Opts.MaxTreeGoals)) {
+    ++Result.Stats.GoalsTruncated;
+    return Id;
+  }
+
   for (CandNodeId RawCand : Raw.Candidates) {
     const CandidateNode &RawC = Out.Forest.candidate(RawCand);
     ICandId CandId = Tree.makeCandidate();

@@ -51,6 +51,16 @@ struct ExtractOptions {
   /// When false, stateful nodes appear verbatim (with their captured
   /// values), as rustc plugins see them.
   bool ElideStatefulNodes = true;
+
+  /// Cap on idealized goals per tree; a goal at the cap keeps its
+  /// predicate but loses its candidates (recorded in
+  /// ExtractStats::GoalsTruncated). 0 means unlimited.
+  size_t MaxTreeGoals = 0;
+
+  /// Cooperative execution budget, charged one unit per idealized goal.
+  /// When it stops, the in-flight tree is finished as leaves from that
+  /// point down. Null means ungoverned. Not owned; must outlive the call.
+  ExecutionBudget *Budget = nullptr;
 };
 
 /// Statistics about what extraction removed; used by tests and by the
@@ -61,6 +71,9 @@ struct ExtractStats {
   size_t SpeculativeRootsDropped = 0;
   size_t InternalGoalsHidden = 0;
   size_t StatefulGoalsElided = 0;
+  /// Goals cut short (candidates not descended into) by MaxTreeGoals or
+  /// a budget stop.
+  size_t GoalsTruncated = 0;
 };
 
 struct Extraction {

@@ -73,6 +73,8 @@ void ArgusInterface::buildBottomUpRows(std::vector<ViewRow> &Rows) const {
     IGoalId Goal = Ranking[Leaf];
     uint32_t Indent = 0;
     for (;;) {
+      if (Budget && Budget->tick())
+        return; // Keep the rows built so far.
       const IdealGoal &Node = Tree->goal(Goal);
       ViewRow Row;
       Row.RowKind = ViewRow::Kind::Goal;
@@ -112,6 +114,8 @@ void ArgusInterface::buildBottomUpRows(std::vector<ViewRow> &Rows) const {
 void ArgusInterface::appendGoalTopDown(std::vector<ViewRow> &Rows,
                                        IGoalId Goal,
                                        uint32_t Indent) const {
+  if (Budget && Budget->tick())
+    return; // Keep the rows built so far.
   const IdealGoal &Node = Tree->goal(Goal);
   ViewRow Row;
   Row.RowKind = ViewRow::Kind::Goal;

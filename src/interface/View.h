@@ -29,6 +29,7 @@
 
 #include "analysis/Inertia.h"
 #include "extract/InferenceTree.h"
+#include "support/Governance.h"
 #include "tlang/Printer.h"
 
 #include <optional>
@@ -124,6 +125,11 @@ public:
 
   const InferenceTree &tree() const { return *Tree; }
 
+  /// Installs a cooperative budget, charged one unit per row built;
+  /// when it stops, rows() returns the rows built so far. Null (the
+  /// default) means ungoverned. Not owned; must outlive the interface.
+  void setBudget(ExecutionBudget *B) { Budget = B; }
+
 private:
   /// Stable key for fold state: bottom-up rows are per (leaf, goal) so
   /// two chains sharing an ancestor fold independently.
@@ -147,6 +153,7 @@ private:
   const InferenceTree *Tree;
   std::vector<IGoalId> Ranking;
   ViewKind Active = ViewKind::BottomUp;
+  ExecutionBudget *Budget = nullptr;
 
   std::unordered_set<FoldKey> ExpandedBottomUp;
   std::unordered_set<uint32_t> ExpandedTopDown; ///< Goal ids.

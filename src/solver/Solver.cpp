@@ -43,6 +43,10 @@ struct Solver::Impl {
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
   uint64_t NumCandidatesFiltered = 0;
+  /// Latched when SolverOptions::Budget says stop: every goal evaluated
+  /// from then on (including quiet replays) short-circuits to Overflow.
+  bool BudgetStopped = false;
+  bool EvalBudgetExhausted = false;
 
   Impl(const Program &Prog, SolverOptions Opts)
       : Prog(Prog), S(Prog.session()), Opts(Opts),
@@ -207,6 +211,8 @@ bool Solver::Impl::unifyTraitHead(const Predicate &Goal, TypeId SelfTy,
 GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
                                   Span Origin, TraitEvalInfo *Info) {
   ++NumEvaluations;
+  if (Opts.Budget && !BudgetStopped && Opts.Budget->tick())
+    BudgetStopped = true;
 #ifdef ARGUS_TRACE_EVAL
   fprintf(stderr, "eval #%llu depth=%u kind=%d quiet=%d stack=%zu vars=%u\n",
           (unsigned long long)NumEvaluations, Depth, (int)P.Kind, (int)Quiet,
@@ -223,7 +229,9 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
   }
 
   if (Depth > Opts.MaxDepth || onStack(Resolved) ||
-      NumEvaluations > Opts.MaxGoalEvaluations) {
+      NumEvaluations > Opts.MaxGoalEvaluations || BudgetStopped) {
+    if (NumEvaluations > Opts.MaxGoalEvaluations)
+      EvalBudgetExhausted = true;
     forest().goal(NodeId).Result = EvalResult::Overflow;
     return NodeId;
   }
@@ -877,6 +885,8 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.Interrupted = P->BudgetStopped;
+  Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
   return Root;
 }
 
@@ -938,14 +948,18 @@ SolveOutcome Solver::solve() {
       Out.FinalResults[I] = Result;
       if (Result == EvalResult::Maybe)
         AnyAmbiguous = true;
+      if (P->BudgetStopped)
+        break; // Keep the partial snapshot; unreached goals stay empty.
     }
-    if (!AnyAmbiguous || !Progress)
+    if (P->BudgetStopped || !AnyAmbiguous || !Progress)
       break;
   }
 
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.Interrupted = P->BudgetStopped;
+  Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
   return Out;
 }
 

@@ -30,6 +30,7 @@
 
 #include "solver/InferContext.h"
 #include "solver/ProofTree.h"
+#include "support/Governance.h"
 #include "tlang/Program.h"
 
 #include <memory>
@@ -69,6 +70,12 @@ struct SolverOptions {
   /// mismatch leaves no trace in the proof forest); off for ablations and
   /// the identity tests.
   bool EnableCandidateIndex = true;
+
+  /// Cooperative execution budget, polled once per goal evaluation.
+  /// When it stops, in-flight goals report Overflow and the fixpoint
+  /// loop exits with whatever snapshots exist (SolveOutcome::Interrupted
+  /// is set). Null means ungoverned. Not owned; must outlive the solver.
+  ExecutionBudget *Budget = nullptr;
 };
 
 /// Everything produced by solving one program.
@@ -98,6 +105,14 @@ struct SolveOutcome {
   /// instantiated.
   uint64_t NumCandidatesFiltered = 0;
   uint32_t RoundsUsed = 0;
+
+  /// True if SolverOptions::Budget stopped the solve mid-flight; goals
+  /// not reached have empty Snapshots and a Maybe final result.
+  bool Interrupted = false;
+
+  /// True if MaxGoalEvaluations was exceeded (rustc-style overflow, as
+  /// opposed to an external budget stop).
+  bool EvalBudgetExhausted = false;
 
   /// True if any goal ultimately failed (No/Overflow or residual Maybe).
   bool hasErrors() const;

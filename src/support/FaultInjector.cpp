@@ -1,0 +1,68 @@
+//===- support/FaultInjector.cpp ------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+using namespace argus;
+
+FaultInjector::FaultInjector(std::string_view SiteList, uint64_t Seed,
+                             double Probability)
+    : Seed(Seed), Probability(Probability) {
+  size_t Pos = 0;
+  while (Pos < SiteList.size()) {
+    size_t Comma = SiteList.find(',', Pos);
+    if (Comma == std::string_view::npos)
+      Comma = SiteList.size();
+    std::string_view Site = SiteList.substr(Pos, Comma - Pos);
+    while (!Site.empty() && Site.front() == ' ')
+      Site.remove_prefix(1);
+    while (!Site.empty() && Site.back() == ' ')
+      Site.remove_suffix(1);
+    if (!Site.empty()) {
+      if (Site == "all")
+        MatchAll = true;
+      Sites.emplace_back(Site);
+    }
+    Pos = Comma + 1;
+  }
+}
+
+bool FaultInjector::matches(std::string_view Site) const {
+  if (MatchAll)
+    return true;
+  for (const std::string &S : Sites)
+    if (S == Site)
+      return true;
+  return false;
+}
+
+bool FaultInjector::shouldFail(std::string_view Site, std::string_view Scope) {
+  if (Sites.empty() || !matches(Site))
+    return false;
+  if (Probability < 1.0) {
+    // FNV-1a over seed | scope | site: the draw depends only on values,
+    // never on evaluation order, so parallel batches stay deterministic.
+    uint64_t H = 1469598103934665603ull;
+    auto Mix = [&H](const void *Data, size_t Len) {
+      const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+      for (size_t I = 0; I < Len; ++I) {
+        H ^= Bytes[I];
+        H *= 1099511628211ull;
+      }
+    };
+    Mix(&Seed, sizeof(Seed));
+    Mix(Scope.data(), Scope.size());
+    unsigned char Sep = 0;
+    Mix(&Sep, 1);
+    Mix(Site.data(), Site.size());
+    double Draw =
+        static_cast<double>(H >> 11) * (1.0 / 9007199254740992.0); // 2^-53
+    if (Draw >= Probability)
+      return false;
+  }
+  ++Fired;
+  return true;
+}

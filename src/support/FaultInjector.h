@@ -1,0 +1,64 @@
+//===- support/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Site-name keyed, seeded fault injection for exercising degradation
+/// paths under CTest. Each governed site in the engine asks
+/// `shouldFail("solve.overflow")` once per job; whether it fires is a
+/// pure function of (seed, scope, site), so a batch run injects the same
+/// faults into the same jobs regardless of thread count or ordering —
+/// the byte-identity gates keep holding with injection on.
+///
+/// Sites are free-form dotted names. The plan is a comma-separated list
+/// ("parse.error,solve.deadline"), with "all" matching every site. With
+/// no sites configured, shouldFail is a single bool test — the
+/// injector costs nothing in production.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_FAULTINJECTOR_H
+#define ARGUS_SUPPORT_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace argus {
+
+class FaultInjector {
+public:
+  FaultInjector() = default;
+
+  /// \p Sites is a comma-separated site list ("all" = every site).
+  /// \p Probability in [0,1]: 1.0 fires on every match (the default);
+  /// fractional values fire on the deterministic per-(scope,site) draw.
+  FaultInjector(std::string_view Sites, uint64_t Seed,
+                double Probability = 1.0);
+
+  /// True if any site is configured.
+  bool enabled() const { return !Sites.empty(); }
+
+  /// True if \p Site should fail for \p Scope (typically the job name).
+  /// Deterministic; bumps the fired counter when it fires.
+  bool shouldFail(std::string_view Site, std::string_view Scope = {});
+
+  /// How many times a fault fired.
+  uint64_t fired() const { return Fired; }
+
+private:
+  bool matches(std::string_view Site) const;
+
+  std::vector<std::string> Sites;
+  uint64_t Seed = 0;
+  double Probability = 1.0;
+  bool MatchAll = false;
+  uint64_t Fired = 0;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_FAULTINJECTOR_H

@@ -1,0 +1,77 @@
+//===- support/Governance.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Governance.h"
+
+using namespace argus;
+
+const char *argus::stopReasonName(StopReason Reason) {
+  switch (Reason) {
+  case StopReason::None:
+    return "none";
+  case StopReason::Cancelled:
+    return "cancelled";
+  case StopReason::DeadlineExceeded:
+    return "deadline_exceeded";
+  case StopReason::WorkExceeded:
+    return "work_exceeded";
+  }
+  return "unknown";
+}
+
+void ExecutionBudget::armJob(double Seconds) {
+  HasJobDeadline = Seconds > 0.0;
+  if (HasJobDeadline)
+    JobDeadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(Seconds));
+}
+
+void ExecutionBudget::armStage(double DeadlineSeconds, uint64_t Ceiling) {
+  StageStop = 0;
+  StageWork = 0;
+  WorkCeiling = Ceiling;
+  HasStageDeadline = DeadlineSeconds > 0.0;
+  if (HasStageDeadline)
+    StageDeadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(DeadlineSeconds));
+  // A sticky stop survives re-arming; stage-scoped state does not.
+  StopFlag = HardStop.load(std::memory_order_relaxed) != 0;
+}
+
+void ExecutionBudget::cancel(StopReason Reason) {
+  uint8_t Expected = 0;
+  // First reason wins: a watchdog deadline and a user cancel racing is
+  // fine either way, but the recorded reason must be stable.
+  HardStop.compare_exchange_strong(Expected, static_cast<uint8_t>(Reason),
+                                   std::memory_order_relaxed);
+}
+
+void ExecutionBudget::forceStageStop(StopReason Reason) {
+  StageStop = static_cast<uint8_t>(Reason);
+  StopFlag = true;
+}
+
+bool ExecutionBudget::poll() {
+  if (HardStop.load(std::memory_order_relaxed) != 0) {
+    StopFlag = true;
+    return true;
+  }
+  if (!HasJobDeadline && !HasStageDeadline)
+    return StopFlag;
+  Clock::time_point Now = Clock::now();
+  if (HasJobDeadline && Now >= JobDeadline) {
+    cancel(StopReason::DeadlineExceeded); // Sticky: poisons later stages.
+    StopFlag = true;
+    return true;
+  }
+  if (HasStageDeadline && Now >= StageDeadline) {
+    StageStop = static_cast<uint8_t>(StopReason::DeadlineExceeded);
+    StopFlag = true;
+    return true;
+  }
+  return StopFlag;
+}

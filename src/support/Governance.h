@@ -1,0 +1,146 @@
+//===- support/Governance.h - Cooperative execution budgets ---*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cooperative cancellation / deadline / work-ceiling primitive that
+/// engine::ResourceGovernor threads through the pipeline's hot loops.
+/// Living in support keeps the layering clean: solver, analysis, extract
+/// and interface can all poll a budget without depending on the engine.
+///
+/// The contract mirrors rustc's recursion limits plus a cancellation
+/// token:
+///
+///  - one *owner thread* runs the governed work and calls tick() /
+///    stopped() / armStage(); ticking is a counter increment plus, every
+///    64 ticks, one clock read — cheap enough for per-goal-evaluation
+///    granularity;
+///  - any *other* thread (the batch watchdog, a UI) may call cancel(),
+///    which the owner observes at its next poll. Cancellation and the
+///    job deadline are *sticky*: once tripped, every later stage of the
+///    same job starts stopped and degrades immediately;
+///  - stage deadlines and work ceilings are *stage-scoped*: armStage()
+///    re-arms them, so one slow stage yields a partial result without
+///    poisoning the stages after it.
+///
+/// A null ExecutionBudget pointer means "ungoverned"; callers guard with
+/// `if (Budget && Budget->tick())`, so the disabled path costs one
+/// branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_GOVERNANCE_H
+#define ARGUS_SUPPORT_GOVERNANCE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace argus {
+
+/// Why governed work was stopped mid-flight.
+enum class StopReason : uint8_t {
+  None = 0,
+  Cancelled,        ///< cancel() — watchdog or an interactive front end.
+  DeadlineExceeded, ///< A job or stage wall-clock deadline passed.
+  WorkExceeded,     ///< The stage's work ceiling was reached.
+};
+
+/// Stable lower-case name ("none", "cancelled", ...).
+const char *stopReasonName(StopReason Reason);
+
+class ExecutionBudget {
+public:
+  ExecutionBudget() = default;
+  ExecutionBudget(const ExecutionBudget &) = delete;
+  ExecutionBudget &operator=(const ExecutionBudget &) = delete;
+
+  /// Arms the sticky whole-job deadline, \p Seconds from now. Non-positive
+  /// means unlimited. Called once, when the job starts.
+  void armJob(double Seconds);
+
+  /// Starts a new stage: clears any stage-scoped stop, zeroes the stage
+  /// work counter, and arms the stage deadline / work ceiling (0 = off).
+  /// A sticky (job-level) stop survives re-arming.
+  void armStage(double DeadlineSeconds, uint64_t WorkCeiling);
+
+  /// Requests a sticky stop. Safe to call from any thread; the owner
+  /// thread observes it at its next tick()/stopped() poll.
+  void cancel(StopReason Reason = StopReason::Cancelled);
+
+  /// Forces a stage-scoped stop (fault injection uses this to simulate a
+  /// tripped deadline or ceiling without waiting for one). Owner thread
+  /// only.
+  void forceStageStop(StopReason Reason);
+
+  /// Charges \p Amount units of work and returns true if the owner must
+  /// stop. The deadline clock is polled every 64 units; ceilings are
+  /// exact.
+  bool tick(uint64_t Amount = 1) {
+    if (StopFlag)
+      return true;
+    StageWork += Amount;
+    if (WorkCeiling != 0 && StageWork > WorkCeiling) {
+      StageStop = static_cast<uint8_t>(StopReason::WorkExceeded);
+      StopFlag = true;
+      return true;
+    }
+    if ((StageWork & (PollInterval - 1)) < Amount)
+      return poll();
+    return false;
+  }
+
+  /// True if the owner must stop (polls cancellation and deadlines, so
+  /// loops that do not tick can still observe a stop promptly).
+  bool stopped() {
+    return StopFlag || poll();
+  }
+
+  /// The current stop reason: a sticky reason wins over a stage-scoped
+  /// one; None if running.
+  StopReason reason() const {
+    uint8_t Hard = HardStop.load(std::memory_order_relaxed);
+    if (Hard != 0)
+      return static_cast<StopReason>(Hard);
+    return static_cast<StopReason>(StageStop);
+  }
+
+  /// The sticky (job-level) reason only; None if only a stage stop (or
+  /// nothing) tripped.
+  StopReason jobReason() const {
+    return static_cast<StopReason>(HardStop.load(std::memory_order_relaxed));
+  }
+
+  /// The stage-scoped reason only (cleared by armStage).
+  StopReason stageReason() const {
+    return static_cast<StopReason>(StageStop);
+  }
+
+  /// Work units charged in the current stage.
+  uint64_t stageWork() const { return StageWork; }
+
+private:
+  bool poll();
+
+  using Clock = std::chrono::steady_clock;
+  static constexpr uint64_t PollInterval = 64;
+
+  /// Sticky stop, written by cancel() from any thread.
+  std::atomic<uint8_t> HardStop{0};
+
+  // Owner-thread state.
+  Clock::time_point JobDeadline{};
+  Clock::time_point StageDeadline{};
+  bool HasJobDeadline = false;
+  bool HasStageDeadline = false;
+  uint64_t WorkCeiling = 0;
+  uint64_t StageWork = 0;
+  uint8_t StageStop = 0; ///< Stage-scoped StopReason.
+  bool StopFlag = false; ///< Cached "must stop" for the tick fast path.
+};
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_GOVERNANCE_H

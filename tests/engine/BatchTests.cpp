@@ -98,6 +98,76 @@ TEST(EngineBatch, WorkerFailuresAreContainedPerJob) {
   }
 }
 
+TEST(EngineBatch, MidSolveThrowKeepsCompletedStageStats) {
+  // Regression: a worker that throws after solving used to lose the
+  // job's stats entirely (and re-forcing parse on the panic path could
+  // rethrow out of the catch, terminating the process). The stats of
+  // the stages that did run must survive the panic.
+  std::vector<BatchJob> Jobs = corpusJobs();
+  const std::string &Poison = Jobs[2].Name;
+  std::vector<BatchResult> Results =
+      BatchDriver(SessionOptions(), 4).run(Jobs, [&](engine::Session &S) {
+        if (S.name() == Poison) {
+          (void)S.hasTraitErrors(); // Solve, then die mid-worker.
+          throw std::runtime_error("mid-solve explosion");
+        }
+        return fullPipeline(S);
+      });
+  for (size_t I = 0; I != Results.size(); ++I) {
+    if (Jobs[I].Name != Poison)
+      continue;
+    EXPECT_TRUE(Results[I].failed());
+    // Parse/solve coherence: both stages completed before the throw.
+    EXPECT_TRUE(Results[I].ParseOk);
+    EXPECT_TRUE(Results[I].HasTraitErrors);
+    EXPECT_GT(Results[I].Stats.GoalEvaluations, 0u);
+    EXPECT_TRUE(Results[I].Stats.ran(Stage::Solve));
+    // And the panic is a structured failure naming job and stage.
+    ASSERT_FALSE(Results[I].Stats.Failures.empty());
+    const Failure &F = Results[I].Stats.Failures.back();
+    EXPECT_EQ(F.Code, FailureCode::WorkerPanic);
+    EXPECT_EQ(F.At, Stage::Solve);
+    EXPECT_NE(F.Detail.find(Poison), std::string::npos);
+    EXPECT_NE(F.Detail.find("mid-solve explosion"), std::string::npos);
+    EXPECT_EQ(Results[I].Stats.exitCode(), 4);
+  }
+}
+
+TEST(EngineBatch, ThrowBeforeAnyStageIsContained) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Results =
+      BatchDriver(SessionOptions(), 8).run(Jobs, [](engine::Session &) {
+        throw std::runtime_error("instant panic");
+        return std::string();
+      });
+  for (size_t I = 0; I != Results.size(); ++I) {
+    EXPECT_TRUE(Results[I].failed());
+    // No stage ran, so nothing can claim the parse succeeded.
+    EXPECT_FALSE(Results[I].ParseOk);
+    EXPECT_FALSE(Results[I].HasTraitErrors);
+    ASSERT_FALSE(Results[I].Stats.Failures.empty());
+    EXPECT_EQ(Results[I].Stats.Failures.front().Code,
+              FailureCode::WorkerPanic);
+  }
+}
+
+TEST(EngineBatch, WorstExitCodeAggregates) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Clean =
+      BatchDriver(SessionOptions(), 2).run(Jobs, fullPipeline);
+  // Trait errors are a successful debugging run, not a failure.
+  EXPECT_EQ(BatchDriver::worstExitCode(Clean), 0);
+
+  const std::string &Poison = Jobs[0].Name;
+  std::vector<BatchResult> OnePanic =
+      BatchDriver(SessionOptions(), 2).run(Jobs, [&](engine::Session &S) {
+        if (S.name() == Poison)
+          throw std::runtime_error("boom");
+        return fullPipeline(S);
+      });
+  EXPECT_EQ(BatchDriver::worstExitCode(OnePanic), 4);
+}
+
 TEST(EngineBatch, EmptyJobListYieldsNoResults) {
   EXPECT_TRUE(BatchDriver(SessionOptions(), 8)
                   .run({}, fullPipeline)

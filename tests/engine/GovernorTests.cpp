@@ -1,0 +1,491 @@
+//===- tests/engine/GovernorTests.cpp -------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource-governance contract: budgets stop stages exactly at
+/// their ceilings, deadlines degrade to partial results instead of
+/// hanging, every FailureCode is reachable through deterministic fault
+/// injection and serializes through the stats trace, and a governed
+/// batch never perturbs the bytes of its non-failing sibling jobs —
+/// including the ISSUE acceptance case of one pathological DNF/solver
+/// blowup inside an 8-thread batch.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "engine/Batch.h"
+#include "engine/Session.h"
+#include "support/FaultInjector.h"
+#include "support/Governance.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+
+using namespace argus;
+using namespace argus::engine;
+
+namespace {
+
+const CorpusEntry &firstCorpusEntry() { return evaluationSuite().front(); }
+
+const CorpusEntry &stressEntry(const char *Id) {
+  for (const CorpusEntry &Entry : stressSuite())
+    if (Entry.Id == Id)
+      return Entry;
+  ADD_FAILURE() << "no stress entry " << Id;
+  return stressSuite().front();
+}
+
+/// Worker used wherever the tests compare outputs byte for byte.
+std::string fullPipeline(engine::Session &S) {
+  if (!S.parseOk())
+    return S.parseErrorText();
+  if (S.numTrees() == 0)
+    return "ok";
+  return S.diagnosticText(0) + "\n" + S.bottomUpText(0) + "\n" +
+         S.treeJSON(0);
+}
+
+/// Drives every stage of one Session; returns the recorded failures.
+const std::vector<Failure> &driveAll(engine::Session &S) {
+  if (S.parseOk() && S.hasTraitErrors() && S.numTrees() != 0) {
+    (void)S.inertia(0);
+    (void)S.bottomUpText(0);
+  }
+  return S.stats().Failures;
+}
+
+SessionOptions injecting(const char *Sites) {
+  SessionOptions Opts;
+  Opts.Faults.Sites = Sites;
+  return Opts;
+}
+
+bool hasFailure(const std::vector<Failure> &Failures, FailureCode Code,
+                Stage At) {
+  for (const Failure &F : Failures)
+    if (F.Code == Code && F.At == At)
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ExecutionBudget
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutionBudget, UnarmedBudgetNeverStops) {
+  ExecutionBudget Budget;
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_FALSE(Budget.tick());
+  EXPECT_FALSE(Budget.stopped());
+  EXPECT_EQ(Budget.reason(), StopReason::None);
+}
+
+TEST(ExecutionBudget, WorkCeilingTripsExactly) {
+  // The ceiling is the allowed work: exactly WorkCeiling units pass, the
+  // next one trips — deterministically, no clock involved.
+  ExecutionBudget Budget;
+  Budget.armStage(/*DeadlineSeconds=*/0.0, /*WorkCeiling=*/10);
+  for (uint64_t I = 0; I != 10; ++I)
+    EXPECT_FALSE(Budget.tick()) << "tick " << I;
+  EXPECT_TRUE(Budget.tick());
+  EXPECT_EQ(Budget.stageReason(), StopReason::WorkExceeded);
+  EXPECT_TRUE(Budget.stopped());
+}
+
+TEST(ExecutionBudget, ArmStageClearsStageScopedStops) {
+  ExecutionBudget Budget;
+  Budget.armStage(0.0, 5);
+  while (!Budget.tick())
+    ;
+  EXPECT_TRUE(Budget.stopped());
+  Budget.armStage(0.0, 0); // Next stage: unlimited.
+  EXPECT_FALSE(Budget.stopped());
+  EXPECT_FALSE(Budget.tick());
+}
+
+TEST(ExecutionBudget, CancelIsStickyAcrossStages) {
+  ExecutionBudget Budget;
+  Budget.cancel();
+  // cancel() may come from another thread; the owner observes it at its
+  // next poll — stopped() polls immediately, tick() within 64 units.
+  EXPECT_TRUE(Budget.stopped());
+  bool Tripped = false;
+  for (int I = 0; I != 64 && !Tripped; ++I)
+    Tripped = Budget.tick();
+  EXPECT_TRUE(Tripped);
+  Budget.armStage(0.0, 0);
+  EXPECT_TRUE(Budget.stopped()) << "job-level stops survive re-arming";
+  EXPECT_EQ(Budget.jobReason(), StopReason::Cancelled);
+}
+
+TEST(ExecutionBudget, FirstCancelReasonWins) {
+  ExecutionBudget Budget;
+  Budget.cancel(StopReason::DeadlineExceeded);
+  Budget.cancel(StopReason::Cancelled);
+  EXPECT_EQ(Budget.jobReason(), StopReason::DeadlineExceeded);
+}
+
+TEST(ExecutionBudget, JobDeadlineTripsDuringTicks) {
+  ExecutionBudget Budget;
+  Budget.armJob(/*DeadlineSeconds=*/0.02);
+  auto Start = std::chrono::steady_clock::now();
+  bool Stopped = false;
+  // 50M iterations would take far longer than 20ms; the deadline must
+  // break us out long before that.
+  for (uint64_t I = 0; I != 50000000 && !Stopped; ++I)
+    Stopped = Budget.tick();
+  EXPECT_TRUE(Stopped);
+  EXPECT_EQ(Budget.jobReason(), StopReason::DeadlineExceeded);
+  EXPECT_LT(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - Start)
+                .count(),
+            10.0);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector Faults("", 0);
+  EXPECT_FALSE(Faults.enabled());
+  EXPECT_FALSE(Faults.shouldFail("solve.overflow", "job"));
+  EXPECT_EQ(Faults.fired(), 0u);
+}
+
+TEST(FaultInjectorTest, MatchesListedSitesOnly) {
+  FaultInjector Faults("solve.overflow, dnf.truncate", 0);
+  EXPECT_TRUE(Faults.shouldFail("solve.overflow", "job"));
+  EXPECT_TRUE(Faults.shouldFail("dnf.truncate", "job"));
+  EXPECT_FALSE(Faults.shouldFail("parse.error", "job"));
+  EXPECT_EQ(Faults.fired(), 2u);
+}
+
+TEST(FaultInjectorTest, AllWildcardMatchesEverySite) {
+  FaultInjector Faults("all", 7);
+  EXPECT_TRUE(Faults.shouldFail("parse.error", "a"));
+  EXPECT_TRUE(Faults.shouldFail("worker.panic", "b"));
+}
+
+TEST(FaultInjectorTest, ProbabilisticDrawsAreDeterministic) {
+  // Same seed, same (site, scope) → same decision, regardless of call
+  // order; this is what makes injected batches reproducible at any
+  // thread count.
+  FaultInjector A("all", 42, 0.5);
+  FaultInjector B("all", 42, 0.5);
+  bool SawFire = false, SawSkip = false;
+  for (int I = 0; I != 64; ++I) {
+    std::string Scope = "job-" + std::to_string(I);
+    bool FiredA = A.shouldFail("solve.overflow", Scope);
+    SawFire |= FiredA;
+    SawSkip |= !FiredA;
+    EXPECT_EQ(FiredA, B.shouldFail("solve.overflow", Scope)) << Scope;
+  }
+  EXPECT_TRUE(SawFire);
+  EXPECT_TRUE(SawSkip);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure taxonomy and exit codes
+//===----------------------------------------------------------------------===//
+
+TEST(FailureTaxonomy, ExitCodeTable) {
+  EXPECT_EQ(exitCodeFor(FailureCode::None), 0);
+  EXPECT_EQ(exitCodeFor(FailureCode::ParseError), 2);
+  EXPECT_EQ(exitCodeFor(FailureCode::SolverOverflow), 3);
+  EXPECT_EQ(exitCodeFor(FailureCode::DnfTruncated), 3);
+  EXPECT_EQ(exitCodeFor(FailureCode::ExtractTruncated), 3);
+  EXPECT_EQ(exitCodeFor(FailureCode::DeadlineExceeded), 3);
+  EXPECT_EQ(exitCodeFor(FailureCode::WorkExceeded), 3);
+  EXPECT_EQ(exitCodeFor(FailureCode::Cancelled), 3);
+  EXPECT_EQ(exitCodeFor(FailureCode::WorkerPanic), 4);
+}
+
+TEST(FailureTaxonomy, EveryCodeHasADistinctName) {
+  std::set<std::string> Names;
+  for (size_t I = 0; I != NumFailureCodes; ++I)
+    Names.insert(failureCodeName(static_cast<FailureCode>(I)));
+  EXPECT_EQ(Names.size(), NumFailureCodes);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injection matrix: every code reachable, with the right stage
+//===----------------------------------------------------------------------===//
+
+TEST(FaultMatrix, ParseErrorInjection) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session S(Entry.Id, Entry.Source, injecting("parse.error"));
+  EXPECT_FALSE(S.parseOk());
+  EXPECT_TRUE(hasFailure(S.stats().Failures, FailureCode::ParseError,
+                         Stage::Parse));
+  EXPECT_EQ(S.stats().exitCode(), 2);
+  EXPECT_GE(S.stats().FaultsInjected, 1u);
+}
+
+TEST(FaultMatrix, SolverOverflowInjection) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session S(Entry.Id, Entry.Source, injecting("solve.overflow"));
+  const std::vector<Failure> &Failures = driveAll(S);
+  EXPECT_TRUE(hasFailure(Failures, FailureCode::SolverOverflow,
+                         Stage::Solve));
+  EXPECT_EQ(S.stats().exitCode(), 3);
+}
+
+TEST(FaultMatrix, DnfTruncationInjection) {
+  // Needs a program whose DNF actually exceeds the injected 1-conjunct
+  // cap; the evaluation corpus is deliberately tiny there, so use the
+  // DNF-dense stress program (cheap under the cap: truncation clips the
+  // product early).
+  const CorpusEntry &Entry = stressEntry("stress-dnf-dense");
+  engine::Session S(Entry.Id, Entry.Source, injecting("dnf.truncate"));
+  const std::vector<Failure> &Failures = driveAll(S);
+  EXPECT_TRUE(hasFailure(Failures, FailureCode::DnfTruncated,
+                         Stage::Analyze));
+}
+
+TEST(FaultMatrix, ExtractTruncationInjection) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session S(Entry.Id, Entry.Source, injecting("extract.truncate"));
+  const std::vector<Failure> &Failures = driveAll(S);
+  EXPECT_TRUE(hasFailure(Failures, FailureCode::ExtractTruncated,
+                         Stage::Extract));
+  EXPECT_GT(S.stats().TreeGoalsTruncated, 0u);
+}
+
+TEST(FaultMatrix, StageDeadlineInjection) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session S(Entry.Id, Entry.Source, injecting("solve.deadline"));
+  const std::vector<Failure> &Failures = driveAll(S);
+  EXPECT_TRUE(hasFailure(Failures, FailureCode::DeadlineExceeded,
+                         Stage::Solve));
+  EXPECT_EQ(S.stats().DeadlineHits, 1u);
+}
+
+TEST(FaultMatrix, StageWorkInjection) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session S(Entry.Id, Entry.Source, injecting("solve.work"));
+  const std::vector<Failure> &Failures = driveAll(S);
+  EXPECT_TRUE(
+      hasFailure(Failures, FailureCode::WorkExceeded, Stage::Solve));
+  EXPECT_EQ(S.stats().WorkCeilingHits, 1u);
+}
+
+TEST(FaultMatrix, CancellationInjection) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session S(Entry.Id, Entry.Source, injecting("solve.cancel"));
+  const std::vector<Failure> &Failures = driveAll(S);
+  EXPECT_TRUE(hasFailure(Failures, FailureCode::Cancelled, Stage::Solve));
+  EXPECT_GE(S.stats().Cancellations, 1u);
+}
+
+TEST(FaultMatrix, WorkerPanicInjection) {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Jobs.push_back({Entry.Id, Entry.Source});
+  std::vector<BatchResult> Results =
+      BatchDriver(injecting("worker.panic"), 4).run(Jobs, fullPipeline);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    EXPECT_TRUE(Results[I].failed()) << Jobs[I].Name;
+    ASSERT_FALSE(Results[I].Stats.Failures.empty());
+    EXPECT_EQ(Results[I].Stats.Failures.front().Code,
+              FailureCode::WorkerPanic);
+    // The panic fires before any stage runs, so it is attributed to the
+    // earliest stage and names the job.
+    EXPECT_NE(Results[I].Stats.Failures.front().Detail.find(Jobs[I].Name),
+              std::string::npos);
+    EXPECT_EQ(Results[I].Stats.exitCode(), 4);
+  }
+  EXPECT_EQ(BatchDriver::worstExitCode(Results), 4);
+}
+
+TEST(FaultMatrix, FailuresSerializeThroughStatsTrace) {
+  const CorpusEntry &Entry = firstCorpusEntry();
+  std::vector<BatchJob> Jobs = {{Entry.Id, Entry.Source}};
+  std::vector<BatchResult> Results =
+      BatchDriver(injecting("solve.overflow"), 1).run(Jobs, fullPipeline);
+  std::string Trace = BatchDriver::statsTraceJSON(Results, 1);
+  EXPECT_NE(Trace.find("\"failures\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"solver_overflow\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"solve\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"degraded\": true"), std::string::npos);
+}
+
+TEST(FaultMatrix, InjectionNeverChangesNonTargetedJobs) {
+  // Fault scoped to one job by name: the other jobs' outputs must be
+  // byte-identical to a fault-free batch. Probability 0.5 with a fixed
+  // seed partitions jobs deterministically; we then check the clean
+  // partition against an uninjected run.
+  std::vector<BatchJob> Jobs;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Jobs.push_back({Entry.Id, Entry.Source});
+
+  std::vector<BatchResult> Clean =
+      BatchDriver(SessionOptions(), 1).run(Jobs, fullPipeline);
+
+  SessionOptions Opts = injecting("solve.overflow");
+  Opts.Faults.Seed = 42;
+  Opts.Faults.Probability = 0.5;
+  std::vector<BatchResult> Injected =
+      BatchDriver(Opts, 8).run(Jobs, fullPipeline);
+
+  size_t Hit = 0;
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    if (Injected[I].Stats.failed()) {
+      ++Hit;
+      continue;
+    }
+    EXPECT_EQ(Injected[I].Output, Clean[I].Output) << Jobs[I].Name;
+  }
+  EXPECT_GT(Hit, 0u) << "seed 42 at p=0.5 should hit at least one job";
+  EXPECT_LT(Hit, Jobs.size()) << "and spare at least one";
+}
+
+//===----------------------------------------------------------------------===//
+// Real deadlines on the stress corpus
+//===----------------------------------------------------------------------===//
+
+TEST(Deadlines, SolverBlowupDegradesInsteadOfHanging) {
+  const CorpusEntry &Entry = stressEntry("stress-solve-blowup");
+  SessionOptions Opts;
+  Opts.Limits.JobDeadlineSeconds = 0.1;
+  auto Start = std::chrono::steady_clock::now();
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  EXPECT_TRUE(S.parseOk());
+  // Ungoverned, this solve burns the full 2M-evaluation budget; the
+  // deadline must stop it in ~100ms. No throw, no hang — a partial
+  // outcome plus a structured failure.
+  EXPECT_NO_THROW((void)S.hasTraitErrors());
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_TRUE(hasFailure(S.stats().Failures, FailureCode::DeadlineExceeded,
+                         Stage::Solve));
+  EXPECT_EQ(S.stats().DeadlineHits, 1u);
+  EXPECT_EQ(S.stats().exitCode(), 3);
+  // Generous bound (sanitizers, loaded CI): the point is "not seconds".
+  EXPECT_LT(Elapsed, 5.0);
+  EXPECT_GT(S.stats().GoalEvaluations, 0u) << "partial work was recorded";
+}
+
+TEST(Deadlines, AcceptanceBatchSiblingsAreByteIdentical) {
+  // The ISSUE acceptance case: a DNF/solver-dense program that cannot
+  // finish inside a 100ms deadline rides along an 8-thread batch. It
+  // must come back degraded (not hung, not thrown), and every sibling's
+  // output must match a run without the pathological job byte for byte.
+  std::vector<BatchJob> Siblings;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Siblings.push_back({Entry.Id, Entry.Source});
+
+  std::vector<BatchResult> Baseline =
+      BatchDriver(SessionOptions(), 1).run(Siblings, fullPipeline);
+
+  std::vector<BatchJob> WithStress = Siblings;
+  const CorpusEntry &Stress = stressEntry("stress-deadline-combined");
+  WithStress.push_back({Stress.Id, Stress.Source});
+
+  SessionOptions Opts;
+  Opts.Limits.JobDeadlineSeconds = 0.1;
+  std::vector<BatchResult> Governed =
+      BatchDriver(Opts, 8).run(WithStress, fullPipeline);
+
+  ASSERT_EQ(Governed.size(), Siblings.size() + 1);
+  const BatchResult &StressResult = Governed.back();
+  EXPECT_FALSE(StressResult.failed()) << StressResult.Error;
+  EXPECT_TRUE(StressResult.Stats.degraded());
+  EXPECT_TRUE(hasFailure(StressResult.Stats.Failures,
+                         FailureCode::DeadlineExceeded, Stage::Solve));
+
+  for (size_t I = 0; I != Siblings.size(); ++I) {
+    EXPECT_FALSE(Governed[I].Stats.failed())
+        << Siblings[I].Name << " tripped the deadline; raise it?";
+    EXPECT_EQ(Governed[I].Output, Baseline[I].Output) << Siblings[I].Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Work ceilings and the relaxed-budget retry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Finds a corpus program whose solve does enough work to exceed a tiny
+/// ceiling but fits comfortably after one 8x relaxation.
+const CorpusEntry *entryWithSolveWorkBetween(uint64_t Lo, uint64_t Hi) {
+  for (const CorpusEntry &Entry : evaluationSuite()) {
+    engine::Session S(Entry.Id, Entry.Source, SessionOptions());
+    (void)S.hasTraitErrors();
+    if (S.stats().GoalEvaluations > Lo && S.stats().GoalEvaluations < Hi)
+      return &Entry;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+TEST(WorkCeilings, DeterministicStopAndRetrySucceeds) {
+  const CorpusEntry *Entry = entryWithSolveWorkBetween(8, 60);
+  ASSERT_NE(Entry, nullptr)
+      << "no corpus program in the 8..60 goal-evaluation window";
+
+  std::vector<BatchJob> Jobs = {{Entry->Id, Entry->Source}};
+  std::vector<BatchResult> Ungoverned =
+      BatchDriver(SessionOptions(), 1).run(Jobs, fullPipeline);
+
+  SessionOptions Opts;
+  Opts.Limits.StageWorkCeiling[static_cast<size_t>(Stage::Solve)] = 8;
+
+  // Without retry: a deterministic WorkExceeded partial result.
+  std::vector<BatchResult> Stopped =
+      BatchDriver(Opts, 1).run(Jobs, fullPipeline);
+  EXPECT_TRUE(hasFailure(Stopped[0].Stats.Failures,
+                         FailureCode::WorkExceeded, Stage::Solve));
+  EXPECT_FALSE(Stopped[0].Retried);
+
+  // With retry: the 8x-relaxed serial rerun fits (ceiling 64 against
+  // <60 evaluations) and must reproduce the ungoverned bytes exactly.
+  BatchOptions BOpts;
+  BOpts.RetryOverruns = true;
+  std::vector<BatchResult> Retried =
+      BatchDriver(Opts, 1, BOpts).run(Jobs, fullPipeline);
+  EXPECT_TRUE(Retried[0].Retried);
+  EXPECT_FALSE(Retried[0].Stats.failed())
+      << "relaxed rerun still failed: "
+      << (Retried[0].Stats.Failures.empty()
+              ? "?"
+              : Retried[0].Stats.Failures.front().Detail);
+  EXPECT_EQ(Retried[0].Output, Ungoverned[0].Output);
+}
+
+TEST(WorkCeilings, DeterministicFailuresAreNotRetried) {
+  // SolverOverflow comes from SolverOptions ceilings, not the governor;
+  // a rerun cannot change it, so the driver must not waste a retry.
+  const CorpusEntry &Entry = firstCorpusEntry();
+  std::vector<BatchJob> Jobs = {{Entry.Id, Entry.Source}};
+  BatchOptions BOpts;
+  BOpts.RetryOverruns = true;
+  std::vector<BatchResult> Results =
+      BatchDriver(injecting("solve.overflow"), 1, BOpts)
+          .run(Jobs, fullPipeline);
+  EXPECT_FALSE(Results[0].Retried);
+  EXPECT_TRUE(hasFailure(Results[0].Stats.Failures,
+                         FailureCode::SolverOverflow, Stage::Solve));
+}
+
+TEST(WorkCeilings, RelaxedLimitsScaleEverything) {
+  ResourceLimits Limits;
+  Limits.JobDeadlineSeconds = 1.0;
+  Limits.StageWorkCeiling[0] = 10;
+  ResourceLimits Relaxed = Limits.relaxed(8.0);
+  EXPECT_DOUBLE_EQ(Relaxed.JobDeadlineSeconds, 8.0);
+  EXPECT_EQ(Relaxed.StageWorkCeiling[0], 80u);
+  EXPECT_EQ(Relaxed.StageWorkCeiling[1], 0u) << "unlimited stays unlimited";
+}

@@ -187,3 +187,119 @@ TEST(CLI, BadJobsValueIsRejected) {
   RunResult Result = runCLI("--batch . --jobs 0");
   EXPECT_EQ(Result.ExitCode, 2);
 }
+
+//===----------------------------------------------------------------------===//
+// Resource governance and fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(CLI, BadGovernanceFlagValuesAreRejected) {
+  EXPECT_EQ(runCLI("x.tl --deadline 0").ExitCode, 2);
+  EXPECT_EQ(runCLI("x.tl --deadline nope").ExitCode, 2);
+  EXPECT_EQ(runCLI("x.tl --inject-prob 1.5").ExitCode, 2);
+  EXPECT_EQ(runCLI("x.tl --inject-seed 12x").ExitCode, 2);
+}
+
+TEST(CLI, RetryOverrunsRequiresBatch) {
+  std::string Path = writeTemp("cli_retry.tl", FailingProgram);
+  RunResult Result = runCLI(Path + " --retry-overruns");
+  EXPECT_EQ(Result.ExitCode, 2);
+  EXPECT_NE(Result.Stdout.find("--retry-overruns"), std::string::npos);
+}
+
+TEST(CLI, InjectedParseFaultExitsTwo) {
+  std::string Path = writeTemp("cli_inject_parse.tl", FailingProgram);
+  RunResult Result = runCLI(Path + " --inject parse.error");
+  EXPECT_EQ(Result.ExitCode, 2);
+}
+
+TEST(CLI, InjectedDegradationExitsThreeWithNote) {
+  std::string Path = writeTemp("cli_inject_solve.tl", FailingProgram);
+  RunResult Result = runCLI(Path + " --inject solve.overflow");
+  EXPECT_EQ(Result.ExitCode, 3);
+  EXPECT_NE(Result.Stdout.find("note: solver_overflow during solve"),
+            std::string::npos);
+}
+
+TEST(CLI, InjectionDoesNotPerturbUntargetedRun) {
+  // --inject with a site the run never reaches must leave output and
+  // exit code untouched.
+  std::string Path = writeTemp("cli_inject_none.tl", FailingProgram);
+  RunResult Plain = runCLI(Path);
+  RunResult Injected = runCLI(Path + " --inject worker.panic");
+  EXPECT_EQ(Injected.ExitCode, Plain.ExitCode);
+  EXPECT_EQ(Injected.Stdout, Plain.Stdout);
+}
+
+TEST(CLI, BatchWorkerPanicExitsFourAndNamesJobs) {
+  std::string Dir = std::string(::testing::TempDir()) + "cli_panic_dir";
+  mkdir(Dir.c_str(), 0755);
+  std::ofstream(Dir + "/a_fail.tl") << FailingProgram;
+  std::ofstream(Dir + "/b_pass.tl") << PassingProgram;
+
+  RunResult Result = runCLI("--batch " + Dir + " --inject worker.panic");
+  EXPECT_EQ(Result.ExitCode, 4);
+  EXPECT_NE(Result.Stdout.find("error: injected worker panic"),
+            std::string::npos);
+  EXPECT_NE(Result.Stdout.find("note: worker_panic during"),
+            std::string::npos);
+  EXPECT_NE(Result.Stdout.find("a_fail.tl"), std::string::npos);
+}
+
+TEST(CLI, DeadlineDegradesBatchJobWithoutPerturbingSiblings) {
+  // The CLI half of the acceptance case: a solver blowup under a 100ms
+  // deadline degrades (exit 3) while the sibling programs' blocks stay
+  // byte-identical to a batch without it, at --jobs 8.
+  std::string Dir = std::string(::testing::TempDir()) + "cli_deadline_dir";
+  mkdir(Dir.c_str(), 0755);
+  std::ofstream(Dir + "/a_fail.tl") << FailingProgram;
+  std::ofstream(Dir + "/b_pass.tl") << PassingProgram;
+  std::string Blowup = Dir + "/z_blowup.tl";
+  std::ofstream(Blowup) << R"(
+struct Leaf;
+struct Node<A, B>;
+trait Blow;
+impl<A, B> Blow for Node<A, B>
+  where Node<A, Node<B, Leaf>>: Blow, Node<Node<A, Leaf>, B>: Blow;
+goal Node<Leaf, Leaf>: Blow;
+)";
+
+  RunResult Governed =
+      runCLI("--batch " + Dir + " --jobs 8 --deadline 0.1");
+  EXPECT_EQ(Governed.ExitCode, 3);
+  EXPECT_NE(Governed.Stdout.find("note: deadline_exceeded during solve"),
+            std::string::npos);
+
+  // Remove the pathological job and rerun ungoverned: the sibling
+  // blocks (everything before the blowup's header) must match.
+  remove(Blowup.c_str());
+  RunResult Baseline = runCLI("--batch " + Dir + " --jobs 1");
+  std::string Marker = "=== " + Dir + "/z_blowup.tl ===";
+  size_t Cut = Governed.Stdout.find(Marker);
+  ASSERT_NE(Cut, std::string::npos);
+  EXPECT_EQ(Governed.Stdout.substr(0, Cut), Baseline.Stdout);
+}
+
+TEST(CLI, TraceCarriesFailuresAndGovernanceCounters) {
+  std::string Path = writeTemp("cli_gov_trace.tl", FailingProgram);
+  std::string TracePath =
+      std::string(::testing::TempDir()) + "cli_gov_trace.json";
+  RunResult Result =
+      runCLI(Path + " --inject solve.overflow --trace " + TracePath);
+  EXPECT_EQ(Result.ExitCode, 3);
+  std::ifstream In(TracePath);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Trace = Buffer.str();
+  EXPECT_NE(Trace.find("\"failures\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"solver_overflow\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(Trace.find("\"faults_injected\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"deadline_hits\""), std::string::npos);
+}
+
+TEST(CLI, StatsLineCarriesGovernanceCounters) {
+  std::string Path = writeTemp("cli_gov_stats.tl", FailingProgram);
+  RunResult Result = runCLI(Path + " --inject solve.overflow --stats");
+  EXPECT_NE(Result.Stdout.find("failures=1"), std::string::npos);
+  EXPECT_NE(Result.Stdout.find("faults_injected=1"), std::string::npos);
+}

@@ -28,7 +28,23 @@
 ///                    byte-identical at any thread count)
 ///   --trace <file>   write per-stage timings and counters as JSON
 ///   --stats          print one summary line of SessionStats totals
+///   --deadline <s>   per-job wall-clock deadline in seconds; overruns
+///                    degrade to a partial result, they never hang
+///   --retry-overruns rerun deadline/ceiling-stopped batch jobs once,
+///                    serially, with 8x relaxed limits (--batch only)
+///   --inject <sites> deterministic fault injection (testing); comma
+///                    list of sites, e.g. "solve.overflow,worker.panic"
+///   --inject-seed <n>   seed for probabilistic injection (default 0)
+///   --inject-prob <p>   per-site fire probability (default 1.0)
 ///   --version        print the version and exit
+///
+/// Exit codes (documented in README.md; batch mode exits with the worst
+/// code over all jobs):
+///   0  clean — or all goals hold
+///   1  trait errors found (a successful debugging run, not a failure)
+///   2  parse error, usage error, or I/O error
+///   3  degraded result (deadline/work ceiling/cancellation/truncation)
+///   4  worker panic in batch mode
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +52,7 @@
 #include "engine/Session.h"
 #include "tlang/Printer.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +70,11 @@ struct Options {
   std::string BatchDir;
   std::string HTMLPath;
   std::string TracePath;
+  std::string InjectSites;
+  uint64_t InjectSeed = 0;
+  double InjectProb = 1.0;
+  double Deadline = 0.0;
+  bool RetryOverruns = false;
   unsigned Jobs = 1;
   bool Diag = false;
   bool BottomUp = false;
@@ -71,8 +93,12 @@ int usage() {
           " [--mcs]\n"
           "             [--suggest] [--json] [--html <file>]"
           " [--show-internal] [--check]\n"
-          "             [--trace <file>] [--stats] [--version]\n"
-          "       argus --batch <dir> [--jobs <n>] [other options]\n");
+          "             [--trace <file>] [--stats] [--deadline <seconds>]\n"
+          "             [--inject <sites>] [--inject-seed <n>]"
+          " [--inject-prob <p>]\n"
+          "             [--version]\n"
+          "       argus --batch <dir> [--jobs <n>] [--retry-overruns]"
+          " [other options]\n");
   return 2;
 }
 
@@ -205,6 +231,13 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
     Sum.DNFWordsTouched += Stats->DNFWordsTouched;
     Sum.DNFTruncations += Stats->DNFTruncations;
     Sum.ArenaHashLookups += Stats->ArenaHashLookups;
+    Sum.TreeGoalsTruncated += Stats->TreeGoalsTruncated;
+    Sum.DeadlineHits += Stats->DeadlineHits;
+    Sum.Cancellations += Stats->Cancellations;
+    Sum.WorkCeilingHits += Stats->WorkCeilingHits;
+    Sum.FaultsInjected += Stats->FaultsInjected;
+    for (const engine::Failure &F : Stats->Failures)
+      Sum.Failures.push_back(F);
     for (size_t I = 0; I != engine::NumStages; ++I)
       Sum.StageSeconds[I] += Stats->StageSeconds[I];
   }
@@ -212,7 +245,9 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          " candidates_filtered=%llu trees=%zu tree_goals=%zu"
          " failed_leaves=%zu dnf_conjuncts=%zu dnf_words=%llu"
          " dnf_truncations=%llu arena_hash_lookups=%llu"
-         " total_seconds=%.6f\n",
+         " failures=%zu deadline_hits=%llu cancellations=%llu"
+         " work_ceiling_hits=%llu faults_injected=%llu"
+         " tree_goals_truncated=%zu total_seconds=%.6f\n",
          All.size(), static_cast<unsigned long long>(Sum.GoalEvaluations),
          static_cast<unsigned long long>(Sum.MemoHits),
          static_cast<unsigned long long>(Sum.CandidatesFiltered),
@@ -221,7 +256,25 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          static_cast<unsigned long long>(Sum.DNFWordsTouched),
          static_cast<unsigned long long>(Sum.DNFTruncations),
          static_cast<unsigned long long>(Sum.ArenaHashLookups),
-         Sum.totalSeconds());
+         Sum.Failures.size(),
+         static_cast<unsigned long long>(Sum.DeadlineHits),
+         static_cast<unsigned long long>(Sum.Cancellations),
+         static_cast<unsigned long long>(Sum.WorkCeilingHits),
+         static_cast<unsigned long long>(Sum.FaultsInjected),
+         Sum.TreeGoalsTruncated, Sum.totalSeconds());
+}
+
+/// Renders one "note:" line per recorded Failure, so degradation is
+/// visible without the JSON trace. Clean sessions contribute nothing —
+/// required for the batch byte-identity guarantee (a governed job that
+/// degrades must not perturb its siblings' blocks).
+std::string failureNotes(const engine::SessionStats &Stats) {
+  std::string Out;
+  for (const engine::Failure &F : Stats.Failures)
+    appendf(Out, "note: %s during %s: %s\n",
+            engine::failureCodeName(F.Code), engine::stageName(F.At),
+            F.Detail.c_str());
+  return Out;
 }
 
 bool writeTrace(const std::string &Path, const std::string &JSON) {
@@ -243,7 +296,9 @@ int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
     return 2;
   }
 
-  engine::BatchDriver Driver(SessOpts, Opts.Jobs);
+  engine::BatchOptions BOpts;
+  BOpts.RetryOverruns = Opts.RetryOverruns;
+  engine::BatchDriver Driver(SessOpts, Opts.Jobs, BOpts);
   std::vector<engine::BatchResult> Results =
       Driver.run(Jobs, [&Opts](engine::Session &S) {
         Rendered R = renderProgram(S, Opts);
@@ -253,18 +308,20 @@ int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
         return Block;
       });
 
-  int Exit = 0;
+  // The batch exits with the worst structured-failure code over all jobs
+  // (2 parse, 3 degraded, 4 panic), folding in 1 for trait errors — so
+  // the exit status is non-zero iff any job failed or any goal failed.
+  int Exit = engine::BatchDriver::worstExitCode(Results);
   for (const engine::BatchResult &Result : Results) {
     printf("=== %s ===\n", Result.Name.c_str());
-    if (Result.failed()) {
+    if (Result.failed())
       printf("error: %s\n", Result.Error.c_str());
-      Exit = 2;
-      continue;
-    }
-    fputs(Result.Output.c_str(), stdout);
-    if (!Result.ParseOk)
-      Exit = 2;
-    else if (Result.HasTraitErrors && Exit < 2)
+    else
+      fputs(Result.Output.c_str(), stdout);
+    fputs(failureNotes(Result.Stats).c_str(), stdout);
+    if (Result.Retried)
+      printf("note: retried serially with relaxed limits\n");
+    if (Result.HasTraitErrors && Exit < 1)
       Exit = 1;
   }
 
@@ -294,10 +351,12 @@ int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
   Rendered R = renderProgram(*S, Opts);
   if (!S->parseOk()) {
     fprintf(stderr, "%s", R.Body.c_str());
-    return R.Exit;
+    return std::max(R.Exit, S->stats().exitCode());
   }
   fputs(R.Warnings.c_str(), stderr);
   fputs(R.Body.c_str(), stdout);
+  // Degradations go to stderr so stdout stays a pure rendering.
+  fputs(failureNotes(S->stats()).c_str(), stderr);
 
   if (Opts.Stats)
     printStatsLine({&S->stats()});
@@ -315,7 +374,9 @@ int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
     if (!writeTrace(Opts.TracePath, Writer.str()))
       return 2;
   }
-  return R.Exit;
+  // A degraded session outranks "trait errors found" (3 > 1): the
+  // rendering may be partial, and callers need to know.
+  return std::max(R.Exit, S->stats().exitCode());
 }
 
 } // namespace
@@ -346,7 +407,51 @@ int main(int Argc, char **Argv) {
       Opts.CheckOnly = true;
     else if (Arg == "--stats")
       Opts.Stats = true;
-    else if (Arg == "--html") {
+    else if (Arg == "--retry-overruns")
+      Opts.RetryOverruns = true;
+    else if (Arg == "--deadline") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --deadline requires a seconds argument\n");
+        return usage();
+      }
+      char *End = nullptr;
+      double Value = strtod(Argv[I], &End);
+      if (!End || *End != '\0' || !(Value > 0.0)) {
+        fprintf(stderr, "argus: invalid --deadline '%s'\n", Argv[I]);
+        return usage();
+      }
+      Opts.Deadline = Value;
+    } else if (Arg == "--inject") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --inject requires a site list argument\n");
+        return usage();
+      }
+      Opts.InjectSites = Argv[I];
+    } else if (Arg == "--inject-seed") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --inject-seed requires a number\n");
+        return usage();
+      }
+      char *End = nullptr;
+      unsigned long long Value = strtoull(Argv[I], &End, 10);
+      if (!End || *End != '\0') {
+        fprintf(stderr, "argus: invalid --inject-seed '%s'\n", Argv[I]);
+        return usage();
+      }
+      Opts.InjectSeed = Value;
+    } else if (Arg == "--inject-prob") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --inject-prob requires a probability\n");
+        return usage();
+      }
+      char *End = nullptr;
+      double Value = strtod(Argv[I], &End);
+      if (!End || *End != '\0' || Value < 0.0 || Value > 1.0) {
+        fprintf(stderr, "argus: invalid --inject-prob '%s'\n", Argv[I]);
+        return usage();
+      }
+      Opts.InjectProb = Value;
+    } else if (Arg == "--html") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --html requires a file argument\n");
         return usage();
@@ -399,6 +504,10 @@ int main(int Argc, char **Argv) {
     fprintf(stderr, "argus: --html is not supported with --batch\n");
     return usage();
   }
+  if (!Batch && Opts.RetryOverruns) {
+    fprintf(stderr, "argus: --retry-overruns requires --batch\n");
+    return usage();
+  }
   if (!Opts.Diag && !Opts.BottomUp && !Opts.TopDown && !Opts.MCS &&
       !Opts.Suggest && !Opts.JSON && Opts.HTMLPath.empty() &&
       !Opts.CheckOnly) {
@@ -408,6 +517,10 @@ int main(int Argc, char **Argv) {
 
   engine::SessionOptions SessOpts;
   SessOpts.Extract.ShowInternal = Opts.ShowInternal;
+  SessOpts.Limits.JobDeadlineSeconds = Opts.Deadline;
+  SessOpts.Faults.Sites = Opts.InjectSites;
+  SessOpts.Faults.Seed = Opts.InjectSeed;
+  SessOpts.Faults.Probability = Opts.InjectProb;
 
   return Batch ? runBatch(Opts, SessOpts) : runSingle(Opts, SessOpts);
 }

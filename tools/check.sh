@@ -21,6 +21,13 @@
 # accidentally quadratic search. Also wired into CTest (cli_perf_smoke):
 #
 #   tools/check.sh --perf-smoke-only <argus-binary> <programs-dir>
+#
+# CHECK_SANITIZE=1 switches the full gate to an ASan+UBSan build in its
+# own build directory (build-sanitize by default), running the same test
+# suite — including the fuzz_smoke mutation loop — under the sanitizers.
+# Documented in DESIGN.md ("Failure model and resource governance").
+#
+#   CHECK_SANITIZE=1 tools/check.sh [build-dir]
 set -eu
 
 determinism() {
@@ -102,9 +109,17 @@ if [ "${1:-}" = "--determinism-only" ]; then
 fi
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir="${1:-$repo_root/build}"
-
-cmake -B "$build_dir" -S "$repo_root"
+if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
+  build_dir="${1:-$repo_root/build-sanitize}"
+  sanitize_flags="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$sanitize_flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="$sanitize_flags"
+else
+  build_dir="${1:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root"
+fi
 cmake --build "$build_dir" -j
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)")
 
