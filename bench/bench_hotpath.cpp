@@ -27,6 +27,14 @@
 ///     counters, and the observed wall clock, witnessing that a
 ///     pathological program costs ~deadline, not seconds.
 ///
+///  4. "cache": repeated full solves sharing one solver::GoalCache
+///     versus the same solves with the cache off, per terminating
+///     workload (the evaluation corpus, deep impl chains, the DNF-dense
+///     stress program). Every cached run's extracted trees must be
+///     byte-identical to the uncached ones; the aggregate speedup is
+///     expected to stay >= 1.5x and both are folded into the exit
+///     status.
+///
 /// Usage: bench_hotpath [output.json]   (default: BENCH_hotpath.json)
 ///
 /// See DESIGN.md for the JSON schema and EXPERIMENTS.md for how to record
@@ -38,7 +46,12 @@
 #include "corpus/Corpus.h"
 #include "corpus/Generator.h"
 #include "engine/Session.h"
+#include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "solver/GoalCache.h"
+#include "solver/Solver.h"
 #include "support/JSON.h"
+#include "tlang/Parser.h"
 
 #include <chrono>
 #include <cstdio>
@@ -124,6 +137,98 @@ KernelMeasurement measureKernels(const KernelWorkload &Workload) {
     DNFFormula F = computeMCS(*Workload.Tree, Opts);
     (void)F;
   });
+  return M;
+}
+
+/// One cache-replay workload: a source solved repeatedly, once with the
+/// cache off and once with every repetition sharing one GoalCache.
+struct CacheWorkload {
+  std::string Name;
+  std::string Source;
+};
+
+struct CacheMeasurement {
+  std::string Name;
+  uint64_t Reps = 0;
+  double OffSeconds = 0.0;
+  double SharedSeconds = 0.0;
+  uint64_t OffSteps = 0;     ///< solver_steps of one uncached solve.
+  uint64_t WarmSteps = 0;    ///< solver_steps of one warm cached solve.
+  uint64_t WarmHits = 0;     ///< cache_hits of that warm solve.
+  bool Identical = false;    ///< uncached == cold == warm tree JSON.
+
+  double speedup() const {
+    return SharedSeconds > 0.0 ? OffSeconds / SharedSeconds : 0.0;
+  }
+};
+
+CacheMeasurement measureCache(const CacheWorkload &Workload) {
+  CacheMeasurement M;
+  M.Name = Workload.Name;
+
+  Session ArenaSess;
+  Program Prog(ArenaSess);
+  ParseResult Parse = parseSource(Prog, Workload.Name, Workload.Source);
+  if (!Parse.Success)
+    return M; // Identical stays false; a bad fixture fails the bench.
+
+  const SolverOptions BaseOpts;
+  auto Fp = GoalCache::fingerprint(Workload.Source,
+                                   BaseOpts.EmitWellFormedGoals,
+                                   BaseOpts.EnableCandidateIndex,
+                                   BaseOpts.EnableMemoization);
+  auto solveOnce = [&](GoalCache *Cache) {
+    SolverOptions Opts = BaseOpts;
+    Opts.Cache = Cache;
+    Opts.CacheFp0 = Fp.first;
+    Opts.CacheFp1 = Fp.second;
+    Solver Solve(Prog, Opts);
+    return Solve.solve();
+  };
+  auto renderOnce = [&](GoalCache *Cache, SolveOutcome *Out = nullptr) {
+    SolverOptions Opts = BaseOpts;
+    Opts.Cache = Cache;
+    Opts.CacheFp0 = Fp.first;
+    Opts.CacheFp1 = Fp.second;
+    Solver Solve(Prog, Opts);
+    SolveOutcome Result = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Result, Solve.inferContext());
+    std::string R;
+    for (const InferenceTree &Tree : Ex.Trees)
+      R += treeToJSON(Prog, Tree, /*Pretty=*/true) + "\n";
+    if (Out)
+      *Out = std::move(Result);
+    return R;
+  };
+
+  // Correctness first: the uncached rendering, a cold cached run, and a
+  // warm cached run must agree byte for byte.
+  GoalCache ProbeCache;
+  SolveOutcome OffOut, WarmOut;
+  std::string OffJSON = renderOnce(nullptr, &OffOut);
+  std::string ColdJSON = renderOnce(&ProbeCache);
+  std::string WarmJSON = renderOnce(&ProbeCache, &WarmOut);
+  M.Identical = OffJSON == ColdJSON && OffJSON == WarmJSON;
+  M.OffSteps = OffOut.NumSolverSteps;
+  M.WarmSteps = WarmOut.NumSolverSteps;
+  M.WarmHits = WarmOut.NumCacheHits;
+
+  // Calibrate off the uncached solve so each workload times stably.
+  double Probe = timeReps(1, [&] { (void)solveOnce(nullptr); });
+  const double TargetSeconds = 0.2;
+  uint64_t Reps =
+      Probe > 0.0 ? static_cast<uint64_t>(TargetSeconds / Probe) : 10000;
+  if (Reps < 8)
+    Reps = 8;
+  if (Reps > 20000)
+    Reps = 20000;
+  M.Reps = Reps;
+
+  M.OffSeconds = timeReps(Reps, [&] { (void)solveOnce(nullptr); });
+  // The shared pass replays batch semantics: one cache, created empty,
+  // shared by every repetition — the first populates, the rest splice.
+  GoalCache Shared;
+  M.SharedSeconds = timeReps(Reps, [&] { (void)solveOnce(&Shared); });
   return M;
 }
 
@@ -326,6 +431,87 @@ int main(int Argc, char **Argv) {
   }
   W.endArray();
   W.endObject();
+
+  // --- Section 4: goal-cache replay on terminating workloads.
+  std::vector<CacheWorkload> CacheWorkloads;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    CacheWorkloads.push_back({Entry.Id, Entry.Source});
+  for (const CorpusEntry &Entry : stressSuite())
+    if (Entry.Id == "stress-dnf-dense")
+      CacheWorkloads.push_back({Entry.Id, Entry.Source});
+  // Deep impl chains: one hit replays the whole chain, so these are the
+  // workloads where the cache's subtree splice pays the most. The broken
+  // variant caches a failing ("no") subtree instead of a proof. Depth is
+  // capped well below the evaluation ceiling — a blanket impl over a
+  // nested generic costs O(2^depth) goal evaluations uncached, and a
+  // subtree that exhausts the budget is (correctly) never cached.
+  auto AddChain = [&](const char *Name, unsigned Depth, bool Broken) {
+    std::string S = "struct A;\nstruct B;\nstruct Wrap<T>;\ntrait Show;\n"
+                    "impl Show for A;\n"
+                    "impl<T> Show for Wrap<T> where T: Show;\n";
+    std::string Ty = Broken ? "B" : "A";
+    for (unsigned I = 0; I != Depth; ++I)
+      Ty = "Wrap<" + Ty + ">";
+    S += "goal " + Ty + ": Show;\n";
+    CacheWorkloads.push_back({Name, std::move(S)});
+  };
+  AddChain("deep-chain-12", 12, /*Broken=*/false);
+  AddChain("deep-chain-broken-12", 12, /*Broken=*/true);
+
+  std::vector<CacheMeasurement> CacheMeasurements;
+  CacheMeasurements.reserve(CacheWorkloads.size());
+  bool CacheIdentical = true;
+  double TotalOff = 0.0, TotalShared = 0.0;
+  for (const CacheWorkload &Workload : CacheWorkloads) {
+    CacheMeasurements.push_back(measureCache(Workload));
+    const CacheMeasurement &M = CacheMeasurements.back();
+    CacheIdentical &= M.Identical;
+    TotalOff += M.OffSeconds / static_cast<double>(M.Reps);
+    TotalShared += M.SharedSeconds / static_cast<double>(M.Reps);
+    printf("cache: %-26s reps=%-6llu off=%.3fus shared=%.3fus "
+           "steps=%llu->%llu hits=%llu speedup=%.2fx%s\n",
+           M.Name.c_str(), static_cast<unsigned long long>(M.Reps),
+           1e6 * M.OffSeconds / static_cast<double>(M.Reps),
+           1e6 * M.SharedSeconds / static_cast<double>(M.Reps),
+           static_cast<unsigned long long>(M.OffSteps),
+           static_cast<unsigned long long>(M.WarmSteps),
+           static_cast<unsigned long long>(M.WarmHits), M.speedup(),
+           M.Identical ? "" : "  MISMATCH");
+  }
+  double CacheSpeedup = TotalShared > 0.0 ? TotalOff / TotalShared : 0.0;
+  printf("cache aggregate: off=%.3fms shared=%.3fms speedup=%.2fx"
+         " identical=%s\n",
+         1e3 * TotalOff, 1e3 * TotalShared, CacheSpeedup,
+         CacheIdentical ? "yes" : "NO");
+
+  W.key("cache");
+  W.beginObject();
+  W.key("workloads");
+  W.beginArray();
+  for (const CacheMeasurement &M : CacheMeasurements) {
+    W.beginObject();
+    W.keyValue("name", M.Name);
+    W.keyValue("reps", M.Reps);
+    W.keyValue("off_seconds_per_solve",
+               M.OffSeconds / static_cast<double>(M.Reps));
+    W.keyValue("shared_seconds_per_solve",
+               M.SharedSeconds / static_cast<double>(M.Reps));
+    W.keyValue("solver_steps_uncached", M.OffSteps);
+    W.keyValue("solver_steps_warm", M.WarmSteps);
+    W.keyValue("cache_hits_warm", M.WarmHits);
+    W.keyValue("speedup", M.speedup());
+    W.keyValue("identical", M.Identical);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("totals");
+  W.beginObject();
+  W.keyValue("off_seconds_per_pass", TotalOff);
+  W.keyValue("shared_seconds_per_pass", TotalShared);
+  W.keyValue("speedup", CacheSpeedup);
+  W.keyValue("identical", CacheIdentical);
+  W.endObject();
+  W.endObject();
   W.endObject();
 
   std::ofstream Out(OutPath);
@@ -336,9 +522,17 @@ int main(int Argc, char **Argv) {
   Out << W.str() << "\n";
   printf("wrote %s\n", OutPath.c_str());
 
-  // The baseline is only worth recording if the kernels agree; the
-  // speedup floor is the acceptance bar this bench exists to witness.
-  if (!AllIdentical)
+  // The baseline is only worth recording if the kernels agree and the
+  // cache is both invisible in the output and actually faster; these are
+  // the acceptance bars this bench exists to witness.
+  if (!AllIdentical || !CacheIdentical)
     return 1;
+  if (CacheSpeedup < 1.5) {
+    fprintf(stderr,
+            "bench_hotpath: cache aggregate speedup %.2fx below the 1.5x"
+            " floor\n",
+            CacheSpeedup);
+    return 1;
+  }
   return 0;
 }

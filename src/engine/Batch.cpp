@@ -23,7 +23,13 @@ namespace engine {
 BatchDriver::BatchDriver(SessionOptions Opts, unsigned Jobs,
                          BatchOptions BatchOpts)
     : Opts(std::move(Opts)), NumJobs(std::max(1u, Jobs)),
-      BOpts(BatchOpts) {}
+      BOpts(BatchOpts) {
+  if (this->Opts.Cache == CacheMode::Shared && !this->Opts.SharedCache) {
+    OwnedCache = std::make_unique<GoalCache>(
+        GoalCache::Config{this->Opts.CacheShards, this->Opts.CacheCap});
+    this->Opts.SharedCache = OwnedCache.get();
+  }
+}
 
 /// One worker thread's registration with the watchdog: which governor is
 /// currently running and since when. The mutex orders registration

@@ -78,8 +78,16 @@ class BatchDriver {
 public:
   /// \p Jobs is the worker-thread count; 0 and 1 both mean "run serially
   /// on the calling thread".
+  ///
+  /// Under CacheMode::Shared (with no caller-supplied SharedCache) the
+  /// driver owns one GoalCache which every job of every run() shares, so
+  /// concurrent jobs reuse each other's proof subtrees.
   explicit BatchDriver(SessionOptions Opts = SessionOptions(),
                        unsigned Jobs = 1, BatchOptions BatchOpts = {});
+
+  /// The batch-shared goal cache, or null when not in Shared mode (or
+  /// when the caller supplied its own via SessionOptions::SharedCache).
+  GoalCache *sharedCache() const { return OwnedCache.get(); }
 
   unsigned jobs() const { return NumJobs; }
   const SessionOptions &options() const { return Opts; }
@@ -116,6 +124,9 @@ private:
   SessionOptions Opts;
   unsigned NumJobs;
   BatchOptions BOpts;
+  /// Owned batch-shared cache (see the constructor comment). Declared
+  /// after Opts, which points at it via SharedCache.
+  std::unique_ptr<GoalCache> OwnedCache;
 };
 
 } // namespace engine

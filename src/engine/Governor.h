@@ -19,6 +19,8 @@
 ///   solve.overflow     goal-evaluation ceiling forced to zero
 ///   dnf.truncate       MaxConjuncts forced to one
 ///   extract.truncate   MaxTreeGoals forced to one
+///   cache.reject       every goal-cache insert rejected (probed only
+///                      when a cache mode is active; output unchanged)
 ///   <stage>.cancel     sticky cancellation at stage entry
 ///   <stage>.deadline   stage-scoped deadline stop at stage entry
 ///   <stage>.work       stage-scoped work-ceiling stop at stage entry

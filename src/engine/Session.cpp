@@ -12,6 +12,7 @@
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 namespace argus {
 namespace engine {
@@ -84,6 +85,11 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("candidates_filtered", CandidatesFiltered);
   Writer.keyValue("fixpoint_rounds",
                   static_cast<uint64_t>(FixpointRounds));
+  Writer.keyValue("solver_steps", SolverSteps);
+  Writer.keyValue("cache_hits", CacheHits);
+  Writer.keyValue("cache_misses", CacheMisses);
+  Writer.keyValue("cache_inserts", CacheInserts);
+  Writer.keyValue("cache_inserts_rejected", CacheInsertsRejected);
   Writer.keyValue("trees_extracted", static_cast<uint64_t>(TreesExtracted));
   Writer.keyValue("tree_goals", static_cast<uint64_t>(TreeGoals));
   Writer.keyValue("snapshots_dropped",
@@ -246,12 +252,33 @@ const SolveOutcome &Session::solve() {
       if (Gov->shouldFail("solve.overflow"))
         SOpts.MaxGoalEvaluations = 0;
     }
+    if (Opts.Cache != CacheMode::Off && !SOpts.EnableMemoization) {
+      if (Opts.Cache == CacheMode::Shared && Opts.SharedCache) {
+        SOpts.Cache = Opts.SharedCache;
+      } else {
+        OwnCache = std::make_unique<GoalCache>(
+            GoalCache::Config{Opts.CacheShards, Opts.CacheCap});
+        SOpts.Cache = OwnCache.get();
+      }
+      std::tie(SOpts.CacheFp0, SOpts.CacheFp1) = GoalCache::fingerprint(
+          Source, SOpts.EmitWellFormedGoals, SOpts.EnableCandidateIndex,
+          SOpts.EnableMemoization);
+      // Only probed when the cache is on, so configured fault plans keep
+      // firing the same sites (and counters) for cache-off runs.
+      if (Gov && Gov->shouldFail("cache.reject"))
+        SOpts.CacheRejectAll = true;
+    }
     TheSolver = std::make_unique<Solver>(*Prog, SOpts);
     Outcome = TheSolver->solve();
     Stats.GoalEvaluations = Outcome->NumEvaluations;
     Stats.MemoHits = Outcome->NumMemoHits;
     Stats.CandidatesFiltered = Outcome->NumCandidatesFiltered;
     Stats.FixpointRounds = Outcome->RoundsUsed;
+    Stats.SolverSteps = Outcome->NumSolverSteps;
+    Stats.CacheHits = Outcome->NumCacheHits;
+    Stats.CacheMisses = Outcome->NumCacheMisses;
+    Stats.CacheInserts = Outcome->NumCacheInserts;
+    Stats.CacheInsertsRejected = Outcome->NumCacheInsertsRejected;
     Stats.ArenaHashLookups = Sess->types().hashLookups();
     if (Outcome->EvalBudgetExhausted)
       noteFailure({FailureCode::SolverOverflow, Stage::Solve,

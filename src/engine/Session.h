@@ -74,6 +74,17 @@ struct SessionStats {
   /// instantiation.
   uint64_t CandidatesFiltered = 0;
   uint32_t FixpointRounds = 0;
+  /// Goal evaluations that ran real candidate assembly (not answered by
+  /// an overflow early-out or a goal-cache splice).
+  uint64_t SolverSteps = 0;
+  // --- Goal cache (zero when CacheMode::Off).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheInserts = 0;
+  /// Recordings rejected by the cacheability predicate (ambiguity,
+  /// overflow in the subtree, budget/deadline stop, external binding, or
+  /// an injected cache.reject fault).
+  uint64_t CacheInsertsRejected = 0;
 
   // --- Extract.
   size_t TreesExtracted = 0;
@@ -135,6 +146,15 @@ struct SessionStats {
 /// Limits and Faults are plain values — copying SessionOptions to many
 /// batch jobs keeps every job's governance independent and deterministic
 /// (each Session builds its own governor from them).
+/// Scope of the solver's goal-result cache.
+enum class CacheMode : uint8_t {
+  Off,     ///< No cache; every subtree is proved from scratch.
+  Session, ///< Each Session owns a private cache (helps the fixpoint
+           ///< rounds and repeated goals within one program).
+  Shared,  ///< Jobs share one cache (BatchDriver owns it unless
+           ///< SessionOptions::SharedCache is supplied).
+};
+
 struct SessionOptions {
   SolverOptions Solver;
   ExtractOptions Extract;
@@ -142,6 +162,16 @@ struct SessionOptions {
   DiagnosticOptions Diagnostic;
   ResourceLimits Limits;
   FaultPlan Faults;
+
+  // --- Goal cache.
+  CacheMode Cache = CacheMode::Off;
+  unsigned CacheShards = 16;
+  size_t CacheCap = 65536;
+  /// The shared cache for CacheMode::Shared. Not owned; must outlive
+  /// every Session using it. BatchDriver fills this in for its jobs;
+  /// when null under Shared mode, a standalone Session falls back to a
+  /// private cache (Shared and Session are then equivalent).
+  GoalCache *SharedCache = nullptr;
 };
 
 /// The full pipeline for one program. See the file comment for the stage
@@ -283,6 +313,10 @@ private:
   std::unique_ptr<Program> Prog;
   std::optional<ParseResult> Parsed;
   std::optional<std::vector<CoherenceError>> CoherenceErrors;
+  /// Session-private goal cache (CacheMode::Session, or Shared with no
+  /// SharedCache supplied). Declared before TheSolver, whose options
+  /// point into it.
+  std::unique_ptr<GoalCache> OwnCache;
   std::unique_ptr<Solver> TheSolver;
   std::optional<SolveOutcome> Outcome;
   std::optional<Extraction> Extracted;

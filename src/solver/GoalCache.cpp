@@ -1,0 +1,298 @@
+//===- solver/GoalCache.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/GoalCache.h"
+
+#include <cassert>
+
+using namespace argus;
+
+//===----------------------------------------------------------------------===//
+// Canonical encoding
+//===----------------------------------------------------------------------===//
+//
+// Token grammar (every token is a u64):
+//
+//   type     ::= 0 | 1 node
+//   node     ::= kind varTok              (Infer)
+//              | kind sym sym mut region nargs type*   (all other kinds)
+//   varTok   ::= (rel << 1) | 1           (intern: allocated in the subtree)
+//              | (raw << 1) | 0           (extern: consumer's own variable)
+//   sym      ::= 0 | value + 1
+//   region   ::= kind sym
+//   pred     ::= kind sym type nargs type* type region region
+//
+// Symbols are stored by raw interner value. That is sound here because
+// every symbol reachable from a solver predicate is either interned at
+// parse time (so identical sources intern identical tables) or one of the
+// solver's builtin names, which Solver pre-interns in a fixed order when
+// a cache is attached; the 128-bit source fingerprint in the key keeps
+// entries from programs with different intern tables apart.
+
+namespace {
+
+constexpr uint64_t HashSeed = 1469598103934665603ull;
+/// Only the source fingerprint still runs byte-wise FNV — it hashes each
+/// program once, off the per-goal path, and needs byte granularity.
+constexpr uint64_t FnvPrime = 1099511628211ull;
+
+/// Folds one 64-bit token into the running hash: a multiply to spread
+/// the token's bits (off the critical path) and one avalanche round on
+/// the combination. Replaces a byte-wise FNV loop whose 8-multiply
+/// dependency chain per token was the hottest instruction stream in
+/// cached solves — key and stack hashes run once per goal evaluation.
+uint64_t mixToken(uint64_t H, uint64_t Value) {
+  H ^= Value * 0x9E3779B97F4A7C15ull;
+  H ^= H >> 30;
+  H *= 0xBF58476D1CE4E5B9ull;
+  return H;
+}
+
+uint64_t symToken(Symbol S) {
+  return S.isValid() ? static_cast<uint64_t>(S.value()) + 1 : 0;
+}
+
+Symbol symFromToken(uint64_t Token) {
+  return Token == 0 ? Symbol()
+                    : Symbol(static_cast<uint32_t>(Token - 1));
+}
+
+void encodeRegion(CacheEnc &Out, Region R) {
+  Out.push_back(static_cast<uint64_t>(R.Kind));
+  Out.push_back(symToken(R.Name));
+}
+
+Region decodeRegion(const CacheEnc &In, size_t &Pos) {
+  Region R;
+  R.Kind = static_cast<RegionKind>(In[Pos++]);
+  R.Name = symFromToken(In[Pos++]);
+  return R;
+}
+
+} // namespace
+
+uint64_t argus::hashCacheEnc(const CacheEnc &Enc, uint64_t Salt) {
+  uint64_t H = mixToken(HashSeed, Salt);
+  for (uint64_t Token : Enc)
+    H = mixToken(H, Token);
+  return H;
+}
+
+void CacheEncoder::type(CacheEnc &Out, TypeId T) {
+  if (!Memo || !T.isValid()) {
+    typeUncached(Out, T);
+    return;
+  }
+  uint32_t Index = T.value();
+  if (Index < Memo->ByType.size() && Memo->ByType[Index].Valid) {
+    const TypeEncodeMemo::Rec &R = Memo->ByType[Index];
+    Out.insert(Out.end(), R.Tokens.begin(), R.Tokens.end());
+    SawVar |= R.HasVar;
+    return;
+  }
+  // Record this type's span as it is emitted. The recursive calls below
+  // go through type() too, so sub-types get their own memo slots.
+  size_t Start = Out.size();
+  bool SawBefore = SawVar;
+  SawVar = false;
+  typeUncached(Out, T);
+  TypeEncodeMemo::Rec &Slot = Memo->slot(Index);
+  Slot.Tokens.assign(Out.begin() + static_cast<ptrdiff_t>(Start), Out.end());
+  Slot.HasVar = SawVar;
+  Slot.Valid = true;
+  SawVar |= SawBefore;
+}
+
+void CacheEncoder::typeUncached(CacheEnc &Out, TypeId T) {
+  if (!T.isValid()) {
+    Out.push_back(0);
+    return;
+  }
+  Out.push_back(1);
+  const Type &Node = Arena->get(T);
+  Out.push_back(static_cast<uint64_t>(Node.Kind));
+  if (Node.Kind == TypeKind::Infer) {
+    SawVar = true;
+    uint32_t Index = Node.InferIndex;
+    if (VarsBase != RawVars && Index >= VarsBase)
+      Out.push_back((static_cast<uint64_t>(Index - VarsBase) << 1) | 1);
+    else
+      Out.push_back(static_cast<uint64_t>(Index) << 1);
+    return;
+  }
+  Out.push_back(symToken(Node.Name));
+  Out.push_back(symToken(Node.TraitName));
+  Out.push_back(Node.Mutable ? 1 : 0);
+  encodeRegion(Out, Node.Rgn);
+  Out.push_back(Node.Args.size());
+  for (TypeId Arg : Node.Args)
+    type(Out, Arg);
+}
+
+void CacheEncoder::pred(CacheEnc &Out, const Predicate &P) {
+  Out.push_back(static_cast<uint64_t>(P.Kind));
+  Out.push_back(symToken(P.Trait));
+  type(Out, P.Subject);
+  Out.push_back(P.Args.size());
+  for (TypeId Arg : P.Args)
+    type(Out, Arg);
+  type(Out, P.Rhs);
+  encodeRegion(Out, P.Rgn);
+  encodeRegion(Out, P.SubRegion);
+}
+
+uint32_t CacheDecoder::varIndex(uint64_t Token) const {
+  uint32_t Index = static_cast<uint32_t>(Token >> 1);
+  return (Token & 1) ? VarsBase + Index : Index;
+}
+
+TypeId CacheDecoder::type(const CacheEnc &In, size_t &Pos) {
+  if (In[Pos++] == 0)
+    return TypeId::invalid();
+  Type Node;
+  Node.Kind = static_cast<TypeKind>(In[Pos++]);
+  if (Node.Kind == TypeKind::Infer)
+    return Arena->infer(varIndex(In[Pos++]));
+  Node.Name = symFromToken(In[Pos++]);
+  Node.TraitName = symFromToken(In[Pos++]);
+  Node.Mutable = In[Pos++] != 0;
+  Node.Rgn = decodeRegion(In, Pos);
+  size_t NumArgs = In[Pos++];
+  Node.Args.reserve(NumArgs);
+  for (size_t I = 0; I != NumArgs; ++I)
+    Node.Args.push_back(type(In, Pos));
+  return Arena->intern(std::move(Node));
+}
+
+Predicate CacheDecoder::pred(const CacheEnc &In, size_t &Pos) {
+  Predicate P;
+  P.Kind = static_cast<PredicateKind>(In[Pos++]);
+  P.Trait = symFromToken(In[Pos++]);
+  P.Subject = type(In, Pos);
+  size_t NumArgs = In[Pos++];
+  P.Args.reserve(NumArgs);
+  for (size_t I = 0; I != NumArgs; ++I)
+    P.Args.push_back(type(In, Pos));
+  P.Rhs = type(In, Pos);
+  P.Rgn = decodeRegion(In, Pos);
+  P.SubRegion = decodeRegion(In, Pos);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint and key hashing
+//===----------------------------------------------------------------------===//
+
+std::pair<uint64_t, uint64_t>
+GoalCache::fingerprint(std::string_view Source, bool EmitWellFormedGoals,
+                       bool EnableCandidateIndex, bool EnableMemoization) {
+  uint64_t Lo = HashSeed;
+  uint64_t Hi = 0x2DD5B7A464A11C8Full; // Independent second basis.
+  for (unsigned char C : Source) {
+    Lo = (Lo ^ C) * FnvPrime;
+    Hi = (Hi ^ C) * 0x100000001B3ull + 0x9E3779B97F4A7C15ull;
+  }
+  uint64_t Flags = (EmitWellFormedGoals ? 1 : 0) |
+                   (EnableCandidateIndex ? 2 : 0) |
+                   (EnableMemoization ? 4 : 0);
+  Lo = mixToken(Lo, Flags);
+  Hi = mixToken(Hi, Flags ^ 0xA5A5A5A5A5A5A5A5ull);
+  return {Lo, Hi};
+}
+
+uint64_t GoalCache::envSeed(uint64_t Fp0, uint64_t Fp1,
+                            const CacheEnc *Env) {
+  uint64_t H = mixToken(HashSeed, Fp0);
+  H = mixToken(H, Fp1);
+  if (Env)
+    for (uint64_t Token : *Env)
+      H = mixToken(H, Token);
+  return mixToken(H, 0x454E56ull); // "ENV" separator.
+}
+
+uint64_t GoalCache::finishKeyHash(uint64_t Seed, const CacheEnc &Pred) {
+  uint64_t H = Seed;
+  for (uint64_t Token : Pred)
+    H = mixToken(H, Token);
+  return H;
+}
+
+void GoalCache::finalizeKey(Key &K) {
+  K.Hash = finishKeyHash(envSeed(K.Fp0, K.Fp1, K.Env.get()), K.Pred);
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded map
+//===----------------------------------------------------------------------===//
+
+GoalCache::GoalCache() : GoalCache(Config()) {}
+
+GoalCache::GoalCache(Config C)
+    : NumShards(C.Shards == 0 ? 1 : C.Shards) {
+  size_t Capacity = C.Capacity == 0 ? 1 : C.Capacity;
+  PerShardCap = Capacity / NumShards;
+  if (PerShardCap == 0)
+    PerShardCap = 1;
+  ShardTable = std::make_unique<Shard[]>(NumShards);
+}
+
+GoalCache::EntryPtr GoalCache::lookup(const Key &K) {
+  Shard &S = shardFor(K.Hash);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto Range = S.Map.equal_range(K.Hash);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    if (It->second.K == K) {
+      It->second.LastUsed = ++S.Clock;
+      return It->second.E;
+    }
+  }
+  return nullptr;
+}
+
+bool GoalCache::insert(const Key &K, EntryPtr E) {
+  assert(E && "inserting a null entry");
+  Shard &S = shardFor(K.Hash);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto Range = S.Map.equal_range(K.Hash);
+  for (auto It = Range.first; It != Range.second; ++It)
+    if (It->second.K == K)
+      return false; // Keep-first: concurrent recorders are equivalent.
+  if (S.Map.size() >= PerShardCap) {
+    // LRU-ish: evict the least-recently-used entry of this shard. A
+    // linear scan is fine — eviction only triggers at capacity, and
+    // shards stay small at the default configuration.
+    auto Victim = S.Map.begin();
+    for (auto It = S.Map.begin(); It != S.Map.end(); ++It)
+      if (It->second.LastUsed < Victim->second.LastUsed)
+        Victim = It;
+    S.Map.erase(Victim);
+    ++S.Evictions;
+  }
+  Stored St;
+  St.K = K;
+  St.E = std::move(E);
+  St.LastUsed = ++S.Clock;
+  S.Map.emplace(K.Hash, std::move(St));
+  return true;
+}
+
+size_t GoalCache::size() const {
+  size_t Total = 0;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    std::lock_guard<std::mutex> Lock(ShardTable[I].M);
+    Total += ShardTable[I].Map.size();
+  }
+  return Total;
+}
+
+uint64_t GoalCache::evictions() const {
+  uint64_t Total = 0;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    std::lock_guard<std::mutex> Lock(ShardTable[I].M);
+    Total += ShardTable[I].Evictions;
+  }
+  return Total;
+}

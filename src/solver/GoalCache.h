@@ -1,0 +1,269 @@
+//===- solver/GoalCache.h - Cross-job goal-result cache -------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, lock-striped cache from canonicalized goal keys to recorded
+/// proof subtrees. The solver consults it after its overflow/cycle checks:
+/// on a hit the stored subtree is spliced node-for-node into the consumer's
+/// proof forest and the recorded inference-variable bindings are replayed,
+/// so cached and uncached runs produce byte-identical trees, views, and
+/// JSON at any thread count.
+///
+/// Keys and entries never reference a session's TypeArena or
+/// StringInterner directly. Types and predicates are stored as canonical
+/// u64 token streams (structural, arena-independent), and a 128-bit
+/// fingerprint of the program source plus the solver flags that shape
+/// proof trees isolates entries between distinct programs sharing one
+/// batch-wide cache. Inference variables are tagged extern (an index into
+/// the consumer's own variable space, resolved identically by key
+/// equality) or intern (allocated inside the recorded subtree, re-based
+/// onto fresh variables at splice time).
+///
+/// Cacheability is enforced at both ends: goals are only recorded when
+/// their resolved predicate has no unresolved inference variables, and a
+/// completed recording is rejected (never inserted) when its result is
+/// ambiguous, any node overflowed, a budget stop or deadline fired
+/// mid-subtree, or the subtree bound a variable it did not allocate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_GOALCACHE_H
+#define ARGUS_SOLVER_GOALCACHE_H
+
+#include "solver/ProofTree.h"
+#include "tlang/Predicate.h"
+#include "tlang/TypeArena.h"
+
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace argus {
+
+/// Canonical token stream for a type, predicate, or environment.
+using CacheEnc = std::vector<uint64_t>;
+
+/// FNV-1a over u64 tokens; \p Salt separates hash domains (full
+/// predicates vs NormalizesTo subjects vs environments).
+uint64_t hashCacheEnc(const CacheEnc &Enc, uint64_t Salt);
+
+/// Memo of raw-mode type encodings, indexed by TypeId. Arena types are
+/// immutable and ids append-only, so a type's RawVars encoding never
+/// changes for the lifetime of its arena; solvers keep one of these so
+/// the per-goal key and stack-hash encodes of deep types degrade to a
+/// token-span copy instead of a recursive arena walk.
+struct TypeEncodeMemo {
+  struct Rec {
+    std::vector<uint64_t> Tokens;
+    bool HasVar = false;
+    bool Valid = false;
+  };
+  std::vector<Rec> ByType;
+
+  Rec &slot(uint32_t Index) {
+    if (Index >= ByType.size())
+      ByType.resize(Index + 1);
+    return ByType[Index];
+  }
+};
+
+/// Encodes types/predicates into canonical token streams. Inference
+/// variables with index >= VarsBase are tagged intern and stored relative
+/// to the base; smaller indices are tagged extern and stored raw. Pass
+/// RawVars to store every variable extern (used for keys and stack
+/// hashes, where indices are meaningful in the consumer's own space).
+class CacheEncoder {
+public:
+  static constexpr uint32_t RawVars = 0xFFFFFFFFu;
+
+  /// \p Memo may only be shared between RawVars encoders over the same
+  /// arena: frame-relative encodings re-base variable tokens, so their
+  /// token spans are not reusable across VarsBase values.
+  CacheEncoder(const TypeArena &Arena, uint32_t VarsBase,
+               TypeEncodeMemo *Memo = nullptr)
+      : Arena(&Arena), VarsBase(VarsBase),
+        Memo(VarsBase == RawVars ? Memo : nullptr) {}
+
+  void type(CacheEnc &Out, TypeId T);
+  void pred(CacheEnc &Out, const Predicate &P);
+
+  /// True if any inference variable token has been emitted since
+  /// construction or the last resetSawVar().
+  bool sawVar() const { return SawVar; }
+  void resetSawVar() { SawVar = false; }
+
+private:
+  void typeUncached(CacheEnc &Out, TypeId T);
+
+  const TypeArena *Arena;
+  uint32_t VarsBase;
+  TypeEncodeMemo *Memo = nullptr;
+  bool SawVar = false;
+};
+
+/// Decodes canonical token streams back into a (possibly different)
+/// arena. Intern-tagged variables are re-based onto \p VarsBase, the
+/// index of the first variable the consumer allocated for the splice.
+class CacheDecoder {
+public:
+  CacheDecoder(TypeArena &Arena, uint32_t VarsBase)
+      : Arena(&Arena), VarsBase(VarsBase) {}
+
+  TypeId type(const CacheEnc &In, size_t &Pos);
+  Predicate pred(const CacheEnc &In, size_t &Pos);
+
+  /// Decodes a variable token produced by CacheEncoder into an index in
+  /// the consumer's variable space.
+  uint32_t varIndex(uint64_t Token) const;
+
+private:
+  TypeArena *Arena;
+  uint32_t VarsBase;
+};
+
+class GoalCache {
+public:
+  struct Config {
+    unsigned Shards = 16;
+    size_t Capacity = 65536; ///< Total entries across all shards.
+  };
+
+  static constexpr uint32_t NoId = 0xFFFFFFFFu;
+
+  /// One recorded goal node, ids relative to the subtree: goal 0 is the
+  /// root, candidate ids count from the first candidate the subtree
+  /// created.
+  struct GoalRec {
+    CacheEnc Pred;
+    EvalResult Result = EvalResult::Maybe;
+    uint32_t RelDepth = 0;
+    Span Origin;
+    uint32_t ParentCandidate = NoId; ///< Unused for the root (caller-owned).
+    uint32_t SelectedCandidate = NoId;
+    std::vector<uint32_t> Candidates;
+    CacheEnc NormalizedValue; ///< Empty = none.
+    bool FromCache = false;
+  };
+
+  struct CandRec {
+    CandidateKind Kind = CandidateKind::Builtin;
+    ImplId Impl;
+    Symbol BuiltinName; ///< Stored raw; see DESIGN.md on symbol stability.
+    bool HasAssumption = false;
+    CacheEnc Assumption;
+    EvalResult Result = EvalResult::Maybe;
+    uint32_t Parent = 0;
+    std::vector<uint32_t> SubGoals;
+  };
+
+  /// One committed binding, in trail order. Var is a CacheEncoder
+  /// variable token; Value is an encoded type.
+  struct BindRec {
+    uint64_t Var = 0;
+    CacheEnc Value;
+  };
+
+  struct Entry {
+    uint32_t MaxRelDepth = 0;   ///< Deepest node depth minus root depth.
+    uint64_t TotalEvals = 0;    ///< Goal evaluations in the subtree (root incl).
+    uint64_t CandidatesFiltered = 0;
+    uint32_t NumFreshVars = 0;  ///< Variables the subtree allocated.
+    /// Sorted hashes of the variable-free goal predicates evaluated in
+    /// the subtree (plus NormalizesTo subject hashes). A consumer whose
+    /// goal stack intersects this set must treat the lookup as a miss:
+    /// splicing would hide a cycle the uncached run reports as overflow.
+    std::vector<uint64_t> StackHashes;
+    std::vector<GoalRec> Goals; ///< Goals[0] is the root.
+    std::vector<CandRec> Cands;
+    std::vector<BindRec> Binds;
+    /// Winner info for Trait roots (consumed by NormalizesTo callers).
+    bool HasWinner = false;
+    CandidateKind WinnerKind = CandidateKind::Builtin;
+    ImplId WinnerImpl;
+    std::vector<std::pair<Symbol, CacheEnc>> WinnerSubst;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  struct Key {
+    uint64_t Fp0 = 0; ///< Program/flags fingerprint, low half.
+    uint64_t Fp1 = 0; ///< Fingerprint, high half.
+    CacheEnc Pred;    ///< Resolved root predicate, raw variable indices.
+    std::shared_ptr<const CacheEnc> Env; ///< Resolved environment.
+    uint64_t Hash = 0;
+
+    friend bool operator==(const Key &A, const Key &B) {
+      if (A.Fp0 != B.Fp0 || A.Fp1 != B.Fp1 || A.Pred != B.Pred)
+        return false;
+      if (A.Env == B.Env)
+        return true;
+      if (!A.Env || !B.Env)
+        return !A.Env && !B.Env;
+      return *A.Env == *B.Env;
+    }
+  };
+
+  /// Fills K.Hash from the other fields. Equivalent to
+  /// finishKeyHash(envSeed(...), K.Pred); the split form lets a solver
+  /// hoist the fingerprint+environment prefix — constant across every
+  /// goal of a run whose environment is variable-free — out of the
+  /// per-goal key computation.
+  static void finalizeKey(Key &K);
+
+  /// Hash prefix over the fingerprint and environment tokens.
+  static uint64_t envSeed(uint64_t Fp0, uint64_t Fp1, const CacheEnc *Env);
+
+  /// Folds the predicate tokens onto an envSeed() prefix.
+  static uint64_t finishKeyHash(uint64_t Seed, const CacheEnc &Pred);
+
+  /// 128-bit fingerprint over the program source and the solver flags
+  /// that change proof-tree shape. Depth/evaluation limits are excluded
+  /// on purpose: they are handled by per-lookup admission checks.
+  static std::pair<uint64_t, uint64_t>
+  fingerprint(std::string_view Source, bool EmitWellFormedGoals,
+              bool EnableCandidateIndex, bool EnableMemoization);
+
+  GoalCache();
+  explicit GoalCache(Config C);
+
+  /// Returns the entry for K, or null. Bumps the entry's LRU clock.
+  EntryPtr lookup(const Key &K);
+
+  /// Keep-first insert: returns false (and keeps the resident entry) if
+  /// K is already present. Evicts the least-recently-used entry of the
+  /// target shard when that shard is at capacity.
+  bool insert(const Key &K, EntryPtr E);
+
+  size_t size() const;
+  uint64_t evictions() const;
+
+private:
+  struct Stored {
+    Key K;
+    EntryPtr E;
+    uint64_t LastUsed = 0;
+  };
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_multimap<uint64_t, Stored> Map;
+    uint64_t Clock = 0;
+    uint64_t Evictions = 0;
+  };
+
+  Shard &shardFor(uint64_t Hash) {
+    return ShardTable[Hash % NumShards];
+  }
+
+  std::unique_ptr<Shard[]> ShardTable;
+  unsigned NumShards;
+  size_t PerShardCap;
+};
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_GOALCACHE_H

@@ -77,6 +77,18 @@ public:
   /// across rollbacks); used by the fixpoint loop to detect progress.
   size_t trailLength() const { return Trail.size(); }
 
+  /// The variable index recorded at trail position \p I. The goal cache
+  /// inspects the trail segment a recorded subtree produced to reject
+  /// entries that bound variables they did not allocate.
+  uint32_t trailVar(size_t I) const { return Trail[I]; }
+
+  /// Binds \p Index (which must exist and be unbound) directly to
+  /// \p Value, pushing a trail entry exactly as unification would. This
+  /// is the goal cache's splice primitive: replaying a recorded subtree's
+  /// bindings in trail order reproduces the uncached run's binding state
+  /// and trail length byte-for-byte.
+  void bindRaw(uint32_t Index, TypeId Value) { bind(Index, Value); }
+
 private:
   void bind(uint32_t Index, TypeId T);
 

@@ -6,6 +6,7 @@
 
 #include "solver/Solver.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_set>
 
@@ -43,17 +44,85 @@ struct Solver::Impl {
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
   uint64_t NumCandidatesFiltered = 0;
+  uint64_t NumSolverSteps = 0;
+  uint64_t NumCacheHits = 0;
+  uint64_t NumCacheMisses = 0;
+  uint64_t NumCacheInserts = 0;
+  uint64_t NumCacheInsertsRejected = 0;
   /// Latched when SolverOptions::Budget says stop: every goal evaluated
   /// from then on (including quiet replays) short-circuits to Overflow.
   bool BudgetStopped = false;
   bool EvalBudgetExhausted = false;
+
+  // --- Goal-cache state (Opts.Cache != null).
+  /// Canonical encoding of ElaboratedEnv (resolved, raw variable
+  /// indices), rebuilt by setEnv. When the environment still contains
+  /// unresolved inference variables the encoding can go stale as other
+  /// goals bind them, so lookups re-encode it on the fly.
+  std::shared_ptr<const CacheEnc> EnvEnc;
+  bool EnvHasVars = false;
+  /// Precomputed envSeed() over Fp + EnvEnc, valid while !EnvHasVars.
+  uint64_t EnvKeySeed = 0;
+  /// Stack-conflict hash per GoalStack entry (parallel vector), so hit
+  /// admission can test a recorded subtree's goals against the current
+  /// ancestors without re-encoding the stack on every lookup.
+  std::vector<uint64_t> CurStackHashes;
+  /// Raw-mode encodings per TypeId, so the per-goal key and stack-hash
+  /// encodes of a deep type cost a span copy after its first walk.
+  TypeEncodeMemo RawEncMemo;
+  /// Scratch buffer for stackHashOf, reused across evaluations.
+  CacheEnc StackHashScratch;
+  /// The outermost recording frame. Only one subtree records at a time;
+  /// nested cacheable goals get their own entries when they recur
+  /// standalone later.
+  struct RecFrame {
+    GoalNodeId Root;
+    uint32_t VarsBefore = 0;
+    size_t TrailBefore = 0;
+    uint64_t EvalsBefore = 0;
+    uint64_t FilteredBefore = 0;
+    size_t CandsBefore = 0;
+    bool ExhaustedBefore = false;
+    GoalCache::Key Key;
+    /// Winner storage when the root's caller passed no TraitEvalInfo.
+    TraitEvalInfo Winner;
+  };
+  std::optional<RecFrame> Rec;
+  /// Entries recorded by this run, not yet published to Opts.Cache.
+  /// Publication happens once, at the end of an un-stopped solve: a run
+  /// later stopped by its budget (deadline, cancellation, evaluation
+  /// ceiling) must leave no entries behind, not even sound ones recorded
+  /// before the stop. Pending entries still serve this run's own lookups
+  /// through pendingLookup.
+  std::vector<std::pair<GoalCache::Key, GoalCache::EntryPtr>> PendingInserts;
+  /// Key.Hash -> PendingInserts index.
+  std::unordered_multimap<uint64_t, size_t> PendingIndex;
 
   Impl(const Program &Prog, SolverOptions Opts)
       : Prog(Prog), S(Prog.session()), Opts(Opts),
         Infcx(S.types(), firstFreshVar(Prog)),
         // Predicate keys hash through the arena's cached structural
         // hashes (not raw ids) wherever the solver builds a map.
-        Memo(16, PredicateHasher{&S.types()}) {}
+        Memo(16, PredicateHasher{&S.types()}) {
+    // The legacy memo changes tree shape (FromCache stub nodes); the
+    // splicing cache must not layer on top of it or cached and uncached
+    // runs would diverge.
+    if (this->Opts.EnableMemoization)
+      this->Opts.Cache = nullptr;
+    if (this->Opts.Cache) {
+      // Entries store symbols by raw interner value, which is sound only
+      // if sessions with equal fingerprints build equal intern tables.
+      // Parse-time interning is deterministic from the source text;
+      // pre-interning every solver-builtin name in a fixed order keeps
+      // the tables aligned from here on regardless of which builtins a
+      // particular solve touches first.
+      for (const char *Name :
+           {"Self", "normalize-subject", "ambiguous-self", "fn-item",
+            "project", "normalize", "outlives", "region-outlives", "sized",
+            "well-formed"})
+        (void)S.name(Name);
+    }
+  }
 
   static uint32_t firstFreshVar(const Program &Prog);
 
@@ -105,6 +174,16 @@ struct Solver::Impl {
   /// True if every region inside \p Ty outlives \p Bound.
   bool regionsOutlive(TypeId Ty, Region Bound);
   static bool regionOutlives(Region Sub, Region Sup);
+
+  // --- Goal cache (see GoalCache.h for the entry format).
+  uint64_t stackHashOf(const Predicate &P);
+  GoalCache::Key makeCacheKey(const Predicate &Resolved);
+  bool cacheAdmissible(const GoalCache::Entry &E, uint32_t Depth) const;
+  void spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
+                   uint32_t Depth, TraitEvalInfo *Info);
+  void finishRecording(EvalResult Result, const TraitEvalInfo &Winner);
+  GoalCache::EntryPtr pendingLookup(const GoalCache::Key &K) const;
+  void publishPending();
 };
 
 uint32_t Solver::Impl::firstFreshVar(const Program &Prog) {
@@ -158,6 +237,80 @@ void Solver::Impl::setEnv(const std::vector<Predicate> &NewEnv) {
         ElaboratedEnv.push_back(std::move(Elaborated));
     }
   }
+
+  if (Opts.Cache) {
+    auto Enc = std::make_shared<CacheEnc>();
+    CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+    for (const Predicate &Assumption : ElaboratedEnv)
+      Encoder.pred(*Enc, Infcx.resolve(Assumption));
+    EnvHasVars = Encoder.sawVar();
+    EnvEnc = std::move(Enc);
+    // A variable-free environment never re-encodes, so the
+    // fingerprint+environment hash prefix is a per-run constant.
+    EnvKeySeed = EnvHasVars
+                     ? 0
+                     : GoalCache::envSeed(Opts.CacheFp0, Opts.CacheFp1,
+                                          EnvEnc.get());
+  }
+}
+
+uint64_t Solver::Impl::stackHashOf(const Predicate &P) {
+  // Salts separate the two cycle-comparison domains: NormalizesTo goals
+  // compare by subject only (onStack ignores their fresh output var),
+  // everything else by full predicate.
+  constexpr uint64_t PredStackSalt = 0x505245445354ull;
+  constexpr uint64_t NtStackSalt = 0x4E545354ull;
+  CacheEnc &Enc = StackHashScratch;
+  Enc.clear();
+  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+  if (P.Kind == PredicateKind::NormalizesTo) {
+    Encoder.type(Enc, P.Subject);
+    return hashCacheEnc(Enc, NtStackSalt);
+  }
+  Encoder.pred(Enc, P);
+  return hashCacheEnc(Enc, PredStackSalt);
+}
+
+GoalCache::Key Solver::Impl::makeCacheKey(const Predicate &Resolved) {
+  GoalCache::Key Key;
+  Key.Fp0 = Opts.CacheFp0;
+  Key.Fp1 = Opts.CacheFp1;
+  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+  Encoder.pred(Key.Pred, Resolved);
+  if (EnvHasVars) {
+    // Other goals may have bound the environment's variables since
+    // setEnv ran; re-encode so the key reflects what candidate assembly
+    // will actually see.
+    auto Fresh = std::make_shared<CacheEnc>();
+    CacheEncoder EnvEncoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+    for (const Predicate &Assumption : ElaboratedEnv)
+      EnvEncoder.pred(*Fresh, Infcx.resolve(Assumption));
+    Key.Env = std::move(Fresh);
+    GoalCache::finalizeKey(Key);
+  } else {
+    Key.Env = EnvEnc;
+    Key.Hash = GoalCache::finishKeyHash(EnvKeySeed, Key.Pred);
+  }
+  return Key;
+}
+
+bool Solver::Impl::cacheAdmissible(const GoalCache::Entry &E,
+                                   uint32_t Depth) const {
+  // The uncached run would overflow past MaxDepth or the evaluation
+  // budget partway through this subtree; treat the lookup as a miss so
+  // the overflow nodes are reproduced byte-exactly.
+  if (static_cast<uint64_t>(Depth) + E.MaxRelDepth > Opts.MaxDepth)
+    return false;
+  if (NumEvaluations - 1 + E.TotalEvals > Opts.MaxGoalEvaluations)
+    return false;
+  // A goal inside the recorded subtree structurally matching one of the
+  // current ancestors would have been a cycle (Overflow) here.
+  if (!E.StackHashes.empty())
+    for (uint64_t AncestorHash : CurStackHashes)
+      if (std::binary_search(E.StackHashes.begin(), E.StackHashes.end(),
+                             AncestorHash))
+        return false;
+  return true;
 }
 
 Predicate Solver::Impl::substPredicate(const Predicate &P,
@@ -248,11 +401,44 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
     }
   }
 
+  TraitEvalInfo *EffInfo = Info;
+  if (Opts.Cache && FullyResolved) {
+    GoalCache::Key Key = makeCacheKey(Resolved);
+    GoalCache::EntryPtr Hit = Opts.Cache->lookup(Key);
+    if (!Hit)
+      Hit = pendingLookup(Key); // This run's own unpublished entries.
+    if (Hit && cacheAdmissible(*Hit, Depth)) {
+      ++NumCacheHits;
+      spliceEntry(*Hit, NodeId, Depth, Info);
+      return NodeId;
+    }
+    ++NumCacheMisses;
+    // Record only the outermost cacheable frame (and never the quiet
+    // commit replay, whose nodes land in Scratch): nested repeats get
+    // their own entries when they recur standalone.
+    if (!Quiet && !Rec) {
+      Rec.emplace();
+      Rec->Root = NodeId;
+      Rec->VarsBefore = Infcx.numVars();
+      Rec->TrailBefore = Infcx.trailLength();
+      Rec->EvalsBefore = NumEvaluations - 1;
+      Rec->FilteredBefore = NumCandidatesFiltered;
+      Rec->CandsBefore = OutForest->numCandidates();
+      Rec->ExhaustedBefore = EvalBudgetExhausted;
+      Rec->Key = std::move(Key);
+      if (!EffInfo)
+        EffInfo = &Rec->Winner;
+    }
+  }
+
+  ++NumSolverSteps;
   GoalStack.push_back(Resolved);
-  EvalResult Result;
+  if (Opts.Cache)
+    CurStackHashes.push_back(stackHashOf(Resolved));
+  EvalResult Result = EvalResult::Maybe;
   switch (Resolved.Kind) {
   case PredicateKind::Trait:
-    Result = evalTraitGoal(NodeId, Resolved, Depth, Info);
+    Result = evalTraitGoal(NodeId, Resolved, Depth, EffInfo);
     break;
   case PredicateKind::Projection:
     Result = evalProjectionGoal(NodeId, Resolved, Depth);
@@ -274,11 +460,17 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
     break;
   }
   GoalStack.pop_back();
+  if (Opts.Cache)
+    CurStackHashes.pop_back();
 
   forest().goal(NodeId).Result = Result;
   if (Opts.EnableMemoization && FullyResolved &&
       (Result == EvalResult::Yes || Result == EvalResult::No))
     Memo.emplace(Resolved, Result);
+  // A Scratch node id from a quiet replay can numerically collide with
+  // the frame root's OutForest id, so re-check Quiet here.
+  if (Rec && !Quiet && Rec->Root == NodeId)
+    finishRecording(Result, *EffInfo);
   return NodeId;
 }
 
@@ -864,6 +1056,274 @@ EvalResult Solver::Impl::evalWellFormedGoal(GoalNodeId NodeId,
   return EvalResult::Yes;
 }
 
+void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
+                               uint32_t Depth, TraitEvalInfo *Info) {
+  ProofForest &F = forest();
+  uint32_t VarBase = Infcx.numVars();
+  CacheDecoder Dec(arena(), VarBase);
+
+  // Replay variable allocation and the committed bindings in trail
+  // order: the consumer ends up with exactly the binding state and trail
+  // length the uncached evaluation would have produced.
+  for (uint32_t I = 0; I != E.NumFreshVars; ++I)
+    (void)Infcx.freshVar();
+  for (const GoalCache::BindRec &B : E.Binds) {
+    size_t Pos = 0;
+    Infcx.bindRaw(Dec.varIndex(B.Var), Dec.type(B.Value, Pos));
+  }
+
+  // The root node already exists (NodeId); materialize the rest of the
+  // subtree. Goal and candidate ids are separate sequences, so bulk
+  // allocation lands on the same ids interleaved creation would.
+  size_t GoalBase = F.numGoals();
+  size_t CandBase = F.numCandidates();
+  for (size_t I = 1; I < E.Goals.size(); ++I)
+    (void)F.makeGoal();
+  for (size_t J = 0; J != E.Cands.size(); ++J)
+    (void)F.makeCandidate();
+
+  auto MapGoal = [&](uint32_t Rel) {
+    return Rel == 0
+               ? NodeId
+               : GoalNodeId(static_cast<uint32_t>(GoalBase + Rel - 1));
+  };
+  auto MapCand = [&](uint32_t Rel) {
+    return CandNodeId(static_cast<uint32_t>(CandBase + Rel));
+  };
+
+  for (size_t I = 0; I != E.Goals.size(); ++I) {
+    const GoalCache::GoalRec &R = E.Goals[I];
+    GoalNode &G = F.goal(MapGoal(static_cast<uint32_t>(I)));
+    size_t Pos = 0;
+    G.Pred = Dec.pred(R.Pred, Pos);
+    G.Result = R.Result;
+    G.Depth = Depth + R.RelDepth;
+    // The root's Origin is the consumer's call site (a where-clause span,
+    // a top-level goal span, ...) and was already set by makeGoal; the
+    // recorded one belongs to whichever site recorded the entry.
+    if (I != 0)
+      G.Origin = R.Origin;
+    // The root's ParentCandidate (and GoalIndex/SnapshotRound) belong to
+    // the consumer's context; the caller fills them as usual.
+    if (I != 0 && R.ParentCandidate != GoalCache::NoId)
+      G.ParentCandidate = MapCand(R.ParentCandidate);
+    G.Candidates.reserve(R.Candidates.size());
+    for (uint32_t C : R.Candidates)
+      G.Candidates.push_back(MapCand(C));
+    if (R.SelectedCandidate != GoalCache::NoId)
+      G.SelectedCandidate = MapCand(R.SelectedCandidate);
+    if (!R.NormalizedValue.empty()) {
+      Pos = 0;
+      G.NormalizedValue = Dec.type(R.NormalizedValue, Pos);
+    }
+    G.FromCache = R.FromCache;
+  }
+  for (size_t J = 0; J != E.Cands.size(); ++J) {
+    const GoalCache::CandRec &R = E.Cands[J];
+    CandidateNode &C = F.candidate(MapCand(static_cast<uint32_t>(J)));
+    C.Kind = R.Kind;
+    C.Impl = R.Impl;
+    C.BuiltinName = R.BuiltinName;
+    if (R.HasAssumption) {
+      size_t Pos = 0;
+      C.Assumption = Dec.pred(R.Assumption, Pos);
+    }
+    C.Result = R.Result;
+    C.Parent = MapGoal(R.Parent);
+    C.SubGoals.reserve(R.SubGoals.size());
+    for (uint32_t Sub : R.SubGoals)
+      C.SubGoals.push_back(MapGoal(Sub));
+  }
+
+  // The hit itself was already counted as one evaluation (and one budget
+  // tick) at the top of evalGoal.
+  NumEvaluations += E.TotalEvals - 1;
+  NumCandidatesFiltered += E.CandidatesFiltered;
+
+  if (Info && E.HasWinner) {
+    Info->HasWinner = true;
+    Info->WinnerKind = E.WinnerKind;
+    Info->WinnerImpl = E.WinnerImpl;
+    Info->WinnerSubst.clear();
+    for (const auto &[Name, ValueEnc] : E.WinnerSubst) {
+      size_t Pos = 0;
+      Info->WinnerSubst.emplace(Name, Dec.type(ValueEnc, Pos));
+    }
+  }
+}
+
+void Solver::Impl::finishRecording(EvalResult Result,
+                                   const TraitEvalInfo &Winner) {
+  RecFrame Frame = std::move(*Rec);
+  Rec.reset();
+
+  ProofForest &F = *OutForest;
+  size_t RootGoal = Frame.Root.value();
+  size_t NumGoalsNow = F.numGoals();
+  size_t NumCandsNow = F.numCandidates();
+  size_t TrailNow = Infcx.trailLength();
+
+  // Cacheability: ambiguous results depend on the unconverged fixpoint
+  // state; Overflow anywhere in the subtree means a depth/cycle/budget
+  // condition the consumer must rediscover itself; a budget stop or
+  // evaluation-budget trip mid-frame truncated the recording; a binding
+  // to a variable the subtree did not allocate leaks inference state.
+  bool Reject = Opts.CacheRejectAll;
+  if (Result != EvalResult::Yes && Result != EvalResult::No)
+    Reject = true;
+  if (BudgetStopped || EvalBudgetExhausted != Frame.ExhaustedBefore)
+    Reject = true;
+  for (size_t I = RootGoal; I != NumGoalsNow && !Reject; ++I)
+    if (F.goal(GoalNodeId(static_cast<uint32_t>(I))).Result ==
+        EvalResult::Overflow)
+      Reject = true;
+  for (size_t I = Frame.TrailBefore; I != TrailNow && !Reject; ++I)
+    if (Infcx.trailVar(I) < Frame.VarsBefore)
+      Reject = true;
+  if (Reject) {
+    ++NumCacheInsertsRejected;
+    return;
+  }
+
+  auto Entry = std::make_shared<GoalCache::Entry>();
+  Entry->TotalEvals = NumEvaluations - Frame.EvalsBefore;
+  Entry->CandidatesFiltered = NumCandidatesFiltered - Frame.FilteredBefore;
+  Entry->NumFreshVars = Infcx.numVars() - Frame.VarsBefore;
+  uint32_t RootDepth = F.goal(Frame.Root).Depth;
+
+  CacheEncoder Enc(arena(), Frame.VarsBefore);
+  auto RelCand = [&](CandNodeId Id) {
+    if (!Id.isValid())
+      return GoalCache::NoId;
+    assert(Id.value() >= Frame.CandsBefore && "candidate outside the frame");
+    return static_cast<uint32_t>(Id.value() - Frame.CandsBefore);
+  };
+
+  constexpr uint64_t PredStackSalt = 0x505245445354ull;
+  constexpr uint64_t NtStackSalt = 0x4E545354ull;
+  Entry->Goals.reserve(NumGoalsNow - RootGoal);
+  for (size_t I = RootGoal; I != NumGoalsNow; ++I) {
+    const GoalNode &G = F.goal(GoalNodeId(static_cast<uint32_t>(I)));
+    GoalCache::GoalRec R;
+    Enc.resetSawVar();
+    Enc.pred(R.Pred, G.Pred);
+    bool PredHasVar = Enc.sawVar();
+    R.Result = G.Result;
+    R.RelDepth = G.Depth - RootDepth;
+    Entry->MaxRelDepth = std::max(Entry->MaxRelDepth, R.RelDepth);
+    R.Origin = G.Origin;
+    R.ParentCandidate = I == RootGoal ? GoalCache::NoId
+                                      : RelCand(G.ParentCandidate);
+    R.SelectedCandidate = RelCand(G.SelectedCandidate);
+    R.Candidates.reserve(G.Candidates.size());
+    for (CandNodeId C : G.Candidates)
+      R.Candidates.push_back(RelCand(C));
+    if (G.NormalizedValue.isValid())
+      Enc.type(R.NormalizedValue, G.NormalizedValue);
+    R.FromCache = G.FromCache;
+
+    // Stack-conflict hashes. A goal pred containing a frame-internal
+    // variable can never structurally equal a consumer ancestor (whose
+    // variables all predate the splice base), so only variable-free
+    // preds need to participate; NormalizesTo goals always carry their
+    // fresh output variable and are compared by subject, matching
+    // onStack.
+    if (G.Pred.Kind == PredicateKind::NormalizesTo) {
+      CacheEnc SubjectEnc;
+      CacheEncoder Raw(arena(), CacheEncoder::RawVars, &RawEncMemo);
+      Raw.type(SubjectEnc, G.Pred.Subject);
+      if (!Raw.sawVar())
+        Entry->StackHashes.push_back(hashCacheEnc(SubjectEnc, NtStackSalt));
+    } else if (!PredHasVar) {
+      // With no variable tokens, the frame-relative encoding equals the
+      // raw encoding the consumer hashes its ancestors with.
+      Entry->StackHashes.push_back(hashCacheEnc(R.Pred, PredStackSalt));
+    }
+    Entry->Goals.push_back(std::move(R));
+  }
+  std::sort(Entry->StackHashes.begin(), Entry->StackHashes.end());
+  Entry->StackHashes.erase(
+      std::unique(Entry->StackHashes.begin(), Entry->StackHashes.end()),
+      Entry->StackHashes.end());
+
+  Entry->Cands.reserve(NumCandsNow - Frame.CandsBefore);
+  for (size_t J = Frame.CandsBefore; J != NumCandsNow; ++J) {
+    const CandidateNode &C = F.candidate(CandNodeId(static_cast<uint32_t>(J)));
+    GoalCache::CandRec R;
+    R.Kind = C.Kind;
+    R.Impl = C.Impl;
+    R.BuiltinName = C.BuiltinName;
+    if (C.Kind == CandidateKind::ParamEnv) {
+      R.HasAssumption = true;
+      Enc.pred(R.Assumption, C.Assumption);
+    }
+    R.Result = C.Result;
+    R.Parent = static_cast<uint32_t>(C.Parent.value() - RootGoal);
+    R.SubGoals.reserve(C.SubGoals.size());
+    for (GoalNodeId Sub : C.SubGoals)
+      R.SubGoals.push_back(static_cast<uint32_t>(Sub.value() - RootGoal));
+    Entry->Cands.push_back(std::move(R));
+  }
+
+  Entry->Binds.reserve(TrailNow - Frame.TrailBefore);
+  for (size_t I = Frame.TrailBefore; I != TrailNow; ++I) {
+    uint32_t Index = Infcx.trailVar(I);
+    GoalCache::BindRec B;
+    B.Var = (static_cast<uint64_t>(Index - Frame.VarsBefore) << 1) | 1;
+    Enc.type(B.Value, Infcx.binding(Index));
+    Entry->Binds.push_back(std::move(B));
+  }
+
+  const Predicate &RootPred = F.goal(Frame.Root).Pred;
+  if (RootPred.Kind == PredicateKind::Trait && Result == EvalResult::Yes &&
+      Winner.HasWinner) {
+    Entry->HasWinner = true;
+    Entry->WinnerKind = Winner.WinnerKind;
+    Entry->WinnerImpl = Winner.WinnerImpl;
+    Entry->WinnerSubst.reserve(Winner.WinnerSubst.size());
+    for (const auto &[Name, Value] : Winner.WinnerSubst) {
+      CacheEnc ValueEnc;
+      Enc.type(ValueEnc, Value);
+      Entry->WinnerSubst.emplace_back(Name, std::move(ValueEnc));
+    }
+  }
+
+  // Defer publication (see PendingInserts): the whole run must finish
+  // without a budget stop before anything reaches the shared cache.
+  PendingIndex.emplace(Frame.Key.Hash, PendingInserts.size());
+  PendingInserts.emplace_back(std::move(Frame.Key), std::move(Entry));
+}
+
+GoalCache::EntryPtr
+Solver::Impl::pendingLookup(const GoalCache::Key &K) const {
+  auto [B, E] = PendingIndex.equal_range(K.Hash);
+  for (auto It = B; It != E; ++It)
+    if (PendingInserts[It->second].first == K)
+      return PendingInserts[It->second].second;
+  return nullptr;
+}
+
+void Solver::Impl::publishPending() {
+  if (PendingInserts.empty())
+    return;
+  // One final poll: tick() observes a sticky cancel or deadline only
+  // every 64 units, so a stop can trip between the last tick and the end
+  // of the solve. The job is reported degraded at the stage boundary
+  // either way; a stopped run publishes nothing.
+  if (BudgetStopped || EvalBudgetExhausted ||
+      (Opts.Budget && Opts.Budget->stopped())) {
+    // A partial run publishes nothing, so a later healthy run can never
+    // hit a subtree whose surroundings were cut short.
+    NumCacheInsertsRejected += PendingInserts.size();
+  } else {
+    for (auto &[Key, Entry] : PendingInserts)
+      if (Opts.Cache->insert(Key, std::move(Entry)))
+        ++NumCacheInserts;
+  }
+  PendingInserts.clear();
+  PendingIndex.clear();
+}
+
 // --- Public interface -----------------------------------------------------
 
 Solver::Solver(const Program &Prog, SolverOptions Opts)
@@ -882,9 +1342,15 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.FinalResults.push_back(Out.Forest.goal(Root).Result);
   Out.Snapshots.push_back({Root});
   Out.SpeculationGroups.push_back(UINT32_MAX);
+  P->publishPending();
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.NumSolverSteps = P->NumSolverSteps;
+  Out.NumCacheHits = P->NumCacheHits;
+  Out.NumCacheMisses = P->NumCacheMisses;
+  Out.NumCacheInserts = P->NumCacheInserts;
+  Out.NumCacheInsertsRejected = P->NumCacheInsertsRejected;
   Out.Interrupted = P->BudgetStopped;
   Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
   return Root;
@@ -954,10 +1420,16 @@ SolveOutcome Solver::solve() {
     if (P->BudgetStopped || !AnyAmbiguous || !Progress)
       break;
   }
+  P->publishPending();
 
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.NumSolverSteps = P->NumSolverSteps;
+  Out.NumCacheHits = P->NumCacheHits;
+  Out.NumCacheMisses = P->NumCacheMisses;
+  Out.NumCacheInserts = P->NumCacheInserts;
+  Out.NumCacheInsertsRejected = P->NumCacheInsertsRejected;
   Out.Interrupted = P->BudgetStopped;
   Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
   return Out;

@@ -28,6 +28,7 @@
 #ifndef ARGUS_SOLVER_SOLVER_H
 #define ARGUS_SOLVER_SOLVER_H
 
+#include "solver/GoalCache.h"
 #include "solver/InferContext.h"
 #include "solver/ProofTree.h"
 #include "support/Governance.h"
@@ -76,6 +77,24 @@ struct SolverOptions {
   /// loop exits with whatever snapshots exist (SolveOutcome::Interrupted
   /// is set). Null means ungoverned. Not owned; must outlive the solver.
   ExecutionBudget *Budget = nullptr;
+
+  /// Goal-result cache consulted after the overflow/cycle checks; hits
+  /// splice the recorded subtree into the forest and replay its
+  /// bindings, keeping output byte-identical to an uncached run. Null
+  /// means disabled. Not owned; may be shared across concurrent solvers
+  /// (the cache is internally synchronized). Ignored when
+  /// EnableMemoization is set — the legacy memo changes tree shape, and
+  /// layering the splicing cache on top would diverge from it.
+  GoalCache *Cache = nullptr;
+
+  /// 128-bit program/flags fingerprint isolating this session's entries
+  /// inside a shared cache (GoalCache::fingerprint).
+  uint64_t CacheFp0 = 0;
+  uint64_t CacheFp1 = 0;
+
+  /// Fault-injection hook: record subtrees normally but reject every
+  /// insert (bumping the rejected counter). Output must stay identical.
+  bool CacheRejectAll = false;
 };
 
 /// Everything produced by solving one program.
@@ -105,6 +124,19 @@ struct SolveOutcome {
   /// instantiated.
   uint64_t NumCandidatesFiltered = 0;
   uint32_t RoundsUsed = 0;
+
+  /// Goal evaluations that actually ran candidate assembly (as opposed
+  /// to terminating early on overflow/cycle or being answered by a cache
+  /// splice). Cache-on runs must show strictly fewer steps than
+  /// cache-off runs on repetitive workloads.
+  uint64_t NumSolverSteps = 0;
+  uint64_t NumCacheHits = 0;
+  uint64_t NumCacheMisses = 0;
+  uint64_t NumCacheInserts = 0;
+  /// Completed recordings rejected by the cacheability predicate
+  /// (ambiguous result, overflow in the subtree, budget stop mid-frame,
+  /// external binding, or injected cache.reject fault).
+  uint64_t NumCacheInsertsRejected = 0;
 
   /// True if SolverOptions::Budget stopped the solve mid-flight; goals
   /// not reached have empty Snapshots and a Maybe final result.

@@ -1,0 +1,98 @@
+//===- tests/common/RandomProgram.h - Shared program generator -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random trait-program generator shared by the solver property
+/// tests, the goal-cache differential tests, and the fuzz driver's
+/// --solve mode. Deterministic in the seed, so every consumer replays
+/// the same program space and a failing seed reproduces anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_TESTS_COMMON_RANDOMPROGRAM_H
+#define ARGUS_TESTS_COMMON_RANDOMPROGRAM_H
+
+#include "support/Random.h"
+
+#include <string>
+
+namespace argus {
+namespace testgen {
+
+/// Generates a random (syntactically valid, declare-before-use) trait
+/// program: a pool of nullary and unary structs, traits, impls with
+/// random where-clauses, and concrete/inference goals. Recursion is
+/// possible (the depth limit handles it); ambiguity is possible (the
+/// fixpoint handles it).
+inline std::string randomProgram(uint64_t Seed) {
+  Rng Gen(Seed);
+  std::string Out;
+
+  const size_t NumStructs = 3 + Gen.below(4); // S0.. nullary
+  const size_t NumGenerics = 1 + Gen.below(3); // G0<T>..
+  const size_t NumTraits = 2 + Gen.below(3);
+  for (size_t I = 0; I != NumStructs; ++I)
+    Out += (Gen.chance(0.4) ? "#[external] struct S" : "struct S") +
+           std::to_string(I) + ";\n";
+  for (size_t I = 0; I != NumGenerics; ++I)
+    Out += (Gen.chance(0.4) ? "#[external] struct G" : "struct G") +
+           std::to_string(I) + "<T>;\n";
+  for (size_t I = 0; I != NumTraits; ++I)
+    Out += (Gen.chance(0.5) ? "#[external] trait Tr" : "trait Tr") +
+           std::to_string(I) + ";\n";
+
+  auto RandomConcrete = [&]() {
+    if (Gen.chance(0.3))
+      return "G" + std::to_string(Gen.below(NumGenerics)) + "<S" +
+             std::to_string(Gen.below(NumStructs)) + ">";
+    return "S" + std::to_string(Gen.below(NumStructs));
+  };
+  auto RandomTrait = [&]() {
+    return "Tr" + std::to_string(Gen.below(NumTraits));
+  };
+
+  const size_t NumImpls = 2 + Gen.below(6);
+  for (size_t I = 0; I != NumImpls; ++I) {
+    switch (Gen.below(3)) {
+    case 0: // Concrete impl.
+      Out += "impl " + RandomTrait() + " for " + RandomConcrete() + ";\n";
+      break;
+    case 1: { // Conditional impl on a generic container.
+      std::string Trait = RandomTrait();
+      Out += "impl<T> " + Trait + " for G" +
+             std::to_string(Gen.below(NumGenerics)) + "<T> where T: " +
+             RandomTrait() + ";\n";
+      break;
+    }
+    case 2: { // Blanket impl. The bound trait index strictly decreases
+              // so blanket chains form a DAG: without a cache, mutually
+              // recursive blanket impls make the candidate search
+              // exponential (the budget would catch it, but these tests
+              // exercise the semantics, not the limiter).
+      size_t Target = Gen.below(NumTraits);
+      if (Target == 0)
+        break;
+      Out += "impl<T> Tr" + std::to_string(Target) + " for T where T: Tr" +
+             std::to_string(Gen.below(Target)) + ";\n";
+      break;
+    }
+    }
+  }
+
+  const size_t NumGoals = 1 + Gen.below(3);
+  for (size_t I = 0; I != NumGoals; ++I) {
+    if (Gen.chance(0.25))
+      Out += "goal ?X" + std::to_string(I) + ": " + RandomTrait() + ";\n";
+    else
+      Out += "goal " + RandomConcrete() + ": " + RandomTrait() + ";\n";
+  }
+  return Out;
+}
+
+} // namespace testgen
+} // namespace argus
+
+#endif // ARGUS_TESTS_COMMON_RANDOMPROGRAM_H

@@ -168,6 +168,40 @@ TEST(EngineBatch, WorstExitCodeAggregates) {
   EXPECT_EQ(BatchDriver::worstExitCode(OnePanic), 4);
 }
 
+TEST(EngineBatch, DuplicateJobNamesKeepDistinctResults) {
+  // Two jobs can share a display name (same file name in different
+  // directories, say). Stats are keyed by result slot, not by name, and
+  // the shared goal cache keys on content fingerprints, not names — so
+  // each job must reproduce the bytes of a solo run of its own source.
+  std::vector<BatchJob> Jobs = corpusJobs();
+  ASSERT_GE(Jobs.size(), 2u);
+  std::vector<BatchJob> Dup = {{"dup.tl", Jobs[0].Source},
+                               {"dup.tl", Jobs[1].Source}};
+
+  auto Solo = [](const BatchJob &Job) {
+    std::vector<BatchResult> R =
+        BatchDriver(SessionOptions(), 1).run({Job}, fullPipeline);
+    return R.at(0).Output;
+  };
+  std::string Solo0 = Solo(Dup[0]), Solo1 = Solo(Dup[1]);
+  ASSERT_NE(Solo0, Solo1) << "fixture needs two distinct programs";
+
+  for (CacheMode Mode : {CacheMode::Off, CacheMode::Shared})
+    for (unsigned Threads : {1u, 2u}) {
+      SessionOptions Opts;
+      Opts.Cache = Mode;
+      std::vector<BatchResult> Results =
+          BatchDriver(Opts, Threads).run(Dup, fullPipeline);
+      ASSERT_EQ(Results.size(), 2u);
+      EXPECT_EQ(Results[0].Output, Solo0);
+      EXPECT_EQ(Results[1].Output, Solo1)
+          << "same-name jobs must not alias cache entries or stats";
+      EXPECT_EQ(Results[0].Stats.Name, "dup.tl");
+      EXPECT_EQ(Results[1].Stats.Name, "dup.tl");
+      EXPECT_GT(Results[1].Stats.GoalEvaluations, 0u);
+    }
+}
+
 TEST(EngineBatch, EmptyJobListYieldsNoResults) {
   EXPECT_TRUE(BatchDriver(SessionOptions(), 8)
                   .run({}, fullPipeline)

@@ -18,6 +18,7 @@
 #include "corpus/Corpus.h"
 #include "engine/Batch.h"
 #include "engine/Session.h"
+#include "solver/GoalCache.h"
 #include "support/FaultInjector.h"
 #include "support/Governance.h"
 
@@ -285,6 +286,58 @@ TEST(FaultMatrix, CancellationInjection) {
   const std::vector<Failure> &Failures = driveAll(S);
   EXPECT_TRUE(hasFailure(Failures, FailureCode::Cancelled, Stage::Solve));
   EXPECT_GE(S.stats().Cancellations, 1u);
+}
+
+TEST(FaultMatrix, CacheRejectInjection) {
+  // cache.reject forces every goal-cache insert to be rejected. The
+  // rendering must not change (the cache only replays work, never
+  // decides results), nothing may be published, and the site must only
+  // be probed when a cache mode is active.
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session Plain(Entry.Id, Entry.Source, SessionOptions());
+  std::string PlainOut = fullPipeline(Plain);
+
+  SessionOptions Opts = injecting("cache.reject");
+  Opts.Cache = CacheMode::Session;
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  EXPECT_EQ(fullPipeline(S), PlainOut);
+  EXPECT_EQ(S.stats().CacheInserts, 0u);
+  EXPECT_GT(S.stats().CacheInsertsRejected, 0u);
+  EXPECT_GE(S.stats().FaultsInjected, 1u);
+  // No degradation: rejected inserts are invisible outside the counters.
+  EXPECT_FALSE(S.stats().degraded());
+
+  // With the cache off the site is never probed, so a site list naming
+  // it must not perturb the injected-fault count of a cache-less run.
+  engine::Session Off(Entry.Id, Entry.Source, injecting("cache.reject"));
+  EXPECT_EQ(fullPipeline(Off), PlainOut);
+  EXPECT_EQ(Off.stats().FaultsInjected, 0u);
+  EXPECT_EQ(Off.stats().CacheInsertsRejected, 0u);
+}
+
+TEST(FaultMatrix, CancelledSolveNeverPoisonsASharedCache) {
+  // A cancellation mid-solve must leave the shared cache exactly as it
+  // was: no partial entries, and later sessions through the same cache
+  // still reproduce clean bytes.
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session Plain(Entry.Id, Entry.Source, SessionOptions());
+  std::string PlainOut = fullPipeline(Plain);
+
+  GoalCache Shared;
+  SessionOptions Opts = injecting("solve.cancel");
+  Opts.Cache = CacheMode::Shared;
+  Opts.SharedCache = &Shared;
+  engine::Session Cancelled(Entry.Id, Entry.Source, Opts);
+  (void)driveAll(Cancelled);
+  EXPECT_GE(Cancelled.stats().Cancellations, 1u);
+  EXPECT_EQ(Cancelled.stats().CacheInserts, 0u);
+  EXPECT_EQ(Shared.size(), 0u);
+
+  SessionOptions Clean;
+  Clean.Cache = CacheMode::Shared;
+  Clean.SharedCache = &Shared;
+  engine::Session After(Entry.Id, Entry.Source, Clean);
+  EXPECT_EQ(fullPipeline(After), PlainOut);
 }
 
 TEST(FaultMatrix, WorkerPanicInjection) {

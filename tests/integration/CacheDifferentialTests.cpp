@@ -1,0 +1,208 @@
+//===- tests/integration/CacheDifferentialTests.cpp -----------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The goal cache's headline invariant, enforced end to end: cached and
+/// uncached runs produce byte-identical diagnostics, views, and JSON at
+/// any thread count — over the evaluation corpus and 200+ generated
+/// programs, in every cache mode, including under fault injection and a
+/// tight deadline. Only rendering outputs are diffed: cache counters
+/// legitimately differ between modes, and shared-cache per-job hit/miss
+/// splits are schedule-dependent at jobs > 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/RandomProgram.h"
+#include "corpus/Corpus.h"
+#include "engine/Batch.h"
+#include "solver/GoalCache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace argus;
+using namespace argus::engine;
+
+namespace {
+
+constexpr uint64_t NumSeeds = 200;
+
+std::vector<BatchJob> corpusJobs() {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Jobs.push_back({Entry.Id, Entry.Source});
+  return Jobs;
+}
+
+std::vector<BatchJob> seededJobs() {
+  std::vector<BatchJob> Jobs;
+  for (uint64_t Seed = 0; Seed != NumSeeds; ++Seed)
+    Jobs.push_back({"seed-" + std::to_string(Seed),
+                    testgen::randomProgram(Seed)});
+  return Jobs;
+}
+
+/// Every user-facing rendering of one Session, concatenated. This is
+/// the byte-level artifact the differential gate diffs across modes.
+std::string renderAll(engine::Session &S) {
+  if (!S.parseOk())
+    return S.parseErrorText();
+  std::string Out;
+  for (size_t T = 0; T != S.numTrees(); ++T) {
+    Out += S.diagnosticText(T) + "\n";
+    Out += S.bottomUpText(T) + "\n";
+    Out += S.treeJSON(T) + "\n";
+  }
+  return Out.empty() ? "ok" : Out;
+}
+
+std::vector<BatchResult> runWith(const std::vector<BatchJob> &Jobs,
+                                 CacheMode Mode, unsigned Threads,
+                                 SessionOptions Opts = SessionOptions()) {
+  Opts.Cache = Mode;
+  return BatchDriver(Opts, Threads).run(Jobs, renderAll);
+}
+
+void expectSameOutputs(const std::vector<BatchResult> &Baseline,
+                       const std::vector<BatchResult> &Other,
+                       const char *What) {
+  ASSERT_EQ(Baseline.size(), Other.size());
+  for (size_t I = 0; I != Baseline.size(); ++I)
+    EXPECT_EQ(Other[I].Output, Baseline[I].Output)
+        << What << ": job " << Baseline[I].Name;
+}
+
+} // namespace
+
+TEST(CacheDifferential, CorpusByteIdenticalAcrossModesAndThreads) {
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Baseline = runWith(Jobs, CacheMode::Off, 1);
+  for (CacheMode Mode :
+       {CacheMode::Off, CacheMode::Session, CacheMode::Shared})
+    for (unsigned Threads : {1u, 8u}) {
+      if (Mode == CacheMode::Off && Threads == 1)
+        continue;
+      expectSameOutputs(Baseline, runWith(Jobs, Mode, Threads), "corpus");
+    }
+}
+
+TEST(CacheDifferential, GeneratedProgramsByteIdenticalAcrossModes) {
+  // 200 generator seeds, the same matrix. Duplicate sources occur when
+  // two seeds collapse to the same program — exactly the case where the
+  // shared cache crosses job boundaries.
+  std::vector<BatchJob> Jobs = seededJobs();
+  std::vector<BatchResult> Baseline = runWith(Jobs, CacheMode::Off, 1);
+  for (CacheMode Mode : {CacheMode::Session, CacheMode::Shared})
+    for (unsigned Threads : {1u, 8u})
+      expectSameOutputs(Baseline, runWith(Jobs, Mode, Threads),
+                        "generated");
+}
+
+TEST(CacheDifferential, SharedCacheActuallyHits) {
+  // Sanity check that the matrix above is not vacuous: replaying the
+  // corpus twice through one shared cache must hit on the second pass
+  // and do strictly less solver work.
+  std::vector<BatchJob> Twice = corpusJobs();
+  for (const BatchJob &Job : corpusJobs())
+    Twice.push_back({Job.Name + "-again", Job.Source});
+
+  std::vector<BatchResult> Off = runWith(Twice, CacheMode::Off, 1);
+  std::vector<BatchResult> Shared = runWith(Twice, CacheMode::Shared, 1);
+  expectSameOutputs(Off, Shared, "replay");
+
+  uint64_t OffSteps = 0, SharedSteps = 0, Hits = 0;
+  for (size_t I = 0; I != Twice.size(); ++I) {
+    OffSteps += Off[I].Stats.SolverSteps;
+    SharedSteps += Shared[I].Stats.SolverSteps;
+    Hits += Shared[I].Stats.CacheHits;
+  }
+  EXPECT_GT(Hits, 0u);
+  EXPECT_LT(SharedSteps, OffSteps);
+}
+
+TEST(CacheDifferential, ByteIdenticalUnderFaultInjection) {
+  // "all" fires every applicable site in every job. cache.reject is
+  // probed only when a cache mode is active, so the injected fault load
+  // is identical across modes and outputs must still match byte for
+  // byte (rejection changes no rendering, only insert counters).
+  std::vector<BatchJob> Jobs = corpusJobs();
+  SessionOptions Inject;
+  Inject.Faults.Sites = "solve.overflow,dnf.truncate,cache.reject";
+  std::vector<BatchResult> Baseline =
+      runWith(Jobs, CacheMode::Off, 1, Inject);
+  for (CacheMode Mode : {CacheMode::Session, CacheMode::Shared})
+    for (unsigned Threads : {1u, 8u})
+      expectSameOutputs(Baseline, runWith(Jobs, Mode, Threads, Inject),
+                        "injected");
+}
+
+TEST(CacheDifferential, ByteIdenticalUnderTightDeadline) {
+  // A 100ms deadline armed over programs that finish in microseconds:
+  // the budget is live (every cache hit ticks it) but never fires, so
+  // outputs stay deterministic and must match the ungoverned bytes.
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Baseline = runWith(Jobs, CacheMode::Off, 1);
+  SessionOptions Deadline;
+  Deadline.Limits.JobDeadlineSeconds = 0.1;
+  for (CacheMode Mode : {CacheMode::Session, CacheMode::Shared})
+    for (unsigned Threads : {1u, 8u}) {
+      std::vector<BatchResult> Got = runWith(Jobs, Mode, Threads, Deadline);
+      for (size_t I = 0; I != Got.size(); ++I)
+        ASSERT_FALSE(Got[I].Stats.degraded())
+            << Jobs[I].Name << " tripped the 100ms deadline; raise it?";
+      expectSameOutputs(Baseline, Got, "deadline");
+    }
+}
+
+TEST(CacheDifferential, DeadlineStoppedRunsInsertNothing) {
+  // The poisoning guarantee: a solve stopped by its budget mid-subtree
+  // must not leave entries behind, and a later governed-but-clean run
+  // sharing the same cache must still reproduce the uncached bytes.
+  const CorpusEntry *Stress = nullptr;
+  for (const CorpusEntry &Entry : stressSuite())
+    if (Entry.Id == "stress-solve-blowup")
+      Stress = &Entry;
+  ASSERT_NE(Stress, nullptr);
+
+  GoalCache Shared;
+  SessionOptions Opts;
+  Opts.Cache = CacheMode::Shared;
+  Opts.SharedCache = &Shared;
+  Opts.Limits.JobDeadlineSeconds = 0.05;
+  engine::Session Stopped(Stress->Id, Stress->Source, Opts);
+  (void)Stopped.hasTraitErrors();
+  EXPECT_TRUE(Stopped.stats().degraded());
+  EXPECT_EQ(Stopped.stats().CacheInserts, 0u)
+      << "a deadline-stopped solve must not publish entries";
+  EXPECT_EQ(Shared.size(), 0u);
+
+  // The cache stays usable afterwards: clean jobs through the same
+  // instance match an uncached baseline.
+  std::vector<BatchJob> Jobs = corpusJobs();
+  std::vector<BatchResult> Baseline = runWith(Jobs, CacheMode::Off, 1);
+  SessionOptions After;
+  After.Cache = CacheMode::Shared;
+  After.SharedCache = &Shared;
+  std::vector<BatchResult> Got =
+      BatchDriver(After, 1).run(Jobs, renderAll);
+  expectSameOutputs(Baseline, Got, "post-deadline");
+}
+
+TEST(CacheDifferential, CancelledRunsInsertNothing) {
+  const CorpusEntry &Entry = evaluationSuite().front();
+  GoalCache Shared;
+  SessionOptions Opts;
+  Opts.Cache = CacheMode::Shared;
+  Opts.SharedCache = &Shared;
+  Opts.Faults.Sites = "solve.cancel";
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  (void)S.hasTraitErrors();
+  EXPECT_GE(S.stats().Cancellations, 1u);
+  EXPECT_EQ(S.stats().CacheInserts, 0u);
+  EXPECT_EQ(Shared.size(), 0u) << "cancellation must not poison the cache";
+}

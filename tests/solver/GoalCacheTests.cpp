@@ -1,0 +1,327 @@
+//===- tests/solver/GoalCacheTests.cpp ------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GoalCache contract: canonical encoding round-trips across arenas,
+/// fingerprints isolate programs and flag combinations, the sharded map
+/// keeps-first and evicts LRU at capacity, rejection keeps poisoned
+/// subtrees out, and a cache of any capacity — including a pathological
+/// single slot — never changes solver results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/RandomProgram.h"
+#include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "solver/GoalCache.h"
+#include "solver/Solver.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+/// A small program with one failing and one holding goal — enough to
+/// populate a cache with both polarities.
+const char *BasicSource = "struct A;\n"
+                          "struct B;\n"
+                          "struct Wrap<T>;\n"
+                          "trait Show;\n"
+                          "impl Show for A;\n"
+                          "impl<T> Show for Wrap<T> where T: Show;\n"
+                          "goal Wrap<A>: Show;\n"
+                          "goal Wrap<B>: Show;\n";
+
+struct Parsed {
+  Session S;
+  Program Prog;
+  Parsed(const std::string &Source) : Prog(S) {
+    ParseResult R = parseSource(Prog, "cache.tl", Source);
+    EXPECT_TRUE(R.Success) << Source;
+  }
+};
+
+SolverOptions cacheOptions(const std::string &Source, GoalCache *Cache,
+                           bool RejectAll = false) {
+  SolverOptions Opts;
+  Opts.Cache = Cache;
+  Opts.CacheRejectAll = RejectAll;
+  auto Fp = GoalCache::fingerprint(Source, Opts.EmitWellFormedGoals,
+                                   Opts.EnableCandidateIndex,
+                                   Opts.EnableMemoization);
+  Opts.CacheFp0 = Fp.first;
+  Opts.CacheFp1 = Fp.second;
+  return Opts;
+}
+
+/// Full solve + extraction serialization: the byte-level artifact the
+/// differential assertions compare.
+std::string solveToJSON(const std::string &Source, GoalCache *Cache,
+                        SolveOutcome *OutStats = nullptr,
+                        bool RejectAll = false) {
+  Parsed P(Source);
+  SolverOptions Opts =
+      Cache ? cacheOptions(Source, Cache, RejectAll) : SolverOptions();
+  Solver Solve(P.Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(P.Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(P.Prog, Tree, /*Pretty=*/true) + "\n";
+  if (OutStats)
+    *OutStats = std::move(Out);
+  return JSON;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Canonical encoding
+//===----------------------------------------------------------------------===//
+
+TEST(CacheEncoding, TypesRoundTripAcrossArenas) {
+  Session S;
+  Program Prog(S);
+  ASSERT_TRUE(parseSource(Prog, "enc.tl", BasicSource).Success);
+  TypeArena &Arena = S.types();
+
+  Symbol Wrap = S.name("Wrap");
+  Symbol A = S.name("A");
+  TypeId Inner = Arena.adt(A, {});
+  TypeId Outer = Arena.adt(Wrap, {Inner});
+
+  CacheEncoder Enc(Arena, CacheEncoder::RawVars);
+  CacheEnc Tokens;
+  Enc.type(Tokens, Outer);
+  EXPECT_FALSE(Enc.sawVar());
+
+  size_t Pos = 0;
+  CacheDecoder Dec(Arena, /*VarsBase=*/0);
+  EXPECT_EQ(Dec.type(Tokens, Pos), Outer);
+  EXPECT_EQ(Pos, Tokens.size());
+}
+
+TEST(CacheEncoding, InferenceVariablesAreTagged) {
+  Session S;
+  Program Prog(S);
+  ASSERT_TRUE(parseSource(Prog, "enc.tl", BasicSource).Success);
+  TypeArena &Arena = S.types();
+  TypeId Var = Arena.infer(7);
+
+  CacheEnc Tokens;
+  CacheEncoder Enc(Arena, CacheEncoder::RawVars);
+  Enc.type(Tokens, Var);
+  EXPECT_TRUE(Enc.sawVar());
+  Enc.resetSawVar();
+  EXPECT_FALSE(Enc.sawVar());
+
+  size_t Pos = 0;
+  CacheDecoder Dec(Arena, /*VarsBase=*/0);
+  EXPECT_EQ(Dec.type(Tokens, Pos), Var) << "raw variables keep their index";
+}
+
+TEST(CacheEncoding, PredicatesRoundTrip) {
+  Session S;
+  Program Prog(S);
+  ASSERT_TRUE(parseSource(Prog, "enc.tl", BasicSource).Success);
+  TypeArena &Arena = S.types();
+  Symbol Show = S.name("Show");
+  Symbol A = S.name("A");
+  Predicate P = Predicate::traitBound(Arena.adt(A, {}), Show, {});
+
+  CacheEnc Tokens;
+  CacheEncoder Enc(Arena, CacheEncoder::RawVars);
+  Enc.pred(Tokens, P);
+
+  size_t Pos = 0;
+  CacheDecoder Dec(Arena, /*VarsBase=*/0);
+  Predicate Back = Dec.pred(Tokens, Pos);
+  EXPECT_EQ(Back.Kind, P.Kind);
+  EXPECT_EQ(Back.Subject, P.Subject);
+  EXPECT_EQ(Back.Trait, P.Trait);
+  EXPECT_EQ(Pos, Tokens.size());
+}
+
+TEST(CacheEncoding, HashSaltSeparatesDomains) {
+  CacheEnc Tokens = {1, 2, 3};
+  EXPECT_NE(hashCacheEnc(Tokens, 0x1111), hashCacheEnc(Tokens, 0x2222));
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints and keys
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKeying, FingerprintSeparatesSourcesAndFlags) {
+  auto Base = GoalCache::fingerprint("struct A;", true, true, false);
+  EXPECT_EQ(Base, GoalCache::fingerprint("struct A;", true, true, false));
+  EXPECT_NE(Base, GoalCache::fingerprint("struct B;", true, true, false));
+  EXPECT_NE(Base, GoalCache::fingerprint("struct A;", false, true, false));
+  EXPECT_NE(Base, GoalCache::fingerprint("struct A;", true, false, false));
+  EXPECT_NE(Base, GoalCache::fingerprint("struct A;", true, true, true));
+}
+
+TEST(CacheKeying, KeyEqualityComparesEnvDeeply) {
+  GoalCache::Key A, B;
+  A.Fp0 = B.Fp0 = 1;
+  A.Fp1 = B.Fp1 = 2;
+  A.Pred = B.Pred = {10, 20};
+  A.Env = std::make_shared<const CacheEnc>(CacheEnc{7});
+  B.Env = std::make_shared<const CacheEnc>(CacheEnc{7});
+  GoalCache::finalizeKey(A);
+  GoalCache::finalizeKey(B);
+  EXPECT_EQ(A.Hash, B.Hash);
+  EXPECT_TRUE(A == B) << "distinct shared_ptrs, equal contents";
+
+  B.Env = std::make_shared<const CacheEnc>(CacheEnc{8});
+  EXPECT_FALSE(A == B);
+  GoalCache::Key C = A;
+  C.Fp1 = 3;
+  EXPECT_FALSE(A == C) << "fingerprint isolates programs";
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded map semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+GoalCache::Key keyFor(uint64_t N) {
+  GoalCache::Key K;
+  K.Fp0 = 1;
+  K.Fp1 = 2;
+  K.Pred = {N};
+  GoalCache::finalizeKey(K);
+  return K;
+}
+
+GoalCache::EntryPtr entryWithEvals(uint64_t Evals) {
+  auto E = std::make_shared<GoalCache::Entry>();
+  E->TotalEvals = Evals;
+  return E;
+}
+
+} // namespace
+
+TEST(CacheMap, InsertIsKeepFirst) {
+  GoalCache Cache(GoalCache::Config{4, 16});
+  GoalCache::Key K = keyFor(1);
+  EXPECT_TRUE(Cache.insert(K, entryWithEvals(10)));
+  EXPECT_FALSE(Cache.insert(K, entryWithEvals(99)))
+      << "second insert under the same key loses";
+  ASSERT_NE(Cache.lookup(K), nullptr);
+  EXPECT_EQ(Cache.lookup(K)->TotalEvals, 10u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(CacheMap, MissesReturnNull) {
+  GoalCache Cache;
+  EXPECT_EQ(Cache.lookup(keyFor(42)), nullptr);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(CacheMap, CapacityEvictsLeastRecentlyUsed) {
+  // One shard, two slots: inserting a third key evicts the stalest.
+  GoalCache Cache(GoalCache::Config{1, 2});
+  EXPECT_TRUE(Cache.insert(keyFor(1), entryWithEvals(1)));
+  EXPECT_TRUE(Cache.insert(keyFor(2), entryWithEvals(2)));
+  // Touch key 1 so key 2 is now least recently used.
+  EXPECT_NE(Cache.lookup(keyFor(1)), nullptr);
+  EXPECT_TRUE(Cache.insert(keyFor(3), entryWithEvals(3)));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_NE(Cache.lookup(keyFor(1)), nullptr) << "recently used survives";
+  EXPECT_EQ(Cache.lookup(keyFor(2)), nullptr) << "LRU entry evicted";
+  EXPECT_NE(Cache.lookup(keyFor(3)), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver integration
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSolver, WarmCacheReusesSubtrees) {
+  GoalCache Cache;
+  SolveOutcome Cold, Warm;
+  std::string First = solveToJSON(BasicSource, &Cache, &Cold);
+  std::string Second = solveToJSON(BasicSource, &Cache, &Warm);
+  EXPECT_EQ(First, Second);
+  EXPECT_GT(Cold.NumCacheInserts, 0u);
+  EXPECT_GT(Warm.NumCacheHits, 0u);
+  EXPECT_LT(Warm.NumSolverSteps, Cold.NumSolverSteps)
+      << "hits must replace real candidate assembly";
+}
+
+TEST(CacheSolver, MatchesUncachedByteForByte) {
+  std::string Plain = solveToJSON(BasicSource, nullptr);
+  GoalCache Cache;
+  EXPECT_EQ(Plain, solveToJSON(BasicSource, &Cache));
+  EXPECT_EQ(Plain, solveToJSON(BasicSource, &Cache)) << "warm replay";
+}
+
+TEST(CacheSolver, SingleSlotCacheIsStillCorrect) {
+  std::string Plain = solveToJSON(BasicSource, nullptr);
+  GoalCache Tiny(GoalCache::Config{1, 1});
+  EXPECT_EQ(Plain, solveToJSON(BasicSource, &Tiny));
+  EXPECT_EQ(Plain, solveToJSON(BasicSource, &Tiny));
+}
+
+TEST(CacheSolver, RejectAllInsertsNothing) {
+  GoalCache Cache;
+  SolveOutcome Out;
+  std::string Plain = solveToJSON(BasicSource, nullptr);
+  EXPECT_EQ(Plain, solveToJSON(BasicSource, &Cache, &Out,
+                               /*RejectAll=*/true));
+  EXPECT_EQ(Out.NumCacheInserts, 0u);
+  EXPECT_GT(Out.NumCacheInsertsRejected, 0u);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(CacheSolver, DistinctProgramsNeverShareEntries) {
+  // Same cache, different second goal: the fingerprint must isolate the
+  // programs even though they share every declaration.
+  std::string Other = "struct A;\n"
+                      "struct B;\n"
+                      "struct Wrap<T>;\n"
+                      "trait Show;\n"
+                      "impl Show for A;\n"
+                      "impl<T> Show for Wrap<T> where T: Show;\n"
+                      "goal Wrap<A>: Show;\n"
+                      "goal Wrap<Wrap<B>>: Show;\n";
+  std::string PlainA = solveToJSON(BasicSource, nullptr);
+  std::string PlainB = solveToJSON(Other, nullptr);
+
+  GoalCache Shared;
+  SolveOutcome OutB;
+  EXPECT_EQ(PlainA, solveToJSON(BasicSource, &Shared));
+  EXPECT_EQ(PlainB, solveToJSON(Other, &Shared, &OutB));
+  EXPECT_EQ(OutB.NumCacheHits, 0u)
+      << "entries from a different program must not hit";
+}
+
+TEST(CacheSolver, LegacyMemoizationDisablesTheCache) {
+  Parsed P(BasicSource);
+  GoalCache Cache;
+  SolverOptions Opts = cacheOptions(BasicSource, &Cache);
+  Opts.EnableMemoization = true;
+  Solver Solve(P.Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  EXPECT_EQ(Out.NumCacheHits + Out.NumCacheMisses + Out.NumCacheInserts,
+            0u);
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(CacheSolver, SeededProgramsSurviveSingleSlotSharing) {
+  // A capacity-1 cache shared across many generated programs thrashes
+  // constantly (every program evicts the last one's entry); outputs must
+  // not change.
+  GoalCache Tiny(GoalCache::Config{1, 1});
+  for (uint64_t Seed = 0; Seed != 25; ++Seed) {
+    std::string Source = testgen::randomProgram(Seed);
+    EXPECT_EQ(solveToJSON(Source, nullptr), solveToJSON(Source, &Tiny))
+        << "seed " << Seed;
+  }
+}

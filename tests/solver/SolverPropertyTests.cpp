@@ -12,86 +12,19 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "common/RandomProgram.h"
 #include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "solver/GoalCache.h"
 #include "solver/Solver.h"
-#include "support/Random.h"
 #include "tlang/Parser.h"
 
 #include <gtest/gtest.h>
 
 using namespace argus;
+using testgen::randomProgram;
 
 namespace {
-
-/// Generates a random (syntactically valid, declare-before-use) trait
-/// program: a pool of nullary and unary structs, traits, impls with
-/// random where-clauses, and concrete/inference goals. Recursion is
-/// possible (the depth limit handles it); ambiguity is possible (the
-/// fixpoint handles it).
-std::string randomProgram(uint64_t Seed) {
-  Rng Gen(Seed);
-  std::string Out;
-
-  const size_t NumStructs = 3 + Gen.below(4); // S0.. nullary
-  const size_t NumGenerics = 1 + Gen.below(3); // G0<T>..
-  const size_t NumTraits = 2 + Gen.below(3);
-  for (size_t I = 0; I != NumStructs; ++I)
-    Out += (Gen.chance(0.4) ? "#[external] struct S" : "struct S") +
-           std::to_string(I) + ";\n";
-  for (size_t I = 0; I != NumGenerics; ++I)
-    Out += (Gen.chance(0.4) ? "#[external] struct G" : "struct G") +
-           std::to_string(I) + "<T>;\n";
-  for (size_t I = 0; I != NumTraits; ++I)
-    Out += (Gen.chance(0.5) ? "#[external] trait Tr" : "trait Tr") +
-           std::to_string(I) + ";\n";
-
-  auto RandomConcrete = [&]() {
-    if (Gen.chance(0.3))
-      return "G" + std::to_string(Gen.below(NumGenerics)) + "<S" +
-             std::to_string(Gen.below(NumStructs)) + ">";
-    return "S" + std::to_string(Gen.below(NumStructs));
-  };
-  auto RandomTrait = [&]() {
-    return "Tr" + std::to_string(Gen.below(NumTraits));
-  };
-
-  const size_t NumImpls = 2 + Gen.below(6);
-  for (size_t I = 0; I != NumImpls; ++I) {
-    switch (Gen.below(3)) {
-    case 0: // Concrete impl.
-      Out += "impl " + RandomTrait() + " for " + RandomConcrete() + ";\n";
-      break;
-    case 1: { // Conditional impl on a generic container.
-      std::string Trait = RandomTrait();
-      Out += "impl<T> " + Trait + " for G" +
-             std::to_string(Gen.below(NumGenerics)) + "<T> where T: " +
-             RandomTrait() + ";\n";
-      break;
-    }
-    case 2: { // Blanket impl. The bound trait index strictly decreases
-              // so blanket chains form a DAG: without a cache, mutually
-              // recursive blanket impls make the candidate search
-              // exponential (the budget would catch it, but these tests
-              // exercise the semantics, not the limiter).
-      size_t Target = Gen.below(NumTraits);
-      if (Target == 0)
-        break;
-      Out += "impl<T> Tr" + std::to_string(Target) + " for T where T: Tr" +
-             std::to_string(Gen.below(Target)) + ";\n";
-      break;
-    }
-    }
-  }
-
-  const size_t NumGoals = 1 + Gen.below(3);
-  for (size_t I = 0; I != NumGoals; ++I) {
-    if (Gen.chance(0.25))
-      Out += "goal ?X" + std::to_string(I) + ": " + RandomTrait() + ";\n";
-    else
-      Out += "goal " + RandomConcrete() + ": " + RandomTrait() + ";\n";
-  }
-  return Out;
-}
 
 /// Recomputes a goal's result from its recorded candidates and checks
 /// the selection semantics; recurses over the whole forest.
@@ -243,3 +176,96 @@ TEST_P(SolverPropertyTest, FailedLeavesAreFullyResolvedOrAmbiguous) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
                          ::testing::Range<uint64_t>(0, 40));
+
+//===----------------------------------------------------------------------===//
+// Goal-cache properties (500 seeds; see also the engine-level
+// differential tests in tests/integration/CacheDifferentialTests.cpp)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class CachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Solves \p Source against \p Cache (null = uncached) with the default
+/// solver options plus the cache fingerprint wiring the engine layer
+/// would do.
+SolveOutcome solveWithCache(const std::string &Source, GoalCache *Cache) {
+  Session S;
+  Program Prog(S);
+  EXPECT_TRUE(parseSource(Prog, "fuzz.tl", Source).Success) << Source;
+  SolverOptions Opts;
+  Opts.Cache = Cache;
+  if (Cache) {
+    auto Fp = GoalCache::fingerprint(Source, Opts.EmitWellFormedGoals,
+                                     Opts.EnableCandidateIndex,
+                                     Opts.EnableMemoization);
+    Opts.CacheFp0 = Fp.first;
+    Opts.CacheFp1 = Fp.second;
+  }
+  Solver Solve(Prog, Opts);
+  return Solve.solve();
+}
+
+/// Serializes every extracted tree of one solve — the byte-level
+/// artifact the cached/uncached comparison diffs.
+std::string treesAsJSON(const std::string &Source, GoalCache *Cache) {
+  Session S;
+  Program Prog(S);
+  EXPECT_TRUE(parseSource(Prog, "fuzz.tl", Source).Success) << Source;
+  SolverOptions Opts;
+  Opts.Cache = Cache;
+  if (Cache) {
+    auto Fp = GoalCache::fingerprint(Source, Opts.EmitWellFormedGoals,
+                                     Opts.EnableCandidateIndex,
+                                     Opts.EnableMemoization);
+    Opts.CacheFp0 = Fp.first;
+    Opts.CacheFp1 = Fp.second;
+  }
+  Solver Solve(Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(Prog, Tree, /*Pretty=*/true) + "\n";
+  return JSON;
+}
+
+} // namespace
+
+TEST_P(CachePropertyTest, CachedSolvingMatchesUncached) {
+  std::string Source = randomProgram(GetParam());
+  SolveOutcome Plain = solveWithCache(Source, nullptr);
+  GoalCache Cache;
+  SolveOutcome Cold = solveWithCache(Source, &Cache);
+  EXPECT_EQ(Plain.FinalResults, Cold.FinalResults) << Source;
+  // A warm second solve over the same cache replays recorded subtrees
+  // (never more real work than the cold run) and still agrees.
+  SolveOutcome Warm = solveWithCache(Source, &Cache);
+  EXPECT_EQ(Plain.FinalResults, Warm.FinalResults) << Source;
+  EXPECT_LE(Warm.NumSolverSteps, Cold.NumSolverSteps) << Source;
+}
+
+TEST_P(CachePropertyTest, CacheCountersAreDeterministic) {
+  std::string Source = randomProgram(GetParam());
+  GoalCache C1, C2;
+  SolveOutcome A = solveWithCache(Source, &C1);
+  SolveOutcome B = solveWithCache(Source, &C2);
+  EXPECT_EQ(A.NumCacheHits, B.NumCacheHits) << Source;
+  EXPECT_EQ(A.NumCacheMisses, B.NumCacheMisses) << Source;
+  EXPECT_EQ(A.NumCacheInserts, B.NumCacheInserts) << Source;
+  EXPECT_EQ(A.NumCacheInsertsRejected, B.NumCacheInsertsRejected) << Source;
+  EXPECT_EQ(A.NumSolverSteps, B.NumSolverSteps) << Source;
+  EXPECT_EQ(C1.size(), C2.size()) << Source;
+}
+
+TEST_P(CachePropertyTest, CachedExtractionIsByteIdentical) {
+  std::string Source = randomProgram(GetParam());
+  std::string Plain = treesAsJSON(Source, nullptr);
+  GoalCache Cache;
+  EXPECT_EQ(Plain, treesAsJSON(Source, &Cache)) << Source;
+  // Warm replay: every splice must reproduce the trees byte for byte.
+  EXPECT_EQ(Plain, treesAsJSON(Source, &Cache)) << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,
+                         ::testing::Range<uint64_t>(0, 500));

@@ -36,6 +36,12 @@
 ///                    list of sites, e.g. "solve.overflow,worker.panic"
 ///   --inject-seed <n>   seed for probabilistic injection (default 0)
 ///   --inject-prob <p>   per-site fire probability (default 1.0)
+///   --cache <mode>   goal-result cache: off (default), session (one
+///                    cache per program), or shared (one cache across
+///                    all batch jobs); --cache=<mode> also accepted
+///   --cache-shards <n>  lock stripes in the goal cache (default 16)
+///   --cache-cap <n>     max cached entries before eviction (default
+///                       65536)
 ///   --version        print the version and exit
 ///
 /// Exit codes (documented in README.md; batch mode exits with the worst
@@ -76,6 +82,9 @@ struct Options {
   double Deadline = 0.0;
   bool RetryOverruns = false;
   unsigned Jobs = 1;
+  engine::CacheMode Cache = engine::CacheMode::Off;
+  unsigned CacheShards = 16;
+  size_t CacheCap = 65536;
   bool Diag = false;
   bool BottomUp = false;
   bool TopDown = false;
@@ -96,6 +105,8 @@ int usage() {
           "             [--trace <file>] [--stats] [--deadline <seconds>]\n"
           "             [--inject <sites>] [--inject-seed <n>]"
           " [--inject-prob <p>]\n"
+          "             [--cache off|session|shared] [--cache-shards <n>]"
+          " [--cache-cap <n>]\n"
           "             [--version]\n"
           "       argus --batch <dir> [--jobs <n>] [--retry-overruns]"
           " [other options]\n");
@@ -223,6 +234,11 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
   for (const engine::SessionStats *Stats : All) {
     Sum.GoalEvaluations += Stats->GoalEvaluations;
     Sum.MemoHits += Stats->MemoHits;
+    Sum.SolverSteps += Stats->SolverSteps;
+    Sum.CacheHits += Stats->CacheHits;
+    Sum.CacheMisses += Stats->CacheMisses;
+    Sum.CacheInserts += Stats->CacheInserts;
+    Sum.CacheInsertsRejected += Stats->CacheInsertsRejected;
     Sum.CandidatesFiltered += Stats->CandidatesFiltered;
     Sum.TreesExtracted += Stats->TreesExtracted;
     Sum.TreeGoals += Stats->TreeGoals;
@@ -242,6 +258,8 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
       Sum.StageSeconds[I] += Stats->StageSeconds[I];
   }
   printf("stats: programs=%zu goal_evals=%llu memo_hits=%llu"
+         " solver_steps=%llu cache_hits=%llu cache_misses=%llu"
+         " cache_inserts=%llu cache_inserts_rejected=%llu"
          " candidates_filtered=%llu trees=%zu tree_goals=%zu"
          " failed_leaves=%zu dnf_conjuncts=%zu dnf_words=%llu"
          " dnf_truncations=%llu arena_hash_lookups=%llu"
@@ -250,6 +268,11 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          " tree_goals_truncated=%zu total_seconds=%.6f\n",
          All.size(), static_cast<unsigned long long>(Sum.GoalEvaluations),
          static_cast<unsigned long long>(Sum.MemoHits),
+         static_cast<unsigned long long>(Sum.SolverSteps),
+         static_cast<unsigned long long>(Sum.CacheHits),
+         static_cast<unsigned long long>(Sum.CacheMisses),
+         static_cast<unsigned long long>(Sum.CacheInserts),
+         static_cast<unsigned long long>(Sum.CacheInsertsRejected),
          static_cast<unsigned long long>(Sum.CandidatesFiltered),
          Sum.TreesExtracted, Sum.TreeGoals, Sum.FailedLeaves,
          Sum.DNFConjuncts,
@@ -451,6 +474,55 @@ int main(int Argc, char **Argv) {
         return usage();
       }
       Opts.InjectProb = Value;
+    } else if (Arg == "--cache" || Arg.rfind("--cache=", 0) == 0) {
+      std::string Mode;
+      if (Arg == "--cache") {
+        if (++I == Argc) {
+          fprintf(stderr, "argus: --cache requires a mode argument\n");
+          return usage();
+        }
+        Mode = Argv[I];
+      } else {
+        Mode = Arg.substr(sizeof("--cache=") - 1);
+      }
+      if (Mode == "off")
+        Opts.Cache = engine::CacheMode::Off;
+      else if (Mode == "session")
+        Opts.Cache = engine::CacheMode::Session;
+      else if (Mode == "shared")
+        Opts.Cache = engine::CacheMode::Shared;
+      else {
+        fprintf(stderr,
+                "argus: invalid --cache mode '%s'"
+                " (expected off, session, or shared)\n",
+                Mode.c_str());
+        return usage();
+      }
+    } else if (Arg == "--cache-shards") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --cache-shards requires a count argument\n");
+        return usage();
+      }
+      char *End = nullptr;
+      long Value = strtol(Argv[I], &End, 10);
+      if (!End || *End != '\0' || Value < 1 || Value > 4096) {
+        fprintf(stderr, "argus: invalid --cache-shards count '%s'\n",
+                Argv[I]);
+        return usage();
+      }
+      Opts.CacheShards = static_cast<unsigned>(Value);
+    } else if (Arg == "--cache-cap") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --cache-cap requires a count argument\n");
+        return usage();
+      }
+      char *End = nullptr;
+      unsigned long long Value = strtoull(Argv[I], &End, 10);
+      if (!End || *End != '\0' || Value < 1) {
+        fprintf(stderr, "argus: invalid --cache-cap count '%s'\n", Argv[I]);
+        return usage();
+      }
+      Opts.CacheCap = static_cast<size_t>(Value);
     } else if (Arg == "--html") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --html requires a file argument\n");
@@ -517,6 +589,9 @@ int main(int Argc, char **Argv) {
 
   engine::SessionOptions SessOpts;
   SessOpts.Extract.ShowInternal = Opts.ShowInternal;
+  SessOpts.Cache = Opts.Cache;
+  SessOpts.CacheShards = Opts.CacheShards;
+  SessOpts.CacheCap = Opts.CacheCap;
   SessOpts.Limits.JobDeadlineSeconds = Opts.Deadline;
   SessOpts.Faults.Sites = Opts.InjectSites;
   SessOpts.Faults.Seed = Opts.InjectSeed;

@@ -22,6 +22,14 @@
 #
 #   tools/check.sh --perf-smoke-only <argus-binary> <programs-dir>
 #
+# The cache differential gate diffs the CLI's --json stdout across every
+# goal-cache mode (off/session/shared) at 1 and 8 worker threads — plus
+# fault-injected and 100ms-deadline variants of the same matrix — and
+# requires the bytes to be identical. On by default in the full gate via
+# CHECK_CACHE_DIFF=1; standalone:
+#
+#   tools/check.sh --cache-diff-only <argus-binary> <programs-dir>
+#
 # CHECK_SANITIZE=1 switches the full gate to an ASan+UBSan build in its
 # own build directory (build-sanitize by default), running the same test
 # suite — including the fuzz_smoke mutation loop — under the sanitizers.
@@ -46,6 +54,43 @@ determinism() {
     exit 1
   fi
   echo "batch determinism: OK (--jobs 1 == --jobs 8 over $programs_dir)"
+}
+
+cache_diff() {
+  argus_bin="$1"
+  programs_dir="$2"
+  cache_base="${TMPDIR:-/tmp}/argus_cache_base_$$.json"
+  cache_got="${TMPDIR:-/tmp}/argus_cache_got_$$.json"
+  trap 'rm -f "$cache_base" "$cache_got"' EXIT
+
+  # Three governance settings; within each, every cache mode and thread
+  # count must reproduce the cache-off serial bytes. Deadline/inject
+  # variants are compared against their own baseline — governance may
+  # legitimately change the output, the cache never may.
+  for variant in plain inject deadline; do
+    case "$variant" in
+    plain) set -- ;;
+    inject) set -- --inject solve.overflow,dnf.truncate,cache.reject ;;
+    deadline) set -- --deadline 0.1 ;;
+    esac
+    "$argus_bin" --batch "$programs_dir" --jobs 1 --json --cache off \
+      "$@" >"$cache_base" || true
+    for mode in off session shared; do
+      for jobs in 1 8; do
+        [ "$mode" = off ] && [ "$jobs" = 1 ] && continue
+        "$argus_bin" --batch "$programs_dir" --jobs "$jobs" --json \
+          --cache "$mode" "$@" >"$cache_got" || true
+        if ! cmp -s "$cache_base" "$cache_got"; then
+          echo "FAIL: cache diff: --cache $mode --jobs $jobs ($variant)" \
+            "differs from --cache off --jobs 1 over $programs_dir" >&2
+          diff "$cache_base" "$cache_got" >&2 || true
+          exit 1
+        fi
+      done
+    done
+  done
+  echo "cache differential: OK (off == session == shared, jobs 1 == 8," \
+    "plain/inject/deadline, over $programs_dir)"
 }
 
 perf_smoke() {
@@ -88,6 +133,39 @@ perf_smoke() {
   assert_ge candidates_filtered "$(counter candidates_filtered)" 1
   assert_ge arena_hash_lookups "$(counter arena_hash_lookups)" 1
   echo "perf smoke: OK ($stats_line)"
+
+  # Goal-cache effectiveness: over a batch of identical programs the
+  # shared cache must *strictly* reduce solver_steps versus cache off,
+  # and actually hit. Work counters, not wall clock — cannot flake. The
+  # byte-level half of this guarantee lives in cache_diff().
+  cache_work_dir="${TMPDIR:-/tmp}/argus_cache_perf_$$"
+  mkdir -p "$cache_work_dir"
+  i=0
+  while [ $i -lt 8 ]; do
+    cp "$programs_dir/display_vec.tl" "$cache_work_dir/copy$i.tl"
+    i=$((i + 1))
+  done
+  cache_counter() { # mode name
+    "$argus_bin" --batch "$cache_work_dir" --stats --cache "$1" \
+        2>/dev/null | grep '^stats: ' | tail -n 1 |
+      tr ' ' '\n' | sed -n "s/^$2=//p"
+  }
+  off_steps=$(cache_counter off solver_steps)
+  shared_steps=$(cache_counter shared solver_steps)
+  shared_hits=$(cache_counter shared cache_hits)
+  rm -rf "$cache_work_dir"
+  [ -n "$off_steps" ] && [ -n "$shared_steps" ] || {
+    echo "FAIL: perf smoke: no solver_steps counter from --cache runs" >&2
+    exit 1
+  }
+  [ "$shared_steps" -lt "$off_steps" ] || {
+    echo "FAIL: perf smoke: --cache shared did $shared_steps solver" \
+      "steps, not strictly less than $off_steps with the cache off" >&2
+    exit 1
+  }
+  assert_ge cache_hits "$shared_hits" 1
+  echo "cache perf smoke: OK (solver_steps $off_steps -> $shared_steps," \
+    "$shared_hits hits over 8 identical programs)"
 }
 
 if [ "${1:-}" = "--perf-smoke-only" ]; then
@@ -108,6 +186,15 @@ if [ "${1:-}" = "--determinism-only" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--cache-diff-only" ]; then
+  [ $# -eq 3 ] || {
+    echo "usage: $0 --cache-diff-only <argus-binary> <programs-dir>" >&2
+    exit 2
+  }
+  cache_diff "$2" "$3"
+  exit 0
+fi
+
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
   build_dir="${1:-$repo_root/build-sanitize}"
@@ -124,5 +211,8 @@ cmake --build "$build_dir" -j
 (cd "$build_dir" && ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)")
 
 determinism "$build_dir/tools/argus" "$repo_root/examples"
+if [ "${CHECK_CACHE_DIFF:-1}" = "1" ]; then
+  cache_diff "$build_dir/tools/argus" "$repo_root/examples"
+fi
 perf_smoke "$build_dir/tools/argus" "$repo_root/examples"
 echo "all checks passed"

@@ -19,15 +19,25 @@
 /// schedule): rerunning with the same --seed and --iterations reproduces
 /// any crash exactly.
 ///
-///   fuzz_parser [--iterations <n>] [--seed <n>] [--verbose]
+///   fuzz_parser [--iterations <n>] [--seed <n>] [--verbose] [--solve]
 ///
-/// Wired into CTest as `fuzz_smoke`; also part of the CHECK_SANITIZE=1
-/// run (tools/check.sh), where ASan/UBSan watch the same inputs.
+/// --solve turns every surviving mutant into a differential test of the
+/// goal cache: the pipeline runs twice — cache off, then against one
+/// GoalCache shared across all mutants of the run — and the renderings
+/// must match byte for byte whenever neither run degraded. Mutants are a
+/// nastier keyspace than any hand-written program: near-identical
+/// sources that must never alias a fingerprint, and half-broken
+/// environments that stress the cacheability predicate.
+///
+/// Wired into CTest as `fuzz_smoke` and `fuzz_solve_smoke`; also part of
+/// the CHECK_SANITIZE=1 run (tools/check.sh), where ASan/UBSan watch the
+/// same inputs.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
 #include "engine/Session.h"
+#include "solver/GoalCache.h"
 #include "support/Random.h"
 #include "tlang/Parser.h"
 
@@ -113,12 +123,25 @@ engine::SessionOptions governedOptions() {
   return Opts;
 }
 
+/// Every rendering a consumer can observe, concatenated — the byte-level
+/// artifact the --solve differential compares across cache modes.
+std::string renderAll(engine::Session &S) {
+  std::string Out;
+  for (size_t T = 0; T != S.numTrees(); ++T) {
+    Out += S.diagnosticText(T) + "\n";
+    Out += S.bottomUpText(T) + "\n";
+    Out += S.treeJSON(T) + "\n";
+  }
+  return Out;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   uint64_t Iterations = 3000;
   uint64_t Seed = 1;
   bool Verbose = false;
+  bool SolveMode = false;
   for (int I = 1; I != Argc; ++I) {
     if (!strcmp(Argv[I], "--iterations") && I + 1 != Argc)
       Iterations = strtoull(Argv[++I], nullptr, 10);
@@ -126,10 +149,12 @@ int main(int Argc, char **Argv) {
       Seed = strtoull(Argv[++I], nullptr, 10);
     else if (!strcmp(Argv[I], "--verbose"))
       Verbose = true;
+    else if (!strcmp(Argv[I], "--solve"))
+      SolveMode = true;
     else {
       fprintf(stderr,
               "usage: fuzz_parser [--iterations <n>] [--seed <n>]"
-              " [--verbose]\n");
+              " [--verbose] [--solve]\n");
       return 2;
     }
   }
@@ -142,7 +167,11 @@ int main(int Argc, char **Argv) {
 
   Rng R(Seed);
   const engine::SessionOptions GovOpts = governedOptions();
-  uint64_t ParsedOk = 0, PipelineRuns = 0, Degraded = 0;
+  // One cache outlives the whole --solve run, so near-identical mutants
+  // cross-check the fingerprint isolation and entries accumulate the way
+  // they would in a long-lived shared-cache batch.
+  GoalCache SharedCache;
+  uint64_t ParsedOk = 0, PipelineRuns = 0, Degraded = 0, Compared = 0;
   std::string Current;
   for (uint64_t I = 0; I != Iterations; ++I) {
     Current = mutate(R, Corpus);
@@ -165,6 +194,32 @@ int main(int Argc, char **Argv) {
             (void)S.bottomUpText(0);
           if (S.stats().failed())
             ++Degraded;
+          if (SolveMode) {
+            std::string Uncached = renderAll(S);
+            engine::SessionOptions CacheOpts = GovOpts;
+            CacheOpts.Cache = engine::CacheMode::Shared;
+            CacheOpts.SharedCache = &SharedCache;
+            engine::Session Cached("fuzz.tl", Current, CacheOpts);
+            std::string WithCache = renderAll(Cached);
+            // Compare only clean-vs-clean: a governance stop (the
+            // wall-clock backstop in particular) legitimately changes
+            // the rendering, independent of the cache.
+            if (!S.stats().degraded() && !Cached.stats().degraded()) {
+              ++Compared;
+              if (WithCache != Uncached) {
+                fprintf(stderr,
+                        "FAIL: cached rendering diverged at iteration"
+                        " %llu (seed %llu)\n--- input ---\n%s\n--- end"
+                        " ---\n--- uncached ---\n%s\n--- cached ---\n%s"
+                        "\n--- end ---\n",
+                        static_cast<unsigned long long>(I),
+                        static_cast<unsigned long long>(Seed),
+                        Current.c_str(), Uncached.c_str(),
+                        WithCache.c_str());
+                return 1;
+              }
+            }
+          }
         }
       }
     } catch (const std::exception &E) {
@@ -198,5 +253,9 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(PipelineRuns),
          static_cast<unsigned long long>(Degraded),
          static_cast<unsigned long long>(Seed));
+  if (SolveMode)
+    printf("fuzz_parser: --solve compared %llu clean runs, cache holds"
+           " %zu entries\n",
+           static_cast<unsigned long long>(Compared), SharedCache.size());
   return 0;
 }
