@@ -24,6 +24,15 @@ struct TraitEvalInfo {
   bool HasWinner = false;
 };
 
+/// Salts separating the two stack-hash domains shared by stackHashOf
+/// (consumer ancestor hashes) and finishRecording (recorded subtree
+/// hashes): NormalizesTo goals compare by subject only (onStack ignores
+/// their fresh output var), everything else by full predicate. A single
+/// definition keeps producer and consumer in the same domain by
+/// construction — a silent drift would disable cycle admission.
+constexpr uint64_t PredStackSalt = 0x505245445354ull;
+constexpr uint64_t NtStackSalt = 0x4E545354ull;
+
 } // namespace
 
 struct Solver::Impl {
@@ -181,7 +190,7 @@ struct Solver::Impl {
   bool cacheAdmissible(const GoalCache::Entry &E, uint32_t Depth) const;
   void spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
                    uint32_t Depth, TraitEvalInfo *Info);
-  void finishRecording(EvalResult Result, const TraitEvalInfo &Winner);
+  void finishRecording(EvalResult Result, const TraitEvalInfo *CallerInfo);
   GoalCache::EntryPtr pendingLookup(const GoalCache::Key &K) const;
   void publishPending();
 };
@@ -255,11 +264,6 @@ void Solver::Impl::setEnv(const std::vector<Predicate> &NewEnv) {
 }
 
 uint64_t Solver::Impl::stackHashOf(const Predicate &P) {
-  // Salts separate the two cycle-comparison domains: NormalizesTo goals
-  // compare by subject only (onStack ignores their fresh output var),
-  // everything else by full predicate.
-  constexpr uint64_t PredStackSalt = 0x505245445354ull;
-  constexpr uint64_t NtStackSalt = 0x4E545354ull;
   CacheEnc &Enc = StackHashScratch;
   Enc.clear();
   CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
@@ -302,6 +306,14 @@ bool Solver::Impl::cacheAdmissible(const GoalCache::Entry &E,
   if (static_cast<uint64_t>(Depth) + E.MaxRelDepth > Opts.MaxDepth)
     return false;
   if (NumEvaluations - 1 + E.TotalEvals > Opts.MaxGoalEvaluations)
+    return false;
+  // A governed uncached run charges one work unit per evaluation in the
+  // subtree; the root's own tick is already paid. If the stage's work
+  // ceiling cannot absorb the rest, the uncached run would trip mid-
+  // subtree and emit Overflow nodes the entry does not contain, so the
+  // lookup must miss and reproduce them.
+  if (Opts.Budget && E.TotalEvals > 0 &&
+      E.TotalEvals - 1 > Opts.Budget->stageWorkRemaining())
     return false;
   // A goal inside the recorded subtree structurally matching one of the
   // current ancestors would have been a cycle (Overflow) here.
@@ -470,7 +482,7 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
   // A Scratch node id from a quiet replay can numerically collide with
   // the frame root's OutForest id, so re-check Quiet here.
   if (Rec && !Quiet && Rec->Root == NodeId)
-    finishRecording(Result, *EffInfo);
+    finishRecording(Result, Info);
   return NodeId;
 }
 
@@ -1136,9 +1148,16 @@ void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
   }
 
   // The hit itself was already counted as one evaluation (and one budget
-  // tick) at the top of evalGoal.
+  // tick) at the top of evalGoal; charge the budget for the skipped
+  // evaluations too, so governed cached and uncached runs consume the
+  // same work and stop at the same goal. cacheAdmissible already refused
+  // hits the work ceiling cannot absorb, so only a deadline poll or a
+  // sticky cancel can trip here.
   NumEvaluations += E.TotalEvals - 1;
   NumCandidatesFiltered += E.CandidatesFiltered;
+  if (Opts.Budget && !BudgetStopped && E.TotalEvals > 1 &&
+      Opts.Budget->tick(E.TotalEvals - 1))
+    BudgetStopped = true;
 
   if (Info && E.HasWinner) {
     Info->HasWinner = true;
@@ -1153,9 +1172,13 @@ void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
 }
 
 void Solver::Impl::finishRecording(EvalResult Result,
-                                   const TraitEvalInfo &Winner) {
+                                   const TraitEvalInfo *CallerInfo) {
   RecFrame Frame = std::move(*Rec);
   Rec.reset();
+  // When evalGoal had no caller Info the winner was recorded into the
+  // frame itself (EffInfo = &Rec->Winner); read the move target, never a
+  // reference into the optional destroyed above.
+  const TraitEvalInfo &Winner = CallerInfo ? *CallerInfo : Frame.Winner;
 
   ProofForest &F = *OutForest;
   size_t RootGoal = Frame.Root.value();
@@ -1199,8 +1222,6 @@ void Solver::Impl::finishRecording(EvalResult Result,
     return static_cast<uint32_t>(Id.value() - Frame.CandsBefore);
   };
 
-  constexpr uint64_t PredStackSalt = 0x505245445354ull;
-  constexpr uint64_t NtStackSalt = 0x4E545354ull;
   Entry->Goals.reserve(NumGoalsNow - RootGoal);
   for (size_t I = RootGoal; I != NumGoalsNow; ++I) {
     const GoalNode &G = F.goal(GoalNodeId(static_cast<uint32_t>(I)));

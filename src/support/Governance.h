@@ -121,6 +121,17 @@ public:
   /// Work units charged in the current stage.
   uint64_t stageWork() const { return StageWork; }
 
+  /// Work units the stage ceiling can still absorb without tripping
+  /// (ceilings trip strictly above the limit); UINT64_MAX when no
+  /// ceiling is armed. Lets a caller about to charge a known bulk amount
+  /// (e.g. a goal-cache hit standing in for a recorded subtree) refuse
+  /// up front instead of diverging from the pay-as-you-go run.
+  uint64_t stageWorkRemaining() const {
+    if (WorkCeiling == 0)
+      return UINT64_MAX;
+    return WorkCeiling > StageWork ? WorkCeiling - StageWork : 0;
+  }
+
 private:
   bool poll();
 

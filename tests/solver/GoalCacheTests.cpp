@@ -18,6 +18,7 @@
 #include "extract/TreeJSON.h"
 #include "solver/GoalCache.h"
 #include "solver/Solver.h"
+#include "support/Governance.h"
 #include "tlang/Parser.h"
 
 #include <gtest/gtest.h>
@@ -75,6 +76,26 @@ std::string solveToJSON(const std::string &Source, GoalCache *Cache,
     JSON += treeToJSON(P.Prog, Tree, /*Pretty=*/true) + "\n";
   if (OutStats)
     *OutStats = std::move(Out);
+  return JSON;
+}
+
+/// solveToJSON under a stage work ceiling; reports the work consumed.
+std::string solveGoverned(const std::string &Source, GoalCache *Cache,
+                          uint64_t Ceiling, uint64_t *WorkOut) {
+  Parsed P(Source);
+  SolverOptions Opts =
+      Cache ? cacheOptions(Source, Cache) : SolverOptions();
+  ExecutionBudget Budget;
+  Budget.armStage(/*DeadlineSeconds=*/0, Ceiling);
+  Opts.Budget = &Budget;
+  Solver Solve(P.Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(P.Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(P.Prog, Tree, /*Pretty=*/true) + "\n";
+  if (WorkOut)
+    *WorkOut = Budget.stageWork();
   return JSON;
 }
 
@@ -312,6 +333,50 @@ TEST(CacheSolver, LegacyMemoizationDisablesTheCache) {
   EXPECT_EQ(Out.NumCacheHits + Out.NumCacheMisses + Out.NumCacheInserts,
             0u);
   EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(CacheSolver, CachedWinnerSubstSurvivesStandaloneRecording) {
+  // The trait goal is proved standalone first, so its entry is recorded
+  // with no caller TraitEvalInfo: the winner lives in the recording
+  // frame itself. The projection goal then hits that entry through its
+  // NormalizesTo subgoal and substitutes the associated binding with
+  // the spliced winner substitution — an empty one would normalize Out
+  // to the unbound generic instead of A. Regression: finishRecording
+  // used to read the winner through a reference aliasing the recording
+  // frame it had just moved from and destroyed.
+  std::string Source = "struct A;\n"
+                       "struct Wrap<T>;\n"
+                       "trait Conv { type Out; }\n"
+                       "impl<T> Conv for Wrap<T> { type Out = T; }\n"
+                       "goal Wrap<A>: Conv;\n"
+                       "goal <Wrap<A> as Conv>::Out == A;\n";
+  std::string Plain = solveToJSON(Source, nullptr);
+  GoalCache Cache;
+  SolveOutcome Out;
+  EXPECT_EQ(Plain, solveToJSON(Source, &Cache, &Out));
+  EXPECT_GT(Out.NumCacheHits, 0u)
+      << "the projection goal must consume the trait goal's entry";
+  EXPECT_EQ(Plain, solveToJSON(Source, &Cache)) << "warm replay";
+}
+
+TEST(CacheSolver, WorkCeilingParityWithWarmCache) {
+  // An uncached governed run ticks the budget once per goal evaluation.
+  // A cache hit must charge the skipped evaluations too — and refuse
+  // hits the remaining stage ceiling cannot absorb — or the warm run
+  // does strictly less governed work and stops at a different goal than
+  // the cold run under the same ceiling.
+  GoalCache Cache;
+  (void)solveToJSON(BasicSource, &Cache); // Warm, ungoverned.
+  ASSERT_GT(Cache.size(), 0u);
+  for (uint64_t Ceiling = 1; Ceiling <= 32; ++Ceiling) {
+    uint64_t PlainWork = 0, CachedWork = 0;
+    std::string Plain =
+        solveGoverned(BasicSource, nullptr, Ceiling, &PlainWork);
+    std::string Cached =
+        solveGoverned(BasicSource, &Cache, Ceiling, &CachedWork);
+    EXPECT_EQ(Plain, Cached) << "ceiling " << Ceiling;
+    EXPECT_EQ(PlainWork, CachedWork) << "ceiling " << Ceiling;
+  }
 }
 
 TEST(CacheSolver, SeededProgramsSurviveSingleSlotSharing) {
