@@ -35,6 +35,15 @@
 ///     expected to stay >= 1.5x and both are folded into the exit
 ///     status.
 ///
+///  5. "incremental": an engine::EditSession replaying successive
+///     revisions of a deep where-clause-chain program, each revision a
+///     same-length edit of one side impl the chain never consults,
+///     versus solving every revision cold. Dependency fingerprints let
+///     revision 2+ splice the whole chain from the previous revision's
+///     entries; the aggregate revision-2+ speedup is expected to stay
+///     >= 5x with byte-identical renderings, both folded into the exit
+///     status.
+///
 /// Usage: bench_hotpath [output.json]   (default: BENCH_hotpath.json)
 ///
 /// See DESIGN.md for the JSON schema and EXPERIMENTS.md for how to record
@@ -45,6 +54,7 @@
 #include "analysis/DNF.h"
 #include "corpus/Corpus.h"
 #include "corpus/Generator.h"
+#include "engine/EditSession.h"
 #include "engine/Session.h"
 #include "extract/Extract.h"
 #include "extract/TreeJSON.h"
@@ -173,23 +183,15 @@ CacheMeasurement measureCache(const CacheWorkload &Workload) {
     return M; // Identical stays false; a bad fixture fails the bench.
 
   const SolverOptions BaseOpts;
-  auto Fp = GoalCache::fingerprint(Workload.Source,
-                                   BaseOpts.EmitWellFormedGoals,
-                                   BaseOpts.EnableCandidateIndex,
-                                   BaseOpts.EnableMemoization);
   auto solveOnce = [&](GoalCache *Cache) {
     SolverOptions Opts = BaseOpts;
     Opts.Cache = Cache;
-    Opts.CacheFp0 = Fp.first;
-    Opts.CacheFp1 = Fp.second;
     Solver Solve(Prog, Opts);
     return Solve.solve();
   };
   auto renderOnce = [&](GoalCache *Cache, SolveOutcome *Out = nullptr) {
     SolverOptions Opts = BaseOpts;
     Opts.Cache = Cache;
-    Opts.CacheFp0 = Fp.first;
-    Opts.CacheFp1 = Fp.second;
     Solver Solve(Prog, Opts);
     SolveOutcome Result = Solve.solve();
     Extraction Ex = extractTrees(Prog, Result, Solve.inferContext());
@@ -512,6 +514,125 @@ int main(int Argc, char **Argv) {
   W.keyValue("identical", CacheIdentical);
   W.endObject();
   W.endObject();
+
+  // --- Section 5: incremental edit sessions. A deep *successful*
+  // where-clause chain dominates every revision's solve (each level pays
+  // a quiet probe plus a loud replay, so the cold cost is O(2^depth)
+  // while the recorded proof tree is linear and splices in
+  // microseconds). The per-revision edit toggles one same-length side
+  // impl the chain never consults, so dependency fingerprints let
+  // revision 2+ splice the chain from the previous revision's entries;
+  // two failing goals render trees every revision so byte-identity is
+  // checked against real output.
+  const unsigned IncrDepth = 12;
+  const size_t IncrRevisions = 8;
+  auto IncrSource = [&](bool SideB) {
+    std::string S = "struct A;\nstruct B;\nstruct Wrap<T>;\ntrait Show;\n"
+                    "trait Side;\n"
+                    "impl Show for A;\n"
+                    "impl<T> Show for Wrap<T> where T: Show;\n";
+    // Same length either way: the edit moves one impl between types
+    // without shifting any later span.
+    S += SideB ? "impl Side for B;\n" : "impl Side for A;\n";
+    std::string Ty = "A"; // Holds: A at the bottom satisfies the chain.
+    for (unsigned I = 0; I != IncrDepth; ++I)
+      Ty = "Wrap<" + Ty + ">";
+    S += "goal " + Ty + ": Show;\n"
+         "goal Wrap<Wrap<B>>: Show;\n" // Fails two levels down: a tree.
+         "goal A: Side;\n";            // Flips per revision: a tree on
+                                       // odd revisions.
+    return S;
+  };
+  std::vector<std::string> IncrRevs;
+  for (size_t R = 0; R != IncrRevisions; ++R)
+    IncrRevs.push_back(IncrSource(/*SideB=*/R % 2 == 1));
+
+  auto RenderSession = [](engine::Session &S) {
+    std::string Out;
+    if (!S.parseOk())
+      return std::string("parse error\n");
+    for (size_t T = 0; T != S.numTrees(); ++T)
+      Out += S.bottomUpText(T) + "\n";
+    if (S.numTrees() == 0)
+      Out += "holds\n";
+    return Out;
+  };
+
+  engine::SessionOptions IncrColdOpts; // Cache stays Off.
+  engine::SessionOptions IncrWarmOpts;
+  IncrWarmOpts.Cache = engine::CacheMode::Shared; // EditSession owns it.
+
+  // Calibrate off one cold replay of the full revision sequence.
+  double IncrProbe = timeReps(1, [&] {
+    for (const std::string &Src : IncrRevs) {
+      engine::Session S("incremental", Src, IncrColdOpts);
+      (void)RenderSession(S);
+    }
+  });
+  uint64_t IncrReps =
+      IncrProbe > 0.0 ? static_cast<uint64_t>(0.4 / IncrProbe) : 64;
+  if (IncrReps < 4)
+    IncrReps = 4;
+  if (IncrReps > 512)
+    IncrReps = 512;
+
+  std::vector<std::string> IncrColdRef(IncrRevs.size());
+  double ColdFirst = 0.0, ColdRest = 0.0;
+  double IncrFirst = 0.0, IncrRest = 0.0;
+  bool IncrIdentical = true;
+  uint64_t IncrCrossRevHits = 0, IncrDepMisses = 0, IncrInvalidated = 0;
+  for (uint64_t Rep = 0; Rep != IncrReps; ++Rep) {
+    for (size_t R = 0; R != IncrRevs.size(); ++R) {
+      double Start = now();
+      engine::Session S("incremental", IncrRevs[R], IncrColdOpts);
+      std::string Rendered = RenderSession(S);
+      (R == 0 ? ColdFirst : ColdRest) += now() - Start;
+      if (Rep == 0)
+        IncrColdRef[R] = std::move(Rendered);
+    }
+    engine::EditSession Edit("incremental", IncrWarmOpts);
+    for (size_t R = 0; R != IncrRevs.size(); ++R) {
+      double Start = now();
+      engine::Session &S = Edit.apply(IncrRevs[R]);
+      std::string Rendered = RenderSession(S);
+      (R == 0 ? IncrFirst : IncrRest) += now() - Start;
+      IncrIdentical &= Rendered == IncrColdRef[R];
+      if (Rep == 0) {
+        IncrCrossRevHits += S.stats().CacheCrossRevHits;
+        IncrDepMisses += S.stats().CacheDepMisses;
+        IncrInvalidated += S.stats().ImplsInvalidated;
+      }
+    }
+  }
+  double IncrSpeedup = IncrRest > 0.0 ? ColdRest / IncrRest : 0.0;
+  double Reps = static_cast<double>(IncrReps);
+  printf("incremental: revisions=%zu depth=%u reps=%llu"
+         " cold_rev1=%.3fms cold_rest=%.3fms incr_rev1=%.3fms"
+         " incr_rest=%.3fms cross_rev_hits=%llu impls_invalidated=%llu"
+         " speedup_rest=%.2fx identical=%s\n",
+         IncrRevs.size(), IncrDepth,
+         static_cast<unsigned long long>(IncrReps), 1e3 * ColdFirst / Reps,
+         1e3 * ColdRest / Reps, 1e3 * IncrFirst / Reps,
+         1e3 * IncrRest / Reps,
+         static_cast<unsigned long long>(IncrCrossRevHits),
+         static_cast<unsigned long long>(IncrInvalidated), IncrSpeedup,
+         IncrIdentical ? "yes" : "NO");
+
+  W.key("incremental");
+  W.beginObject();
+  W.keyValue("revisions", static_cast<uint64_t>(IncrRevs.size()));
+  W.keyValue("chain_depth", static_cast<uint64_t>(IncrDepth));
+  W.keyValue("reps", IncrReps);
+  W.keyValue("cold_rev1_seconds_per_pass", ColdFirst / Reps);
+  W.keyValue("cold_rest_seconds_per_pass", ColdRest / Reps);
+  W.keyValue("incremental_rev1_seconds_per_pass", IncrFirst / Reps);
+  W.keyValue("incremental_rest_seconds_per_pass", IncrRest / Reps);
+  W.keyValue("cache_cross_rev_hits_per_replay", IncrCrossRevHits);
+  W.keyValue("cache_dep_misses_per_replay", IncrDepMisses);
+  W.keyValue("impls_invalidated_per_replay", IncrInvalidated);
+  W.keyValue("speedup_rest", IncrSpeedup);
+  W.keyValue("identical", IncrIdentical);
+  W.endObject();
   W.endObject();
 
   std::ofstream Out(OutPath);
@@ -525,13 +646,25 @@ int main(int Argc, char **Argv) {
   // The baseline is only worth recording if the kernels agree and the
   // cache is both invisible in the output and actually faster; these are
   // the acceptance bars this bench exists to witness.
-  if (!AllIdentical || !CacheIdentical)
+  if (!AllIdentical || !CacheIdentical || !IncrIdentical)
     return 1;
   if (CacheSpeedup < 1.5) {
     fprintf(stderr,
             "bench_hotpath: cache aggregate speedup %.2fx below the 1.5x"
             " floor\n",
             CacheSpeedup);
+    return 1;
+  }
+  if (IncrSpeedup < 5.0) {
+    fprintf(stderr,
+            "bench_hotpath: incremental revision-2+ speedup %.2fx below"
+            " the 5x floor\n",
+            IncrSpeedup);
+    return 1;
+  }
+  if (IncrCrossRevHits == 0) {
+    fprintf(stderr, "bench_hotpath: incremental replay produced no"
+                    " cross-revision cache hits\n");
     return 1;
   }
   return 0;

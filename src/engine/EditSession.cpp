@@ -1,0 +1,83 @@
+//===- engine/EditSession.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/EditSession.h"
+
+#include <algorithm>
+
+namespace argus {
+namespace engine {
+
+EditSession::EditSession(std::string Name, SessionOptions Opts)
+    : Name(std::move(Name)), Opts(std::move(Opts)) {
+  // CacheMode::Off is honored (every revision solves cold — the
+  // comparison baseline for the incremental gates); any cache mode
+  // becomes Shared against the cache owned here, which is the whole
+  // point of an edit session.
+  if (this->Opts.Cache != CacheMode::Off) {
+    this->Opts.Cache = CacheMode::Shared;
+    this->Opts.SharedCache = &Cache;
+  }
+}
+
+namespace {
+
+/// Sorted structural fingerprints of every impl in the revision's parsed
+/// program; empty on parse failure.
+std::vector<uint64_t> implFps(Session &S) {
+  std::vector<uint64_t> Fps;
+  if (!S.parseOk())
+    return Fps;
+  const Program &P = S.program();
+  Fps.reserve(P.impls().size());
+  for (uint32_t I = 0; I != P.impls().size(); ++I)
+    Fps.push_back(P.implFingerprint(ImplId(I)));
+  std::sort(Fps.begin(), Fps.end());
+  return Fps;
+}
+
+/// Size of the symmetric multiset difference: impls present on one side
+/// but not the other. An edited impl contributes to both sides but is
+/// reported once (max of the two one-sided counts), so one edit, one
+/// addition, or one removal each read as 1.
+uint64_t fpDiff(const std::vector<uint64_t> &A,
+                const std::vector<uint64_t> &B) {
+  size_t I = 0, J = 0, OnlyA = 0, OnlyB = 0;
+  while (I != A.size() || J != B.size()) {
+    if (J == B.size() || (I != A.size() && A[I] < B[J])) {
+      ++OnlyA;
+      ++I;
+    } else if (I == A.size() || B[J] < A[I]) {
+      ++OnlyB;
+      ++J;
+    } else {
+      ++I;
+      ++J;
+    }
+  }
+  return std::max(OnlyA, OnlyB);
+}
+
+} // namespace
+
+Session &EditSession::apply(std::string Source) {
+  // Destroy the previous revision before building the next: Sessions are
+  // single-threaded and the cache outlives both, so entries recorded by
+  // revision N serve lookups in revision N+1 (their dependency
+  // fingerprints decide which survive the edit).
+  Current.reset();
+  Current.emplace(Name, std::move(Source), Opts);
+  ++Revision;
+
+  std::vector<uint64_t> Fps = implFps(*Current);
+  Current->noteImplsInvalidated(Revision == 1 ? 0
+                                              : fpDiff(PrevImplFps, Fps));
+  PrevImplFps = std::move(Fps);
+  return *Current;
+}
+
+} // namespace engine
+} // namespace argus

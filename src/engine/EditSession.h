@@ -1,0 +1,77 @@
+//===- engine/EditSession.h - Incremental program revisions ---*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An edit session models a developer iterating on one program: the same
+/// file re-analyzed after each edit. Every revision gets a fresh
+/// engine::Session (its own interner/arena/program — revisions never
+/// share mutable state), but all revisions share one GoalCache owned
+/// here. The cache's per-entry dependency fingerprints make reuse exact:
+/// a goal replays from cache iff every impl slice and trait declaration
+/// its recorded subtree consulted is byte-identical in the new revision,
+/// so editing one impl invalidates exactly the goals that could see it
+/// and everything else is spliced instead of re-proved. Output is
+/// byte-identical to a cold solve of each revision by construction.
+///
+/// Per-revision counters report how well that worked:
+/// cache_cross_rev_hits (goals served by a previous revision's entries)
+/// and impls_invalidated (impls whose structural fingerprint changed
+/// since the previous revision, computed by diffing fingerprint
+/// multisets — an add, a removal, or an edit each count once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_ENGINE_EDITSESSION_H
+#define ARGUS_ENGINE_EDITSESSION_H
+
+#include "engine/Session.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace argus {
+namespace engine {
+
+class EditSession {
+public:
+  /// \p Opts configures every revision's Session identically. Any cache
+  /// mode other than Off is overridden to Shared against the cache owned
+  /// here; CacheMode::Off is honored, making every revision solve cold
+  /// (the comparison baseline for the incremental gates).
+  explicit EditSession(std::string Name,
+                       SessionOptions Opts = SessionOptions());
+
+  /// Analyzes the next revision of the program, replacing the previous
+  /// one. Returns the revision's Session; it stays valid (and owns all
+  /// its results) until the next apply() or the EditSession's end.
+  /// The session's stats carry impls_invalidated for this transition.
+  Session &apply(std::string Source);
+
+  /// Revisions applied so far.
+  uint32_t revision() const { return Revision; }
+
+  /// The current revision's Session; null before the first apply().
+  Session *current() { return Current ? &*Current : nullptr; }
+
+  GoalCache &cache() { return Cache; }
+
+private:
+  std::string Name;
+  SessionOptions Opts;
+  GoalCache Cache;
+  uint32_t Revision = 0;
+  /// Sorted impl fingerprints of the previous revision (empty when the
+  /// revision failed to parse — every impl then counts as invalidated).
+  std::vector<uint64_t> PrevImplFps;
+  std::optional<Session> Current;
+};
+
+} // namespace engine
+} // namespace argus
+
+#endif // ARGUS_ENGINE_EDITSESSION_H

@@ -21,6 +21,10 @@
 ///   extract.truncate   MaxTreeGoals forced to one
 ///   cache.reject       every goal-cache insert rejected (probed only
 ///                      when a cache mode is active; output unchanged)
+///   cache.depmiss      every goal-cache dependency check fails, so hits
+///                      degrade to counted dep-misses and cold re-solves
+///                      (probed only when a cache mode is active; output
+///                      unchanged)
 ///   <stage>.cancel     sticky cancellation at stage entry
 ///   <stage>.deadline   stage-scoped deadline stop at stage entry
 ///   <stage>.work       stage-scoped work-ceiling stop at stage entry

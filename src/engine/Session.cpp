@@ -12,7 +12,6 @@
 #include <chrono>
 #include <fstream>
 #include <sstream>
-#include <tuple>
 
 namespace argus {
 namespace engine {
@@ -90,6 +89,9 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("cache_misses", CacheMisses);
   Writer.keyValue("cache_inserts", CacheInserts);
   Writer.keyValue("cache_inserts_rejected", CacheInsertsRejected);
+  Writer.keyValue("cache_cross_rev_hits", CacheCrossRevHits);
+  Writer.keyValue("cache_dep_misses", CacheDepMisses);
+  Writer.keyValue("impls_invalidated", ImplsInvalidated);
   Writer.keyValue("trees_extracted", static_cast<uint64_t>(TreesExtracted));
   Writer.keyValue("tree_goals", static_cast<uint64_t>(TreeGoals));
   Writer.keyValue("snapshots_dropped",
@@ -260,13 +262,12 @@ const SolveOutcome &Session::solve() {
             GoalCache::Config{Opts.CacheShards, Opts.CacheCap});
         SOpts.Cache = OwnCache.get();
       }
-      std::tie(SOpts.CacheFp0, SOpts.CacheFp1) = GoalCache::fingerprint(
-          Source, SOpts.EmitWellFormedGoals, SOpts.EnableCandidateIndex,
-          SOpts.EnableMemoization);
       // Only probed when the cache is on, so configured fault plans keep
       // firing the same sites (and counters) for cache-off runs.
       if (Gov && Gov->shouldFail("cache.reject"))
         SOpts.CacheRejectAll = true;
+      if (Gov && Gov->shouldFail("cache.depmiss"))
+        SOpts.CacheForceDepMiss = true;
     }
     TheSolver = std::make_unique<Solver>(*Prog, SOpts);
     Outcome = TheSolver->solve();
@@ -279,6 +280,8 @@ const SolveOutcome &Session::solve() {
     Stats.CacheMisses = Outcome->NumCacheMisses;
     Stats.CacheInserts = Outcome->NumCacheInserts;
     Stats.CacheInsertsRejected = Outcome->NumCacheInsertsRejected;
+    Stats.CacheCrossRevHits = Outcome->NumCacheCrossRevHits;
+    Stats.CacheDepMisses = Outcome->NumCacheDepMisses;
     Stats.ArenaHashLookups = Sess->types().hashLookups();
     if (Outcome->EvalBudgetExhausted)
       noteFailure({FailureCode::SolverOverflow, Stage::Solve,

@@ -85,6 +85,17 @@ struct SessionStats {
   /// overflow in the subtree, budget/deadline stop, external binding, or
   /// an injected cache.reject fault).
   uint64_t CacheInsertsRejected = 0;
+  /// Hits served by entries recorded before this solve began — by an
+  /// earlier revision of an EditSession, another batch job, or a prior
+  /// run sharing the cache. Subset of CacheHits.
+  uint64_t CacheCrossRevHits = 0;
+  /// Lookups whose resident entry variants all failed the dependency-
+  /// fingerprint check (an impl/trait the recorded subtree consulted was
+  /// edited), forcing a cold re-solve of that goal.
+  uint64_t CacheDepMisses = 0;
+  /// EditSession only: impls whose fingerprint changed (added, removed,
+  /// or edited) between the previous revision and this one.
+  uint64_t ImplsInvalidated = 0;
 
   // --- Extract.
   size_t TreesExtracted = 0;
@@ -222,6 +233,10 @@ public:
   /// bumps the governance counters. Public so the batch driver can
   /// attribute worker panics.
   void noteFailure(Failure F);
+
+  /// Stamps the edit-session invalidation count into this Session's
+  /// stats (EditSession computes it by diffing revision fingerprints).
+  void noteImplsInvalidated(uint64_t N) { Stats.ImplsInvalidated = N; }
 
   // --- Stage accessors. Each lazily runs its prerequisites and caches.
 

@@ -21,23 +21,18 @@ using namespace argus;
 //              | kind sym sym mut region nargs type*   (all other kinds)
 //   varTok   ::= (rel << 1) | 1           (intern: allocated in the subtree)
 //              | (raw << 1) | 0           (extern: consumer's own variable)
-//   sym      ::= 0 | value + 1
+//   sym      ::= 0 | id + 1
 //   region   ::= kind sym
 //   pred     ::= kind sym type nargs type* type region region
 //
-// Symbols are stored by raw interner value. That is sound here because
-// every symbol reachable from a solver predicate is either interned at
-// parse time (so identical sources intern identical tables) or one of the
-// solver's builtin names, which Solver pre-interns in a fixed order when
-// a cache is attached; the 128-bit source fingerprint in the key keeps
-// entries from programs with different intern tables apart.
+// With a CacheSymbolMap installed, `id` is a CacheSymbolRegistry id —
+// stable text-keyed identity shared by every session using the cache.
+// Without one (tests, single-session round-trips) it degrades to the raw
+// interner value.
 
 namespace {
 
 constexpr uint64_t HashSeed = 1469598103934665603ull;
-/// Only the source fingerprint still runs byte-wise FNV — it hashes each
-/// program once, off the per-goal path, and needs byte granularity.
-constexpr uint64_t FnvPrime = 1099511628211ull;
 
 /// Folds one 64-bit token into the running hash: a multiply to spread
 /// the token's bits (off the critical path) and one avalanche round on
@@ -51,34 +46,93 @@ uint64_t mixToken(uint64_t H, uint64_t Value) {
   return H;
 }
 
-uint64_t symToken(Symbol S) {
-  return S.isValid() ? static_cast<uint64_t>(S.value()) + 1 : 0;
-}
-
-Symbol symFromToken(uint64_t Token) {
-  return Token == 0 ? Symbol()
-                    : Symbol(static_cast<uint32_t>(Token - 1));
-}
-
-void encodeRegion(CacheEnc &Out, Region R) {
-  Out.push_back(static_cast<uint64_t>(R.Kind));
-  Out.push_back(symToken(R.Name));
-}
-
-Region decodeRegion(const CacheEnc &In, size_t &Pos) {
-  Region R;
-  R.Kind = static_cast<RegionKind>(In[Pos++]);
-  R.Name = symFromToken(In[Pos++]);
-  return R;
-}
-
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Symbol registry and per-session bridge
+//===----------------------------------------------------------------------===//
+
+uint32_t CacheSymbolRegistry::intern(std::string_view Text) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(Text);
+  if (It != Map.end())
+    return It->second;
+  Strings.emplace_back(Text);
+  uint32_t Id = static_cast<uint32_t>(Strings.size() - 1);
+  Map.emplace(std::string_view(Strings.back()), Id);
+  return Id;
+}
+
+std::string_view CacheSymbolRegistry::text(uint32_t Id) const {
+  std::lock_guard<std::mutex> Lock(M);
+  assert(Id < Strings.size() && "bad registry id");
+  return Strings[Id];
+}
+
+size_t CacheSymbolRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Strings.size();
+}
+
+uint64_t CacheSymbolMap::token(Symbol S) {
+  if (!S.isValid())
+    return 0;
+  uint32_t Index = S.value();
+  if (Index >= ToCache.size())
+    ToCache.resize(Index + 1, 0);
+  if (ToCache[Index] == 0)
+    ToCache[Index] = Reg->intern(Names->text(S)) + 1;
+  return ToCache[Index];
+}
+
+Symbol CacheSymbolMap::symbol(uint64_t Token) {
+  if (Token == 0)
+    return Symbol();
+  uint32_t Id = static_cast<uint32_t>(Token - 1);
+  if (Id >= FromCache.size())
+    FromCache.resize(Id + 1, 0);
+  if (FromCache[Id] == 0)
+    FromCache[Id] = Names->intern(Reg->text(Id)).value() + 1;
+  return Symbol(FromCache[Id] - 1);
+}
+
+Symbol CacheSymbolMap::peek(uint64_t Token) {
+  if (Token == 0)
+    return Symbol();
+  uint32_t Id = static_cast<uint32_t>(Token - 1);
+  if (Id < FromCache.size() && FromCache[Id] != 0)
+    return Symbol(FromCache[Id] - 1);
+  Symbol S = Names->lookup(Reg->text(Id));
+  if (S.isValid()) {
+    if (Id >= FromCache.size())
+      FromCache.resize(Id + 1, 0);
+    FromCache[Id] = S.value() + 1;
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoder / decoder
+//===----------------------------------------------------------------------===//
 
 uint64_t argus::hashCacheEnc(const CacheEnc &Enc, uint64_t Salt) {
   uint64_t H = mixToken(HashSeed, Salt);
   for (uint64_t Token : Enc)
     H = mixToken(H, Token);
   return H;
+}
+
+uint64_t CacheEncoder::symToken(Symbol S) {
+  if (Syms)
+    return Syms->token(S);
+  return S.isValid() ? static_cast<uint64_t>(S.value()) + 1 : 0;
+}
+
+Symbol CacheDecoder::symFromToken(uint64_t Token) {
+  if (Syms)
+    return Syms->symbol(Token);
+  return Token == 0 ? Symbol()
+                    : Symbol(static_cast<uint32_t>(Token - 1));
 }
 
 void CacheEncoder::type(CacheEnc &Out, TypeId T) {
@@ -126,7 +180,8 @@ void CacheEncoder::typeUncached(CacheEnc &Out, TypeId T) {
   Out.push_back(symToken(Node.Name));
   Out.push_back(symToken(Node.TraitName));
   Out.push_back(Node.Mutable ? 1 : 0);
-  encodeRegion(Out, Node.Rgn);
+  Out.push_back(static_cast<uint64_t>(Node.Rgn.Kind));
+  Out.push_back(symToken(Node.Rgn.Name));
   Out.push_back(Node.Args.size());
   for (TypeId Arg : Node.Args)
     type(Out, Arg);
@@ -140,8 +195,10 @@ void CacheEncoder::pred(CacheEnc &Out, const Predicate &P) {
   for (TypeId Arg : P.Args)
     type(Out, Arg);
   type(Out, P.Rhs);
-  encodeRegion(Out, P.Rgn);
-  encodeRegion(Out, P.SubRegion);
+  Out.push_back(static_cast<uint64_t>(P.Rgn.Kind));
+  Out.push_back(symToken(P.Rgn.Name));
+  Out.push_back(static_cast<uint64_t>(P.SubRegion.Kind));
+  Out.push_back(symToken(P.SubRegion.Name));
 }
 
 uint32_t CacheDecoder::varIndex(uint64_t Token) const {
@@ -159,7 +216,8 @@ TypeId CacheDecoder::type(const CacheEnc &In, size_t &Pos) {
   Node.Name = symFromToken(In[Pos++]);
   Node.TraitName = symFromToken(In[Pos++]);
   Node.Mutable = In[Pos++] != 0;
-  Node.Rgn = decodeRegion(In, Pos);
+  Node.Rgn.Kind = static_cast<RegionKind>(In[Pos++]);
+  Node.Rgn.Name = symFromToken(In[Pos++]);
   size_t NumArgs = In[Pos++];
   Node.Args.reserve(NumArgs);
   for (size_t I = 0; I != NumArgs; ++I)
@@ -177,51 +235,39 @@ Predicate CacheDecoder::pred(const CacheEnc &In, size_t &Pos) {
   for (size_t I = 0; I != NumArgs; ++I)
     P.Args.push_back(type(In, Pos));
   P.Rhs = type(In, Pos);
-  P.Rgn = decodeRegion(In, Pos);
-  P.SubRegion = decodeRegion(In, Pos);
+  P.Rgn.Kind = static_cast<RegionKind>(In[Pos++]);
+  P.Rgn.Name = symFromToken(In[Pos++]);
+  P.SubRegion.Kind = static_cast<RegionKind>(In[Pos++]);
+  P.SubRegion.Name = symFromToken(In[Pos++]);
   return P;
 }
 
 //===----------------------------------------------------------------------===//
-// Fingerprint and key hashing
+// Key hashing
 //===----------------------------------------------------------------------===//
 
-std::pair<uint64_t, uint64_t>
-GoalCache::fingerprint(std::string_view Source, bool EmitWellFormedGoals,
-                       bool EnableCandidateIndex, bool EnableMemoization) {
-  uint64_t Lo = HashSeed;
-  uint64_t Hi = 0x2DD5B7A464A11C8Full; // Independent second basis.
-  for (unsigned char C : Source) {
-    Lo = (Lo ^ C) * FnvPrime;
-    Hi = (Hi ^ C) * 0x100000001B3ull + 0x9E3779B97F4A7C15ull;
-  }
-  uint64_t Flags = (EmitWellFormedGoals ? 1 : 0) |
-                   (EnableCandidateIndex ? 2 : 0) |
-                   (EnableMemoization ? 4 : 0);
-  Lo = mixToken(Lo, Flags);
-  Hi = mixToken(Hi, Flags ^ 0xA5A5A5A5A5A5A5A5ull);
-  return {Lo, Hi};
-}
-
-uint64_t GoalCache::envSeed(uint64_t Fp0, uint64_t Fp1,
-                            const CacheEnc *Env) {
-  uint64_t H = mixToken(HashSeed, Fp0);
-  H = mixToken(H, Fp1);
+uint64_t GoalCache::envSeed(uint64_t FlagsFp, const CacheEnc *Env) {
+  uint64_t H = mixToken(HashSeed, FlagsFp);
   if (Env)
     for (uint64_t Token : *Env)
       H = mixToken(H, Token);
   return mixToken(H, 0x454E56ull); // "ENV" separator.
 }
 
-uint64_t GoalCache::finishKeyHash(uint64_t Seed, const CacheEnc &Pred) {
+uint64_t GoalCache::finishKeyHash(uint64_t Seed, Span Origin,
+                                  const CacheEnc &Pred) {
   uint64_t H = Seed;
+  H = mixToken(H, Origin.File.isValid()
+                      ? static_cast<uint64_t>(Origin.File.value()) + 1
+                      : 0);
+  H = mixToken(H, (static_cast<uint64_t>(Origin.Begin) << 32) | Origin.End);
   for (uint64_t Token : Pred)
     H = mixToken(H, Token);
   return H;
 }
 
 void GoalCache::finalizeKey(Key &K) {
-  K.Hash = finishKeyHash(envSeed(K.Fp0, K.Fp1, K.Env.get()), K.Pred);
+  K.Hash = finishKeyHash(envSeed(K.FlagsFp, K.Env.get()), K.Origin, K.Pred);
 }
 
 //===----------------------------------------------------------------------===//
@@ -239,17 +285,16 @@ GoalCache::GoalCache(Config C)
   ShardTable = std::make_unique<Shard[]>(NumShards);
 }
 
-GoalCache::EntryPtr GoalCache::lookup(const Key &K) {
+void GoalCache::lookup(const Key &K, std::vector<EntryPtr> &Out) {
   Shard &S = shardFor(K.Hash);
   std::lock_guard<std::mutex> Lock(S.M);
   auto Range = S.Map.equal_range(K.Hash);
   for (auto It = Range.first; It != Range.second; ++It) {
     if (It->second.K == K) {
       It->second.LastUsed = ++S.Clock;
-      return It->second.E;
+      Out.push_back(It->second.E);
     }
   }
-  return nullptr;
 }
 
 bool GoalCache::insert(const Key &K, EntryPtr E) {
@@ -258,7 +303,7 @@ bool GoalCache::insert(const Key &K, EntryPtr E) {
   std::lock_guard<std::mutex> Lock(S.M);
   auto Range = S.Map.equal_range(K.Hash);
   for (auto It = Range.first; It != Range.second; ++It)
-    if (It->second.K == K)
+    if (It->second.K == K && It->second.E->Deps == E->Deps)
       return false; // Keep-first: concurrent recorders are equivalent.
   if (S.Map.size() >= PerShardCap) {
     // LRU-ish: evict the least-recently-used entry of this shard. A

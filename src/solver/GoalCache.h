@@ -14,13 +14,23 @@
 ///
 /// Keys and entries never reference a session's TypeArena or
 /// StringInterner directly. Types and predicates are stored as canonical
-/// u64 token streams (structural, arena-independent), and a 128-bit
-/// fingerprint of the program source plus the solver flags that shape
-/// proof trees isolates entries between distinct programs sharing one
-/// batch-wide cache. Inference variables are tagged extern (an index into
-/// the consumer's own variable space, resolved identically by key
-/// equality) or intern (allocated inside the recorded subtree, re-based
-/// onto fresh variables at splice time).
+/// u64 token streams (structural, arena-independent); symbols are bridged
+/// through a cache-owned CacheSymbolRegistry so entries recorded by one
+/// session's interner decode correctly under any other. A key is the
+/// resolved goal, its resolved environment, its origin span, and the
+/// solver flags that shape proof trees — *not* a program fingerprint.
+/// Validity against the current program is checked per entry through
+/// dependency units (Entry::Deps): the impl slices and trait declarations
+/// the recorded subtree actually consulted, fingerprinted at record time
+/// and re-fingerprinted against the consumer's program on lookup. Editing
+/// one impl therefore invalidates exactly the goals whose enumeration
+/// could see it; everything else replays from cache, across edits of one
+/// program and across distinct programs sharing declarations.
+///
+/// Inference variables are tagged extern (an index into the consumer's
+/// own variable space, resolved identically by key equality) or intern
+/// (allocated inside the recorded subtree, re-based onto fresh variables
+/// at splice time).
 ///
 /// Cacheability is enforced at both ends: goals are only recorded when
 /// their resolved predicate has no unresolved inference variables, and a
@@ -34,9 +44,11 @@
 #define ARGUS_SOLVER_GOALCACHE_H
 
 #include "solver/ProofTree.h"
+#include "support/StringInterner.h"
 #include "tlang/Predicate.h"
 #include "tlang/TypeArena.h"
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -52,6 +64,56 @@ using CacheEnc = std::vector<uint64_t>;
 /// FNV-1a over u64 tokens; \p Salt separates hash domains (full
 /// predicates vs NormalizesTo subjects vs environments).
 uint64_t hashCacheEnc(const CacheEnc &Enc, uint64_t Salt);
+
+/// Thread-safe text <-> small-integer registry owned by a GoalCache.
+/// Every symbol a cache entry stores is one of these ids, so entries are
+/// portable between sessions whose StringInterners assigned different
+/// raw values (or never interned the name at all).
+class CacheSymbolRegistry {
+public:
+  /// Interns \p Text, returning the existing id if already present.
+  uint32_t intern(std::string_view Text);
+
+  /// Returns the text for \p Id. The view is stable for the lifetime of
+  /// the registry.
+  std::string_view text(uint32_t Id) const;
+
+  size_t size() const;
+
+private:
+  mutable std::mutex M;
+  // A deque keeps element addresses stable on growth, so the string_view
+  // keys in Map (and the views text() hands out) never dangle.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Map;
+};
+
+/// Memoized bridge between one session's StringInterner and a cache's
+/// CacheSymbolRegistry. Owned per solver (not thread-safe); the memo
+/// vectors keep the registry's mutex off the per-token path.
+class CacheSymbolMap {
+public:
+  CacheSymbolMap(CacheSymbolRegistry &Reg, StringInterner &Names)
+      : Reg(&Reg), Names(&Names) {}
+
+  /// Session symbol -> registry token. 0 encodes the invalid symbol.
+  uint64_t token(Symbol S);
+
+  /// Registry token -> session symbol, interning the text into the
+  /// session on first sight (splice-side decoding).
+  Symbol symbol(uint64_t Token);
+
+  /// Registry token -> session symbol without interning: returns the
+  /// invalid symbol when the session never saw the name. Used by
+  /// dependency checks, which must not mutate the consumer's interner.
+  Symbol peek(uint64_t Token);
+
+private:
+  CacheSymbolRegistry *Reg;
+  StringInterner *Names;
+  std::vector<uint32_t> ToCache;   ///< Symbol value -> registry id + 1.
+  std::vector<uint32_t> FromCache; ///< Registry id -> Symbol value + 1.
+};
 
 /// Memo of raw-mode type encodings, indexed by TypeId. Arena types are
 /// immutable and ids append-only, so a type's RawVars encoding never
@@ -78,17 +140,22 @@ struct TypeEncodeMemo {
 /// to the base; smaller indices are tagged extern and stored raw. Pass
 /// RawVars to store every variable extern (used for keys and stack
 /// hashes, where indices are meaningful in the consumer's own space).
+///
+/// When \p Syms is set, symbols are emitted as registry tokens (portable
+/// across sessions); without it they are raw interner values, which only
+/// round-trip within one session.
 class CacheEncoder {
 public:
   static constexpr uint32_t RawVars = 0xFFFFFFFFu;
 
   /// \p Memo may only be shared between RawVars encoders over the same
-  /// arena: frame-relative encodings re-base variable tokens, so their
-  /// token spans are not reusable across VarsBase values.
+  /// arena with the same symbol map: frame-relative encodings re-base
+  /// variable tokens, so their token spans are not reusable across
+  /// VarsBase values.
   CacheEncoder(const TypeArena &Arena, uint32_t VarsBase,
-               TypeEncodeMemo *Memo = nullptr)
+               TypeEncodeMemo *Memo = nullptr, CacheSymbolMap *Syms = nullptr)
       : Arena(&Arena), VarsBase(VarsBase),
-        Memo(VarsBase == RawVars ? Memo : nullptr) {}
+        Memo(VarsBase == RawVars ? Memo : nullptr), Syms(Syms) {}
 
   void type(CacheEnc &Out, TypeId T);
   void pred(CacheEnc &Out, const Predicate &P);
@@ -100,10 +167,12 @@ public:
 
 private:
   void typeUncached(CacheEnc &Out, TypeId T);
+  uint64_t symToken(Symbol S);
 
   const TypeArena *Arena;
   uint32_t VarsBase;
   TypeEncodeMemo *Memo = nullptr;
+  CacheSymbolMap *Syms = nullptr;
   bool SawVar = false;
 };
 
@@ -112,8 +181,9 @@ private:
 /// index of the first variable the consumer allocated for the splice.
 class CacheDecoder {
 public:
-  CacheDecoder(TypeArena &Arena, uint32_t VarsBase)
-      : Arena(&Arena), VarsBase(VarsBase) {}
+  CacheDecoder(TypeArena &Arena, uint32_t VarsBase,
+               CacheSymbolMap *Syms = nullptr)
+      : Arena(&Arena), VarsBase(VarsBase), Syms(Syms) {}
 
   TypeId type(const CacheEnc &In, size_t &Pos);
   Predicate pred(const CacheEnc &In, size_t &Pos);
@@ -123,8 +193,11 @@ public:
   uint32_t varIndex(uint64_t Token) const;
 
 private:
+  Symbol symFromToken(uint64_t Token);
+
   TypeArena *Arena;
   uint32_t VarsBase;
+  CacheSymbolMap *Syms = nullptr;
 };
 
 class GoalCache {
@@ -135,6 +208,41 @@ public:
   };
 
   static constexpr uint32_t NoId = 0xFFFFFFFFu;
+
+  /// One program-consultation dependency of a recorded subtree. An
+  /// ImplSlice unit names the exact candidate sequence an enumeration
+  /// walked (one head-constructor bucket merged with the trait's blanket
+  /// impls under the candidate index, or the trait's full impl list
+  /// without it); a TraitDecl unit names a trait declaration the subtree
+  /// read (fn-trait flag, where-clauses, associated-type bounds). Fp is
+  /// the slice/declaration fingerprint at record time; a lookup admits
+  /// the entry only if every unit re-fingerprints identically against
+  /// the consumer's program. An empty slice still records a unit with
+  /// the empty-slice fingerprint — the *negative* dependency that makes
+  /// adding a matching impl invalidate previously-failed goals.
+  struct DepUnit {
+    enum class Kind : uint8_t { ImplSlice, TraitDecl };
+    Kind K = Kind::ImplSlice;
+    uint64_t Trait = 0; ///< Registry token of the trait name.
+    bool HasHead = false; ///< ImplSlice only: bucketed by head key.
+    uint64_t HeadKind = 0;
+    uint64_t HeadName = 0;      ///< Registry token.
+    uint64_t HeadTraitName = 0; ///< Registry token.
+    uint64_t HeadArity = 0;
+    uint64_t HeadMutable = 0;
+    uint64_t Fp = 0;
+
+    /// Identity comparison (which slice/decl), ignoring Fp.
+    bool sameUnit(const DepUnit &B) const {
+      return K == B.K && Trait == B.Trait && HasHead == B.HasHead &&
+             HeadKind == B.HeadKind && HeadName == B.HeadName &&
+             HeadTraitName == B.HeadTraitName && HeadArity == B.HeadArity &&
+             HeadMutable == B.HeadMutable;
+    }
+    friend bool operator==(const DepUnit &A, const DepUnit &B) {
+      return A.sameUnit(B) && A.Fp == B.Fp;
+    }
+  };
 
   /// One recorded goal node, ids relative to the subtree: goal 0 is the
   /// root, candidate ids count from the first candidate the subtree
@@ -151,10 +259,15 @@ public:
     bool FromCache = false;
   };
 
+  /// Impl references are positional — (dependency unit, index into that
+  /// unit's candidate sequence) — never raw ImplIds, which are not stable
+  /// across programs. The consumer resolves them through its own slice
+  /// after the dependency check proved the sequences byte-identical.
   struct CandRec {
     CandidateKind Kind = CandidateKind::Builtin;
-    ImplId Impl;
-    Symbol BuiltinName; ///< Stored raw; see DESIGN.md on symbol stability.
+    uint32_t ImplUnit = NoId; ///< Index into Entry::Deps (Impl kind only).
+    uint32_t ImplPos = 0;     ///< Position in that unit's sequence.
+    uint64_t BuiltinName = 0; ///< Registry token.
     bool HasAssumption = false;
     CacheEnc Assumption;
     EvalResult Result = EvalResult::Maybe;
@@ -174,6 +287,9 @@ public:
     uint64_t TotalEvals = 0;    ///< Goal evaluations in the subtree (root incl).
     uint64_t CandidatesFiltered = 0;
     uint32_t NumFreshVars = 0;  ///< Variables the subtree allocated.
+    /// Everything the subtree consulted in the program, in first-
+    /// consultation order. Checked on every lookup; see DepUnit.
+    std::vector<DepUnit> Deps;
     /// Sorted hashes of the variable-free goal predicates evaluated in
     /// the subtree (plus NormalizesTo subject hashes). A consumer whose
     /// goal stack intersects this set must treat the lookup as a miss:
@@ -185,20 +301,28 @@ public:
     /// Winner info for Trait roots (consumed by NormalizesTo callers).
     bool HasWinner = false;
     CandidateKind WinnerKind = CandidateKind::Builtin;
-    ImplId WinnerImpl;
-    std::vector<std::pair<Symbol, CacheEnc>> WinnerSubst;
+    uint32_t WinnerImplUnit = NoId; ///< Positional, like CandRec.
+    uint32_t WinnerImplPos = 0;
+    std::vector<std::pair<uint64_t, CacheEnc>> WinnerSubst;
   };
   using EntryPtr = std::shared_ptr<const Entry>;
 
+  /// The key carries no program identity at all: validity against a
+  /// particular program is the dependency check's job. Origin (the root
+  /// goal's span) is part of the key because recorded subtrees splice
+  /// their interior origins verbatim — root-propagated origins then match
+  /// the consumer's by construction, and declaration-site origins are
+  /// pinned by the span-inclusive dependency fingerprints.
   struct Key {
-    uint64_t Fp0 = 0; ///< Program/flags fingerprint, low half.
-    uint64_t Fp1 = 0; ///< Fingerprint, high half.
-    CacheEnc Pred;    ///< Resolved root predicate, raw variable indices.
+    uint64_t FlagsFp = 0; ///< Tree-shaping solver flags.
+    Span Origin;          ///< Root goal's origin span.
+    CacheEnc Pred;        ///< Resolved root predicate, raw variable indices.
     std::shared_ptr<const CacheEnc> Env; ///< Resolved environment.
     uint64_t Hash = 0;
 
     friend bool operator==(const Key &A, const Key &B) {
-      if (A.Fp0 != B.Fp0 || A.Fp1 != B.Fp1 || A.Pred != B.Pred)
+      if (A.FlagsFp != B.FlagsFp || !(A.Origin == B.Origin) ||
+          A.Pred != B.Pred)
         return false;
       if (A.Env == B.Env)
         return true;
@@ -209,33 +333,35 @@ public:
   };
 
   /// Fills K.Hash from the other fields. Equivalent to
-  /// finishKeyHash(envSeed(...), K.Pred); the split form lets a solver
-  /// hoist the fingerprint+environment prefix — constant across every
+  /// finishKeyHash(envSeed(...), K.Origin, K.Pred); the split form lets a
+  /// solver hoist the flags+environment prefix — constant across every
   /// goal of a run whose environment is variable-free — out of the
   /// per-goal key computation.
   static void finalizeKey(Key &K);
 
-  /// Hash prefix over the fingerprint and environment tokens.
-  static uint64_t envSeed(uint64_t Fp0, uint64_t Fp1, const CacheEnc *Env);
+  /// Hash prefix over the flags fingerprint and environment tokens.
+  static uint64_t envSeed(uint64_t FlagsFp, const CacheEnc *Env);
 
-  /// Folds the predicate tokens onto an envSeed() prefix.
-  static uint64_t finishKeyHash(uint64_t Seed, const CacheEnc &Pred);
-
-  /// 128-bit fingerprint over the program source and the solver flags
-  /// that change proof-tree shape. Depth/evaluation limits are excluded
-  /// on purpose: they are handled by per-lookup admission checks.
-  static std::pair<uint64_t, uint64_t>
-  fingerprint(std::string_view Source, bool EmitWellFormedGoals,
-              bool EnableCandidateIndex, bool EnableMemoization);
+  /// Folds the origin span and predicate tokens onto an envSeed() prefix.
+  static uint64_t finishKeyHash(uint64_t Seed, Span Origin,
+                                const CacheEnc &Pred);
 
   GoalCache();
   explicit GoalCache(Config C);
 
-  /// Returns the entry for K, or null. Bumps the entry's LRU clock.
-  EntryPtr lookup(const Key &K);
+  /// The registry every entry's symbols are interned into.
+  CacheSymbolRegistry &symbols() { return Symbols; }
 
-  /// Keep-first insert: returns false (and keeps the resident entry) if
-  /// K is already present. Evicts the least-recently-used entry of the
+  /// Appends every entry stored under K to \p Out, in insertion order,
+  /// bumping their LRU clocks. A key can hold several variants — one per
+  /// distinct dependency set — because the key itself no longer isolates
+  /// programs; the caller dependency-checks each variant and at most one
+  /// can pass against any given program.
+  void lookup(const Key &K, std::vector<EntryPtr> &Out);
+
+  /// Keep-first insert per (key, dependency set): returns false (and
+  /// keeps the resident entry) if an entry with equal key and equal Deps
+  /// is already present. Evicts the least-recently-used entry of the
   /// target shard when that shard is at capacity.
   bool insert(const Key &K, EntryPtr E);
 
@@ -259,6 +385,7 @@ private:
     return ShardTable[Hash % NumShards];
   }
 
+  CacheSymbolRegistry Symbols;
   std::unique_ptr<Shard[]> ShardTable;
   unsigned NumShards;
   size_t PerShardCap;

@@ -58,6 +58,8 @@ struct Solver::Impl {
   uint64_t NumCacheMisses = 0;
   uint64_t NumCacheInserts = 0;
   uint64_t NumCacheInsertsRejected = 0;
+  uint64_t NumCacheCrossRevHits = 0;
+  uint64_t NumCacheDepMisses = 0;
   /// Latched when SolverOptions::Budget says stop: every goal evaluated
   /// from then on (including quiet replays) short-circuits to Overflow.
   bool BudgetStopped = false;
@@ -70,8 +72,18 @@ struct Solver::Impl {
   /// goals bind them, so lookups re-encode it on the fly.
   std::shared_ptr<const CacheEnc> EnvEnc;
   bool EnvHasVars = false;
-  /// Precomputed envSeed() over Fp + EnvEnc, valid while !EnvHasVars.
+  /// Precomputed envSeed() over the flags fingerprint + EnvEnc, valid
+  /// while !EnvHasVars.
   uint64_t EnvKeySeed = 0;
+  /// Tree-shaping solver flags folded into every cache key (Key::FlagsFp).
+  uint64_t CacheFlagsFp = 0;
+  /// Bridge between this session's interner and the cache's symbol
+  /// registry. Engaged iff Opts.Cache.
+  std::optional<CacheSymbolMap> CacheSyms;
+  /// Scratch for lookups: entry variants under the current key. A member
+  /// so the vector's capacity is reused; safe because the lookup section
+  /// of evalGoal completes before any recursive evaluation starts.
+  std::vector<GoalCache::EntryPtr> LookupScratch;
   /// Stack-conflict hash per GoalStack entry (parallel vector), so hit
   /// admission can test a recorded subtree's goals against the current
   /// ancestors without re-encoding the stack on every lookup.
@@ -95,6 +107,16 @@ struct Solver::Impl {
     GoalCache::Key Key;
     /// Winner storage when the root's caller passed no TraitEvalInfo.
     TraitEvalInfo Winner;
+    /// Program consultations of this subtree, in first-consultation
+    /// order: one unit per distinct impl slice enumerated and per trait
+    /// declaration read. Becomes Entry::Deps.
+    std::vector<GoalCache::DepUnit> Deps;
+    /// Raw ImplId -> (index into Deps, position in that unit's
+    /// sequence), so finishRecording can store positional impl
+    /// references. First registration wins; an impl reachable through
+    /// two units resolves identically through either once the
+    /// dependency check has matched both sequences.
+    std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> ImplRef;
   };
   std::optional<RecFrame> Rec;
   /// Entries recorded by this run, not yet published to Opts.Cache.
@@ -119,12 +141,14 @@ struct Solver::Impl {
     if (this->Opts.EnableMemoization)
       this->Opts.Cache = nullptr;
     if (this->Opts.Cache) {
-      // Entries store symbols by raw interner value, which is sound only
-      // if sessions with equal fingerprints build equal intern tables.
-      // Parse-time interning is deterministic from the source text;
-      // pre-interning every solver-builtin name in a fixed order keeps
-      // the tables aligned from here on regardless of which builtins a
-      // particular solve touches first.
+      CacheSyms.emplace(this->Opts.Cache->symbols(), S.interner());
+      CacheFlagsFp = (this->Opts.EmitWellFormedGoals ? 1u : 0u) |
+                     (this->Opts.EnableCandidateIndex ? 2u : 0u) |
+                     (this->Opts.EnableMemoization ? 4u : 0u);
+      // Decoding a spliced subtree interns builtin names the consumer
+      // may not have touched yet; pre-interning them in a fixed order
+      // keeps the intern table on the layout a cold run would build, so
+      // interner growth never depends on cache-hit order.
       for (const char *Name :
            {"Self", "normalize-subject", "ambiguous-self", "fn-item",
             "project", "normalize", "outlives", "region-outlives", "sized",
@@ -186,12 +210,38 @@ struct Solver::Impl {
 
   // --- Goal cache (see GoalCache.h for the entry format).
   uint64_t stackHashOf(const Predicate &P);
-  GoalCache::Key makeCacheKey(const Predicate &Resolved);
+  GoalCache::Key makeCacheKey(const Predicate &Resolved, Span Origin);
   bool cacheAdmissible(const GoalCache::Entry &E, uint32_t Depth) const;
+
+  /// Result of a passing dependency check: the consumer-side slice for
+  /// each ImplSlice unit of the entry (parallel to Entry::Deps, null for
+  /// TraitDecl units), through which positional impl references resolve.
+  struct DepCheck {
+    std::vector<const Program::ImplSlice *> Slices;
+  };
+  /// Re-fingerprints every dependency unit of \p E against this solver's
+  /// program. True iff all match (the entry's recorded subtree is exactly
+  /// what a cold solve would produce here); fills \p DC on success.
+  bool checkDeps(const GoalCache::Entry &E, DepCheck &DC);
+
+  /// Registers one dependency unit on the active recording frame,
+  /// deduplicating by unit identity; for slice units also registers
+  /// every impl of the sequence in Frame.ImplRef. Returns the unit index.
+  uint32_t addDepUnit(const GoalCache::DepUnit &U,
+                      const Program::ImplSlice *Slice);
+  void noteImplSliceDep(Symbol Trait, const std::optional<ImplHeadKey> &Head,
+                        const Program::ImplSlice &Slice);
+  void noteTraitDep(Symbol Trait);
+  /// A spliced hit's consultations become the enclosing frame's: its
+  /// units carry fingerprints the check just validated against this
+  /// program, and its slices re-register their impls for ImplRef.
+  void noteDepsFromEntry(const GoalCache::Entry &E, const DepCheck &DC);
+
   void spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
-                   uint32_t Depth, TraitEvalInfo *Info);
+                   uint32_t Depth, TraitEvalInfo *Info, const DepCheck &DC);
   void finishRecording(EvalResult Result, const TraitEvalInfo *CallerInfo);
-  GoalCache::EntryPtr pendingLookup(const GoalCache::Key &K) const;
+  void pendingLookup(const GoalCache::Key &K,
+                     std::vector<GoalCache::EntryPtr> &Out) const;
   void publishPending();
 };
 
@@ -249,24 +299,25 @@ void Solver::Impl::setEnv(const std::vector<Predicate> &NewEnv) {
 
   if (Opts.Cache) {
     auto Enc = std::make_shared<CacheEnc>();
-    CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+    CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+                         &*CacheSyms);
     for (const Predicate &Assumption : ElaboratedEnv)
       Encoder.pred(*Enc, Infcx.resolve(Assumption));
     EnvHasVars = Encoder.sawVar();
     EnvEnc = std::move(Enc);
     // A variable-free environment never re-encodes, so the
-    // fingerprint+environment hash prefix is a per-run constant.
+    // flags+environment hash prefix is a per-run constant.
     EnvKeySeed = EnvHasVars
                      ? 0
-                     : GoalCache::envSeed(Opts.CacheFp0, Opts.CacheFp1,
-                                          EnvEnc.get());
+                     : GoalCache::envSeed(CacheFlagsFp, EnvEnc.get());
   }
 }
 
 uint64_t Solver::Impl::stackHashOf(const Predicate &P) {
   CacheEnc &Enc = StackHashScratch;
   Enc.clear();
-  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+                       &*CacheSyms);
   if (P.Kind == PredicateKind::NormalizesTo) {
     Encoder.type(Enc, P.Subject);
     return hashCacheEnc(Enc, NtStackSalt);
@@ -275,25 +326,28 @@ uint64_t Solver::Impl::stackHashOf(const Predicate &P) {
   return hashCacheEnc(Enc, PredStackSalt);
 }
 
-GoalCache::Key Solver::Impl::makeCacheKey(const Predicate &Resolved) {
+GoalCache::Key Solver::Impl::makeCacheKey(const Predicate &Resolved,
+                                          Span Origin) {
   GoalCache::Key Key;
-  Key.Fp0 = Opts.CacheFp0;
-  Key.Fp1 = Opts.CacheFp1;
-  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+  Key.FlagsFp = CacheFlagsFp;
+  Key.Origin = Origin;
+  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+                       &*CacheSyms);
   Encoder.pred(Key.Pred, Resolved);
   if (EnvHasVars) {
     // Other goals may have bound the environment's variables since
     // setEnv ran; re-encode so the key reflects what candidate assembly
     // will actually see.
     auto Fresh = std::make_shared<CacheEnc>();
-    CacheEncoder EnvEncoder(arena(), CacheEncoder::RawVars, &RawEncMemo);
+    CacheEncoder EnvEncoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+                            &*CacheSyms);
     for (const Predicate &Assumption : ElaboratedEnv)
       EnvEncoder.pred(*Fresh, Infcx.resolve(Assumption));
     Key.Env = std::move(Fresh);
     GoalCache::finalizeKey(Key);
   } else {
     Key.Env = EnvEnc;
-    Key.Hash = GoalCache::finishKeyHash(EnvKeySeed, Key.Pred);
+    Key.Hash = GoalCache::finishKeyHash(EnvKeySeed, Origin, Key.Pred);
   }
   return Key;
 }
@@ -323,6 +377,90 @@ bool Solver::Impl::cacheAdmissible(const GoalCache::Entry &E,
                              AncestorHash))
         return false;
   return true;
+}
+
+bool Solver::Impl::checkDeps(const GoalCache::Entry &E, DepCheck &DC) {
+  DC.Slices.clear();
+  if (Opts.CacheForceDepMiss)
+    return false;
+  DC.Slices.reserve(E.Deps.size());
+  for (const GoalCache::DepUnit &U : E.Deps) {
+    if (U.K == GoalCache::DepUnit::Kind::TraitDecl) {
+      DC.Slices.push_back(nullptr);
+      // peek() never interns: a name this session has not seen cannot
+      // belong to any declaration of this program, so the invalid symbol
+      // correctly resolves to the missing-trait marker fingerprint.
+      if (Prog.traitDeclFingerprint(CacheSyms->peek(U.Trait)) != U.Fp)
+        return false;
+      continue;
+    }
+    Symbol Trait = CacheSyms->peek(U.Trait);
+    std::optional<ImplHeadKey> Head;
+    if (U.HasHead) {
+      ImplHeadKey K;
+      K.Kind = static_cast<TypeKind>(U.HeadKind);
+      K.Name = CacheSyms->peek(U.HeadName);
+      K.TraitName = CacheSyms->peek(U.HeadTraitName);
+      K.Arity = static_cast<uint32_t>(U.HeadArity);
+      K.Mutable = U.HeadMutable != 0;
+      Head = K;
+    }
+    const Program::ImplSlice &Slice = Prog.implSlice(Trait, Head);
+    DC.Slices.push_back(&Slice);
+    if (Prog.sliceFingerprint(Slice) != U.Fp)
+      return false;
+  }
+  return true;
+}
+
+uint32_t Solver::Impl::addDepUnit(const GoalCache::DepUnit &U,
+                                  const Program::ImplSlice *Slice) {
+  std::vector<GoalCache::DepUnit> &Deps = Rec->Deps;
+  uint32_t Index = 0;
+  for (; Index != Deps.size(); ++Index)
+    if (Deps[Index].sameUnit(U))
+      // Same unit identity within one run means the same fingerprint —
+      // both were computed against this program.
+      return Index;
+  Deps.push_back(U);
+  if (Slice)
+    for (uint32_t Pos = 0;
+         Pos != static_cast<uint32_t>(Slice->Seq.size()); ++Pos)
+      Rec->ImplRef.try_emplace(Slice->Seq[Pos].value(),
+                               std::make_pair(Index, Pos));
+  return Index;
+}
+
+void Solver::Impl::noteImplSliceDep(Symbol Trait,
+                                    const std::optional<ImplHeadKey> &Head,
+                                    const Program::ImplSlice &Slice) {
+  GoalCache::DepUnit U;
+  U.K = GoalCache::DepUnit::Kind::ImplSlice;
+  U.Trait = CacheSyms->token(Trait);
+  if (Head) {
+    U.HasHead = true;
+    U.HeadKind = static_cast<uint64_t>(Head->Kind);
+    U.HeadName = CacheSyms->token(Head->Name);
+    U.HeadTraitName = CacheSyms->token(Head->TraitName);
+    U.HeadArity = Head->Arity;
+    U.HeadMutable = Head->Mutable ? 1 : 0;
+  }
+  U.Fp = Prog.sliceFingerprint(Slice);
+  (void)addDepUnit(U, &Slice);
+}
+
+void Solver::Impl::noteTraitDep(Symbol Trait) {
+  GoalCache::DepUnit U;
+  U.K = GoalCache::DepUnit::Kind::TraitDecl;
+  U.Trait = CacheSyms->token(Trait);
+  U.Fp = Prog.traitDeclFingerprint(Trait);
+  (void)addDepUnit(U, nullptr);
+}
+
+void Solver::Impl::noteDepsFromEntry(const GoalCache::Entry &E,
+                                     const DepCheck &DC) {
+  for (size_t I = 0; I != E.Deps.size(); ++I)
+    (void)addDepUnit(E.Deps[I], DC.Slices[I]);
 }
 
 Predicate Solver::Impl::substPredicate(const Predicate &P,
@@ -415,13 +553,43 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
 
   TraitEvalInfo *EffInfo = Info;
   if (Opts.Cache && FullyResolved) {
-    GoalCache::Key Key = makeCacheKey(Resolved);
-    GoalCache::EntryPtr Hit = Opts.Cache->lookup(Key);
-    if (!Hit)
-      Hit = pendingLookup(Key); // This run's own unpublished entries.
-    if (Hit && cacheAdmissible(*Hit, Depth)) {
+    GoalCache::Key Key = makeCacheKey(Resolved, Origin);
+    LookupScratch.clear();
+    Opts.Cache->lookup(Key, LookupScratch);
+    size_t NumShared = LookupScratch.size();
+    pendingLookup(Key, LookupScratch); // This run's unpublished entries.
+    // A key can hold one entry variant per distinct dependency set; at
+    // most one variant can pass the dependency check against this
+    // program (two passing variants would have recorded identical trees
+    // and been deduplicated at insert), so taking the first passing one
+    // is order-independent.
+    const GoalCache::Entry *Hit = nullptr;
+    bool FromShared = false;
+    bool AnyDepFail = false;
+    DepCheck DC;
+    for (size_t I = 0; I != LookupScratch.size(); ++I) {
+      const GoalCache::Entry &Variant = *LookupScratch[I];
+      if (!cacheAdmissible(Variant, Depth))
+        continue;
+      if (!checkDeps(Variant, DC)) {
+        AnyDepFail = true;
+        continue;
+      }
+      Hit = &Variant;
+      FromShared = I < NumShared;
+      break;
+    }
+    if (AnyDepFail && !Hit)
+      ++NumCacheDepMisses;
+    if (Hit) {
       ++NumCacheHits;
-      spliceEntry(*Hit, NodeId, Depth, Info);
+      if (FromShared)
+        ++NumCacheCrossRevHits;
+      // The hit's consultations become the enclosing recording frame's
+      // dependencies (quiet or not: a probe's shape is visible work).
+      if (Rec)
+        noteDepsFromEntry(*Hit, DC);
+      spliceEntry(*Hit, NodeId, Depth, Info, DC);
       return NodeId;
     }
     ++NumCacheMisses;
@@ -633,34 +801,34 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
     Attempts.push_back({CandId, CandResult});
   };
   if (!SelfIsUnknown) {
-    const std::vector<ImplId> &AllImpls = Prog.implsOf(Pred.Trait);
-    if (Opts.EnableCandidateIndex) {
-      // The goal's self-type root is rigid here (SelfIsUnknown handled
-      // above), so impls bucketed under any other head key could only
-      // fail unifyTraitHead: skip them without instantiating. A
-      // two-pointer merge of the bucket and the blanket impls preserves
-      // declaration order, so the assembled tree is identical to the
-      // unindexed walk's.
-      std::optional<ImplHeadKey> Key =
-          Program::headKeyOf(arena(), Infcx.shallowResolve(Pred.Subject));
-      const std::vector<ImplId> &Bucket = Prog.implsOfHead(Pred.Trait, *Key);
-      const std::vector<ImplId> &Wild = Prog.wildcardImplsOf(Pred.Trait);
-      size_t BI = 0, WI = 0;
-      while (BI != Bucket.size() || WI != Wild.size()) {
-        bool TakeBucket = WI == Wild.size() ||
-                          (BI != Bucket.size() && Bucket[BI] < Wild[WI]);
-        TryImpl(TakeBucket ? Bucket[BI++] : Wild[WI++]);
-      }
-      NumCandidatesFiltered += AllImpls.size() - Bucket.size() - Wild.size();
-    } else {
-      for (ImplId ImplIdx : AllImpls)
-        TryImpl(ImplIdx);
-    }
+    // The goal's self-type root is rigid here (SelfIsUnknown handled
+    // above), so with the candidate index on, impls bucketed under any
+    // other head key could only fail unifyTraitHead: skip them without
+    // instantiating. implSlice merges the head bucket with the blanket
+    // impls in declaration order, so the assembled tree is identical to
+    // the unindexed walk's; without the index the slice is the trait's
+    // full impl list.
+    std::optional<ImplHeadKey> Head;
+    if (Opts.EnableCandidateIndex)
+      Head = Program::headKeyOf(arena(), Infcx.shallowResolve(Pred.Subject));
+    const Program::ImplSlice &Slice = Prog.implSlice(Pred.Trait, Head);
+    if (Opts.EnableCandidateIndex)
+      NumCandidatesFiltered +=
+          Prog.implsOf(Pred.Trait).size() - Slice.Seq.size();
+    // The walked slice is a dependency of the recording frame even when
+    // this evaluation is a quiet probe: its outcome shapes visible work.
+    if (Opts.Cache && Rec)
+      noteImplSliceDep(Pred.Trait, Head, Slice);
+    for (ImplId ImplIdx : Slice.Seq)
+      TryImpl(ImplIdx);
   }
 
   // Builtin candidate: fn items and fn pointers implement #[fn_trait]
   // traits whose single argument mirrors their signature.
   const TraitDecl *Trait = Prog.findTrait(Pred.Trait);
+  // The declaration read (fn-trait flag; absence too) is a dependency.
+  if (Opts.Cache && Rec)
+    noteTraitDep(Pred.Trait);
   if (Trait && Trait->IsFnTrait) {
     TypeId Subject = Infcx.shallowResolve(Pred.Subject);
     const Type &SubjectNode = arena().get(Subject);
@@ -736,6 +904,8 @@ EvalResult Solver::Impl::evalImplSubgoals(CandNodeId CandId,
   // checks these at the impl definition; surfacing them as candidate
   // subgoals keeps the whole proof in one tree.)
   const TraitDecl *Trait = Prog.findTrait(Decl.Trait);
+  if (Opts.Cache && Rec)
+    noteTraitDep(Decl.Trait);
   if (Trait) {
     ParamSubst TraitSubst;
     TraitSubst.emplace(S.name("Self"), SelfInst);
@@ -1069,10 +1239,22 @@ EvalResult Solver::Impl::evalWellFormedGoal(GoalNodeId NodeId,
 }
 
 void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
-                               uint32_t Depth, TraitEvalInfo *Info) {
+                               uint32_t Depth, TraitEvalInfo *Info,
+                               const DepCheck &DC) {
   ProofForest &F = forest();
   uint32_t VarBase = Infcx.numVars();
-  CacheDecoder Dec(arena(), VarBase);
+  CacheDecoder Dec(arena(), VarBase, &*CacheSyms);
+
+  // Positional impl reference -> this program's ImplId, through the
+  // slice the dependency check just matched. Byte-identical sequences of
+  // impl fingerprints guarantee the impl at the same position is
+  // structurally the one the recorder used.
+  auto MapImpl = [&](uint32_t Unit, uint32_t Pos) {
+    assert(Unit < DC.Slices.size() && DC.Slices[Unit] &&
+           Pos < DC.Slices[Unit]->Seq.size() &&
+           "positional impl reference outside the checked slice");
+    return DC.Slices[Unit]->Seq[Pos];
+  };
 
   // Replay variable allocation and the committed bindings in trail
   // order: the consumer ends up with exactly the binding state and trail
@@ -1134,8 +1316,9 @@ void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
     const GoalCache::CandRec &R = E.Cands[J];
     CandidateNode &C = F.candidate(MapCand(static_cast<uint32_t>(J)));
     C.Kind = R.Kind;
-    C.Impl = R.Impl;
-    C.BuiltinName = R.BuiltinName;
+    if (R.Kind == CandidateKind::Impl && R.ImplUnit != GoalCache::NoId)
+      C.Impl = MapImpl(R.ImplUnit, R.ImplPos);
+    C.BuiltinName = CacheSyms->symbol(R.BuiltinName);
     if (R.HasAssumption) {
       size_t Pos = 0;
       C.Assumption = Dec.pred(R.Assumption, Pos);
@@ -1162,11 +1345,14 @@ void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
   if (Info && E.HasWinner) {
     Info->HasWinner = true;
     Info->WinnerKind = E.WinnerKind;
-    Info->WinnerImpl = E.WinnerImpl;
+    if (E.WinnerKind == CandidateKind::Impl &&
+        E.WinnerImplUnit != GoalCache::NoId)
+      Info->WinnerImpl = MapImpl(E.WinnerImplUnit, E.WinnerImplPos);
     Info->WinnerSubst.clear();
-    for (const auto &[Name, ValueEnc] : E.WinnerSubst) {
+    for (const auto &[NameTok, ValueEnc] : E.WinnerSubst) {
       size_t Pos = 0;
-      Info->WinnerSubst.emplace(Name, Dec.type(ValueEnc, Pos));
+      Info->WinnerSubst.emplace(CacheSyms->symbol(NameTok),
+                                Dec.type(ValueEnc, Pos));
     }
   }
 }
@@ -1212,9 +1398,10 @@ void Solver::Impl::finishRecording(EvalResult Result,
   Entry->TotalEvals = NumEvaluations - Frame.EvalsBefore;
   Entry->CandidatesFiltered = NumCandidatesFiltered - Frame.FilteredBefore;
   Entry->NumFreshVars = Infcx.numVars() - Frame.VarsBefore;
+  Entry->Deps = std::move(Frame.Deps);
   uint32_t RootDepth = F.goal(Frame.Root).Depth;
 
-  CacheEncoder Enc(arena(), Frame.VarsBefore);
+  CacheEncoder Enc(arena(), Frame.VarsBefore, nullptr, &*CacheSyms);
   auto RelCand = [&](CandNodeId Id) {
     if (!Id.isValid())
       return GoalCache::NoId;
@@ -1251,7 +1438,8 @@ void Solver::Impl::finishRecording(EvalResult Result,
     // onStack.
     if (G.Pred.Kind == PredicateKind::NormalizesTo) {
       CacheEnc SubjectEnc;
-      CacheEncoder Raw(arena(), CacheEncoder::RawVars, &RawEncMemo);
+      CacheEncoder Raw(arena(), CacheEncoder::RawVars, &RawEncMemo,
+                       &*CacheSyms);
       Raw.type(SubjectEnc, G.Pred.Subject);
       if (!Raw.sawVar())
         Entry->StackHashes.push_back(hashCacheEnc(SubjectEnc, NtStackSalt));
@@ -1272,8 +1460,20 @@ void Solver::Impl::finishRecording(EvalResult Result,
     const CandidateNode &C = F.candidate(CandNodeId(static_cast<uint32_t>(J)));
     GoalCache::CandRec R;
     R.Kind = C.Kind;
-    R.Impl = C.Impl;
-    R.BuiltinName = C.BuiltinName;
+    if (C.Kind == CandidateKind::Impl) {
+      // Positional reference through the dependency units. Every impl
+      // candidate came from a noted slice (or a spliced hit whose units
+      // were merged in), so the map must know it; a miss would mean a
+      // consultation escaped dependency tracking — refuse to cache.
+      auto It = Frame.ImplRef.find(C.Impl.value());
+      if (It == Frame.ImplRef.end()) {
+        ++NumCacheInsertsRejected;
+        return;
+      }
+      R.ImplUnit = It->second.first;
+      R.ImplPos = It->second.second;
+    }
+    R.BuiltinName = CacheSyms->token(C.BuiltinName);
     if (C.Kind == CandidateKind::ParamEnv) {
       R.HasAssumption = true;
       Enc.pred(R.Assumption, C.Assumption);
@@ -1300,12 +1500,21 @@ void Solver::Impl::finishRecording(EvalResult Result,
       Winner.HasWinner) {
     Entry->HasWinner = true;
     Entry->WinnerKind = Winner.WinnerKind;
-    Entry->WinnerImpl = Winner.WinnerImpl;
+    if (Winner.WinnerKind == CandidateKind::Impl) {
+      auto It = Frame.ImplRef.find(Winner.WinnerImpl.value());
+      if (It == Frame.ImplRef.end()) {
+        ++NumCacheInsertsRejected;
+        return;
+      }
+      Entry->WinnerImplUnit = It->second.first;
+      Entry->WinnerImplPos = It->second.second;
+    }
     Entry->WinnerSubst.reserve(Winner.WinnerSubst.size());
     for (const auto &[Name, Value] : Winner.WinnerSubst) {
       CacheEnc ValueEnc;
       Enc.type(ValueEnc, Value);
-      Entry->WinnerSubst.emplace_back(Name, std::move(ValueEnc));
+      Entry->WinnerSubst.emplace_back(CacheSyms->token(Name),
+                                      std::move(ValueEnc));
     }
   }
 
@@ -1315,13 +1524,12 @@ void Solver::Impl::finishRecording(EvalResult Result,
   PendingInserts.emplace_back(std::move(Frame.Key), std::move(Entry));
 }
 
-GoalCache::EntryPtr
-Solver::Impl::pendingLookup(const GoalCache::Key &K) const {
+void Solver::Impl::pendingLookup(
+    const GoalCache::Key &K, std::vector<GoalCache::EntryPtr> &Out) const {
   auto [B, E] = PendingIndex.equal_range(K.Hash);
   for (auto It = B; It != E; ++It)
     if (PendingInserts[It->second].first == K)
-      return PendingInserts[It->second].second;
-  return nullptr;
+      Out.push_back(PendingInserts[It->second].second);
 }
 
 void Solver::Impl::publishPending() {
@@ -1372,6 +1580,8 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.NumCacheMisses = P->NumCacheMisses;
   Out.NumCacheInserts = P->NumCacheInserts;
   Out.NumCacheInsertsRejected = P->NumCacheInsertsRejected;
+  Out.NumCacheCrossRevHits = P->NumCacheCrossRevHits;
+  Out.NumCacheDepMisses = P->NumCacheDepMisses;
   Out.Interrupted = P->BudgetStopped;
   Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
   return Root;
@@ -1451,6 +1661,8 @@ SolveOutcome Solver::solve() {
   Out.NumCacheMisses = P->NumCacheMisses;
   Out.NumCacheInserts = P->NumCacheInserts;
   Out.NumCacheInsertsRejected = P->NumCacheInsertsRejected;
+  Out.NumCacheCrossRevHits = P->NumCacheCrossRevHits;
+  Out.NumCacheDepMisses = P->NumCacheDepMisses;
   Out.Interrupted = P->BudgetStopped;
   Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
   return Out;

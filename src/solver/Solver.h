@@ -87,14 +87,14 @@ struct SolverOptions {
   /// layering the splicing cache on top would diverge from it.
   GoalCache *Cache = nullptr;
 
-  /// 128-bit program/flags fingerprint isolating this session's entries
-  /// inside a shared cache (GoalCache::fingerprint).
-  uint64_t CacheFp0 = 0;
-  uint64_t CacheFp1 = 0;
-
   /// Fault-injection hook: record subtrees normally but reject every
   /// insert (bumping the rejected counter). Output must stay identical.
   bool CacheRejectAll = false;
+
+  /// Fault-injection hook (cache.depmiss): every dependency check fails,
+  /// so each lookup with resident variants degrades to a counted
+  /// dependency miss and a cold re-solve. Output must stay identical.
+  bool CacheForceDepMiss = false;
 };
 
 /// Everything produced by solving one program.
@@ -137,6 +137,14 @@ struct SolveOutcome {
   /// (ambiguous result, overflow in the subtree, budget stop mid-frame,
   /// external binding, or injected cache.reject fault).
   uint64_t NumCacheInsertsRejected = 0;
+  /// Cache hits served by an entry that was already resident when this
+  /// solve began — i.e. recorded by a previous revision, batch job, or
+  /// run sharing the cache. Subset of NumCacheHits.
+  uint64_t NumCacheCrossRevHits = 0;
+  /// Lookups that found at least one entry variant for their key but
+  /// rejected every variant on the dependency-fingerprint check (the
+  /// program edited an impl/trait the recorded subtree consulted).
+  uint64_t NumCacheDepMisses = 0;
 
   /// True if SolverOptions::Budget stopped the solve mid-flight; goals
   /// not reached have empty Snapshots and a Maybe final result.

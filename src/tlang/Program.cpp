@@ -23,6 +23,204 @@ size_t ImplHeadKeyHasher::operator()(const ImplHeadKey &K) const {
   return H;
 }
 
+size_t Program::SliceMemoKeyHasher::operator()(const SliceMemoKey &K) const {
+  size_t H = ImplHeadKeyHasher()(K.Head);
+  H ^= (static_cast<size_t>(K.Trait) + 0x9e3779b97f4a7c15ULL + (H << 6) +
+        (H >> 2));
+  return H ^ (K.HasHead ? 0x5851F42D4C957F2DULL : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependency fingerprints
+//===----------------------------------------------------------------------===//
+//
+// These hashes identify *program content*, not interner state: every
+// symbol contributes its text, and spans contribute their byte offsets
+// (rendered diagnostics point at them, so a cached subtree is only
+// reusable when the declaration sits at the same place). Two sessions
+// that parsed byte-identical declarations produce byte-identical
+// fingerprints, which is exactly the goal cache's admission condition.
+
+namespace {
+
+constexpr uint64_t FpSeed = 0xA076'1D64'78BD'642Full;
+constexpr uint64_t EmptySliceFp = 0x454D'5054'5953'4C43ull; // "EMPTYSLC"
+constexpr uint64_t MissingTraitFp = 0x4E4F'5452'4149'54ull; // "NOTRAIT"
+
+uint64_t fpMix(uint64_t H, uint64_t V) {
+  H ^= V * 0x9E3779B97F4A7C15ull;
+  H ^= H >> 30;
+  H *= 0xBF58476D1CE4E5B9ull;
+  return H;
+}
+
+uint64_t fpText(uint64_t H, std::string_view Text) {
+  H = fpMix(H, Text.size());
+  uint64_t Acc = 1469598103934665603ull;
+  for (unsigned char C : Text)
+    Acc = (Acc ^ C) * 1099511628211ull;
+  return fpMix(H, Acc);
+}
+
+uint64_t fpSym(uint64_t H, const Session &S, Symbol Sym) {
+  if (!Sym.isValid())
+    return fpMix(H, 0);
+  return fpText(fpMix(H, 1), S.text(Sym));
+}
+
+uint64_t fpSpan(uint64_t H, Span Sp) {
+  H = fpMix(H, Sp.File.isValid() ? Sp.File.value() + 1 : 0);
+  return fpMix(H, (static_cast<uint64_t>(Sp.Begin) << 32) | Sp.End);
+}
+
+uint64_t fpType(uint64_t H, const Session &S, TypeId T) {
+  if (!T.isValid())
+    return fpMix(H, 0);
+  const Type &Node = S.types().get(T);
+  H = fpMix(H, 1);
+  H = fpMix(H, static_cast<uint64_t>(Node.Kind));
+  if (Node.Kind == TypeKind::Infer)
+    return fpMix(H, Node.InferIndex);
+  H = fpSym(H, S, Node.Name);
+  H = fpSym(H, S, Node.TraitName);
+  H = fpMix(H, Node.Mutable ? 1 : 0);
+  H = fpMix(H, static_cast<uint64_t>(Node.Rgn.Kind));
+  H = fpSym(H, S, Node.Rgn.Name);
+  H = fpMix(H, Node.Args.size());
+  for (TypeId Arg : Node.Args)
+    H = fpType(H, S, Arg);
+  return H;
+}
+
+uint64_t fpPred(uint64_t H, const Session &S, const Predicate &P) {
+  H = fpMix(H, static_cast<uint64_t>(P.Kind));
+  H = fpSym(H, S, P.Trait);
+  H = fpType(H, S, P.Subject);
+  H = fpMix(H, P.Args.size());
+  for (TypeId Arg : P.Args)
+    H = fpType(H, S, Arg);
+  H = fpType(H, S, P.Rhs);
+  H = fpMix(H, static_cast<uint64_t>(P.Rgn.Kind));
+  H = fpSym(H, S, P.Rgn.Name);
+  H = fpMix(H, static_cast<uint64_t>(P.SubRegion.Kind));
+  H = fpSym(H, S, P.SubRegion.Name);
+  return H;
+}
+
+} // namespace
+
+uint64_t Program::implFingerprint(ImplId Id) const {
+  assert(Id.isValid() && Id.value() < Impls.size() && "bad ImplId");
+  if (Id.value() >= ImplFpMemo.size())
+    ImplFpMemo.resize(Impls.size(), {0, false});
+  auto &Slot = ImplFpMemo[Id.value()];
+  if (Slot.second)
+    return Slot.first;
+  const ImplDecl &Decl = Impls[Id.value()];
+  uint64_t H = fpMix(FpSeed, 0x494D504Cull); // "IMPL"
+  H = fpMix(H, Decl.Generics.size());
+  for (Symbol Generic : Decl.Generics)
+    H = fpSym(H, *S, Generic);
+  H = fpSym(H, *S, Decl.Trait);
+  H = fpMix(H, Decl.TraitArgs.size());
+  for (TypeId Arg : Decl.TraitArgs)
+    H = fpType(H, *S, Arg);
+  H = fpType(H, *S, Decl.SelfTy);
+  H = fpMix(H, Decl.WhereClauses.size());
+  for (const Predicate &Where : Decl.WhereClauses)
+    H = fpPred(H, *S, Where);
+  H = fpMix(H, Decl.Bindings.size());
+  for (const auto &[Name, Ty] : Decl.Bindings) {
+    H = fpSym(H, *S, Name);
+    H = fpType(H, *S, Ty);
+  }
+  H = fpMix(H, static_cast<uint64_t>(Decl.Loc));
+  H = fpSpan(H, Decl.Sp);
+  Slot = {H, true};
+  return H;
+}
+
+uint64_t Program::traitDeclFingerprint(Symbol Trait) const {
+  if (!Trait.isValid())
+    return MissingTraitFp;
+  auto It = TraitFpMemo.find(Trait.value());
+  if (It != TraitFpMemo.end())
+    return It->second;
+  const TraitDecl *Decl = findTrait(Trait);
+  uint64_t H = MissingTraitFp;
+  if (Decl) {
+    H = fpMix(FpSeed, 0x5452ull); // "TR"
+    H = fpSym(H, *S, Decl->Name);
+    H = fpMix(H, Decl->Params.size());
+    for (Symbol Param : Decl->Params)
+      H = fpSym(H, *S, Param);
+    H = fpMix(H, Decl->WhereClauses.size());
+    for (const Predicate &Where : Decl->WhereClauses)
+      H = fpPred(H, *S, Where);
+    H = fpMix(H, Decl->AssocTypes.size());
+    for (const AssocTypeDecl &Assoc : Decl->AssocTypes) {
+      H = fpSym(H, *S, Assoc.Name);
+      H = fpMix(H, Assoc.Bounds.size());
+      for (const Predicate &Bound : Assoc.Bounds)
+        H = fpPred(H, *S, Bound);
+      H = fpSpan(H, Assoc.Sp);
+    }
+    H = fpMix(H, static_cast<uint64_t>(Decl->Loc));
+    H = fpSpan(H, Decl->Sp);
+    H = fpMix(H, Decl->IsFnTrait ? 1 : 0);
+    H = fpText(H, Decl->OnUnimplemented);
+  }
+  TraitFpMemo.emplace(Trait.value(), H);
+  return H;
+}
+
+uint64_t Program::sliceFingerprint(const ImplSlice &Slice) const {
+  if (Slice.FpValid)
+    return Slice.Fp;
+  uint64_t H = EmptySliceFp;
+  if (!Slice.Seq.empty()) {
+    H = fpMix(H, Slice.Seq.size());
+    for (ImplId Id : Slice.Seq)
+      H = fpMix(H, implFingerprint(Id));
+  }
+  Slice.Fp = H;
+  Slice.FpValid = true;
+  return H;
+}
+
+const Program::ImplSlice &
+Program::implSlice(Symbol Trait,
+                   const std::optional<ImplHeadKey> &Head) const {
+  if (!Trait.isValid())
+    return InvalidTraitSlice;
+  SliceMemoKey Key;
+  Key.Trait = Trait.value();
+  Key.HasHead = Head.has_value();
+  if (Head)
+    Key.Head = *Head;
+  auto It = SliceMemo.find(Key);
+  if (It != SliceMemo.end())
+    return It->second;
+  ImplSlice Slice;
+  if (!Head) {
+    Slice.Seq = implsOf(Trait);
+  } else {
+    // Merge the head bucket with the blanket impls in ImplId (declaration)
+    // order, so enumerating the slice is byte-identical to the unindexed
+    // walk restricted to candidates that could match this head.
+    const std::vector<ImplId> &Bucket = implsOfHead(Trait, *Head);
+    const std::vector<ImplId> &Wild = wildcardImplsOf(Trait);
+    Slice.Seq.reserve(Bucket.size() + Wild.size());
+    size_t BI = 0, WI = 0;
+    while (BI != Bucket.size() || WI != Wild.size()) {
+      bool TakeBucket = WI == Wild.size() ||
+                        (BI != Bucket.size() && Bucket[BI] < Wild[WI]);
+      Slice.Seq.push_back(TakeBucket ? Bucket[BI++] : Wild[WI++]);
+    }
+  }
+  return SliceMemo.emplace(Key, std::move(Slice)).first->second;
+}
+
 std::optional<ImplHeadKey> Program::headKeyOf(const TypeArena &Arena,
                                               TypeId Ty) {
   const Type &Node = Arena.get(Ty);

@@ -112,6 +112,43 @@ public:
                                          const ImplHeadKey &Key) const;
   const std::vector<ImplId> &wildcardImplsOf(Symbol Trait) const;
 
+  // --- Enumeration slices and dependency fingerprints (goal cache).
+  // --- Memoized per Program; Programs are immutable once built and used
+  // --- from one thread at a time, so the mutable memos need no locking.
+
+  /// The exact candidate sequence one trait-goal enumeration walks: with
+  /// a head key, the head bucket merged with the trait's blanket impls in
+  /// declaration (ImplId) order; without one, the trait's full impl list.
+  /// Fp caches sliceFingerprint() lazily.
+  struct ImplSlice {
+    std::vector<ImplId> Seq;
+    mutable uint64_t Fp = 0;
+    mutable bool FpValid = false;
+  };
+
+  /// Memoized slice for (Trait, Head). The returned reference is stable
+  /// for the Program's lifetime. An unknown or invalid trait yields the
+  /// empty slice.
+  const ImplSlice &implSlice(Symbol Trait,
+                             const std::optional<ImplHeadKey> &Head) const;
+
+  /// Fingerprint of a slice: folds implFingerprint() over the sequence.
+  /// The empty slice has a distinguished marker value, so "no impl could
+  /// match" is itself a checkable (negative) dependency.
+  uint64_t sliceFingerprint(const ImplSlice &Slice) const;
+
+  /// Structural fingerprint of one impl: generics, trait, trait args,
+  /// self type, where-clauses, associated-type bindings, locality, and
+  /// source span, with every symbol hashed by text (stable across
+  /// sessions and interners).
+  uint64_t implFingerprint(ImplId Id) const;
+
+  /// Structural fingerprint of a trait declaration (params, supertrait
+  /// where-clauses, associated types with bounds and spans, fn-trait
+  /// flag, on_unimplemented text, locality, span); a marker value when
+  /// \p Trait is unknown or invalid — absence is a dependency too.
+  uint64_t traitDeclFingerprint(Symbol Trait) const;
+
   const std::vector<TypeCtorDecl> &typeCtors() const { return TypeCtors; }
   const std::vector<TraitDecl> &traits() const { return Traits; }
   const std::vector<ImplDecl> &impls() const { return Impls; }
@@ -171,6 +208,27 @@ private:
   std::unordered_map<Symbol, TraitImplIndex> ImplIndex;
 
   std::unordered_map<std::string, std::vector<Symbol>> ShortNames;
+
+  // --- Slice / fingerprint memos (see implSlice). Mutable because they
+  // --- are caches over an immutable Program; not thread-safe, matching
+  // --- the one-Session-per-thread contract.
+  struct SliceMemoKey {
+    uint32_t Trait = 0; ///< Raw symbol value (sentinel for invalid).
+    bool HasHead = false;
+    ImplHeadKey Head;
+    friend bool operator==(const SliceMemoKey &A, const SliceMemoKey &B) {
+      return A.Trait == B.Trait && A.HasHead == B.HasHead &&
+             A.Head == B.Head;
+    }
+  };
+  struct SliceMemoKeyHasher {
+    size_t operator()(const SliceMemoKey &K) const;
+  };
+  mutable std::unordered_map<SliceMemoKey, ImplSlice, SliceMemoKeyHasher>
+      SliceMemo;
+  mutable ImplSlice InvalidTraitSlice; ///< Shared by invalid-symbol queries.
+  mutable std::vector<std::pair<uint64_t, bool>> ImplFpMemo;
+  mutable std::unordered_map<uint32_t, uint64_t> TraitFpMemo;
 };
 
 } // namespace argus

@@ -17,7 +17,9 @@
 
 #include "support/Random.h"
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace argus {
 namespace testgen {
@@ -89,6 +91,65 @@ inline std::string randomProgram(uint64_t Seed) {
     else
       Out += "goal " + RandomConcrete() + ": " + RandomTrait() + ";\n";
   }
+  return Out;
+}
+
+/// One deterministic single-impl edit of a generated program, chosen by
+/// the seed: remove an impl, add a concrete impl, reorder the impl
+/// block, or rename the trait of a concrete impl. Always yields a
+/// parseable declare-before-use program (S0/S1 and Tr0/Tr1 always
+/// exist). Shared by the cache property tests and the engine-level
+/// differential tests so both replay the same edit space.
+inline std::string editProgram(const std::string &Source, uint64_t Seed) {
+  std::vector<std::string> Lines;
+  for (size_t Pos = 0; Pos < Source.size();) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Source.size();
+    Lines.push_back(Source.substr(Pos, Eol - Pos));
+    Pos = Eol + 1;
+  }
+  std::vector<size_t> Impls, Concrete;
+  size_t FirstGoal = Lines.size();
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    if (Lines[I].rfind("impl", 0) == 0) {
+      Impls.push_back(I);
+      if (Lines[I].rfind("impl Tr", 0) == 0)
+        Concrete.push_back(I);
+    }
+    if (FirstGoal == Lines.size() && Lines[I].rfind("goal", 0) == 0)
+      FirstGoal = I;
+  }
+
+  Rng Gen(Seed * 0x9E3779B97F4A7C15ull + 0xED17);
+  unsigned Kind = static_cast<unsigned>(Gen.below(4));
+  if ((Kind == 0 && Impls.empty()) || (Kind == 2 && Impls.size() < 2) ||
+      (Kind == 3 && Concrete.empty()))
+    Kind = 1; // Fall back to the always-possible add edit.
+  switch (Kind) {
+  case 0: // Remove one impl.
+    Lines.erase(Lines.begin() +
+                static_cast<std::ptrdiff_t>(Impls[Gen.below(Impls.size())]));
+    break;
+  case 1: // Add a concrete impl just before the goals.
+    Lines.insert(Lines.begin() + static_cast<std::ptrdiff_t>(FirstGoal),
+                 "impl Tr" + std::to_string(Gen.below(2)) + " for S" +
+                     std::to_string(Gen.below(2)) + ";");
+    break;
+  case 2: // Reorder: swap the first and last impl lines.
+    std::swap(Lines[Impls.front()], Lines[Impls.back()]);
+    break;
+  case 3: { // Rename the trait of one concrete impl ("impl TrD for …").
+    std::string &Line = Lines[Concrete[Gen.below(Concrete.size())]];
+    size_t Digit = std::string("impl Tr").size();
+    Line[Digit] = Line[Digit] == '0' ? '1' : '0';
+    break;
+  }
+  }
+
+  std::string Out;
+  for (const std::string &Line : Lines)
+    Out += Line + "\n";
   return Out;
 }
 

@@ -1,0 +1,167 @@
+//===- tests/engine/EditSessionTests.cpp ----------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// engine::EditSession — the incremental re-analysis loop. Each test
+/// replays a short edit script and checks the two contracts: every
+/// revision renders the bytes a cold solve of that source renders, and
+/// the per-revision counters (cache_cross_rev_hits, cache_dep_misses,
+/// impls_invalidated) describe exactly the reuse and invalidation the
+/// edit caused.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/EditSession.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace argus;
+using namespace argus::engine;
+
+namespace {
+
+// One impl per (trait, head) of interest. The edit below flips the
+// `impl Show for A;` line to `impl Show for B;` — same length, so every
+// goal keeps its source span and stale entries are found by key and
+// killed by the dependency check, not by span drift. The Stable goal
+// never consults a Show slice, so it must survive every edit.
+const char BaseSource[] = "struct A;\n"
+                          "struct B;\n"
+                          "struct Wrap<T>;\n"
+                          "trait Show;\n"
+                          "trait Stable;\n"
+                          "impl Show for A;\n"
+                          "impl<T> Show for Wrap<T> where T: Show;\n"
+                          "impl Stable for A;\n"
+                          "goal Wrap<A>: Show;\n"
+                          "goal A: Stable;\n";
+
+std::string editedSource() {
+  std::string Edited = BaseSource;
+  size_t Pos = Edited.find("impl Show for A;");
+  EXPECT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 16, "impl Show for B;");
+  return Edited;
+}
+
+/// The byte-level artifact diffed against a cold solve.
+std::string renderAll(engine::Session &S) {
+  if (!S.parseOk())
+    return S.parseErrorText();
+  std::string Out;
+  for (size_t T = 0; T != S.numTrees(); ++T) {
+    Out += S.diagnosticText(T) + "\n";
+    Out += S.bottomUpText(T) + "\n";
+    Out += S.treeJSON(T) + "\n";
+  }
+  return Out.empty() ? "ok" : Out;
+}
+
+/// Origins carry the session name, so the cold comparison session must
+/// share the edit session's name for the bytes to be comparable.
+const char SessionName[] = "edit";
+
+std::string coldRender(const std::string &Source) {
+  engine::Session S(SessionName, Source, SessionOptions());
+  return renderAll(S);
+}
+
+/// Default SessionOptions leave the cache off (the EditSession then
+/// solves every revision cold); incremental tests opt in explicitly.
+SessionOptions cached() {
+  SessionOptions Opts;
+  Opts.Cache = CacheMode::Shared;
+  return Opts;
+}
+
+} // namespace
+
+TEST(EditSession, StartsEmpty) {
+  EditSession Edit(SessionName, cached());
+  EXPECT_EQ(Edit.revision(), 0u);
+  EXPECT_EQ(Edit.current(), nullptr);
+  EXPECT_EQ(Edit.cache().size(), 0u);
+}
+
+TEST(EditSession, IdenticalRevisionReplaysFromCache) {
+  EditSession Edit(SessionName, cached());
+  // Solving is lazy: each revision must be driven (rendered) before the
+  // next apply(), or its results are never published to the cache.
+  engine::Session &R1 = Edit.apply(BaseSource);
+  EXPECT_EQ(Edit.revision(), 1u);
+  EXPECT_EQ(renderAll(R1), coldRender(BaseSource));
+  EXPECT_EQ(R1.stats().ImplsInvalidated, 0u);
+  EXPECT_EQ(R1.stats().CacheCrossRevHits, 0u);
+
+  engine::Session &R2 = Edit.apply(BaseSource);
+  EXPECT_EQ(Edit.revision(), 2u);
+  EXPECT_EQ(renderAll(R2), coldRender(BaseSource));
+  EXPECT_EQ(R2.stats().ImplsInvalidated, 0u);
+  EXPECT_GT(R2.stats().CacheCrossRevHits, 0u)
+      << "an unchanged revision must be served by the previous one";
+}
+
+TEST(EditSession, EditInvalidatesExactlyTheDependentGoals) {
+  std::string Edited = editedSource();
+  const std::string ColdBase = coldRender(BaseSource);
+  const std::string ColdEdited = coldRender(Edited);
+  ASSERT_NE(ColdBase, ColdEdited) << "the edit must be observable";
+
+  EditSession Edit(SessionName, cached());
+
+  engine::Session &R1 = Edit.apply(BaseSource);
+  EXPECT_EQ(renderAll(R1), ColdBase);
+  EXPECT_EQ(R1.stats().ImplsInvalidated, 0u) << "no previous revision";
+  EXPECT_EQ(R1.stats().CacheCrossRevHits, 0u);
+
+  // Rev 2: one impl edited in place. The Show goals re-solve (their
+  // entries dep on the changed slice); the Stable goal replays.
+  engine::Session &R2 = Edit.apply(Edited);
+  EXPECT_EQ(renderAll(R2), ColdEdited);
+  EXPECT_EQ(R2.stats().ImplsInvalidated, 1u);
+  EXPECT_GT(R2.stats().CacheDepMisses, 0u)
+      << "stale Show entries must be found and rejected by dep check";
+  EXPECT_GT(R2.stats().CacheCrossRevHits, 0u)
+      << "the Stable goal never saw the edited slice and must replay";
+
+  // Rev 3 reverts: rev 1's entries are valid again verbatim.
+  engine::Session &R3 = Edit.apply(BaseSource);
+  EXPECT_EQ(renderAll(R3), ColdBase);
+  EXPECT_EQ(R3.stats().ImplsInvalidated, 1u);
+  EXPECT_GT(R3.stats().CacheCrossRevHits, 0u)
+      << "reverting must resurrect the original entries";
+}
+
+TEST(EditSession, CacheModeOffSolvesEveryRevisionCold) {
+  SessionOptions Opts;
+  Opts.Cache = CacheMode::Off;
+  EditSession Edit(SessionName, Opts);
+  engine::Session &R1 = Edit.apply(BaseSource);
+  engine::Session &R2 = Edit.apply(BaseSource);
+  EXPECT_EQ(R2.stats().CacheHits, 0u);
+  EXPECT_EQ(R2.stats().CacheCrossRevHits, 0u);
+  EXPECT_EQ(Edit.cache().size(), 0u);
+  EXPECT_EQ(renderAll(R2), coldRender(BaseSource));
+  (void)R1;
+}
+
+TEST(EditSession, ParseFailureIsARevisionToo) {
+  EditSession Edit(SessionName, cached());
+  engine::Session &R1 = Edit.apply(BaseSource);
+  EXPECT_TRUE(R1.parseOk());
+  EXPECT_EQ(renderAll(R1), coldRender(BaseSource));
+  engine::Session &R2 = Edit.apply("struct ;;; nonsense");
+  EXPECT_FALSE(R2.parseOk());
+  EXPECT_EQ(Edit.revision(), 2u);
+  // Recovering re-analyzes cleanly; the cache survived the bad revision.
+  engine::Session &R3 = Edit.apply(BaseSource);
+  EXPECT_TRUE(R3.parseOk());
+  EXPECT_EQ(renderAll(R3), coldRender(BaseSource));
+  EXPECT_GT(R3.stats().CacheCrossRevHits, 0u)
+      << "rev 1 entries must survive an unparseable intermediate state";
+}

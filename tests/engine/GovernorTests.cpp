@@ -315,6 +315,46 @@ TEST(FaultMatrix, CacheRejectInjection) {
   EXPECT_EQ(Off.stats().CacheInsertsRejected, 0u);
 }
 
+TEST(FaultMatrix, CacheDepMissInjection) {
+  // cache.depmiss forces every dependency check to report a stale
+  // entry, so a warm cache behaves as if every consulted impl had been
+  // edited: zero hits, every lookup degrades to a cold solve of the
+  // same subtree, and — because the dependency check only guards
+  // replay, never decides results — the rendering is byte-identical
+  // even with a live deadline ticking over the extra work.
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session Plain(Entry.Id, Entry.Source, SessionOptions());
+  std::string PlainOut = fullPipeline(Plain);
+
+  GoalCache Shared;
+  SessionOptions Warm;
+  Warm.Cache = CacheMode::Shared;
+  Warm.SharedCache = &Shared;
+  engine::Session Warmup(Entry.Id, Entry.Source, Warm);
+  EXPECT_EQ(fullPipeline(Warmup), PlainOut);
+  EXPECT_GT(Shared.size(), 0u);
+
+  SessionOptions Opts = injecting("cache.depmiss");
+  Opts.Cache = CacheMode::Shared;
+  Opts.SharedCache = &Shared;
+  Opts.Limits.JobDeadlineSeconds = 5.0; // live, never fires
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  EXPECT_EQ(fullPipeline(S), PlainOut);
+  EXPECT_EQ(S.stats().CacheHits, 0u)
+      << "a forced dep miss must suppress every replay";
+  EXPECT_GT(S.stats().CacheDepMisses, 0u);
+  EXPECT_GE(S.stats().FaultsInjected, 1u);
+  EXPECT_EQ(S.stats().DeadlineHits, 0u);
+  EXPECT_FALSE(S.stats().degraded());
+
+  // With the cache off the dependency check never runs, so the site is
+  // never probed.
+  engine::Session Off(Entry.Id, Entry.Source, injecting("cache.depmiss"));
+  EXPECT_EQ(fullPipeline(Off), PlainOut);
+  EXPECT_EQ(Off.stats().FaultsInjected, 0u);
+  EXPECT_EQ(Off.stats().CacheDepMisses, 0u);
+}
+
 TEST(FaultMatrix, CancelledSolveNeverPoisonsASharedCache) {
   // A cancellation mid-solve must leave the shared cache exactly as it
   // was: no partial entries, and later sessions through the same cache

@@ -8,8 +8,10 @@
 /// The goal cache's headline invariant, enforced end to end: cached and
 /// uncached runs produce byte-identical diagnostics, views, and JSON at
 /// any thread count — over the evaluation corpus and 200+ generated
-/// programs, in every cache mode, including under fault injection and a
-/// tight deadline. Only rendering outputs are diffed: cache counters
+/// programs, in every cache mode, including under fault injection, a
+/// tight deadline, single-impl edits of every generated program, and
+/// cross-program prelude reuse. Only rendering outputs are diffed: cache
+/// counters
 /// legitimately differ between modes, and shared-cache per-job hit/miss
 /// splits are schedule-dependent at jobs > 1.
 ///
@@ -125,14 +127,76 @@ TEST(CacheDifferential, SharedCacheActuallyHits) {
   EXPECT_LT(SharedSteps, OffSteps);
 }
 
+TEST(CacheDifferential, CrossProgramPreludeReuse) {
+  // Two distinct batch programs sharing a prelude and differing in one
+  // same-length impl: the second job must reuse the first job's
+  // prelude-dependent entries (nonzero hits), dep-miss exactly on the
+  // goal that consulted the edited impl slice, and still render the
+  // bytes a cold solve renders.
+  const std::string Prelude = "struct A;\n"
+                              "struct B;\n"
+                              "struct Wrap<T>;\n"
+                              "trait Show;\n"
+                              "trait Side;\n"
+                              "impl Show for A;\n"
+                              "impl<T> Show for Wrap<T> where T: Show;\n";
+  const std::string Goals = "goal Wrap<Wrap<A>>: Show;\n"
+                            "goal A: Side;\n";
+  std::vector<BatchJob> Jobs = {
+      {"side-a", Prelude + "impl Side for A;\n" + Goals},
+      {"side-b", Prelude + "impl Side for B;\n" + Goals},
+  };
+
+  std::vector<BatchResult> Cold = runWith(Jobs, CacheMode::Off, 1);
+  std::vector<BatchResult> Shared = runWith(Jobs, CacheMode::Shared, 1);
+  expectSameOutputs(Cold, Shared, "prelude-reuse");
+  EXPECT_GT(Shared[1].Stats.CacheHits, 0u)
+      << "the shared prelude's goals must cross the program boundary";
+  EXPECT_GT(Shared[1].Stats.CacheDepMisses, 0u)
+      << "the goal depending on the edited Side slice must re-solve";
+}
+
+TEST(CacheDifferential, EditedProgramsByteIdenticalThroughSharedCache) {
+  // The edit axis: every generated program followed by its single-impl
+  // edited twin, all through one shared cache. Edits that preserve goal
+  // spans exercise the dependency check (key hit, dep mismatch); edits
+  // that shift spans exercise clean key misses. Either way the rendered
+  // bytes must match a cold solve of the same job list.
+  std::vector<BatchJob> Jobs;
+  for (uint64_t Seed = 0; Seed != NumSeeds; ++Seed) {
+    std::string Source = testgen::randomProgram(Seed);
+    Jobs.push_back({"seed-" + std::to_string(Seed), Source});
+    Jobs.push_back({"seed-" + std::to_string(Seed) + "-edit",
+                    testgen::editProgram(Source, Seed)});
+  }
+
+  std::vector<BatchResult> Baseline = runWith(Jobs, CacheMode::Off, 1);
+  for (unsigned Threads : {1u, 8u})
+    expectSameOutputs(Baseline, runWith(Jobs, CacheMode::Shared, Threads),
+                      "edited");
+
+  // Non-vacuity: across 200 edits the single-threaded pass must have
+  // seen both reuse and dependency-detected invalidation.
+  std::vector<BatchResult> Shared = runWith(Jobs, CacheMode::Shared, 1);
+  uint64_t Hits = 0, DepMisses = 0;
+  for (const BatchResult &R : Shared) {
+    Hits += R.Stats.CacheHits;
+    DepMisses += R.Stats.CacheDepMisses;
+  }
+  EXPECT_GT(Hits, 0u);
+  EXPECT_GT(DepMisses, 0u);
+}
+
 TEST(CacheDifferential, ByteIdenticalUnderFaultInjection) {
-  // "all" fires every applicable site in every job. cache.reject is
-  // probed only when a cache mode is active, so the injected fault load
-  // is identical across modes and outputs must still match byte for
-  // byte (rejection changes no rendering, only insert counters).
+  // "all" fires every applicable site in every job. cache.reject and
+  // cache.depmiss are probed only when a cache mode is active, so the
+  // injected fault load is identical across modes and outputs must
+  // still match byte for byte (rejection changes no rendering, only
+  // insert counters; a forced dep miss degrades a hit to a cold solve
+  // of the same subtree).
   std::vector<BatchJob> Jobs = corpusJobs();
   SessionOptions Inject;
-  Inject.Faults.Sites = "solve.overflow,dnf.truncate,cache.reject";
+  Inject.Faults.Sites = "solve.overflow,dnf.truncate,cache.reject,cache.depmiss";
   std::vector<BatchResult> Baseline =
       runWith(Jobs, CacheMode::Off, 1, Inject);
   for (CacheMode Mode : {CacheMode::Session, CacheMode::Shared})

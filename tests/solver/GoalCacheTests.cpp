@@ -6,10 +6,12 @@
 ///
 /// \file
 /// The GoalCache contract: canonical encoding round-trips across arenas,
-/// fingerprints isolate programs and flag combinations, the sharded map
-/// keeps-first and evicts LRU at capacity, rejection keeps poisoned
-/// subtrees out, and a cache of any capacity — including a pathological
-/// single slot — never changes solver results.
+/// keys separate flag combinations and origin spans while dependency
+/// fingerprints decide validity against a program, the sharded map
+/// keeps-first per (key, deps) and evicts LRU at capacity, rejection
+/// keeps poisoned subtrees out, and a cache of any capacity — including
+/// a pathological single slot — never changes solver results, even when
+/// entries outlive the program that recorded them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,16 +49,10 @@ struct Parsed {
   }
 };
 
-SolverOptions cacheOptions(const std::string &Source, GoalCache *Cache,
-                           bool RejectAll = false) {
+SolverOptions cacheOptions(GoalCache *Cache, bool RejectAll = false) {
   SolverOptions Opts;
   Opts.Cache = Cache;
   Opts.CacheRejectAll = RejectAll;
-  auto Fp = GoalCache::fingerprint(Source, Opts.EmitWellFormedGoals,
-                                   Opts.EnableCandidateIndex,
-                                   Opts.EnableMemoization);
-  Opts.CacheFp0 = Fp.first;
-  Opts.CacheFp1 = Fp.second;
   return Opts;
 }
 
@@ -67,7 +63,7 @@ std::string solveToJSON(const std::string &Source, GoalCache *Cache,
                         bool RejectAll = false) {
   Parsed P(Source);
   SolverOptions Opts =
-      Cache ? cacheOptions(Source, Cache, RejectAll) : SolverOptions();
+      Cache ? cacheOptions(Cache, RejectAll) : SolverOptions();
   Solver Solve(P.Prog, Opts);
   SolveOutcome Out = Solve.solve();
   Extraction Ex = extractTrees(P.Prog, Out, Solve.inferContext());
@@ -83,8 +79,7 @@ std::string solveToJSON(const std::string &Source, GoalCache *Cache,
 std::string solveGoverned(const std::string &Source, GoalCache *Cache,
                           uint64_t Ceiling, uint64_t *WorkOut) {
   Parsed P(Source);
-  SolverOptions Opts =
-      Cache ? cacheOptions(Source, Cache) : SolverOptions();
+  SolverOptions Opts = Cache ? cacheOptions(Cache) : SolverOptions();
   ExecutionBudget Budget;
   Budget.armStage(/*DeadlineSeconds=*/0, Ceiling);
   Opts.Budget = &Budget;
@@ -174,22 +169,56 @@ TEST(CacheEncoding, HashSaltSeparatesDomains) {
 }
 
 //===----------------------------------------------------------------------===//
-// Fingerprints and keys
+// Keys
 //===----------------------------------------------------------------------===//
 
-TEST(CacheKeying, FingerprintSeparatesSourcesAndFlags) {
-  auto Base = GoalCache::fingerprint("struct A;", true, true, false);
-  EXPECT_EQ(Base, GoalCache::fingerprint("struct A;", true, true, false));
-  EXPECT_NE(Base, GoalCache::fingerprint("struct B;", true, true, false));
-  EXPECT_NE(Base, GoalCache::fingerprint("struct A;", false, true, false));
-  EXPECT_NE(Base, GoalCache::fingerprint("struct A;", true, false, false));
-  EXPECT_NE(Base, GoalCache::fingerprint("struct A;", true, true, true));
+TEST(CacheKeying, FlagsAndOriginSeparateKeys) {
+  GoalCache::Key Base;
+  Base.FlagsFp = 1;
+  Base.Origin = Span{FileId(), 10, 20};
+  Base.Pred = {10, 20};
+  GoalCache::finalizeKey(Base);
+
+  GoalCache::Key Same = Base;
+  GoalCache::finalizeKey(Same);
+  EXPECT_EQ(Base.Hash, Same.Hash);
+  EXPECT_TRUE(Base == Same);
+
+  GoalCache::Key Flags = Base;
+  Flags.FlagsFp = 2;
+  GoalCache::finalizeKey(Flags);
+  EXPECT_FALSE(Base == Flags) << "tree-shaping flags isolate entries";
+
+  GoalCache::Key Origin = Base;
+  Origin.Origin = Span{FileId(), 10, 21};
+  GoalCache::finalizeKey(Origin);
+  EXPECT_FALSE(Base == Origin)
+      << "the same goal at a different span is a different entry";
+  EXPECT_NE(Base.Hash, Origin.Hash);
+
+  GoalCache::Key Pred = Base;
+  Pred.Pred = {10, 21};
+  GoalCache::finalizeKey(Pred);
+  EXPECT_FALSE(Base == Pred);
+}
+
+TEST(CacheKeying, SplitHashMatchesFinalizeKey) {
+  GoalCache::Key K;
+  K.FlagsFp = 5;
+  K.Origin = Span{FileId(), 3, 9};
+  K.Pred = {1, 2, 3};
+  K.Env = std::make_shared<const CacheEnc>(CacheEnc{7, 8});
+  GoalCache::finalizeKey(K);
+  uint64_t Seed = GoalCache::envSeed(K.FlagsFp, K.Env.get());
+  EXPECT_EQ(K.Hash, GoalCache::finishKeyHash(Seed, K.Origin, K.Pred))
+      << "the hoisted flags+environment prefix must compose to the same"
+         " hash finalizeKey computes in one shot";
 }
 
 TEST(CacheKeying, KeyEqualityComparesEnvDeeply) {
   GoalCache::Key A, B;
-  A.Fp0 = B.Fp0 = 1;
-  A.Fp1 = B.Fp1 = 2;
+  A.FlagsFp = B.FlagsFp = 1;
+  A.Origin = B.Origin = Span{FileId(), 4, 8};
   A.Pred = B.Pred = {10, 20};
   A.Env = std::make_shared<const CacheEnc>(CacheEnc{7});
   B.Env = std::make_shared<const CacheEnc>(CacheEnc{7});
@@ -200,9 +229,6 @@ TEST(CacheKeying, KeyEqualityComparesEnvDeeply) {
 
   B.Env = std::make_shared<const CacheEnc>(CacheEnc{8});
   EXPECT_FALSE(A == B);
-  GoalCache::Key C = A;
-  C.Fp1 = 3;
-  EXPECT_FALSE(A == C) << "fingerprint isolates programs";
 }
 
 //===----------------------------------------------------------------------===//
@@ -213,8 +239,7 @@ namespace {
 
 GoalCache::Key keyFor(uint64_t N) {
   GoalCache::Key K;
-  K.Fp0 = 1;
-  K.Fp1 = 2;
+  K.FlagsFp = 1;
   K.Pred = {N};
   GoalCache::finalizeKey(K);
   return K;
@@ -226,22 +251,65 @@ GoalCache::EntryPtr entryWithEvals(uint64_t Evals) {
   return E;
 }
 
+/// A dependency unit distinguished only by its trait token — enough to
+/// make two entries' Deps unequal.
+GoalCache::EntryPtr entryWithDep(uint64_t Evals, uint64_t Trait) {
+  auto E = std::make_shared<GoalCache::Entry>();
+  E->TotalEvals = Evals;
+  GoalCache::DepUnit U;
+  U.K = GoalCache::DepUnit::Kind::TraitDecl;
+  U.Trait = Trait;
+  U.Fp = Trait * 3;
+  E->Deps.push_back(U);
+  return E;
+}
+
+/// Number of variants resident under \p K.
+size_t variantCount(GoalCache &Cache, const GoalCache::Key &K) {
+  std::vector<GoalCache::EntryPtr> Out;
+  Cache.lookup(K, Out);
+  return Out.size();
+}
+
+/// First variant under \p K, or null.
+GoalCache::EntryPtr lookupOne(GoalCache &Cache, const GoalCache::Key &K) {
+  std::vector<GoalCache::EntryPtr> Out;
+  Cache.lookup(K, Out);
+  return Out.empty() ? nullptr : Out.front();
+}
+
 } // namespace
 
-TEST(CacheMap, InsertIsKeepFirst) {
+TEST(CacheMap, InsertIsKeepFirstPerKeyAndDeps) {
   GoalCache Cache(GoalCache::Config{4, 16});
   GoalCache::Key K = keyFor(1);
   EXPECT_TRUE(Cache.insert(K, entryWithEvals(10)));
   EXPECT_FALSE(Cache.insert(K, entryWithEvals(99)))
-      << "second insert under the same key loses";
-  ASSERT_NE(Cache.lookup(K), nullptr);
-  EXPECT_EQ(Cache.lookup(K)->TotalEvals, 10u);
+      << "second insert with the same key and deps loses";
+  ASSERT_NE(lookupOne(Cache, K), nullptr);
+  EXPECT_EQ(lookupOne(Cache, K)->TotalEvals, 10u);
   EXPECT_EQ(Cache.size(), 1u);
 }
 
-TEST(CacheMap, MissesReturnNull) {
+TEST(CacheMap, DistinctDepSetsCoexistUnderOneKey) {
+  // The key no longer isolates programs, so the same goal recorded
+  // against two programs (different dependency fingerprints) yields two
+  // variants under one key; lookup returns both for the consumer's
+  // dependency check to arbitrate.
+  GoalCache Cache(GoalCache::Config{4, 16});
+  GoalCache::Key K = keyFor(1);
+  EXPECT_TRUE(Cache.insert(K, entryWithDep(10, /*Trait=*/1)));
+  EXPECT_TRUE(Cache.insert(K, entryWithDep(20, /*Trait=*/2)))
+      << "a different dependency set is a new variant, not a duplicate";
+  EXPECT_FALSE(Cache.insert(K, entryWithDep(30, /*Trait=*/1)))
+      << "equal deps still keep-first";
+  EXPECT_EQ(variantCount(Cache, K), 2u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(CacheMap, MissesReturnNothing) {
   GoalCache Cache;
-  EXPECT_EQ(Cache.lookup(keyFor(42)), nullptr);
+  EXPECT_EQ(variantCount(Cache, keyFor(42)), 0u);
   EXPECT_EQ(Cache.size(), 0u);
 }
 
@@ -251,13 +319,14 @@ TEST(CacheMap, CapacityEvictsLeastRecentlyUsed) {
   EXPECT_TRUE(Cache.insert(keyFor(1), entryWithEvals(1)));
   EXPECT_TRUE(Cache.insert(keyFor(2), entryWithEvals(2)));
   // Touch key 1 so key 2 is now least recently used.
-  EXPECT_NE(Cache.lookup(keyFor(1)), nullptr);
+  EXPECT_NE(lookupOne(Cache, keyFor(1)), nullptr);
   EXPECT_TRUE(Cache.insert(keyFor(3), entryWithEvals(3)));
   EXPECT_EQ(Cache.size(), 2u);
   EXPECT_EQ(Cache.evictions(), 1u);
-  EXPECT_NE(Cache.lookup(keyFor(1)), nullptr) << "recently used survives";
-  EXPECT_EQ(Cache.lookup(keyFor(2)), nullptr) << "LRU entry evicted";
-  EXPECT_NE(Cache.lookup(keyFor(3)), nullptr);
+  EXPECT_NE(lookupOne(Cache, keyFor(1)), nullptr)
+      << "recently used survives";
+  EXPECT_EQ(lookupOne(Cache, keyFor(2)), nullptr) << "LRU entry evicted";
+  EXPECT_NE(lookupOne(Cache, keyFor(3)), nullptr);
 }
 
 //===----------------------------------------------------------------------===//
@@ -301,9 +370,12 @@ TEST(CacheSolver, RejectAllInsertsNothing) {
   EXPECT_EQ(Cache.size(), 0u);
 }
 
-TEST(CacheSolver, DistinctProgramsNeverShareEntries) {
-  // Same cache, different second goal: the fingerprint must isolate the
-  // programs even though they share every declaration.
+TEST(CacheSolver, SharedPreludeHitsAcrossDistinctPrograms) {
+  // Same cache, different second goal: the programs are distinct, but
+  // their shared prelude (declarations plus the first goal, at identical
+  // spans) must be served from the first program's entries — dependency
+  // fingerprints, not program identity, decide reuse. Output stays the
+  // cold solve's, byte for byte.
   std::string Other = "struct A;\n"
                       "struct B;\n"
                       "struct Wrap<T>;\n"
@@ -319,14 +391,63 @@ TEST(CacheSolver, DistinctProgramsNeverShareEntries) {
   SolveOutcome OutB;
   EXPECT_EQ(PlainA, solveToJSON(BasicSource, &Shared));
   EXPECT_EQ(PlainB, solveToJSON(Other, &Shared, &OutB));
-  EXPECT_EQ(OutB.NumCacheHits, 0u)
-      << "entries from a different program must not hit";
+  EXPECT_GT(OutB.NumCacheHits, 0u)
+      << "the shared first goal must hit the first program's entry";
+  EXPECT_EQ(OutB.NumCacheDepMisses, 0u)
+      << "nothing the shared goals consulted differs between programs";
+}
+
+TEST(CacheSolver, EditedImplInvalidatesDependentGoals) {
+  // A same-length edit retargets the ground impl from A to B: both goals'
+  // recorded subtrees consulted the slices that change, so neither may be
+  // served stale — the edited program's warm solve must equal its cold
+  // solve and count dependency misses, not hits.
+  std::string Edited = "struct A;\n"
+                       "struct B;\n"
+                       "struct Wrap<T>;\n"
+                       "trait Show;\n"
+                       "impl Show for B;\n"
+                       "impl<T> Show for Wrap<T> where T: Show;\n"
+                       "goal Wrap<A>: Show;\n"
+                       "goal Wrap<B>: Show;\n";
+  std::string PlainEdited = solveToJSON(Edited, nullptr);
+  ASSERT_NE(PlainEdited, solveToJSON(BasicSource, nullptr))
+      << "the edit must actually flip the goals' outcomes";
+
+  GoalCache Shared;
+  SolveOutcome Out;
+  (void)solveToJSON(BasicSource, &Shared);
+  ASSERT_GT(Shared.size(), 0u);
+  EXPECT_EQ(PlainEdited, solveToJSON(Edited, &Shared, &Out));
+  EXPECT_GT(Out.NumCacheDepMisses, 0u)
+      << "stale entries must be rejected by their dependency check";
+}
+
+TEST(CacheSolver, ForcedDepMissDegradesToColdSolve) {
+  // The cache.depmiss fault hook fails every dependency check: a warm
+  // cache becomes pure overhead, but the output must not move.
+  GoalCache Cache;
+  std::string Plain = solveToJSON(BasicSource, nullptr);
+  EXPECT_EQ(Plain, solveToJSON(BasicSource, &Cache));
+
+  Parsed P(BasicSource);
+  SolverOptions Opts = cacheOptions(&Cache);
+  Opts.CacheForceDepMiss = true;
+  Solver Solve(P.Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(P.Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(P.Prog, Tree, /*Pretty=*/true) + "\n";
+  EXPECT_EQ(Plain, JSON);
+  EXPECT_EQ(Out.NumCacheHits, 0u);
+  EXPECT_GT(Out.NumCacheDepMisses, 0u);
 }
 
 TEST(CacheSolver, LegacyMemoizationDisablesTheCache) {
   Parsed P(BasicSource);
   GoalCache Cache;
-  SolverOptions Opts = cacheOptions(BasicSource, &Cache);
+  SolverOptions Opts = cacheOptions(&Cache);
   Opts.EnableMemoization = true;
   Solver Solve(P.Prog, Opts);
   SolveOutcome Out = Solve.solve();
@@ -335,15 +456,16 @@ TEST(CacheSolver, LegacyMemoizationDisablesTheCache) {
   EXPECT_EQ(Cache.size(), 0u);
 }
 
-TEST(CacheSolver, CachedWinnerSubstSurvivesStandaloneRecording) {
-  // The trait goal is proved standalone first, so its entry is recorded
-  // with no caller TraitEvalInfo: the winner lives in the recording
-  // frame itself. The projection goal then hits that entry through its
-  // NormalizesTo subgoal and substitutes the associated binding with
-  // the spliced winner substitution — an empty one would normalize Out
-  // to the unbound generic instead of A. Regression: finishRecording
-  // used to read the winner through a reference aliasing the recording
-  // frame it had just moved from and destroyed.
+TEST(CacheSolver, CachedWinnerSubstSurvivesReplay) {
+  // The projection goal's NormalizesTo subgoal records the trait goal's
+  // entry with its winner substitution; the warm replay hits that entry
+  // and substitutes the associated binding with the spliced winner — an
+  // empty one would normalize Out to the unbound generic instead of A.
+  // Regression: finishRecording used to read the winner through a
+  // reference aliasing the recording frame it had just moved from and
+  // destroyed. (The origin-keyed cache means the standalone trait goal
+  // on line 5 no longer feeds the projection on line 6 — each goal decl
+  // replays only its own recorded subtree.)
   std::string Source = "struct A;\n"
                        "struct Wrap<T>;\n"
                        "trait Conv { type Out; }\n"
@@ -352,11 +474,11 @@ TEST(CacheSolver, CachedWinnerSubstSurvivesStandaloneRecording) {
                        "goal <Wrap<A> as Conv>::Out == A;\n";
   std::string Plain = solveToJSON(Source, nullptr);
   GoalCache Cache;
-  SolveOutcome Out;
-  EXPECT_EQ(Plain, solveToJSON(Source, &Cache, &Out));
-  EXPECT_GT(Out.NumCacheHits, 0u)
-      << "the projection goal must consume the trait goal's entry";
-  EXPECT_EQ(Plain, solveToJSON(Source, &Cache)) << "warm replay";
+  SolveOutcome Cold, Warm;
+  EXPECT_EQ(Plain, solveToJSON(Source, &Cache, &Cold));
+  EXPECT_EQ(Plain, solveToJSON(Source, &Cache, &Warm)) << "warm replay";
+  EXPECT_GT(Warm.NumCacheHits, 0u)
+      << "the replayed projection must consume its recorded entry";
 }
 
 TEST(CacheSolver, WorkCeilingParityWithWarmCache) {

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 using namespace argus;
+using testgen::editProgram;
 using testgen::randomProgram;
 
 namespace {
@@ -187,21 +188,14 @@ namespace {
 class CachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 /// Solves \p Source against \p Cache (null = uncached) with the default
-/// solver options plus the cache fingerprint wiring the engine layer
-/// would do.
+/// solver options. Entry validity is decided per lookup by dependency
+/// fingerprints, so no per-program wiring is needed.
 SolveOutcome solveWithCache(const std::string &Source, GoalCache *Cache) {
   Session S;
   Program Prog(S);
   EXPECT_TRUE(parseSource(Prog, "fuzz.tl", Source).Success) << Source;
   SolverOptions Opts;
   Opts.Cache = Cache;
-  if (Cache) {
-    auto Fp = GoalCache::fingerprint(Source, Opts.EmitWellFormedGoals,
-                                     Opts.EnableCandidateIndex,
-                                     Opts.EnableMemoization);
-    Opts.CacheFp0 = Fp.first;
-    Opts.CacheFp1 = Fp.second;
-  }
   Solver Solve(Prog, Opts);
   return Solve.solve();
 }
@@ -214,13 +208,6 @@ std::string treesAsJSON(const std::string &Source, GoalCache *Cache) {
   EXPECT_TRUE(parseSource(Prog, "fuzz.tl", Source).Success) << Source;
   SolverOptions Opts;
   Opts.Cache = Cache;
-  if (Cache) {
-    auto Fp = GoalCache::fingerprint(Source, Opts.EmitWellFormedGoals,
-                                     Opts.EnableCandidateIndex,
-                                     Opts.EnableMemoization);
-    Opts.CacheFp0 = Fp.first;
-    Opts.CacheFp1 = Fp.second;
-  }
   Solver Solve(Prog, Opts);
   SolveOutcome Out = Solve.solve();
   Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
@@ -265,6 +252,63 @@ TEST_P(CachePropertyTest, CachedExtractionIsByteIdentical) {
   EXPECT_EQ(Plain, treesAsJSON(Source, &Cache)) << Source;
   // Warm replay: every splice must reproduce the trees byte for byte.
   EXPECT_EQ(Plain, treesAsJSON(Source, &Cache)) << Source;
+}
+
+TEST_P(CachePropertyTest, EditedProgramsMatchColdSolveByteForByte) {
+  // The cache is populated by the original program, then consulted by a
+  // single-impl edit of it (add/remove/reorder/rename). Dependency
+  // fingerprints must reject exactly the stale entries: the warm solve
+  // of the edited program — results and serialized trees — is required
+  // to be byte-identical to its cold solve.
+  std::string Source = randomProgram(GetParam());
+  std::string Edited = editProgram(Source, GetParam());
+  SolveOutcome Cold = solveWithCache(Edited, nullptr);
+  std::string ColdJSON = treesAsJSON(Edited, nullptr);
+
+  GoalCache Shared;
+  (void)solveWithCache(Source, &Shared);
+  SolveOutcome Warm = solveWithCache(Edited, &Shared);
+  EXPECT_EQ(Cold.FinalResults, Warm.FinalResults)
+      << "original:\n" << Source << "edited:\n" << Edited;
+  EXPECT_EQ(ColdJSON, treesAsJSON(Edited, &Shared))
+      << "original:\n" << Source << "edited:\n" << Edited;
+  EXPECT_EQ(ColdJSON, treesAsJSON(Edited, &Shared)) << "warm replay";
+}
+
+TEST(CacheEditAdversarial, AddedImplFlipsPreviouslyFailingGoal) {
+  // The failing goal's recorded subtree consulted an *empty* impl slice
+  // for (Tr0, S0) — a negative dependency. The same-length edit
+  // retargets the decoy impl onto exactly that slice without moving any
+  // later span, so the stale entry's key (origin included) still
+  // matches the edited program's lookup; only the empty-slice
+  // fingerprint stands between the consumer and a stale "no".
+  std::string Original = "struct S0;\n"
+                         "struct S9;\n"
+                         "trait Tr0;\n"
+                         "trait Tr9;\n"
+                         "impl Tr9 for S9;\n"
+                         "goal S0: Tr0;\n";
+  std::string Edited = "struct S0;\n"
+                       "struct S9;\n"
+                       "trait Tr0;\n"
+                       "trait Tr9;\n"
+                       "impl Tr0 for S0;\n"
+                       "goal S0: Tr0;\n";
+  SolveOutcome Cold = solveWithCache(Edited, nullptr);
+  ASSERT_EQ(Cold.FinalResults.size(), 1u);
+  ASSERT_EQ(Cold.FinalResults[0], EvalResult::Yes);
+
+  GoalCache Shared;
+  SolveOutcome Orig = solveWithCache(Original, &Shared);
+  ASSERT_EQ(Orig.FinalResults.size(), 1u);
+  ASSERT_EQ(Orig.FinalResults[0], EvalResult::No);
+  ASSERT_GT(Shared.size(), 0u) << "the failing goal must be recorded";
+
+  SolveOutcome Warm = solveWithCache(Edited, &Shared);
+  EXPECT_EQ(Warm.FinalResults, Cold.FinalResults)
+      << "a stale 'no' must not survive a matching impl appearing";
+  EXPECT_GT(Warm.NumCacheDepMisses, 0u)
+      << "the stale entry must fall to its negative dependency";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,

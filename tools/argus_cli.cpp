@@ -42,6 +42,12 @@
 ///   --cache-shards <n>  lock stripes in the goal cache (default 16)
 ///   --cache-cap <n>     max cached entries before eviction (default
 ///                       65536)
+///   --edit-script <file>  replay successive revisions of one program
+///                    (separated by lines consisting of "---") through
+///                    an engine::EditSession: revisions share one goal
+///                    cache whose per-entry dependency fingerprints
+///                    carry results across edits. --cache off solves
+///                    every revision cold instead (same output).
 ///   --version        print the version and exit
 ///
 /// Exit codes (documented in README.md; batch mode exits with the worst
@@ -55,6 +61,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/Batch.h"
+#include "engine/EditSession.h"
 #include "engine/Session.h"
 #include "tlang/Printer.h"
 
@@ -63,7 +70,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <string_view>
 
 using namespace argus;
 
@@ -74,6 +83,7 @@ namespace {
 struct Options {
   std::string InputPath;
   std::string BatchDir;
+  std::string EditScriptPath;
   std::string HTMLPath;
   std::string TracePath;
   std::string InjectSites;
@@ -83,6 +93,7 @@ struct Options {
   bool RetryOverruns = false;
   unsigned Jobs = 1;
   engine::CacheMode Cache = engine::CacheMode::Off;
+  bool CacheSet = false;
   unsigned CacheShards = 16;
   size_t CacheCap = 65536;
   bool Diag = false;
@@ -109,7 +120,8 @@ int usage() {
           " [--cache-cap <n>]\n"
           "             [--version]\n"
           "       argus --batch <dir> [--jobs <n>] [--retry-overruns]"
-          " [other options]\n");
+          " [other options]\n"
+          "       argus --edit-script <file> [other options]\n");
   return 2;
 }
 
@@ -239,6 +251,9 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
     Sum.CacheMisses += Stats->CacheMisses;
     Sum.CacheInserts += Stats->CacheInserts;
     Sum.CacheInsertsRejected += Stats->CacheInsertsRejected;
+    Sum.CacheCrossRevHits += Stats->CacheCrossRevHits;
+    Sum.CacheDepMisses += Stats->CacheDepMisses;
+    Sum.ImplsInvalidated += Stats->ImplsInvalidated;
     Sum.CandidatesFiltered += Stats->CandidatesFiltered;
     Sum.TreesExtracted += Stats->TreesExtracted;
     Sum.TreeGoals += Stats->TreeGoals;
@@ -260,6 +275,8 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
   printf("stats: programs=%zu goal_evals=%llu memo_hits=%llu"
          " solver_steps=%llu cache_hits=%llu cache_misses=%llu"
          " cache_inserts=%llu cache_inserts_rejected=%llu"
+         " cache_cross_rev_hits=%llu cache_dep_misses=%llu"
+         " impls_invalidated=%llu"
          " candidates_filtered=%llu trees=%zu tree_goals=%zu"
          " failed_leaves=%zu dnf_conjuncts=%zu dnf_words=%llu"
          " dnf_truncations=%llu arena_hash_lookups=%llu"
@@ -273,6 +290,9 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          static_cast<unsigned long long>(Sum.CacheMisses),
          static_cast<unsigned long long>(Sum.CacheInserts),
          static_cast<unsigned long long>(Sum.CacheInsertsRejected),
+         static_cast<unsigned long long>(Sum.CacheCrossRevHits),
+         static_cast<unsigned long long>(Sum.CacheDepMisses),
+         static_cast<unsigned long long>(Sum.ImplsInvalidated),
          static_cast<unsigned long long>(Sum.CandidatesFiltered),
          Sum.TreesExtracted, Sum.TreeGoals, Sum.FailedLeaves,
          Sum.DNFConjuncts,
@@ -402,6 +422,94 @@ int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
   return std::max(R.Exit, S->stats().exitCode());
 }
 
+/// Splits an edit script into revisions at each line consisting solely
+/// of "---" (the separator line belongs to neither revision).
+std::vector<std::string> splitRevisions(const std::string &Text) {
+  std::vector<std::string> Revs(1);
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    size_t LineEnd = Eol == std::string::npos ? Text.size() : Eol;
+    std::string_view Line(Text.data() + Pos, LineEnd - Pos);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line == "---") {
+      Revs.emplace_back();
+    } else {
+      Revs.back().append(Text, Pos, LineEnd - Pos);
+      Revs.back() += '\n';
+    }
+    if (Eol == std::string::npos)
+      break;
+    Pos = Eol + 1;
+  }
+  // A trailing separator would leave an empty final revision; drop it.
+  if (Revs.size() > 1 &&
+      Revs.back().find_first_not_of(" \t\r\n") == std::string::npos)
+    Revs.pop_back();
+  return Revs;
+}
+
+/// Replays every revision of the script through one EditSession. Output
+/// is a "=== rev N of M ===" block per revision, byte-identical whether
+/// the cache carries results across revisions (--cache shared, the
+/// default here via EditSession) or every revision solves cold
+/// (--cache off) — that identity is what tools/check.sh's edit_diff
+/// gate asserts.
+int runEditScript(const Options &Opts,
+                  const engine::SessionOptions &SessOpts) {
+  std::ifstream File(Opts.EditScriptPath);
+  if (!File) {
+    fprintf(stderr, "argus: cannot open %s\n", Opts.EditScriptPath.c_str());
+    return 2;
+  }
+  std::string Text((std::istreambuf_iterator<char>(File)),
+                   std::istreambuf_iterator<char>());
+  std::vector<std::string> Revs = splitRevisions(Text);
+
+  engine::EditSession Edit(Opts.EditScriptPath, SessOpts);
+  std::vector<engine::SessionStats> AllStats;
+  AllStats.reserve(Revs.size());
+  int Exit = 0;
+  for (size_t R = 0; R != Revs.size(); ++R) {
+    engine::Session &S = Edit.apply(std::move(Revs[R]));
+    printf("=== rev %zu of %zu ===\n", R + 1, Revs.size());
+    Rendered Out = renderProgram(S, Opts);
+    // Like batch blocks, warnings and notes stay on stdout in revision
+    // order so the whole replay is one diffable stream.
+    fputs(Out.Warnings.c_str(), stdout);
+    fputs(Out.Body.c_str(), stdout);
+    fputs(failureNotes(S.stats()).c_str(), stdout);
+    Exit = std::max(Exit, std::max(Out.Exit, S.stats().exitCode()));
+    AllStats.push_back(S.stats());
+  }
+
+  if (Opts.Stats) {
+    std::vector<const engine::SessionStats *> All;
+    All.reserve(AllStats.size());
+    for (const engine::SessionStats &Stats : AllStats)
+      All.push_back(&Stats);
+    printStatsLine(All);
+  }
+
+  if (!Opts.TracePath.empty()) {
+    JSONWriter Writer(/*Pretty=*/true);
+    Writer.beginObject();
+    Writer.keyValue("jobs", static_cast<uint64_t>(1));
+    Writer.keyValue("programs_total",
+                    static_cast<uint64_t>(AllStats.size()));
+    Writer.key("programs");
+    Writer.beginArray();
+    for (const engine::SessionStats &Stats : AllStats)
+      Stats.writeJSON(Writer);
+    Writer.endArray();
+    Writer.endObject();
+    if (!writeTrace(Opts.TracePath, Writer.str()))
+      return 2;
+  }
+  return Exit;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -485,6 +593,7 @@ int main(int Argc, char **Argv) {
       } else {
         Mode = Arg.substr(sizeof("--cache=") - 1);
       }
+      Opts.CacheSet = true;
       if (Mode == "off")
         Opts.Cache = engine::CacheMode::Off;
       else if (Mode == "session")
@@ -535,6 +644,12 @@ int main(int Argc, char **Argv) {
         return usage();
       }
       Opts.BatchDir = Argv[I];
+    } else if (Arg == "--edit-script") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --edit-script requires a file argument\n");
+        return usage();
+      }
+      Opts.EditScriptPath = Argv[I];
     } else if (Arg == "--trace") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --trace requires a file argument\n");
@@ -565,21 +680,32 @@ int main(int Argc, char **Argv) {
   }
 
   bool Batch = !Opts.BatchDir.empty();
-  if (Batch == !Opts.InputPath.empty()) {
+  bool EditScript = !Opts.EditScriptPath.empty();
+  if (EditScript && (Batch || !Opts.InputPath.empty())) {
+    fprintf(stderr, "argus: --edit-script cannot be combined with --batch"
+                    " or a program argument\n");
+    return usage();
+  }
+  if (!EditScript && Batch == !Opts.InputPath.empty()) {
     fprintf(stderr, Batch
                         ? "argus: --batch cannot be combined with a "
                           "program argument\n"
                         : "argus: no input program\n");
     return usage();
   }
-  if (Batch && !Opts.HTMLPath.empty()) {
-    fprintf(stderr, "argus: --html is not supported with --batch\n");
+  if ((Batch || EditScript) && !Opts.HTMLPath.empty()) {
+    fprintf(stderr, "argus: --html is not supported with --batch or"
+                    " --edit-script\n");
     return usage();
   }
   if (!Batch && Opts.RetryOverruns) {
     fprintf(stderr, "argus: --retry-overruns requires --batch\n");
     return usage();
   }
+  // Carrying results across revisions is the point of an edit session;
+  // --cache off remains available as the explicit cold baseline.
+  if (EditScript && !Opts.CacheSet)
+    Opts.Cache = engine::CacheMode::Shared;
   if (!Opts.Diag && !Opts.BottomUp && !Opts.TopDown && !Opts.MCS &&
       !Opts.Suggest && !Opts.JSON && Opts.HTMLPath.empty() &&
       !Opts.CheckOnly) {
@@ -597,5 +723,9 @@ int main(int Argc, char **Argv) {
   SessOpts.Faults.Seed = Opts.InjectSeed;
   SessOpts.Faults.Probability = Opts.InjectProb;
 
-  return Batch ? runBatch(Opts, SessOpts) : runSingle(Opts, SessOpts);
+  if (Batch)
+    return runBatch(Opts, SessOpts);
+  if (EditScript)
+    return runEditScript(Opts, SessOpts);
+  return runSingle(Opts, SessOpts);
 }

@@ -30,6 +30,15 @@
 #
 #   tools/check.sh --cache-diff-only <argus-binary> <programs-dir>
 #
+# The edit differential gate replays a canned three-revision edit script
+# (break an example by deleting an impl, then revert) through
+# `argus --edit-script`, once against the incremental shared cache and
+# once with --cache off, and requires byte-identical stdout and equal
+# exit codes. On by default in the full gate; standalone (also wired
+# into CTest as cli_edit_diff):
+#
+#   tools/check.sh --edit-diff-only <argus-binary> <programs-dir>
+#
 # CHECK_SANITIZE=1 switches the full gate to an ASan+UBSan build in its
 # own build directory (build-sanitize by default), running the same test
 # suite — including the fuzz_smoke mutation loop — under the sanitizers.
@@ -70,7 +79,7 @@ cache_diff() {
   for variant in plain inject deadline; do
     case "$variant" in
     plain) set -- ;;
-    inject) set -- --inject solve.overflow,dnf.truncate,cache.reject ;;
+    inject) set -- --inject solve.overflow,dnf.truncate,cache.reject,cache.depmiss ;;
     deadline) set -- --deadline 0.1 ;;
     esac
     "$argus_bin" --batch "$programs_dir" --jobs 1 --json --cache off \
@@ -91,6 +100,47 @@ cache_diff() {
   done
   echo "cache differential: OK (off == session == shared, jobs 1 == 8," \
     "plain/inject/deadline, over $programs_dir)"
+}
+
+# Writes the canned three-revision edit script (original, first impl
+# deleted, original again) for $1 (a program file) to stdout. Deleting
+# an impl changes results; the revert must be served by revision 1's
+# cache entries.
+make_edit_script() {
+  cat "$1"
+  echo "---"
+  awk '!d && /^(#\[external\] )?impl/ { d = 1; next } { print }' "$1"
+  echo "---"
+  cat "$1"
+}
+
+edit_diff() {
+  argus_bin="$1"
+  programs_dir="$2"
+  edit_script="${TMPDIR:-/tmp}/argus_edit_script_$$.txt"
+  edit_warm="${TMPDIR:-/tmp}/argus_edit_warm_$$.txt"
+  edit_cold="${TMPDIR:-/tmp}/argus_edit_cold_$$.txt"
+  trap 'rm -f "$edit_script" "$edit_warm" "$edit_cold"' EXIT
+
+  make_edit_script "$programs_dir/display_vec.tl" >"$edit_script"
+  warm_status=0
+  cold_status=0
+  "$argus_bin" --edit-script "$edit_script" >"$edit_warm" || warm_status=$?
+  "$argus_bin" --edit-script "$edit_script" --cache off >"$edit_cold" ||
+    cold_status=$?
+  if ! cmp -s "$edit_cold" "$edit_warm"; then
+    echo "FAIL: edit diff: incremental --edit-script output differs" \
+      "from --cache off over $edit_script" >&2
+    diff "$edit_cold" "$edit_warm" >&2 || true
+    exit 1
+  fi
+  if [ "$warm_status" != "$cold_status" ]; then
+    echo "FAIL: edit diff: incremental exit $warm_status !=" \
+      "cold exit $cold_status" >&2
+    exit 1
+  fi
+  echo "edit differential: OK (incremental == cold over a 3-revision" \
+    "edit script, exit $warm_status)"
 }
 
 perf_smoke() {
@@ -166,6 +216,38 @@ perf_smoke() {
   assert_ge cache_hits "$shared_hits" 1
   echo "cache perf smoke: OK (solver_steps $off_steps -> $shared_steps," \
     "$shared_hits hits over 8 identical programs)"
+
+  # Incremental smoke: the canned edit session must actually cross
+  # revisions — entries recorded at revision 1 serve revision 3 after
+  # the revert, the deleted impl registers as an invalidation, and the
+  # incremental replay does strictly less solver work than solving every
+  # revision cold. Work counters again, so this cannot flake.
+  edit_perf_script="${TMPDIR:-/tmp}/argus_edit_perf_$$.txt"
+  make_edit_script "$programs_dir/display_vec.tl" >"$edit_perf_script"
+  edit_counter() { # cache-mode counter-name
+    "$argus_bin" --edit-script "$edit_perf_script" --cache "$1" --stats \
+        2>/dev/null | grep '^stats: ' | tail -n 1 |
+      tr ' ' '\n' | sed -n "s/^$2=//p"
+  }
+  cross_hits=$(edit_counter shared cache_cross_rev_hits)
+  invalidated=$(edit_counter shared impls_invalidated)
+  warm_steps=$(edit_counter shared solver_steps)
+  cold_steps=$(edit_counter off solver_steps)
+  rm -f "$edit_perf_script"
+  [ -n "$cross_hits" ] && [ -n "$cold_steps" ] || {
+    echo "FAIL: perf smoke: no counters from --edit-script --stats" >&2
+    exit 1
+  }
+  assert_ge cache_cross_rev_hits "$cross_hits" 1
+  assert_ge impls_invalidated "$invalidated" 2
+  [ "$warm_steps" -lt "$cold_steps" ] || {
+    echo "FAIL: perf smoke: incremental edit session did $warm_steps" \
+      "solver steps, not strictly less than $cold_steps cold" >&2
+    exit 1
+  }
+  echo "incremental perf smoke: OK (solver_steps $cold_steps ->" \
+    "$warm_steps, $cross_hits cross-rev hits," \
+    "$invalidated impls invalidated)"
 }
 
 if [ "${1:-}" = "--perf-smoke-only" ]; then
@@ -195,6 +277,15 @@ if [ "${1:-}" = "--cache-diff-only" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--edit-diff-only" ]; then
+  [ $# -eq 3 ] || {
+    echo "usage: $0 --edit-diff-only <argus-binary> <programs-dir>" >&2
+    exit 2
+  }
+  edit_diff "$2" "$3"
+  exit 0
+fi
+
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
   build_dir="${1:-$repo_root/build-sanitize}"
@@ -214,5 +305,6 @@ determinism "$build_dir/tools/argus" "$repo_root/examples"
 if [ "${CHECK_CACHE_DIFF:-1}" = "1" ]; then
   cache_diff "$build_dir/tools/argus" "$repo_root/examples"
 fi
+edit_diff "$build_dir/tools/argus" "$repo_root/examples"
 perf_smoke "$build_dir/tools/argus" "$repo_root/examples"
 echo "all checks passed"

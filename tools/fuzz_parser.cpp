@@ -26,8 +26,10 @@
 /// GoalCache shared across all mutants of the run — and the renderings
 /// must match byte for byte whenever neither run degraded. Mutants are a
 /// nastier keyspace than any hand-written program: near-identical
-/// sources that must never alias a fingerprint, and half-broken
-/// environments that stress the cacheability predicate.
+/// sources whose entries must never replay across an observable
+/// difference (the per-entry dependency fingerprints carry the whole
+/// burden of isolation), and half-broken environments that stress the
+/// cacheability predicate.
 ///
 /// Wired into CTest as `fuzz_smoke` and `fuzz_solve_smoke`; also part of
 /// the CHECK_SANITIZE=1 run (tools/check.sh), where ASan/UBSan watch the
@@ -168,8 +170,10 @@ int main(int Argc, char **Argv) {
   Rng R(Seed);
   const engine::SessionOptions GovOpts = governedOptions();
   // One cache outlives the whole --solve run, so near-identical mutants
-  // cross-check the fingerprint isolation and entries accumulate the way
-  // they would in a long-lived shared-cache batch.
+  // cross-check the per-entry dependency checks (an entry may only
+  // replay into a mutant whose consulted impls are byte-identical) and
+  // entries accumulate the way they would in a long-lived shared-cache
+  // batch.
   GoalCache SharedCache;
   uint64_t ParsedOk = 0, PipelineRuns = 0, Degraded = 0, Compared = 0;
   std::string Current;
