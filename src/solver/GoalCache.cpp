@@ -6,6 +6,7 @@
 
 #include "solver/GoalCache.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace argus;
@@ -51,6 +52,11 @@ uint64_t mixToken(uint64_t H, uint64_t Value) {
 //===----------------------------------------------------------------------===//
 // Symbol registry and per-session bridge
 //===----------------------------------------------------------------------===//
+
+uint64_t CacheSymbolRegistry::nextUid() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 uint32_t CacheSymbolRegistry::intern(std::string_view Text) {
   std::lock_guard<std::mutex> Lock(M);

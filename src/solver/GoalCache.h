@@ -71,6 +71,8 @@ uint64_t hashCacheEnc(const CacheEnc &Enc, uint64_t Salt);
 /// raw values (or never interned the name at all).
 class CacheSymbolRegistry {
 public:
+  CacheSymbolRegistry() : Uid(nextUid()) {}
+
   /// Interns \p Text, returning the existing id if already present.
   uint32_t intern(std::string_view Text);
 
@@ -80,7 +82,16 @@ public:
 
   size_t size() const;
 
+  /// Process-unique identity of this registry. Session-scoped scratch
+  /// caches that memoize registry tokens tag their contents with this
+  /// instead of the registry's address, which a destroyed-and-
+  /// reallocated registry could reuse (the classic ABA hazard).
+  uint64_t uid() const { return Uid; }
+
 private:
+  static uint64_t nextUid();
+
+  const uint64_t Uid;
   mutable std::mutex M;
   // A deque keeps element addresses stable on growth, so the string_view
   // keys in Map (and the views text() hands out) never dangle.
@@ -133,6 +144,10 @@ struct TypeEncodeMemo {
       ByType.resize(Index + 1);
     return ByType[Index];
   }
+
+  /// Drops every memoized encoding (a borrower whose registry or arena
+  /// identity changed must start over; see SolveScratch's tags).
+  void clear() { ByType.clear(); }
 };
 
 /// Encodes types/predicates into canonical token streams. Inference
@@ -285,8 +300,13 @@ public:
   struct Entry {
     uint32_t MaxRelDepth = 0;   ///< Deepest node depth minus root depth.
     uint64_t TotalEvals = 0;    ///< Goal evaluations in the subtree (root incl).
-    uint64_t CandidatesFiltered = 0;
     uint32_t NumFreshVars = 0;  ///< Variables the subtree allocated.
+    /// Parallel to Deps: how many times the recorded subtree enumerated
+    /// each ImplSlice unit (0 for TraitDecl units). The splice recomputes
+    /// candidates_filtered from these against the *consumer's* program
+    /// (enumerations x impls-outside-the-slice), so warm and cold stats
+    /// agree exactly instead of replaying a recorder-side total.
+    std::vector<uint32_t> SliceEnumCounts;
     /// Everything the subtree consulted in the program, in first-
     /// consultation order. Checked on every lookup; see DepUnit.
     std::vector<DepUnit> Deps;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <unordered_set>
 
 using namespace argus;
@@ -33,6 +34,45 @@ struct TraitEvalInfo {
 constexpr uint64_t PredStackSalt = 0x505245445354ull;
 constexpr uint64_t NtStackSalt = 0x4E545354ull;
 
+/// Supertrait-elaborated environments and (when variable-free) their
+/// canonical encodings, keyed by the address of the goal's Env vector.
+/// Lives in the Session's SolveScratch so repeated solves over the same
+/// Program skip the elaboration fixpoint and the env re-encode entirely
+/// — the dominant fixed cost of small cached queries. Entries verify
+/// their source contents on hit (addresses can be reused by temporaries),
+/// and the slot tag pins the Program and cache-registry identities.
+struct EnvElabCache {
+  struct Rec {
+    std::vector<Predicate> Source; ///< The un-elaborated env, verbatim.
+    std::vector<Predicate> Preds;  ///< Closed under supertrait bounds.
+    /// Encoding state: 0 = not attempted, 1 = cached (Enc valid; the
+    /// assumptions contain no inference variables, so resolution is the
+    /// identity under any binding state), 2 = has variables (must be
+    /// re-encoded per solve against live bindings).
+    uint8_t EncState = 0;
+    std::shared_ptr<const CacheEnc> Enc;
+    bool Elaborated = false;
+  };
+  std::unordered_map<const void *, Rec> ByEnv;
+  void clear() { ByEnv.clear(); }
+};
+
+/// Kinds worth keying into the goal cache. The builtin leaf kinds
+/// (Outlives, RegionOutlives, Sized, WellFormed) assemble exactly one
+/// candidate without consulting the program; re-solving one is cheaper
+/// than encoding its cache key, so the admission pre-check skips them
+/// before any keying work happens.
+bool cacheworthyKind(PredicateKind K) {
+  switch (K) {
+  case PredicateKind::Trait:
+  case PredicateKind::Projection:
+  case PredicateKind::NormalizesTo:
+    return true;
+  default:
+    return false;
+  }
+}
+
 } // namespace
 
 struct Solver::Impl {
@@ -53,6 +93,8 @@ struct Solver::Impl {
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
   uint64_t NumCandidatesFiltered = 0;
+  uint64_t NumExactPrunes = 0;
+  uint64_t NumCacheAdmissionSkips = 0;
   uint64_t NumSolverSteps = 0;
   uint64_t NumCacheHits = 0;
   uint64_t NumCacheMisses = 0;
@@ -66,7 +108,7 @@ struct Solver::Impl {
   bool EvalBudgetExhausted = false;
 
   // --- Goal-cache state (Opts.Cache != null).
-  /// Canonical encoding of ElaboratedEnv (resolved, raw variable
+  /// Canonical encoding of the elaborated env (resolved, raw variable
   /// indices), rebuilt by setEnv. When the environment still contains
   /// unresolved inference variables the encoding can go stale as other
   /// goals bind them, so lookups re-encode it on the fly.
@@ -90,7 +132,23 @@ struct Solver::Impl {
   std::vector<uint64_t> CurStackHashes;
   /// Raw-mode encodings per TypeId, so the per-goal key and stack-hash
   /// encodes of a deep type cost a span copy after its first walk.
-  TypeEncodeMemo RawEncMemo;
+  /// Borrowed from the Session's SolveScratch (null without a cache):
+  /// the memo survives across Solver instances over the same arena and
+  /// registry, so a hot loop of small queries never re-walks its types.
+  TypeEncodeMemo *RawEncMemo = nullptr;
+  ScratchBorrow<TypeEncodeMemo> EncMemoBorrow;
+  /// Session-scoped cache of supertrait elaborations and env encodings,
+  /// also borrowed from SolveScratch; see EnvElabCache.
+  ScratchBorrow<EnvElabCache> ElabBorrow;
+  /// The Session's bump arena for per-solve transient arrays
+  /// (instantiated trait-argument lists); rewound by beginSolve().
+  BumpAllocator *FrameArena = nullptr;
+  /// Key hashes whose recording this run already completed and rejected
+  /// (ambiguous/overflow subtree, external binding, injected fault).
+  /// Fully-resolved goals re-evaluate deterministically within a run, so
+  /// re-recording one of these would only re-reject; the admission
+  /// pre-check skips the whole recording apparatus instead.
+  std::unordered_set<uint64_t> RejectedKeys;
   /// Scratch buffer for stackHashOf, reused across evaluations.
   CacheEnc StackHashScratch;
   /// The outermost recording frame. Only one subtree records at a time;
@@ -101,7 +159,6 @@ struct Solver::Impl {
     uint32_t VarsBefore = 0;
     size_t TrailBefore = 0;
     uint64_t EvalsBefore = 0;
-    uint64_t FilteredBefore = 0;
     size_t CandsBefore = 0;
     bool ExhaustedBefore = false;
     GoalCache::Key Key;
@@ -111,6 +168,9 @@ struct Solver::Impl {
     /// order: one unit per distinct impl slice enumerated and per trait
     /// declaration read. Becomes Entry::Deps.
     std::vector<GoalCache::DepUnit> Deps;
+    /// Parallel to Deps: enumerations of each ImplSlice unit (0 for
+    /// TraitDecl units). Becomes Entry::SliceEnumCounts.
+    std::vector<uint32_t> EnumCounts;
     /// Raw ImplId -> (index into Deps, position in that unit's
     /// sequence), so finishRecording can store positional impl
     /// references. First registration wins; an impl reachable through
@@ -155,6 +215,23 @@ struct Solver::Impl {
             "well-formed"})
         (void)S.name(Name);
     }
+
+    // Borrow the Session's pooled scratch. The type-encode memo is only
+    // meaningful with a cache (its contents are registry tokens); the
+    // elaboration cache always pays off. Tags use process-unique uids,
+    // never raw addresses of independently-owned objects (ABA).
+    SolveScratch &Scr = S.scratch();
+    if (this->Opts.Cache) {
+      EncMemoBorrow.acquire(Scr, SolveScratch::SlotEncodeMemo,
+                            tagOfUid(this->Opts.Cache->symbols().uid()),
+                            &S.types());
+      RawEncMemo = EncMemoBorrow.get();
+    }
+    ElabBorrow.acquire(Scr, SolveScratch::SlotElabCache, tagOfUid(Prog.uid()),
+                       this->Opts.Cache
+                           ? tagOfUid(this->Opts.Cache->symbols().uid())
+                           : nullptr);
+    FrameArena = &Scr.arena();
   }
 
   static uint32_t firstFreshVar(const Program &Prog);
@@ -164,8 +241,10 @@ struct Solver::Impl {
 
   /// The current environment, closed under supertrait elaboration: an
   /// assumption `sigma: Ord` with `trait Ord: Eq` also justifies
-  /// `sigma: Eq`, as in rustc's elaborated predicates.
-  std::vector<Predicate> ElaboratedEnv;
+  /// `sigma: Eq`, as in rustc's elaborated predicates. Points into the
+  /// borrowed EnvElabCache record for the active goal's Env (stable for
+  /// the borrow's lifetime); setEnv installs it.
+  const std::vector<Predicate> *ElabEnv = nullptr;
   void setEnv(const std::vector<Predicate> &NewEnv);
 
   // --- Helpers.
@@ -173,7 +252,7 @@ struct Solver::Impl {
   ParamSubst freshSubst(const std::vector<Symbol> &Generics);
   bool onStack(const Predicate &P) const;
   bool unifyTraitHead(const Predicate &Goal, TypeId SelfTy,
-                      const std::vector<TypeId> &Args);
+                      std::span<const TypeId> Args);
 
   // --- Evaluation.
   GoalNodeId evalGoal(const Predicate &P, uint32_t Depth, Span Origin,
@@ -182,7 +261,7 @@ struct Solver::Impl {
                            TraitEvalInfo *Info);
   EvalResult evalImplSubgoals(CandNodeId CandId, const ImplDecl &Decl,
                               const ParamSubst &Subst, TypeId SelfInst,
-                              const std::vector<TypeId> &ArgsInst,
+                              std::span<const TypeId> ArgsInst,
                               uint32_t Depth);
   EvalResult evalProjectionGoal(GoalNodeId NodeId, const Predicate &Pred,
                                 uint32_t Depth);
@@ -228,7 +307,7 @@ struct Solver::Impl {
   /// deduplicating by unit identity; for slice units also registers
   /// every impl of the sequence in Frame.ImplRef. Returns the unit index.
   uint32_t addDepUnit(const GoalCache::DepUnit &U,
-                      const Program::ImplSlice *Slice);
+                      const Program::ImplSlice *Slice, uint32_t EnumCount);
   void noteImplSliceDep(Symbol Trait, const std::optional<ImplHeadKey> &Head,
                         const Program::ImplSlice &Slice);
   void noteTraitDep(Symbol Trait);
@@ -268,55 +347,94 @@ uint32_t Solver::Impl::firstFreshVar(const Program &Prog) {
 }
 
 void Solver::Impl::setEnv(const std::vector<Predicate> &NewEnv) {
-  ElaboratedEnv = NewEnv;
-  std::unordered_set<Predicate, PredicateHasher> Seen(
-      NewEnv.begin(), NewEnv.end(), 16, PredicateHasher{&arena()});
-  // Fixpoint over supertrait bounds; the cap guards against
-  // ever-growing supertrait argument types (trait A<X>: A<Vec<X>>).
-  const size_t MaxElaborated = 256;
-  for (size_t I = 0;
-       I < ElaboratedEnv.size() && ElaboratedEnv.size() < MaxElaborated;
-       ++I) {
-    Predicate Assumption = ElaboratedEnv[I];
-    if (Assumption.Kind != PredicateKind::Trait)
-      continue;
-    const TraitDecl *Trait = Prog.findTrait(Assumption.Trait);
-    if (!Trait)
-      continue;
-    ParamSubst Subst;
-    Subst.emplace(S.name("Self"), Assumption.Subject);
-    for (size_t J = 0;
-         J < Trait->Params.size() && J < Assumption.Args.size(); ++J)
-      Subst.emplace(Trait->Params[J], Assumption.Args[J]);
-    for (const Predicate &Where : Trait->WhereClauses) {
-      if (Where.Kind != PredicateKind::Trait)
+  // One elaboration per distinct environment per Program, remembered at
+  // Session scope: solve loops (cache reps, revisions, batch jobs) hit
+  // the memo instead of re-running the fixpoint per goal. The record is
+  // keyed by the env vector's address but verified by content — an
+  // address reused by a different env (stack temporaries in embedders)
+  // re-elaborates in place.
+  EnvElabCache::Rec &Cached = ElabBorrow.get()->ByEnv[&NewEnv];
+  if (!Cached.Elaborated || Cached.Source != NewEnv) {
+    Cached.Source = NewEnv;
+    Cached.Preds = NewEnv;
+    Cached.EncState = 0;
+    Cached.Enc.reset();
+    std::vector<Predicate> &Elab = Cached.Preds;
+    std::unordered_set<Predicate, PredicateHasher> Seen(
+        NewEnv.begin(), NewEnv.end(), 16, PredicateHasher{&arena()});
+    // Fixpoint over supertrait bounds; the cap guards against
+    // ever-growing supertrait argument types (trait A<X>: A<Vec<X>>).
+    const size_t MaxElaborated = 256;
+    for (size_t I = 0; I < Elab.size() && Elab.size() < MaxElaborated;
+         ++I) {
+      Predicate Assumption = Elab[I];
+      if (Assumption.Kind != PredicateKind::Trait)
         continue;
-      Predicate Elaborated = substPredicate(Where, Subst);
-      if (Seen.insert(Elaborated).second)
-        ElaboratedEnv.push_back(std::move(Elaborated));
+      const TraitDecl *Trait = Prog.findTrait(Assumption.Trait);
+      if (!Trait)
+        continue;
+      ParamSubst Subst;
+      Subst.emplace(S.name("Self"), Assumption.Subject);
+      for (size_t J = 0;
+           J < Trait->Params.size() && J < Assumption.Args.size(); ++J)
+        Subst.emplace(Trait->Params[J], Assumption.Args[J]);
+      for (const Predicate &Where : Trait->WhereClauses) {
+        if (Where.Kind != PredicateKind::Trait)
+          continue;
+        Predicate Elaborated = substPredicate(Where, Subst);
+        if (Seen.insert(Elaborated).second)
+          Elab.push_back(std::move(Elaborated));
+      }
     }
+    Cached.Elaborated = true;
   }
+  ElabEnv = &Cached.Preds;
 
   if (Opts.Cache) {
-    auto Enc = std::make_shared<CacheEnc>();
-    CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
-                         &*CacheSyms);
-    for (const Predicate &Assumption : ElaboratedEnv)
-      Encoder.pred(*Enc, Infcx.resolve(Assumption));
-    EnvHasVars = Encoder.sawVar();
-    EnvEnc = std::move(Enc);
-    // A variable-free environment never re-encodes, so the
-    // flags+environment hash prefix is a per-run constant.
-    EnvKeySeed = EnvHasVars
-                     ? 0
-                     : GoalCache::envSeed(CacheFlagsFp, EnvEnc.get());
+    if (Cached.EncState == 0) {
+      // First encode under this registry, over the *un-resolved*
+      // assumptions: when no variable token appears, resolution is the
+      // identity under any binding state, so the encoding is a constant
+      // of (environment, registry) and cacheable across solves.
+      auto Enc = std::make_shared<CacheEnc>();
+      CacheEncoder Encoder(arena(), CacheEncoder::RawVars, RawEncMemo,
+                           &*CacheSyms);
+      for (const Predicate &Assumption : *ElabEnv)
+        Encoder.pred(*Enc, Assumption);
+      if (Encoder.sawVar()) {
+        Cached.EncState = 2;
+      } else {
+        Cached.EncState = 1;
+        Cached.Enc = std::move(Enc);
+      }
+    }
+    if (Cached.EncState == 1) {
+      EnvHasVars = false;
+      EnvEnc = Cached.Enc;
+      EnvKeySeed = GoalCache::envSeed(CacheFlagsFp, EnvEnc.get());
+    } else {
+      // The environment mentions inference variables: encode what
+      // candidate assembly will actually see under the live bindings.
+      auto Enc = std::make_shared<CacheEnc>();
+      CacheEncoder Encoder(arena(), CacheEncoder::RawVars, RawEncMemo,
+                           &*CacheSyms);
+      for (const Predicate &Assumption : *ElabEnv)
+        Encoder.pred(*Enc, Infcx.resolve(Assumption));
+      EnvHasVars = Encoder.sawVar();
+      EnvEnc = std::move(Enc);
+      // A variable-free environment never re-encodes, so the
+      // flags+environment hash prefix is a per-run constant.
+      EnvKeySeed = EnvHasVars
+                       ? 0
+                       : GoalCache::envSeed(CacheFlagsFp, EnvEnc.get());
+    }
   }
 }
 
 uint64_t Solver::Impl::stackHashOf(const Predicate &P) {
   CacheEnc &Enc = StackHashScratch;
   Enc.clear();
-  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, RawEncMemo,
                        &*CacheSyms);
   if (P.Kind == PredicateKind::NormalizesTo) {
     Encoder.type(Enc, P.Subject);
@@ -331,7 +449,7 @@ GoalCache::Key Solver::Impl::makeCacheKey(const Predicate &Resolved,
   GoalCache::Key Key;
   Key.FlagsFp = CacheFlagsFp;
   Key.Origin = Origin;
-  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+  CacheEncoder Encoder(arena(), CacheEncoder::RawVars, RawEncMemo,
                        &*CacheSyms);
   Encoder.pred(Key.Pred, Resolved);
   if (EnvHasVars) {
@@ -339,9 +457,9 @@ GoalCache::Key Solver::Impl::makeCacheKey(const Predicate &Resolved,
     // setEnv ran; re-encode so the key reflects what candidate assembly
     // will actually see.
     auto Fresh = std::make_shared<CacheEnc>();
-    CacheEncoder EnvEncoder(arena(), CacheEncoder::RawVars, &RawEncMemo,
+    CacheEncoder EnvEncoder(arena(), CacheEncoder::RawVars, RawEncMemo,
                             &*CacheSyms);
-    for (const Predicate &Assumption : ElaboratedEnv)
+    for (const Predicate &Assumption : *ElabEnv)
       EnvEncoder.pred(*Fresh, Infcx.resolve(Assumption));
     Key.Env = std::move(Fresh);
     GoalCache::finalizeKey(Key);
@@ -414,15 +532,19 @@ bool Solver::Impl::checkDeps(const GoalCache::Entry &E, DepCheck &DC) {
 }
 
 uint32_t Solver::Impl::addDepUnit(const GoalCache::DepUnit &U,
-                                  const Program::ImplSlice *Slice) {
+                                  const Program::ImplSlice *Slice,
+                                  uint32_t EnumCount) {
   std::vector<GoalCache::DepUnit> &Deps = Rec->Deps;
   uint32_t Index = 0;
   for (; Index != Deps.size(); ++Index)
-    if (Deps[Index].sameUnit(U))
+    if (Deps[Index].sameUnit(U)) {
       // Same unit identity within one run means the same fingerprint —
       // both were computed against this program.
+      Rec->EnumCounts[Index] += EnumCount;
       return Index;
+    }
   Deps.push_back(U);
+  Rec->EnumCounts.push_back(EnumCount);
   if (Slice)
     for (uint32_t Pos = 0;
          Pos != static_cast<uint32_t>(Slice->Seq.size()); ++Pos)
@@ -446,7 +568,7 @@ void Solver::Impl::noteImplSliceDep(Symbol Trait,
     U.HeadMutable = Head->Mutable ? 1 : 0;
   }
   U.Fp = Prog.sliceFingerprint(Slice);
-  (void)addDepUnit(U, &Slice);
+  (void)addDepUnit(U, &Slice, 1);
 }
 
 void Solver::Impl::noteTraitDep(Symbol Trait) {
@@ -454,13 +576,15 @@ void Solver::Impl::noteTraitDep(Symbol Trait) {
   U.K = GoalCache::DepUnit::Kind::TraitDecl;
   U.Trait = CacheSyms->token(Trait);
   U.Fp = Prog.traitDeclFingerprint(Trait);
-  (void)addDepUnit(U, nullptr);
+  (void)addDepUnit(U, nullptr, 0);
 }
 
 void Solver::Impl::noteDepsFromEntry(const GoalCache::Entry &E,
                                      const DepCheck &DC) {
   for (size_t I = 0; I != E.Deps.size(); ++I)
-    (void)addDepUnit(E.Deps[I], DC.Slices[I]);
+    (void)addDepUnit(E.Deps[I], DC.Slices[I],
+                     I < E.SliceEnumCounts.size() ? E.SliceEnumCounts[I]
+                                                  : 0);
 }
 
 Predicate Solver::Impl::substPredicate(const Predicate &P,
@@ -500,7 +624,7 @@ bool Solver::Impl::onStack(const Predicate &P) const {
 }
 
 bool Solver::Impl::unifyTraitHead(const Predicate &Goal, TypeId SelfTy,
-                                  const std::vector<TypeId> &Args) {
+                                  std::span<const TypeId> Args) {
   if (Goal.Args.size() != Args.size())
     return false;
   if (!Infcx.unify(Goal.Subject, SelfTy))
@@ -552,7 +676,12 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
   }
 
   TraitEvalInfo *EffInfo = Info;
-  if (Opts.Cache && FullyResolved) {
+  if (Opts.Cache && (!FullyResolved || !cacheworthyKind(Resolved.Kind))) {
+    // Admission pre-check, before any keying work: goals containing
+    // inference variables are never cacheable, and the builtin leaf
+    // kinds are cheaper to re-solve than to key.
+    ++NumCacheAdmissionSkips;
+  } else if (Opts.Cache) {
     GoalCache::Key Key = makeCacheKey(Resolved, Origin);
     LookupScratch.clear();
     Opts.Cache->lookup(Key, LookupScratch);
@@ -597,17 +726,25 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
     // commit replay, whose nodes land in Scratch): nested repeats get
     // their own entries when they recur standalone.
     if (!Quiet && !Rec) {
-      Rec.emplace();
-      Rec->Root = NodeId;
-      Rec->VarsBefore = Infcx.numVars();
-      Rec->TrailBefore = Infcx.trailLength();
-      Rec->EvalsBefore = NumEvaluations - 1;
-      Rec->FilteredBefore = NumCandidatesFiltered;
-      Rec->CandsBefore = OutForest->numCandidates();
-      Rec->ExhaustedBefore = EvalBudgetExhausted;
-      Rec->Key = std::move(Key);
-      if (!EffInfo)
-        EffInfo = &Rec->Winner;
+      if (RejectedKeys.count(Key.Hash)) {
+        // This run already recorded and rejected this key (ambiguous or
+        // overflowing subtree, external binding, injected fault); a
+        // fully-resolved goal re-evaluates deterministically within a
+        // run, so re-recording would only re-reject. Skip the whole
+        // recording apparatus and just solve.
+        ++NumCacheAdmissionSkips;
+      } else {
+        Rec.emplace();
+        Rec->Root = NodeId;
+        Rec->VarsBefore = Infcx.numVars();
+        Rec->TrailBefore = Infcx.trailLength();
+        Rec->EvalsBefore = NumEvaluations - 1;
+        Rec->CandsBefore = OutForest->numCandidates();
+        Rec->ExhaustedBefore = EvalBudgetExhausted;
+        Rec->Key = std::move(Key);
+        if (!EffInfo)
+          EffInfo = &Rec->Winner;
+      }
     }
   }
 
@@ -732,7 +869,7 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
   // Parameter-environment candidates: where-clause assumptions in scope
   // (closed under supertrait elaboration).
   {
-    for (const Predicate &Assumption : ElaboratedEnv) {
+    for (const Predicate &Assumption : *ElabEnv) {
       if (Assumption.Kind != PredicateKind::Trait ||
           Assumption.Trait != Pred.Trait)
         continue;
@@ -773,10 +910,14 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
     InferContext::Snapshot Snap = Infcx.snapshot();
     ParamSubst Subst = freshSubst(Decl.Generics);
     TypeId SelfInst = arena().substitute(Decl.SelfTy, Subst);
-    std::vector<TypeId> ArgsInst;
-    ArgsInst.reserve(Decl.TraitArgs.size());
-    for (TypeId Arg : Decl.TraitArgs)
-      ArgsInst.push_back(arena().substitute(Arg, Subst));
+    // Exact-size bump allocation from the Session arena: attempt arrays
+    // are dead once the attempt returns, and the arena rewinds at the
+    // next solve, so the hot path never touches the heap for these.
+    size_t NumArgs = Decl.TraitArgs.size();
+    TypeId *ArgsData = FrameArena->allocArray<TypeId>(NumArgs);
+    for (size_t I = 0; I != NumArgs; ++I)
+      ArgsData[I] = arena().substitute(Decl.TraitArgs[I], Subst);
+    std::span<const TypeId> ArgsInst(ArgsData, NumArgs);
 
     if (!unifyTraitHead(Pred, SelfInst, ArgsInst)) {
       // Head mismatch: like rustc, the candidate simply does not
@@ -817,10 +958,37 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
           Prog.implsOf(Pred.Trait).size() - Slice.Seq.size();
     // The walked slice is a dependency of the recording frame even when
     // this evaluation is a quiet probe: its outcome shapes visible work.
+    // (The level-1 slice stays the dependency unit under the exact
+    // index too: any edit inside the head bucket can change level-2
+    // membership, and positional impl references index the level-1
+    // sequence.)
     if (Opts.Cache && Rec)
       noteImplSliceDep(Pred.Trait, Head, Slice);
-    for (ImplId ImplIdx : Slice.Seq)
-      TryImpl(ImplIdx);
+    // Level 2 of the candidate index: when the goal's (deep-resolved)
+    // self type is concrete, an impl whose fully-concrete self has a
+    // different region-erased match key could only fail head
+    // unification — skip it without freshSubst/substitute/unify. Impls
+    // with generic or variable-bearing selves keep an invalid plan key
+    // and are always attempted. Slices below the cost-model threshold
+    // skip keying outright: attempting a couple of impls is cheaper
+    // than the match-key walk that would prune them.
+    TypeId GoalKey;
+    if (Opts.EnableCandidateIndex && Opts.EnableExactIndex &&
+        Slice.Seq.size() >= Opts.ExactIndexMinSlice)
+      GoalKey = arena().matchKey(Pred.Subject);
+    if (GoalKey.isValid()) {
+      const std::vector<TypeId> &Plan = Prog.exactPlan(Slice);
+      for (size_t I = 0; I != Slice.Seq.size(); ++I) {
+        if (Plan[I].isValid() && Plan[I] != GoalKey) {
+          ++NumExactPrunes;
+          continue;
+        }
+        TryImpl(Slice.Seq[I]);
+      }
+    } else {
+      for (ImplId ImplIdx : Slice.Seq)
+        TryImpl(ImplIdx);
+    }
   }
 
   // Builtin candidate: fn items and fn pointers implement #[fn_trait]
@@ -878,7 +1046,7 @@ EvalResult Solver::Impl::evalImplSubgoals(CandNodeId CandId,
                                           const ImplDecl &Decl,
                                           const ParamSubst &Subst,
                                           TypeId SelfInst,
-                                          const std::vector<TypeId> &ArgsInst,
+                                          std::span<const TypeId> ArgsInst,
                                           uint32_t Depth) {
   EvalResult Result = EvalResult::Yes;
   // Duplicate obligations (e.g. an impl where-clause repeating an
@@ -1337,7 +1505,21 @@ void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
   // hits the work ceiling cannot absorb, so only a deadline poll or a
   // sticky cancel can trip here.
   NumEvaluations += E.TotalEvals - 1;
-  NumCandidatesFiltered += E.CandidatesFiltered;
+  // candidates_filtered is recomputed consumer-side: recorded
+  // enumeration counts times this program's own slice arithmetic
+  // (impls of the trait minus the slice the dependency check just
+  // proved byte-identical). Warm and cold runs therefore report
+  // exactly the same value — no recorder-side total is replayed.
+  if (Opts.EnableCandidateIndex)
+    for (size_t U = 0; U != E.Deps.size(); ++U) {
+      uint32_t N =
+          U < E.SliceEnumCounts.size() ? E.SliceEnumCounts[U] : 0;
+      if (N == 0 || !DC.Slices[U])
+        continue;
+      size_t All = Prog.implsOf(CacheSyms->peek(E.Deps[U].Trait)).size();
+      NumCandidatesFiltered +=
+          static_cast<uint64_t>(N) * (All - DC.Slices[U]->Seq.size());
+    }
   if (Opts.Budget && !BudgetStopped && E.TotalEvals > 1 &&
       Opts.Budget->tick(E.TotalEvals - 1))
     BudgetStopped = true;
@@ -1391,14 +1573,15 @@ void Solver::Impl::finishRecording(EvalResult Result,
       Reject = true;
   if (Reject) {
     ++NumCacheInsertsRejected;
+    RejectedKeys.insert(Frame.Key.Hash);
     return;
   }
 
   auto Entry = std::make_shared<GoalCache::Entry>();
   Entry->TotalEvals = NumEvaluations - Frame.EvalsBefore;
-  Entry->CandidatesFiltered = NumCandidatesFiltered - Frame.FilteredBefore;
   Entry->NumFreshVars = Infcx.numVars() - Frame.VarsBefore;
   Entry->Deps = std::move(Frame.Deps);
+  Entry->SliceEnumCounts = std::move(Frame.EnumCounts);
   uint32_t RootDepth = F.goal(Frame.Root).Depth;
 
   CacheEncoder Enc(arena(), Frame.VarsBefore, nullptr, &*CacheSyms);
@@ -1438,7 +1621,7 @@ void Solver::Impl::finishRecording(EvalResult Result,
     // onStack.
     if (G.Pred.Kind == PredicateKind::NormalizesTo) {
       CacheEnc SubjectEnc;
-      CacheEncoder Raw(arena(), CacheEncoder::RawVars, &RawEncMemo,
+      CacheEncoder Raw(arena(), CacheEncoder::RawVars, RawEncMemo,
                        &*CacheSyms);
       Raw.type(SubjectEnc, G.Pred.Subject);
       if (!Raw.sawVar())
@@ -1468,6 +1651,7 @@ void Solver::Impl::finishRecording(EvalResult Result,
       auto It = Frame.ImplRef.find(C.Impl.value());
       if (It == Frame.ImplRef.end()) {
         ++NumCacheInsertsRejected;
+        RejectedKeys.insert(Frame.Key.Hash);
         return;
       }
       R.ImplUnit = It->second.first;
@@ -1504,6 +1688,7 @@ void Solver::Impl::finishRecording(EvalResult Result,
       auto It = Frame.ImplRef.find(Winner.WinnerImpl.value());
       if (It == Frame.ImplRef.end()) {
         ++NumCacheInsertsRejected;
+        RejectedKeys.insert(Frame.Key.Hash);
         return;
       }
       Entry->WinnerImplUnit = It->second.first;
@@ -1565,6 +1750,9 @@ InferContext &Solver::inferContext() { return P->Infcx; }
 GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
                             const std::vector<Predicate> &Env) {
   P->OutForest = &Out.Forest;
+  // Rewind the Session's bump arena: nothing allocated by a previous
+  // solve outlives it (attempt-scoped argument arrays only).
+  P->S.scratch().beginSolve();
   P->setEnv(Env);
   GoalNodeId Root = P->evalGoal(Pred, 0, Span(), nullptr);
   Out.FinalRoots.push_back(Root);
@@ -1575,6 +1763,8 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.NumExactPrunes = P->NumExactPrunes;
+  Out.NumCacheAdmissionSkips = P->NumCacheAdmissionSkips;
   Out.NumSolverSteps = P->NumSolverSteps;
   Out.NumCacheHits = P->NumCacheHits;
   Out.NumCacheMisses = P->NumCacheMisses;
@@ -1590,6 +1780,7 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
 SolveOutcome Solver::solve() {
   SolveOutcome Out;
   P->OutForest = &Out.Forest;
+  P->S.scratch().beginSolve();
 
   const std::vector<GoalDecl> &Goals = P->Prog.goals();
   size_t NumGoals = Goals.size();
@@ -1656,6 +1847,8 @@ SolveOutcome Solver::solve() {
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.NumExactPrunes = P->NumExactPrunes;
+  Out.NumCacheAdmissionSkips = P->NumCacheAdmissionSkips;
   Out.NumSolverSteps = P->NumSolverSteps;
   Out.NumCacheHits = P->NumCacheHits;
   Out.NumCacheMisses = P->NumCacheMisses;

@@ -72,6 +72,23 @@ struct SolverOptions {
   /// the identity tests.
   bool EnableCandidateIndex = true;
 
+  /// The second level of the candidate index: within a head bucket, skip
+  /// impls whose fully-concrete self type cannot equal a concrete goal
+  /// self type (region-erased match-key comparison; see
+  /// Program::exactPlan). Tree-identical for the same reason the head
+  /// index is — a skipped impl could only have failed head unification,
+  /// which leaves no trace. Only consulted when EnableCandidateIndex is
+  /// also set; off for ablations and the identity tests.
+  bool EnableExactIndex = true;
+
+  /// Cost-model gate on the exact index: level-1 slices smaller than
+  /// this skip match-key computation entirely and just attempt the
+  /// impls. Keying a goal costs a region-erasing interner walk; with a
+  /// handful of impls the head-unification failures it would avoid are
+  /// cheaper than the key, so small queries must not pay it. Measured
+  /// crossover on the evaluation corpus sits between 2 and 4 impls.
+  size_t ExactIndexMinSlice = 4;
+
   /// Cooperative execution budget, polled once per goal evaluation.
   /// When it stops, in-flight goals report Overflow and the fixpoint
   /// loop exits with whatever snapshots exist (SolveOutcome::Interrupted
@@ -123,6 +140,18 @@ struct SolveOutcome {
   /// Impl candidates skipped by the head-constructor index without being
   /// instantiated.
   uint64_t NumCandidatesFiltered = 0;
+  /// Impl candidates inside a matching head bucket skipped by the exact
+  /// self-type level of the index (concrete impl self vs concrete goal
+  /// self, region-erased). Counts live enumeration work only: a cache
+  /// splice performs no enumeration and so contributes nothing.
+  uint64_t NumExactPrunes = 0;
+  /// Goals for which the cache admission pre-check skipped keying
+  /// outright: trivially-cheap builtin kinds (Sized, WellFormed,
+  /// Outlives, RegionOutlives — single-candidate leaves cheaper to
+  /// re-solve than to key), goals containing inference variables, and
+  /// re-recording attempts for keys whose recording this run already
+  /// rejected (overflow/ambiguous trees).
+  uint64_t NumCacheAdmissionSkips = 0;
   uint32_t RoundsUsed = 0;
 
   /// Goal evaluations that actually ran candidate assembly (as opposed

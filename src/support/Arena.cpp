@@ -1,0 +1,59 @@
+//===- support/Arena.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace argus;
+
+void BumpAllocator::startChunk(size_t MinBytes) {
+  // Advance to the next retained chunk that fits; allocate a fresh one
+  // (inserted in place, so reset() replays the same walk) if none does.
+  size_t Next = Cur ? CurChunk + 1 : 0;
+  for (size_t I = Next; I < Chunks.size(); ++I) {
+    if (Chunks[I].Size >= MinBytes) {
+      std::swap(Chunks[I], Chunks[Next]);
+      CurChunk = Next;
+      Cur = Chunks[Next].Data.get();
+      End = Cur + Chunks[Next].Size;
+      return;
+    }
+  }
+  size_t Bytes = MinBytes > ChunkBytes ? MinBytes : ChunkBytes;
+  Chunk C;
+  C.Data = std::make_unique<char[]>(Bytes);
+  C.Size = Bytes;
+  Chunks.insert(Chunks.begin() + Next, std::move(C));
+  CurChunk = Next;
+  Cur = Chunks[Next].Data.get();
+  End = Cur + Bytes;
+}
+
+void *BumpAllocator::allocate(size_t Bytes, size_t Align) {
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  if (Bytes == 0)
+    Bytes = 1;
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + (Align - 1)) & ~(uintptr_t(Align) - 1);
+  if (!Cur || Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+    startChunk(Bytes + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + (Align - 1)) & ~(uintptr_t(Align) - 1);
+  }
+  Cur = reinterpret_cast<char *>(Aligned + Bytes);
+  Allocated += Bytes;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void BumpAllocator::reset() {
+  CurChunk = 0;
+  Cur = Chunks.empty() ? nullptr : Chunks[0].Data.get();
+  End = Chunks.empty() ? nullptr : Cur + Chunks[0].Size;
+  Allocated = 0;
+  ++Resets;
+}

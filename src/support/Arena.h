@@ -1,0 +1,238 @@
+//===- support/Arena.h - Bump allocation and per-solve scratch -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator plus the per-solve scratch pools the hot path
+/// draws from. Small queries used to pay a fixed setup tax on every
+/// solve — encoder memo tables, environment encodings, supertrait
+/// elaborations, and assorted staging vectors were rebuilt per Solver even
+/// when the Session, Program, and cache they depend on had not changed.
+/// SolveScratch owns those buffers at Session scope: a Solver borrows
+/// them, the capacity (and any tag-validated memo contents) survives into
+/// the next solve, and reset() recycles the bump arena without returning
+/// memory to the OS.
+///
+/// Tagging discipline: memoized contents (as opposed to raw capacity) are
+/// only reusable while the objects they were computed against are alive
+/// and unchanged. Each tagged cache stores the identities it depends on
+/// (e.g. the goal cache's symbol registry and the Program); a borrower
+/// whose identities differ clears the contents and re-tags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SUPPORT_ARENA_H
+#define ARGUS_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace argus {
+
+/// A chunked bump allocator. Allocation is a pointer bump within the
+/// current chunk; exhausted chunks are kept and recycled by reset(), so a
+/// steady-state solve loop performs no heap allocation at all. Memory is
+/// only returned to the OS on destruction.
+class BumpAllocator {
+public:
+  explicit BumpAllocator(size_t ChunkBytes = 64 * 1024)
+      : ChunkBytes(ChunkBytes) {}
+
+  BumpAllocator(const BumpAllocator &) = delete;
+  BumpAllocator &operator=(const BumpAllocator &) = delete;
+
+  /// Allocates \p Bytes with \p Align alignment (must be a power of
+  /// two). Requests larger than the chunk size get a dedicated chunk.
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t));
+
+  /// Typed array allocation. The memory is uninitialized; callers
+  /// placement-construct. No destructors run — only use for trivially
+  /// destructible T.
+  template <typename T> T *allocArray(size_t Count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "bump-allocated arrays are never destroyed");
+    return static_cast<T *>(allocate(Count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, retaining every chunk for reuse.
+  void reset();
+
+  // --- Introspection (tests and stats).
+  size_t bytesAllocated() const { return Allocated; }
+  size_t numChunks() const { return Chunks.size(); }
+  uint64_t numResets() const { return Resets; }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Data;
+    size_t Size = 0;
+  };
+
+  void startChunk(size_t MinBytes);
+
+  size_t ChunkBytes;
+  std::vector<Chunk> Chunks;
+  size_t CurChunk = 0; ///< Index of the chunk being bumped (if any).
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t Allocated = 0;
+  uint64_t Resets = 0;
+};
+
+/// A pool of reusable uint64_t token buffers (cache-key encodings, stack
+/// hashes, DNF staging). acquire() hands out a cleared vector whose
+/// capacity persists from its previous use; release() returns it.
+class U64BufferPool {
+public:
+  std::vector<uint64_t> acquire() {
+    if (Free.empty())
+      return {};
+    std::vector<uint64_t> Out = std::move(Free.back());
+    Free.pop_back();
+    Out.clear();
+    return Out;
+  }
+
+  void release(std::vector<uint64_t> &&Buf) {
+    Free.push_back(std::move(Buf));
+  }
+
+  size_t numFree() const { return Free.size(); }
+
+private:
+  std::vector<std::vector<uint64_t>> Free;
+};
+
+/// A cache slot whose contents are valid only for a particular pair of
+/// dependency identities (e.g. a goal-cache registry and a Program).
+/// Borrowers call retag(); when the identities differ from the last use
+/// the slot reports "stale" and the borrower must clear the contents.
+struct ScratchTag {
+  const void *A = nullptr;
+  const void *B = nullptr;
+
+  /// Updates the tag; returns true when the previous contents are still
+  /// valid (same identities), false when the borrower must clear.
+  bool retag(const void *NewA, const void *NewB) {
+    bool Same = A == NewA && B == NewB;
+    A = NewA;
+    B = NewB;
+    return Same;
+  }
+};
+
+/// Session-owned scratch state, borrowed by each Solver and reset per
+/// solve. The type-erased slots hold solver-side memo structures (encode
+/// memos, per-environment encodings) whose concrete types live above the
+/// support layer; SolveScratch stores them as opaque boxes so the support
+/// library does not depend on the solver.
+class SolveScratch {
+public:
+  /// An opaque, owned box. The solver stashes its pooled structures here
+  /// between solves.
+  struct Box {
+    void *Ptr = nullptr;
+    void (*Deleter)(void *) = nullptr;
+    ScratchTag Tag;
+
+    Box() = default;
+    Box(const Box &) = delete;
+    Box &operator=(const Box &) = delete;
+    ~Box() {
+      if (Ptr && Deleter)
+        Deleter(Ptr);
+    }
+  };
+
+  BumpAllocator &arena() { return Arena; }
+  U64BufferPool &u64Pool() { return U64Pool; }
+
+  /// Named opaque slots. Fixed small set: growing it is a code change,
+  /// which keeps lookups branch-free array indexing.
+  enum SlotId : unsigned {
+    SlotEncodeMemo = 0, ///< solver TypeEncodeMemo (tag: registry, arena)
+    SlotEnvCache = 1,   ///< per-Env encodings (tag: registry, program)
+    SlotElabCache = 2,  ///< supertrait elaborations (tag: program)
+    SlotDNF = 3,        ///< analysis-side DNF staging buffers
+    NumSlots = 4,
+  };
+
+  Box &slot(SlotId Id) { return Slots[Id]; }
+
+  /// Starts a new solve: recycles the bump arena. Pool and slot contents
+  /// survive (their validity is governed by tags, not by solve count).
+  void beginSolve() {
+    Arena.reset();
+    ++Solves;
+  }
+
+  uint64_t numSolves() const { return Solves; }
+
+private:
+  BumpAllocator Arena;
+  U64BufferPool U64Pool;
+  Box Slots[NumSlots];
+  uint64_t Solves = 0;
+};
+
+/// Exclusive checkout of one SolveScratch slot. acquire() takes the boxed
+/// object out of the slot (or builds a fresh one), clearing it first when
+/// the dependency identities changed; the destructor returns it, tagged
+/// with the identities its contents were built against. Emptying the slot
+/// during the borrow means an interleaved borrower on the same Session can
+/// never observe — or clear — contents this one is reading. T must be
+/// default-constructible and provide clear().
+template <typename T> class ScratchBorrow {
+public:
+  void acquire(SolveScratch &Scr, SolveScratch::SlotId Id, const void *TagA,
+               const void *TagB) {
+    Slot = &Scr.slot(Id);
+    A = TagA;
+    B = TagB;
+    if (Slot->Ptr) {
+      Obj.reset(static_cast<T *>(Slot->Ptr));
+      Slot->Ptr = nullptr;
+      Slot->Deleter = nullptr;
+      if (!Slot->Tag.retag(TagA, TagB))
+        Obj->clear();
+    } else {
+      Obj = std::make_unique<T>();
+      (void)Slot->Tag.retag(TagA, TagB);
+    }
+  }
+
+  T *get() { return Obj.get(); }
+
+  ~ScratchBorrow() {
+    if (!Obj || !Slot)
+      return;
+    if (!Slot->Ptr) {
+      (void)Slot->Tag.retag(A, B);
+      Slot->Ptr = Obj.release();
+      Slot->Deleter = [](void *P) { delete static_cast<T *>(P); };
+    }
+    // Otherwise another borrower returned first; this copy is dropped.
+  }
+
+private:
+  SolveScratch::Box *Slot = nullptr;
+  std::unique_ptr<T> Obj;
+  const void *A = nullptr;
+  const void *B = nullptr;
+};
+
+/// Uids as opaque tag identities (see ScratchTag). Uids are process-
+/// unique, so unlike raw addresses they can never alias a destroyed
+/// object's successor.
+inline const void *tagOfUid(uint64_t Uid) {
+  return reinterpret_cast<const void *>(static_cast<uintptr_t>(Uid));
+}
+
+} // namespace argus
+
+#endif // ARGUS_SUPPORT_ARENA_H

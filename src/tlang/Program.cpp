@@ -6,9 +6,15 @@
 
 #include "tlang/Program.h"
 
+#include <atomic>
 #include <cassert>
 
 using namespace argus;
+
+uint64_t Program::nextUid() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 size_t ImplHeadKeyHasher::operator()(const ImplHeadKey &K) const {
   auto Combine = [](size_t Seed, size_t Value) {
@@ -219,6 +225,23 @@ Program::implSlice(Symbol Trait,
     }
   }
   return SliceMemo.emplace(Key, std::move(Slice)).first->second;
+}
+
+const std::vector<TypeId> &Program::exactPlan(const ImplSlice &Slice) const {
+  if (Slice.PlanValid)
+    return Slice.ExactPlan;
+  TypeArena &Arena = S->types();
+  Slice.ExactPlan.reserve(Slice.Seq.size());
+  for (ImplId Id : Slice.Seq) {
+    const ImplDecl &Decl = Impls[Id.value()];
+    // A self type mentioning a generic parameter is instantiated with
+    // fresh variables per attempt and can match many shapes: no key.
+    TypeId Key = Arena.hasParams(Decl.SelfTy) ? TypeId::invalid()
+                                              : Arena.matchKey(Decl.SelfTy);
+    Slice.ExactPlan.push_back(Key);
+  }
+  Slice.PlanValid = true;
+  return Slice.ExactPlan;
 }
 
 std::optional<ImplHeadKey> Program::headKeyOf(const TypeArena &Arena,

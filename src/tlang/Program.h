@@ -15,6 +15,7 @@
 #ifndef ARGUS_TLANG_PROGRAM_H
 #define ARGUS_TLANG_PROGRAM_H
 
+#include "support/Arena.h"
 #include "support/SourceManager.h"
 #include "support/StringInterner.h"
 #include "tlang/Decl.h"
@@ -43,10 +44,17 @@ public:
   /// Returns the text of \p Sym.
   const std::string &text(Symbol Sym) const { return Interner.text(Sym); }
 
+  /// Per-solve scratch pools (bump arena, reusable encode buffers and
+  /// memo slots). Each Solver borrows this and calls beginSolve(); the
+  /// capacity — and any tag-validated memo contents — survive across
+  /// solves, which is what makes small queries cheap in hot loops.
+  SolveScratch &scratch() { return Scratch; }
+
 private:
   StringInterner Interner;
   SourceManager Sources;
   TypeArena Arena;
+  SolveScratch Scratch;
 };
 
 /// The shallow shape of a self type that unification can never change:
@@ -75,9 +83,15 @@ struct ImplHeadKeyHasher {
 /// The declaration context of Figure 5 plus the root goals to solve.
 class Program {
 public:
-  explicit Program(Session &S) : S(&S) {}
+  explicit Program(Session &S) : S(&S), Uid(nextUid()) {}
 
   Session &session() const { return *S; }
+
+  /// Process-unique identity of this Program. Session-scoped scratch
+  /// caches (supertrait elaborations, candidate plans) tag their
+  /// contents with this instead of the Program's address, which a
+  /// destroyed-and-reallocated revision could reuse.
+  uint64_t uid() const { return Uid; }
 
   // --- Declaration registration (used by the parser and by programmatic
   // --- corpus builders). Each returns a stable index.
@@ -124,6 +138,9 @@ public:
     std::vector<ImplId> Seq;
     mutable uint64_t Fp = 0;
     mutable bool FpValid = false;
+    /// Level-2 index data (see exactPlan), built lazily.
+    mutable std::vector<TypeId> ExactPlan;
+    mutable bool PlanValid = false;
   };
 
   /// Memoized slice for (Trait, Head). The returned reference is stable
@@ -131,6 +148,19 @@ public:
   /// empty slice.
   const ImplSlice &implSlice(Symbol Trait,
                              const std::optional<ImplHeadKey> &Head) const;
+
+  /// The second level of the candidate index, parallel to \p Slice.Seq:
+  /// for each impl, the region-erased match key of its declared self
+  /// type when that type is fully concrete (no generics, no inference
+  /// variables, no Error), or an invalid id when the impl must always be
+  /// attempted. When a goal's self type is itself concrete, an impl
+  /// whose valid plan key differs from the goal's match key could only
+  /// fail head unification (TypeArena::matchKey documents the
+  /// equivalence), so the solver skips it without instantiating — the
+  /// assembled tree is byte-identical, only the work changes. Memoized
+  /// per slice, hence per Program, and reused across goals, jobs, and
+  /// solver instances.
+  const std::vector<TypeId> &exactPlan(const ImplSlice &Slice) const;
 
   /// Fingerprint of a slice: folds implFingerprint() over the sequence.
   /// The empty slice has a distinguished marker value, so "no impl could
@@ -183,9 +213,11 @@ public:
   static std::string_view lastSegment(std::string_view Path);
 
 private:
+  static uint64_t nextUid();
   void indexName(Symbol Name);
 
   Session *S;
+  uint64_t Uid = 0;
   std::vector<TypeCtorDecl> TypeCtors;
   std::vector<TraitDecl> Traits;
   std::vector<ImplDecl> Impls;

@@ -232,3 +232,43 @@ size_t TypeArena::typeSize(TypeId T) const {
     Size += typeSize(Arg);
   return Size;
 }
+
+TypeId TypeArena::matchKey(TypeId T) {
+  if (!T.isValid())
+    return TypeId::invalid();
+  if (T.value() < MatchKeyState.size() && MatchKeyState[T.value()])
+    return MatchKeys[T.value()];
+
+  TypeId Out = TypeId::invalid();
+  // get() returns a deque reference, stable across the interning the
+  // recursion below may perform.
+  const Type &Node = get(T);
+  if (Node.Kind != TypeKind::Infer && Node.Kind != TypeKind::Error) {
+    Type Canon;
+    Canon.Kind = Node.Kind;
+    Canon.Name = Node.Name;
+    Canon.TraitName = Node.TraitName;
+    Canon.Mutable = Node.Mutable;
+    Canon.Rgn = Region::erased();
+    bool Ok = true;
+    Canon.Args.reserve(Node.Args.size());
+    for (TypeId Arg : Node.Args) {
+      TypeId Key = matchKey(Arg);
+      if (!Key.isValid()) {
+        Ok = false;
+        break;
+      }
+      Canon.Args.push_back(Key);
+    }
+    if (Ok)
+      Out = intern(std::move(Canon));
+  }
+
+  if (T.value() >= MatchKeyState.size()) {
+    MatchKeys.resize(Types.size(), TypeId::invalid());
+    MatchKeyState.resize(Types.size(), 0);
+  }
+  MatchKeys[T.value()] = Out;
+  MatchKeyState[T.value()] = 1;
+  return Out;
+}

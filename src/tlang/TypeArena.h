@@ -90,6 +90,16 @@ public:
   /// heuristics and the pretty printer's ellipsis decisions).
   size_t typeSize(TypeId T) const;
 
+  /// The *match key* of \p T: the id of a canonical copy with every
+  /// region erased, or invalid if \p T contains an inference variable or
+  /// an Error type. For two types with valid match keys and no Param on
+  /// at least one side, unification succeeds iff the keys are equal —
+  /// InferContext::unify is structural equality modulo regions once no
+  /// variable can bind. The candidate index uses this to skip concrete
+  /// impls without instantiating them. Memoized; interns at most one new
+  /// type per distinct erased shape.
+  TypeId matchKey(TypeId T);
+
 private:
   /// The structural hash of \p T, mixing the cached hashes of its
   /// (already interned) children.
@@ -104,6 +114,11 @@ private:
   // structural equality against the stored node.
   std::unordered_multimap<size_t, TypeId> Interned;
   mutable uint64_t HashLookups = 0;
+  // matchKey memo, indexed by TypeId value. State 0 = not computed;
+  // 1 = computed (key may still be invalid for var/error-containing
+  // types — that outcome is memoized too).
+  std::vector<TypeId> MatchKeys;
+  std::vector<uint8_t> MatchKeyState;
 };
 
 } // namespace argus

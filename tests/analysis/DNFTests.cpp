@@ -204,6 +204,71 @@ TEST_F(MCSTest, DeepChainPropagatesLeafAtom) {
   EXPECT_EQ(MCS[0], std::vector<std::string>{"Timer: Display"});
 }
 
+TEST_F(MCSTest, CostEstimateBoundsActual) {
+  // The Auto-dispatch estimator counts un-absorbed conjuncts, so it must
+  // upper-bound the minimal antichain the kernels emit, and must count
+  // at least one node on any failing tree.
+  InferenceTree Tree = failingTree(
+      "struct Timer;\nstruct Window;\ntrait Resource;\ntrait Draw;\n"
+      "trait App;\n"
+      "impl App for Timer where Timer: Resource;\n"
+      "impl App for Window where Window: Draw;\n"
+      "goal Timer: App;");
+  DNFCostEstimate Est = estimateDNFCost(Tree);
+  EXPECT_GT(Est.Nodes, 0u);
+  EXPECT_GE(Est.Conjuncts, computeMCS(Tree).Conjuncts.size());
+}
+
+TEST_F(MCSTest, CostEstimateExactOnPureChain) {
+  // A straight failing chain has no branching and no absorption: exactly
+  // one conjunct, and the estimator must agree exactly.
+  InferenceTree Tree = failingTree(
+      "struct A;\nstruct Wrap<T>;\ntrait Show;\n"
+      "impl<T> Show for Wrap<T> where T: Show;\n"
+      "goal Wrap<Wrap<A>>: Show;");
+  DNFCostEstimate Est = estimateDNFCost(Tree);
+  EXPECT_EQ(Est.Conjuncts, 1u);
+  EXPECT_EQ(computeMCS(Tree).Conjuncts.size(), 1u);
+}
+
+TEST_F(MCSTest, AutoDispatchRespectsThresholds) {
+  InferenceTree Tree = failingTree(
+      "struct Timer;\nstruct Window;\ntrait Resource;\ntrait Draw;\n"
+      "trait App;\n"
+      "impl App for Timer where Timer: Resource;\n"
+      "goal Timer: App;");
+
+  // Zero thresholds: any failing tree exceeds them, so Auto must route
+  // to the bitset kernel — and record an un-forced dispatch.
+  AnalysisOptions Low;
+  Low.AutoNodeThreshold = 0;
+  Low.AutoConjunctThreshold = 0;
+  DNFStats LowStats;
+  DNFFormula FromLow = computeMCS(Tree, Low, &LowStats);
+  EXPECT_EQ(LowStats.DispatchBitset, 1u);
+  EXPECT_EQ(LowStats.DispatchReference, 0u);
+  EXPECT_EQ(LowStats.DispatchForced, 0u);
+
+  // Defaults: this tiny tree sits far below both thresholds, so Auto
+  // must route to the reference kernel.
+  DNFStats AutoStats;
+  DNFFormula FromAuto = computeMCS(Tree, AnalysisOptions(), &AutoStats);
+  EXPECT_EQ(AutoStats.DispatchReference, 1u);
+  EXPECT_EQ(AutoStats.DispatchBitset, 0u);
+  EXPECT_EQ(AutoStats.DispatchForced, 0u);
+
+  // Both routes and both forced kernels agree on the formula.
+  for (DNFKernel Kernel : {DNFKernel::Bitset, DNFKernel::Reference}) {
+    AnalysisOptions Forced;
+    Forced.Kernel = Kernel;
+    DNFStats ForcedStats;
+    DNFFormula FromForced = computeMCS(Tree, Forced, &ForcedStats);
+    EXPECT_EQ(FromForced.Conjuncts, FromAuto.Conjuncts);
+    EXPECT_EQ(FromForced.Conjuncts, FromLow.Conjuncts);
+    EXPECT_EQ(ForcedStats.DispatchForced, 1u);
+  }
+}
+
 TEST(DNFProperty, AbsorbIsIdempotent) {
   // Property check over a family of random-ish conjunct sets.
   for (uint32_t Seed = 0; Seed != 50; ++Seed) {

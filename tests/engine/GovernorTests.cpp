@@ -253,6 +253,41 @@ TEST(FaultMatrix, DnfTruncationInjection) {
                          Stage::Analyze));
 }
 
+TEST(FaultMatrix, DnfTruncationDegradesIdenticallyAcrossKernels) {
+  // Kernel dispatch must not change how governance degrades: under an
+  // injected 1-conjunct cap, Auto and both forced kernels record the
+  // same truncation failure, count a dispatch, and render byte-identical
+  // truncated output (the cap keeps the smallest conjuncts of the same
+  // sorted antichain regardless of kernel).
+  const CorpusEntry &Entry = stressEntry("stress-dnf-dense");
+  std::string Reference;
+  for (DNFKernel Kernel :
+       {DNFKernel::Auto, DNFKernel::Bitset, DNFKernel::Reference}) {
+    SessionOptions Opts = injecting("dnf.truncate");
+    Opts.Analysis.Kernel = Kernel;
+    engine::Session S(Entry.Id, Entry.Source, Opts);
+    const std::vector<Failure> &Failures = driveAll(S);
+    EXPECT_TRUE(hasFailure(Failures, FailureCode::DnfTruncated,
+                           Stage::Analyze))
+        << static_cast<int>(Kernel);
+    EXPECT_GT(S.stats().DNFTruncations, 0u) << static_cast<int>(Kernel);
+    // driveAll analyzes tree 0 only: exactly one dispatch, forced iff
+    // the kernel was pinned.
+    uint64_t Analyzed = S.numTrees() != 0 ? 1u : 0u;
+    EXPECT_EQ(S.stats().DispatchBitset + S.stats().DispatchReference,
+              Analyzed)
+        << static_cast<int>(Kernel);
+    EXPECT_EQ(S.stats().DispatchForced,
+              Kernel == DNFKernel::Auto ? 0u : Analyzed)
+        << static_cast<int>(Kernel);
+    std::string Out = fullPipeline(S);
+    if (Kernel == DNFKernel::Auto)
+      Reference = Out;
+    else
+      EXPECT_EQ(Out, Reference) << static_cast<int>(Kernel);
+  }
+}
+
 TEST(FaultMatrix, ExtractTruncationInjection) {
   const CorpusEntry &Entry = firstCorpusEntry();
   engine::Session S(Entry.Id, Entry.Source, injecting("extract.truncate"));

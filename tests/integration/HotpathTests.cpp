@@ -34,14 +34,26 @@ using namespace argus;
 namespace {
 
 void expectKernelsAgree(const InferenceTree &Tree, const char *Label) {
-  AnalysisOptions Opts;
-  DNFStats BitsetStats, ReferenceStats;
-  DNFFormula Bitset = computeMCS(Tree, Opts, &BitsetStats);
-  DNFFormula Reference = computeMCSReference(Tree, Opts, &ReferenceStats);
+  AnalysisOptions Forced;
+  Forced.Kernel = DNFKernel::Bitset;
+  DNFStats BitsetStats, ReferenceStats, AutoStats;
+  DNFFormula Bitset = computeMCS(Tree, Forced, &BitsetStats);
+  DNFFormula Reference = computeMCSReference(Tree, Forced, &ReferenceStats);
   EXPECT_EQ(Bitset.IsTrue, Reference.IsTrue) << Label;
   EXPECT_EQ(Bitset.Conjuncts, Reference.Conjuncts) << Label;
   EXPECT_EQ(BitsetStats.Atoms, ReferenceStats.Atoms) << Label;
   EXPECT_EQ(BitsetStats.Truncations, 0u) << Label;
+  EXPECT_EQ(BitsetStats.DispatchBitset, 1u) << Label;
+  EXPECT_EQ(BitsetStats.DispatchForced, 1u) << Label;
+
+  // Auto dispatch must agree wherever the cost model routes the tree,
+  // and must record exactly one un-forced dispatch.
+  DNFFormula Auto = computeMCS(Tree, AnalysisOptions(), &AutoStats);
+  EXPECT_EQ(Auto.IsTrue, Reference.IsTrue) << Label;
+  EXPECT_EQ(Auto.Conjuncts, Reference.Conjuncts) << Label;
+  EXPECT_EQ(AutoStats.DispatchForced, 0u) << Label;
+  EXPECT_EQ(AutoStats.DispatchBitset + AutoStats.DispatchReference, 1u)
+      << Label;
 }
 
 } // namespace
@@ -98,6 +110,76 @@ TEST(Hotpath, KernelsAgreeOnDenseTrees) {
   }
 }
 
+TEST(Hotpath, KernelsAgreeAcrossDispatchBoundary) {
+  // Property: on generated trees straddling the Auto-dispatch node
+  // threshold (default 2048), the kernel the cost model picks is the
+  // one its estimate implies, and all three kernel modes stay
+  // output-identical on both sides of the boundary.
+  AnalysisOptions Defaults;
+  for (uint64_t Seed : {3u, 77u, 1201u}) {
+    for (size_t Nodes : {1024u, 1900u, 2049u, 2554u, 4096u}) {
+      GeneratorOptions Opts;
+      Opts.Seed = Seed;
+      Opts.TargetNodes = Nodes;
+      Opts.BranchProbability = 0.25;
+      GeneratedWorkload W = generateTree(Opts);
+      expectKernelsAgree(W.Tree, "boundary");
+
+      DNFCostEstimate Est = estimateDNFCost(W.Tree);
+      bool WantBitset = Est.Nodes > Defaults.AutoNodeThreshold ||
+                        Est.Conjuncts > Defaults.AutoConjunctThreshold;
+      DNFStats Stats;
+      (void)computeMCS(W.Tree, Defaults, &Stats);
+      EXPECT_EQ(Stats.DispatchBitset, WantBitset ? 1u : 0u)
+          << "seed " << Seed << " nodes " << Nodes;
+      EXPECT_EQ(Stats.DispatchReference, WantBitset ? 0u : 1u)
+          << "seed " << Seed << " nodes " << Nodes;
+    }
+  }
+}
+
+TEST(Hotpath, ExactIndexPrunesLargeSlicesAndStaysInvisible) {
+  // A trait with many concrete impls under one head constructor: the
+  // level-1 head bucket cannot tell Wrap<S0> from Wrap<S7>, so only the
+  // level-2 exact index can skip the non-matching impls — and it must,
+  // since the slice clears the cost-model minimum. The pruned run's
+  // output must stay byte-identical to a run with the index off.
+  std::string Source = "trait Tag;\ntrait Want;\nstruct Wrap<T>;\n";
+  for (int I = 0; I != 8; ++I) {
+    Source += "struct S" + std::to_string(I) + ";\n";
+    Source += "impl Tag for Wrap<S" + std::to_string(I) + ">;\n";
+  }
+  Source += "goal Wrap<S0>: Tag;\ngoal Wrap<S0>: Want;\n";
+
+  engine::SessionOptions On; // Defaults: exact index enabled.
+  ASSERT_TRUE(On.Solver.EnableExactIndex);
+  ASSERT_LE(On.Solver.ExactIndexMinSlice, 8u);
+  engine::SessionOptions Off;
+  Off.Solver.EnableExactIndex = false;
+
+  engine::Session SOn("exact-prune", Source, On);
+  engine::Session SOff("exact-prune", Source, Off);
+  SOn.solve();
+  SOff.solve();
+  EXPECT_GT(SOn.stats().DispatchExactPrunes, 0u);
+  EXPECT_EQ(SOff.stats().DispatchExactPrunes, 0u);
+  ASSERT_EQ(SOn.numTrees(), SOff.numTrees());
+  for (size_t T = 0; T != SOn.numTrees(); ++T)
+    EXPECT_EQ(SOn.treeJSON(T), SOff.treeJSON(T));
+
+  // Below the cost-model minimum the solver must not pay for keying:
+  // raising the threshold past the slice size turns pruning off without
+  // touching the output.
+  engine::SessionOptions Gated = On;
+  Gated.Solver.ExactIndexMinSlice = 9;
+  engine::Session SGated("exact-prune", Source, Gated);
+  SGated.solve();
+  EXPECT_EQ(SGated.stats().DispatchExactPrunes, 0u);
+  ASSERT_EQ(SGated.numTrees(), SOff.numTrees());
+  for (size_t T = 0; T != SGated.numTrees(); ++T)
+    EXPECT_EQ(SGated.treeJSON(T), SOff.treeJSON(T));
+}
+
 TEST(Hotpath, CandidateIndexIsInvisibleInOutput) {
   engine::SessionOptions WithIndex;
   ASSERT_TRUE(WithIndex.Solver.EnableCandidateIndex); // The default.
@@ -149,15 +231,16 @@ TEST(Hotpath, ConjunctCapTruncatesAndRecords) {
   AnalysisOptions Uncapped;
   ASSERT_GT(computeMCS(W.Tree, Uncapped).Conjuncts.size(), 4u);
 
-  for (bool UseBitset : {true, false}) {
+  for (DNFKernel Kernel :
+       {DNFKernel::Auto, DNFKernel::Bitset, DNFKernel::Reference}) {
     AnalysisOptions Capped;
-    Capped.UseBitsetKernel = UseBitset;
+    Capped.Kernel = Kernel;
     Capped.MaxConjuncts = 4;
     DNFStats Stats;
     DNFFormula F = computeMCS(W.Tree, Capped, &Stats);
-    EXPECT_LE(F.Conjuncts.size(), 4u) << UseBitset;
-    EXPECT_GT(Stats.Truncations, 0u) << UseBitset;
-    EXPECT_TRUE(Stats.truncated()) << UseBitset;
+    EXPECT_LE(F.Conjuncts.size(), 4u) << static_cast<int>(Kernel);
+    EXPECT_GT(Stats.Truncations, 0u) << static_cast<int>(Kernel);
+    EXPECT_TRUE(Stats.truncated()) << static_cast<int>(Kernel);
   }
 }
 
@@ -172,6 +255,9 @@ TEST(Hotpath, SessionSurfacesAnalysisCounters) {
 
   engine::SessionOptions Opts;
   Opts.Analysis.MaxConjuncts = 1;
+  // Force the bitset kernel so DNFWordsTouched (a bitset-only counter)
+  // is exercised regardless of where the cost model would route.
+  Opts.Analysis.Kernel = DNFKernel::Bitset;
   engine::Session S(Entry->Id, Entry->Source, Opts);
   ASSERT_GT(S.numTrees(), 0u);
   for (size_t T = 0; T != S.numTrees(); ++T)
@@ -179,4 +265,8 @@ TEST(Hotpath, SessionSurfacesAnalysisCounters) {
   EXPECT_GT(S.stats().DNFWordsTouched, 0u);
   EXPECT_GT(S.stats().DNFTruncations, 0u);
   EXPECT_GT(S.stats().ArenaHashLookups, 0u);
+  EXPECT_EQ(S.stats().DispatchBitset, static_cast<uint64_t>(S.numTrees()));
+  EXPECT_EQ(S.stats().DispatchReference, 0u);
+  EXPECT_EQ(S.stats().DispatchForced,
+            static_cast<uint64_t>(S.numTrees()));
 }

@@ -1,0 +1,114 @@
+//===- tests/support/ArenaTests.cpp ---------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace argus;
+
+TEST(BumpAllocator, AllocationsAreDisjointAndAligned) {
+  BumpAllocator A(256);
+  std::set<uintptr_t> Seen;
+  for (int I = 0; I < 100; ++I) {
+    void *P = A.allocate(24, 8);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+    // Write the full extent; ASan (CHECK_SANITIZE=1) verifies ownership.
+    std::memset(P, 0xAB, 24);
+    EXPECT_TRUE(Seen.insert(reinterpret_cast<uintptr_t>(P)).second);
+  }
+  EXPECT_GE(A.bytesAllocated(), 2400u);
+  EXPECT_GT(A.numChunks(), 1u);
+}
+
+TEST(BumpAllocator, OversizedRequestGetsDedicatedChunk) {
+  BumpAllocator A(64);
+  void *P = A.allocate(1000, 16);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 1, 1000);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 16, 0u);
+}
+
+TEST(BumpAllocator, ResetRecyclesChunksWithoutGrowth) {
+  BumpAllocator A(512);
+  for (int I = 0; I < 50; ++I)
+    A.allocate(100);
+  size_t ChunksAfterWarmup = A.numChunks();
+  for (int Round = 0; Round < 10; ++Round) {
+    A.reset();
+    EXPECT_EQ(A.bytesAllocated(), 0u);
+    for (int I = 0; I < 50; ++I)
+      A.allocate(100);
+  }
+  // Steady state: the retained chunks absorb the same workload with no
+  // new chunk allocation.
+  EXPECT_EQ(A.numChunks(), ChunksAfterWarmup);
+  EXPECT_EQ(A.numResets(), 10u);
+}
+
+TEST(BumpAllocator, TypedArrayAllocation) {
+  BumpAllocator A;
+  uint64_t *Arr = A.allocArray<uint64_t>(32);
+  ASSERT_NE(Arr, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Arr) % alignof(uint64_t), 0u);
+  for (int I = 0; I < 32; ++I)
+    Arr[I] = I;
+  EXPECT_EQ(Arr[31], 31u);
+}
+
+TEST(U64BufferPool, CapacityPersistsAcrossAcquireRelease) {
+  U64BufferPool Pool;
+  std::vector<uint64_t> Buf = Pool.acquire();
+  EXPECT_TRUE(Buf.empty());
+  for (int I = 0; I < 1000; ++I)
+    Buf.push_back(I);
+  size_t Cap = Buf.capacity();
+  Pool.release(std::move(Buf));
+  EXPECT_EQ(Pool.numFree(), 1u);
+
+  std::vector<uint64_t> Again = Pool.acquire();
+  EXPECT_TRUE(Again.empty());
+  EXPECT_EQ(Again.capacity(), Cap);
+  EXPECT_EQ(Pool.numFree(), 0u);
+}
+
+TEST(ScratchTag, RetagReportsStaleness) {
+  ScratchTag Tag;
+  int A = 0, B = 0;
+  EXPECT_FALSE(Tag.retag(&A, &B)); // First use: contents stale.
+  EXPECT_TRUE(Tag.retag(&A, &B));  // Same identities: reusable.
+  EXPECT_FALSE(Tag.retag(&B, &A)); // Different identities: stale again.
+  EXPECT_TRUE(Tag.retag(&B, &A));
+}
+
+TEST(SolveScratch, SlotsOwnOpaqueBoxes) {
+  SolveScratch S;
+  auto &Slot = S.slot(SolveScratch::SlotEncodeMemo);
+  EXPECT_EQ(Slot.Ptr, nullptr);
+  Slot.Ptr = new std::vector<int>{1, 2, 3};
+  Slot.Deleter = [](void *P) { delete static_cast<std::vector<int> *>(P); };
+  auto *V = static_cast<std::vector<int> *>(
+      S.slot(SolveScratch::SlotEncodeMemo).Ptr);
+  EXPECT_EQ(V->size(), 3u);
+  // Destructor of S frees the box (leak-checked under sanitizers).
+}
+
+TEST(SolveScratch, BeginSolveResetsArenaOnly) {
+  SolveScratch S;
+  S.arena().allocate(100);
+  std::vector<uint64_t> Buf = S.u64Pool().acquire();
+  Buf.resize(64);
+  S.u64Pool().release(std::move(Buf));
+
+  S.beginSolve();
+  EXPECT_EQ(S.arena().bytesAllocated(), 0u);
+  EXPECT_EQ(S.u64Pool().numFree(), 1u); // Pools survive.
+  EXPECT_EQ(S.numSolves(), 1u);
+}

@@ -42,6 +42,10 @@
 ///   --cache-shards <n>  lock stripes in the goal cache (default 16)
 ///   --cache-cap <n>     max cached entries before eviction (default
 ///                       65536)
+///   --dnf-kernel <k> DNF normalization kernel: auto (default; the cost
+///                    model picks per tree), bitset, or reference;
+///                    --dnf-kernel=<k> also accepted. Output is
+///                    identical for every choice.
 ///   --edit-script <file>  replay successive revisions of one program
 ///                    (separated by lines consisting of "---") through
 ///                    an engine::EditSession: revisions share one goal
@@ -92,6 +96,7 @@ struct Options {
   double Deadline = 0.0;
   bool RetryOverruns = false;
   unsigned Jobs = 1;
+  DNFKernel Kernel = DNFKernel::Auto;
   engine::CacheMode Cache = engine::CacheMode::Off;
   bool CacheSet = false;
   unsigned CacheShards = 16;
@@ -118,6 +123,7 @@ int usage() {
           " [--inject-prob <p>]\n"
           "             [--cache off|session|shared] [--cache-shards <n>]"
           " [--cache-cap <n>]\n"
+          "             [--dnf-kernel auto|bitset|reference]\n"
           "             [--version]\n"
           "       argus --batch <dir> [--jobs <n>] [--retry-overruns]"
           " [other options]\n"
@@ -255,6 +261,11 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
     Sum.CacheDepMisses += Stats->CacheDepMisses;
     Sum.ImplsInvalidated += Stats->ImplsInvalidated;
     Sum.CandidatesFiltered += Stats->CandidatesFiltered;
+    Sum.DispatchExactPrunes += Stats->DispatchExactPrunes;
+    Sum.DispatchCacheSkips += Stats->DispatchCacheSkips;
+    Sum.DispatchReference += Stats->DispatchReference;
+    Sum.DispatchBitset += Stats->DispatchBitset;
+    Sum.DispatchForced += Stats->DispatchForced;
     Sum.TreesExtracted += Stats->TreesExtracted;
     Sum.TreeGoals += Stats->TreeGoals;
     Sum.FailedLeaves += Stats->FailedLeaves;
@@ -277,7 +288,10 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          " cache_inserts=%llu cache_inserts_rejected=%llu"
          " cache_cross_rev_hits=%llu cache_dep_misses=%llu"
          " impls_invalidated=%llu"
-         " candidates_filtered=%llu trees=%zu tree_goals=%zu"
+         " candidates_filtered=%llu"
+         " dispatch_exact_prunes=%llu dispatch_cache_skips=%llu"
+         " dispatch_reference=%llu dispatch_bitset=%llu"
+         " dispatch_forced=%llu trees=%zu tree_goals=%zu"
          " failed_leaves=%zu dnf_conjuncts=%zu dnf_words=%llu"
          " dnf_truncations=%llu arena_hash_lookups=%llu"
          " failures=%zu deadline_hits=%llu cancellations=%llu"
@@ -294,6 +308,11 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          static_cast<unsigned long long>(Sum.CacheDepMisses),
          static_cast<unsigned long long>(Sum.ImplsInvalidated),
          static_cast<unsigned long long>(Sum.CandidatesFiltered),
+         static_cast<unsigned long long>(Sum.DispatchExactPrunes),
+         static_cast<unsigned long long>(Sum.DispatchCacheSkips),
+         static_cast<unsigned long long>(Sum.DispatchReference),
+         static_cast<unsigned long long>(Sum.DispatchBitset),
+         static_cast<unsigned long long>(Sum.DispatchForced),
          Sum.TreesExtracted, Sum.TreeGoals, Sum.FailedLeaves,
          Sum.DNFConjuncts,
          static_cast<unsigned long long>(Sum.DNFWordsTouched),
@@ -607,6 +626,30 @@ int main(int Argc, char **Argv) {
                 Mode.c_str());
         return usage();
       }
+    } else if (Arg == "--dnf-kernel" || Arg.rfind("--dnf-kernel=", 0) == 0) {
+      std::string Kernel;
+      if (Arg == "--dnf-kernel") {
+        if (++I == Argc) {
+          fprintf(stderr, "argus: --dnf-kernel requires a kernel argument\n");
+          return usage();
+        }
+        Kernel = Argv[I];
+      } else {
+        Kernel = Arg.substr(sizeof("--dnf-kernel=") - 1);
+      }
+      if (Kernel == "auto")
+        Opts.Kernel = DNFKernel::Auto;
+      else if (Kernel == "bitset")
+        Opts.Kernel = DNFKernel::Bitset;
+      else if (Kernel == "reference")
+        Opts.Kernel = DNFKernel::Reference;
+      else {
+        fprintf(stderr,
+                "argus: invalid --dnf-kernel '%s'"
+                " (expected auto, bitset, or reference)\n",
+                Kernel.c_str());
+        return usage();
+      }
     } else if (Arg == "--cache-shards") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --cache-shards requires a count argument\n");
@@ -715,6 +758,7 @@ int main(int Argc, char **Argv) {
 
   engine::SessionOptions SessOpts;
   SessOpts.Extract.ShowInternal = Opts.ShowInternal;
+  SessOpts.Analysis.Kernel = Opts.Kernel;
   SessOpts.Cache = Opts.Cache;
   SessOpts.CacheShards = Opts.CacheShards;
   SessOpts.CacheCap = Opts.CacheCap;

@@ -39,6 +39,17 @@
 #
 #   tools/check.sh --edit-diff-only <argus-binary> <programs-dir>
 #
+# The perf floors gate runs the hot-path benchmark with --check-floors:
+# every corpus workload's features-on vs features-off speedup (exact
+# candidate index + Auto kernel dispatch + pooled scratch) must stay at
+# or above 1.0x with byte-identical output, alongside the bench's own
+# kernel-identity, cache >= 1.5x, and incremental >= 5x bars. These are
+# wall-clock measurements, so the gate is opt-in: set CHECK_PERF_FLOORS=1
+# for the full gate, or run it standalone (wired into CTest as
+# bench_perf_floors under the "Perf" configuration):
+#
+#   tools/check.sh --perf-floors-only <bench_hotpath-binary>
+#
 # CHECK_SANITIZE=1 switches the full gate to an ASan+UBSan build in its
 # own build directory (build-sanitize by default), running the same test
 # suite — including the fuzz_smoke mutation loop — under the sanitizers.
@@ -250,6 +261,30 @@ perf_smoke() {
     "$invalidated impls invalidated)"
 }
 
+perf_floors() {
+  bench_bin="$1"
+  floors_json="${TMPDIR:-/tmp}/argus_perf_floors_$$.json"
+  trap 'rm -f "$floors_json"' EXIT
+
+  if ! "$bench_bin" --check-floors "$floors_json"; then
+    echo "FAIL: perf floors: $bench_bin --check-floors reported a" \
+      "workload below 1.0x, an identity mismatch, or a bench gate" \
+      "failure (see output above)" >&2
+    exit 1
+  fi
+  echo "perf floors: OK (every corpus workload >= 1.0x features-on," \
+    "all bench identity and speedup gates passed)"
+}
+
+if [ "${1:-}" = "--perf-floors-only" ]; then
+  [ $# -eq 2 ] || {
+    echo "usage: $0 --perf-floors-only <bench_hotpath-binary>" >&2
+    exit 2
+  }
+  perf_floors "$2"
+  exit 0
+fi
+
 if [ "${1:-}" = "--perf-smoke-only" ]; then
   [ $# -eq 3 ] || {
     echo "usage: $0 --perf-smoke-only <argus-binary> <programs-dir>" >&2
@@ -307,4 +342,7 @@ if [ "${CHECK_CACHE_DIFF:-1}" = "1" ]; then
 fi
 edit_diff "$build_dir/tools/argus" "$repo_root/examples"
 perf_smoke "$build_dir/tools/argus" "$repo_root/examples"
+if [ "${CHECK_PERF_FLOORS:-0}" = "1" ]; then
+  perf_floors "$build_dir/bench/bench_hotpath"
+fi
 echo "all checks passed"
