@@ -42,7 +42,17 @@
 ///     expected to stay >= 1.5x and both are folded into the exit
 ///     status.
 ///
-///  5. "incremental": an engine::EditSession replaying successive
+///  5. "solver_core": uncached candidate assembly — the coherence-time
+///     prebuilt head-constructor index (with subsumption pruning) versus
+///     the per-goal scan-and-filter path, on the deep impl chain (padded
+///     with decoy impls the chain never matches, the shape where per-goal
+///     filtering hurts most) and the diesel corpus programs. Every row
+///     must render byte-identical trees and the indexed side must report
+///     candidates_filtered == 0 (assembly never filters live against a
+///     prebuilt bucket); the deep-chain speedup is expected to stay
+///     >= 1.3x and is folded into --check-floors.
+///
+///  6. "incremental": an engine::EditSession replaying successive
 ///     revisions of a deep where-clause-chain program, each revision a
 ///     same-length edit of one side impl the chain never consults,
 ///     versus solving every revision cold. Dependency fingerprints let
@@ -68,6 +78,7 @@
 #include "extract/Extract.h"
 #include "extract/TreeJSON.h"
 #include "solver/GoalCache.h"
+#include "solver/Index.h"
 #include "solver/Solver.h"
 #include "support/JSON.h"
 #include "tlang/Parser.h"
@@ -261,6 +272,94 @@ CacheMeasurement measureCache(const CacheWorkload &Workload) {
   // shared by every repetition — the first populates, the rest splice.
   GoalCache Shared;
   M.SharedSeconds = timeReps(Reps, [&] { (void)solveOnce(&Shared); });
+  return M;
+}
+
+/// One solver-core workload: a source solved repeatedly uncached, once
+/// through the per-goal scan-and-filter path and once against the
+/// coherence-time prebuilt candidate index (built once per Program, the
+/// way engine::Session installs it).
+struct CoreWorkload {
+  std::string Name;
+  std::string Source;
+};
+
+struct CoreMeasurement {
+  std::string Name;
+  uint64_t Reps = 0;
+  double ScanSeconds = 0.0;    ///< Full-slice scan solves (--no-index).
+  double IndexedSeconds = 0.0; ///< Prebuilt-index solves.
+  double BuildSeconds = 0.0;   ///< One-time index build (not per solve).
+  uint64_t IndexedFiltered = 0; ///< candidates_filtered, indexed (~0).
+  uint64_t BucketHits = 0;     ///< index_bucket_hits, indexed path.
+  uint64_t Subsumed = 0;       ///< Impls pruned at build time.
+  bool Identical = false;      ///< Tree JSON agrees byte for byte.
+
+  double speedup() const {
+    return IndexedSeconds > 0.0 ? ScanSeconds / IndexedSeconds : 0.0;
+  }
+};
+
+CoreMeasurement measureSolverCore(const CoreWorkload &Workload) {
+  CoreMeasurement M;
+  M.Name = Workload.Name;
+
+  // Two Programs so the scan side never sees prebuilt (pruned) slices:
+  // an installed index serves even head-less full-trait queries.
+  Session ScanSess, IdxSess;
+  Program ScanProg(ScanSess), IdxProg(IdxSess);
+  if (!parseSource(ScanProg, Workload.Name, Workload.Source).Success ||
+      !parseSource(IdxProg, Workload.Name, Workload.Source).Success)
+    return M; // Identical stays false; a bad fixture fails the bench.
+
+  SolverOptions ScanOpts;
+  ScanOpts.EnableCandidateIndex = false;
+  ScanOpts.EnableSubsumption = false;
+  const SolverOptions IdxOpts; // Defaults: index + subsumption on.
+
+  double BuildStart = now();
+  SolverIndexStats Built = buildSolverIndex(IdxProg);
+  M.BuildSeconds = now() - BuildStart;
+  M.Subsumed = Built.ImplsSubsumed;
+
+  auto renderOnce = [](Program &Prog, const SolverOptions &Opts,
+                       SolveOutcome *Out) {
+    Solver Solve(Prog, Opts);
+    SolveOutcome Result = Solve.solve();
+    Extraction Ex = extractTrees(Prog, Result, Solve.inferContext());
+    std::string R;
+    for (const InferenceTree &Tree : Ex.Trees)
+      R += treeToJSON(Prog, Tree, /*Pretty=*/true) + "\n";
+    if (Out)
+      *Out = std::move(Result);
+    return R;
+  };
+
+  // Correctness first: assembly routing must be invisible in the trees.
+  SolveOutcome IdxOut;
+  std::string ScanJSON = renderOnce(ScanProg, ScanOpts, nullptr);
+  std::string IdxJSON = renderOnce(IdxProg, IdxOpts, &IdxOut);
+  M.Identical = Built.Completed && ScanJSON == IdxJSON;
+  M.IndexedFiltered = IdxOut.NumCandidatesFiltered;
+  M.BucketHits = IdxOut.NumIndexBucketHits;
+
+  auto solveOnce = [](Program &Prog, const SolverOptions &Opts) {
+    Solver Solve(Prog, Opts);
+    return Solve.solve();
+  };
+  double Probe = timeReps(1, [&] { (void)solveOnce(ScanProg, ScanOpts); });
+  const double TargetSeconds = 0.2;
+  uint64_t Reps =
+      Probe > 0.0 ? static_cast<uint64_t>(TargetSeconds / Probe) : 10000;
+  if (Reps < 8)
+    Reps = 8;
+  if (Reps > 20000)
+    Reps = 20000;
+  M.Reps = Reps;
+
+  M.ScanSeconds = timeReps(Reps, [&] { (void)solveOnce(ScanProg, ScanOpts); });
+  M.IndexedSeconds =
+      timeReps(Reps, [&] { (void)solveOnce(IdxProg, IdxOpts); });
   return M;
 }
 
@@ -742,7 +841,86 @@ int main(int Argc, char **Argv) {
   W.endObject();
   W.endObject();
 
-  // --- Section 5: incremental edit sessions. A deep *successful*
+  // --- Section 5: solver-core candidate assembly, uncached. The deep
+  // chain is padded with decoy impls the chain never matches — the
+  // per-goal scan path pays a filter check per decoy per goal
+  // evaluation, the prebuilt bucket never enumerates them. The diesel
+  // programs witness the same on real corpus shapes, where subsumption
+  // additionally prunes impls no declared goal can reach.
+  std::vector<CoreWorkload> CoreWorkloads;
+  {
+    const unsigned CoreDepth = 12, CoreDecoys = 48;
+    std::string S = "struct A;\nstruct Wrap<T>;\ntrait Show;\n";
+    for (unsigned I = 0; I != CoreDecoys; ++I) {
+      std::string D = "Decoy" + std::to_string(I);
+      S += "struct " + D + ";\nimpl Show for " + D + ";\n";
+    }
+    S += "impl Show for A;\n"
+         "impl<T> Show for Wrap<T> where T: Show;\n";
+    std::string Ty = "A";
+    for (unsigned I = 0; I != CoreDepth; ++I)
+      Ty = "Wrap<" + Ty + ">";
+    S += "goal " + Ty + ": Show;\n";
+    CoreWorkloads.push_back({"deep-chain-12", std::move(S)});
+  }
+  for (const CorpusEntry &Entry : evaluationSuite())
+    if (Entry.Family == "diesel")
+      CoreWorkloads.push_back({Entry.Id, Entry.Source});
+
+  std::vector<CoreMeasurement> CoreMeasurements;
+  CoreMeasurements.reserve(CoreWorkloads.size());
+  bool CoreIdentical = true;
+  bool CoreFilteredClean = true;
+  double DeepChainSpeedup = 0.0;
+  for (const CoreWorkload &Workload : CoreWorkloads) {
+    CoreMeasurements.push_back(measureSolverCore(Workload));
+    const CoreMeasurement &M = CoreMeasurements.back();
+    CoreIdentical &= M.Identical;
+    CoreFilteredClean &= M.IndexedFiltered == 0;
+    if (M.Name == "deep-chain-12")
+      DeepChainSpeedup = M.speedup();
+    printf("solver_core: %-26s reps=%-6llu scan=%.3fus indexed=%.3fus"
+           " filtered=%llu bucket_hits=%llu subsumed=%llu"
+           " speedup=%.2fx%s\n",
+           M.Name.c_str(), static_cast<unsigned long long>(M.Reps),
+           1e6 * M.ScanSeconds / static_cast<double>(M.Reps),
+           1e6 * M.IndexedSeconds / static_cast<double>(M.Reps),
+           static_cast<unsigned long long>(M.IndexedFiltered),
+           static_cast<unsigned long long>(M.BucketHits),
+           static_cast<unsigned long long>(M.Subsumed), M.speedup(),
+           M.Identical ? "" : "  MISMATCH");
+  }
+
+  W.key("solver_core");
+  W.beginObject();
+  W.key("workloads");
+  W.beginArray();
+  for (const CoreMeasurement &M : CoreMeasurements) {
+    W.beginObject();
+    W.keyValue("name", M.Name);
+    W.keyValue("reps", M.Reps);
+    W.keyValue("scan_seconds_per_solve",
+               M.ScanSeconds / static_cast<double>(M.Reps));
+    W.keyValue("indexed_seconds_per_solve",
+               M.IndexedSeconds / static_cast<double>(M.Reps));
+    W.keyValue("index_build_seconds", M.BuildSeconds);
+    W.keyValue("candidates_filtered_indexed", M.IndexedFiltered);
+    W.keyValue("index_bucket_hits", M.BucketHits);
+    W.keyValue("impls_subsumed", M.Subsumed);
+    W.keyValue("speedup", M.speedup());
+    W.keyValue("identical", M.Identical);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("totals");
+  W.beginObject();
+  W.keyValue("deep_chain_speedup", DeepChainSpeedup);
+  W.keyValue("indexed_filtering_zero", CoreFilteredClean);
+  W.keyValue("identical", CoreIdentical);
+  W.endObject();
+  W.endObject();
+
+  // --- Section 6: incremental edit sessions. A deep *successful*
   // where-clause chain dominates every revision's solve (each level pays
   // a quiet probe plus a loud replay, so the cold cost is O(2^depth)
   // while the recorded proof tree is linear and splices in
@@ -874,8 +1052,13 @@ int main(int Argc, char **Argv) {
   // cache is both invisible in the output and actually faster; these are
   // the acceptance bars this bench exists to witness.
   if (!AllIdentical || !CacheIdentical || !IncrIdentical ||
-      !FeaturesIdentical)
+      !FeaturesIdentical || !CoreIdentical)
     return 1;
+  if (!CoreFilteredClean) {
+    fprintf(stderr, "bench_hotpath: prebuilt-index solves reported live"
+                    " candidate filtering (expected 0)\n");
+    return 1;
+  }
   printf("features floor: min_speedup=%.2fx identical=%s%s\n",
          MinFeatureSpeedup, FeaturesIdentical ? "yes" : "NO",
          CheckFloors ? " (enforced)" : "");
@@ -886,6 +1069,13 @@ int main(int Argc, char **Argv) {
                 "bench_hotpath: %s features-on speedup %.2fx below the"
                 " 1.0x floor (3%% noise allowance exceeded)\n",
                 F.Name.c_str(), F.speedup());
+    return 1;
+  }
+  if (CheckFloors && DeepChainSpeedup < 1.3) {
+    fprintf(stderr,
+            "bench_hotpath: solver-core deep-chain speedup %.2fx below"
+            " the 1.3x floor\n",
+            DeepChainSpeedup);
     return 1;
   }
   if (CacheSpeedup < 1.5) {

@@ -232,12 +232,24 @@ DNFCostEstimate estimateFor(const InferenceTree &Tree,
 
 DNFCostEstimate estimateWith(const InferenceTree &Tree,
                              FailedDescendantMap &FailedDesc) {
-  if (!Tree.rootId().isValid() ||
-      !idealFailed(Tree.goal(Tree.rootId()).Result))
-    return DNFCostEstimate();
-  size_t Nodes = 0;
-  DNFCostEstimate Est = estimateFor(Tree, FailedDesc, Tree.rootId(), Nodes);
-  Est.Nodes = Nodes;
+  // The estimate depends only on tree structure and results, so a
+  // frozen tree pays the O(nodes) pre-pass once: later dispatches
+  // (estimateDNFCost callers, computeMCS Auto runs, bench loops) read
+  // the memo the tree carries. Mutating accessors invalidate it.
+  if (Tree.costCacheValid()) {
+    DNFCostEstimate Est;
+    Est.Nodes = Tree.cachedCostNodes();
+    Est.Conjuncts = Tree.cachedCostConjuncts();
+    return Est;
+  }
+  DNFCostEstimate Est;
+  if (Tree.rootId().isValid() &&
+      idealFailed(Tree.goal(Tree.rootId()).Result)) {
+    size_t Nodes = 0;
+    Est = estimateFor(Tree, FailedDesc, Tree.rootId(), Nodes);
+    Est.Nodes = Nodes;
+  }
+  Tree.cacheCost(Est.Nodes, Est.Conjuncts);
   return Est;
 }
 

@@ -55,7 +55,11 @@ std::vector<FixSuggestion> argus::suggestFixes(const Program &Prog,
       if (!Seen.insert(Hypothesis.value()).second)
         continue;
 
-      // Verify the hypothesis with a fresh solve.
+      // Verify the hypothesis with a fresh solve. The hypothesis is an
+      // ad-hoc predicate outside the declared-goal reachability closure
+      // the prebuilt index was subsumption-pruned against, so the solve
+      // must see the unpruned lazy slices (see solver/Index.h).
+      Program::SolverIndexSuspension Hidden(Prog);
       Predicate Goal = Predicate::traitBound(Hypothesis, FailedLeaf.Trait,
                                              FailedLeaf.Args);
       Solver Solve(Prog);

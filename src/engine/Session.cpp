@@ -7,6 +7,7 @@
 #include "engine/Session.h"
 
 #include "extract/TreeJSON.h"
+#include "solver/Index.h"
 
 #include <cassert>
 #include <chrono>
@@ -82,6 +83,8 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("goal_evaluations", GoalEvaluations);
   Writer.keyValue("memo_hits", MemoHits);
   Writer.keyValue("candidates_filtered", CandidatesFiltered);
+  Writer.keyValue("index_bucket_hits", IndexBucketHits);
+  Writer.keyValue("impls_subsumed", ImplsSubsumed);
   Writer.keyValue("fixpoint_rounds",
                   static_cast<uint64_t>(FixpointRounds));
   Writer.keyValue("solver_steps", SolverSteps);
@@ -116,6 +119,11 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("faults_injected", FaultsInjected);
   Writer.endObject();
   Writer.keyValue("degraded", degraded());
+  Writer.key("subsumption_notes");
+  Writer.beginArray();
+  for (const std::string &Note : SubsumptionNotes)
+    Writer.value(Note);
+  Writer.endArray();
   Writer.key("failures");
   Writer.beginArray();
   for (const Failure &F : Failures)
@@ -236,9 +244,36 @@ std::string Session::parseErrorText() {
   return Parsed->describe(Sess->sources());
 }
 
+void Session::ensureSolverIndex() {
+  if (IndexBuilt)
+    return;
+  IndexBuilt = true;
+  parse();
+  // Without the candidate index the lazy scan path is the whole story;
+  // nothing to precompute.
+  if (!Opts.Solver.EnableCandidateIndex)
+    return;
+  StageTimer Timer(Stats, Stage::Coherence);
+  beginStage(Stage::Coherence);
+  SolverIndexOptions IOpts;
+  IOpts.EnableSubsumption = Opts.Solver.EnableSubsumption;
+  if (Gov)
+    IOpts.Budget = &Gov->budget();
+  SolverIndexStats Built = buildSolverIndex(*Prog, IOpts);
+  if (Built.Completed) {
+    Stats.ImplsSubsumed = Built.ImplsSubsumed;
+    Stats.SubsumptionNotes = Prog->indexNotes();
+  }
+  // On a budget stop buildSolverIndex already discarded any partial
+  // index, so the solver falls back to the (identical-output) lazy
+  // path; endStage records the stop as a Coherence-stage failure.
+  endStage(Stage::Coherence);
+}
+
 const std::vector<CoherenceError> &Session::coherence() {
   if (!CoherenceErrors) {
     parse();
+    ensureSolverIndex();
     StageTimer Timer(Stats, Stage::Coherence);
     beginStage(Stage::Coherence);
     CoherenceErrors = checkCoherence(*Prog);
@@ -251,6 +286,7 @@ const std::vector<CoherenceError> &Session::coherence() {
 const SolveOutcome &Session::solve() {
   if (!Outcome) {
     parse();
+    ensureSolverIndex();
     StageTimer Timer(Stats, Stage::Solve);
     beginStage(Stage::Solve);
     SolverOptions SOpts = Opts.Solver;
@@ -279,6 +315,7 @@ const SolveOutcome &Session::solve() {
     Stats.GoalEvaluations = Outcome->NumEvaluations;
     Stats.MemoHits = Outcome->NumMemoHits;
     Stats.CandidatesFiltered = Outcome->NumCandidatesFiltered;
+    Stats.IndexBucketHits = Outcome->NumIndexBucketHits;
     Stats.FixpointRounds = Outcome->RoundsUsed;
     Stats.SolverSteps = Outcome->NumSolverSteps;
     Stats.CacheHits = Outcome->NumCacheHits;
@@ -300,6 +337,7 @@ const SolveOutcome &Session::solve() {
 
 SolveOutcome Session::solveFresh() {
   parse();
+  ensureSolverIndex();
   StageTimer Timer(Stats, Stage::Solve);
   Solver Fresh(*Prog, Opts.Solver);
   return Fresh.solve();

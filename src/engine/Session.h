@@ -70,9 +70,20 @@ struct SessionStats {
   // --- Solve (mirrors SolveOutcome's statistics).
   uint64_t GoalEvaluations = 0;
   uint64_t MemoHits = 0;
-  /// Impl candidates skipped by the head-constructor index before
-  /// instantiation.
+  /// Impl candidates skipped by the *lazy* head-constructor index before
+  /// instantiation. ~0 once the prebuilt solver index is installed —
+  /// IndexBucketHits counts the served enumerations instead.
   uint64_t CandidatesFiltered = 0;
+  /// Trait-goal enumerations served from a prebuilt index bucket (the
+  /// coherence-time solver index; see solver/Index.h).
+  uint64_t IndexBucketHits = 0;
+  /// Impls pruned from the index buckets by the coherence-time
+  /// subsumption pass (never assemblable by any reachable goal shape).
+  uint64_t ImplsSubsumed = 0;
+  /// Human-readable subsumption/shadowing decisions from the index
+  /// build, surfaced by --trace. Empty when the pass is off or the
+  /// build was degraded by a budget stop.
+  std::vector<std::string> SubsumptionNotes;
   uint32_t FixpointRounds = 0;
   /// Goal evaluations that ran real candidate assembly (not answered by
   /// an overflow early-out or a goal-cache splice).
@@ -334,6 +345,13 @@ private:
   /// Records any budget stop observed during \p S as a Failure.
   void endStage(Stage S);
 
+  /// Builds and installs the Program's prebuilt candidate index (plus
+  /// the subsumption pass) once, timed under Stage::Coherence. Runs on
+  /// the first of coherence()/solve() to need it; a budget stop during
+  /// the build discards the index (degrading to the lazy scan path) and
+  /// is recorded as a Coherence-stage failure.
+  void ensureSolverIndex();
+
   std::string Name;
   std::string Source;
   SessionOptions Opts;
@@ -346,6 +364,9 @@ private:
   std::unique_ptr<Program> Prog;
   std::optional<ParseResult> Parsed;
   std::optional<std::vector<CoherenceError>> CoherenceErrors;
+  /// One-shot latch for ensureSolverIndex (set even when the build is
+  /// skipped or degraded, so a failed build is not retried).
+  bool IndexBuilt = false;
   /// Session-private goal cache (CacheMode::Session, or Shared with no
   /// SharedCache supplied). Declared before TheSolver, whose options
   /// point into it.

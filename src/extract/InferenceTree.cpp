@@ -12,6 +12,9 @@ using namespace argus;
 
 IdealGoal &InferenceTree::goal(IGoalId Id) {
   assert(Id.isValid() && Id.value() < Goals.size() && "bad IGoalId");
+  // Handing out a mutable node may change results or edges the cached
+  // cost estimate depends on.
+  invalidateCostCache();
   return Goals[Id.value()];
 }
 
@@ -22,6 +25,7 @@ const IdealGoal &InferenceTree::goal(IGoalId Id) const {
 
 IdealCandidate &InferenceTree::candidate(ICandId Id) {
   assert(Id.isValid() && Id.value() < Candidates.size() && "bad ICandId");
+  invalidateCostCache();
   return Candidates[Id.value()];
 }
 
@@ -31,6 +35,7 @@ const IdealCandidate &InferenceTree::candidate(ICandId Id) const {
 }
 
 IGoalId InferenceTree::makeGoal() {
+  invalidateCostCache();
   IGoalId Id(static_cast<uint32_t>(Goals.size()));
   Goals.emplace_back();
   Goals.back().Id = Id;
@@ -38,6 +43,7 @@ IGoalId InferenceTree::makeGoal() {
 }
 
 ICandId InferenceTree::makeCandidate() {
+  invalidateCostCache();
   ICandId Id(static_cast<uint32_t>(Candidates.size()));
   Candidates.emplace_back();
   Candidates.back().Id = Id;

@@ -79,7 +79,10 @@ public:
 
   IGoalId makeGoal();
   ICandId makeCandidate();
-  void setRoot(IGoalId Id) { Root = Id; }
+  void setRoot(IGoalId Id) {
+    Root = Id;
+    invalidateCostCache();
+  }
 
   size_t numGoals() const { return Goals.size(); }
   size_t numCandidates() const { return Candidates.size(); }
@@ -99,10 +102,32 @@ public:
   /// metric.
   std::vector<IGoalId> pathToRoot(IGoalId Id) const;
 
+  // --- Auto-dispatch cost memo. The DNF kernel cost model's pre-pass
+  // --- (analysis/DNF.cpp estimateWith) walks every failed node; its
+  // --- result depends only on the tree's structure and results, so
+  // --- repeated dispatches over the same frozen tree (estimateDNFCost
+  // --- callers plus computeMCS, benches looping per tree) pay the walk
+  // --- once. Any mutating access invalidates. Raw size_t pair rather
+  // --- than DNFCostEstimate to keep this header free of analysis types.
+
+  bool costCacheValid() const { return CostCacheValid; }
+  size_t cachedCostNodes() const { return CachedCostNodes; }
+  size_t cachedCostConjuncts() const { return CachedCostConjuncts; }
+  void cacheCost(size_t Nodes, size_t Conjuncts) const {
+    CachedCostNodes = Nodes;
+    CachedCostConjuncts = Conjuncts;
+    CostCacheValid = true;
+  }
+
 private:
+  void invalidateCostCache() { CostCacheValid = false; }
+
   IGoalId Root;
   std::deque<IdealGoal> Goals;
   std::deque<IdealCandidate> Candidates;
+  mutable size_t CachedCostNodes = 0;
+  mutable size_t CachedCostConjuncts = 0;
+  mutable bool CostCacheValid = false;
 };
 
 } // namespace argus

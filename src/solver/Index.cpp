@@ -1,0 +1,342 @@
+//===- solver/Index.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reachability argument, in full, because the correctness bar is
+// byte-identical trees with pruning on or off:
+//
+// Every trait predicate the solver ever *enumerates impls for* is a
+// substitution instance of declared material — a program goal, a goal
+// environment assumption's elaboration, an impl or trait where-clause
+// instantiated by candidate assembly, an associated-type bound whose
+// subject is an impl binding instance, or the trait bound a NormalizesTo
+// node derives from a projection type node. Substitution maps Param
+// leaves and never rewrites an interior constructor, so two facts about
+// the declared predicate survive into every instance:
+//
+//  - the (trait, argument-count) pair is fixed, and
+//  - a rigid root constructor of the subject (Adt, Ref, Tuple, FnPtr,
+//    FnDef, Unit, Error) is fixed; only Param / Infer / Projection roots
+//    can become arbitrary types at solve time.
+//
+// So if no declared predicate (or projection node) mentions an impl's
+// (trait, arity) pair at all, no goal ever walks that impl's slice at a
+// matching arity — and a goal at a *different* arity that does walk it
+// fails unifyTraitHead's argument-count check, which leaves no trace in
+// the forest. Likewise, if every reachable subject root for the pair is
+// rigid and none equals the impl's head key, head unification fails at
+// the root compare — again traceless. Removing such an impl from the
+// prebuilt slices therefore changes no proof tree, only the work done.
+//
+// Anything uncertain collapses to "top" (every head reachable), which is
+// why blanket impls, impls reachable only under environment assumptions,
+// and overlapping-but-distinct concrete impls are never pruned.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Index.h"
+
+#include "solver/InferContext.h"
+#include "tlang/Printer.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace argus;
+
+namespace {
+
+/// The reachable self-type head set of one (trait, arity) pair.
+struct HeadSet {
+  bool Top = false; ///< Some reachable subject root is non-rigid.
+  std::unordered_set<ImplHeadKey, ImplHeadKeyHasher> Heads;
+};
+
+/// (trait symbol, arity) packed for map keying.
+uint64_t pairKey(Symbol Trait, size_t Arity) {
+  return (static_cast<uint64_t>(Trait.value()) << 32) |
+         static_cast<uint32_t>(Arity);
+}
+
+/// Build staging pooled in the Session scratch (SlotIndexBuild): the
+/// reachability tables' bucket capacity survives across EditSession
+/// revisions, where the index is rebuilt per Program.
+struct IndexBuildScratch {
+  std::unordered_map<uint64_t, HeadSet> Pairs;
+  std::vector<uint32_t> InferVars;
+
+  void clear() {
+    Pairs.clear();
+    InferVars.clear();
+  }
+};
+
+class ReachAnalysis {
+public:
+  ReachAnalysis(const Program &Prog, IndexBuildScratch &Scr)
+      : Prog(Prog), Arena(Prog.session().types()), Pairs(Scr.Pairs) {}
+
+  /// Collects every declared predicate and projection node. The walk is
+  /// linear in the size of the declarations.
+  void run() {
+    for (const GoalDecl &Goal : Prog.goals()) {
+      addPredicate(Goal.Pred);
+      for (const Predicate &Env : Goal.Env)
+        addPredicate(Env);
+    }
+    for (const TraitDecl &Trait : Prog.traits()) {
+      for (const Predicate &Where : Trait.WhereClauses)
+        addPredicate(Where);
+      // Associated-type bound obligations have their subject replaced by
+      // an impl binding instance at assembly time; the binding types are
+      // walked below, and the bound itself contributes its pair with an
+      // unconstrained (top) head.
+      for (const AssocTypeDecl &Assoc : Trait.AssocTypes)
+        for (const Predicate &Bound : Assoc.Bounds)
+          addPredicateTopSubject(Bound);
+    }
+    for (const ImplDecl &Impl : Prog.impls()) {
+      for (const Predicate &Where : Impl.WhereClauses)
+        addPredicate(Where);
+      walkType(Impl.SelfTy);
+      for (TypeId Arg : Impl.TraitArgs)
+        walkType(Arg);
+      for (const auto &[Name, Ty] : Impl.Bindings)
+        walkType(Ty);
+    }
+    for (const FnDecl &Fn : Prog.fns()) {
+      for (TypeId Param : Fn.Params)
+        walkType(Param);
+      walkType(Fn.Ret);
+    }
+  }
+
+  /// Null when the pair is never queried; otherwise its head set.
+  const HeadSet *lookup(Symbol Trait, size_t Arity) const {
+    auto It = Pairs.find(pairKey(Trait, Arity));
+    return It == Pairs.end() ? nullptr : &It->second;
+  }
+
+private:
+  HeadSet &pairOf(Symbol Trait, size_t Arity) {
+    return Pairs[pairKey(Trait, Arity)];
+  }
+
+  /// Contributes \p Subject's root to the pair's head set. Param and
+  /// Infer roots instantiate to anything; a Projection root may be
+  /// rewritten by normalization into whatever an impl binds. All three
+  /// collapse to top.
+  void contributeSubject(HeadSet &Set, TypeId Subject) {
+    if (Set.Top)
+      return;
+    const Type &Root = Arena.get(Subject);
+    if (Root.Kind == TypeKind::Param || Root.Kind == TypeKind::Infer ||
+        Root.Kind == TypeKind::Projection) {
+      Set.Top = true;
+      return;
+    }
+    if (std::optional<ImplHeadKey> Key = Program::headKeyOf(Arena, Subject))
+      Set.Heads.insert(*Key);
+    else
+      Set.Top = true;
+  }
+
+  void addPredicate(const Predicate &P) {
+    if (P.Kind == PredicateKind::Trait && P.Trait.isValid())
+      contributeSubject(pairOf(P.Trait, P.Args.size()), P.Subject);
+    walkPredicateTypes(P);
+  }
+
+  void addPredicateTopSubject(const Predicate &P) {
+    if (P.Kind == PredicateKind::Trait && P.Trait.isValid())
+      pairOf(P.Trait, P.Args.size()).Top = true;
+    walkPredicateTypes(P);
+  }
+
+  void walkPredicateTypes(const Predicate &P) {
+    if (P.Subject.isValid())
+      walkType(P.Subject);
+    for (TypeId Arg : P.Args)
+      walkType(Arg);
+    if (P.Rhs.isValid())
+      walkType(P.Rhs);
+  }
+
+  /// Every projection node tau = <T as Trait<Args>>::Assoc reachable in a
+  /// declared type can become a NormalizesTo goal, which poses the trait
+  /// bound `T: Trait<Args>` (see Solver::evalNormalizesTo). Substitution
+  /// preserves the node, so the declared self argument's root analysis
+  /// covers every instance.
+  void walkType(TypeId T) {
+    if (!T.isValid())
+      return;
+    const Type &Node = Arena.get(T);
+    if (Node.Kind == TypeKind::Projection && Node.TraitName.isValid() &&
+        !Node.Args.empty())
+      contributeSubject(pairOf(Node.TraitName, Node.Args.size() - 1),
+                        Node.Args[0]);
+    for (TypeId Arg : Node.Args)
+      walkType(Arg);
+  }
+
+  const Program &Prog;
+  const TypeArena &Arena;
+  std::unordered_map<uint64_t, HeadSet> &Pairs;
+};
+
+/// True if the impl's declared self root can match any head (the addImpl
+/// wildcard condition): a root inference variable, or a root generic
+/// parameter of the impl.
+bool isWildcardImpl(const Program &Prog, const ImplDecl &Decl) {
+  const Type &Root = Prog.session().types().get(Decl.SelfTy);
+  if (Root.Kind == TypeKind::Infer)
+    return true;
+  if (Root.Kind != TypeKind::Param)
+    return false;
+  for (Symbol Generic : Decl.Generics)
+    if (Generic == Root.Name)
+      return true;
+  return false;
+}
+
+/// 1 + the largest inference-variable index appearing in any impl head,
+/// so the shadow-detection InferContext can bind declared Infer nodes.
+uint32_t firstFreshVarOf(const Program &Prog, IndexBuildScratch &Scr) {
+  const TypeArena &Arena = Prog.session().types();
+  uint32_t First = 0;
+  Scr.InferVars.clear();
+  for (const ImplDecl &Impl : Prog.impls()) {
+    Arena.collectInferVars(Impl.SelfTy, Scr.InferVars);
+    for (TypeId Arg : Impl.TraitArgs)
+      Arena.collectInferVars(Arg, Scr.InferVars);
+  }
+  for (uint32_t Var : Scr.InferVars)
+    First = std::max(First, Var + 1);
+  return First;
+}
+
+/// Does \p General's head, with its generics instantiated fresh, match
+/// \p Specific's head one-sidedly (Specific kept rigid)? This is "at
+/// least as general as" under the solver's selection rules: every goal
+/// head Specific can unify with, General can too.
+bool headGeneralizes(const Program &Prog, InferContext &Infcx,
+                     const ImplDecl &General, const ImplDecl &Specific) {
+  if (General.TraitArgs.size() != Specific.TraitArgs.size())
+    return false;
+  TypeArena &Arena = Prog.session().types();
+  InferContext::Snapshot Snap = Infcx.snapshot();
+  ParamSubst Subst;
+  for (Symbol Generic : General.Generics)
+    Subst.emplace(Generic, Infcx.freshVar());
+  bool Matches =
+      Infcx.matchOneSided(Arena.substitute(General.SelfTy, Subst),
+                          Specific.SelfTy);
+  for (size_t I = 0; Matches && I != General.TraitArgs.size(); ++I)
+    Matches = Infcx.matchOneSided(
+        Arena.substitute(General.TraitArgs[I], Subst),
+        Specific.TraitArgs[I]);
+  Infcx.rollbackTo(Snap);
+  return Matches;
+}
+
+} // namespace
+
+SolverIndexStats argus::buildSolverIndex(Program &Prog,
+                                         const SolverIndexOptions &Opts) {
+  SolverIndexStats Stats;
+  ExecutionBudget *Budget = Opts.Budget;
+
+  ScratchBorrow<IndexBuildScratch> Borrow;
+  Borrow.acquire(Prog.session().scratch(), SolveScratch::SlotIndexBuild,
+                 tagOfUid(Prog.uid()), nullptr);
+  IndexBuildScratch &Scr = *Borrow.get();
+  Scr.clear(); // Staging only; the borrow reuses capacity, not contents.
+
+  Prog.beginSolverIndex(Opts.EnableSubsumption);
+
+  size_t Notes = 0;
+  auto Note = [&](std::string Text) {
+    if (Notes++ < Opts.MaxTraceNotes)
+      Prog.addIndexNote(std::move(Text));
+  };
+
+  if (Opts.EnableSubsumption) {
+    TypePrinter Printer(Prog);
+    ReachAnalysis Reach(Prog, Scr);
+    Reach.run();
+
+    // Inprocessing part 1: prune impls no reachable goal shape can ever
+    // assemble.
+    for (const ImplDecl &Impl : Prog.impls()) {
+      if (Budget && Budget->tick()) {
+        Prog.discardSolverIndex();
+        return Stats;
+      }
+      if (!Impl.Trait.isValid())
+        continue;
+      const HeadSet *Set = Reach.lookup(Impl.Trait, Impl.TraitArgs.size());
+      if (!Set) {
+        Prog.markSubsumed(Impl.Id);
+        Note("subsumed: " + Printer.printImplHeader(Impl) +
+             " (no reachable goal mentions this trait shape)");
+        continue;
+      }
+      if (Set->Top || isWildcardImpl(Prog, Impl))
+        continue;
+      std::optional<ImplHeadKey> Head =
+          Program::headKeyOf(Prog.session().types(), Impl.SelfTy);
+      if (Head && !Set->Heads.count(*Head)) {
+        Prog.markSubsumed(Impl.Id);
+        Note("subsumed: " + Printer.printImplHeader(Impl) +
+             " (no reachable goal's self type has this head)");
+      }
+    }
+
+    // Inprocessing part 2: surface head-generalization pairs. A blanket
+    // (or otherwise more general) impl shadowing a concrete one is a
+    // selection fact, not a pruning opportunity — both stay candidates,
+    // and a goal both match reports ambiguity — so these are trace notes
+    // only.
+    InferContext Infcx(Prog.session().types(), firstFreshVarOf(Prog, Scr));
+    for (const TraitDecl &Trait : Prog.traits()) {
+      const std::vector<ImplId> &Impls = Prog.implsOf(Trait.Name);
+      for (ImplId GeneralId : Impls) {
+        const ImplDecl &General = Prog.impl(GeneralId);
+        if (General.Generics.empty() &&
+            !Prog.session().types().hasParams(General.SelfTy))
+          continue; // A fully concrete head generalizes nothing but itself.
+        for (ImplId SpecificId : Impls) {
+          if (GeneralId == SpecificId)
+            continue;
+          if (Budget && Budget->tick()) {
+            Prog.discardSolverIndex();
+            return Stats;
+          }
+          const ImplDecl &Specific = Prog.impl(SpecificId);
+          if (headGeneralizes(Prog, Infcx, General, Specific) &&
+              !headGeneralizes(Prog, Infcx, Specific, General)) {
+            ++Stats.ShadowedPairs;
+            Note("shadowed: " + Printer.printImplHeader(Specific) +
+                 " is strictly less general than " +
+                 Printer.printImplHeader(General) +
+                 " (kept: both remain candidates)");
+          }
+        }
+      }
+    }
+  }
+
+  if (Budget && Budget->stopped()) {
+    Prog.discardSolverIndex();
+    return Stats;
+  }
+
+  Prog.finishSolverIndex();
+  Stats.Completed = true;
+  Stats.ImplsSubsumed = Prog.subsumedImpls().size();
+  return Stats;
+}

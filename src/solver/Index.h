@@ -1,0 +1,80 @@
+//===- solver/Index.h - Coherence-time candidate index builder -*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the Program-owned prebuilt candidate index (the solver-core
+/// analogue of a SAT solver's watch lists plus inprocessing). The build
+/// runs once per Program at coherence time and has two parts:
+///
+///  1. *Materialization*: every declared (trait, head-constructor) bucket
+///     slice is computed up front with eager fingerprints and exact-match
+///     plans, so goal evaluation walks exactly the impls that can unify
+///     with its self type without ever touching the lazy slice memo.
+///
+///  2. *Subsumption* (inprocessing, `--no-subsume` to disable): a
+///     reachability analysis over the program's declared goal shapes
+///     proves that some impls can never assemble a candidate for any goal
+///     the program can pose — their (trait, arity) pair is never queried,
+///     or no reachable goal's self type root can equal their head. Those
+///     impls are pruned from every bucket before solving starts. Pruning
+///     is selection-invariant by construction: an impl that never
+///     assembles leaves no trace in the proof forest, so trees are
+///     byte-identical with pruning on or off. Impl pairs where one head
+///     strictly generalizes another (a blanket shadowing a concrete impl)
+///     are *detected* and surfaced as trace notes, but never pruned while
+///     reachable — removing them would change candidate selection.
+///
+/// Contract: the subsumption proof quantifies over the Program's declared
+/// goals and environments. Callers that feed ad-hoc predicates to
+/// Solver::solveOne must do so against a Program without an installed
+/// index (engine::Session only installs for whole-program solves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_INDEX_H
+#define ARGUS_SOLVER_INDEX_H
+
+#include "support/Governance.h"
+#include "tlang/Program.h"
+
+#include <cstdint>
+
+namespace argus {
+
+struct SolverIndexOptions {
+  /// Run the inprocessing pass (reachability pruning + shadowed-pair
+  /// detection). Off = materialization only; slices keep every impl.
+  bool EnableSubsumption = true;
+
+  /// Cooperative budget, polled per impl and per head-comparison pair. A
+  /// stop mid-build discards the partial index (the caller falls back to
+  /// the lazy slice path); it never installs a partially-pruned index.
+  ExecutionBudget *Budget = nullptr;
+
+  /// Cap on recorded trace notes; decisions past the cap still apply but
+  /// are only counted.
+  size_t MaxTraceNotes = 64;
+};
+
+struct SolverIndexStats {
+  /// False when the budget stopped the build; nothing was installed.
+  bool Completed = false;
+  uint64_t ImplsSubsumed = 0;
+  /// Reachable impl pairs where one head strictly generalizes the other
+  /// (detected, surfaced in notes, never pruned).
+  uint64_t ShadowedPairs = 0;
+};
+
+/// Analyses \p Prog and installs its prebuilt index (Program::
+/// hasSolverIndex). Safe to call again after edits; each call rebuilds
+/// from the current declarations.
+SolverIndexStats
+buildSolverIndex(Program &Prog,
+                 const SolverIndexOptions &Opts = SolverIndexOptions());
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_INDEX_H

@@ -123,6 +123,62 @@ bool InferContext::unify(TypeId A, TypeId B) {
   return true;
 }
 
+bool InferContext::matchOneSided(TypeId Pattern, TypeId Target) {
+  Pattern = shallowResolve(Pattern);
+  Target = shallowResolve(Target);
+  if (Pattern == Target)
+    return true;
+
+  const Type &NodeP = Arena->get(Pattern);
+  const Type &NodeT = Arena->get(Target);
+
+  if (NodeP.Kind == TypeKind::Infer) {
+    if (Arena->occurs(resolve(Target), NodeP.InferIndex))
+      return false;
+    bind(NodeP.InferIndex, Target);
+    return true;
+  }
+  // The asymmetry: a target-side variable is not ours to bind.
+  if (NodeT.Kind == TypeKind::Infer)
+    return false;
+
+  if (NodeP.Kind != NodeT.Kind)
+    return false;
+
+  switch (NodeP.Kind) {
+  case TypeKind::Unit:
+  case TypeKind::Error:
+    return true;
+  case TypeKind::Param:
+    return NodeP.Name == NodeT.Name;
+  case TypeKind::Ref:
+    if (NodeP.Mutable != NodeT.Mutable)
+      return false;
+    return matchOneSided(NodeP.Args[0], NodeT.Args[0]);
+  case TypeKind::Adt:
+  case TypeKind::FnDef:
+    if (NodeP.Name != NodeT.Name)
+      return false;
+    break;
+  case TypeKind::Projection:
+    if (NodeP.Name != NodeT.Name || NodeP.TraitName != NodeT.TraitName)
+      return false;
+    break;
+  case TypeKind::Tuple:
+  case TypeKind::FnPtr:
+    break;
+  case TypeKind::Infer:
+    return false; // Unreachable: handled above.
+  }
+
+  if (NodeP.Args.size() != NodeT.Args.size())
+    return false;
+  for (size_t I = 0; I != NodeP.Args.size(); ++I)
+    if (!matchOneSided(NodeP.Args[I], NodeT.Args[I]))
+      return false;
+  return true;
+}
+
 size_t InferContext::countUnresolved(TypeId T) const {
   std::vector<uint32_t> Vars;
   Arena->collectInferVars(resolve(T), Vars);

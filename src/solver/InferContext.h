@@ -60,6 +60,17 @@ public:
   /// callers should snapshot/rollback around speculative unification.
   bool unify(TypeId A, TypeId B);
 
+  /// One-sided structural match: true if \p Pattern can be made equal to
+  /// \p Target by binding inference variables occurring in \p Pattern
+  /// only — an unbound variable on the target side is a mismatch, not a
+  /// binding site. This is the "impl head A is at least as general as
+  /// impl head B" test the coherence-time index builder uses (instantiate
+  /// A's generics with fresh variables, keep B rigid): direction matters,
+  /// where plain unify() would also report overlap. Bindings remain on
+  /// the trail on failure, exactly like unify(); snapshot/rollback around
+  /// speculative matches.
+  bool matchOneSided(TypeId Pattern, TypeId Target);
+
   /// Number of unbound inference variables occurring in \p T (after
   /// resolution), counting duplicates once.
   size_t countUnresolved(TypeId T) const;

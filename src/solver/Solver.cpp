@@ -93,6 +93,7 @@ struct Solver::Impl {
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
   uint64_t NumCandidatesFiltered = 0;
+  uint64_t NumIndexBucketHits = 0;
   uint64_t NumExactPrunes = 0;
   uint64_t NumCacheAdmissionSkips = 0;
   uint64_t NumSolverSteps = 0;
@@ -204,7 +205,8 @@ struct Solver::Impl {
       CacheSyms.emplace(this->Opts.Cache->symbols(), S.interner());
       CacheFlagsFp = (this->Opts.EmitWellFormedGoals ? 1u : 0u) |
                      (this->Opts.EnableCandidateIndex ? 2u : 0u) |
-                     (this->Opts.EnableMemoization ? 4u : 0u);
+                     (this->Opts.EnableMemoization ? 4u : 0u) |
+                     (this->Opts.EnableSubsumption ? 8u : 0u);
       // Decoding a spliced subtree interns builtin names the consumer
       // may not have touched yet; pre-interning them in a fixed order
       // keeps the intern table on the layout a cold run would build, so
@@ -953,9 +955,19 @@ EvalResult Solver::Impl::evalTraitGoal(GoalNodeId NodeId, Predicate Pred,
     if (Opts.EnableCandidateIndex)
       Head = Program::headKeyOf(arena(), Infcx.shallowResolve(Pred.Subject));
     const Program::ImplSlice &Slice = Prog.implSlice(Pred.Trait, Head);
-    if (Opts.EnableCandidateIndex)
-      NumCandidatesFiltered +=
-          Prog.implsOf(Pred.Trait).size() - Slice.Seq.size();
+    if (Opts.EnableCandidateIndex) {
+      // With a prebuilt index installed the bucket was assembled before
+      // solving started: the enumeration is a bucket hit, and no live
+      // filtering happens. candidates_filtered counts only the lazy
+      // path's scan-and-filter work (index disabled, or no index
+      // installed — e.g. a budget stop degraded the coherence-time
+      // build), which is why it reads ~0 on indexed workloads.
+      if (Prog.hasSolverIndex())
+        ++NumIndexBucketHits;
+      else
+        NumCandidatesFiltered +=
+            Prog.implsOf(Pred.Trait).size() - Slice.Seq.size();
+    }
     // The walked slice is a dependency of the recording frame even when
     // this evaluation is a quiet probe: its outcome shapes visible work.
     // (The level-1 slice stays the dependency unit under the exact
@@ -1051,12 +1063,17 @@ EvalResult Solver::Impl::evalImplSubgoals(CandNodeId CandId,
   EvalResult Result = EvalResult::Yes;
   // Duplicate obligations (e.g. an impl where-clause repeating an
   // associated-type bound) are registered once, as in rustc's fulfillment
-  // context.
-  std::unordered_map<Predicate, bool, PredicateHasher> Registered(
-      16, PredicateHasher{&arena()});
+  // context. A candidate attempt registers a handful of obligations at
+  // most, so a linear scan beats the hash map this used to allocate on
+  // every attempt — this runs once per assembled candidate, squarely on
+  // the uncached hot path.
+  std::vector<Predicate> Registered;
   auto AddSubgoal = [&](const Predicate &P, Span Origin) {
-    if (!Registered.emplace(Infcx.resolve(P), true).second)
-      return;
+    Predicate Resolved = Infcx.resolve(P);
+    for (const Predicate &Seen : Registered)
+      if (Seen == Resolved)
+        return;
+    Registered.push_back(std::move(Resolved));
     GoalNodeId Sub = evalGoal(P, Depth + 1, Origin, nullptr);
     forest().candidate(CandId).SubGoals.push_back(Sub);
     forest().goal(Sub).ParentCandidate = CandId;
@@ -1505,21 +1522,29 @@ void Solver::Impl::spliceEntry(const GoalCache::Entry &E, GoalNodeId NodeId,
   // hits the work ceiling cannot absorb, so only a deadline poll or a
   // sticky cancel can trip here.
   NumEvaluations += E.TotalEvals - 1;
-  // candidates_filtered is recomputed consumer-side: recorded
-  // enumeration counts times this program's own slice arithmetic
-  // (impls of the trait minus the slice the dependency check just
-  // proved byte-identical). Warm and cold runs therefore report
-  // exactly the same value — no recorder-side total is replayed.
-  if (Opts.EnableCandidateIndex)
+  // Enumeration counters are recomputed consumer-side from the recorded
+  // enumeration counts, under the *consumer's* configuration: with a
+  // prebuilt index installed each enumeration is a bucket hit; without
+  // one it is lazy scan-and-filter work (impls of the trait minus the
+  // slice the dependency check just proved byte-identical). Warm and
+  // cold runs of the same configuration therefore report exactly the
+  // same values — no recorder-side total is replayed.
+  if (Opts.EnableCandidateIndex) {
+    bool Indexed = Prog.hasSolverIndex();
     for (size_t U = 0; U != E.Deps.size(); ++U) {
       uint32_t N =
           U < E.SliceEnumCounts.size() ? E.SliceEnumCounts[U] : 0;
       if (N == 0 || !DC.Slices[U])
         continue;
+      if (Indexed) {
+        NumIndexBucketHits += N;
+        continue;
+      }
       size_t All = Prog.implsOf(CacheSyms->peek(E.Deps[U].Trait)).size();
       NumCandidatesFiltered +=
           static_cast<uint64_t>(N) * (All - DC.Slices[U]->Seq.size());
     }
+  }
   if (Opts.Budget && !BudgetStopped && E.TotalEvals > 1 &&
       Opts.Budget->tick(E.TotalEvals - 1))
     BudgetStopped = true;
@@ -1763,6 +1788,7 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.NumIndexBucketHits = P->NumIndexBucketHits;
   Out.NumExactPrunes = P->NumExactPrunes;
   Out.NumCacheAdmissionSkips = P->NumCacheAdmissionSkips;
   Out.NumSolverSteps = P->NumSolverSteps;
@@ -1847,6 +1873,7 @@ SolveOutcome Solver::solve() {
   Out.NumEvaluations = P->NumEvaluations;
   Out.NumMemoHits = P->NumMemoHits;
   Out.NumCandidatesFiltered = P->NumCandidatesFiltered;
+  Out.NumIndexBucketHits = P->NumIndexBucketHits;
   Out.NumExactPrunes = P->NumExactPrunes;
   Out.NumCacheAdmissionSkips = P->NumCacheAdmissionSkips;
   Out.NumSolverSteps = P->NumSolverSteps;

@@ -89,6 +89,16 @@ struct SolverOptions {
   /// crossover on the evaluation corpus sits between 2 and 4 impls.
   size_t ExactIndexMinSlice = 4;
 
+  /// Run the coherence-time impl-subsumption pass when the prebuilt
+  /// index is built (inprocessing; see solver/Index.h): impls no
+  /// reachable goal shape can ever assemble are pruned from the index
+  /// buckets before solving starts. Tree-identical by construction —
+  /// pruned impls could never leave a trace in the forest. The Solver
+  /// itself only folds this flag into cache keys; the decision applies
+  /// where the index is built (engine::Session::coherence). `--no-subsume`
+  /// is the CLI escape hatch.
+  bool EnableSubsumption = true;
+
   /// Cooperative execution budget, polled once per goal evaluation.
   /// When it stops, in-flight goals report Overflow and the fixpoint
   /// loop exits with whatever snapshots exist (SolveOutcome::Interrupted
@@ -137,9 +147,17 @@ struct SolveOutcome {
   // Statistics.
   uint64_t NumEvaluations = 0;
   uint64_t NumMemoHits = 0;
-  /// Impl candidates skipped by the head-constructor index without being
-  /// instantiated.
+  /// Impl candidates skipped by the *lazy* head-constructor index path
+  /// without being instantiated. Counts live scan-and-filter work only:
+  /// with a prebuilt index installed (Program::hasSolverIndex) goals walk
+  /// preassembled buckets and this stays ~0 — NumIndexBucketHits counts
+  /// those enumerations instead.
   uint64_t NumCandidatesFiltered = 0;
+  /// Trait-goal enumerations served from a prebuilt index bucket
+  /// (coherence-time index; see solver/Index.h). Warm cache splices
+  /// replay the recorded enumeration counts so cached and uncached runs
+  /// of the same configuration report the same value.
+  uint64_t NumIndexBucketHits = 0;
   /// Impl candidates inside a matching head bucket skipped by the exact
   /// self-type level of the index (concrete impl self vs concrete goal
   /// self, region-erased). Counts live enumeration work only: a cache

@@ -159,7 +159,9 @@ public:
     SlotEnvCache = 1,   ///< per-Env encodings (tag: registry, program)
     SlotElabCache = 2,  ///< supertrait elaborations (tag: program)
     SlotDNF = 3,        ///< analysis-side DNF staging buffers
-    NumSlots = 4,
+    SlotIndexBuild = 4, ///< solver-index build staging (tag: none; cleared
+                        ///< per build, capacity reused across revisions)
+    NumSlots = 5,
   };
 
   Box &slot(SlotId Id) { return Slots[Id]; }

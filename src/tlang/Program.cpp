@@ -204,6 +204,21 @@ Program::implSlice(Symbol Trait,
   Key.HasHead = Head.has_value();
   if (Head)
     Key.Head = *Head;
+  if (Prebuilt && PrebuiltLive) {
+    // Prebuilt path: every declared bucket was materialized up front, so
+    // a miss means either an unseen head key (served by the trait's
+    // wildcard-only fallback — exactly what the lazy merge would build)
+    // or a trait with no impls at all (the shared empty slice).
+    auto Hit = Prebuilt->Slices.find(Key);
+    if (Hit != Prebuilt->Slices.end())
+      return Hit->second;
+    if (Head) {
+      auto Wild = Prebuilt->WildcardOnly.find(Key.Trait);
+      if (Wild != Prebuilt->WildcardOnly.end())
+        return Wild->second;
+    }
+    return InvalidTraitSlice;
+  }
   auto It = SliceMemo.find(Key);
   if (It != SliceMemo.end())
     return It->second;
@@ -244,6 +259,110 @@ const std::vector<TypeId> &Program::exactPlan(const ImplSlice &Slice) const {
   return Slice.ExactPlan;
 }
 
+//===----------------------------------------------------------------------===//
+// Prebuilt solver index
+//===----------------------------------------------------------------------===//
+
+const std::vector<ImplId> Program::NoSubsumed;
+const std::vector<std::string> Program::NoNotes;
+
+void Program::beginSolverIndex(bool SubsumptionEnabled) {
+  Prebuilt = std::make_unique<PrebuiltIndex>();
+  Prebuilt->Subsumption = SubsumptionEnabled;
+  Prebuilt->IsSubsumed.assign(Impls.size(), false);
+  PrebuiltLive = false;
+}
+
+void Program::markSubsumed(ImplId Id) {
+  assert(Prebuilt && "markSubsumed outside beginSolverIndex");
+  assert(Id.isValid() && Id.value() < Impls.size() && "bad ImplId");
+  if (Prebuilt->IsSubsumed[Id.value()])
+    return;
+  Prebuilt->IsSubsumed[Id.value()] = true;
+  Prebuilt->Subsumed.push_back(Id);
+}
+
+void Program::addIndexNote(std::string Note) {
+  assert(Prebuilt && "addIndexNote outside beginSolverIndex");
+  Prebuilt->Notes.push_back(std::move(Note));
+}
+
+void Program::finishSolverIndex() {
+  assert(Prebuilt && "finishSolverIndex outside beginSolverIndex");
+  if (PrebuiltLive)
+    return;
+  auto Keep = [&](ImplId Id) { return !Prebuilt->IsSubsumed[Id.value()]; };
+  auto Materialize = [&](const SliceMemoKey &Key, ImplSlice Slice) {
+    // Eager fingerprint and exact plan: prebuilt slices are shared by
+    // every solve over this Program, so the one-time cost replaces a
+    // first-goal lazy fill on each hot path they serve.
+    const ImplSlice &Stored =
+        Prebuilt->Slices.emplace(Key, std::move(Slice)).first->second;
+    (void)sliceFingerprint(Stored);
+    (void)exactPlan(Stored);
+  };
+  for (const auto &[Trait, ByTrait] : ImplsByTrait) {
+    SliceMemoKey Key;
+    Key.Trait = Trait.value();
+
+    // The trait's full enumeration order, minus subsumed impls.
+    ImplSlice Full;
+    for (ImplId Id : ByTrait)
+      if (Keep(Id))
+        Full.Seq.push_back(Id);
+    Key.HasHead = false;
+    Materialize(Key, std::move(Full));
+
+    // One slice per declared head bucket: bucket merged with the
+    // trait's blanket impls in declaration order (the lazy merge,
+    // precomputed), minus subsumed impls.
+    auto IndexIt = ImplIndex.find(Trait);
+    if (IndexIt == ImplIndex.end())
+      continue;
+    const TraitImplIndex &Index = IndexIt->second;
+    Key.HasHead = true;
+    for (const auto &[HeadKey, Bucket] : Index.ByHead) {
+      ImplSlice Merged;
+      size_t BI = 0, WI = 0;
+      const std::vector<ImplId> &Wild = Index.Wildcard;
+      while (BI != Bucket.size() || WI != Wild.size()) {
+        bool TakeBucket = WI == Wild.size() ||
+                          (BI != Bucket.size() && Bucket[BI] < Wild[WI]);
+        ImplId Next = TakeBucket ? Bucket[BI++] : Wild[WI++];
+        if (Keep(Next))
+          Merged.Seq.push_back(Next);
+      }
+      Key.Head = HeadKey;
+      Materialize(Key, std::move(Merged));
+    }
+
+    // Fallback for head keys with no declared bucket: wildcards only.
+    ImplSlice WildOnly;
+    for (ImplId Id : Index.Wildcard)
+      if (Keep(Id))
+        WildOnly.Seq.push_back(Id);
+    const ImplSlice &Stored =
+        Prebuilt->WildcardOnly.emplace(Key.Trait, std::move(WildOnly))
+            .first->second;
+    (void)sliceFingerprint(Stored);
+    (void)exactPlan(Stored);
+  }
+  PrebuiltLive = true;
+}
+
+void Program::discardSolverIndex() {
+  Prebuilt.reset();
+  PrebuiltLive = false;
+}
+
+const std::vector<ImplId> &Program::subsumedImpls() const {
+  return Prebuilt ? Prebuilt->Subsumed : NoSubsumed;
+}
+
+const std::vector<std::string> &Program::indexNotes() const {
+  return Prebuilt ? Prebuilt->Notes : NoNotes;
+}
+
 std::optional<ImplHeadKey> Program::headKeyOf(const TypeArena &Arena,
                                               TypeId Ty) {
   const Type &Node = Arena.get(Ty);
@@ -269,6 +388,7 @@ void Program::indexName(Symbol Name) {
 
 void Program::addTypeCtor(TypeCtorDecl Decl) {
   assert(!TypeCtorIndex.count(Decl.Name) && "duplicate type constructor");
+  discardSolverIndex();
   TypeCtorIndex.emplace(Decl.Name,
                         static_cast<uint32_t>(TypeCtors.size()));
   indexName(Decl.Name);
@@ -277,12 +397,17 @@ void Program::addTypeCtor(TypeCtorDecl Decl) {
 
 void Program::addTrait(TraitDecl Decl) {
   assert(!TraitIndex.count(Decl.Name) && "duplicate trait");
+  discardSolverIndex();
   TraitIndex.emplace(Decl.Name, static_cast<uint32_t>(Traits.size()));
   indexName(Decl.Name);
   Traits.push_back(std::move(Decl));
 }
 
 ImplId Program::addImpl(ImplDecl Decl) {
+  // Any declaration edit invalidates the prebuilt index: its slices are
+  // frozen copies and its subsumption decisions were proved against the
+  // goal shapes of the *previous* declaration set.
+  discardSolverIndex();
   ImplId Id(static_cast<uint32_t>(Impls.size()));
   Decl.Id = Id;
   ImplsByTrait[Decl.Trait].push_back(Id);
@@ -307,12 +432,18 @@ ImplId Program::addImpl(ImplDecl Decl) {
 
 void Program::addFn(FnDecl Decl) {
   assert(!FnIndex.count(Decl.Name) && "duplicate fn");
+  discardSolverIndex();
   FnIndex.emplace(Decl.Name, static_cast<uint32_t>(Fns.size()));
   indexName(Decl.Name);
   Fns.push_back(std::move(Decl));
 }
 
-void Program::addGoal(GoalDecl Goal) { Goals.push_back(std::move(Goal)); }
+void Program::addGoal(GoalDecl Goal) {
+  // Goals widen the reachable goal-shape universe, so they invalidate
+  // subsumption decisions just like impls do.
+  discardSolverIndex();
+  Goals.push_back(std::move(Goal));
+}
 
 void Program::addRootCause(Predicate Pred) {
   RootCauses.push_back(std::move(Pred));

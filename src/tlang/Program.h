@@ -21,7 +21,9 @@
 #include "tlang/Decl.h"
 #include "tlang/TypeArena.h"
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -167,6 +169,68 @@ public:
   /// match" is itself a checkable (negative) dependency.
   uint64_t sliceFingerprint(const ImplSlice &Slice) const;
 
+  // --- Prebuilt solver index (the tentpole). The solver layer analyses
+  // --- the program at coherence time (see solver/Index.h) and installs a
+  // --- whole-program candidate index here: every declared (trait, head)
+  // --- bucket slice materialized up front with eager fingerprints and
+  // --- exact plans, minus impls the subsumption pass proved unreachable.
+  // --- Once installed, implSlice() serves from it instead of the lazy
+  // --- SliceMemo; any later declaration edit invalidates it.
+
+  /// True once finishSolverIndex() has run (and no edit invalidated it).
+  bool hasSolverIndex() const { return Prebuilt != nullptr && PrebuiltLive; }
+
+  /// Starts an install, discarding any previous prebuilt state.
+  /// \p SubsumptionEnabled is recorded for introspection only; the
+  /// decisions themselves arrive via markSubsumed().
+  void beginSolverIndex(bool SubsumptionEnabled);
+
+  /// Excludes \p Id from every prebuilt slice. Only sound for impls that
+  /// can never assemble a candidate for any goal this program can pose
+  /// (the builder proves this; see solver/Index.cpp).
+  void markSubsumed(ImplId Id);
+
+  /// Appends a human-readable inprocessing decision (surfaced in --trace).
+  void addIndexNote(std::string Note);
+
+  /// Materializes every slice and flips implSlice() over to the prebuilt
+  /// path. Idempotent per beginSolverIndex().
+  void finishSolverIndex();
+
+  /// Drops a partial install (budget stop mid-build); implSlice() keeps
+  /// (or returns to) the lazy path.
+  void discardSolverIndex();
+
+  /// Impls excluded by markSubsumed(), in call order.
+  const std::vector<ImplId> &subsumedImpls() const;
+
+  /// Inprocessing notes recorded by addIndexNote(), in call order. Valid
+  /// whether or not the install completed.
+  const std::vector<std::string> &indexNotes() const;
+
+  /// RAII: hides an installed prebuilt index for a scope, so implSlice()
+  /// serves the lazy (unpruned) path. Ad-hoc predicates — anything not
+  /// derivable from the program's declared goals, like the suggestion
+  /// verifier's wrapper hypotheses — sit outside the reachability
+  /// closure the subsumption pass pruned against, so they must not see
+  /// the pruned buckets (see solver/Index.h). No-op when no index is
+  /// live. Programs are per-Session single-threaded objects, so the
+  /// mutable toggle is safe.
+  class SolverIndexSuspension {
+  public:
+    explicit SolverIndexSuspension(const Program &P)
+        : P(P), Was(P.PrebuiltLive) {
+      P.PrebuiltLive = false;
+    }
+    ~SolverIndexSuspension() { P.PrebuiltLive = Was; }
+    SolverIndexSuspension(const SolverIndexSuspension &) = delete;
+    SolverIndexSuspension &operator=(const SolverIndexSuspension &) = delete;
+
+  private:
+    const Program &P;
+    bool Was;
+  };
+
   /// Structural fingerprint of one impl: generics, trait, trait args,
   /// self type, where-clauses, associated-type bindings, locality, and
   /// source span, with every symbol hashed by text (stable across
@@ -261,6 +325,29 @@ private:
   mutable ImplSlice InvalidTraitSlice; ///< Shared by invalid-symbol queries.
   mutable std::vector<std::pair<uint64_t, bool>> ImplFpMemo;
   mutable std::unordered_map<uint32_t, uint64_t> TraitFpMemo;
+
+  /// Prebuilt index storage (see hasSolverIndex). Separate from SliceMemo
+  /// so a discarded install can never leak pruned slices into the lazy
+  /// path. PrebuiltLive gates serving: false between beginSolverIndex()
+  /// and finishSolverIndex(), and again after an invalidating edit.
+  struct PrebuiltIndex {
+    std::unordered_map<SliceMemoKey, ImplSlice, SliceMemoKeyHasher> Slices;
+    /// Per-trait fallback for head keys with no declared bucket: the
+    /// trait's wildcard impls only (what the lazy merge would produce).
+    std::unordered_map<uint32_t, ImplSlice> WildcardOnly;
+    std::vector<ImplId> Subsumed;
+    std::vector<bool> IsSubsumed; ///< Indexed by ImplId value.
+    std::vector<std::string> Notes;
+    bool Subsumption = false;
+  };
+  std::unique_ptr<PrebuiltIndex> Prebuilt;
+  /// Mutable so SolverIndexSuspension can hide the index through a const
+  /// Program reference for the scope of an ad-hoc solve.
+  mutable bool PrebuiltLive = false;
+
+  /// Shared empty-note/empty-impl results for accessors with no index.
+  static const std::vector<ImplId> NoSubsumed;
+  static const std::vector<std::string> NoNotes;
 };
 
 } // namespace argus

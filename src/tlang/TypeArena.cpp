@@ -134,6 +134,8 @@ TypeId TypeArena::projection(TypeId SelfTy, Symbol Trait,
 }
 
 TypeId TypeArena::substitute(TypeId T, const ParamSubst &Subst) {
+  if (Subst.empty())
+    return T; // Nothing can change; skip the walk (hot for 0-generic impls).
   const Type &Node = get(T);
   if (Node.Kind == TypeKind::Param) {
     auto It = Subst.find(Node.Name);

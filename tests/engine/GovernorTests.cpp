@@ -297,6 +297,50 @@ TEST(FaultMatrix, ExtractTruncationInjection) {
   EXPECT_GT(S.stats().TreeGoalsTruncated, 0u);
 }
 
+TEST(FaultMatrix, CoherenceDeadlineDegradesToUnindexedPath) {
+  // A deadline hit mid-coherence — while the candidate index is being
+  // built — must discard the partial index and degrade to the lazy scan
+  // path: a structured Coherence-stage failure plus byte-identical
+  // output, never a wrong (partially pruned) tree.
+  const CorpusEntry &Entry = firstCorpusEntry();
+
+  SessionOptions NoIndex;
+  NoIndex.Solver.EnableCandidateIndex = false;
+  engine::Session Unindexed(Entry.Id, Entry.Source, NoIndex);
+  std::string Expected = fullPipeline(Unindexed);
+
+  engine::Session S(Entry.Id, Entry.Source, injecting("coherence.deadline"));
+  EXPECT_EQ(fullPipeline(S), Expected);
+  EXPECT_TRUE(hasFailure(S.stats().Failures, FailureCode::DeadlineExceeded,
+                         Stage::Coherence));
+  // The discarded build leaves the solver on the lazy path: no prebuilt
+  // buckets served, no impls pruned.
+  EXPECT_EQ(S.stats().IndexBucketHits, 0u);
+  EXPECT_EQ(S.stats().ImplsSubsumed, 0u);
+  EXPECT_EQ(S.stats().exitCode(), 3);
+}
+
+TEST(FaultMatrix, CoherenceWorkCeilingDegradesToUnindexedPath) {
+  // Same contract through a real (uninjected) ceiling: one work unit is
+  // less than the index build's per-impl ticks, so the budget stops the
+  // build partway through rather than at stage entry.
+  const CorpusEntry &Entry = firstCorpusEntry();
+
+  SessionOptions NoIndex;
+  NoIndex.Solver.EnableCandidateIndex = false;
+  engine::Session Unindexed(Entry.Id, Entry.Source, NoIndex);
+  std::string Expected = fullPipeline(Unindexed);
+
+  SessionOptions Opts;
+  Opts.Limits.StageWorkCeiling[static_cast<size_t>(Stage::Coherence)] = 1;
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  EXPECT_EQ(fullPipeline(S), Expected);
+  EXPECT_TRUE(hasFailure(S.stats().Failures, FailureCode::WorkExceeded,
+                         Stage::Coherence));
+  EXPECT_EQ(S.stats().IndexBucketHits, 0u);
+  EXPECT_EQ(S.stats().ImplsSubsumed, 0u);
+}
+
 TEST(FaultMatrix, StageDeadlineInjection) {
   const CorpusEntry &Entry = firstCorpusEntry();
   engine::Session S(Entry.Id, Entry.Source, injecting("solve.deadline"));

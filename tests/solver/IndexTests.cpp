@@ -1,0 +1,259 @@
+//===- tests/solver/IndexTests.cpp ----------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge-case tests for the coherence-time candidate index and its
+/// subsumption inprocessing (solver/Index.cpp). The correctness bar is
+/// byte-identical proof trees with the index and pruning on or off, so
+/// every case that *keeps* an impl also proves that pruning it would
+/// have changed behavior, and every case that *prunes* one checks the
+/// trees byte for byte against the unindexed solve.
+///
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "solver/Index.h"
+#include "solver/Solver.h"
+#include "support/Governance.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace argus;
+
+namespace {
+
+/// Parses, optionally builds the prebuilt index, solves, and returns the
+/// pretty-printed JSON of every extracted tree concatenated. Used for the
+/// byte-identity assertions.
+std::string solveToJSON(const std::string &Source, bool Index, bool Subsume,
+                        SolverIndexStats *StatsOut = nullptr,
+                        std::vector<std::string> *NotesOut = nullptr) {
+  Session S;
+  Program Prog(S);
+  EXPECT_TRUE(parseSource(Prog, "index.tl", Source).Success) << Source;
+
+  SolverOptions Opts;
+  Opts.EnableCandidateIndex = Index;
+  Opts.EnableSubsumption = Subsume;
+  if (Index) {
+    SolverIndexOptions IOpts;
+    IOpts.EnableSubsumption = Subsume;
+    SolverIndexStats Built = buildSolverIndex(Prog, IOpts);
+    EXPECT_TRUE(Built.Completed) << Source;
+    EXPECT_TRUE(Prog.hasSolverIndex()) << Source;
+    if (StatsOut)
+      *StatsOut = Built;
+    if (NotesOut)
+      *NotesOut = Prog.indexNotes();
+  }
+
+  Solver Solve(Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(Prog, Tree, /*Pretty=*/true) + "\n";
+  return JSON;
+}
+
+/// Root result of the sole goal in \p Source under the given index
+/// configuration. Used by the keep-cases to pin the selection semantics
+/// the pruning must not disturb.
+EvalResult rootResult(const std::string &Source, bool Index, bool Subsume) {
+  Session S;
+  Program Prog(S);
+  EXPECT_TRUE(parseSource(Prog, "index.tl", Source).Success) << Source;
+  if (Index) {
+    SolverIndexOptions IOpts;
+    IOpts.EnableSubsumption = Subsume;
+    EXPECT_TRUE(buildSolverIndex(Prog, IOpts).Completed) << Source;
+  }
+  SolverOptions Opts;
+  Opts.EnableCandidateIndex = Index;
+  Opts.EnableSubsumption = Subsume;
+  Solver Solve(Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  EXPECT_EQ(Ex.Trees.size(), 1u) << Source;
+  if (Ex.Trees.empty())
+    return EvalResult::Overflow;
+  return Ex.Trees[0].root().Result;
+}
+
+bool anyNoteContains(const std::vector<std::string> &Notes,
+                     const std::string &Needle) {
+  for (const std::string &Note : Notes)
+    if (Note.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// An impl whose head no reachable goal can mention is pruned, and the
+/// trees stay byte-identical: head unification against it would have
+/// failed tracelessly anyway.
+TEST(SolverIndex, UnreachableHeadImplIsPrunedTreeIdentically) {
+  const std::string Source = "struct A;\n"
+                             "struct B;\n"
+                             "trait Show;\n"
+                             "impl Show for A;\n"
+                             "impl Show for B;\n"
+                             "goal A: Show;\n";
+  SolverIndexStats Stats;
+  std::vector<std::string> Notes;
+  std::string Indexed =
+      solveToJSON(Source, /*Index=*/true, /*Subsume=*/true, &Stats, &Notes);
+  EXPECT_EQ(Stats.ImplsSubsumed, 1u);
+  EXPECT_TRUE(anyNoteContains(
+      Notes, "no reachable goal's self type has this head"));
+
+  // Byte-identical against the fully lazy path and the unpruned index.
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/true, /*Subsume=*/false));
+}
+
+/// An impl of a trait no goal, where-clause, or projection ever queries
+/// is pruned by the (trait, arity)-pair rule.
+TEST(SolverIndex, UnqueriedTraitPairImplIsPruned) {
+  const std::string Source = "struct A;\n"
+                             "trait Show;\n"
+                             "trait Hidden;\n"
+                             "impl Show for A;\n"
+                             "impl Hidden for A;\n"
+                             "goal A: Show;\n";
+  SolverIndexStats Stats;
+  std::vector<std::string> Notes;
+  std::string Indexed =
+      solveToJSON(Source, /*Index=*/true, /*Subsume=*/true, &Stats, &Notes);
+  EXPECT_EQ(Stats.ImplsSubsumed, 1u);
+  EXPECT_TRUE(
+      anyNoteContains(Notes, "no reachable goal mentions this trait shape"));
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+}
+
+/// Overlapping-but-not-subsuming heads: a concrete impl and a generic
+/// impl that both match the goal. Neither may be pruned — both assemble,
+/// and the goal reports ambiguity. Pruning either would flip the result.
+TEST(SolverIndex, OverlappingHeadsBothKept) {
+  const std::string Source = "struct A;\n"
+                             "struct Wrap<T>;\n"
+                             "trait Show;\n"
+                             "impl Show for Wrap<A>;\n"
+                             "impl<T> Show for Wrap<T>;\n"
+                             "goal Wrap<A>: Show;\n";
+  SolverIndexStats Stats;
+  std::string Indexed =
+      solveToJSON(Source, /*Index=*/true, /*Subsume=*/true, &Stats);
+  EXPECT_EQ(Stats.ImplsSubsumed, 0u);
+
+  // Both candidates succeed, so the goal is ambiguous — with and without
+  // the index. A pruned impl would have made it an unambiguous Yes.
+  EXPECT_EQ(rootResult(Source, true, true), EvalResult::Maybe);
+  EXPECT_EQ(rootResult(Source, false, false), EvalResult::Maybe);
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+}
+
+/// A blanket impl strictly generalizing a concrete one is a selection
+/// fact, not a pruning opportunity: both stay candidates (the goal is
+/// ambiguous), and the pair is surfaced as a "shadowed" trace note.
+TEST(SolverIndex, BlanketShadowingConcreteKeptWithNote) {
+  const std::string Source = "struct A;\n"
+                             "trait Show;\n"
+                             "impl Show for A;\n"
+                             "impl<T> Show for T;\n"
+                             "goal A: Show;\n";
+  SolverIndexStats Stats;
+  std::vector<std::string> Notes;
+  std::string Indexed =
+      solveToJSON(Source, /*Index=*/true, /*Subsume=*/true, &Stats, &Notes);
+  EXPECT_EQ(Stats.ImplsSubsumed, 0u);
+  EXPECT_GE(Stats.ShadowedPairs, 1u);
+  EXPECT_TRUE(anyNoteContains(Notes, "shadowed:"));
+  EXPECT_TRUE(anyNoteContains(Notes, "kept: both remain candidates"));
+
+  EXPECT_EQ(rootResult(Source, true, true), EvalResult::Maybe);
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+}
+
+/// An impl reachable only because a goal *environment* poses its shape
+/// must not be pruned. The case is behavior-relevant, not just
+/// work-relevant: the environment assumption and the impl are two
+/// successful candidates, so the goal is ambiguous — pruning the impl
+/// would flip Maybe to Yes.
+TEST(SolverIndex, EnvironmentReachableImplKept) {
+  const std::string Source = "struct B;\n"
+                             "trait Show;\n"
+                             "impl Show for B;\n"
+                             "goal B: Show where B: Show;\n";
+  SolverIndexStats Stats;
+  std::string Indexed =
+      solveToJSON(Source, /*Index=*/true, /*Subsume=*/true, &Stats);
+  EXPECT_EQ(Stats.ImplsSubsumed, 0u);
+
+  EXPECT_EQ(rootResult(Source, true, true), EvalResult::Maybe);
+  EXPECT_EQ(rootResult(Source, false, false), EvalResult::Maybe);
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+}
+
+/// A budget stop mid-build discards the partial index: nothing is
+/// installed, the solver stays on the lazy path, and the output is
+/// byte-identical to a run that never attempted the index. Degrade must
+/// never mean "a differently pruned tree".
+TEST(SolverIndex, BudgetStopMidBuildDegradesToLazyPath) {
+  const std::string Source = "struct A;\n"
+                             "struct B;\n"
+                             "struct C;\n"
+                             "trait Show;\n"
+                             "impl Show for A;\n"
+                             "impl Show for B;\n"
+                             "impl Show for C;\n"
+                             "impl<T> Show for T;\n"
+                             "goal A: Show;\n";
+  Session S;
+  Program Prog(S);
+  ASSERT_TRUE(parseSource(Prog, "index.tl", Source).Success);
+
+  ExecutionBudget Budget;
+  Budget.armStage(/*DeadlineSeconds=*/0.0, /*WorkCeiling=*/1);
+  SolverIndexOptions IOpts;
+  IOpts.Budget = &Budget;
+  SolverIndexStats Built = buildSolverIndex(Prog, IOpts);
+  EXPECT_FALSE(Built.Completed);
+  EXPECT_FALSE(Prog.hasSolverIndex());
+  EXPECT_TRUE(Budget.stopped());
+  EXPECT_EQ(Budget.stageReason(), StopReason::WorkExceeded);
+
+  // The degraded Program solves on the lazy path; its trees match a run
+  // that never tried to build an index.
+  Solver Solve(Prog);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(Prog, Tree, /*Pretty=*/true) + "\n";
+  EXPECT_EQ(JSON, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+}
+
+/// A completed subsumption-off build materializes every slice unpruned:
+/// same bytes, zero impls subsumed, no notes.
+TEST(SolverIndex, SubsumptionOffMaterializesUnpruned) {
+  const std::string Source = "struct A;\n"
+                             "struct B;\n"
+                             "trait Show;\n"
+                             "impl Show for A;\n"
+                             "impl Show for B;\n"
+                             "goal A: Show;\n";
+  SolverIndexStats Stats;
+  std::vector<std::string> Notes;
+  std::string Indexed =
+      solveToJSON(Source, /*Index=*/true, /*Subsume=*/false, &Stats, &Notes);
+  EXPECT_EQ(Stats.ImplsSubsumed, 0u);
+  EXPECT_TRUE(Notes.empty());
+  EXPECT_EQ(Indexed, solveToJSON(Source, /*Index=*/false, /*Subsume=*/false));
+}
+
+} // namespace

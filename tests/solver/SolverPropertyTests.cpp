@@ -16,6 +16,7 @@
 #include "extract/Extract.h"
 #include "extract/TreeJSON.h"
 #include "solver/GoalCache.h"
+#include "solver/Index.h"
 #include "solver/Solver.h"
 #include "tlang/Parser.h"
 
@@ -217,6 +218,35 @@ std::string treesAsJSON(const std::string &Source, GoalCache *Cache) {
   return JSON;
 }
 
+/// One cell of the (shared cache x candidate index x subsumption)
+/// matrix: like treesAsJSON, but with the prebuilt solver index
+/// optionally built and installed (coherence-time, as the engine does)
+/// before solving.
+std::string treesAsJSONCell(const std::string &Source, GoalCache *Cache,
+                            bool Index, bool Subsume) {
+  Session S;
+  Program Prog(S);
+  EXPECT_TRUE(parseSource(Prog, "fuzz.tl", Source).Success) << Source;
+  SolverOptions Opts;
+  Opts.Cache = Cache;
+  Opts.EnableCandidateIndex = Index;
+  Opts.EnableSubsumption = Subsume;
+  if (Index) {
+    SolverIndexOptions IOpts;
+    IOpts.EnableSubsumption = Subsume;
+    SolverIndexStats Built = buildSolverIndex(Prog, IOpts);
+    EXPECT_TRUE(Built.Completed) << Source;
+    EXPECT_TRUE(Prog.hasSolverIndex()) << Source;
+  }
+  Solver Solve(Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(Prog, Tree, /*Pretty=*/true) + "\n";
+  return JSON;
+}
+
 } // namespace
 
 TEST_P(CachePropertyTest, CachedSolvingMatchesUncached) {
@@ -273,6 +303,34 @@ TEST_P(CachePropertyTest, EditedProgramsMatchColdSolveByteForByte) {
   EXPECT_EQ(ColdJSON, treesAsJSON(Edited, &Shared))
       << "original:\n" << Source << "edited:\n" << Edited;
   EXPECT_EQ(ColdJSON, treesAsJSON(Edited, &Shared)) << "warm replay";
+}
+
+TEST_P(CachePropertyTest, EditedProgramsByteIdenticalAcrossIndexMatrix) {
+  // The shared-cache single-impl-edit harness crossed with the prebuilt
+  // candidate index and the subsumption pass: every cell — cache
+  // populated by the original program, then consulted by its edited
+  // twin — must reproduce the cold unindexed bytes. This is where a
+  // selection-variant prune or a stale pruned-slice fingerprint would
+  // surface: the edit can make a previously subsumed impl reachable
+  // (or vice versa), and the dependency check must then force a cold
+  // re-solve rather than replay the stale subtree.
+  std::string Source = randomProgram(GetParam());
+  std::string Edited = editProgram(Source, GetParam());
+  std::string Baseline = treesAsJSONCell(Edited, nullptr,
+                                         /*Index=*/false, /*Subsume=*/false);
+
+  struct Cell {
+    bool Index;
+    bool Subsume;
+  } Cells[] = {{false, false}, {true, false}, {true, true}};
+  for (const Cell &C : Cells) {
+    GoalCache Shared;
+    (void)treesAsJSONCell(Source, &Shared, C.Index, C.Subsume);
+    EXPECT_EQ(Baseline,
+              treesAsJSONCell(Edited, &Shared, C.Index, C.Subsume))
+        << "index=" << C.Index << " subsume=" << C.Subsume
+        << "\noriginal:\n" << Source << "edited:\n" << Edited;
+  }
 }
 
 TEST(CacheEditAdversarial, AddedImplFlipsPreviouslyFailingGoal) {

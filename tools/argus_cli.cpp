@@ -42,6 +42,11 @@
 ///   --cache-shards <n>  lock stripes in the goal cache (default 16)
 ///   --cache-cap <n>     max cached entries before eviction (default
 ///                       65536)
+///   --no-index       disable the prebuilt candidate index (and with it
+///                    the subsumption pass); the solver scans and
+///                    filters impls lazily. Output is identical.
+///   --no-subsume     keep the prebuilt index but skip the coherence-time
+///                    impl-subsumption pass. Output is identical.
 ///   --dnf-kernel <k> DNF normalization kernel: auto (default; the cost
 ///                    model picks per tree), bitset, or reference;
 ///                    --dnf-kernel=<k> also accepted. Output is
@@ -110,6 +115,8 @@ struct Options {
   bool ShowInternal = false;
   bool CheckOnly = false;
   bool Stats = false;
+  bool NoIndex = false;
+  bool NoSubsume = false;
 };
 
 int usage() {
@@ -123,6 +130,7 @@ int usage() {
           " [--inject-prob <p>]\n"
           "             [--cache off|session|shared] [--cache-shards <n>]"
           " [--cache-cap <n>]\n"
+          "             [--no-index] [--no-subsume]\n"
           "             [--dnf-kernel auto|bitset|reference]\n"
           "             [--version]\n"
           "       argus --batch <dir> [--jobs <n>] [--retry-overruns]"
@@ -261,6 +269,8 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
     Sum.CacheDepMisses += Stats->CacheDepMisses;
     Sum.ImplsInvalidated += Stats->ImplsInvalidated;
     Sum.CandidatesFiltered += Stats->CandidatesFiltered;
+    Sum.IndexBucketHits += Stats->IndexBucketHits;
+    Sum.ImplsSubsumed += Stats->ImplsSubsumed;
     Sum.DispatchExactPrunes += Stats->DispatchExactPrunes;
     Sum.DispatchCacheSkips += Stats->DispatchCacheSkips;
     Sum.DispatchReference += Stats->DispatchReference;
@@ -289,6 +299,7 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          " cache_cross_rev_hits=%llu cache_dep_misses=%llu"
          " impls_invalidated=%llu"
          " candidates_filtered=%llu"
+         " index_bucket_hits=%llu impls_subsumed=%llu"
          " dispatch_exact_prunes=%llu dispatch_cache_skips=%llu"
          " dispatch_reference=%llu dispatch_bitset=%llu"
          " dispatch_forced=%llu trees=%zu tree_goals=%zu"
@@ -308,6 +319,8 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          static_cast<unsigned long long>(Sum.CacheDepMisses),
          static_cast<unsigned long long>(Sum.ImplsInvalidated),
          static_cast<unsigned long long>(Sum.CandidatesFiltered),
+         static_cast<unsigned long long>(Sum.IndexBucketHits),
+         static_cast<unsigned long long>(Sum.ImplsSubsumed),
          static_cast<unsigned long long>(Sum.DispatchExactPrunes),
          static_cast<unsigned long long>(Sum.DispatchCacheSkips),
          static_cast<unsigned long long>(Sum.DispatchReference),
@@ -559,6 +572,10 @@ int main(int Argc, char **Argv) {
       Opts.Stats = true;
     else if (Arg == "--retry-overruns")
       Opts.RetryOverruns = true;
+    else if (Arg == "--no-index")
+      Opts.NoIndex = true;
+    else if (Arg == "--no-subsume")
+      Opts.NoSubsume = true;
     else if (Arg == "--deadline") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --deadline requires a seconds argument\n");
@@ -757,6 +774,8 @@ int main(int Argc, char **Argv) {
   }
 
   engine::SessionOptions SessOpts;
+  SessOpts.Solver.EnableCandidateIndex = !Opts.NoIndex;
+  SessOpts.Solver.EnableSubsumption = !Opts.NoSubsume;
   SessOpts.Extract.ShowInternal = Opts.ShowInternal;
   SessOpts.Analysis.Kernel = Opts.Kernel;
   SessOpts.Cache = Opts.Cache;

@@ -30,6 +30,14 @@
 #
 #   tools/check.sh --cache-diff-only <argus-binary> <programs-dir>
 #
+# The index differential gate diffs the CLI's --json stdout across the
+# prebuilt-candidate-index / subsumption matrix (default, --no-index,
+# --no-subsume, both) at 1 and 8 worker threads and requires the bytes
+# to be identical — the index and the inprocessing pass are pure
+# work-savers. Wired into CTest as cli_index_diff; standalone:
+#
+#   tools/check.sh --index-diff-only <argus-binary> <programs-dir>
+#
 # The edit differential gate replays a canned three-revision edit script
 # (break an example by deleting an impl, then revert) through
 # `argus --edit-script`, once against the incremental shared cache and
@@ -43,7 +51,9 @@
 # every corpus workload's features-on vs features-off speedup (exact
 # candidate index + Auto kernel dispatch + pooled scratch) must stay at
 # or above 1.0x with byte-identical output, alongside the bench's own
-# kernel-identity, cache >= 1.5x, and incremental >= 5x bars. These are
+# kernel-identity, cache >= 1.5x, incremental >= 5x, and solver-core
+# bars (prebuilt-index deep-chain >= 1.3x, zero live candidate
+# filtering on indexed solves, byte-identical trees). These are
 # wall-clock measurements, so the gate is opt-in: set CHECK_PERF_FLOORS=1
 # for the full gate, or run it standalone (wired into CTest as
 # bench_perf_floors under the "Perf" configuration):
@@ -111,6 +121,34 @@ cache_diff() {
   done
   echo "cache differential: OK (off == session == shared, jobs 1 == 8," \
     "plain/inject/deadline, over $programs_dir)"
+}
+
+index_diff() {
+  argus_bin="$1"
+  programs_dir="$2"
+  index_base="${TMPDIR:-/tmp}/argus_index_base_$$.json"
+  index_got="${TMPDIR:-/tmp}/argus_index_got_$$.json"
+  trap 'rm -f "$index_base" "$index_got"' EXIT
+
+  # The prebuilt candidate index and the subsumption pass are pure
+  # work-savers: every cell of the (index x subsumption x threads)
+  # matrix must reproduce the default bytes exactly.
+  "$argus_bin" --batch "$programs_dir" --jobs 1 --json >"$index_base" || true
+  for flags in "--no-index" "--no-subsume" "--no-index --no-subsume"; do
+    for jobs in 1 8; do
+      # shellcheck disable=SC2086
+      "$argus_bin" --batch "$programs_dir" --jobs "$jobs" --json \
+        $flags >"$index_got" || true
+      if ! cmp -s "$index_base" "$index_got"; then
+        echo "FAIL: index diff: $flags --jobs $jobs differs from the" \
+          "default (indexed) run over $programs_dir" >&2
+        diff "$index_base" "$index_got" >&2 || true
+        exit 1
+      fi
+    done
+  done
+  echo "index differential: OK (default == --no-index == --no-subsume," \
+    "jobs 1 == 8, over $programs_dir)"
 }
 
 # Writes the canned three-revision edit script (original, first impl
@@ -189,9 +227,13 @@ perf_smoke() {
   assert_le goal_evals "$(counter goal_evals)" 450
   assert_le dnf_conjuncts "$(counter dnf_conjuncts)" 16
   assert_le dnf_truncations "$(counter dnf_truncations)" 0
-  # Floors: the solver's candidate head index and the arena hash cache
-  # must actually be doing something.
-  assert_ge candidates_filtered "$(counter candidates_filtered)" 1
+  # Floors: the prebuilt candidate index and the arena hash cache must
+  # actually be doing something. With the index installed, trait goals
+  # walk preassembled buckets (index_bucket_hits) and the lazy
+  # scan-and-filter counter must read ~0 — a nonzero value means the
+  # coherence-time build silently stopped installing.
+  assert_ge index_bucket_hits "$(counter index_bucket_hits)" 1
+  assert_le candidates_filtered "$(counter candidates_filtered)" 0
   assert_ge arena_hash_lookups "$(counter arena_hash_lookups)" 1
   echo "perf smoke: OK ($stats_line)"
 
@@ -273,7 +315,7 @@ perf_floors() {
     exit 1
   fi
   echo "perf floors: OK (every corpus workload >= 1.0x features-on," \
-    "all bench identity and speedup gates passed)"
+    "solver-core and all bench identity and speedup gates passed)"
 }
 
 if [ "${1:-}" = "--perf-floors-only" ]; then
@@ -312,6 +354,15 @@ if [ "${1:-}" = "--cache-diff-only" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--index-diff-only" ]; then
+  [ $# -eq 3 ] || {
+    echo "usage: $0 --index-diff-only <argus-binary> <programs-dir>" >&2
+    exit 2
+  }
+  index_diff "$2" "$3"
+  exit 0
+fi
+
 if [ "${1:-}" = "--edit-diff-only" ]; then
   [ $# -eq 3 ] || {
     echo "usage: $0 --edit-diff-only <argus-binary> <programs-dir>" >&2
@@ -340,6 +391,7 @@ determinism "$build_dir/tools/argus" "$repo_root/examples"
 if [ "${CHECK_CACHE_DIFF:-1}" = "1" ]; then
   cache_diff "$build_dir/tools/argus" "$repo_root/examples"
 fi
+index_diff "$build_dir/tools/argus" "$repo_root/examples"
 edit_diff "$build_dir/tools/argus" "$repo_root/examples"
 perf_smoke "$build_dir/tools/argus" "$repo_root/examples"
 if [ "${CHECK_PERF_FLOORS:-0}" = "1" ]; then

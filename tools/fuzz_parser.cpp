@@ -31,6 +31,13 @@
 /// burden of isolation), and half-broken environments that stress the
 /// cacheability predicate.
 ///
+/// --solve also exercises the candidate-index axis: each mutant draws a
+/// random point off the default configuration (prebuilt index and/or
+/// subsumption disabled, from a per-mutant Rng so the mutation schedule
+/// is untouched) and the rendering and exit code must match the default
+/// run whenever neither degraded — the index and its pruning are pure
+/// work-savers, invisible in every observable byte.
+///
 /// Wired into CTest as `fuzz_smoke` and `fuzz_solve_smoke`; also part of
 /// the CHECK_SANITIZE=1 run (tools/check.sh), where ASan/UBSan watch the
 /// same inputs.
@@ -176,6 +183,7 @@ int main(int Argc, char **Argv) {
   // batch.
   GoalCache SharedCache;
   uint64_t ParsedOk = 0, PipelineRuns = 0, Degraded = 0, Compared = 0;
+  uint64_t AxisCompared = 0;
   std::string Current;
   for (uint64_t I = 0; I != Iterations; ++I) {
     Current = mutate(R, Corpus);
@@ -223,6 +231,35 @@ int main(int Argc, char **Argv) {
                 return 1;
               }
             }
+
+            // Index/subsumption axis: rerun under a random per-mutant
+            // index configuration. A separate Rng keyed on (seed,
+            // iteration) keeps the mutation schedule byte-identical to a
+            // non-solve run of the same seed.
+            Rng Axis(Seed * 0x9e3779b97f4a7c15ULL + I);
+            engine::SessionOptions AxisOpts = GovOpts;
+            AxisOpts.Solver.EnableCandidateIndex = Axis.below(2) == 0;
+            AxisOpts.Solver.EnableSubsumption = Axis.below(2) == 0;
+            engine::Session Scan("fuzz.tl", Current, AxisOpts);
+            std::string ScanOut = renderAll(Scan);
+            if (!S.stats().degraded() && !Scan.stats().degraded()) {
+              ++AxisCompared;
+              if (ScanOut != Uncached ||
+                  Scan.stats().exitCode() != S.stats().exitCode()) {
+                fprintf(stderr,
+                        "FAIL: index-axis rendering diverged at iteration"
+                        " %llu (seed %llu, index=%d subsume=%d, exit %d vs"
+                        " %d)\n--- input ---\n%s\n--- end ---\n--- default"
+                        " ---\n%s\n--- axis ---\n%s\n--- end ---\n",
+                        static_cast<unsigned long long>(I),
+                        static_cast<unsigned long long>(Seed),
+                        AxisOpts.Solver.EnableCandidateIndex ? 1 : 0,
+                        AxisOpts.Solver.EnableSubsumption ? 1 : 0,
+                        S.stats().exitCode(), Scan.stats().exitCode(),
+                        Current.c_str(), Uncached.c_str(), ScanOut.c_str());
+                return 1;
+              }
+            }
           }
         }
       }
@@ -258,8 +295,10 @@ int main(int Argc, char **Argv) {
          static_cast<unsigned long long>(Degraded),
          static_cast<unsigned long long>(Seed));
   if (SolveMode)
-    printf("fuzz_parser: --solve compared %llu clean runs, cache holds"
-           " %zu entries\n",
-           static_cast<unsigned long long>(Compared), SharedCache.size());
+    printf("fuzz_parser: --solve compared %llu clean runs (%llu on the"
+           " index axis), cache holds %zu entries\n",
+           static_cast<unsigned long long>(Compared),
+           static_cast<unsigned long long>(AxisCompared),
+           SharedCache.size());
   return 0;
 }
