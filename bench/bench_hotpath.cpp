@@ -77,6 +77,7 @@
 #include "engine/Session.h"
 #include "extract/Extract.h"
 #include "extract/TreeJSON.h"
+#include "solver/CachePersist.h"
 #include "solver/GoalCache.h"
 #include "solver/Index.h"
 #include "solver/Solver.h"
@@ -1038,6 +1039,142 @@ int main(int Argc, char **Argv) {
   W.keyValue("speedup_rest", IncrSpeedup);
   W.keyValue("identical", IncrIdentical);
   W.endObject();
+
+  // --- Section 7: persisted-cache round-trip and warm start. The
+  // deep-chain-12 workload from section 4 again: cold cost is O(2^depth)
+  // goal evaluations, the recorded proof tree is linear, and the image
+  // holds that tree — so a restarted process that loads the image should
+  // splice the chain instead of re-proving it. Measured: serialize +
+  // atomic save latency, load (read + validate + intern) latency, and
+  // the end-to-end warm start (load + solve, the restarted-process
+  // experience) against the cold solve. Identity is byte-level on the
+  // rendered output; the warm start must also actually hit disk entries.
+  std::string PersistSrc;
+  {
+    std::string Ty = "A";
+    for (unsigned I = 0; I != 12; ++I)
+      Ty = "Wrap<" + Ty + ">";
+    PersistSrc = "struct A;\nstruct B;\nstruct Wrap<T>;\ntrait Show;\n"
+                 "impl Show for A;\n"
+                 "impl<T> Show for Wrap<T> where T: Show;\n"
+                 "goal " +
+                 Ty +
+                 ": Show;\n"
+                 "goal Wrap<Wrap<B>>: Show;\n"; // Fails: a rendered tree.
+  }
+  const std::string PersistImagePath = OutPath + ".persist.gc";
+  engine::SessionOptions PersistColdOpts; // Cache off.
+  auto PersistRender = [](engine::Session &S) {
+    std::string Out;
+    for (size_t T = 0; T != S.numTrees(); ++T)
+      Out += S.diagnosticText(T) + "\n" + S.bottomUpText(T) + "\n" +
+             S.treeJSON(T) + "\n";
+    return Out;
+  };
+
+  // Populate one cache with the workload's entries and persist it once.
+  GoalCache PersistWarm;
+  {
+    engine::SessionOptions Opts;
+    Opts.Cache = engine::CacheMode::Shared;
+    Opts.SharedCache = &PersistWarm;
+    engine::Session S("persist", PersistSrc, Opts);
+    (void)PersistRender(S);
+  }
+  const std::string PersistImage = serializeGoalCache(PersistWarm);
+  const uint64_t PersistEntries = PersistWarm.size();
+  bool PersistLoadOk = true;
+
+  double PersistProbe = timeReps(1, [&] {
+    engine::Session S("persist", PersistSrc, PersistColdOpts);
+    (void)PersistRender(S);
+  });
+  uint64_t PersistReps =
+      PersistProbe > 0.0 ? static_cast<uint64_t>(0.25 / PersistProbe) : 64;
+  if (PersistReps < 4)
+    PersistReps = 4;
+  if (PersistReps > 2000)
+    PersistReps = 2000;
+
+  double PersistSaveSeconds = timeReps(PersistReps, [&] {
+    CacheSaveResult R = saveGoalCache(PersistWarm, PersistImagePath);
+    PersistLoadOk &= R.Ok;
+  });
+  double PersistLoadSeconds = timeReps(PersistReps, [&] {
+    GoalCache Loaded;
+    CacheLoadResult R = loadGoalCache(Loaded, PersistImagePath, nullptr, {});
+    PersistLoadOk &= R.ok() && Loaded.size() == PersistEntries;
+  });
+
+  std::string PersistColdRef;
+  double PersistColdSeconds = 0.0, PersistWarmSeconds = 0.0;
+  bool PersistIdentical = true;
+  uint64_t PersistDiskHits = 0, PersistColdSteps = 0, PersistWarmSteps = 0;
+  for (uint64_t Rep = 0; Rep != PersistReps; ++Rep) {
+    double Start = now();
+    engine::Session Cold("persist", PersistSrc, PersistColdOpts);
+    std::string ColdOut = PersistRender(Cold);
+    PersistColdSeconds += now() - Start;
+    if (Rep == 0) {
+      PersistColdRef = std::move(ColdOut);
+      PersistColdSteps = Cold.stats().SolverSteps;
+    }
+
+    // The warm start a restarted process pays: read + validate the image
+    // into a fresh cache, then solve against it.
+    Start = now();
+    GoalCache Disk;
+    CacheLoadResult R = loadGoalCache(Disk, PersistImagePath, nullptr, {});
+    engine::SessionOptions WarmOpts;
+    WarmOpts.Cache = engine::CacheMode::Shared;
+    WarmOpts.SharedCache = &Disk;
+    engine::Session Warm("persist", PersistSrc, WarmOpts);
+    std::string WarmOut = PersistRender(Warm);
+    PersistWarmSeconds += now() - Start;
+    PersistLoadOk &= R.ok();
+    PersistIdentical &= WarmOut == PersistColdRef;
+    if (Rep == 0) {
+      PersistDiskHits = Warm.stats().CacheDiskHits;
+      PersistWarmSteps = Warm.stats().SolverSteps;
+    }
+  }
+  std::remove(PersistImagePath.c_str());
+  double PersistSpeedup = PersistWarmSeconds > 0.0
+                              ? PersistColdSeconds / PersistWarmSeconds
+                              : 0.0;
+  double PersistRepsD = static_cast<double>(PersistReps);
+  printf("persist: deep-chain-12 reps=%llu entries=%llu image=%lluB"
+         " save=%.3fus load=%.3fus cold=%.3fus warm_start=%.3fus"
+         " steps=%llu->%llu disk_hits=%llu speedup=%.2fx identical=%s\n",
+         static_cast<unsigned long long>(PersistReps),
+         static_cast<unsigned long long>(PersistEntries),
+         static_cast<unsigned long long>(PersistImage.size()),
+         1e6 * PersistSaveSeconds / PersistRepsD,
+         1e6 * PersistLoadSeconds / PersistRepsD,
+         1e6 * PersistColdSeconds / PersistRepsD,
+         1e6 * PersistWarmSeconds / PersistRepsD,
+         static_cast<unsigned long long>(PersistColdSteps),
+         static_cast<unsigned long long>(PersistWarmSteps),
+         static_cast<unsigned long long>(PersistDiskHits), PersistSpeedup,
+         PersistIdentical ? "yes" : "NO");
+
+  W.key("persist");
+  W.beginObject();
+  W.keyValue("workload", std::string("deep-chain-12"));
+  W.keyValue("reps", PersistReps);
+  W.keyValue("entries", PersistEntries);
+  W.keyValue("image_bytes", static_cast<uint64_t>(PersistImage.size()));
+  W.keyValue("save_seconds_per_image", PersistSaveSeconds / PersistRepsD);
+  W.keyValue("load_seconds_per_image", PersistLoadSeconds / PersistRepsD);
+  W.keyValue("cold_seconds_per_solve", PersistColdSeconds / PersistRepsD);
+  W.keyValue("warm_start_seconds_per_solve",
+             PersistWarmSeconds / PersistRepsD);
+  W.keyValue("solver_steps_cold", PersistColdSteps);
+  W.keyValue("solver_steps_warm", PersistWarmSteps);
+  W.keyValue("cache_disk_hits_warm", PersistDiskHits);
+  W.keyValue("warm_start_speedup", PersistSpeedup);
+  W.keyValue("identical", PersistIdentical);
+  W.endObject();
   W.endObject();
 
   std::ofstream Out(OutPath);
@@ -1052,7 +1189,7 @@ int main(int Argc, char **Argv) {
   // cache is both invisible in the output and actually faster; these are
   // the acceptance bars this bench exists to witness.
   if (!AllIdentical || !CacheIdentical || !IncrIdentical ||
-      !FeaturesIdentical || !CoreIdentical)
+      !FeaturesIdentical || !CoreIdentical || !PersistIdentical)
     return 1;
   if (!CoreFilteredClean) {
     fprintf(stderr, "bench_hotpath: prebuilt-index solves reported live"
@@ -1095,6 +1232,23 @@ int main(int Argc, char **Argv) {
   if (IncrCrossRevHits == 0) {
     fprintf(stderr, "bench_hotpath: incremental replay produced no"
                     " cross-revision cache hits\n");
+    return 1;
+  }
+  if (!PersistLoadOk) {
+    fprintf(stderr, "bench_hotpath: persisted-cache save or load failed"
+                    " during the round-trip measurement\n");
+    return 1;
+  }
+  if (PersistDiskHits == 0) {
+    fprintf(stderr, "bench_hotpath: warm start served no hits from"
+                    " disk-loaded entries\n");
+    return 1;
+  }
+  if (PersistSpeedup < 2.0) {
+    fprintf(stderr,
+            "bench_hotpath: persisted warm start %.2fx below the 2x"
+            " floor vs the cold solve\n",
+            PersistSpeedup);
     return 1;
   }
   return 0;

@@ -6,6 +6,8 @@
 
 #include "engine/EditSession.h"
 
+#include "solver/CachePersist.h"
+
 #include <algorithm>
 
 namespace argus {
@@ -63,6 +65,29 @@ uint64_t fpDiff(const std::vector<uint64_t> &A,
 
 } // namespace
 
+void EditSession::loadCache(const std::string &Path, FaultInjector *Faults) {
+  if (Opts.Cache == CacheMode::Off)
+    return;
+  CacheLoadResult R = loadGoalCache(Cache, Path, Faults, Path);
+  PendingLoad P;
+  P.EntriesLoaded = R.EntriesLoaded;
+  if (!R.ok()) {
+    P.Rejected = true;
+    P.Detail = std::string(cacheLoadStatusName(R.Status)) + ": " + R.Detail;
+  }
+  Pending = std::move(P);
+}
+
+bool EditSession::saveCache(const std::string &Path, FaultInjector *Faults,
+                            std::string *Error) {
+  if (Opts.Cache == CacheMode::Off)
+    return true;
+  CacheSaveResult R = saveGoalCache(Cache, Path, Faults, Path);
+  if (!R.Ok && Error)
+    *Error = R.Detail;
+  return R.Ok;
+}
+
 Session &EditSession::apply(std::string Source) {
   // Destroy the previous revision before building the next: Sessions are
   // single-threaded and the cache outlives both, so entries recorded by
@@ -71,6 +96,11 @@ Session &EditSession::apply(std::string Source) {
   Current.reset();
   Current.emplace(Name, std::move(Source), Opts);
   ++Revision;
+  if (Pending) {
+    Current->noteCacheLoad(Pending->EntriesLoaded, Pending->Rejected,
+                           Pending->Detail);
+    Pending.reset();
+  }
 
   std::vector<uint64_t> Fps = implFps(*Current);
   Current->noteImplsInvalidated(Revision == 1 ? 0

@@ -60,6 +60,21 @@ public:
 
   GoalCache &cache() { return Cache; }
 
+  /// Warm-starts the owned cache from a persisted image (load-on-start):
+  /// a restarted edit script resumes with every entry its earlier run
+  /// saved, behind the same admission and dependency checks as live
+  /// entries. EntriesLoaded is 0 and LoadRejected reports the rejection
+  /// when the image is missing or mangled; the session proceeds cold.
+  /// No-op under CacheMode::Off. The next apply()'s Session is stamped
+  /// with the result (cache_disk_entries_loaded / cache_load_rejects).
+  void loadCache(const std::string &Path, FaultInjector *Faults = nullptr);
+
+  /// Persists the owned cache to \p Path (save-on-exit). Returns false
+  /// (with the detail in \p Error if non-null) on I/O failure; no-op
+  /// returning true under CacheMode::Off.
+  bool saveCache(const std::string &Path, FaultInjector *Faults = nullptr,
+                 std::string *Error = nullptr);
+
 private:
   std::string Name;
   SessionOptions Opts;
@@ -69,6 +84,15 @@ private:
   /// revision failed to parse — every impl then counts as invalidated).
   std::vector<uint64_t> PrevImplFps;
   std::optional<Session> Current;
+  /// Outcome of a loadCache() awaiting its first apply(): the loaded
+  /// entry count and (on rejection) the failure detail are stamped onto
+  /// the next revision's Session, whose stats lines report them.
+  struct PendingLoad {
+    uint64_t EntriesLoaded = 0;
+    bool Rejected = false;
+    std::string Detail;
+  };
+  std::optional<PendingLoad> Pending;
 };
 
 } // namespace engine

@@ -29,6 +29,8 @@ const char *failureCodeName(FailureCode Code) {
     return "cancelled";
   case FailureCode::WorkerPanic:
     return "worker_panic";
+  case FailureCode::CacheLoadRejected:
+    return "cache_load_rejected";
   }
   return "unknown";
 }
@@ -41,6 +43,7 @@ bool isDegradation(FailureCode Code) {
   case FailureCode::DeadlineExceeded:
   case FailureCode::WorkExceeded:
   case FailureCode::Cancelled:
+  case FailureCode::CacheLoadRejected:
     return true;
   case FailureCode::None:
   case FailureCode::ParseError:

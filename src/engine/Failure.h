@@ -17,7 +17,9 @@
 ///   2  ParseError, bad usage, unreadable input
 ///   3  degraded: a governance stop or truncation yielded a partial
 ///      result (SolverOverflow, DnfTruncated, ExtractTruncated,
-///      DeadlineExceeded, WorkExceeded, Cancelled)
+///      DeadlineExceeded, WorkExceeded, Cancelled), or a persisted
+///      cache image was rejected and the run proceeded cold
+///      (CacheLoadRejected)
 ///   4  WorkerPanic: a batch worker threw; the batch survived
 ///
 //===----------------------------------------------------------------------===//
@@ -55,9 +57,14 @@ enum class FailureCode : uint8_t {
   Cancelled,
   /// A batch worker threw; Detail carries what() and the stage reached.
   WorkerPanic,
+  /// A persisted cache image was rejected (unreadable, truncated,
+  /// corrupt, version skew, or malformed); the load was discarded
+  /// atomically and the run proceeded with a cold cache. Detail carries
+  /// the CacheLoadStatus name and the image path.
+  CacheLoadRejected,
 };
 
-inline constexpr size_t NumFailureCodes = 9;
+inline constexpr size_t NumFailureCodes = 10;
 
 /// Stable snake_case code name ("parse_error", ...); a JSON format
 /// contract.

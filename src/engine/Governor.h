@@ -25,6 +25,14 @@
 ///                      degrade to counted dep-misses and cold re-solves
 ///                      (probed only when a cache mode is active; output
 ///                      unchanged)
+///   cache.io           persisted-cache file I/O fails: --cache-load
+///                      reads report IoError (cache_load_rejected,
+///                      run proceeds cold), --cache-save writes are
+///                      abandoned before the temp file (probed by
+///                      CachePersist, scoped by the image path)
+///   cache.load_corrupt one byte of a loaded cache image is flipped
+///                      after the read, driving the checksum rejection
+///                      path end-to-end (cache_load_rejected, cold run)
 ///   <stage>.cancel     sticky cancellation at stage entry
 ///   <stage>.deadline   stage-scoped deadline stop at stage entry
 ///   <stage>.work       stage-scoped work-ceiling stop at stage entry

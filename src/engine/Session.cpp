@@ -94,6 +94,9 @@ void SessionStats::writeJSON(JSONWriter &Writer) const {
   Writer.keyValue("cache_inserts_rejected", CacheInsertsRejected);
   Writer.keyValue("cache_cross_rev_hits", CacheCrossRevHits);
   Writer.keyValue("cache_dep_misses", CacheDepMisses);
+  Writer.keyValue("cache_disk_entries_loaded", CacheDiskEntriesLoaded);
+  Writer.keyValue("cache_load_rejects", CacheLoadRejects);
+  Writer.keyValue("cache_disk_hits", CacheDiskHits);
   Writer.keyValue("impls_invalidated", ImplsInvalidated);
   Writer.keyValue("trees_extracted", static_cast<uint64_t>(TreesExtracted));
   Writer.keyValue("tree_goals", static_cast<uint64_t>(TreeGoals));
@@ -324,6 +327,7 @@ const SolveOutcome &Session::solve() {
     Stats.CacheInsertsRejected = Outcome->NumCacheInsertsRejected;
     Stats.CacheCrossRevHits = Outcome->NumCacheCrossRevHits;
     Stats.CacheDepMisses = Outcome->NumCacheDepMisses;
+    Stats.CacheDiskHits = Outcome->NumCacheDiskHits;
     Stats.DispatchExactPrunes = Outcome->NumExactPrunes;
     Stats.DispatchCacheSkips = Outcome->NumCacheAdmissionSkips;
     Stats.ArenaHashLookups = Sess->types().hashLookups();

@@ -104,6 +104,15 @@ struct SessionStats {
   /// fingerprint check (an impl/trait the recorded subtree consulted was
   /// edited), forcing a cold re-solve of that goal.
   uint64_t CacheDepMisses = 0;
+  /// Entries materialized into the cache from a persisted image
+  /// (--cache-load); stamped by the driver that performed the load.
+  uint64_t CacheDiskEntriesLoaded = 0;
+  /// Persisted images rejected by the hardened loader (truncation,
+  /// corruption, version skew, malformed contents, or I/O failure);
+  /// each rejection also records a CacheLoadRejected failure.
+  uint64_t CacheLoadRejects = 0;
+  /// Hits served by disk-loaded entries. Subset of CacheCrossRevHits.
+  uint64_t CacheDiskHits = 0;
   /// EditSession only: impls whose fingerprint changed (added, removed,
   /// or edited) between the previous revision and this one.
   uint64_t ImplsInvalidated = 0;
@@ -266,6 +275,19 @@ public:
   /// Stamps the edit-session invalidation count into this Session's
   /// stats (EditSession computes it by diffing revision fingerprints).
   void noteImplsInvalidated(uint64_t N) { Stats.ImplsInvalidated = N; }
+
+  /// Stamps the outcome of a persisted-cache load performed by the
+  /// driving CLI/EditSession into this Session's stats. A rejected load
+  /// additionally records the CacheLoadRejected failure (degraded exit),
+  /// keeping the note/exit plumbing in one place.
+  void noteCacheLoad(uint64_t EntriesLoaded, bool Rejected,
+                     const std::string &Detail) {
+    Stats.CacheDiskEntriesLoaded += EntriesLoaded;
+    if (Rejected) {
+      ++Stats.CacheLoadRejects;
+      noteFailure({FailureCode::CacheLoadRejected, Stage::Solve, Detail});
+    }
+  }
 
   // --- Stage accessors. Each lazily runs its prerequisites and caches.
 

@@ -1,0 +1,992 @@
+//===- solver/CachePersist.cpp --------------------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CachePersist.h"
+
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+using namespace argus;
+
+namespace {
+
+// "argusGC1" as little-endian bytes; `xxd` on a valid image shows the
+// name, and no text file starts with it by accident.
+constexpr uint64_t Magic = 0x3143477573677261ull;
+
+// Word indices inside the 10-word header.
+constexpr size_t HdrMagic = 0;
+constexpr size_t HdrVersion = 1;
+constexpr size_t HdrFlags = 2;
+constexpr size_t HdrSymCount = 3;
+constexpr size_t HdrSymWords = 4;
+constexpr size_t HdrEntryCount = 5;
+constexpr size_t HdrEntryWords = 6;
+constexpr size_t HdrSymCksum = 7;
+constexpr size_t HdrEntryCksum = 8;
+constexpr size_t HdrCksum = 9;
+constexpr size_t HeaderWords = 10;
+
+// Enum cardinalities the validator checks decoded values against. The
+// solver's enums are append-only in practice, but any change here is a
+// format change and must bump CacheImageVersion regardless.
+constexpr uint64_t NumTypeKinds = 10;   // Unit..Error (Type.h)
+constexpr uint64_t NumPredKinds = 7;    // Trait..NormalizesTo
+constexpr uint64_t NumRegionKinds = 3;  // Static, Named, Erased
+constexpr uint64_t NumEvalResults = 4;  // Yes, Maybe, No, Overflow
+constexpr uint64_t NumCandKinds = 3;    // Impl, ParamEnv, Builtin
+
+// Hard ceilings on per-entry resource claims. Generous (real entries
+// stay orders of magnitude below), but they bound what a validated-yet-
+// hostile image can make the splice path allocate or iterate.
+constexpr uint64_t MaxFreshVars = 1u << 20;
+constexpr uint64_t MaxRelDepthLimit = 1u << 20;
+constexpr uint64_t MaxTotalEvals = 1ull << 40;
+
+uint64_t fnv1a(const char *Data, size_t N) {
+  uint64_t H = 14695981039346656037ull;
+  for (size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+struct ImageWriter {
+  std::string Buf;
+
+  void word(uint64_t V) {
+    char Bytes[8];
+    for (int I = 0; I != 8; ++I)
+      Bytes[I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+    Buf.append(Bytes, 8);
+  }
+
+  void enc(const CacheEnc &E) {
+    word(E.size());
+    for (uint64_t Token : E)
+      word(Token);
+  }
+
+  /// Byte-length-prefixed string, zero-padded to the word boundary.
+  void text(std::string_view S) {
+    word(S.size());
+    Buf.append(S.data(), S.size());
+    Buf.append((8 - S.size() % 8) % 8, '\0');
+  }
+
+  size_t words() const { return Buf.size() / 8; }
+};
+
+uint64_t spanFileToken(const Span &S) {
+  return S.File.isValid() ? static_cast<uint64_t>(S.File.value()) + 1 : 0;
+}
+
+void writeSpan(ImageWriter &W, const Span &S) {
+  W.word(spanFileToken(S));
+  W.word(S.Begin);
+  W.word(S.End);
+}
+
+void writeEntry(ImageWriter &W, const GoalCache::Key &K,
+                const GoalCache::Entry &E) {
+  W.word(K.FlagsFp);
+  writeSpan(W, K.Origin);
+  W.enc(K.Pred);
+  W.word(K.Env ? 1 : 0);
+  if (K.Env)
+    W.enc(*K.Env);
+
+  W.word(E.MaxRelDepth);
+  W.word(E.TotalEvals);
+  W.word(E.NumFreshVars);
+  W.word(E.Deps.size());
+  for (size_t I = 0; I != E.Deps.size(); ++I) {
+    const GoalCache::DepUnit &U = E.Deps[I];
+    W.word(static_cast<uint64_t>(U.K));
+    W.word(U.Trait);
+    W.word(U.HasHead ? 1 : 0);
+    W.word(U.HeadKind);
+    W.word(U.HeadName);
+    W.word(U.HeadTraitName);
+    W.word(U.HeadArity);
+    W.word(U.HeadMutable);
+    W.word(U.Fp);
+    W.word(I < E.SliceEnumCounts.size() ? E.SliceEnumCounts[I] : 0);
+  }
+  W.word(E.StackHashes.size());
+  for (uint64_t H : E.StackHashes)
+    W.word(H);
+  W.word(E.Goals.size());
+  for (const GoalCache::GoalRec &G : E.Goals) {
+    W.enc(G.Pred);
+    W.word(static_cast<uint64_t>(G.Result));
+    W.word(G.RelDepth);
+    writeSpan(W, G.Origin);
+    W.word(G.ParentCandidate);
+    W.word(G.SelectedCandidate);
+    W.word(G.Candidates.size());
+    for (uint32_t C : G.Candidates)
+      W.word(C);
+    W.enc(G.NormalizedValue);
+    W.word(G.FromCache ? 1 : 0);
+  }
+  W.word(E.Cands.size());
+  for (const GoalCache::CandRec &C : E.Cands) {
+    W.word(static_cast<uint64_t>(C.Kind));
+    W.word(C.ImplUnit);
+    W.word(C.ImplPos);
+    W.word(C.BuiltinName);
+    W.word(C.HasAssumption ? 1 : 0);
+    if (C.HasAssumption)
+      W.enc(C.Assumption);
+    W.word(static_cast<uint64_t>(C.Result));
+    W.word(C.Parent);
+    W.word(C.SubGoals.size());
+    for (uint32_t S : C.SubGoals)
+      W.word(S);
+  }
+  W.word(E.Binds.size());
+  for (const GoalCache::BindRec &B : E.Binds) {
+    W.word(B.Var);
+    W.enc(B.Value);
+  }
+  W.word(E.HasWinner ? 1 : 0);
+  if (E.HasWinner) {
+    W.word(static_cast<uint64_t>(E.WinnerKind));
+    W.word(E.WinnerImplUnit);
+    W.word(E.WinnerImplPos);
+    W.word(E.WinnerSubst.size());
+    for (const auto &[NameTok, ValueEnc] : E.WinnerSubst) {
+      W.word(NameTok);
+      W.enc(ValueEnc);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+/// Bounds-checked little-endian word reader over one section. Every
+/// read either succeeds or trips the sticky fail flag; callers check
+/// once per record, the validator checks before using any value that
+/// feeds an allocation or an index.
+class ImageReader {
+public:
+  ImageReader(std::string_view Data) : Data(Data) {}
+
+  bool failed() const { return Failed; }
+  bool atEnd() const { return Pos == Data.size(); }
+  size_t remainingWords() const { return (Data.size() - Pos) / 8; }
+
+  uint64_t word() {
+    if (Failed || Data.size() - Pos < 8) {
+      Failed = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(
+               static_cast<unsigned char>(Data[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return V;
+  }
+
+  /// A word that must fit u32 (record-relative indices, counts that
+  /// land in u32 fields).
+  bool u32(uint32_t &Out) {
+    uint64_t V = word();
+    if (Failed || V > 0xFFFFFFFFull)
+      return fail();
+    Out = static_cast<uint32_t>(V);
+    return true;
+  }
+
+  /// Length-prefixed token stream. The count is validated against the
+  /// remaining bytes before the vector is sized, so a forged length
+  /// cannot drive a huge allocation.
+  bool enc(CacheEnc &Out) {
+    uint64_t N = word();
+    if (Failed || N > remainingWords())
+      return fail();
+    Out.clear();
+    Out.reserve(static_cast<size_t>(N));
+    for (uint64_t I = 0; I != N; ++I)
+      Out.push_back(word());
+    return !Failed;
+  }
+
+  /// Length-prefixed, padded string.
+  bool text(std::string_view &Out) {
+    uint64_t N = word();
+    if (Failed || N > Data.size() - Pos)
+      return fail();
+    Out = Data.substr(Pos, static_cast<size_t>(N));
+    size_t Padded = (static_cast<size_t>(N) + 7) / 8 * 8;
+    if (Padded > Data.size() - Pos)
+      return fail();
+    Pos += Padded;
+    return true;
+  }
+
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Token-stream validation and symbol rewriting
+//===----------------------------------------------------------------------===//
+
+/// One pass over a CacheEnc following the encoder's grammar. With
+/// \p Remap null it validates (every kind in range, every symbol id
+/// inside the table, every variable token well-formed); with \p Remap
+/// set it rewrites image symbol ids into the target registry's. The
+/// same walk serves both so the rewrite can never touch a stream the
+/// validation pass did not fully cover.
+struct EncWalk {
+  uint64_t NumSyms = 0;
+  /// Intern-tagged variable tokens must re-base below this (the entry's
+  /// NumFreshVars); 0 forbids intern tokens entirely (key streams are
+  /// encoded raw).
+  uint64_t MaxInternRel = 0;
+  const std::vector<uint32_t> *Remap = nullptr;
+
+  bool sym(CacheEnc &E, size_t &Pos) {
+    if (Pos >= E.size())
+      return false;
+    uint64_t Tok = E[Pos];
+    if (Tok != 0) {
+      if (Tok - 1 >= NumSyms)
+        return false;
+      if (Remap)
+        E[Pos] = static_cast<uint64_t>((*Remap)[Tok - 1]) + 1;
+    }
+    ++Pos;
+    return true;
+  }
+
+  bool var(const CacheEnc &E, size_t &Pos) {
+    if (Pos >= E.size())
+      return false;
+    uint64_t Tok = E[Pos++];
+    uint64_t Index = Tok >> 1;
+    if (Index > 0xFFFFFFFFull) // CacheDecoder::varIndex truncates to u32.
+      return false;
+    if ((Tok & 1) && Index >= MaxInternRel)
+      return false;
+    return true;
+  }
+
+  bool region(CacheEnc &E, size_t &Pos) {
+    if (Pos >= E.size() || E[Pos] >= NumRegionKinds)
+      return false;
+    ++Pos;
+    return sym(E, Pos);
+  }
+
+  bool type(CacheEnc &E, size_t &Pos) {
+    if (Pos >= E.size())
+      return false;
+    uint64_t Tag = E[Pos++];
+    if (Tag == 0)
+      return true;
+    if (Tag != 1)
+      return false;
+    if (Pos >= E.size() || E[Pos] >= NumTypeKinds)
+      return false;
+    uint64_t Kind = E[Pos++];
+    if (Kind == static_cast<uint64_t>(TypeKind::Infer))
+      return var(E, Pos);
+    if (!sym(E, Pos) || !sym(E, Pos))
+      return false;
+    if (Pos >= E.size() || E[Pos] > 1) // Mutable flag.
+      return false;
+    ++Pos;
+    if (!region(E, Pos))
+      return false;
+    if (Pos >= E.size())
+      return false;
+    uint64_t NumArgs = E[Pos++];
+    if (NumArgs > E.size() - Pos) // Each argument takes >= 1 token.
+      return false;
+    for (uint64_t I = 0; I != NumArgs; ++I)
+      if (!type(E, Pos))
+        return false;
+    return true;
+  }
+
+  bool pred(CacheEnc &E, size_t &Pos) {
+    if (Pos >= E.size() || E[Pos] >= NumPredKinds)
+      return false;
+    ++Pos;
+    if (!sym(E, Pos) || !type(E, Pos))
+      return false;
+    if (Pos >= E.size())
+      return false;
+    uint64_t NumArgs = E[Pos++];
+    if (NumArgs > E.size() - Pos)
+      return false;
+    for (uint64_t I = 0; I != NumArgs; ++I)
+      if (!type(E, Pos))
+        return false;
+    if (!type(E, Pos))
+      return false;
+    return region(E, Pos) && region(E, Pos);
+  }
+
+  /// Whole-stream forms: the stream must contain exactly one record.
+  bool wholePred(CacheEnc &E) {
+    size_t Pos = 0;
+    return pred(E, Pos) && Pos == E.size();
+  }
+  bool wholeType(CacheEnc &E) {
+    size_t Pos = 0;
+    return type(E, Pos) && Pos == E.size();
+  }
+  /// Environments are concatenated predicate encodings (possibly none).
+  bool wholeEnv(CacheEnc &E) {
+    size_t Pos = 0;
+    while (Pos != E.size())
+      if (!pred(E, Pos))
+        return false;
+    return true;
+  }
+  /// A bare symbol token outside any stream (BuiltinName, dependency
+  /// traits, winner substitution names).
+  bool bareSym(uint64_t &Tok) {
+    CacheEnc One{Tok};
+    size_t Pos = 0;
+    if (!sym(One, Pos))
+      return false;
+    Tok = One[0];
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Entry parsing + structural validation
+//===----------------------------------------------------------------------===//
+
+struct StagedEntry {
+  GoalCache::Key K;
+  CacheEnc Env; ///< Flattened; HasEnv distinguishes empty from none.
+  bool HasEnv = false;
+  std::shared_ptr<GoalCache::Entry> E;
+};
+
+bool readSpan(ImageReader &R, Span &Out) {
+  uint64_t FileTok = R.word();
+  uint64_t Begin = R.word();
+  uint64_t End = R.word();
+  if (R.failed() || Begin > 0xFFFFFFFFull || End > 0xFFFFFFFFull)
+    return false;
+  if (FileTok > 0xFFFFFFFFull) // value()+1 for a valid u32 id, or 0.
+    return false;
+  Out.File = FileTok == 0 ? FileId()
+                          : FileId(static_cast<uint32_t>(FileTok - 1));
+  Out.Begin = static_cast<uint32_t>(Begin);
+  Out.End = static_cast<uint32_t>(End);
+  return true;
+}
+
+/// Reads one entry record. Purely structural (counts against remaining
+/// bytes, scalars into their field ranges); the semantic checks that
+/// need the whole record run in validateEntry afterwards.
+bool readEntry(ImageReader &R, StagedEntry &S) {
+  S.E = std::make_shared<GoalCache::Entry>();
+  GoalCache::Entry &E = *S.E;
+
+  S.K.FlagsFp = R.word();
+  if (!readSpan(R, S.K.Origin))
+    return false;
+  if (!R.enc(S.K.Pred))
+    return false;
+  uint64_t HasEnv = R.word();
+  if (R.failed() || HasEnv > 1)
+    return false;
+  S.HasEnv = HasEnv != 0;
+  if (S.HasEnv && !R.enc(S.Env))
+    return false;
+
+  if (!R.u32(E.MaxRelDepth))
+    return false;
+  E.TotalEvals = R.word();
+  if (!R.u32(E.NumFreshVars))
+    return false;
+  uint64_t NumDeps = R.word();
+  if (R.failed() || NumDeps > R.remainingWords() / 10)
+    return false; // 10 words per dependency unit.
+  E.Deps.resize(static_cast<size_t>(NumDeps));
+  E.SliceEnumCounts.resize(static_cast<size_t>(NumDeps));
+  for (uint64_t I = 0; I != NumDeps; ++I) {
+    GoalCache::DepUnit &U = E.Deps[I];
+    uint64_t Kind = R.word();
+    if (R.failed() || Kind > 1)
+      return false;
+    U.K = static_cast<GoalCache::DepUnit::Kind>(Kind);
+    U.Trait = R.word();
+    uint64_t HasHead = R.word();
+    if (R.failed() || HasHead > 1)
+      return false;
+    U.HasHead = HasHead != 0;
+    U.HeadKind = R.word();
+    U.HeadName = R.word();
+    U.HeadTraitName = R.word();
+    U.HeadArity = R.word();
+    U.HeadMutable = R.word();
+    U.Fp = R.word();
+    if (U.HeadKind >= NumTypeKinds || U.HeadMutable > 1 ||
+        U.HeadArity > 0xFFFFFFFFull)
+      return false;
+    if (!R.u32(E.SliceEnumCounts[I]))
+      return false;
+  }
+  uint64_t NumHashes = R.word();
+  if (R.failed() || NumHashes > R.remainingWords())
+    return false;
+  E.StackHashes.reserve(static_cast<size_t>(NumHashes));
+  for (uint64_t I = 0; I != NumHashes; ++I)
+    E.StackHashes.push_back(R.word());
+
+  uint64_t NumGoals = R.word();
+  if (R.failed() || NumGoals > R.remainingWords() / 10)
+    return false; // 10 fixed words per goal record.
+  E.Goals.resize(static_cast<size_t>(NumGoals));
+  for (uint64_t I = 0; I != NumGoals; ++I) {
+    GoalCache::GoalRec &G = E.Goals[I];
+    if (!R.enc(G.Pred))
+      return false;
+    uint64_t Result = R.word();
+    if (R.failed() || Result >= NumEvalResults)
+      return false;
+    G.Result = static_cast<EvalResult>(Result);
+    if (!R.u32(G.RelDepth) || !readSpan(R, G.Origin))
+      return false;
+    if (!R.u32(G.ParentCandidate) || !R.u32(G.SelectedCandidate))
+      return false;
+    uint64_t NumCandRefs = R.word();
+    if (R.failed() || NumCandRefs > R.remainingWords())
+      return false;
+    G.Candidates.resize(static_cast<size_t>(NumCandRefs));
+    for (uint32_t &C : G.Candidates)
+      if (!R.u32(C))
+        return false;
+    if (!R.enc(G.NormalizedValue))
+      return false;
+    uint64_t FromCache = R.word();
+    if (R.failed() || FromCache > 1)
+      return false;
+    G.FromCache = FromCache != 0;
+  }
+
+  uint64_t NumCands = R.word();
+  if (R.failed() || NumCands > R.remainingWords() / 8)
+    return false; // 8 fixed words per candidate record.
+  E.Cands.resize(static_cast<size_t>(NumCands));
+  for (uint64_t I = 0; I != NumCands; ++I) {
+    GoalCache::CandRec &C = E.Cands[I];
+    uint64_t Kind = R.word();
+    if (R.failed() || Kind >= NumCandKinds)
+      return false;
+    C.Kind = static_cast<CandidateKind>(Kind);
+    if (!R.u32(C.ImplUnit) || !R.u32(C.ImplPos))
+      return false;
+    C.BuiltinName = R.word();
+    uint64_t HasAssumption = R.word();
+    if (R.failed() || HasAssumption > 1)
+      return false;
+    C.HasAssumption = HasAssumption != 0;
+    if (C.HasAssumption && !R.enc(C.Assumption))
+      return false;
+    uint64_t Result = R.word();
+    if (R.failed() || Result >= NumEvalResults)
+      return false;
+    C.Result = static_cast<EvalResult>(Result);
+    if (!R.u32(C.Parent))
+      return false;
+    uint64_t NumSubGoals = R.word();
+    if (R.failed() || NumSubGoals > R.remainingWords())
+      return false;
+    C.SubGoals.resize(static_cast<size_t>(NumSubGoals));
+    for (uint32_t &Sub : C.SubGoals)
+      if (!R.u32(Sub))
+        return false;
+  }
+
+  uint64_t NumBinds = R.word();
+  if (R.failed() || NumBinds > R.remainingWords() / 2)
+    return false;
+  E.Binds.resize(static_cast<size_t>(NumBinds));
+  for (GoalCache::BindRec &B : E.Binds) {
+    B.Var = R.word();
+    if (!R.enc(B.Value))
+      return false;
+  }
+
+  uint64_t HasWinner = R.word();
+  if (R.failed() || HasWinner > 1)
+    return false;
+  E.HasWinner = HasWinner != 0;
+  if (E.HasWinner) {
+    uint64_t Kind = R.word();
+    if (R.failed() || Kind >= NumCandKinds)
+      return false;
+    E.WinnerKind = static_cast<CandidateKind>(Kind);
+    if (!R.u32(E.WinnerImplUnit) || !R.u32(E.WinnerImplPos))
+      return false;
+    uint64_t NumSubst = R.word();
+    if (R.failed() || NumSubst > R.remainingWords() / 2)
+      return false;
+    E.WinnerSubst.resize(static_cast<size_t>(NumSubst));
+    for (auto &[NameTok, ValueEnc] : E.WinnerSubst) {
+      NameTok = R.word();
+      if (!R.enc(ValueEnc))
+        return false;
+    }
+  }
+  return !R.failed();
+}
+
+/// Is \p Unit a positional impl reference the splice can resolve: a
+/// valid index naming an ImplSlice dependency unit? (The position
+/// itself is checked at splice time against the consumer's slice; see
+/// Solver's diskEntrySane.)
+bool validImplUnit(const GoalCache::Entry &E, uint32_t Unit) {
+  return Unit < E.Deps.size() &&
+         E.Deps[Unit].K == GoalCache::DepUnit::Kind::ImplSlice;
+}
+
+/// Semantic validation of one staged entry, with \p Walk in validate or
+/// rewrite mode. Everything spliceEntry and cacheAdmissible assume
+/// about a recorded entry is established here:
+///
+///  - every token stream follows the encoder grammar exactly, symbols
+///    inside the symbol table, intern variables below NumFreshVars
+///    (key streams: no intern variables at all);
+///  - every cross-record index (candidate lists, subgoal lists, parent
+///    links, winner/impl references) lands inside its target array;
+///  - the goal/candidate graph is the tree the recorder built: each
+///    non-root goal is the subgoal of exactly one candidate (its
+///    recorded ParentCandidate), each candidate belongs to exactly one
+///    goal (its recorded Parent), and subgoal indices strictly increase
+///    away from the root, so any walk over the spliced subtree
+///    terminates;
+///  - stack hashes are sorted (cacheAdmissible binary-searches them);
+///  - the root result is a definite Yes/No and resource claims are
+///    within the cacheability predicate's bounds.
+bool validateEntry(StagedEntry &S, EncWalk &Walk) {
+  GoalCache::Entry &E = *S.E;
+
+  if (E.NumFreshVars > MaxFreshVars || E.MaxRelDepth > MaxRelDepthLimit)
+    return false;
+  if (E.TotalEvals == 0 || E.TotalEvals > MaxTotalEvals)
+    return false;
+  if (E.Goals.empty() || E.Goals.size() > 0xFFFFFFFFull ||
+      E.Cands.size() > 0xFFFFFFFFull)
+    return false;
+  if (E.Goals[0].Result != EvalResult::Yes &&
+      E.Goals[0].Result != EvalResult::No)
+    return false;
+
+  // Key streams are encoded with raw (extern-only) variable tokens.
+  Walk.MaxInternRel = 0;
+  if (!Walk.wholePred(S.K.Pred))
+    return false;
+  if (S.HasEnv && !Walk.wholeEnv(S.Env))
+    return false;
+
+  Walk.MaxInternRel = E.NumFreshVars;
+  for (GoalCache::DepUnit &U : E.Deps)
+    if (!Walk.bareSym(U.Trait) || !Walk.bareSym(U.HeadName) ||
+        !Walk.bareSym(U.HeadTraitName))
+      return false;
+
+  for (size_t I = 1; I < E.StackHashes.size(); ++I)
+    if (E.StackHashes[I - 1] > E.StackHashes[I])
+      return false;
+
+  // Ownership maps for the tree-shape check.
+  std::vector<uint32_t> CandOwner(E.Cands.size(), GoalCache::NoId);
+  std::vector<uint32_t> GoalOwner(E.Goals.size(), GoalCache::NoId);
+
+  for (size_t I = 0; I != E.Goals.size(); ++I) {
+    GoalCache::GoalRec &G = E.Goals[I];
+    if (!Walk.wholePred(G.Pred))
+      return false;
+    if (!G.NormalizedValue.empty() && !Walk.wholeType(G.NormalizedValue))
+      return false;
+    if (G.RelDepth > E.MaxRelDepth)
+      return false;
+    if (G.SelectedCandidate != GoalCache::NoId &&
+        G.SelectedCandidate >= E.Cands.size())
+      return false;
+    if (I != 0 && G.ParentCandidate != GoalCache::NoId &&
+        G.ParentCandidate >= E.Cands.size())
+      return false;
+    for (uint32_t C : G.Candidates) {
+      if (C >= E.Cands.size() || CandOwner[C] != GoalCache::NoId)
+        return false;
+      CandOwner[C] = static_cast<uint32_t>(I);
+    }
+  }
+  for (size_t J = 0; J != E.Cands.size(); ++J) {
+    GoalCache::CandRec &C = E.Cands[J];
+    if (C.HasAssumption && !Walk.wholePred(C.Assumption))
+      return false;
+    if (!Walk.bareSym(C.BuiltinName))
+      return false;
+    if (C.Parent >= E.Goals.size())
+      return false;
+    // The candidate must be listed by exactly the goal it names as its
+    // parent (CandOwner was filled from the goals' candidate lists).
+    if (CandOwner[J] != C.Parent)
+      return false;
+    if (C.Kind == CandidateKind::Impl && C.ImplUnit != GoalCache::NoId &&
+        !validImplUnit(E, C.ImplUnit))
+      return false;
+    for (uint32_t Sub : C.SubGoals) {
+      // Strictly increasing away from the root: child goal ids exceed
+      // the parent goal's, so subtree walks terminate; and a goal is
+      // the subgoal of exactly one candidate — the one it recorded.
+      if (Sub >= E.Goals.size() || Sub <= C.Parent)
+        return false;
+      if (GoalOwner[Sub] != GoalCache::NoId ||
+          E.Goals[Sub].ParentCandidate != J)
+        return false;
+      GoalOwner[Sub] = static_cast<uint32_t>(J);
+    }
+  }
+
+  for (GoalCache::BindRec &B : E.Binds) {
+    // finishRecording never keeps a binding to a variable the subtree
+    // did not allocate, so on disk every bind target is intern-tagged.
+    if ((B.Var & 1) == 0)
+      return false;
+    if ((B.Var >> 1) >= E.NumFreshVars)
+      return false;
+    if (!Walk.wholeType(B.Value))
+      return false;
+  }
+
+  if (E.HasWinner) {
+    if (E.WinnerKind == CandidateKind::Impl &&
+        E.WinnerImplUnit != GoalCache::NoId &&
+        !validImplUnit(E, E.WinnerImplUnit))
+      return false;
+    for (auto &[NameTok, ValueEnc] : E.WinnerSubst)
+      if (!Walk.bareSym(NameTok) || !Walk.wholeType(ValueEnc))
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+const char *argus::cacheLoadStatusName(CacheLoadStatus S) {
+  switch (S) {
+  case CacheLoadStatus::Ok:
+    return "ok";
+  case CacheLoadStatus::IoError:
+    return "io_error";
+  case CacheLoadStatus::BadMagic:
+    return "bad_magic";
+  case CacheLoadStatus::BadVersion:
+    return "bad_version";
+  case CacheLoadStatus::Truncated:
+    return "truncated";
+  case CacheLoadStatus::BadChecksum:
+    return "bad_checksum";
+  case CacheLoadStatus::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
+std::string argus::serializeGoalCache(const GoalCache &Cache) {
+  const CacheSymbolRegistry &Reg = Cache.symbols();
+  size_t NumSyms = Reg.size();
+
+  ImageWriter Syms;
+  for (size_t I = 0; I != NumSyms; ++I)
+    Syms.text(Reg.text(static_cast<uint32_t>(I)));
+
+  std::vector<std::pair<GoalCache::Key, GoalCache::EntryPtr>> Snapshot =
+      Cache.snapshot();
+  ImageWriter Entries;
+  for (const auto &[K, E] : Snapshot)
+    writeEntry(Entries, K, *E);
+
+  ImageWriter W;
+  uint64_t Header[HeaderWords] = {};
+  Header[HdrMagic] = Magic;
+  Header[HdrVersion] = CacheImageVersion;
+  Header[HdrFlags] = 0;
+  Header[HdrSymCount] = NumSyms;
+  Header[HdrSymWords] = Syms.words();
+  Header[HdrEntryCount] = Snapshot.size();
+  Header[HdrEntryWords] = Entries.words();
+  Header[HdrSymCksum] = fnv1a(Syms.Buf.data(), Syms.Buf.size());
+  Header[HdrEntryCksum] = fnv1a(Entries.Buf.data(), Entries.Buf.size());
+  for (size_t I = 0; I != HdrCksum; ++I)
+    W.word(Header[I]);
+  W.word(fnv1a(W.Buf.data(), W.Buf.size())); // Header checksum.
+  W.Buf += Syms.Buf;
+  W.Buf += Entries.Buf;
+  W.word(fnv1a(W.Buf.data(), W.Buf.size())); // Whole-image checksum.
+  return std::move(W.Buf);
+}
+
+CacheLoadResult argus::deserializeGoalCache(GoalCache &Cache,
+                                            std::string_view Image) {
+  CacheLoadResult R;
+  auto Reject = [&R](CacheLoadStatus S, std::string Detail) {
+    R.Status = S;
+    R.Detail = std::move(Detail);
+    return R;
+  };
+
+  if (Image.size() < (HeaderWords + 1) * 8 || Image.size() % 8 != 0)
+    return Reject(CacheLoadStatus::Truncated,
+                  "image smaller than a header or not word-aligned");
+
+  ImageReader Hdr(Image.substr(0, HeaderWords * 8));
+  uint64_t Header[HeaderWords];
+  for (uint64_t &Word : Header)
+    Word = Hdr.word();
+  if (Header[HdrMagic] != Magic)
+    return Reject(CacheLoadStatus::BadMagic, "bad magic");
+  if (fnv1a(Image.data(), HdrCksum * 8) != Header[HdrCksum])
+    return Reject(CacheLoadStatus::BadChecksum, "header checksum mismatch");
+  if (Header[HdrVersion] != CacheImageVersion)
+    return Reject(CacheLoadStatus::BadVersion,
+                  "image version " + std::to_string(Header[HdrVersion]) +
+                      ", expected " + std::to_string(CacheImageVersion));
+  if (Header[HdrFlags] != 0)
+    return Reject(CacheLoadStatus::Malformed, "unknown header flags");
+  if (fnv1a(Image.data(), Image.size() - 8) !=
+      ImageReader(Image.substr(Image.size() - 8)).word())
+    return Reject(CacheLoadStatus::BadChecksum, "image checksum mismatch");
+
+  uint64_t TotalWords = Image.size() / 8;
+  uint64_t SymWords = Header[HdrSymWords];
+  uint64_t EntryWords = Header[HdrEntryWords];
+  // Guard each term before summing so forged sizes cannot wrap.
+  if (SymWords > TotalWords || EntryWords > TotalWords ||
+      HeaderWords + SymWords + EntryWords + 1 != TotalWords)
+    return Reject(CacheLoadStatus::Malformed, "section sizes disagree"
+                                              " with the image size");
+  R.EntriesInImage = Header[HdrEntryCount];
+
+  std::string_view SymData =
+      Image.substr(HeaderWords * 8, static_cast<size_t>(SymWords) * 8);
+  std::string_view EntryData = Image.substr(
+      (HeaderWords + static_cast<size_t>(SymWords)) * 8,
+      static_cast<size_t>(EntryWords) * 8);
+  if (fnv1a(SymData.data(), SymData.size()) != Header[HdrSymCksum])
+    return Reject(CacheLoadStatus::BadChecksum,
+                  "symbol section checksum mismatch");
+  if (fnv1a(EntryData.data(), EntryData.size()) != Header[HdrEntryCksum])
+    return Reject(CacheLoadStatus::BadChecksum,
+                  "entry section checksum mismatch");
+
+  // --- Symbol table. Each string costs at least one word, so the count
+  // is bounded by the section size before anything is reserved.
+  uint64_t NumSyms = Header[HdrSymCount];
+  if (NumSyms > SymWords)
+    return Reject(CacheLoadStatus::Malformed,
+                  "symbol count exceeds the symbol section");
+  std::vector<std::string_view> Texts;
+  Texts.reserve(static_cast<size_t>(NumSyms));
+  {
+    ImageReader SymReader(SymData);
+    for (uint64_t I = 0; I != NumSyms; ++I) {
+      std::string_view Text;
+      if (!SymReader.text(Text))
+        return Reject(CacheLoadStatus::Malformed, "bad symbol record");
+      Texts.push_back(Text);
+    }
+    if (!SymReader.atEnd())
+      return Reject(CacheLoadStatus::Malformed,
+                    "trailing bytes in the symbol section");
+  }
+
+  // --- Entries: parse and validate everything before the cache or its
+  // registry is touched (all-or-nothing).
+  uint64_t NumEntries = Header[HdrEntryCount];
+  if (NumEntries > EntryWords)
+    return Reject(CacheLoadStatus::Malformed,
+                  "entry count exceeds the entry section");
+  std::vector<StagedEntry> Staged;
+  Staged.reserve(static_cast<size_t>(NumEntries));
+  {
+    ImageReader EntryReader(EntryData);
+    EncWalk Validate;
+    Validate.NumSyms = NumSyms;
+    for (uint64_t I = 0; I != NumEntries; ++I) {
+      StagedEntry S;
+      if (!readEntry(EntryReader, S) || !validateEntry(S, Validate))
+        return Reject(CacheLoadStatus::Malformed,
+                      "bad entry record " + std::to_string(I));
+      Staged.push_back(std::move(S));
+    }
+    if (!EntryReader.atEnd())
+      return Reject(CacheLoadStatus::Malformed,
+                    "trailing bytes in the entry section");
+  }
+
+  // --- Commit: intern the symbol table into the target registry and
+  // rewrite every symbol token through the id map. The rewrite pass
+  // retraces exactly the streams validation covered.
+  std::vector<uint32_t> Remap;
+  Remap.reserve(Texts.size());
+  for (std::string_view Text : Texts)
+    Remap.push_back(Cache.symbols().intern(Text));
+
+  // Identical environments collapse onto one allocation, mirroring how
+  // a live run's goals share their environment encoding.
+  std::map<CacheEnc, std::shared_ptr<const CacheEnc>> EnvPool;
+  EncWalk Rewrite;
+  Rewrite.NumSyms = NumSyms;
+  Rewrite.Remap = &Remap;
+  for (StagedEntry &S : Staged) {
+    GoalCache::Entry &E = *S.E;
+    Rewrite.MaxInternRel = 0;
+    bool Ok = Rewrite.wholePred(S.K.Pred);
+    if (S.HasEnv)
+      Ok = Ok && Rewrite.wholeEnv(S.Env);
+    Rewrite.MaxInternRel = E.NumFreshVars;
+    for (GoalCache::DepUnit &U : E.Deps)
+      Ok = Ok && Rewrite.bareSym(U.Trait) && Rewrite.bareSym(U.HeadName) &&
+           Rewrite.bareSym(U.HeadTraitName);
+    for (GoalCache::GoalRec &G : E.Goals) {
+      Ok = Ok && Rewrite.wholePred(G.Pred);
+      if (!G.NormalizedValue.empty())
+        Ok = Ok && Rewrite.wholeType(G.NormalizedValue);
+    }
+    for (GoalCache::CandRec &C : E.Cands) {
+      Ok = Ok && Rewrite.bareSym(C.BuiltinName);
+      if (C.HasAssumption)
+        Ok = Ok && Rewrite.wholePred(C.Assumption);
+    }
+    for (GoalCache::BindRec &B : E.Binds)
+      Ok = Ok && Rewrite.wholeType(B.Value);
+    for (auto &[NameTok, ValueEnc] : E.WinnerSubst)
+      Ok = Ok && Rewrite.bareSym(NameTok) && Rewrite.wholeType(ValueEnc);
+    if (!Ok) // Unreachable after validation; defense in depth.
+      return Reject(CacheLoadStatus::Malformed, "rewrite failed");
+
+    if (S.HasEnv) {
+      auto [It, Inserted] = EnvPool.try_emplace(S.Env, nullptr);
+      if (Inserted)
+        It->second = std::make_shared<const CacheEnc>(It->first);
+      S.K.Env = It->second;
+    }
+    E.FromDisk = true;
+    // Never trust a hash from disk; recompute from the rewritten key.
+    GoalCache::finalizeKey(S.K);
+    if (Cache.insert(S.K, S.E))
+      ++R.EntriesLoaded;
+  }
+  return R;
+}
+
+CacheSaveResult argus::saveGoalCache(const GoalCache &Cache,
+                                     const std::string &Path,
+                                     FaultInjector *Faults,
+                                     std::string_view FaultScope) {
+  CacheSaveResult R;
+  std::string Image = serializeGoalCache(Cache);
+  std::string TmpPath = Path + ".tmp";
+  if (Faults && Faults->shouldFail("cache.io", FaultScope)) {
+    R.Detail = "injected I/O fault (site cache.io)";
+    return R;
+  }
+  FILE *File = std::fopen(TmpPath.c_str(), "wb");
+  if (!File) {
+    R.Detail = "cannot open " + TmpPath + " for writing";
+    return R;
+  }
+  size_t Written = std::fwrite(Image.data(), 1, Image.size(), File);
+  bool Flushed = std::fclose(File) == 0;
+  if (Written != Image.size() || !Flushed) {
+    R.Detail = "short write to " + TmpPath;
+    std::remove(TmpPath.c_str());
+    return R;
+  }
+  // Atomic publish: readers see the old image or the new one, never a
+  // torn mix.
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    R.Detail = "cannot rename " + TmpPath + " to " + Path;
+    std::remove(TmpPath.c_str());
+    return R;
+  }
+  R.Ok = true;
+  R.EntriesSaved = Cache.size();
+  R.ImageBytes = Image.size();
+  return R;
+}
+
+CacheLoadResult argus::loadGoalCache(GoalCache &Cache,
+                                     const std::string &Path,
+                                     FaultInjector *Faults,
+                                     std::string_view FaultScope) {
+  CacheLoadResult R;
+  if (Faults && Faults->shouldFail("cache.io", FaultScope)) {
+    R.Status = CacheLoadStatus::IoError;
+    R.Detail = "injected I/O fault (site cache.io)";
+    return R;
+  }
+  FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    R.Status = CacheLoadStatus::IoError;
+    R.Detail = "cannot read " + Path;
+    return R;
+  }
+  std::string Image;
+  char Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Image.append(Buf, N);
+  bool ReadError = std::ferror(File) != 0;
+  std::fclose(File);
+  if (ReadError) {
+    R.Status = CacheLoadStatus::IoError;
+    R.Detail = "read error on " + Path;
+    return R;
+  }
+  if (Faults && Faults->shouldFail("cache.load_corrupt", FaultScope) &&
+      !Image.empty()) {
+    // One deterministic bit flip mid-image: the checksum rejection path
+    // runs end-to-end against a real (just-corrupted) image.
+    Image[Image.size() / 2] ^= 0x40;
+  }
+  R = deserializeGoalCache(Cache, Image);
+  if (!R.ok())
+    R.Detail += " (" + Path + ")";
+  return R;
+}

@@ -1,0 +1,132 @@
+//===- solver/CachePersist.h - GoalCache save/load ------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned, checksummed serialization of a solver::GoalCache, so a
+/// warm cache survives process restarts: batch runs and edit sessions
+/// re-solve library-scale obligations across invocations, and the cache
+/// is safe to persist by construction — every disk entry is revalidated
+/// against the *current* program's dependency fingerprints on lookup, so
+/// a stale image can only dep-miss, never lie.
+///
+/// Image layout (all values little-endian u64 words; strings are
+/// byte-length-prefixed and zero-padded to the word boundary):
+///
+///   header     ::= magic version flags symCount symWords
+///                  entryCount entryWords symCksum entryCksum hdrCksum
+///   symbols    ::= (byteLen paddedBytes)*        ; symCount strings
+///   entries    ::= entry*                        ; entryCount records
+///   trailer    ::= imageCksum                    ; over all prior bytes
+///
+/// Symbols are the owning cache's CacheSymbolRegistry texts; on load
+/// they are re-interned into the target cache's registry and every
+/// symbol token in every entry is rewritten through the resulting id
+/// map, so images are portable across processes and interners. Key
+/// hashes are never trusted from disk — they are recomputed with
+/// GoalCache::finalizeKey after the rewrite.
+///
+/// The loader treats the image as adversarial input: every length,
+/// offset, count, symbol index, enum value, and cross-record index is
+/// bounds-checked against the decoded structure before anything touches
+/// the cache, and entries are staged so a failure anywhere discards the
+/// whole load (all-or-nothing; the run proceeds cold). Checksums
+/// (FNV-1a, whole-image and per-section) catch accidental corruption;
+/// the structural checks guarantee that even a deliberately forged image
+/// cannot crash the solver or make it lie — a forged entry that survives
+/// them is still subject to the per-lookup dependency revalidation and
+/// the splice-time positional check on FromDisk entries.
+///
+/// Saves write to "<path>.tmp" and rename into place, so a crash
+/// mid-save never leaves a torn image at the target path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARGUS_SOLVER_CACHEPERSIST_H
+#define ARGUS_SOLVER_CACHEPERSIST_H
+
+#include "solver/GoalCache.h"
+
+#include <string>
+#include <string_view>
+
+namespace argus {
+
+class FaultInjector;
+
+/// Current image format version. Bumped on any layout change; loaders
+/// reject versions they do not understand (BadVersion) rather than
+/// guessing — warm starts are an optimization, never worth a wrong
+/// answer.
+inline constexpr uint64_t CacheImageVersion = 1;
+
+/// Why a load was rejected. Ok means every entry was staged, validated,
+/// and inserted.
+enum class CacheLoadStatus : uint8_t {
+  Ok = 0,
+  IoError,     ///< File unreadable (or injected cache.io fault).
+  BadMagic,    ///< Not a cache image at all.
+  BadVersion,  ///< Version skew; format not understood.
+  Truncated,   ///< Image shorter than its own structure claims.
+  BadChecksum, ///< Header/section/image checksum mismatch (bit flips).
+  Malformed,   ///< Structurally invalid contents (bad count, index,
+               ///< enum value, token stream, or record shape).
+};
+
+/// Stable snake_case status name ("io_error", ...), used in failure
+/// details and test matchers.
+const char *cacheLoadStatusName(CacheLoadStatus S);
+
+struct CacheLoadResult {
+  CacheLoadStatus Status = CacheLoadStatus::Ok;
+  /// Entries actually inserted (Ok only; keep-first dedup and capacity
+  /// eviction can make this differ from EntriesInImage).
+  uint64_t EntriesLoaded = 0;
+  /// Entries the image header claimed.
+  uint64_t EntriesInImage = 0;
+  /// Human-readable rejection detail for failure notes; empty on Ok.
+  std::string Detail;
+
+  bool ok() const { return Status == CacheLoadStatus::Ok; }
+};
+
+struct CacheSaveResult {
+  bool Ok = false;
+  uint64_t EntriesSaved = 0;
+  uint64_t ImageBytes = 0;
+  /// Human-readable error for warnings; empty on success.
+  std::string Detail;
+};
+
+/// Serializes every resident entry of \p Cache into an image string.
+/// Deterministic for given cache contents (snapshot order).
+std::string serializeGoalCache(const GoalCache &Cache);
+
+/// Validates \p Image and inserts its entries into \p Cache, rewriting
+/// symbol tokens into the target registry and marking every entry
+/// FromDisk. All-or-nothing: on any non-Ok status the cache's entry set
+/// is untouched.
+CacheLoadResult deserializeGoalCache(GoalCache &Cache,
+                                     std::string_view Image);
+
+/// serializeGoalCache + atomic write-to-temp + rename. \p Faults (may be
+/// null) is probed at site "cache.io" with scope \p FaultScope to force
+/// the I/O failure path deterministically.
+CacheSaveResult saveGoalCache(const GoalCache &Cache,
+                              const std::string &Path,
+                              FaultInjector *Faults = nullptr,
+                              std::string_view FaultScope = {});
+
+/// Reads \p Path and deserializes into \p Cache. \p Faults (may be
+/// null) is probed at "cache.io" (read fails with IoError) and
+/// "cache.load_corrupt" (one byte of the read image is flipped, so the
+/// checksum rejection path runs end-to-end).
+CacheLoadResult loadGoalCache(GoalCache &Cache, const std::string &Path,
+                              FaultInjector *Faults = nullptr,
+                              std::string_view FaultScope = {});
+
+} // namespace argus
+
+#endif // ARGUS_SOLVER_CACHEPERSIST_H

@@ -6,8 +6,10 @@
 
 #include "solver/GoalCache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <tuple>
 
 using namespace argus;
 
@@ -337,6 +339,52 @@ size_t GoalCache::size() const {
     Total += ShardTable[I].Map.size();
   }
   return Total;
+}
+
+std::vector<std::pair<GoalCache::Key, GoalCache::EntryPtr>>
+GoalCache::snapshot() const {
+  std::vector<std::pair<Key, EntryPtr>> Out;
+  for (unsigned I = 0; I != NumShards; ++I) {
+    std::lock_guard<std::mutex> Lock(ShardTable[I].M);
+    for (const auto &[Hash, St] : ShardTable[I].Map)
+      Out.emplace_back(St.K, St.E);
+  }
+  // Shard iteration order is unordered_multimap order — not stable.
+  // Sort on the full key (and, for same-key dependency variants, the
+  // dependency units) so the snapshot is a pure function of contents.
+  auto DepLess = [](const DepUnit &A, const DepUnit &B) {
+    auto Tup = [](const DepUnit &U) {
+      return std::tuple(static_cast<uint8_t>(U.K), U.Trait,
+                        static_cast<uint8_t>(U.HasHead), U.HeadKind,
+                        U.HeadName, U.HeadTraitName, U.HeadArity,
+                        U.HeadMutable, U.Fp);
+    };
+    return Tup(A) < Tup(B);
+  };
+  std::sort(Out.begin(), Out.end(), [&](const auto &A, const auto &B) {
+    if (A.first.Hash != B.first.Hash)
+      return A.first.Hash < B.first.Hash;
+    if (A.first.FlagsFp != B.first.FlagsFp)
+      return A.first.FlagsFp < B.first.FlagsFp;
+    auto SpanTup = [](const Span &S) {
+      return std::tuple(S.File.isValid() ? S.File.value() + 1u : 0u,
+                        S.Begin, S.End);
+    };
+    if (SpanTup(A.first.Origin) != SpanTup(B.first.Origin))
+      return SpanTup(A.first.Origin) < SpanTup(B.first.Origin);
+    if (A.first.Pred != B.first.Pred)
+      return A.first.Pred < B.first.Pred;
+    const CacheEnc Empty;
+    const CacheEnc &EnvA = A.first.Env ? *A.first.Env : Empty;
+    const CacheEnc &EnvB = B.first.Env ? *B.first.Env : Empty;
+    if (EnvA != EnvB)
+      return EnvA < EnvB;
+    // Same key: order the dependency-set variants.
+    return std::lexicographical_compare(
+        A.second->Deps.begin(), A.second->Deps.end(),
+        B.second->Deps.begin(), B.second->Deps.end(), DepLess);
+  });
+  return Out;
 }
 
 uint64_t GoalCache::evictions() const {

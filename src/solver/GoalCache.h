@@ -324,6 +324,12 @@ public:
     uint32_t WinnerImplUnit = NoId; ///< Positional, like CandRec.
     uint32_t WinnerImplPos = 0;
     std::vector<std::pair<uint64_t, CacheEnc>> WinnerSubst;
+    /// True for entries materialized from a persisted image rather than
+    /// recorded by a live solve. The hit path runs an extra positional
+    /// sanity check on these before splicing (the image is external
+    /// input), and the engine counts their hits separately
+    /// (cache_disk_hits). Not part of entry identity.
+    bool FromDisk = false;
   };
   using EntryPtr = std::shared_ptr<const Entry>;
 
@@ -371,6 +377,7 @@ public:
 
   /// The registry every entry's symbols are interned into.
   CacheSymbolRegistry &symbols() { return Symbols; }
+  const CacheSymbolRegistry &symbols() const { return Symbols; }
 
   /// Appends every entry stored under K to \p Out, in insertion order,
   /// bumping their LRU clocks. A key can hold several variants — one per
@@ -387,6 +394,13 @@ public:
 
   size_t size() const;
   uint64_t evictions() const;
+
+  /// A deterministic snapshot of every resident (key, entry) pair,
+  /// sorted by key hash with a full-field tiebreak (two entries may
+  /// share a key when their dependency sets differ). LRU clocks are not
+  /// disturbed. The persistence layer serializes from this; it is also
+  /// the stable iteration order for tests.
+  std::vector<std::pair<Key, EntryPtr>> snapshot() const;
 
 private:
   struct Stored {

@@ -102,6 +102,7 @@ struct Solver::Impl {
   uint64_t NumCacheInserts = 0;
   uint64_t NumCacheInsertsRejected = 0;
   uint64_t NumCacheCrossRevHits = 0;
+  uint64_t NumCacheDiskHits = 0;
   uint64_t NumCacheDepMisses = 0;
   /// Latched when SolverOptions::Budget says stop: every goal evaluated
   /// from then on (including quiet replays) short-circuits to Overflow.
@@ -304,6 +305,7 @@ struct Solver::Impl {
   /// program. True iff all match (the entry's recorded subtree is exactly
   /// what a cold solve would produce here); fills \p DC on success.
   bool checkDeps(const GoalCache::Entry &E, DepCheck &DC);
+  static bool diskEntrySane(const GoalCache::Entry &E, const DepCheck &DC);
 
   /// Registers one dependency unit on the active recording frame,
   /// deduplicating by unit identity; for slice units also registers
@@ -496,6 +498,32 @@ bool Solver::Impl::cacheAdmissible(const GoalCache::Entry &E,
       if (std::binary_search(E.StackHashes.begin(), E.StackHashes.end(),
                              AncestorHash))
         return false;
+  return true;
+}
+
+/// Residual positional check for entries loaded from a persisted image.
+/// The loader proves every Impl reference names an ImplSlice dependency
+/// unit, but the position within the slice can only be checked against a
+/// live program's slice — which the dependency check just resolved into
+/// \p DC. A live-recorded entry cannot fail this (the recorder took the
+/// positions from the very slice the fingerprint pins), so the walk runs
+/// for FromDisk entries only; MapImpl below would otherwise index past
+/// the sequence on a forged image in release builds.
+bool Solver::Impl::diskEntrySane(const GoalCache::Entry &E,
+                                 const DepCheck &DC) {
+  auto PosOk = [&](uint32_t Unit, uint32_t Pos) {
+    if (Unit == GoalCache::NoId)
+      return true;
+    const Program::ImplSlice *Slice =
+        Unit < DC.Slices.size() ? DC.Slices[Unit] : nullptr;
+    return Slice && Pos < Slice->Seq.size();
+  };
+  for (const GoalCache::CandRec &C : E.Cands)
+    if (C.Kind == CandidateKind::Impl && !PosOk(C.ImplUnit, C.ImplPos))
+      return false;
+  if (E.HasWinner && E.WinnerKind == CandidateKind::Impl &&
+      !PosOk(E.WinnerImplUnit, E.WinnerImplPos))
+    return false;
   return true;
 }
 
@@ -706,6 +734,14 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
         AnyDepFail = true;
         continue;
       }
+      // Disk-loaded entries carry positional impl references that were
+      // validated structurally but not against a live program; a forged
+      // position that survived the fingerprint check must miss, never
+      // index out of the consumer's slice.
+      if (Variant.FromDisk && !diskEntrySane(Variant, DC)) {
+        AnyDepFail = true;
+        continue;
+      }
       Hit = &Variant;
       FromShared = I < NumShared;
       break;
@@ -716,6 +752,8 @@ GoalNodeId Solver::Impl::evalGoal(const Predicate &P, uint32_t Depth,
       ++NumCacheHits;
       if (FromShared)
         ++NumCacheCrossRevHits;
+      if (Hit->FromDisk)
+        ++NumCacheDiskHits;
       // The hit's consultations become the enclosing recording frame's
       // dependencies (quiet or not: a probe's shape is visible work).
       if (Rec)
@@ -1797,6 +1835,7 @@ GoalNodeId Solver::solveOne(SolveOutcome &Out, const Predicate &Pred,
   Out.NumCacheInserts = P->NumCacheInserts;
   Out.NumCacheInsertsRejected = P->NumCacheInsertsRejected;
   Out.NumCacheCrossRevHits = P->NumCacheCrossRevHits;
+  Out.NumCacheDiskHits = P->NumCacheDiskHits;
   Out.NumCacheDepMisses = P->NumCacheDepMisses;
   Out.Interrupted = P->BudgetStopped;
   Out.EvalBudgetExhausted = P->EvalBudgetExhausted;
@@ -1882,6 +1921,7 @@ SolveOutcome Solver::solve() {
   Out.NumCacheInserts = P->NumCacheInserts;
   Out.NumCacheInsertsRejected = P->NumCacheInsertsRejected;
   Out.NumCacheCrossRevHits = P->NumCacheCrossRevHits;
+  Out.NumCacheDiskHits = P->NumCacheDiskHits;
   Out.NumCacheDepMisses = P->NumCacheDepMisses;
   Out.Interrupted = P->BudgetStopped;
   Out.EvalBudgetExhausted = P->EvalBudgetExhausted;

@@ -188,6 +188,10 @@ struct SolveOutcome {
   /// solve began — i.e. recorded by a previous revision, batch job, or
   /// run sharing the cache. Subset of NumCacheHits.
   uint64_t NumCacheCrossRevHits = 0;
+  /// Cache hits served by an entry materialized from a persisted image
+  /// (Entry::FromDisk) rather than recorded by any live solve sharing
+  /// the cache. Subset of NumCacheCrossRevHits.
+  uint64_t NumCacheDiskHits = 0;
   /// Lookups that found at least one entry variant for their key but
   /// rejected every variant on the dependency-fingerprint check (the
   /// program edited an impl/trait the recorded subtree consulted).

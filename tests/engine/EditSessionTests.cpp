@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 using namespace argus;
@@ -164,4 +165,51 @@ TEST(EditSession, ParseFailureIsARevisionToo) {
   EXPECT_EQ(renderAll(R3), coldRender(BaseSource));
   EXPECT_GT(R3.stats().CacheCrossRevHits, 0u)
       << "rev 1 entries must survive an unparseable intermediate state";
+}
+
+TEST(EditSession, RestartResumesFromPersistedCache) {
+  // The save-on-exit / load-on-start loop: revisions 1-4 in one
+  // EditSession, saveCache, then a brand-new EditSession (the restarted
+  // process) loads the image and replays revisions 5-8. Every revision
+  // matches its cold render byte for byte, the restarted session's
+  // first revision is served by entries no live session of its own
+  // recorded, and the pending load outcome is stamped onto that
+  // revision's stats.
+  std::string Path = testing::TempDir() + "argus_edit_restart.gc";
+  std::string Edited = editedSource();
+  const std::string Script[] = {BaseSource, Edited, BaseSource, Edited};
+
+  {
+    EditSession Edit(SessionName, cached());
+    for (const std::string &Src : Script)
+      EXPECT_EQ(renderAll(Edit.apply(Src)), coldRender(Src));
+    std::string Error;
+    ASSERT_TRUE(Edit.saveCache(Path, nullptr, &Error)) << Error;
+  }
+
+  EditSession Restarted(SessionName, cached());
+  Restarted.loadCache(Path);
+  for (size_t R = 0; R != 4; ++R) {
+    engine::Session &S = Restarted.apply(Script[R % 2 == 0 ? 0 : 1]);
+    EXPECT_EQ(renderAll(S), coldRender(Script[R % 2 == 0 ? 0 : 1]));
+    if (R == 0) {
+      EXPECT_GT(S.stats().CacheDiskEntriesLoaded, 0u)
+          << "the load outcome must be stamped on the next revision";
+      EXPECT_EQ(S.stats().CacheLoadRejects, 0u);
+      EXPECT_GT(S.stats().CacheDiskHits, 0u)
+          << "revision 1 after restart must replay from disk entries";
+      EXPECT_GT(S.stats().CacheCrossRevHits, 0u);
+    }
+  }
+  std::remove(Path.c_str());
+
+  // A mangled image degrades the restart to a cold start: rejection is
+  // stamped, nothing is resident, output is still exact.
+  EditSession ColdStart(SessionName, cached());
+  ColdStart.loadCache(Path); // Deleted above: IoError.
+  engine::Session &S = ColdStart.apply(BaseSource);
+  EXPECT_EQ(renderAll(S), coldRender(BaseSource));
+  EXPECT_EQ(S.stats().CacheDiskEntriesLoaded, 0u);
+  EXPECT_EQ(S.stats().CacheLoadRejects, 1u);
+  EXPECT_EQ(S.stats().CacheDiskHits, 0u);
 }

@@ -18,6 +18,7 @@
 #include "corpus/Corpus.h"
 #include "engine/Batch.h"
 #include "engine/Session.h"
+#include "solver/CachePersist.h"
 #include "solver/GoalCache.h"
 #include "support/FaultInjector.h"
 #include "support/Governance.h"
@@ -25,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <set>
 #include <string>
 
@@ -432,6 +434,117 @@ TEST(FaultMatrix, CacheDepMissInjection) {
   EXPECT_EQ(fullPipeline(Off), PlainOut);
   EXPECT_EQ(Off.stats().FaultsInjected, 0u);
   EXPECT_EQ(Off.stats().CacheDepMisses, 0u);
+}
+
+TEST(FaultMatrix, CacheIoInjection) {
+  // cache.io fails the persisted-image read before any bytes arrive.
+  // The load reports a structured IoError, the session is stamped with
+  // cache_load_rejected, and the solve proceeds cold — byte-identical
+  // to an uninjected cold run even with a live deadline ticking.
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session Plain(Entry.Id, Entry.Source, SessionOptions());
+  std::string PlainOut = fullPipeline(Plain);
+
+  std::string Path = testing::TempDir() + "argus_governor_cache_io.gc";
+  {
+    GoalCache Warm;
+    SessionOptions WarmOpts;
+    WarmOpts.Cache = CacheMode::Shared;
+    WarmOpts.SharedCache = &Warm;
+    engine::Session Warmup(Entry.Id, Entry.Source, WarmOpts);
+    EXPECT_EQ(fullPipeline(Warmup), PlainOut);
+    ASSERT_TRUE(saveGoalCache(Warm, Path).Ok);
+  }
+
+  FaultInjector Io("cache.io", /*Seed=*/1);
+  GoalCache Loaded;
+  CacheLoadResult R = loadGoalCache(Loaded, Path, &Io, Path);
+  EXPECT_EQ(R.Status, CacheLoadStatus::IoError);
+  EXPECT_EQ(Loaded.size(), 0u);
+  EXPECT_GE(Io.fired(), 1u);
+  // The injected failure also abandons saves before the temp file.
+  EXPECT_FALSE(saveGoalCache(Loaded, Path, &Io, Path).Ok);
+
+  SessionOptions Opts;
+  Opts.Cache = CacheMode::Shared;
+  Opts.SharedCache = &Loaded;
+  Opts.Limits.JobDeadlineSeconds = 5.0; // live, never fires
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  S.noteCacheLoad(R.EntriesLoaded, /*Rejected=*/true,
+                  std::string(cacheLoadStatusName(R.Status)) + ": " +
+                      R.Detail);
+  EXPECT_EQ(fullPipeline(S), PlainOut);
+  EXPECT_EQ(S.stats().CacheDiskHits, 0u);
+  EXPECT_EQ(S.stats().CacheDiskEntriesLoaded, 0u);
+  EXPECT_EQ(S.stats().CacheLoadRejects, 1u);
+  EXPECT_EQ(S.stats().DeadlineHits, 0u);
+  EXPECT_TRUE(
+      hasFailure(S.stats().Failures, FailureCode::CacheLoadRejected,
+                 Stage::Solve));
+  std::remove(Path.c_str());
+}
+
+TEST(FaultMatrix, CacheLoadCorruptInjection) {
+  // cache.load_corrupt flips one byte of the image after a successful
+  // read, driving the checksum rejection end to end: structured
+  // BadChecksum, nothing committed, and the solve under a live deadline
+  // reproduces the uninjected cold bytes. The uninjected control load
+  // of the same file proves the image itself was good.
+  const CorpusEntry &Entry = firstCorpusEntry();
+  engine::Session Plain(Entry.Id, Entry.Source, SessionOptions());
+  std::string PlainOut = fullPipeline(Plain);
+
+  std::string Path =
+      testing::TempDir() + "argus_governor_cache_corrupt.gc";
+  {
+    GoalCache Warm;
+    SessionOptions WarmOpts;
+    WarmOpts.Cache = CacheMode::Shared;
+    WarmOpts.SharedCache = &Warm;
+    engine::Session Warmup(Entry.Id, Entry.Source, WarmOpts);
+    (void)fullPipeline(Warmup);
+    ASSERT_GT(Warm.size(), 0u);
+    ASSERT_TRUE(saveGoalCache(Warm, Path).Ok);
+  }
+
+  GoalCache Control;
+  ASSERT_TRUE(loadGoalCache(Control, Path, nullptr, {}).ok());
+  ASSERT_GT(Control.size(), 0u);
+
+  FaultInjector Corrupt("cache.load_corrupt", /*Seed=*/1);
+  GoalCache Loaded;
+  CacheLoadResult R = loadGoalCache(Loaded, Path, &Corrupt, Path);
+  EXPECT_EQ(R.Status, CacheLoadStatus::BadChecksum);
+  EXPECT_EQ(R.EntriesLoaded, 0u);
+  EXPECT_EQ(Loaded.size(), 0u);
+  EXPECT_GE(Corrupt.fired(), 1u);
+
+  SessionOptions Opts;
+  Opts.Cache = CacheMode::Shared;
+  Opts.SharedCache = &Loaded;
+  Opts.Limits.JobDeadlineSeconds = 5.0; // live, never fires
+  engine::Session S(Entry.Id, Entry.Source, Opts);
+  S.noteCacheLoad(R.EntriesLoaded, /*Rejected=*/true,
+                  std::string(cacheLoadStatusName(R.Status)) + ": " +
+                      R.Detail);
+  EXPECT_EQ(fullPipeline(S), PlainOut);
+  EXPECT_EQ(S.stats().CacheDiskHits, 0u);
+  EXPECT_EQ(S.stats().CacheLoadRejects, 1u);
+  EXPECT_EQ(S.stats().DeadlineHits, 0u);
+  EXPECT_TRUE(
+      hasFailure(S.stats().Failures, FailureCode::CacheLoadRejected,
+                 Stage::Solve));
+
+  // The same session shape against the control cache replays from disk
+  // with identical bytes — the degradation above cost work, never
+  // correctness.
+  SessionOptions WarmOpts;
+  WarmOpts.Cache = CacheMode::Shared;
+  WarmOpts.SharedCache = &Control;
+  engine::Session FromDisk(Entry.Id, Entry.Source, WarmOpts);
+  EXPECT_EQ(fullPipeline(FromDisk), PlainOut);
+  EXPECT_GT(FromDisk.stats().CacheDiskHits, 0u);
+  std::remove(Path.c_str());
 }
 
 TEST(FaultMatrix, CancelledSolveNeverPoisonsASharedCache) {

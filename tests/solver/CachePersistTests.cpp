@@ -1,0 +1,341 @@
+//===- tests/solver/CachePersistTests.cpp ---------------------*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persisted-cache contract: a serialized GoalCache image reloads
+/// into a byte-identical solve served by disk entries; re-serialization
+/// is deterministic; and the loader treats every image as adversarial —
+/// truncation at any byte, single bit flips, magic/version/flags
+/// forgery, section swaps, and structurally invalid records each yield
+/// a structured CacheLoadStatus with all-or-nothing semantics (a
+/// rejected image never leaves a partial load behind, and never
+/// disturbs entries already resident). The file-level wrappers route
+/// the cache.io and cache.load_corrupt fault sites through the same
+/// rejection paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "extract/Extract.h"
+#include "extract/TreeJSON.h"
+#include "solver/CachePersist.h"
+#include "solver/GoalCache.h"
+#include "solver/Solver.h"
+#include "support/FaultInjector.h"
+#include "tlang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace argus;
+
+namespace {
+
+const char *BasicSource = "struct A;\n"
+                          "struct B;\n"
+                          "struct Wrap<T>;\n"
+                          "trait Show;\n"
+                          "impl Show for A;\n"
+                          "impl<T> Show for Wrap<T> where T: Show;\n"
+                          "goal Wrap<A>: Show;\n"
+                          "goal Wrap<B>: Show;\n";
+
+struct Parsed {
+  Session S;
+  Program Prog;
+  Parsed(const std::string &Source) : Prog(S) {
+    ParseResult R = parseSource(Prog, "persist.tl", Source);
+    EXPECT_TRUE(R.Success) << Source;
+  }
+};
+
+/// Full solve + extraction serialization against \p Cache (or cold when
+/// null) — the byte-level artifact the round-trip assertions compare.
+std::string solveToJSON(const std::string &Source, GoalCache *Cache,
+                        SolveOutcome *OutStats = nullptr) {
+  Parsed P(Source);
+  SolverOptions Opts;
+  Opts.Cache = Cache;
+  Solver Solve(P.Prog, Opts);
+  SolveOutcome Out = Solve.solve();
+  Extraction Ex = extractTrees(P.Prog, Out, Solve.inferContext());
+  std::string JSON;
+  for (const InferenceTree &Tree : Ex.Trees)
+    JSON += treeToJSON(P.Prog, Tree, /*Pretty=*/true) + "\n";
+  if (OutStats)
+    *OutStats = std::move(Out);
+  return JSON;
+}
+
+/// A cache populated by one solve of \p Source.
+std::string populatedImage(const std::string &Source,
+                           size_t *EntriesOut = nullptr) {
+  GoalCache Cache;
+  (void)solveToJSON(Source, &Cache);
+  if (EntriesOut)
+    *EntriesOut = Cache.size();
+  return serializeGoalCache(Cache);
+}
+
+uint64_t fnv1a(const char *Data, size_t N) {
+  uint64_t H = 14695981039346656037ull;
+  for (size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t readWord(const std::string &S, size_t WordIndex) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(
+             static_cast<unsigned char>(S[WordIndex * 8 + I]))
+         << (8 * I);
+  return V;
+}
+
+void writeWord(std::string &S, size_t WordIndex, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    S[WordIndex * 8 + I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+}
+
+/// Recomputes every checksum so a forged field must be caught by the
+/// validator it targets, not by checksum collateral.
+void fixChecksums(std::string &Image) {
+  ASSERT_GE(Image.size(), 88u);
+  uint64_t SymWords = readWord(Image, 4);
+  uint64_t EntryWords = readWord(Image, 6);
+  uint64_t TotalWords = Image.size() / 8;
+  ASSERT_EQ(10 + SymWords + EntryWords + 1, TotalWords);
+  const char *Sym = Image.data() + 10 * 8;
+  writeWord(Image, 7, fnv1a(Sym, static_cast<size_t>(SymWords) * 8));
+  writeWord(Image, 8, fnv1a(Sym + SymWords * 8,
+                            static_cast<size_t>(EntryWords) * 8));
+  writeWord(Image, 9, fnv1a(Image.data(), 9 * 8));
+  writeWord(Image, TotalWords - 1, fnv1a(Image.data(), Image.size() - 8));
+}
+
+TEST(CachePersist, EmptyCacheRoundTrips) {
+  std::string Image = serializeGoalCache(GoalCache());
+  ASSERT_GE(Image.size(), 88u) << "even an empty cache has a full header";
+  GoalCache Fresh;
+  CacheLoadResult R = deserializeGoalCache(Fresh, Image);
+  EXPECT_TRUE(R.ok()) << R.Detail;
+  EXPECT_EQ(R.EntriesLoaded, 0u);
+  EXPECT_EQ(Fresh.size(), 0u);
+}
+
+TEST(CachePersist, RoundTripServesByteIdenticalSolveFromDisk) {
+  std::string Cold = solveToJSON(BasicSource, nullptr);
+  size_t Entries = 0;
+  std::string Image = populatedImage(BasicSource, &Entries);
+  ASSERT_GT(Entries, 0u);
+
+  GoalCache Loaded;
+  CacheLoadResult R = deserializeGoalCache(Loaded, Image);
+  ASSERT_TRUE(R.ok()) << R.Detail;
+  EXPECT_EQ(R.EntriesLoaded, Entries);
+  EXPECT_EQ(R.EntriesInImage, Entries);
+  EXPECT_EQ(Loaded.size(), Entries);
+
+  SolveOutcome Warm;
+  std::string FromDisk = solveToJSON(BasicSource, &Loaded, &Warm);
+  EXPECT_EQ(FromDisk, Cold);
+  EXPECT_GT(Warm.NumCacheDiskHits, 0u)
+      << "the loaded entries should have served the warm solve";
+  EXPECT_GT(Warm.NumCacheCrossRevHits, 0u)
+      << "disk hits are cross-revision hits by definition";
+}
+
+TEST(CachePersist, ReserializationIsDeterministic) {
+  std::string Image = populatedImage(BasicSource);
+  GoalCache Loaded;
+  ASSERT_TRUE(deserializeGoalCache(Loaded, Image).ok());
+  // Same resident state, same bytes — twice over, and across the
+  // load/serialize round trip itself.
+  std::string Again = serializeGoalCache(Loaded);
+  EXPECT_EQ(serializeGoalCache(Loaded), Again);
+  GoalCache Reloaded;
+  ASSERT_TRUE(deserializeGoalCache(Reloaded, Again).ok());
+  EXPECT_EQ(Reloaded.size(), Loaded.size());
+}
+
+TEST(CachePersist, EveryTruncationIsRejectedAllOrNothing) {
+  std::string Image = populatedImage(BasicSource);
+  for (size_t Len = 0; Len < Image.size(); ++Len) {
+    GoalCache Fresh;
+    CacheLoadResult R =
+        deserializeGoalCache(Fresh, std::string_view(Image).substr(0, Len));
+    EXPECT_FALSE(R.ok()) << "prefix of " << Len << " bytes accepted";
+    EXPECT_EQ(Fresh.size(), 0u)
+        << "partial load left entries behind at prefix " << Len;
+  }
+}
+
+TEST(CachePersist, EverySingleBitFlipIsRejected) {
+  std::string Image = populatedImage(BasicSource);
+  for (size_t Byte = 0; Byte != Image.size(); ++Byte) {
+    std::string Mutant = Image;
+    Mutant[Byte] ^= static_cast<char>(1u << (Byte % 8));
+    GoalCache Fresh;
+    CacheLoadResult R = deserializeGoalCache(Fresh, Mutant);
+    EXPECT_FALSE(R.ok()) << "bit flip at byte " << Byte << " accepted";
+    EXPECT_EQ(Fresh.size(), 0u);
+  }
+}
+
+TEST(CachePersist, MagicVersionAndFlagsForgeryAreClassified) {
+  std::string Image = populatedImage(BasicSource);
+
+  std::string BadMagic = Image;
+  writeWord(BadMagic, 0, 0x0123456789abcdefull);
+  fixChecksums(BadMagic);
+  GoalCache C1;
+  EXPECT_EQ(deserializeGoalCache(C1, BadMagic).Status,
+            CacheLoadStatus::BadMagic);
+
+  std::string Skewed = Image;
+  writeWord(Skewed, 1, CacheImageVersion + 1);
+  fixChecksums(Skewed);
+  GoalCache C2;
+  EXPECT_EQ(deserializeGoalCache(C2, Skewed).Status,
+            CacheLoadStatus::BadVersion);
+
+  // Version skew with a stale header checksum reads as corruption, not
+  // as a future version — the checksum is validated first.
+  std::string SkewedStale = Image;
+  writeWord(SkewedStale, 1, CacheImageVersion + 1);
+  GoalCache C3;
+  EXPECT_EQ(deserializeGoalCache(C3, SkewedStale).Status,
+            CacheLoadStatus::BadChecksum);
+
+  std::string Flagged = Image;
+  writeWord(Flagged, 2, 1);
+  fixChecksums(Flagged);
+  GoalCache C4;
+  EXPECT_EQ(deserializeGoalCache(C4, Flagged).Status,
+            CacheLoadStatus::Malformed);
+
+  EXPECT_EQ(C1.size() + C2.size() + C3.size() + C4.size(), 0u);
+}
+
+TEST(CachePersist, SwappedSectionsAreRejectedEvenWithValidChecksums) {
+  std::string Image = populatedImage(BasicSource);
+  uint64_t SymWords = readWord(Image, 4);
+  uint64_t EntryWords = readWord(Image, 6);
+  ASSERT_GT(SymWords, 0u);
+  ASSERT_GT(EntryWords, 0u);
+
+  // Swap the two sections bodily and update the header to match; the
+  // checksums then pass and rejection must come from the parsers.
+  std::string Swapped = Image.substr(0, 80);
+  Swapped += Image.substr(80 + SymWords * 8, EntryWords * 8);
+  Swapped += Image.substr(80, SymWords * 8);
+  Swapped += Image.substr(80 + (SymWords + EntryWords) * 8);
+  writeWord(Swapped, 4, EntryWords);
+  writeWord(Swapped, 6, SymWords);
+  fixChecksums(Swapped);
+  GoalCache Fresh;
+  CacheLoadResult R = deserializeGoalCache(Fresh, Swapped);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(Fresh.size(), 0u);
+}
+
+TEST(CachePersist, ForgedEntryCountIsMalformedNotPartial) {
+  std::string Image = populatedImage(BasicSource);
+  std::string Forged = Image;
+  writeWord(Forged, 5, readWord(Image, 5) + 100); // entryCount
+  fixChecksums(Forged);
+  GoalCache Fresh;
+  CacheLoadResult R = deserializeGoalCache(Fresh, Forged);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(Fresh.size(), 0u) << "entries parsed before the forged count"
+                                 " ran out must not be committed";
+}
+
+TEST(CachePersist, RejectedLoadLeavesResidentEntriesUntouched) {
+  GoalCache Cache;
+  std::string Baseline = solveToJSON(BasicSource, &Cache);
+  size_t Resident = Cache.size();
+  ASSERT_GT(Resident, 0u);
+
+  std::string Image = populatedImage(BasicSource);
+  Image.resize(Image.size() / 2); // Guaranteed rejection.
+  CacheLoadResult R = deserializeGoalCache(Cache, Image);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(Cache.size(), Resident);
+  // And the survivors still serve a byte-identical solve.
+  EXPECT_EQ(solveToJSON(BasicSource, &Cache), Baseline);
+}
+
+TEST(CachePersist, LoadingIntoWarmCacheKeepsFirst) {
+  GoalCache Cache;
+  (void)solveToJSON(BasicSource, &Cache);
+  size_t Resident = Cache.size();
+  std::string Image = populatedImage(BasicSource);
+  CacheLoadResult R = deserializeGoalCache(Cache, Image);
+  EXPECT_TRUE(R.ok()) << R.Detail;
+  // Same keys, already resident: keep-first means nothing is replaced
+  // and the size never shrinks.
+  EXPECT_GE(Cache.size(), Resident);
+}
+
+TEST(CachePersist, FileRoundTripAndMissingFile) {
+  std::string Path =
+      testing::TempDir() + "argus_cache_persist_roundtrip.gc";
+  size_t Entries = 0;
+  GoalCache Cache;
+  (void)solveToJSON(BasicSource, &Cache);
+  Entries = Cache.size();
+
+  CacheSaveResult S = saveGoalCache(Cache, Path);
+  ASSERT_TRUE(S.Ok) << S.Detail;
+  EXPECT_EQ(S.EntriesSaved, Entries);
+  EXPECT_GT(S.ImageBytes, 0u);
+
+  GoalCache Loaded;
+  CacheLoadResult L = loadGoalCache(Loaded, Path, nullptr, {});
+  EXPECT_TRUE(L.ok()) << L.Detail;
+  EXPECT_EQ(Loaded.size(), Entries);
+  std::remove(Path.c_str());
+
+  GoalCache Fresh;
+  CacheLoadResult Missing = loadGoalCache(Fresh, Path, nullptr, {});
+  EXPECT_EQ(Missing.Status, CacheLoadStatus::IoError);
+  EXPECT_EQ(Fresh.size(), 0u);
+}
+
+TEST(CachePersist, FaultSitesDriveIoAndCorruptionRejection) {
+  std::string Path = testing::TempDir() + "argus_cache_persist_faults.gc";
+  GoalCache Cache;
+  (void)solveToJSON(BasicSource, &Cache);
+  ASSERT_TRUE(saveGoalCache(Cache, Path).Ok);
+
+  FaultInjector Io("cache.io", /*Seed=*/1);
+  GoalCache C1;
+  EXPECT_EQ(loadGoalCache(C1, Path, &Io, Path).Status,
+            CacheLoadStatus::IoError);
+  EXPECT_EQ(C1.size(), 0u);
+  CacheSaveResult S = saveGoalCache(Cache, Path, &Io, Path);
+  EXPECT_FALSE(S.Ok);
+
+  FaultInjector Corrupt("cache.load_corrupt", /*Seed=*/1);
+  GoalCache C2;
+  CacheLoadResult R = loadGoalCache(C2, Path, &Corrupt, Path);
+  EXPECT_EQ(R.Status, CacheLoadStatus::BadChecksum);
+  EXPECT_EQ(C2.size(), 0u);
+
+  // Unrelated sites leave the load alone.
+  FaultInjector Other("cache.reject", /*Seed=*/1);
+  GoalCache C3;
+  EXPECT_TRUE(loadGoalCache(C3, Path, &Other, Path).ok());
+  EXPECT_EQ(C3.size(), Cache.size());
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -303,3 +303,72 @@ TEST(CLI, StatsLineCarriesGovernanceCounters) {
   EXPECT_NE(Result.Stdout.find("failures=1"), std::string::npos);
   EXPECT_NE(Result.Stdout.find("faults_injected=1"), std::string::npos);
 }
+
+TEST(CLI, CacheOffRejectsPersistFlagsAsUsageError) {
+  std::string Path = writeTemp("cli_persist_off.tl", FailingProgram);
+  std::string Image = std::string(::testing::TempDir()) + "cli_off.gc";
+  RunResult Load =
+      runCLI(Path + " --cache off --cache-load " + Image);
+  EXPECT_EQ(Load.ExitCode, 2);
+  EXPECT_NE(Load.Stdout.find("--cache off cannot be combined"),
+            std::string::npos);
+  RunResult Save =
+      runCLI(Path + " --cache off --cache-save " + Image);
+  EXPECT_EQ(Save.ExitCode, 2);
+  EXPECT_NE(Save.Stdout.find("--cache off cannot be combined"),
+            std::string::npos);
+  // The flags alone are fine: persistence implies a shared cache.
+  RunResult Solo = runCLI(Path + " --cache-save " + Image);
+  EXPECT_EQ(Solo.ExitCode, 1);
+  std::remove(Image.c_str());
+}
+
+TEST(CLI, CacheSaveLoadRoundTripIsByteIdenticalWithDiskHits) {
+  std::string Path = writeTemp("cli_persist_rt.tl", FailingProgram);
+  std::string Image = std::string(::testing::TempDir()) + "cli_rt.gc";
+  RunResult Cold = runCLI(Path + " --json");
+  RunResult Save = runCLI(Path + " --json --cache-save " + Image);
+  EXPECT_EQ(Save.ExitCode, Cold.ExitCode);
+  EXPECT_EQ(Save.Stdout, Cold.Stdout);
+  RunResult Warm = runCLI(Path + " --json --cache-load " + Image);
+  EXPECT_EQ(Warm.ExitCode, Cold.ExitCode);
+  EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+  RunResult Stats = runCLI(Path + " --stats --cache-load " + Image);
+  EXPECT_NE(Stats.Stdout.find("cache_load_rejects=0"), std::string::npos);
+  EXPECT_EQ(Stats.Stdout.find("cache_disk_hits=0 "), std::string::npos)
+      << "the loaded image should serve at least one hit: "
+      << Stats.Stdout;
+  std::remove(Image.c_str());
+}
+
+TEST(CLI, TruncatedCacheImageDegradesToColdRunWithExitThree) {
+  std::string Path = writeTemp("cli_persist_trunc.tl", FailingProgram);
+  std::string Image = std::string(::testing::TempDir()) + "cli_trunc.gc";
+  RunResult Cold = runCLI(Path + " --json");
+  ASSERT_EQ(runCLI(Path + " --cache-save " + Image).ExitCode, 1);
+  // Truncate the image to 100 bytes in place.
+  {
+    std::ifstream In(Image, std::ios::binary);
+    char Buffer[100];
+    In.read(Buffer, sizeof(Buffer));
+    std::ofstream Out(Image, std::ios::binary | std::ios::trunc);
+    Out.write(Buffer, In.gcount());
+  }
+  // Redirect stdout to a file so the note (stderr) and the JSON can be
+  // checked separately: the note names the structured failure, the JSON
+  // must be byte-identical to the cold run.
+  // (The fd swap keeps the note on the pipe even after runCLI's own
+  // trailing "2>&1", which then only applies to the exit builtin.)
+  std::string OutFile = std::string(::testing::TempDir()) + "cli_trunc.out";
+  RunResult Rejected =
+      runCLI(Path + " --json --cache-load " + Image + " 2>&1 1>" + OutFile +
+             "; exit $?");
+  EXPECT_EQ(Rejected.ExitCode, 3);
+  EXPECT_NE(Rejected.Stdout.find("cache_load_rejected"), std::string::npos);
+  std::ifstream In(OutFile);
+  std::stringstream Warm;
+  Warm << In.rdbuf();
+  EXPECT_EQ(Warm.str(), Cold.Stdout);
+  std::remove(OutFile.c_str());
+  std::remove(Image.c_str());
+}

@@ -42,6 +42,16 @@
 ///   --cache-shards <n>  lock stripes in the goal cache (default 16)
 ///   --cache-cap <n>     max cached entries before eviction (default
 ///                       65536)
+///   --cache-load <file>  warm-start the goal cache from a persisted
+///                    image before solving. A missing or mangled image
+///                    is rejected atomically (cache_load_rejected note,
+///                    degraded exit 3) and the run proceeds cold with
+///                    byte-identical output. Implies --cache shared
+///                    (an explicit --cache session is upgraded; --cache
+///                    off is a usage error).
+///   --cache-save <file>  persist the goal cache after the run (atomic
+///                    write-to-temp + rename). Same cache-mode rules as
+///                    --cache-load; an unwritable path exits 2.
 ///   --no-index       disable the prebuilt candidate index (and with it
 ///                    the subsumption pass); the solver scans and
 ///                    filters impls lazily. Output is identical.
@@ -72,6 +82,7 @@
 #include "engine/Batch.h"
 #include "engine/EditSession.h"
 #include "engine/Session.h"
+#include "solver/CachePersist.h"
 #include "tlang/Printer.h"
 
 #include <algorithm>
@@ -80,6 +91,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -106,6 +119,8 @@ struct Options {
   bool CacheSet = false;
   unsigned CacheShards = 16;
   size_t CacheCap = 65536;
+  std::string CacheLoadPath;
+  std::string CacheSavePath;
   bool Diag = false;
   bool BottomUp = false;
   bool TopDown = false;
@@ -130,6 +145,7 @@ int usage() {
           " [--inject-prob <p>]\n"
           "             [--cache off|session|shared] [--cache-shards <n>]"
           " [--cache-cap <n>]\n"
+          "             [--cache-load <file>] [--cache-save <file>]\n"
           "             [--no-index] [--no-subsume]\n"
           "             [--dnf-kernel auto|bitset|reference]\n"
           "             [--version]\n"
@@ -267,6 +283,9 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
     Sum.CacheInsertsRejected += Stats->CacheInsertsRejected;
     Sum.CacheCrossRevHits += Stats->CacheCrossRevHits;
     Sum.CacheDepMisses += Stats->CacheDepMisses;
+    Sum.CacheDiskEntriesLoaded += Stats->CacheDiskEntriesLoaded;
+    Sum.CacheLoadRejects += Stats->CacheLoadRejects;
+    Sum.CacheDiskHits += Stats->CacheDiskHits;
     Sum.ImplsInvalidated += Stats->ImplsInvalidated;
     Sum.CandidatesFiltered += Stats->CandidatesFiltered;
     Sum.IndexBucketHits += Stats->IndexBucketHits;
@@ -297,6 +316,8 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          " solver_steps=%llu cache_hits=%llu cache_misses=%llu"
          " cache_inserts=%llu cache_inserts_rejected=%llu"
          " cache_cross_rev_hits=%llu cache_dep_misses=%llu"
+         " cache_disk_entries_loaded=%llu cache_load_rejects=%llu"
+         " cache_disk_hits=%llu"
          " impls_invalidated=%llu"
          " candidates_filtered=%llu"
          " index_bucket_hits=%llu impls_subsumed=%llu"
@@ -317,6 +338,9 @@ void printStatsLine(const std::vector<const engine::SessionStats *> &All) {
          static_cast<unsigned long long>(Sum.CacheInsertsRejected),
          static_cast<unsigned long long>(Sum.CacheCrossRevHits),
          static_cast<unsigned long long>(Sum.CacheDepMisses),
+         static_cast<unsigned long long>(Sum.CacheDiskEntriesLoaded),
+         static_cast<unsigned long long>(Sum.CacheLoadRejects),
+         static_cast<unsigned long long>(Sum.CacheDiskHits),
          static_cast<unsigned long long>(Sum.ImplsInvalidated),
          static_cast<unsigned long long>(Sum.CandidatesFiltered),
          static_cast<unsigned long long>(Sum.IndexBucketHits),
@@ -352,6 +376,68 @@ std::string failureNotes(const engine::SessionStats &Stats) {
   return Out;
 }
 
+/// What --cache-load did, for stamping into a stats record after the
+/// fact. In batch and edit-script modes the stamp happens after the
+/// stdout blocks are printed and the rejection note goes to stderr, so
+/// a rejected image never perturbs the byte-identity of the rendered
+/// output against a cold run.
+struct LoadOutcome {
+  bool Attempted = false;
+  uint64_t EntriesLoaded = 0;
+  bool Rejected = false;
+  std::string Detail;
+};
+
+LoadOutcome doCacheLoad(const Options &Opts, GoalCache &Cache,
+                        FaultInjector *Faults) {
+  LoadOutcome O;
+  if (Opts.CacheLoadPath.empty())
+    return O;
+  O.Attempted = true;
+  CacheLoadResult R =
+      loadGoalCache(Cache, Opts.CacheLoadPath, Faults, Opts.CacheLoadPath);
+  O.EntriesLoaded = R.EntriesLoaded;
+  if (!R.ok()) {
+    O.Rejected = true;
+    O.Detail = std::string(cacheLoadStatusName(R.Status)) + ": " + R.Detail;
+  }
+  return O;
+}
+
+/// Post-run --cache-save. Returns the exit contribution: 0, or 2 when
+/// the explicitly requested image cannot be written (the writeTrace
+/// precedent for a requested output file).
+int doCacheSave(const Options &Opts, const GoalCache &Cache,
+                FaultInjector *Faults) {
+  if (Opts.CacheSavePath.empty())
+    return 0;
+  CacheSaveResult R =
+      saveGoalCache(Cache, Opts.CacheSavePath, Faults, Opts.CacheSavePath);
+  if (!R.Ok) {
+    fprintf(stderr, "argus: cannot save cache image %s: %s\n",
+            Opts.CacheSavePath.c_str(), R.Detail.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+/// Folds a finished --cache-load into one stats record (counters, and on
+/// rejection the structured failure + a stderr note + degraded exit).
+void stampLoad(const LoadOutcome &Load, engine::SessionStats &Stats,
+               int &Exit) {
+  if (!Load.Attempted)
+    return;
+  Stats.CacheDiskEntriesLoaded += Load.EntriesLoaded;
+  if (Load.Rejected) {
+    ++Stats.CacheLoadRejects;
+    Stats.Failures.push_back({engine::FailureCode::CacheLoadRejected,
+                              engine::Stage::Solve, Load.Detail});
+    fprintf(stderr, "note: cache_load_rejected during solve: %s\n",
+            Load.Detail.c_str());
+    Exit = std::max(Exit, 3);
+  }
+}
+
 bool writeTrace(const std::string &Path, const std::string &JSON) {
   std::ofstream File(Path);
   if (!File) {
@@ -362,7 +448,8 @@ bool writeTrace(const std::string &Path, const std::string &JSON) {
   return true;
 }
 
-int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
+int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts,
+             GoalCache *PersistCache, FaultInjector *Faults) {
   std::vector<engine::BatchJob> Jobs =
       engine::BatchDriver::jobsFromDirectory(Opts.BatchDir);
   if (Jobs.empty()) {
@@ -370,6 +457,14 @@ int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
             Opts.BatchDir.c_str());
     return 2;
   }
+
+  // Warm-start the shared cache before any worker spins up; loaded
+  // entries sit behind the same admission and dependency checks as live
+  // ones, so every job sees them only when a cold solve would have
+  // produced the identical subtree.
+  LoadOutcome Load;
+  if (PersistCache)
+    Load = doCacheLoad(Opts, *PersistCache, Faults);
 
   engine::BatchOptions BOpts;
   BOpts.RetryOverruns = Opts.RetryOverruns;
@@ -400,6 +495,10 @@ int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
       Exit = 1;
   }
 
+  // Stamped after the stdout blocks so a rejected image shows up in the
+  // stats/trace (and on stderr) without perturbing the rendered output.
+  stampLoad(Load, Results.front().Stats, Exit);
+
   if (Opts.Stats) {
     std::vector<const engine::SessionStats *> All;
     All.reserve(Results.size());
@@ -412,10 +511,13 @@ int runBatch(const Options &Opts, const engine::SessionOptions &SessOpts) {
       !writeTrace(Opts.TracePath,
                   engine::BatchDriver::statsTraceJSON(Results, Opts.Jobs)))
     return 2;
+  if (PersistCache)
+    Exit = std::max(Exit, doCacheSave(Opts, *PersistCache, Faults));
   return Exit;
 }
 
-int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
+int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts,
+              GoalCache *PersistCache, FaultInjector *Faults) {
   std::optional<engine::Session> S =
       engine::Session::open(Opts.InputPath, SessOpts);
   if (!S) {
@@ -423,10 +525,21 @@ int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
     return 2;
   }
 
+  // Warm-start before the pipeline runs. noteCacheLoad records a
+  // rejection as a structured failure, so the note reaches stderr and
+  // the exit degrades to 3 through the ordinary stats plumbing.
+  if (PersistCache && !Opts.CacheLoadPath.empty()) {
+    LoadOutcome Load = doCacheLoad(Opts, *PersistCache, Faults);
+    S->noteCacheLoad(Load.EntriesLoaded, Load.Rejected, Load.Detail);
+  }
+
   Rendered R = renderProgram(*S, Opts);
   if (!S->parseOk()) {
     fprintf(stderr, "%s", R.Body.c_str());
-    return std::max(R.Exit, S->stats().exitCode());
+    int Exit = std::max(R.Exit, S->stats().exitCode());
+    if (PersistCache)
+      Exit = std::max(Exit, doCacheSave(Opts, *PersistCache, Faults));
+    return Exit;
   }
   fputs(R.Warnings.c_str(), stderr);
   fputs(R.Body.c_str(), stdout);
@@ -451,7 +564,10 @@ int runSingle(const Options &Opts, const engine::SessionOptions &SessOpts) {
   }
   // A degraded session outranks "trait errors found" (3 > 1): the
   // rendering may be partial, and callers need to know.
-  return std::max(R.Exit, S->stats().exitCode());
+  int Exit = std::max(R.Exit, S->stats().exitCode());
+  if (PersistCache)
+    Exit = std::max(Exit, doCacheSave(Opts, *PersistCache, Faults));
+  return Exit;
 }
 
 /// Splits an edit script into revisions at each line consisting solely
@@ -489,7 +605,8 @@ std::vector<std::string> splitRevisions(const std::string &Text) {
 /// (--cache off) — that identity is what tools/check.sh's edit_diff
 /// gate asserts.
 int runEditScript(const Options &Opts,
-                  const engine::SessionOptions &SessOpts) {
+                  const engine::SessionOptions &SessOpts,
+                  FaultInjector *Faults) {
   std::ifstream File(Opts.EditScriptPath);
   if (!File) {
     fprintf(stderr, "argus: cannot open %s\n", Opts.EditScriptPath.c_str());
@@ -500,6 +617,14 @@ int runEditScript(const Options &Opts,
   std::vector<std::string> Revs = splitRevisions(Text);
 
   engine::EditSession Edit(Opts.EditScriptPath, SessOpts);
+  // Load-on-start: a script restarted mid-edit resumes warm from the
+  // image its earlier run saved. The load is raw (not Edit.loadCache)
+  // so the outcome is stamped after the stdout blocks are printed —
+  // revision output stays byte-identical to a cold replay even when the
+  // image is rejected.
+  LoadOutcome Load;
+  if (SessOpts.Cache != engine::CacheMode::Off)
+    Load = doCacheLoad(Opts, Edit.cache(), Faults);
   std::vector<engine::SessionStats> AllStats;
   AllStats.reserve(Revs.size());
   int Exit = 0;
@@ -515,6 +640,9 @@ int runEditScript(const Options &Opts,
     Exit = std::max(Exit, std::max(Out.Exit, S.stats().exitCode()));
     AllStats.push_back(S.stats());
   }
+
+  if (!AllStats.empty())
+    stampLoad(Load, AllStats.front(), Exit);
 
   if (Opts.Stats) {
     std::vector<const engine::SessionStats *> All;
@@ -538,6 +666,16 @@ int runEditScript(const Options &Opts,
     Writer.endObject();
     if (!writeTrace(Opts.TracePath, Writer.str()))
       return 2;
+  }
+  // Save-on-exit: the next invocation of the script warm-starts here.
+  if (!Opts.CacheSavePath.empty() &&
+      SessOpts.Cache != engine::CacheMode::Off) {
+    std::string Error;
+    if (!Edit.saveCache(Opts.CacheSavePath, Faults, &Error)) {
+      fprintf(stderr, "argus: cannot save cache image %s: %s\n",
+              Opts.CacheSavePath.c_str(), Error.c_str());
+      Exit = std::max(Exit, 2);
+    }
   }
   return Exit;
 }
@@ -692,6 +830,18 @@ int main(int Argc, char **Argv) {
         return usage();
       }
       Opts.CacheCap = static_cast<size_t>(Value);
+    } else if (Arg == "--cache-load") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --cache-load requires a file argument\n");
+        return usage();
+      }
+      Opts.CacheLoadPath = Argv[I];
+    } else if (Arg == "--cache-save") {
+      if (++I == Argc) {
+        fprintf(stderr, "argus: --cache-save requires a file argument\n");
+        return usage();
+      }
+      Opts.CacheSavePath = Argv[I];
     } else if (Arg == "--html") {
       if (++I == Argc) {
         fprintf(stderr, "argus: --html requires a file argument\n");
@@ -762,6 +912,20 @@ int main(int Argc, char **Argv) {
     fprintf(stderr, "argus: --retry-overruns requires --batch\n");
     return usage();
   }
+  bool Persist = !Opts.CacheLoadPath.empty() || !Opts.CacheSavePath.empty();
+  // A persisted image without a cache to fill would silently do nothing;
+  // reject the contradiction like an unknown flag instead.
+  if (Persist && Opts.CacheSet && Opts.Cache == engine::CacheMode::Off) {
+    fprintf(stderr, "argus: --cache off cannot be combined with"
+                    " --cache-load or --cache-save\n");
+    return usage();
+  }
+  // Persistence needs one cache for the whole invocation: default the
+  // mode to shared, and upgrade an explicit --cache session (per-program
+  // caches cannot share one image; output is byte-identical across cache
+  // modes by the solver's splice invariant, so the upgrade is free).
+  if (Persist)
+    Opts.Cache = engine::CacheMode::Shared;
   // Carrying results across revisions is the point of an edit session;
   // --cache off remains available as the explicit cold baseline.
   if (EditScript && !Opts.CacheSet)
@@ -786,9 +950,30 @@ int main(int Argc, char **Argv) {
   SessOpts.Faults.Seed = Opts.InjectSeed;
   SessOpts.Faults.Probability = Opts.InjectProb;
 
+  // Persistence I/O runs outside any Session, so the cache.io /
+  // cache.load_corrupt sites are probed by a CLI-owned injector built
+  // from the same --inject flags (scoped by the image path).
+  std::optional<FaultInjector> PersistFaults;
+  if (Persist && !Opts.InjectSites.empty())
+    PersistFaults.emplace(Opts.InjectSites, Opts.InjectSeed,
+                          Opts.InjectProb);
+  FaultInjector *PF = PersistFaults ? &*PersistFaults : nullptr;
+
+  // One invocation-wide cache for --cache-load/--cache-save in single
+  // and batch modes (edit scripts use the EditSession's own cache). The
+  // BatchDriver and every Session borrow it via SharedCache.
+  std::unique_ptr<GoalCache> CliCache;
+  if (Persist && !EditScript) {
+    GoalCache::Config Config;
+    Config.Shards = Opts.CacheShards;
+    Config.Capacity = Opts.CacheCap;
+    CliCache = std::make_unique<GoalCache>(Config);
+    SessOpts.SharedCache = CliCache.get();
+  }
+
   if (Batch)
-    return runBatch(Opts, SessOpts);
+    return runBatch(Opts, SessOpts, CliCache.get(), PF);
   if (EditScript)
-    return runEditScript(Opts, SessOpts);
-  return runSingle(Opts, SessOpts);
+    return runEditScript(Opts, SessOpts, PF);
+  return runSingle(Opts, SessOpts, CliCache.get(), PF);
 }

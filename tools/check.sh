@@ -47,6 +47,18 @@
 #
 #   tools/check.sh --edit-diff-only <argus-binary> <programs-dir>
 #
+# The persistence differential gate exercises the crash-safe persisted
+# goal cache end to end: a cold batch run is compared byte for byte
+# against a save -> restart -> --cache-load run of the same programs (at
+# 1 and 8 worker threads), the load run's --stats must report
+# cache_cross_rev_hits > 0 (the image actually warmed the solve), and a
+# run against a deliberately truncated image must degrade to the cold
+# bytes with exit 3. On by default in the full gate via
+# CHECK_PERSIST_DIFF=1; standalone (also wired into CTest as
+# cli_persist_diff):
+#
+#   tools/check.sh --persist-diff-only <argus-binary> <programs-dir>
+#
 # The perf floors gate runs the hot-path benchmark with --check-floors:
 # every corpus workload's features-on vs features-off speedup (exact
 # candidate index + Auto kernel dispatch + pooled scratch) must stay at
@@ -190,6 +202,82 @@ edit_diff() {
   fi
   echo "edit differential: OK (incremental == cold over a 3-revision" \
     "edit script, exit $warm_status)"
+}
+
+persist_diff() {
+  argus_bin="$1"
+  programs_dir="$2"
+  persist_dir="${TMPDIR:-/tmp}/argus_persist_$$"
+  mkdir -p "$persist_dir"
+  trap 'rm -rf "$persist_dir"' EXIT
+  img="$persist_dir/cache.gc"
+  cold_out="$persist_dir/cold.json"
+  warm_out="$persist_dir/warm.json"
+
+  # Cold baseline, then save an image, then pretend the process restarted
+  # and load it back: stdout must be byte-identical in every cell.
+  "$argus_bin" --batch "$programs_dir" --jobs 1 --json \
+    --cache off >"$cold_out" || true
+  "$argus_bin" --batch "$programs_dir" --jobs 1 --json \
+    --cache-save "$img" >/dev/null || true
+  [ -s "$img" ] || {
+    echo "FAIL: persist diff: --cache-save $img wrote nothing" >&2
+    exit 1
+  }
+  for jobs in 1 8; do
+    "$argus_bin" --batch "$programs_dir" --jobs "$jobs" --json \
+      --cache-load "$img" >"$warm_out" || true
+    if ! cmp -s "$cold_out" "$warm_out"; then
+      echo "FAIL: persist diff: --cache-load --jobs $jobs differs from" \
+        "the cold run over $programs_dir" >&2
+      diff "$cold_out" "$warm_out" >&2 || true
+      exit 1
+    fi
+  done
+
+  # The image must actually warm the solve: the restarted run's stats
+  # report hits served by entries no live session recorded.
+  warm_stats=$("$argus_bin" --batch "$programs_dir" --stats \
+                 --cache-load "$img" 2>/dev/null |
+               grep '^stats: ' | tail -n 1) || true
+  persist_counter() {
+    printf '%s\n' "$warm_stats" | tr ' ' '\n' | sed -n "s/^$1=//p"
+  }
+  cross_hits=$(persist_counter cache_cross_rev_hits)
+  disk_hits=$(persist_counter cache_disk_hits)
+  loaded=$(persist_counter cache_disk_entries_loaded)
+  [ -n "$cross_hits" ] && [ "$cross_hits" -ge 1 ] || {
+    echo "FAIL: persist diff: cache_cross_rev_hits=${cross_hits:-missing}" \
+      "after restart+load; the image did not warm the solve" >&2
+    exit 1
+  }
+  [ -n "$disk_hits" ] && [ "$disk_hits" -ge 1 ] || {
+    echo "FAIL: persist diff: cache_disk_hits=${disk_hits:-missing}" \
+      "after restart+load ($warm_stats)" >&2
+    exit 1
+  }
+
+  # A mangled image must degrade to the cold bytes (structured rejection,
+  # exit 3) — never crash, never a partial warm start.
+  head -c 100 "$img" >"$persist_dir/trunc.gc"
+  trunc_status=0
+  "$argus_bin" --batch "$programs_dir" --jobs 1 --json \
+    --cache-load "$persist_dir/trunc.gc" >"$warm_out" 2>/dev/null ||
+    trunc_status=$?
+  if ! cmp -s "$cold_out" "$warm_out"; then
+    echo "FAIL: persist diff: truncated-image run differs from the cold" \
+      "run over $programs_dir" >&2
+    diff "$cold_out" "$warm_out" >&2 || true
+    exit 1
+  fi
+  [ "$trunc_status" -eq 3 ] || {
+    echo "FAIL: persist diff: truncated image exited $trunc_status," \
+      "expected 3 (cache_load_rejected degradation)" >&2
+    exit 1
+  }
+  echo "persist differential: OK (cold == save/restart/load, jobs 1 == 8," \
+    "$loaded entries loaded, $disk_hits disk hits, $cross_hits cross-rev" \
+    "hits, truncated image degrades to cold with exit 3)"
 }
 
 perf_smoke() {
@@ -372,6 +460,15 @@ if [ "${1:-}" = "--edit-diff-only" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--persist-diff-only" ]; then
+  [ $# -eq 3 ] || {
+    echo "usage: $0 --persist-diff-only <argus-binary> <programs-dir>" >&2
+    exit 2
+  }
+  persist_diff "$2" "$3"
+  exit 0
+fi
+
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
   build_dir="${1:-$repo_root/build-sanitize}"
@@ -393,6 +490,9 @@ if [ "${CHECK_CACHE_DIFF:-1}" = "1" ]; then
 fi
 index_diff "$build_dir/tools/argus" "$repo_root/examples"
 edit_diff "$build_dir/tools/argus" "$repo_root/examples"
+if [ "${CHECK_PERSIST_DIFF:-1}" = "1" ]; then
+  persist_diff "$build_dir/tools/argus" "$repo_root/examples"
+fi
 perf_smoke "$build_dir/tools/argus" "$repo_root/examples"
 if [ "${CHECK_PERF_FLOORS:-0}" = "1" ]; then
   perf_floors "$build_dir/bench/bench_hotpath"

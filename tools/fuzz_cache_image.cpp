@@ -1,0 +1,349 @@
+//===- tools/fuzz_cache_image.cpp - Cache-image loader fuzz ---*- C++ -*-===//
+//
+// Part of argus-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free fuzz smoke for the persisted-cache loader
+/// (solver/CachePersist). Seed images are built by running corpus
+/// programs through cache-backed Sessions and serializing the resulting
+/// GoalCache; mutants are produced with a seeded argus::Rng — truncation,
+/// byte flips, section swaps, block duplication, splices of two images,
+/// header tampering, and pure garbage. Half the structural mutants get
+/// their checksums *recomputed* after corruption, so the deep validators
+/// (token grammar, cross-record indices, tree shape) face inputs the
+/// checksums would otherwise have intercepted.
+///
+/// The contract under test is the loader's threat model: no image,
+/// however mangled, may crash, hang, throw, or report success while
+/// leaving the cache half-loaded. Every outcome must be a CacheLoadStatus.
+/// Mutants that still load Ok are sampled into a governed end-to-end
+/// check: a Session solving against the forged-but-valid cache must
+/// render byte-identically to a cold solve (the dependency fingerprints
+/// and splice-time checks carry that burden).
+///
+/// Deterministic: rerunning with the same --seed and --iterations
+/// reproduces any failure exactly.
+///
+///   fuzz_cache_image [--iterations <n>] [--seed <n>] [--verbose]
+///
+/// Wired into CTest as `fuzz_cache_smoke`; also part of the
+/// CHECK_SANITIZE=1 run (tools/check.sh), where ASan/UBSan watch the
+/// same inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "engine/Session.h"
+#include "solver/CachePersist.h"
+#include "solver/GoalCache.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace argus;
+
+namespace {
+
+uint64_t fnv1a(const char *Data, size_t N) {
+  uint64_t H = 14695981039346656037ull;
+  for (size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t readWord(const std::string &S, size_t WordIndex) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(
+             static_cast<unsigned char>(S[WordIndex * 8 + I]))
+         << (8 * I);
+  return V;
+}
+
+void writeWord(std::string &S, size_t WordIndex, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    S[WordIndex * 8 + I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+}
+
+/// Recomputes every checksum of a (structurally intact) image in place,
+/// so corruption planted inside a section must be caught by the
+/// structural validators rather than the checksums. Returns false when
+/// the image is too mangled to even locate its sections — those mutants
+/// ship as-is and die at the checksum or size checks, which is also a
+/// path worth fuzzing.
+bool fixChecksums(std::string &Image) {
+  constexpr size_t HeaderWords = 10;
+  if (Image.size() < (HeaderWords + 1) * 8 || Image.size() % 8 != 0)
+    return false;
+  uint64_t SymWords = readWord(Image, 4);
+  uint64_t EntryWords = readWord(Image, 6);
+  uint64_t TotalWords = Image.size() / 8;
+  if (SymWords > TotalWords || EntryWords > TotalWords ||
+      HeaderWords + SymWords + EntryWords + 1 != TotalWords)
+    return false;
+  const char *Sym = Image.data() + HeaderWords * 8;
+  const char *Entry = Sym + SymWords * 8;
+  writeWord(Image, 7, fnv1a(Sym, static_cast<size_t>(SymWords) * 8));
+  writeWord(Image, 8, fnv1a(Entry, static_cast<size_t>(EntryWords) * 8));
+  writeWord(Image, 9, fnv1a(Image.data(), 9 * 8));
+  writeWord(Image, TotalWords - 1, fnv1a(Image.data(), Image.size() - 8));
+  return true;
+}
+
+std::string mutate(Rng &R, const std::vector<std::string> &Seeds) {
+  std::string S = Seeds[R.below(Seeds.size())];
+  int Rounds = static_cast<int>(R.range(1, 6));
+  for (int I = 0; I != Rounds; ++I) {
+    switch (R.below(8)) {
+    case 0: { // Truncate at an arbitrary byte.
+      S.resize(R.below(S.size() + 1));
+      break;
+    }
+    case 1: { // Flip 1..8 random bytes.
+      if (S.empty())
+        break;
+      int Flips = static_cast<int>(R.range(1, 8));
+      for (int F = 0; F != Flips; ++F)
+        S[R.below(S.size())] ^= static_cast<char>(R.range(1, 255));
+      break;
+    }
+    case 2: { // Overwrite one aligned word with an adversarial value.
+      if (S.size() < 8)
+        break;
+      static const uint64_t Nasty[] = {
+          0,       1,          0xFFFFFFFFull, 0x100000000ull,
+          ~0ull,   ~0ull - 1,  1ull << 32,    1ull << 63,
+          0x7FFFFFFFFFFFFFFFull};
+      writeWord(S, R.below(S.size() / 8),
+                Nasty[R.below(sizeof(Nasty) / sizeof(Nasty[0]))]);
+      break;
+    }
+    case 3: { // Swap two aligned blocks (section-swap at small scale).
+      size_t Words = S.size() / 8;
+      if (Words < 4)
+        break;
+      size_t Len = R.range(1, 16);
+      size_t A = R.below(Words), B = R.below(Words);
+      for (size_t W = 0; W != Len; ++W) {
+        if (A + W >= Words || B + W >= Words)
+          break;
+        uint64_t Tmp = readWord(S, A + W);
+        writeWord(S, A + W, readWord(S, B + W));
+        writeWord(S, B + W, Tmp);
+      }
+      break;
+    }
+    case 4: { // Duplicate a span in place (grows the image).
+      if (S.empty())
+        break;
+      size_t At = R.below(S.size());
+      size_t Len = std::min<size_t>(R.below(64) + 1, S.size() - At);
+      S.insert(At, S.substr(At, Len));
+      break;
+    }
+    case 5: { // Splice: our prefix, another image's suffix.
+      const std::string &Other = Seeds[R.below(Seeds.size())];
+      S = S.substr(0, R.below(S.size() + 1)) +
+          Other.substr(R.below(Other.size() + 1));
+      break;
+    }
+    case 6: { // Replace with pure garbage (word-aligned half the time).
+      size_t Len = R.below(512);
+      if (R.below(2) == 0)
+        Len &= ~size_t(7);
+      S.assign(Len, '\0');
+      for (size_t B = 0; B != S.size(); ++B)
+        S[B] = static_cast<char>(R.below(256));
+      break;
+    }
+    case 7: { // Tamper with one header field specifically.
+      if (S.size() < 80)
+        break;
+      writeWord(S, R.below(10), R.next());
+      break;
+    }
+    }
+  }
+  // Half the structurally plausible mutants get valid checksums, forcing
+  // the deep validators to stand alone.
+  if (R.below(2) == 0)
+    fixChecksums(S);
+  return S;
+}
+
+/// Tight limits for the sampled end-to-end check; forged entries must
+/// degrade through the ordinary governance paths, never hang.
+engine::SessionOptions governedOptions() {
+  engine::SessionOptions Opts;
+  Opts.Solver.MaxGoalEvaluations = 20000;
+  for (size_t S = 0; S != engine::NumStages; ++S)
+    Opts.Limits.StageWorkCeiling[S] = 50000;
+  Opts.Limits.JobDeadlineSeconds = 2.0;
+  return Opts;
+}
+
+std::string renderAll(engine::Session &S) {
+  std::string Out;
+  for (size_t T = 0; T != S.numTrees(); ++T) {
+    Out += S.diagnosticText(T) + "\n";
+    Out += S.bottomUpText(T) + "\n";
+    Out += S.treeJSON(T) + "\n";
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Iterations = 300000;
+  uint64_t Seed = 1;
+  bool Verbose = false;
+  for (int I = 1; I != Argc; ++I) {
+    if (!strcmp(Argv[I], "--iterations") && I + 1 != Argc)
+      Iterations = strtoull(Argv[++I], nullptr, 10);
+    else if (!strcmp(Argv[I], "--seed") && I + 1 != Argc)
+      Seed = strtoull(Argv[++I], nullptr, 10);
+    else if (!strcmp(Argv[I], "--verbose"))
+      Verbose = true;
+    else {
+      fprintf(stderr, "usage: fuzz_cache_image [--iterations <n>]"
+                      " [--seed <n>] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  // --- Seed images: solve a slice of the corpus into one shared cache
+  // per program batch and serialize at a few population sizes, plus an
+  // empty image and a synthetic tiny one.
+  std::vector<std::string> Seeds;
+  std::vector<std::string> Sources;
+  for (const CorpusEntry &Entry : evaluationSuite())
+    Sources.push_back(Entry.Source);
+  {
+    GoalCache Warm;
+    engine::SessionOptions Opts = governedOptions();
+    Opts.Cache = engine::CacheMode::Shared;
+    Opts.SharedCache = &Warm;
+    size_t Step = Sources.size() < 6 ? 1 : Sources.size() / 6;
+    for (size_t I = 0; I < Sources.size(); ++I) {
+      engine::Session S("seed.tl", Sources[I], Opts);
+      if (S.parseOk() && S.hasTraitErrors() && S.numTrees() != 0)
+        (void)S.bottomUpText(0);
+      if (I % Step == 0)
+        Seeds.push_back(serializeGoalCache(Warm));
+    }
+    Seeds.push_back(serializeGoalCache(Warm)); // Fully populated.
+  }
+  Seeds.push_back(serializeGoalCache(GoalCache())); // Empty cache.
+  if (Seeds.back().empty()) {
+    fprintf(stderr, "FAIL: empty-cache image serialized to zero bytes\n");
+    return 1;
+  }
+
+  // The unmutated seeds must round-trip — the fuzz harness is meaningless
+  // if its baseline images are already rejected.
+  for (size_t I = 0; I != Seeds.size(); ++I) {
+    GoalCache Fresh;
+    CacheLoadResult R = deserializeGoalCache(Fresh, Seeds[I]);
+    if (!R.ok()) {
+      fprintf(stderr, "FAIL: pristine seed image %zu rejected: %s (%s)\n",
+              I, cacheLoadStatusName(R.Status), R.Detail.c_str());
+      return 1;
+    }
+  }
+
+  Rng R(Seed);
+  const engine::SessionOptions GovOpts = governedOptions();
+  uint64_t Rejected = 0, LoadedOk = 0, SolveChecks = 0;
+  uint64_t ByStatus[8] = {};
+  std::string Current;
+  for (uint64_t I = 0; I != Iterations; ++I) {
+    Current = mutate(R, Seeds);
+    try {
+      GoalCache Target;
+      CacheLoadResult Res = deserializeGoalCache(Target, Current);
+      ++ByStatus[static_cast<size_t>(Res.Status) & 7];
+      if (!Res.ok()) {
+        ++Rejected;
+        // All-or-nothing: a rejected image must leave the target
+        // untouched.
+        if (Target.size() != 0) {
+          fprintf(stderr,
+                  "FAIL: rejected image left %zu entries resident at"
+                  " iteration %llu (seed %llu, status %s)\n",
+                  Target.size(), static_cast<unsigned long long>(I),
+                  static_cast<unsigned long long>(Seed),
+                  cacheLoadStatusName(Res.Status));
+          return 1;
+        }
+      } else {
+        ++LoadedOk;
+        // Sampled end-to-end robustness check: solve against the loaded
+        // cache and render everything. A mutant that survives the
+        // checksums (fixChecksums forged them) is by definition outside
+        // the accidental-corruption threat model — byte-fidelity is only
+        // promised for authentic images (persist_diff and the unit tests
+        // own that bar) — but even a deliberate forgery must never make
+        // the solver crash, hang, or trip a sanitizer while its entries
+        // are spliced and rendered. Capped so the fuzz stays
+        // loader-bound.
+        if (SolveChecks < 200 && !Sources.empty()) {
+          ++SolveChecks;
+          engine::SessionOptions WarmOpts = GovOpts;
+          WarmOpts.Cache = engine::CacheMode::Shared;
+          WarmOpts.SharedCache = &Target;
+          engine::Session Warm("fuzz.tl", Sources[R.below(Sources.size())],
+                               WarmOpts);
+          (void)renderAll(Warm);
+        }
+      }
+    } catch (const std::exception &E) {
+      fprintf(stderr,
+              "FAIL: exception escaped the loader at iteration %llu"
+              " (seed %llu): %s (image %zu bytes)\n",
+              static_cast<unsigned long long>(I),
+              static_cast<unsigned long long>(Seed), E.what(),
+              Current.size());
+      return 1;
+    } catch (...) {
+      fprintf(stderr,
+              "FAIL: non-std exception escaped the loader at iteration"
+              " %llu (seed %llu, image %zu bytes)\n",
+              static_cast<unsigned long long>(I),
+              static_cast<unsigned long long>(Seed), Current.size());
+      return 1;
+    }
+    if (Verbose && (I + 1) % 50000 == 0)
+      fprintf(stderr, "fuzz: %llu/%llu (%llu rejected, %llu ok)\n",
+              static_cast<unsigned long long>(I + 1),
+              static_cast<unsigned long long>(Iterations),
+              static_cast<unsigned long long>(Rejected),
+              static_cast<unsigned long long>(LoadedOk));
+  }
+
+  printf("fuzz_cache_image: OK — %llu mutants, %llu rejected, %llu loaded"
+         " ok, %llu solve checks (seed %llu)\n",
+         static_cast<unsigned long long>(Iterations),
+         static_cast<unsigned long long>(Rejected),
+         static_cast<unsigned long long>(LoadedOk),
+         static_cast<unsigned long long>(SolveChecks),
+         static_cast<unsigned long long>(Seed));
+  printf("fuzz_cache_image: statuses ok=%llu io=%llu magic=%llu"
+         " version=%llu trunc=%llu cksum=%llu malformed=%llu\n",
+         static_cast<unsigned long long>(ByStatus[0]),
+         static_cast<unsigned long long>(ByStatus[1]),
+         static_cast<unsigned long long>(ByStatus[2]),
+         static_cast<unsigned long long>(ByStatus[3]),
+         static_cast<unsigned long long>(ByStatus[4]),
+         static_cast<unsigned long long>(ByStatus[5]),
+         static_cast<unsigned long long>(ByStatus[6]));
+  return 0;
+}
